@@ -1,0 +1,84 @@
+// Runtime characterization of the Espresso kernels (google-benchmark):
+// tautology, complement, offset, full minimize, phase optimization.
+#include <benchmark/benchmark.h>
+
+#include "espresso/espresso.h"
+#include "espresso/phase_opt.h"
+#include "espresso/unate.h"
+#include "logic/synth_bench.h"
+
+using namespace ambit;
+
+namespace {
+
+logic::Cover make_cover(int inputs, int outputs, int cubes,
+                        std::uint64_t seed) {
+  const logic::SynthSpec spec{.num_inputs = inputs,
+                              .num_outputs = outputs,
+                              .num_cubes = cubes,
+                              .literals_per_cube = (inputs + 1) / 2,
+                              .extra_output_rate = 0.15};
+  return logic::generate_cover(spec, seed);
+}
+
+void BM_Tautology(benchmark::State& state) {
+  const int ni = static_cast<int>(state.range(0));
+  auto f = make_cover(ni, 1, 3 * ni, 11);
+  f.append(espresso::complement(f.restricted_to_output(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(espresso::tautology(f.restricted_to_output(0)));
+  }
+}
+BENCHMARK(BM_Tautology)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_Complement(benchmark::State& state) {
+  const int ni = static_cast<int>(state.range(0));
+  const auto f = make_cover(ni, 1, 3 * ni, 13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(espresso::complement(f.restricted_to_output(0)));
+  }
+}
+BENCHMARK(BM_Complement)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_Offset(benchmark::State& state) {
+  const int ni = static_cast<int>(state.range(0));
+  const auto f = make_cover(ni, 4, 3 * ni, 17);
+  const logic::Cover dc(ni, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(espresso::offset(f, dc));
+  }
+}
+BENCHMARK(BM_Offset)->Arg(8)->Arg(12);
+
+void BM_EspressoMinimize(benchmark::State& state) {
+  const int ni = static_cast<int>(state.range(0));
+  const auto f = make_cover(ni, 2, 4 * ni, 19);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(espresso::minimize(f));
+  }
+}
+BENCHMARK(BM_EspressoMinimize)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_EspressoMax46Class(benchmark::State& state) {
+  // The Table 1 workload class: 9 inputs, 1 output, ~48 cubes.
+  const logic::SynthSpec spec{.num_inputs = 9, .num_outputs = 1,
+                              .num_cubes = 48, .literals_per_cube = 7};
+  const auto f = logic::generate_cover(spec, 14);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(espresso::minimize(f));
+  }
+}
+BENCHMARK(BM_EspressoMax46Class);
+
+void BM_PhaseOptimization(benchmark::State& state) {
+  const auto f = make_cover(7, 3, 24, 23);
+  const logic::Cover dc(7, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(espresso::optimize_output_phases(f, dc));
+  }
+}
+BENCHMARK(BM_PhaseOptimization);
+
+}  // namespace
+
+BENCHMARK_MAIN();

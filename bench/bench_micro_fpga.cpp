@@ -1,0 +1,78 @@
+// Runtime characterization of the FPGA flow kernels (google-benchmark):
+// packing, placement, routing and the complete flow, on the Table 2
+// workload class.
+#include <benchmark/benchmark.h>
+
+#include "fpga/flow.h"
+
+using namespace ambit;
+using namespace ambit::fpga;
+
+namespace {
+
+Netlist table2_netlist(int blocks) {
+  CircuitSpec spec;
+  spec.num_primary_inputs = 24;
+  spec.num_primary_outputs = 12;
+  spec.num_logic_blocks = blocks;
+  return generate_circuit(spec, 2026);
+}
+
+FpgaArch table2_arch() {
+  auto arch = make_standard_arch(12, 12, tech::default_cnfet_electrical());
+  arch.channel_width = 20;
+  return arch;
+}
+
+void BM_Pack(benchmark::State& state) {
+  const Netlist nl = table2_netlist(static_cast<int>(state.range(0)));
+  const FpgaArch arch = table2_arch();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pack(nl, arch, PackMode::kDualRail));
+  }
+}
+BENCHMARK(BM_Pack)->Arg(200)->Arg(425);
+
+void BM_Place(benchmark::State& state) {
+  const Netlist nl = table2_netlist(static_cast<int>(state.range(0)));
+  const FpgaArch arch = table2_arch();
+  const PackedNetlist packed = pack(nl, arch, PackMode::kDualRail);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(place(packed, arch));
+  }
+}
+BENCHMARK(BM_Place)->Arg(200)->Arg(425);
+
+void BM_Route(benchmark::State& state) {
+  const Netlist nl = table2_netlist(static_cast<int>(state.range(0)));
+  const FpgaArch arch = table2_arch();
+  const PackedNetlist packed = pack(nl, arch, PackMode::kDualRail);
+  const Placement placement = place(packed, arch);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(route(packed, arch, placement));
+  }
+}
+BENCHMARK(BM_Route)->Arg(200)->Arg(425);
+
+void BM_FullFlowStandard(benchmark::State& state) {
+  const Netlist nl = table2_netlist(425);
+  const FpgaArch arch = table2_arch();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_flow(nl, arch, {.mode = PackMode::kDualRail}));
+  }
+}
+BENCHMARK(BM_FullFlowStandard);
+
+void BM_FullFlowCnfet(benchmark::State& state) {
+  const Netlist nl = table2_netlist(425);
+  const FpgaArch arch =
+      make_cnfet_arch(table2_arch(), tech::default_cnfet_electrical());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_flow(nl, arch, {.mode = PackMode::kGnor}));
+  }
+}
+BENCHMARK(BM_FullFlowCnfet);
+
+}  // namespace
+
+BENCHMARK_MAIN();

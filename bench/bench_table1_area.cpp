@@ -1,0 +1,82 @@
+// Table 1 reproduction: "Area of logic functions in 3 technologies".
+//
+// Pipeline: load the reconstructed MCNC-dimension functions from
+// benchmarks/data (see DESIGN.md §4), Espresso-minimize, map onto the
+// GNOR PLA and the classical baseline, and apply the paper's area
+// model (classical (2i+o)·p at 40/100 L², GNOR (i+o)·p at 60 L²).
+#include <cstdio>
+#include <string>
+
+#include "core/classical_pla.h"
+#include "core/gnor_pla.h"
+#include "espresso/espresso.h"
+#include "logic/pla_io.h"
+#include "tech/area_model.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace ambit;
+
+namespace {
+
+struct PaperRow {
+  const char* name;
+  int inputs, outputs, products;
+  double flash, eeprom, cnfet;
+};
+
+constexpr PaperRow kPaper[] = {
+    {"max46", 9, 1, 46, 34960, 87400, 27600},
+    {"apla", 10, 12, 25, 32000, 80000, 33000},
+    {"t2", 17, 16, 52, 104000, 260000, 102960},
+};
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table 1: area of logic functions in 3 technologies ===\n");
+  std::printf("basic cells [L^2]: Flash %.0f, EEPROM %.0f, CNFET %.0f "
+              "(paper: 40 / 100 / 60)\n\n",
+              tech::flash_technology().cell_area_l2,
+              tech::eeprom_technology().cell_area_l2,
+              tech::cnfet_technology().cell_area_l2);
+
+  TextTable table({"function", "i", "o", "p", "Flash [L^2]", "EEPROM [L^2]",
+                   "CNFET [L^2]", "paper F/E/C", "vs Flash", "vs EEPROM"});
+  bool all_exact = true;
+  for (const PaperRow& row : kPaper) {
+    const auto pla = logic::read_pla_file(std::string(AMBIT_DATA_DIR) + "/" +
+                                          row.name + ".pla");
+    const auto minimized = espresso::minimize(pla.onset, pla.dcset);
+    const auto dim = tech::dimensions_of(minimized.cover);
+
+    // Sanity: the mapped arrays agree with the model's cell counts.
+    const auto gnor = core::GnorPla::map_cover(minimized.cover);
+    const auto classical = core::ClassicalPla::map_cover(minimized.cover);
+
+    const double flash = tech::pla_area_l2(tech::flash_technology(), dim);
+    const double eeprom = tech::pla_area_l2(tech::eeprom_technology(), dim);
+    const double cnfet = tech::pla_area_l2(tech::cnfet_technology(), dim);
+    all_exact = all_exact && flash == row.flash && eeprom == row.eeprom &&
+                cnfet == row.cnfet && dim.products == row.products &&
+                gnor.cell_count() == tech::gnor_cell_count(dim) &&
+                classical.cell_count() == tech::classical_cell_count(dim);
+
+    char paper[48];
+    std::snprintf(paper, sizeof(paper), "%.0f/%.0f/%.0f", row.flash,
+                  row.eeprom, row.cnfet);
+    table.add_row({row.name, std::to_string(dim.inputs),
+                   std::to_string(dim.outputs), std::to_string(dim.products),
+                   format_double(flash, 0), format_double(eeprom, 0),
+                   format_double(cnfet, 0), paper,
+                   format_percent(cnfet / flash - 1.0),
+                   format_percent(cnfet / eeprom - 1.0)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("all cells match the published Table 1 exactly: %s\n",
+              all_exact ? "yes" : "NO");
+  std::printf("paper claims reproduced: max46 saves ~21%% vs Flash and up to\n"
+              "68%% vs EEPROM; apla shows the ~3%% overhead (o > i); t2 is\n"
+              "~1%% smaller than Flash at i ~ o.\n");
+  return all_exact ? 0 : 1;
+}

@@ -1,0 +1,75 @@
+// Reconfigurable logic with one GNOR gate (the paper's Fig. 2 demo,
+// interactive-style): program the SAME four-CNFET array to several
+// different functions purely by re-charging the polarity gates, and
+// check each configuration at the transistor level.
+#include <cstdio>
+#include <vector>
+
+#include "core/gnor_pla.h"
+#include "core/programmer.h"
+#include "simulate/pla_sim.h"
+
+using namespace ambit;
+using core::CellConfig;
+
+namespace {
+
+void demo(const char* title, const std::vector<CellConfig>& cells) {
+  const auto e = tech::default_cnfet_electrical();
+
+  // One GNOR row; reprogram through the §4 charge protocol.
+  core::GnorPlane plane(1, static_cast<int>(cells.size()));
+  for (int c = 0; c < static_cast<int>(cells.size()); ++c) {
+    plane.set_cell(0, c, cells[static_cast<std::size_t>(c)]);
+  }
+  core::PlaneProgrammer programmer(1, plane.cols(), e);
+  programmer.apply_all(core::PlaneProgrammer::compile(plane, e));
+  const core::GnorPlane programmed = programmer.decode();
+
+  std::printf("--- %s ---\n", title);
+  std::printf("function: %s   (array: %s)\n",
+              programmed.row_gate(0).function_string().c_str(),
+              programmed.to_ascii().substr(0, cells.size()).c_str());
+
+  // Switch-level truth table via a 1x1 PLA wrapper.
+  core::GnorPla pla(plane.cols(), 1, 1);
+  for (int c = 0; c < plane.cols(); ++c) {
+    pla.product_plane().set_cell(0, c, programmed.cell(0, c));
+  }
+  pla.output_plane().set_cell(0, 0, CellConfig::kPass);
+  pla.set_buffer_inverted(0, false);
+  simulate::GnorPlaSimulator sim(pla, e);
+
+  for (int m = 0; m < (1 << plane.cols()); ++m) {
+    std::vector<bool> in;
+    for (int i = 0; i < plane.cols(); ++i) {
+      in.push_back((m >> i) & 1);
+    }
+    const auto result = sim.run_cycle(in);
+    std::printf("  in=");
+    for (const bool b : in) {
+      std::printf("%d", int(b));
+    }
+    std::printf("  Y=%s  (eval %.0f ps)\n",
+                simulate::to_string(result.outputs[0]),
+                result.plane1_eval_delay_s * 1e12);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("One physical 3-input GNOR array, four different functions —\n"
+              "only the stored PG charges change between runs:\n\n");
+  demo("3-input NOR", {CellConfig::kPass, CellConfig::kPass, CellConfig::kPass});
+  demo("3-input AND (NOR of inverted inputs)",
+       {CellConfig::kInvert, CellConfig::kInvert, CellConfig::kInvert});
+  demo("B' AND C (A inhibited)",
+       {CellConfig::kOff, CellConfig::kPass, CellConfig::kInvert});
+  demo("inverter on A alone",
+       {CellConfig::kPass, CellConfig::kOff, CellConfig::kOff});
+  std::printf("This is the reconfigurability the paper builds on: the cell\n"
+              "FUNCTION lives in charge, not in wiring.\n");
+  return 0;
+}

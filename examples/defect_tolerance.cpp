@@ -1,0 +1,70 @@
+// Defect tolerance walk-through: map a function, shoot defects into
+// the array, watch the naive programming break, repair with the
+// defect-aware matcher + spare rows, and verify the repaired array
+// still computes the function — at the transistor level.
+#include <cstdio>
+
+#include "espresso/espresso.h"
+#include "fault/yield.h"
+#include "logic/truth_table.h"
+#include "simulate/pla_sim.h"
+#include "util/rng.h"
+
+using namespace ambit;
+
+int main() {
+  // A 5-input, 2-output controller-ish function.
+  const auto f = logic::Cover::parse(
+      5, 2, {"11--- 10", "0-1-- 10", "--011 01", "1---0 01", "-10-1 11"});
+  const auto minimized = espresso::minimize(f).cover;
+  const auto pla = core::GnorPla::map_cover(minimized);
+  std::printf("mapped PLA: %d products x %d inputs\n\n", pla.num_products(),
+              pla.num_inputs());
+
+  // Manufacture a defective die (fixed seed for reproducibility).
+  const int spares = 2;
+  Rng rng(2008);
+  fault::DefectMap defects(pla.num_products() + spares, pla.num_inputs());
+  defects.add({.row = 0, .col = 0, .type = fault::DefectType::kStuckOff});
+  defects.add({.row = 2, .col = 3, .type = fault::DefectType::kStuckN});
+  defects.add({.row = 3, .col = 1, .type = fault::DefectType::kStuckP});
+  std::printf("injected %zu defects (stuck-off@0,0; stuck-n@2,3; stuck-p@3,1)\n",
+              defects.count());
+
+  std::printf("naive in-place programming works: %s\n",
+              fault::naive_programmable(pla, defects) ? "yes" : "no");
+
+  const auto repair = fault::repair_product_plane(pla, defects, spares);
+  if (!repair.success) {
+    std::printf("repair failed (die unusable)\n");
+    return 1;
+  }
+  std::printf("defect-aware repair: success, %d product(s) relocated\n",
+              repair.relocated);
+  for (int p = 0; p < pla.num_products(); ++p) {
+    std::printf("  product %d -> physical row %d\n", p,
+                repair.row_of_product[static_cast<std::size_t>(p)]);
+  }
+
+  // Verify the repaired physical array exhaustively, transistor-level.
+  const auto physical = fault::apply_repair(pla, repair, spares);
+  simulate::GnorPlaSimulator sim(physical, tech::default_cnfet_electrical());
+  const auto expected = logic::TruthTable::from_cover(minimized);
+  bool all_ok = true;
+  for (std::uint64_t m = 0; m < expected.num_minterms(); ++m) {
+    std::vector<bool> in(5);
+    for (int i = 0; i < 5; ++i) {
+      in[static_cast<std::size_t>(i)] = ((m >> i) & 1) != 0;
+    }
+    const auto out = sim.run_cycle(in);
+    for (int j = 0; j < 2; ++j) {
+      all_ok = all_ok &&
+               (out.outputs[static_cast<std::size_t>(j)] ==
+                (expected.get(m, j) ? simulate::Logic::k1 : simulate::Logic::k0));
+    }
+  }
+  std::printf("\nrepaired array verified on all 32 input vectors "
+              "(switch-level): %s\n",
+              all_ok ? "PASS" : "FAIL");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,59 @@
+// End-to-end FPGA implementation flow on both architectures — a
+// miniature of the Table 2 experiment with verbose per-stage output:
+// generate circuit -> pack -> place -> route -> timing, standard
+// (dual-rail) vs ambipolar-CNFET (GNOR) CLBs.
+#include <cstdio>
+
+#include "fpga/flow.h"
+
+using namespace ambit;
+using namespace ambit::fpga;
+
+namespace {
+
+void report(const char* tag, const FlowReport& r) {
+  std::printf("--- %s ---\n", tag);
+  std::printf("grid %dx%d, channel width %d, CLB delay %.3f ns\n",
+              r.arch.grid_width, r.arch.grid_height, r.arch.channel_width,
+              r.arch.clb_delay_s * 1e9);
+  std::printf("pack:   %d CLBs (%d pads), %d signals to route, occupancy %.1f%%\n",
+              r.logic_clusters, r.io_pads, r.nets_routed, r.occupancy * 100);
+  std::printf("place:  HPWL %.0f -> %.0f tile-units (%d/%d moves accepted)\n",
+              r.placement.initial_hpwl, r.placement.hpwl,
+              r.placement.moves_accepted, r.placement.moves_tried);
+  std::printf("route:  %s in %d iteration(s), wirelength %lld, peak channel "
+              "utilization %.0f%%\n",
+              r.routing.success ? "success" : "FAILED", r.routing.iterations,
+              r.routing.total_wirelength,
+              r.routing.max_channel_utilization * 100);
+  std::printf("timing: critical path %.2f ns (%d logic levels, %.0f%% in "
+              "routing) -> Fmax %.0f MHz\n\n",
+              r.timing.critical_path_s * 1e9, r.timing.logic_levels,
+              r.timing.routing_fraction * 100, r.timing.fmax_hz / 1e6);
+}
+
+}  // namespace
+
+int main() {
+  const auto e = tech::default_cnfet_electrical();
+
+  CircuitSpec spec;
+  spec.num_primary_inputs = 16;
+  spec.num_primary_outputs = 8;
+  spec.num_logic_blocks = 220;
+  spec.num_levels = 7;
+  const Netlist netlist = generate_circuit(spec, 7);
+  std::printf("circuit: %d logic blocks, %d nets (%d need both polarities)\n\n",
+              netlist.count_kind(BlockKind::kLogic), netlist.num_nets(),
+              netlist.count_complemented_nets());
+
+  FpgaArch std_arch = make_standard_arch(9, 9, e);
+  std_arch.channel_width = 22;
+  report("standard FPGA (dual-rail PLA CLBs)",
+         run_flow(netlist, std_arch, {.mode = PackMode::kDualRail}));
+
+  const FpgaArch cn_arch = make_cnfet_arch(std_arch, e);
+  report("ambipolar-CNFET FPGA (GNOR CLBs, half-area tiles)",
+         run_flow(netlist, cn_arch, {.mode = PackMode::kGnor}));
+  return 0;
+}

@@ -1,0 +1,64 @@
+#include "core/cnfet.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace ambit::core {
+namespace {
+
+/// Smooth 0..1 gate: logistic in (v - v_mid)/slope.
+double soft_step(double v, double v_mid, double slope) {
+  return 1.0 / (1.0 + std::exp(-(v - v_mid) / slope));
+}
+
+}  // namespace
+
+const char* to_string(PolarityState state) {
+  switch (state) {
+    case PolarityState::kNType: return "n";
+    case PolarityState::kPType: return "p";
+    case PolarityState::kOff: return "off";
+  }
+  return "?";
+}
+
+PolarityState polarity_from_pg(double vpg, const tech::CnfetElectrical& e,
+                               double off_band_v) {
+  check(off_band_v >= 0, "polarity_from_pg: negative off band");
+  const double v0 = e.v_polarity_off;
+  if (vpg >= v0 + off_band_v / 2) {
+    return PolarityState::kNType;
+  }
+  if (vpg <= v0 - off_band_v / 2) {
+    return PolarityState::kPType;
+  }
+  return PolarityState::kOff;
+}
+
+bool conducts(PolarityState state, bool gate_high) {
+  switch (state) {
+    case PolarityState::kNType: return gate_high;
+    case PolarityState::kPType: return !gate_high;
+    case PolarityState::kOff: return false;
+  }
+  return false;
+}
+
+double drain_current(double vcg, double vpg, const tech::CnfetElectrical& e) {
+  const double v0 = e.v_polarity_off;
+  // Branch midpoints sit halfway between V0 and the polarity rails, so
+  // the conduction minimum at V0 is (V± − V0)/(2·ss) logistic decades
+  // below the on-current — the paper's "always off" mid-rail state.
+  const double n_mid = (v0 + e.v_polarity_high) / 2;
+  const double p_mid = (v0 + e.v_polarity_low) / 2;
+  // Electron branch: grows as PG rises above V0, gated by CG high.
+  const double n_branch =
+      soft_step(vpg, n_mid, e.ss_v) * soft_step(vcg, e.vdd / 2, e.ss_v);
+  // Hole branch: grows as PG falls below V0, gated by CG low.
+  const double p_branch =
+      soft_step(p_mid, vpg, e.ss_v) * soft_step(e.vdd / 2, vcg, e.ss_v);
+  return e.i_off_a + e.i_on_a * (n_branch + p_branch);
+}
+
+}  // namespace ambit::core

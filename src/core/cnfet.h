@@ -1,0 +1,72 @@
+// Behavioural model of the ambipolar carbon-nanotube FET (paper §2).
+//
+// The device (Lin et al., IEDM'04; self-aligned double-gate variant per
+// Javey et al., Nano Letters 2004) has two gates over the nanotube
+// channel:
+//
+//   * the CONTROL gate (CG, region A) turns the device on or off, like
+//     an ordinary MOSFET gate;
+//   * the POLARITY gate (PG, region B) selects carrier type by thinning
+//     the Schottky barrier: PG = V+ (high) -> n-type, PG = V− (low) ->
+//     p-type, PG = V0 = VDD/2 -> "the conduction is poor and the device
+//     is always off".
+//
+// Two abstraction levels are provided:
+//   1. a discrete switch model (PolarityState + conducts()) used by the
+//      GNOR/PLA/crossbar logic and the switch-level simulator;
+//   2. an analytic ambipolar I–V (drain_current()) reproducing the
+//      V-shaped transfer characteristic with its conduction minimum at
+//      V0, used by the Fig. 1 characterization bench.
+#pragma once
+
+#include "tech/technology.h"
+
+namespace ambit::core {
+
+/// Discrete polarity states programmed through the PG.
+enum class PolarityState {
+  kNType,  ///< PG = V+: conducts when the CG input is high
+  kPType,  ///< PG = V−: conducts when the CG input is low
+  kOff,    ///< PG = V0: never conducts
+};
+
+/// Human-readable name ("n", "p", "off").
+const char* to_string(PolarityState state);
+
+/// Quantizes a polarity-gate voltage into the discrete state. The off
+/// band is centred on V0 with width `off_band_v` (symmetric): charge
+/// leakage that drifts a PG voltage into the band disables the device,
+/// which is how the defect model represents retention faults.
+PolarityState polarity_from_pg(double vpg, const tech::CnfetElectrical& e,
+                               double off_band_v = 0.6);
+
+/// Switch-level conduction: does a device in `state` conduct when its
+/// control-gate input is `gate_high`?
+bool conducts(PolarityState state, bool gate_high);
+
+/// Analytic ambipolar transfer current I_D(VCG, VPG) [A].
+///
+/// Two smooth branches — electron conduction rising toward PG = V+ and
+/// hole conduction rising toward PG = V− — summed with the off-floor.
+/// The CG gates each branch with the matching polarity (n-branch needs
+/// CG high, p-branch CG low). Behavioural: reproduces the shape and the
+/// on/off ratio, not calibrated silicon data.
+double drain_current(double vcg, double vpg, const tech::CnfetElectrical& e);
+
+/// Static description of one ambipolar CNFET instance in a netlist:
+/// its programmed polarity plus electrical size factors.
+struct AmbipolarCnfet {
+  PolarityState polarity = PolarityState::kOff;
+  double width_factor = 1.0;  ///< parallel-tube multiplier (scales 1/R, C)
+
+  /// Effective on-resistance [Ω].
+  double r_on(const tech::CnfetElectrical& e) const {
+    return e.r_on_ohm / width_factor;
+  }
+  /// Drain capacitance contribution [F].
+  double c_drain(const tech::CnfetElectrical& e) const {
+    return e.c_cell_f * width_factor;
+  }
+};
+
+}  // namespace ambit::core

@@ -1,0 +1,144 @@
+#include "core/crossbar.h"
+
+#include <limits>
+#include <queue>
+
+#include "util/error.h"
+
+namespace ambit::core {
+
+Crossbar::Crossbar(int num_horizontal, int num_vertical)
+    : num_h_(num_horizontal),
+      num_v_(num_vertical),
+      on_(static_cast<std::size_t>(num_horizontal) *
+              static_cast<std::size_t>(num_vertical),
+          false) {
+  check(num_horizontal >= 0 && num_vertical >= 0,
+        "Crossbar: negative dimensions");
+}
+
+int Crossbar::horizontal_wire(int h) const {
+  check(h >= 0 && h < num_h_, "Crossbar: horizontal wire out of range");
+  return h;
+}
+
+int Crossbar::vertical_wire(int v) const {
+  check(v >= 0 && v < num_v_, "Crossbar: vertical wire out of range");
+  return num_h_ + v;
+}
+
+std::size_t Crossbar::index(int h, int v) const {
+  check(h >= 0 && h < num_h_ && v >= 0 && v < num_v_,
+        "Crossbar: switch index out of range");
+  return static_cast<std::size_t>(h) * static_cast<std::size_t>(num_v_) +
+         static_cast<std::size_t>(v);
+}
+
+bool Crossbar::switch_on(int h, int v) const { return on_[index(h, v)]; }
+
+void Crossbar::set_switch(int h, int v, bool on) { on_[index(h, v)] = on; }
+
+std::vector<std::vector<int>> Crossbar::adjacency() const {
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(num_wires()));
+  for (int h = 0; h < num_h_; ++h) {
+    for (int v = 0; v < num_v_; ++v) {
+      if (on_[index(h, v)]) {
+        adj[static_cast<std::size_t>(h)].push_back(num_h_ + v);
+        adj[static_cast<std::size_t>(num_h_ + v)].push_back(h);
+      }
+    }
+  }
+  return adj;
+}
+
+bool Crossbar::connected(int wire_a, int wire_b) const {
+  return path_switch_count(wire_a, wire_b) >= 0;
+}
+
+std::vector<int> Crossbar::components() const {
+  const auto adj = adjacency();
+  std::vector<int> label(static_cast<std::size_t>(num_wires()), -1);
+  for (int start = 0; start < num_wires(); ++start) {
+    if (label[static_cast<std::size_t>(start)] >= 0) {
+      continue;
+    }
+    std::queue<int> frontier;
+    frontier.push(start);
+    label[static_cast<std::size_t>(start)] = start;
+    while (!frontier.empty()) {
+      const int w = frontier.front();
+      frontier.pop();
+      for (const int next : adj[static_cast<std::size_t>(w)]) {
+        if (label[static_cast<std::size_t>(next)] < 0) {
+          label[static_cast<std::size_t>(next)] = start;
+          frontier.push(next);
+        }
+      }
+    }
+  }
+  return label;
+}
+
+std::vector<std::optional<bool>> Crossbar::propagate(int driver_wire,
+                                                     bool value) const {
+  check(driver_wire >= 0 && driver_wire < num_wires(),
+        "Crossbar::propagate: wire out of range");
+  const auto labels = components();
+  const int driver_label = labels[static_cast<std::size_t>(driver_wire)];
+  std::vector<std::optional<bool>> seen(
+      static_cast<std::size_t>(num_wires()));
+  for (int w = 0; w < num_wires(); ++w) {
+    if (labels[static_cast<std::size_t>(w)] == driver_label) {
+      seen[static_cast<std::size_t>(w)] = value;
+    }
+  }
+  return seen;
+}
+
+int Crossbar::path_switch_count(int wire_a, int wire_b) const {
+  check(wire_a >= 0 && wire_a < num_wires() && wire_b >= 0 &&
+            wire_b < num_wires(),
+        "Crossbar: wire out of range");
+  if (wire_a == wire_b) {
+    return 0;
+  }
+  const auto adj = adjacency();
+  std::vector<int> dist(static_cast<std::size_t>(num_wires()), -1);
+  std::queue<int> frontier;
+  dist[static_cast<std::size_t>(wire_a)] = 0;
+  frontier.push(wire_a);
+  while (!frontier.empty()) {
+    const int w = frontier.front();
+    frontier.pop();
+    for (const int next : adj[static_cast<std::size_t>(w)]) {
+      if (dist[static_cast<std::size_t>(next)] < 0) {
+        dist[static_cast<std::size_t>(next)] =
+            dist[static_cast<std::size_t>(w)] + 1;
+        if (next == wire_b) {
+          return dist[static_cast<std::size_t>(next)];
+        }
+        frontier.push(next);
+      }
+    }
+  }
+  return -1;
+}
+
+double Crossbar::path_resistance_ohm(int wire_a, int wire_b,
+                                     const tech::CnfetElectrical& e) const {
+  const int hops = path_switch_count(wire_a, wire_b);
+  if (hops < 0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return hops * e.r_on_ohm;
+}
+
+int Crossbar::active_switches() const {
+  int count = 0;
+  for (const bool b : on_) {
+    count += b;
+  }
+  return count;
+}
+
+}  // namespace ambit::core

@@ -1,0 +1,77 @@
+// Programmable interconnect crossbar from ambipolar CNFETs (paper §4).
+//
+// "A compact interconnect array can be realized by using ambipolar
+//  CNFET: every crosspoint connects a horizontal and a vertical wire
+//  through a CNFET working as a pass transistor. All CG voltages are
+//  set at the same high level. If the PG of the CNFET is set to V+,
+//  then the polarity of the CNFET is n [and] the wires are connected.
+//  If the PG … is set to V0, then the device is switched off and the
+//  wires are disconnected."
+//
+// The model exposes switch programming, connectivity queries
+// (union-find over the wire graph), signal propagation, and a
+// switch-hop distance used for interconnect delay estimates.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "tech/technology.h"
+
+namespace ambit::core {
+
+/// A horizontal×vertical pass-transistor switch matrix.
+class Crossbar {
+ public:
+  Crossbar(int num_horizontal, int num_vertical);
+
+  int num_horizontal() const { return num_h_; }
+  int num_vertical() const { return num_v_; }
+
+  /// Wire ids: horizontal wires are [0, H), vertical wires [H, H+V).
+  int horizontal_wire(int h) const;
+  int vertical_wire(int v) const;
+  int num_wires() const { return num_h_ + num_v_; }
+
+  bool switch_on(int h, int v) const;
+  void set_switch(int h, int v, bool on);
+
+  /// True when the two wires are electrically connected through any
+  /// chain of closed switches.
+  bool connected(int wire_a, int wire_b) const;
+
+  /// Connected-component label per wire (labels are the smallest wire
+  /// id in each component).
+  std::vector<int> components() const;
+
+  /// Drives `driver_wire` with `value`; returns the logic value seen by
+  /// every wire (nullopt = floating / not connected to the driver).
+  std::vector<std::optional<bool>> propagate(int driver_wire,
+                                             bool value) const;
+
+  /// Fewest closed switches between two wires (series pass-transistor
+  /// count), or -1 when unconnected. BFS over the wire graph.
+  int path_switch_count(int wire_a, int wire_b) const;
+
+  /// Series resistance of the best path [Ω], or +inf when unconnected.
+  double path_resistance_ohm(int wire_a, int wire_b,
+                             const tech::CnfetElectrical& e) const;
+
+  /// Total crosspoints (= programmable cells).
+  long long cell_count() const {
+    return static_cast<long long>(num_h_) * num_v_;
+  }
+
+  /// Closed switches.
+  int active_switches() const;
+
+ private:
+  int num_h_;
+  int num_v_;
+  std::vector<bool> on_;  // h-major
+
+  std::size_t index(int h, int v) const;
+  std::vector<std::vector<int>> adjacency() const;
+};
+
+}  // namespace ambit::core

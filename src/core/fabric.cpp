@@ -1,0 +1,82 @@
+#include "core/fabric.h"
+
+#include "util/error.h"
+
+namespace ambit::core {
+
+Fabric::Fabric(int primary_inputs) : primary_inputs_(primary_inputs) {
+  check(primary_inputs >= 0, "Fabric: negative input count");
+}
+
+int Fabric::bus_width() const {
+  int width = primary_inputs_;
+  for (const FabricStage& s : stages_) {
+    width = (s.feed_through ? width : 0) + s.plane.rows();
+  }
+  return width;
+}
+
+const FabricStage& Fabric::stage(int i) const {
+  check(i >= 0 && i < num_stages(), "Fabric::stage: index out of range");
+  return stages_[static_cast<std::size_t>(i)];
+}
+
+void Fabric::add_stage(FabricStage stage) {
+  check(stage.routing.num_horizontal() == bus_width(),
+        "Fabric::add_stage: routing width does not match current bus");
+  check(stage.routing.num_vertical() == stage.plane.cols(),
+        "Fabric::add_stage: routing does not match plane columns");
+  for (int v = 0; v < stage.routing.num_vertical(); ++v) {
+    int drivers = 0;
+    for (int h = 0; h < stage.routing.num_horizontal(); ++h) {
+      drivers += stage.routing.switch_on(h, v);
+    }
+    check(drivers <= 1, "Fabric::add_stage: plane column has multiple drivers");
+  }
+  stages_.push_back(std::move(stage));
+}
+
+std::vector<bool> Fabric::evaluate(const std::vector<bool>& inputs) const {
+  check(static_cast<int>(inputs.size()) == primary_inputs_,
+        "Fabric::evaluate: input arity mismatch");
+  std::vector<bool> bus = inputs;
+  for (const FabricStage& s : stages_) {
+    std::vector<bool> plane_inputs(static_cast<std::size_t>(s.plane.cols()),
+                                   false);
+    for (int v = 0; v < s.routing.num_vertical(); ++v) {
+      for (int h = 0; h < s.routing.num_horizontal(); ++h) {
+        if (s.routing.switch_on(h, v)) {
+          plane_inputs[static_cast<std::size_t>(v)] =
+              bus[static_cast<std::size_t>(h)];
+          break;  // at most one driver (validated in add_stage)
+        }
+      }
+    }
+    const std::vector<bool> outputs = s.plane.evaluate(plane_inputs);
+    if (s.feed_through) {
+      bus.insert(bus.end(), outputs.begin(), outputs.end());
+    } else {
+      bus = outputs;
+    }
+  }
+  return bus;
+}
+
+long long Fabric::cell_count() const {
+  long long cells = 0;
+  for (const FabricStage& s : stages_) {
+    cells += s.plane.cell_count() + s.routing.cell_count();
+  }
+  return cells;
+}
+
+Crossbar Fabric::identity_routing(int bus, int columns) {
+  Crossbar xb(bus, columns);
+  const int n = bus < columns ? bus : columns;
+  for (int i = 0; i < n; ++i) {
+    xb.set_switch(i, i, true);
+  }
+  return xb;
+}
+
+}  // namespace ambit::core

@@ -1,0 +1,73 @@
+// Interleaved PLA / interconnect fabric (paper §4, Fig. 3).
+//
+// "Interleaving PLA and interconnects enables cascades of NOR planes
+//  and realizes any logic function."
+//
+// A Fabric is a pipeline of stages. Each stage routes the current
+// signal bus through an ambipolar-CNFET crossbar onto the input columns
+// of a GNOR plane; the plane's row outputs (optionally concatenated
+// with the incoming bus, modelling feed-through tracks) become the next
+// bus. Two stages with identity routing reproduce a PLA; four stages
+// reproduce the Whirlpool-PLA NOR-NOR-NOR-NOR structure (§5).
+#pragma once
+
+#include <vector>
+
+#include "core/crossbar.h"
+#include "core/gnor_plane.h"
+
+namespace ambit::core {
+
+/// One routing + plane stage of the fabric.
+struct FabricStage {
+  /// Horizontal wires = incoming bus signals; vertical wires = plane
+  /// input columns. Each plane column must be driven by at most one
+  /// closed switch; undriven columns read as logic low (the fabric
+  /// ties floating columns to ground through a weak keeper).
+  Crossbar routing;
+  /// rows = stage outputs, cols = plane inputs.
+  GnorPlane plane;
+  /// When true the incoming bus is carried past the plane, so the next
+  /// stage sees [bus … plane outputs]; when false only the plane
+  /// outputs continue.
+  bool feed_through = false;
+
+  FabricStage(Crossbar r, GnorPlane p, bool feed = false)
+      : routing(std::move(r)), plane(std::move(p)), feed_through(feed) {}
+};
+
+/// A cascade of GNOR planes and crossbars evaluated functionally.
+class Fabric {
+ public:
+  explicit Fabric(int primary_inputs);
+
+  /// Appends a stage; validates that the routing matches the current
+  /// bus width and the plane's column count, and that no plane column
+  /// has multiple drivers.
+  void add_stage(FabricStage stage);
+
+  int num_primary_inputs() const { return primary_inputs_; }
+  int num_stages() const { return static_cast<int>(stages_.size()); }
+
+  /// Bus width after the last stage (= width of evaluate()'s result).
+  int bus_width() const;
+
+  const FabricStage& stage(int i) const;
+
+  /// Evaluates the full cascade.
+  std::vector<bool> evaluate(const std::vector<bool>& inputs) const;
+
+  /// Total programmable cells (plane cells + crossbar crosspoints).
+  long long cell_count() const;
+
+  /// Builds the identity routing crossbar for `bus` signals onto a
+  /// plane with `columns` inputs (bus signal i drives column i; extra
+  /// columns stay undriven).
+  static Crossbar identity_routing(int bus, int columns);
+
+ private:
+  int primary_inputs_;
+  std::vector<FabricStage> stages_;
+};
+
+}  // namespace ambit::core

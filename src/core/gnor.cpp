@@ -1,0 +1,101 @@
+#include "core/gnor.h"
+
+#include "util/error.h"
+
+namespace ambit::core {
+
+const char* to_string(CellConfig config) {
+  switch (config) {
+    case CellConfig::kPass: return "pass";
+    case CellConfig::kInvert: return "invert";
+    case CellConfig::kOff: return "off";
+  }
+  return "?";
+}
+
+PolarityState polarity_of(CellConfig config) {
+  switch (config) {
+    case CellConfig::kPass: return PolarityState::kNType;
+    case CellConfig::kInvert: return PolarityState::kPType;
+    case CellConfig::kOff: return PolarityState::kOff;
+  }
+  return PolarityState::kOff;
+}
+
+double pg_voltage_of(CellConfig config, const tech::CnfetElectrical& e) {
+  switch (config) {
+    case CellConfig::kPass: return e.v_polarity_high;
+    case CellConfig::kInvert: return e.v_polarity_low;
+    case CellConfig::kOff: return e.v_polarity_off;
+  }
+  return e.v_polarity_off;
+}
+
+GnorGate::GnorGate(int num_inputs)
+    : cells_(static_cast<std::size_t>(num_inputs), CellConfig::kOff) {
+  check(num_inputs >= 0, "GnorGate: negative input count");
+}
+
+CellConfig GnorGate::cell(int i) const {
+  check(i >= 0 && i < num_inputs(), "GnorGate::cell: index out of range");
+  return cells_[static_cast<std::size_t>(i)];
+}
+
+void GnorGate::set_cell(int i, CellConfig config) {
+  check(i >= 0 && i < num_inputs(), "GnorGate::set_cell: index out of range");
+  cells_[static_cast<std::size_t>(i)] = config;
+}
+
+void GnorGate::configure(const std::vector<CellConfig>& cells) {
+  check(cells.size() == cells_.size(), "GnorGate::configure: arity mismatch");
+  cells_ = cells;
+}
+
+bool GnorGate::evaluate(const std::vector<bool>& inputs) const {
+  check(inputs.size() == cells_.size(), "GnorGate::evaluate: arity mismatch");
+  // Any conducting pull-down discharges the output: Y = NOR of
+  // effective inputs. The effective input of a p-type cell is the
+  // complement (the device conducts when its gate is LOW).
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    if (conducts(polarity_of(cells_[i]), inputs[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int GnorGate::active_cells() const {
+  int count = 0;
+  for (const CellConfig c : cells_) {
+    count += c != CellConfig::kOff;
+  }
+  return count;
+}
+
+std::string GnorGate::function_string() const {
+  std::string args;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    if (cells_[i] == CellConfig::kOff) {
+      continue;
+    }
+    if (!args.empty()) {
+      args += ", ";
+    }
+    std::string name;
+    if (i < 26) {
+      name = std::string(1, static_cast<char>('A' + i));
+    } else {
+      name = "in" + std::to_string(i);
+    }
+    args += name;
+    if (cells_[i] == CellConfig::kInvert) {
+      args += '\'';
+    }
+  }
+  if (args.empty()) {
+    return "1";
+  }
+  return "NOR(" + args + ")";
+}
+
+}  // namespace ambit::core

@@ -1,0 +1,75 @@
+// Generalized NOR (GNOR) gate built from ambipolar CNFETs (paper §3).
+//
+// "In a GNOR cell every input has a polarity control signal. A 2-input
+//  function is given by NOR(C1 ⊙ A, C2 ⊙ B) … Ci is set to 0 (V+) or 1
+//  (V−) to control the polarity of input i. If it is set to V0 then the
+//  input is dropped from the function."
+//
+// Electrically the gate is dynamic logic: all input devices pull the
+// output node down in parallel, between a p-type precharge transistor
+// TPC and an n-type evaluation transistor TEV driven by opposite clock
+// phases. Logically:
+//
+//   Y = NOR over the configured inputs, where an n-type cell (PG = V+)
+//   contributes the input as-is and a p-type cell (PG = V−) contributes
+//   the complemented input, and V0 cells contribute nothing.
+//
+// Note the polarity-control convention (matching the paper's Fig. 2):
+// configuring C_i = V− (p-type) makes input i appear COMPLEMENTED
+// inside the NOR — "unlike inputs A and D, B is inverted by setting …
+// C2 … to V−".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/cnfet.h"
+
+namespace ambit::core {
+
+/// Per-input configuration of a GNOR cell.
+enum class CellConfig {
+  kPass,    ///< PG = V+ (n-type): input enters the NOR in true form
+  kInvert,  ///< PG = V− (p-type): input enters complemented
+  kOff,     ///< PG = V0: input dropped from the function
+};
+
+/// Human-readable name ("pass", "invert", "off").
+const char* to_string(CellConfig config);
+
+/// Maps a cell configuration to the polarity state it programs.
+PolarityState polarity_of(CellConfig config);
+
+/// The PG voltage that programs `config` in process `e`.
+double pg_voltage_of(CellConfig config, const tech::CnfetElectrical& e);
+
+/// A single GNOR gate with one ambipolar CNFET per input.
+class GnorGate {
+ public:
+  /// All cells start at kOff (function is constant 1: empty NOR).
+  explicit GnorGate(int num_inputs);
+
+  int num_inputs() const { return static_cast<int>(cells_.size()); }
+
+  CellConfig cell(int i) const;
+  void set_cell(int i, CellConfig config);
+
+  /// Configures from a vector (arity must match).
+  void configure(const std::vector<CellConfig>& cells);
+
+  /// Steady-state logic value after the evaluate phase:
+  /// Y = NOR of the configured contributions.
+  bool evaluate(const std::vector<bool>& inputs) const;
+
+  /// Number of cells not configured off.
+  int active_cells() const;
+
+  /// Description like "NOR(A, B', D)" using generated input names
+  /// (A, B, …; then in26, in27, …); constant-1 renders as "1".
+  std::string function_string() const;
+
+ private:
+  std::vector<CellConfig> cells_;
+};
+
+}  // namespace ambit::core

@@ -1,0 +1,56 @@
+// A GNOR plane: the array tile of the paper's PLA (§4, Fig. 4).
+//
+// rows × cols ambipolar CNFET cells; every row is one GNOR gate over
+// the shared column inputs. Two cascaded planes form a PLA; four form
+// a Whirlpool PLA; a plane with all control gates tied high degenerates
+// into the crossbar interconnect (modeled separately in crossbar.h).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/gnor.h"
+
+namespace ambit::core {
+
+/// A rectangular array of GNOR cells, evaluated row-wise.
+class GnorPlane {
+ public:
+  /// All cells start off (every row is constant 1).
+  GnorPlane(int rows, int cols);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  CellConfig cell(int row, int col) const;
+  void set_cell(int row, int col, CellConfig config);
+
+  /// Row `row` viewed as a standalone GNOR gate.
+  GnorGate row_gate(int row) const;
+
+  /// Evaluates all rows against the shared column inputs.
+  std::vector<bool> evaluate(const std::vector<bool>& inputs) const;
+
+  /// Number of cells not configured off.
+  int active_cells() const;
+
+  /// Total number of programmable cells (rows · cols).
+  long long cell_count() const {
+    return static_cast<long long>(rows_) * cols_;
+  }
+
+  /// ASCII art of the configuration: '+' pass, '-' invert, '.' off.
+  /// One text row per plane row.
+  std::string to_ascii() const;
+
+  bool operator==(const GnorPlane& other) const = default;
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<CellConfig> cells_;  // row-major
+
+  std::size_t index(int row, int col) const;
+};
+
+}  // namespace ambit::core

@@ -1,0 +1,83 @@
+#include "core/programmer.h"
+
+#include "util/error.h"
+
+namespace ambit::core {
+
+PlaneProgrammer::PlaneProgrammer(int rows, int cols,
+                                 const tech::CnfetElectrical& e)
+    : rows_(rows),
+      cols_(cols),
+      electrical_(e),
+      charges_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+               e.v_polarity_off) {
+  check(rows >= 0 && cols >= 0, "PlaneProgrammer: negative dimensions");
+}
+
+std::size_t PlaneProgrammer::index(int row, int col) const {
+  check(row >= 0 && row < rows_ && col >= 0 && col < cols_,
+        "PlaneProgrammer: cell index out of range");
+  return static_cast<std::size_t>(row) * static_cast<std::size_t>(cols_) +
+         static_cast<std::size_t>(col);
+}
+
+std::vector<ProgramPulse> PlaneProgrammer::compile(
+    const GnorPlane& target, const tech::CnfetElectrical& e) {
+  std::vector<ProgramPulse> pulses;
+  for (int r = 0; r < target.rows(); ++r) {
+    for (int c = 0; c < target.cols(); ++c) {
+      const CellConfig config = target.cell(r, c);
+      if (config == CellConfig::kOff) {
+        continue;  // blank cells already rest at V0
+      }
+      pulses.push_back(
+          ProgramPulse{.row = r, .col = c, .vpg = pg_voltage_of(config, e)});
+    }
+  }
+  return pulses;
+}
+
+void PlaneProgrammer::apply(const ProgramPulse& pulse) {
+  charges_[index(pulse.row, pulse.col)] = pulse.vpg;
+}
+
+void PlaneProgrammer::apply_all(const std::vector<ProgramPulse>& pulses) {
+  for (const ProgramPulse& pulse : pulses) {
+    apply(pulse);
+  }
+}
+
+double PlaneProgrammer::charge(int row, int col) const {
+  return charges_[index(row, col)];
+}
+
+void PlaneProgrammer::set_charge(int row, int col, double vpg) {
+  charges_[index(row, col)] = vpg;
+}
+
+void PlaneProgrammer::leak_toward(double v_rest, double fraction) {
+  check(fraction >= 0 && fraction <= 1, "leak_toward: fraction out of [0,1]");
+  for (double& v : charges_) {
+    v += (v_rest - v) * fraction;
+  }
+}
+
+GnorPlane PlaneProgrammer::decode(double off_band_v) const {
+  GnorPlane plane(rows_, cols_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) {
+      const PolarityState state =
+          polarity_from_pg(charges_[index(r, c)], electrical_, off_band_v);
+      CellConfig config = CellConfig::kOff;
+      switch (state) {
+        case PolarityState::kNType: config = CellConfig::kPass; break;
+        case PolarityState::kPType: config = CellConfig::kInvert; break;
+        case PolarityState::kOff: config = CellConfig::kOff; break;
+      }
+      plane.set_cell(r, c, config);
+    }
+  }
+  return plane;
+}
+
+}  // namespace ambit::core

@@ -1,0 +1,80 @@
+// Configuration protocol of the GNOR plane (paper §4).
+//
+// "In order to avoid the use of an additional wire per CNFET for every
+//  PG signal, a charge corresponding to the voltage of the wished
+//  polarity is saved on every PG. A global signal VPG connects all the
+//  polarity gates. Any transistor in position (i,j) whose polarity is
+//  to be set is selected by using the row and column select signal
+//  VSelR,i and VSelC,j. During the configuration phase of the PLA,
+//  every ambipolar CNFET is selected individually and the charge
+//  corresponding to its PG voltage is set."
+//
+// PlaneProgrammer models exactly that: a per-cell stored PG charge, a
+// pulse sequence generator (compile), the one-cell-at-a-time write
+// (apply), a retention/leakage model (leak_toward), and the quantizer
+// back to discrete cell configurations (decode). The fault module
+// injects retention and stuck defects through this surface.
+#pragma once
+
+#include <vector>
+
+#include "core/gnor_plane.h"
+#include "tech/technology.h"
+
+namespace ambit::core {
+
+/// One programming operation: select (row, col), drive VPG to `vpg`.
+struct ProgramPulse {
+  int row = 0;
+  int col = 0;
+  double vpg = 0;
+
+  bool operator==(const ProgramPulse&) const = default;
+};
+
+/// Charge-storage state of one GNOR plane's polarity gates.
+class PlaneProgrammer {
+ public:
+  /// All PG charges start at the off voltage V0 (blank array).
+  PlaneProgrammer(int rows, int cols, const tech::CnfetElectrical& e);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  /// Compiles a target configuration into the §4 pulse sequence.
+  /// Cells whose target equals the blank state (off) are skipped, so a
+  /// sparse plane programs in O(active cells) pulses.
+  static std::vector<ProgramPulse> compile(const GnorPlane& target,
+                                           const tech::CnfetElectrical& e);
+
+  /// Executes one select-and-charge operation.
+  void apply(const ProgramPulse& pulse);
+
+  /// Executes a pulse sequence in order.
+  void apply_all(const std::vector<ProgramPulse>& pulses);
+
+  /// Stored PG voltage of a cell [V].
+  double charge(int row, int col) const;
+
+  /// Overwrites a stored charge directly (fault injection hook).
+  void set_charge(int row, int col, double vpg);
+
+  /// Retention model: every charge moves `fraction` (0..1) of the way
+  /// toward `v_rest` — e.g. leakage toward the mid-rail collapses
+  /// programmed polarities into the off band.
+  void leak_toward(double v_rest, double fraction);
+
+  /// Quantizes the stored charges back into a discrete plane
+  /// configuration using the polarity thresholds.
+  GnorPlane decode(double off_band_v = 0.6) const;
+
+ private:
+  int rows_;
+  int cols_;
+  tech::CnfetElectrical electrical_;
+  std::vector<double> charges_;  // row-major
+
+  std::size_t index(int row, int col) const;
+};
+
+}  // namespace ambit::core

@@ -1,0 +1,187 @@
+#include "espresso/expand.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "util/error.h"
+
+namespace ambit::espresso {
+
+using logic::Cover;
+using logic::Cube;
+using logic::Literal;
+
+namespace {
+
+/// True when the input parts of `a` and `b` intersect everywhere
+/// (input distance 0).
+bool inputs_intersect(const Cube& a, const Cube& b) {
+  for (int i = 0; i < a.num_inputs(); ++i) {
+    const auto pair = static_cast<std::uint8_t>(a.input(i)) &
+                      static_cast<std::uint8_t>(b.input(i));
+    if (pair == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool outputs_overlap(const Cube& a, const Cube& b) {
+  for (int j = 0; j < a.num_outputs(); ++j) {
+    if (a.output(j) && b.output(j)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Cube expand_cube(const Cube& cube, const Cover& off) {
+  check(cube.num_inputs() == off.num_inputs() &&
+            cube.num_outputs() == off.num_outputs(),
+        "expand_cube: shape mismatch");
+  Cube c = cube;
+  const int ni = c.num_inputs();
+  const int no = c.num_outputs();
+
+  // Blocking state per relevant OFF-set cube: at which input variables
+  // does c currently miss it? A cube r stays blocked while it has at
+  // least one blocking variable; raising the last one would make c
+  // intersect r, which is illegal.
+  struct Blocker {
+    const Cube* r;
+    std::vector<int> blocking_vars;
+  };
+  std::vector<Blocker> blockers;
+  for (const Cube& r : off) {
+    if (!outputs_overlap(c, r)) {
+      continue;
+    }
+    Blocker b;
+    b.r = &r;
+    for (int i = 0; i < ni; ++i) {
+      const auto pair = static_cast<std::uint8_t>(c.input(i)) &
+                        static_cast<std::uint8_t>(r.input(i));
+      if (pair == 0) {
+        b.blocking_vars.push_back(i);
+      }
+    }
+    // The ON-set must be disjoint from the OFF-set; a relevant blocker
+    // with no blocking variable would mean they already intersect.
+    require(!b.blocking_vars.empty(),
+            "expand_cube: cube intersects the OFF-set");
+    blockers.push_back(std::move(b));
+  }
+
+  const auto is_blocking_var = [&](const Blocker& b, int v) {
+    return std::find(b.blocking_vars.begin(), b.blocking_vars.end(), v) !=
+           b.blocking_vars.end();
+  };
+
+  // Raise input literals greedily until no raising is legal. At each
+  // step prefer the variable whose raising leaves the most blockers
+  // with slack (>= 2 blocking vars), a cheap proxy for Espresso's
+  // "maximize the number of covered cubes" objective.
+  std::vector<int> candidates;
+  for (int i = 0; i < ni; ++i) {
+    const Literal lit = c.input(i);
+    if (lit == Literal::kZero || lit == Literal::kOne) {
+      candidates.push_back(i);
+    }
+  }
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    int best_var = -1;
+    int best_score = -1;
+    for (const int v : candidates) {
+      if (c.input(v) == Literal::kDontCare) {
+        continue;
+      }
+      bool legal = true;
+      int slack = 0;
+      for (const Blocker& b : blockers) {
+        if (!is_blocking_var(b, v)) {
+          ++slack;
+          continue;
+        }
+        if (b.blocking_vars.size() == 1) {
+          legal = false;
+          break;
+        }
+      }
+      if (legal && slack > best_score) {
+        best_score = slack;
+        best_var = v;
+      }
+    }
+    if (best_var >= 0) {
+      c.set_input(best_var, Literal::kDontCare);
+      for (Blocker& b : blockers) {
+        std::erase(b.blocking_vars, best_var);
+      }
+      progress = true;
+    }
+  }
+
+  // Raise output bits: output j can join the cube when the expanded
+  // input part misses every OFF-set cube of output j.
+  for (int j = 0; j < no; ++j) {
+    if (c.output(j)) {
+      continue;
+    }
+    bool legal = true;
+    for (const Cube& r : off) {
+      if (r.output(j) && inputs_intersect(c, r)) {
+        legal = false;
+        break;
+      }
+    }
+    if (legal) {
+      c.set_output(j, true);
+      // New outputs bring new blockers; input literals are already
+      // maximal for the old outputs, but re-check for completeness:
+      // raising more inputs now could intersect the new output's
+      // OFF-set only, which the loop below guards against.
+    }
+  }
+  return c;
+}
+
+Cover expand(const Cover& f, const Cover& off) {
+  check(f.num_inputs() == off.num_inputs() &&
+            f.num_outputs() == off.num_outputs(),
+        "expand: shape mismatch");
+  std::vector<std::size_t> order(f.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const int la = f[a].input_literal_count();
+    const int lb = f[b].input_literal_count();
+    if (la != lb) {
+      return la > lb;  // most specific cubes first
+    }
+    return Cube::lexicographic_less(f[a], f[b]);
+  });
+
+  std::vector<bool> covered(f.size(), false);
+  Cover result(f.num_inputs(), f.num_outputs());
+  for (const std::size_t idx : order) {
+    if (covered[idx]) {
+      continue;
+    }
+    const Cube prime = expand_cube(f[idx], off);
+    covered[idx] = true;
+    for (const std::size_t other : order) {
+      if (!covered[other] && prime.contains(f[other])) {
+        covered[other] = true;
+      }
+    }
+    result.add(prime);
+  }
+  result.remove_single_cube_contained();
+  return result;
+}
+
+}  // namespace ambit::espresso

@@ -1,0 +1,54 @@
+#include "espresso/irredundant.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "espresso/unate.h"
+#include "util/error.h"
+
+namespace ambit::espresso {
+
+using logic::Cover;
+using logic::Cube;
+
+Cover irredundant(const Cover& f, const Cover& d) {
+  check(f.num_inputs() == d.num_inputs() && f.num_outputs() == d.num_outputs(),
+        "irredundant: shape mismatch");
+  // Work on a copy; visit most-specific cubes first so that large
+  // primes survive and absorb the small ones.
+  std::vector<Cube> cubes(f.cubes());
+  std::vector<std::size_t> order(cubes.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const int la = cubes[a].input_literal_count();
+    const int lb = cubes[b].input_literal_count();
+    if (la != lb) {
+      return la > lb;
+    }
+    return Cube::lexicographic_less(cubes[a], cubes[b]);
+  });
+
+  std::vector<bool> alive(cubes.size(), true);
+  for (const std::size_t idx : order) {
+    Cover rest(f.num_inputs(), f.num_outputs());
+    for (std::size_t i = 0; i < cubes.size(); ++i) {
+      if (i != idx && alive[i]) {
+        rest.add(cubes[i]);
+      }
+    }
+    if (covers(rest, &d, cubes[idx])) {
+      alive[idx] = false;
+    }
+  }
+
+  Cover result(f.num_inputs(), f.num_outputs());
+  for (std::size_t i = 0; i < cubes.size(); ++i) {
+    if (alive[i]) {
+      result.add(cubes[i]);
+    }
+  }
+  return result;
+}
+
+}  // namespace ambit::espresso

@@ -1,0 +1,18 @@
+// IRREDUNDANT: drop cubes whose removal leaves the function intact.
+//
+// A cube is redundant when (F ∖ {c}) ∪ D still covers it for every
+// output it asserts; the check reduces to per-output tautology of the
+// cofactored remainder. The greedy order (most-specific cubes first)
+// matches what Espresso's partially-redundant processing achieves on
+// the cover sizes AMBIT targets.
+#pragma once
+
+#include "logic/cover.h"
+
+namespace ambit::espresso {
+
+/// Returns `f` with redundant cubes removed, relative to don't-care
+/// cover `d` (same shape; may be empty).
+logic::Cover irredundant(const logic::Cover& f, const logic::Cover& d);
+
+}  // namespace ambit::espresso

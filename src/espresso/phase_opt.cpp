@@ -1,0 +1,78 @@
+#include "espresso/phase_opt.h"
+
+#include "espresso/unate.h"
+#include "util/error.h"
+
+namespace ambit::espresso {
+
+using logic::Cover;
+using logic::Cube;
+
+Cover apply_phases(const Cover& onset, const Cover& dcset,
+                   const std::vector<bool>& complemented) {
+  check(static_cast<int>(complemented.size()) == onset.num_outputs(),
+        "apply_phases: phase vector arity mismatch");
+  const int ni = onset.num_inputs();
+  const int no = onset.num_outputs();
+  Cover combined(ni, no);
+  for (int j = 0; j < no; ++j) {
+    Cover source(ni, 1);
+    if (complemented[j]) {
+      // f̄_j's ON-set is the complement of onset_j ∪ dcset_j.
+      Cover fj = onset.restricted_to_output(j);
+      fj.append(dcset.restricted_to_output(j));
+      source = complement(fj);
+    } else {
+      source = onset.restricted_to_output(j);
+    }
+    for (const Cube& c : source) {
+      Cube tagged(ni, no);
+      for (int i = 0; i < ni; ++i) {
+        tagged.set_input(i, c.input(i));
+      }
+      tagged.set_output(j, true);
+      combined.add(std::move(tagged));
+    }
+  }
+  return combined;
+}
+
+PhaseOptResult optimize_output_phases(const Cover& onset, const Cover& dcset,
+                                      const PhaseOptOptions& options) {
+  const int no = onset.num_outputs();
+  PhaseOptResult result;
+  result.complemented.assign(static_cast<std::size_t>(no), false);
+
+  const auto minimize_phases = [&](const std::vector<bool>& phases) {
+    const Cover candidate = apply_phases(onset, dcset, phases);
+    return minimize(candidate, dcset, options.espresso);
+  };
+
+  EspressoResult current = minimize_phases(result.complemented);
+  result.baseline_cubes = current.cover.size();
+  CoverCost current_cost = cost_of(current.cover);
+
+  for (int pass = 0; pass < options.max_passes; ++pass) {
+    bool improved = false;
+    for (int j = 0; j < no; ++j) {
+      std::vector<bool> trial = result.complemented;
+      trial[static_cast<std::size_t>(j)] = !trial[static_cast<std::size_t>(j)];
+      EspressoResult attempt = minimize_phases(trial);
+      const CoverCost cost = cost_of(attempt.cover);
+      if (cost < current_cost) {
+        result.complemented = std::move(trial);
+        current = std::move(attempt);
+        current_cost = cost;
+        improved = true;
+      }
+    }
+    if (!improved) {
+      break;
+    }
+  }
+
+  result.cover = std::move(current.cover);
+  return result;
+}
+
+}  // namespace ambit::espresso

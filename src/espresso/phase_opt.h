@@ -1,0 +1,53 @@
+// Output phase optimization (Sasao, IEEE Trans. Computers 1984 — the
+// paper's reference [7], implemented in the MINI II heuristic).
+//
+// For each output the PLA may implement either f or f̄, whichever lets
+// products be shared. A classical PLA pays an output inverter for a
+// complemented phase; the paper's GNOR architecture gets the inversion
+// for free because the second plane's per-product polarity is
+// programmable — "the availability of the product-terms with both
+// polarities allows a further degree of freedom in minimizing the PLA".
+//
+// The optimizer is a deterministic greedy search: starting all-positive,
+// it repeatedly flips the output whose flip most reduces the minimized
+// cover cost, until no flip helps (bounded pass count).
+#pragma once
+
+#include <vector>
+
+#include "espresso/espresso.h"
+#include "logic/cover.h"
+
+namespace ambit::espresso {
+
+/// Knobs for the phase search.
+struct PhaseOptOptions {
+  int max_passes = 3;          ///< full sweeps over the outputs
+  EspressoOptions espresso{};  ///< minimizer settings for each trial
+};
+
+/// Result of output phase optimization.
+struct PhaseOptResult {
+  /// complemented[j] == true means the cover implements f̄_j; the
+  /// consumer must re-invert output j (free on GNOR plane 2).
+  std::vector<bool> complemented;
+  /// Minimized cover of the chosen phases.
+  logic::Cover cover;
+  /// Minimized cube count with all phases positive, for comparison.
+  std::size_t baseline_cubes = 0;
+
+  PhaseOptResult() : cover(0, 1) {}
+};
+
+/// Builds the onset cover implementing phase assignment `complemented`
+/// (per output: onset unchanged, or replaced with the complement of
+/// onset ∪ dcset). The don't-care set is phase-independent.
+logic::Cover apply_phases(const logic::Cover& onset, const logic::Cover& dcset,
+                          const std::vector<bool>& complemented);
+
+/// Runs the greedy phase search. Deterministic.
+PhaseOptResult optimize_output_phases(const logic::Cover& onset,
+                                      const logic::Cover& dcset,
+                                      const PhaseOptOptions& options = {});
+
+}  // namespace ambit::espresso

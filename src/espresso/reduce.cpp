@@ -1,0 +1,128 @@
+#include "espresso/reduce.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "espresso/unate.h"
+#include "util/error.h"
+
+namespace ambit::espresso {
+
+using logic::Cover;
+using logic::Cube;
+using logic::Literal;
+
+namespace {
+
+/// Extracts the input part of `c` as a single-output universe cube.
+Cube input_cube_of(const Cube& c) {
+  Cube input = Cube::universe(c.num_inputs(), 1);
+  for (int i = 0; i < c.num_inputs(); ++i) {
+    input.set_input(i, c.input(i));
+  }
+  return input;
+}
+
+/// Supercube over all cubes of a single-output cover; empty cover
+/// yields an all-empty-parts cube flagged by `any = false`.
+bool supercube_of(const Cover& f, Cube& result) {
+  if (f.empty()) {
+    return false;
+  }
+  result = f[0];
+  for (std::size_t i = 1; i < f.size(); ++i) {
+    result = result.supercube(f[i]);
+  }
+  return true;
+}
+
+}  // namespace
+
+Cover reduce(const Cover& f, const Cover& d) {
+  check(f.num_inputs() == d.num_inputs() && f.num_outputs() == d.num_outputs(),
+        "reduce: shape mismatch");
+  const int ni = f.num_inputs();
+  const int no = f.num_outputs();
+
+  // Espresso reduces the largest cubes first: they have the most room
+  // to shrink, freeing space for the others.
+  std::vector<Cube> cubes(f.cubes());
+  std::vector<std::size_t> order(cubes.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const int la = cubes[a].input_literal_count();
+    const int lb = cubes[b].input_literal_count();
+    if (la != lb) {
+      return la < lb;  // fewest literals = largest cube first
+    }
+    return Cube::lexicographic_less(cubes[a], cubes[b]);
+  });
+
+  std::vector<bool> alive(cubes.size(), true);
+  for (const std::size_t idx : order) {
+    const Cube c = cubes[idx];
+    const Cube c_input = input_cube_of(c);
+
+    // Per asserted output: what does c cover that nobody else does?
+    Cube acc_super(ni, 1);        // union-of-SCCC accumulator (inputs only)
+    bool acc_any = false;
+    Cube lowered = c;
+    for (int j = 0; j < no; ++j) {
+      if (!c.output(j)) {
+        continue;
+      }
+      Cover rest_j(ni, 1);
+      for (std::size_t i = 0; i < cubes.size(); ++i) {
+        if (i == idx || !alive[i] || !cubes[i].output(j)) {
+          continue;
+        }
+        Cube single = input_cube_of(cubes[i]);
+        rest_j.add(std::move(single));
+      }
+      for (const Cube& dc : d) {
+        if (dc.output(j)) {
+          rest_j.add(input_cube_of(dc));
+        }
+      }
+      const Cover remainder = rest_j.cofactor(c_input);
+      const Cover uncovered = complement(remainder);
+      Cube sccc(ni, 1);
+      if (!supercube_of(uncovered, sccc)) {
+        // Remainder is a tautology inside c: output j no longer needs c.
+        lowered.set_output(j, false);
+        continue;
+      }
+      if (acc_any) {
+        acc_super = acc_super.supercube(sccc);
+      } else {
+        acc_super = sccc;
+        acc_any = true;
+      }
+    }
+
+    if (lowered.output_empty()) {
+      alive[idx] = false;
+      continue;
+    }
+    require(acc_any, "reduce: kept outputs but no uncovered part");
+    // Shrink the input part onto the uniquely covered region.
+    for (int i = 0; i < ni; ++i) {
+      const auto meet = static_cast<std::uint8_t>(c.input(i)) &
+                        static_cast<std::uint8_t>(acc_super.input(i));
+      lowered.set_input(i, static_cast<Literal>(meet));
+    }
+    require(!lowered.input_empty(), "reduce: produced empty input part");
+    cubes[idx] = lowered;
+  }
+
+  Cover result(ni, no);
+  for (std::size_t i = 0; i < cubes.size(); ++i) {
+    if (alive[i]) {
+      result.add(cubes[i]);
+    }
+  }
+  return result;
+}
+
+}  // namespace ambit::espresso

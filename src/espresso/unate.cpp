@@ -1,0 +1,210 @@
+#include "espresso/unate.h"
+
+#include <map>
+#include <vector>
+
+#include "util/error.h"
+
+namespace ambit::espresso {
+
+using logic::Cover;
+using logic::Cube;
+using logic::Literal;
+
+namespace {
+
+/// Cofactor of a single-output cover against literal (var = value).
+Cover literal_cofactor(const Cover& f, int var, bool value) {
+  Cube p = Cube::universe(f.num_inputs(), 1);
+  p.set_input(var, value ? Literal::kOne : Literal::kZero);
+  return f.cofactor(p);
+}
+
+/// Unate reduction for tautology: for every variable appearing in only
+/// one polarity, drop the cubes with a literal there (f is a tautology
+/// iff the reduced cover is). Returns true when anything was dropped.
+bool unate_reduce(Cover& f) {
+  std::vector<int> unate_vars;
+  for (int i = 0; i < f.num_inputs(); ++i) {
+    const auto occ = f.var_occurrence(i);
+    if ((occ.zeros > 0) != (occ.ones > 0)) {
+      unate_vars.push_back(i);
+    }
+  }
+  if (unate_vars.empty()) {
+    return false;
+  }
+  Cover reduced(f.num_inputs(), 1);
+  for (const Cube& c : f) {
+    bool keep = true;
+    for (const int v : unate_vars) {
+      if (c.input(v) != Literal::kDontCare) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) {
+      reduced.add(c);
+    }
+  }
+  f = std::move(reduced);
+  return true;
+}
+
+bool tautology_rec(Cover f, int depth) {
+  require(depth <= 2 * f.num_inputs() + 4, "tautology: runaway recursion");
+  for (;;) {
+    if (f.has_universal_input_cube()) {
+      return true;
+    }
+    if (f.empty()) {
+      return false;
+    }
+    if (!unate_reduce(f)) {
+      break;
+    }
+  }
+  const int x = f.most_binate_var();
+  if (x < 0) {
+    // After unate reduction every remaining literal column is binate;
+    // no binate variable means no literals at all, and the universal
+    // cube case was handled above, so the cover must have been emptied.
+    return false;
+  }
+  return tautology_rec(literal_cofactor(f, x, true), depth + 1) &&
+         tautology_rec(literal_cofactor(f, x, false), depth + 1);
+}
+
+/// Merges the two Shannon branches x·c1 + x̄·c0 of a complement:
+/// cubes identical except for the split variable fuse into one cube
+/// with x = don't-care. Both branches already carry their x literal.
+Cover merge_branches(const Cover& c1, const Cover& c0, int x) {
+  Cover merged(c1.num_inputs(), 1);
+  // Key cubes by their text with x forced to don't-care.
+  std::map<std::string, Cube> from_c0;
+  std::vector<bool> used0(c0.size(), false);
+  std::map<std::string, std::size_t> index0;
+  for (std::size_t i = 0; i < c0.size(); ++i) {
+    Cube key = c0[i];
+    key.set_input(x, Literal::kDontCare);
+    index0.emplace(key.to_string(), i);
+  }
+  for (const Cube& a : c1) {
+    Cube key = a;
+    key.set_input(x, Literal::kDontCare);
+    const auto it = index0.find(key.to_string());
+    if (it != index0.end() && !used0[it->second]) {
+      used0[it->second] = true;
+      merged.add(key);
+    } else {
+      merged.add(a);
+    }
+  }
+  for (std::size_t i = 0; i < c0.size(); ++i) {
+    if (!used0[i]) {
+      merged.add(c0[i]);
+    }
+  }
+  return merged;
+}
+
+Cover complement_rec(const Cover& f, int depth) {
+  require(depth <= 2 * f.num_inputs() + 4, "complement: runaway recursion");
+  if (f.has_universal_input_cube()) {
+    return Cover(f.num_inputs(), 1);
+  }
+  if (f.empty()) {
+    return Cover::universe(f.num_inputs(), 1);
+  }
+  if (f.size() == 1) {
+    return complement_cube(f[0]);
+  }
+  int x = f.most_binate_var();
+  if (x < 0) {
+    x = f.most_frequent_var();
+  }
+  require(x >= 0, "complement: non-trivial cover without literals");
+
+  Cover c1 = complement_rec(literal_cofactor(f, x, true), depth + 1);
+  c1.and_literal(x, true);
+  Cover c0 = complement_rec(literal_cofactor(f, x, false), depth + 1);
+  c0.and_literal(x, false);
+
+  Cover merged = merge_branches(c1, c0, x);
+  merged.remove_single_cube_contained();
+  return merged;
+}
+
+}  // namespace
+
+bool tautology(const Cover& f) {
+  check(f.num_outputs() == 1, "tautology: cover must be single-output");
+  return tautology_rec(f, 0);
+}
+
+Cover complement(const Cover& f) {
+  check(f.num_outputs() == 1, "complement: cover must be single-output");
+  return complement_rec(f, 0);
+}
+
+Cover complement_cube(const Cube& c) {
+  check(c.num_outputs() == 1, "complement_cube: cube must be single-output");
+  Cover result(c.num_inputs(), 1);
+  for (int i = 0; i < c.num_inputs(); ++i) {
+    const Literal lit = c.input(i);
+    if (lit == Literal::kZero || lit == Literal::kOne) {
+      Cube piece = Cube::universe(c.num_inputs(), 1);
+      piece.set_input(i, lit == Literal::kZero ? Literal::kOne : Literal::kZero);
+      result.add(std::move(piece));
+    }
+  }
+  // A literal-free cube is the universe; its complement is empty.
+  return result;
+}
+
+bool covers(const Cover& g, const Cover* d, const Cube& c) {
+  check(g.num_inputs() == c.num_inputs() && g.num_outputs() == c.num_outputs(),
+        "covers: shape mismatch");
+  Cube input_cube = Cube::universe(c.num_inputs(), 1);
+  for (int i = 0; i < c.num_inputs(); ++i) {
+    input_cube.set_input(i, c.input(i));
+  }
+  for (int j = 0; j < c.num_outputs(); ++j) {
+    if (!c.output(j)) {
+      continue;
+    }
+    Cover gj = g.restricted_to_output(j);
+    if (d != nullptr) {
+      gj.append(d->restricted_to_output(j));
+    }
+    if (!tautology(gj.cofactor(input_cube))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Cover offset(const Cover& onset, const Cover& dcset) {
+  check(onset.num_inputs() == dcset.num_inputs() &&
+            onset.num_outputs() == dcset.num_outputs(),
+        "offset: onset/dcset shape mismatch");
+  const int ni = onset.num_inputs();
+  const int no = onset.num_outputs();
+  Cover result(ni, no);
+  for (int j = 0; j < no; ++j) {
+    Cover fj = onset.restricted_to_output(j);
+    fj.append(dcset.restricted_to_output(j));
+    const Cover rj = complement(fj);
+    for (const Cube& c : rj) {
+      Cube tagged(ni, no);
+      for (int i = 0; i < ni; ++i) {
+        tagged.set_input(i, c.input(i));
+      }
+      tagged.set_output(j, true);
+      result.add(std::move(tagged));
+    }
+  }
+  return result;
+}
+
+}  // namespace ambit::espresso

@@ -1,0 +1,67 @@
+#include "fault/defect.h"
+
+#include "util/error.h"
+
+namespace ambit::fault {
+
+DefectMap::DefectMap(int rows, int cols)
+    : rows_(rows),
+      cols_(cols),
+      index_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+             -1) {
+  check(rows >= 0 && cols >= 0, "DefectMap: negative dimensions");
+}
+
+void DefectMap::add(const Defect& defect) {
+  check(defect.row >= 0 && defect.row < rows_ && defect.col >= 0 &&
+            defect.col < cols_,
+        "DefectMap::add: cell out of range");
+  const std::size_t flat =
+      static_cast<std::size_t>(defect.row) * static_cast<std::size_t>(cols_) +
+      static_cast<std::size_t>(defect.col);
+  check(index_[flat] < 0, "DefectMap::add: duplicate defect");
+  index_[flat] = static_cast<int>(defects_.size());
+  defects_.push_back(defect);
+}
+
+const Defect* DefectMap::at(int row, int col) const {
+  check(row >= 0 && row < rows_ && col >= 0 && col < cols_,
+        "DefectMap::at: cell out of range");
+  const int idx = index_[static_cast<std::size_t>(row) *
+                             static_cast<std::size_t>(cols_) +
+                         static_cast<std::size_t>(col)];
+  return idx < 0 ? nullptr : &defects_[static_cast<std::size_t>(idx)];
+}
+
+bool DefectMap::compatible(const Defect* defect, core::CellConfig wanted) {
+  if (defect == nullptr) {
+    return true;
+  }
+  switch (defect->type) {
+    case DefectType::kStuckOff: return wanted == core::CellConfig::kOff;
+    case DefectType::kStuckN: return wanted == core::CellConfig::kPass;
+    case DefectType::kStuckP: return wanted == core::CellConfig::kInvert;
+  }
+  return false;
+}
+
+DefectMap sample_defects(int rows, int cols, double rate, Rng& rng) {
+  check(rate >= 0 && rate <= 1, "sample_defects: rate out of [0,1]");
+  DefectMap map(rows, cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (!rng.next_bool(rate)) {
+        continue;
+      }
+      const auto kind = rng.next_below(3);
+      map.add(Defect{.row = r,
+                     .col = c,
+                     .type = kind == 0   ? DefectType::kStuckOff
+                             : kind == 1 ? DefectType::kStuckN
+                                         : DefectType::kStuckP});
+    }
+  }
+  return map;
+}
+
+}  // namespace ambit::fault

@@ -1,0 +1,72 @@
+// Defect models for ambipolar-CNFET arrays (paper §5: "a fault-tolerant
+// design approach for PLAs [6] makes use of the regular architecture
+// and is expected to improve the yield of the unreliable devices
+// making up the PLA").
+//
+// Three manufacturing/retention defect classes are modelled per cell:
+//
+//   kStuckOff — the device never conducts (missing/metallic-removed
+//               tube, open contact, PG charge fully leaked to V0);
+//   kStuckN   — the polarity gate is shorted high: permanently n-type;
+//   kStuckP   — the polarity gate is shorted low: permanently p-type.
+//
+// A cell with a defect can still be USED when the target configuration
+// happens to match the stuck behaviour — that compatibility is what
+// the defect-aware mapper in repair.h exploits.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/gnor.h"
+#include "util/rng.h"
+
+namespace ambit::fault {
+
+/// Kind of a single-cell defect.
+enum class DefectType {
+  kStuckOff,
+  kStuckN,
+  kStuckP,
+};
+
+/// One defective cell.
+struct Defect {
+  int row = 0;
+  int col = 0;
+  DefectType type = DefectType::kStuckOff;
+};
+
+/// Sparse defect map of one rows×cols array.
+class DefectMap {
+ public:
+  DefectMap(int rows, int cols);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  void add(const Defect& defect);
+  std::size_t count() const { return defects_.size(); }
+  const std::vector<Defect>& defects() const { return defects_; }
+
+  /// The defect at (row, col), or nullptr when the cell is healthy.
+  const Defect* at(int row, int col) const;
+
+  /// True when a cell with this defect can implement `wanted`:
+  /// healthy cells implement anything; stuck-off cells only kOff;
+  /// stuck-n only kPass; stuck-p only kInvert.
+  static bool compatible(const Defect* defect, core::CellConfig wanted);
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<Defect> defects_;
+  std::vector<int> index_;  // dense row-major -> defect index or -1
+};
+
+/// Samples an independent per-cell defect map: each cell is defective
+/// with probability `rate`; defective cells draw a type uniformly.
+/// Deterministic for a given RNG state.
+DefectMap sample_defects(int rows, int cols, double rate, Rng& rng);
+
+}  // namespace ambit::fault

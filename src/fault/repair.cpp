@@ -1,0 +1,140 @@
+#include "fault/repair.h"
+
+#include "util/error.h"
+
+namespace ambit::fault {
+
+using core::CellConfig;
+using core::GnorPla;
+using core::GnorPlane;
+
+bool row_compatible(const GnorPlane& target_plane, int product,
+                    const DefectMap& defects, int row) {
+  check(product >= 0 && product < target_plane.rows(),
+        "row_compatible: product out of range");
+  check(row >= 0 && row < defects.rows(), "row_compatible: row out of range");
+  check(defects.cols() == target_plane.cols(),
+        "row_compatible: column count mismatch");
+  for (int c = 0; c < target_plane.cols(); ++c) {
+    if (!DefectMap::compatible(defects.at(row, c),
+                               target_plane.cell(product, c))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+/// Kuhn's augmenting-path bipartite matching: products -> rows.
+class Matcher {
+ public:
+  Matcher(int products, int rows)
+      : products_(products),
+        adjacency_(static_cast<std::size_t>(products)),
+        row_match_(static_cast<std::size_t>(rows), -1) {}
+
+  void add_edge(int product, int row) {
+    adjacency_[static_cast<std::size_t>(product)].push_back(row);
+  }
+
+  /// Returns the matched row per product, or empty on failure.
+  std::vector<int> solve() {
+    std::vector<int> product_match(static_cast<std::size_t>(products_), -1);
+    for (int p = 0; p < products_; ++p) {
+      std::vector<bool> visited(row_match_.size(), false);
+      if (!augment(p, visited)) {
+        return {};
+      }
+    }
+    for (std::size_t r = 0; r < row_match_.size(); ++r) {
+      if (row_match_[r] >= 0) {
+        product_match[static_cast<std::size_t>(row_match_[r])] =
+            static_cast<int>(r);
+      }
+    }
+    return product_match;
+  }
+
+ private:
+  bool augment(int product, std::vector<bool>& visited) {
+    for (const int row : adjacency_[static_cast<std::size_t>(product)]) {
+      if (visited[static_cast<std::size_t>(row)]) {
+        continue;
+      }
+      visited[static_cast<std::size_t>(row)] = true;
+      if (row_match_[static_cast<std::size_t>(row)] < 0 ||
+          augment(row_match_[static_cast<std::size_t>(row)], visited)) {
+        row_match_[static_cast<std::size_t>(row)] = product;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  int products_;
+  std::vector<std::vector<int>> adjacency_;
+  std::vector<int> row_match_;
+};
+
+}  // namespace
+
+RepairResult repair_product_plane(const GnorPla& pla, const DefectMap& defects,
+                                  int spare_rows) {
+  const GnorPlane& plane = pla.product_plane();
+  check(spare_rows >= 0, "repair_product_plane: negative spare count");
+  check(defects.rows() == plane.rows() + spare_rows,
+        "repair_product_plane: defect map must cover products + spares");
+  check(defects.cols() == plane.cols(),
+        "repair_product_plane: defect map column mismatch");
+
+  Matcher matcher(plane.rows(), defects.rows());
+  for (int p = 0; p < plane.rows(); ++p) {
+    // Nominal row first so healthy products stay in place and the
+    // augmenting search minimizes gratuitous relocation.
+    if (p < defects.rows() && row_compatible(plane, p, defects, p)) {
+      matcher.add_edge(p, p);
+    }
+    for (int r = 0; r < defects.rows(); ++r) {
+      if (r != p && row_compatible(plane, p, defects, r)) {
+        matcher.add_edge(p, r);
+      }
+    }
+  }
+  RepairResult result;
+  result.row_of_product = matcher.solve();
+  result.success = !result.row_of_product.empty() || plane.rows() == 0;
+  if (result.success && plane.rows() == 0) {
+    result.row_of_product.clear();
+  }
+  for (int p = 0; p < static_cast<int>(result.row_of_product.size()); ++p) {
+    result.relocated += result.row_of_product[static_cast<std::size_t>(p)] != p;
+  }
+  return result;
+}
+
+GnorPla apply_repair(const GnorPla& pla, const RepairResult& repair,
+                     int spare_rows) {
+  check(repair.success, "apply_repair: repair did not succeed");
+  check(static_cast<int>(repair.row_of_product.size()) == pla.num_products(),
+        "apply_repair: assignment arity mismatch");
+  GnorPla physical(pla.num_inputs(), pla.num_products() + spare_rows,
+                   pla.num_outputs());
+  for (int p = 0; p < pla.num_products(); ++p) {
+    const int row = repair.row_of_product[static_cast<std::size_t>(p)];
+    for (int c = 0; c < pla.num_inputs(); ++c) {
+      physical.product_plane().set_cell(row, c,
+                                        pla.product_plane().cell(p, c));
+    }
+    for (int o = 0; o < pla.num_outputs(); ++o) {
+      physical.output_plane().set_cell(o, row,
+                                       pla.output_plane().cell(o, p));
+    }
+  }
+  for (int o = 0; o < pla.num_outputs(); ++o) {
+    physical.set_buffer_inverted(o, pla.buffer_inverted(o));
+  }
+  return physical;
+}
+
+}  // namespace ambit::fault

@@ -1,0 +1,47 @@
+// Defect-aware mapping of product terms onto a partially defective
+// GNOR product plane (the Schmid & Leblebici-style fault tolerance the
+// paper cites as [6], recast for the ambipolar array).
+//
+// A physical plane has R >= P rows (spare rows included). Product term
+// k can live on physical row r iff every cell of the row is compatible
+// with the term's required configuration (DefectMap::compatible). The
+// mapper solves the product→row assignment as maximum bipartite
+// matching (Kuhn's augmenting paths) — the regularity of the PLA is
+// precisely what makes this repair cheap, the paper's argument for the
+// approach.
+#pragma once
+
+#include <vector>
+
+#include "core/gnor_pla.h"
+#include "fault/defect.h"
+
+namespace ambit::fault {
+
+/// Result of a defect-aware mapping attempt.
+struct RepairResult {
+  bool success = false;
+  /// Physical row of each product term (size = products) when success.
+  std::vector<int> row_of_product;
+  /// Number of products that had to move off their nominal row.
+  int relocated = 0;
+};
+
+/// True when product row `pattern` (cells for each input column) can be
+/// programmed on physical row `row` of the defect map.
+bool row_compatible(const core::GnorPlane& target_plane, int product,
+                    const DefectMap& defects, int row);
+
+/// Maps every product row of `pla`'s product plane onto a physical
+/// plane with `spare_rows` extra rows under `defects` (which must have
+/// products+spare_rows rows and inputs columns).
+RepairResult repair_product_plane(const core::GnorPla& pla,
+                                  const DefectMap& defects, int spare_rows);
+
+/// Applies a repair: returns a GnorPla whose product plane is laid out
+/// on the physical rows (spare rows programmed off) with plane-2
+/// columns permuted to match. The result computes the same function.
+core::GnorPla apply_repair(const core::GnorPla& pla, const RepairResult& repair,
+                           int spare_rows);
+
+}  // namespace ambit::fault

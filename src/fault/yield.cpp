@@ -1,0 +1,53 @@
+#include "fault/yield.h"
+
+#include "util/error.h"
+
+namespace ambit::fault {
+
+bool naive_programmable(const core::GnorPla& pla, const DefectMap& defects) {
+  const core::GnorPlane& plane = pla.product_plane();
+  check(defects.rows() >= plane.rows() && defects.cols() == plane.cols(),
+        "naive_programmable: defect map too small");
+  for (int p = 0; p < plane.rows(); ++p) {
+    if (!row_compatible(plane, p, defects, p)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<YieldPoint> yield_sweep(const core::GnorPla& pla,
+                                    const std::vector<double>& defect_rates,
+                                    const YieldSpec& spec) {
+  check(spec.trials > 0, "yield_sweep: need at least one trial");
+  check(spec.spare_rows >= 0, "yield_sweep: negative spare rows");
+  std::vector<YieldPoint> curve;
+  Rng rng(spec.seed);
+  for (const double rate : defect_rates) {
+    YieldPoint point;
+    point.defect_rate = rate;
+    int naive_ok = 0;
+    int repaired_ok = 0;
+    long long relocations = 0;
+    for (int t = 0; t < spec.trials; ++t) {
+      const DefectMap defects =
+          sample_defects(pla.num_products() + spec.spare_rows,
+                         pla.num_inputs(), rate, rng);
+      naive_ok += naive_programmable(pla, defects);
+      const RepairResult repair =
+          repair_product_plane(pla, defects, spec.spare_rows);
+      if (repair.success) {
+        ++repaired_ok;
+        relocations += repair.relocated;
+      }
+    }
+    point.naive_yield = static_cast<double>(naive_ok) / spec.trials;
+    point.repaired_yield = static_cast<double>(repaired_ok) / spec.trials;
+    point.mean_relocations =
+        repaired_ok > 0 ? static_cast<double>(relocations) / repaired_ok : 0;
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+}  // namespace ambit::fault

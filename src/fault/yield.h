@@ -1,0 +1,49 @@
+// Monte-Carlo yield analysis of defective GNOR PLAs.
+//
+// For a sweep of per-cell defect rates, estimates the probability that
+// a mapped PLA can be manufactured working:
+//
+//   * naive yield    — the configuration is programmed onto the nominal
+//                      rows; the array works iff every required cell is
+//                      compatible in place (no repair);
+//   * repaired yield — the defect-aware matcher (repair.h) may permute
+//                      product rows and use spare rows.
+//
+// The spread between the two curves is the paper's §5 argument that
+// the regular, individually-programmable architecture "is expected to
+// improve the yield of the unreliable devices making up the PLA".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/gnor_pla.h"
+#include "fault/repair.h"
+
+namespace ambit::fault {
+
+/// One point of the yield curve.
+struct YieldPoint {
+  double defect_rate = 0;
+  double naive_yield = 0;
+  double repaired_yield = 0;
+  double mean_relocations = 0;  ///< over successful repairs
+};
+
+/// Experiment parameters.
+struct YieldSpec {
+  int spare_rows = 4;
+  int trials = 200;
+  std::uint64_t seed = 99;
+};
+
+/// True when `pla`'s product plane can be programmed on its nominal
+/// rows under `defects` (rows 0..products-1) without any remapping.
+bool naive_programmable(const core::GnorPla& pla, const DefectMap& defects);
+
+/// Runs the Monte-Carlo sweep over `defect_rates`.
+std::vector<YieldPoint> yield_sweep(const core::GnorPla& pla,
+                                    const std::vector<double>& defect_rates,
+                                    const YieldSpec& spec = {});
+
+}  // namespace ambit::fault

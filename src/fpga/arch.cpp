@@ -1,0 +1,54 @@
+#include "fpga/arch.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace ambit::fpga {
+
+namespace {
+
+/// The CLB's internal PLA dimensions: clb_max_inputs inputs, capacity
+/// outputs, and a product row per packed block pair (a small
+/// fixed-depth PLA; 2 products per block is a conventional sizing).
+tech::PlaDimensions clb_pla_dimensions(const FpgaArch& arch) {
+  return tech::PlaDimensions{.inputs = arch.clb_max_inputs,
+                             .outputs = arch.clb_capacity,
+                             .products = 2 * arch.clb_capacity};
+}
+
+}  // namespace
+
+FpgaArch make_standard_arch(int width, int height,
+                            const tech::CnfetElectrical& e) {
+  check(width > 0 && height > 0, "make_standard_arch: bad grid");
+  FpgaArch arch;
+  arch.grid_width = width;
+  arch.grid_height = height;
+  arch.clb_delay_s =
+      tech::classical_pla_cycle_s(clb_pla_dimensions(arch), e) /
+      arch.clb_drive_factor;
+  return arch;
+}
+
+FpgaArch make_cnfet_arch(const FpgaArch& standard,
+                         const tech::CnfetElectrical& e) {
+  FpgaArch arch = standard;
+  // Same die, half-area tiles: double the tile count. Re-shape the
+  // grid to the squarest W×H with W·H >= 2 · standard tiles.
+  const int target = 2 * standard.num_tiles();
+  int w = static_cast<int>(std::ceil(std::sqrt(static_cast<double>(target))));
+  while (w * (target / w + (target % w == 0 ? 0 : 1)) < target) {
+    ++w;
+  }
+  const int h = target / w + (target % w == 0 ? 0 : 1);
+  arch.grid_width = w;
+  arch.grid_height = h;
+  // Half-area tile: pitch shrinks by sqrt(2).
+  arch.tile_pitch_m = standard.tile_pitch_m / std::sqrt(2.0);
+  arch.clb_delay_s = tech::gnor_pla_cycle_s(clb_pla_dimensions(arch), e) /
+                     arch.clb_drive_factor;
+  return arch;
+}
+
+}  // namespace ambit::fpga

@@ -1,0 +1,81 @@
+// Island-style FPGA architecture model (paper §5, Table 2 emulation).
+//
+// A W×H grid of CLB tiles separated by routing channels of fixed
+// capacity. Two variants are compared:
+//
+//   * STANDARD: classical PLA-based CLBs (replicated input columns),
+//     full-size tiles;
+//   * CNFET: GNOR-PLA CLBs at HALF the tile area — the paper's
+//     emulation "used a classical [FPGA] with half of the area for
+//     every CLB" — so the same die offers twice the tile count and the
+//     tile pitch shrinks by √2, which scales every wire segment's RC.
+//
+// The CLB internal delay is derived from the PLA delay model in
+// tech/delay_model.h (classical vs GNOR plane widths), keeping the
+// whole Table 2 pipeline on one consistent electrical model.
+#pragma once
+
+#include "tech/area_model.h"
+#include "tech/delay_model.h"
+#include "tech/technology.h"
+
+namespace ambit::fpga {
+
+/// Geometry + electrical parameters of one FPGA variant.
+struct FpgaArch {
+  int grid_width = 12;   ///< CLB columns
+  int grid_height = 12;  ///< CLB rows
+  int channel_width = 8; ///< wire tracks per channel segment
+
+  /// CLB capacity: packable logic blocks per CLB.
+  int clb_capacity = 4;
+  /// Distinct input nets a CLB can accept.
+  int clb_max_inputs = 10;
+
+  /// Tile pitch [m]; wire R/C scale with it (half-area CLBs shrink it
+  /// by √2, which is how the CNFET die speeds up its interconnect).
+  double tile_pitch_m = 40e-6;
+  /// Wire resistance / capacitance per metre of routed track.
+  double wire_r_per_m = 2.0e6;   // 2 Ω/µm
+  double wire_c_per_m = 300e-12; // 0.3 fF/µm
+  /// Intrinsic switch self-delay [s] (pitch-independent part).
+  double switch_delay_s = 15e-12;
+  /// On-resistance of the routing switch driving a segment [Ω].
+  double switch_r_ohm = 5e3;
+  /// Crosstalk loading: neighbouring occupied tracks add coupling
+  /// capacitance (Miller effect), so a segment in a channel at
+  /// utilization u sees C_eff = C · (1 + coupling_factor · u). This is
+  /// what makes a 99%-occupied die slow even when it still routes —
+  /// the paper's "delay, which highly depends on signal routing in
+  /// FPGA".
+  double coupling_factor = 2.0;
+  /// CLB output drivers are sized stronger than a single array cell;
+  /// divides the raw PLA cycle time from the delay model.
+  double clb_drive_factor = 2.0;
+  /// CLB logic delay [s] (set from the PLA delay model by make_*).
+  double clb_delay_s = 1.0e-9;
+
+  int num_tiles() const { return grid_width * grid_height; }
+
+  /// Elmore delay of one routed channel segment at channel utilization
+  /// `utilization` (0..1): switch self-delay + switch resistance
+  /// charging the coupling-loaded segment wire + the wire's own RC.
+  double segment_delay_s(double utilization = 0.0) const {
+    const double rw = wire_r_per_m * tile_pitch_m;
+    const double cw = wire_c_per_m * tile_pitch_m *
+                      (1.0 + coupling_factor * utilization);
+    return switch_delay_s + 0.69 * (switch_r_ohm * cw + 0.5 * rw * cw);
+  }
+};
+
+/// Standard (classical PLA CLB) architecture sized `width` × `height`.
+FpgaArch make_standard_arch(int width, int height,
+                            const tech::CnfetElectrical& e);
+
+/// Ambipolar-CNFET architecture on the SAME die as `standard`: twice
+/// the tile count (grid re-shaped), pitch divided by √2, CLB delay from
+/// the GNOR-PLA model.
+FpgaArch make_cnfet_arch(const FpgaArch& standard,
+                         const tech::CnfetElectrical& e);
+
+}  // namespace ambit::fpga

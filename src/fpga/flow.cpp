@@ -1,0 +1,23 @@
+#include "fpga/flow.h"
+
+namespace ambit::fpga {
+
+FlowReport run_flow(const Netlist& netlist, const FpgaArch& arch,
+                    const FlowOptions& options) {
+  FlowReport report;
+  report.arch = arch;
+  report.packed = pack(netlist, arch, options.mode);
+  report.logic_clusters = report.packed.num_logic_clusters();
+  report.io_pads =
+      static_cast<int>(report.packed.clusters.size()) - report.logic_clusters;
+  report.nets_routed = static_cast<int>(report.packed.nets.size());
+  report.occupancy =
+      static_cast<double>(report.logic_clusters) / arch.num_tiles();
+
+  report.placement = place(report.packed, arch, options.place);
+  report.routing = route(report.packed, arch, report.placement, options.route);
+  report.timing = analyze_timing(netlist, report.packed, report.routing, arch);
+  return report;
+}
+
+}  // namespace ambit::fpga

@@ -1,0 +1,50 @@
+// End-to-end FPGA implementation flow: pack -> place -> route -> STA.
+//
+// run_flow() is the entry point the Table 2 bench, the fpga_flow
+// example and the tests share. The CNFET emulation (paper §5) is the
+// same netlist run with PackMode::kGnor on make_cnfet_arch():
+// half-area CLBs on the same die, single-rail signals (complements
+// generated inside the GNOR cells), denser packing.
+#pragma once
+
+#include <cstdint>
+
+#include "fpga/arch.h"
+#include "fpga/netlist.h"
+#include "fpga/pack.h"
+#include "fpga/place.h"
+#include "fpga/route.h"
+#include "fpga/timing.h"
+
+namespace ambit::fpga {
+
+/// Everything a flow run produces, for reporting.
+struct FlowReport {
+  FpgaArch arch;
+  PackedNetlist packed;
+  Placement placement;
+  RoutingResult routing;
+  TimingReport timing;
+
+  int logic_clusters = 0;
+  int io_pads = 0;
+  int nets_routed = 0;
+
+  /// Fraction of the die's CLB tiles occupied. All tiles of an
+  /// architecture are equal-sized and tile the die, so this is also
+  /// the occupied AREA fraction that Table 2 reports.
+  double occupancy = 0;
+};
+
+/// Flow-level options.
+struct FlowOptions {
+  PackMode mode = PackMode::kDualRail;
+  PlaceOptions place{};
+  RouteOptions route{};
+};
+
+/// Runs the full implementation flow of `netlist` on `arch`.
+FlowReport run_flow(const Netlist& netlist, const FpgaArch& arch,
+                    const FlowOptions& options = {});
+
+}  // namespace ambit::fpga

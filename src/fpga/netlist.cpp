@@ -1,0 +1,234 @@
+#include "fpga/netlist.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace ambit::fpga {
+
+int Netlist::add_block(Block block) {
+  blocks_.push_back(std::move(block));
+  return static_cast<int>(blocks_.size() - 1);
+}
+
+int Netlist::add_net(std::string name) {
+  nets_.push_back(Net{.name = std::move(name)});
+  return static_cast<int>(nets_.size() - 1);
+}
+
+void Netlist::set_driver(int net, int block) {
+  check(net >= 0 && net < num_nets(), "Netlist::set_driver: bad net");
+  check(block >= 0 && block < num_blocks(), "Netlist::set_driver: bad block");
+  nets_[static_cast<std::size_t>(net)].driver_block = block;
+  blocks_[static_cast<std::size_t>(block)].output_net = net;
+}
+
+void Netlist::add_sink(int net, int block, bool complemented) {
+  check(net >= 0 && net < num_nets(), "Netlist::add_sink: bad net");
+  check(block >= 0 && block < num_blocks(), "Netlist::add_sink: bad block");
+  nets_[static_cast<std::size_t>(net)].sinks.push_back(
+      NetSink{.block = block, .complemented = complemented});
+  blocks_[static_cast<std::size_t>(block)].fanins.push_back(
+      Fanin{.net = net, .complemented = complemented});
+}
+
+const Block& Netlist::block(int i) const {
+  check(i >= 0 && i < num_blocks(), "Netlist::block: index out of range");
+  return blocks_[static_cast<std::size_t>(i)];
+}
+
+const Net& Netlist::net(int i) const {
+  check(i >= 0 && i < num_nets(), "Netlist::net: index out of range");
+  return nets_[static_cast<std::size_t>(i)];
+}
+
+int Netlist::count_kind(BlockKind kind) const {
+  int count = 0;
+  for (const Block& b : blocks_) {
+    count += b.kind == kind;
+  }
+  return count;
+}
+
+int Netlist::count_complemented_nets() const {
+  int count = 0;
+  for (const Net& n : nets_) {
+    count += n.needs_complement();
+  }
+  return count;
+}
+
+void Netlist::validate() const {
+  for (int n = 0; n < num_nets(); ++n) {
+    const Net& net = nets_[static_cast<std::size_t>(n)];
+    check(net.driver_block >= 0 && net.driver_block < num_blocks(),
+          "Netlist::validate: net '" + net.name + "' has no driver");
+    check(block(net.driver_block).output_net == n,
+          "Netlist::validate: driver/output_net mismatch");
+    for (const NetSink& s : net.sinks) {
+      const auto& fi = block(s.block).fanins;
+      const bool found =
+          std::any_of(fi.begin(), fi.end(), [&](const Fanin& f) {
+            return f.net == n && f.complemented == s.complemented;
+          });
+      check(found, "Netlist::validate: sink missing back-reference");
+    }
+  }
+  for (int b = 0; b < num_blocks(); ++b) {
+    const Block& blk = blocks_[static_cast<std::size_t>(b)];
+    for (const Fanin& f : blk.fanins) {
+      check(f.net >= 0 && f.net < num_nets(),
+            "Netlist::validate: dangling fan-in");
+      const auto& sinks = net(f.net).sinks;
+      const bool found =
+          std::any_of(sinks.begin(), sinks.end(), [&](const NetSink& s) {
+            return s.block == b && s.complemented == f.complemented;
+          });
+      check(found, "Netlist::validate: fan-in missing sink entry");
+    }
+    if (blk.kind == BlockKind::kOutput) {
+      check(blk.output_net == -1, "Netlist::validate: output pad drives a net");
+      check(blk.fanins.size() == 1,
+            "Netlist::validate: output pad needs exactly one fan-in");
+    }
+    if (blk.kind == BlockKind::kInput) {
+      check(blk.fanins.empty(), "Netlist::validate: input pad has fan-ins");
+    }
+  }
+}
+
+std::vector<int> Netlist::topological_order() const {
+  std::vector<int> indegree(static_cast<std::size_t>(num_blocks()), 0);
+  for (int b = 0; b < num_blocks(); ++b) {
+    indegree[static_cast<std::size_t>(b)] =
+        static_cast<int>(block(b).fanins.size());
+  }
+  std::queue<int> ready;
+  for (int b = 0; b < num_blocks(); ++b) {
+    if (indegree[static_cast<std::size_t>(b)] == 0) {
+      ready.push(b);
+    }
+  }
+  std::vector<int> order;
+  while (!ready.empty()) {
+    const int b = ready.front();
+    ready.pop();
+    order.push_back(b);
+    const int out = block(b).output_net;
+    if (out < 0) {
+      continue;
+    }
+    for (const NetSink& sink : net(out).sinks) {
+      if (--indegree[static_cast<std::size_t>(sink.block)] == 0) {
+        ready.push(sink.block);
+      }
+    }
+  }
+  check(order.size() == static_cast<std::size_t>(num_blocks()),
+        "Netlist::topological_order: cycle detected");
+  return order;
+}
+
+Netlist generate_circuit(const CircuitSpec& spec, std::uint64_t seed) {
+  check(spec.num_primary_inputs >= spec.fanin_per_block,
+        "generate_circuit: need at least K primary inputs");
+  check(spec.fanin_per_block >= 2, "generate_circuit: K must be >= 2");
+  check(spec.num_levels >= 1, "generate_circuit: need at least one level");
+  check(spec.level_window >= 1, "generate_circuit: level window must be >= 1");
+  Rng rng(seed);
+  Netlist nl;
+
+  // Gaussian draw (Box-Muller) for the spatial locality model.
+  const auto next_gaussian = [&rng]() {
+    const double u1 = std::max(rng.next_double(), 1e-12);
+    const double u2 = rng.next_double();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  };
+
+  // Per level: nets in spatial order (position i/(n-1) within level).
+  std::vector<std::vector<int>> level_nets(
+      static_cast<std::size_t>(spec.num_levels + 1));
+  for (int i = 0; i < spec.num_primary_inputs; ++i) {
+    const int b = nl.add_block(
+        Block{.name = "pi" + std::to_string(i), .kind = BlockKind::kInput});
+    const int n = nl.add_net("npi" + std::to_string(i));
+    nl.set_driver(n, b);
+    level_nets[0].push_back(n);
+  }
+
+  // Picks from `pool` the net nearest to spatial position `p` after a
+  // Gaussian perturbation.
+  const auto pick_near = [&](const std::vector<int>& pool, double p) {
+    const double target =
+        std::clamp(p + next_gaussian() * spec.spatial_sigma, 0.0, 1.0);
+    const auto idx = static_cast<std::size_t>(std::min<double>(
+        static_cast<double>(pool.size()) - 1,
+        std::floor(target * static_cast<double>(pool.size()))));
+    return pool[idx];
+  };
+
+  // Levels 1..L: logic blocks spread evenly; one fan-in always comes
+  // from the level directly below (exact depth), the rest from the
+  // preceding `level_window` levels, all spatially local.
+  int made = 0;
+  for (int level = 1; level <= spec.num_levels; ++level) {
+    const int here = spec.num_logic_blocks / spec.num_levels +
+                     (level <= spec.num_logic_blocks % spec.num_levels ? 1 : 0);
+    for (int g = 0; g < here; ++g, ++made) {
+      const double p = (g + 0.5) / here;  // spatial position of this block
+      const int b = nl.add_block(
+          Block{.name = "lb" + std::to_string(made), .kind = BlockKind::kLogic});
+      const int out = nl.add_net("n" + std::to_string(made));
+      nl.set_driver(out, b);
+
+      std::vector<int> chosen;
+      const auto& below = level_nets[static_cast<std::size_t>(level - 1)];
+      chosen.push_back(pick_near(below, p));
+      int guard = 0;
+      while (static_cast<int>(chosen.size()) < spec.fanin_per_block &&
+             guard++ < 1000) {
+        const int from_level = std::max<int>(
+            0, level - 1 -
+                   static_cast<int>(rng.next_below(
+                       static_cast<std::uint64_t>(spec.level_window))));
+        const auto& pool = level_nets[static_cast<std::size_t>(from_level)];
+        if (pool.empty()) {
+          continue;
+        }
+        const int pick = pick_near(pool, p);
+        if (std::find(chosen.begin(), chosen.end(), pick) == chosen.end()) {
+          chosen.push_back(pick);
+        }
+      }
+      for (const int src : chosen) {
+        nl.add_sink(src, b, rng.next_bool(spec.complement_fanin_rate));
+      }
+      level_nets[static_cast<std::size_t>(level)].push_back(out);
+    }
+  }
+
+  // Primary outputs tap the last level (wrapping into earlier levels
+  // if it is too small).
+  std::vector<int> tap_pool;
+  for (int level = spec.num_levels; level >= 1 && static_cast<int>(tap_pool.size()) < spec.num_primary_outputs;
+       --level) {
+    for (const int n : level_nets[static_cast<std::size_t>(level)]) {
+      tap_pool.push_back(n);
+    }
+  }
+  check(static_cast<int>(tap_pool.size()) >= spec.num_primary_outputs,
+        "generate_circuit: not enough nets for the primary outputs");
+  for (int o = 0; o < spec.num_primary_outputs; ++o) {
+    const int b = nl.add_block(
+        Block{.name = "po" + std::to_string(o), .kind = BlockKind::kOutput});
+    nl.add_sink(tap_pool[static_cast<std::size_t>(o)], b, false);
+  }
+
+  nl.validate();
+  return nl;
+}
+
+}  // namespace ambit::fpga

@@ -1,0 +1,133 @@
+// Gate-level netlist for the PLA-based-FPGA experiment (paper §5,
+// Table 2).
+//
+// Blocks are small logic functions (the units later packed into CLBs)
+// plus primary I/O pads. Every fan-in carries a POLARITY flag: a block
+// may consume a signal in true or complemented form.
+//
+// The two FPGA flows differ in what a complemented fan-in costs:
+//
+//   * STANDARD (classical PLA-based CLBs): complements are real,
+//     separate signals — the driving CLB outputs both rails, the
+//     complement occupies its own routing track and its own CLB input
+//     pin (dual-rail). This is why the paper's standard FPGA routes
+//     almost twice the signals.
+//   * CNFET (GNOR CLBs): the polarity gate inverts inside the cell, so
+//     only the true rail is ever routed and a complemented fan-in
+//     costs nothing extra — "the inverted signals are not routed but
+//     generated internally".
+//
+// The polarity handling lives in pack() (see pack.h), keyed by PackMode.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ambit::fpga {
+
+/// Role of a netlist block.
+enum class BlockKind {
+  kLogic,   ///< K-input logic block (packable into a CLB)
+  kInput,   ///< primary input pad
+  kOutput,  ///< primary output pad
+};
+
+/// One fan-in: the net read and the polarity consumed.
+struct Fanin {
+  int net = -1;
+  bool complemented = false;
+};
+
+/// One block. Fan-ins reference Netlist::nets.
+struct Block {
+  std::string name;
+  BlockKind kind = BlockKind::kLogic;
+  std::vector<Fanin> fanins;
+  int output_net = -1;  ///< -1 for kOutput blocks
+};
+
+/// One sink of a net.
+struct NetSink {
+  int block = -1;
+  bool complemented = false;
+};
+
+/// One net: a driver block and its sinks (with polarity).
+struct Net {
+  std::string name;
+  int driver_block = -1;
+  std::vector<NetSink> sinks;
+
+  /// True when any sink reads the complemented rail.
+  bool needs_complement() const {
+    for (const NetSink& s : sinks) {
+      if (s.complemented) return true;
+    }
+    return false;
+  }
+};
+
+/// A flat gate-level netlist.
+class Netlist {
+ public:
+  int add_block(Block block);
+  int add_net(std::string name);
+
+  /// Connects `block` as the driver of `net` (each net has one driver).
+  void set_driver(int net, int block);
+  /// Adds a fan-in: `block` reads `net` with the given polarity.
+  void add_sink(int net, int block, bool complemented = false);
+
+  int num_blocks() const { return static_cast<int>(blocks_.size()); }
+  int num_nets() const { return static_cast<int>(nets_.size()); }
+  const Block& block(int i) const;
+  const Net& net(int i) const;
+
+  /// Counts blocks of a kind.
+  int count_kind(BlockKind kind) const;
+
+  /// Nets with at least one complemented sink (the signals a standard
+  /// dual-rail flow must route twice).
+  int count_complemented_nets() const;
+
+  /// Consistency check: every net has a driver, fan-in lists and sink
+  /// lists agree, no dangling indices. Throws on violation.
+  void validate() const;
+
+  /// Topological order of blocks (inputs first). Throws on cycles.
+  std::vector<int> topological_order() const;
+
+ private:
+  std::vector<Block> blocks_;
+  std::vector<Net> nets_;
+};
+
+/// Parameters of the synthetic circuit generator.
+struct CircuitSpec {
+  int num_primary_inputs = 16;
+  int num_primary_outputs = 8;
+  int num_logic_blocks = 400;
+  int fanin_per_block = 4;  ///< K
+  /// Probability that a fan-in consumes the complemented polarity.
+  /// At 0.45 with K = 4, ~90% of multi-sink nets end up needing both
+  /// rails — the paper's "signals … reduced by almost the factor 2".
+  double complement_fanin_rate = 0.45;
+  /// Logic depth: blocks are spread evenly over this many levels; each
+  /// block takes at least one fan-in from the previous level (so the
+  /// depth is exact) and the rest from a window of earlier levels.
+  int num_levels = 9;
+  /// How many preceding levels the remaining fan-ins may come from.
+  int level_window = 3;
+  /// Spatial locality: every block gets a position in [0,1]; fan-ins
+  /// are drawn from blocks whose position differs by a Gaussian with
+  /// this sigma. Small sigma = short wires after placement (Rent-style
+  /// locality); 0.5+ = essentially random connectivity.
+  double spatial_sigma = 0.08;
+};
+
+/// Deterministically generates a connected combinational circuit with
+/// polarity-annotated fan-ins and exact logic depth.
+Netlist generate_circuit(const CircuitSpec& spec, std::uint64_t seed);
+
+}  // namespace ambit::fpga

@@ -1,0 +1,203 @@
+#include "fpga/pack.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/error.h"
+
+namespace ambit::fpga {
+
+int PackedNetlist::num_logic_clusters() const {
+  int count = 0;
+  for (const Cluster& c : clusters) {
+    count += !c.is_io;
+  }
+  return count;
+}
+
+namespace {
+
+/// External input signals of cluster ∪ {candidate}: distinct (net,
+/// rail) pairs in dual-rail mode, distinct nets in GNOR mode. Nets
+/// driven inside the cluster are free (both rails are available
+/// internally in either architecture).
+int external_inputs(const Netlist& nl, PackMode mode,
+                    const std::vector<int>& blocks, int candidate) {
+  std::set<int> inside_nets;
+  const auto note_output = [&](int b) {
+    if (nl.block(b).output_net >= 0) {
+      inside_nets.insert(nl.block(b).output_net);
+    }
+  };
+  for (const int b : blocks) {
+    note_output(b);
+  }
+  if (candidate >= 0) {
+    note_output(candidate);
+  }
+  std::set<std::pair<int, bool>> inputs;
+  const auto absorb = [&](int b) {
+    for (const Fanin& f : nl.block(b).fanins) {
+      if (inside_nets.count(f.net) > 0) {
+        continue;
+      }
+      const bool rail = mode == PackMode::kDualRail && f.complemented;
+      inputs.insert({f.net, rail});
+    }
+  };
+  for (const int b : blocks) {
+    absorb(b);
+  }
+  if (candidate >= 0) {
+    absorb(candidate);
+  }
+  return static_cast<int>(inputs.size());
+}
+
+/// Shared-net attraction between a cluster and a candidate block.
+int attraction(const Netlist& nl, const std::vector<int>& blocks,
+               int candidate) {
+  std::set<int> cluster_nets;
+  for (const int b : blocks) {
+    for (const Fanin& f : nl.block(b).fanins) {
+      cluster_nets.insert(f.net);
+    }
+    if (nl.block(b).output_net >= 0) {
+      cluster_nets.insert(nl.block(b).output_net);
+    }
+  }
+  int shared = 0;
+  for (const Fanin& f : nl.block(candidate).fanins) {
+    shared += cluster_nets.count(f.net) > 0;
+  }
+  if (nl.block(candidate).output_net >= 0) {
+    shared += cluster_nets.count(nl.block(candidate).output_net) > 0;
+  }
+  return shared;
+}
+
+}  // namespace
+
+PackedNetlist pack(const Netlist& netlist, const FpgaArch& arch,
+                   PackMode mode) {
+  PackedNetlist packed;
+  packed.mode = mode;
+  packed.cluster_of.assign(static_cast<std::size_t>(netlist.num_blocks()), -1);
+
+  // I/O pads become singleton ring clusters.
+  for (int b = 0; b < netlist.num_blocks(); ++b) {
+    const BlockKind kind = netlist.block(b).kind;
+    if (kind == BlockKind::kInput || kind == BlockKind::kOutput) {
+      Cluster pad;
+      pad.is_io = true;
+      pad.blocks.push_back(b);
+      packed.cluster_of[static_cast<std::size_t>(b)] =
+          static_cast<int>(packed.clusters.size());
+      packed.clusters.push_back(std::move(pad));
+    }
+  }
+
+  // Greedy clustering of logic blocks.
+  std::vector<bool> placed(static_cast<std::size_t>(netlist.num_blocks()),
+                           false);
+  std::vector<int> seeds;
+  for (int b = 0; b < netlist.num_blocks(); ++b) {
+    if (netlist.block(b).kind == BlockKind::kLogic) {
+      seeds.push_back(b);
+    }
+  }
+  std::sort(seeds.begin(), seeds.end(), [&](int a, int b) {
+    const auto degree = [&](int blk) {
+      int d = static_cast<int>(netlist.block(blk).fanins.size());
+      if (netlist.block(blk).output_net >= 0) {
+        d += static_cast<int>(
+            netlist.net(netlist.block(blk).output_net).sinks.size());
+      }
+      return d;
+    };
+    const int da = degree(a);
+    const int db = degree(b);
+    if (da != db) {
+      return da > db;
+    }
+    return a < b;
+  });
+
+  for (const int seed : seeds) {
+    if (placed[static_cast<std::size_t>(seed)]) {
+      continue;
+    }
+    Cluster cluster;
+    cluster.blocks.push_back(seed);
+    placed[static_cast<std::size_t>(seed)] = true;
+
+    while (static_cast<int>(cluster.blocks.size()) < arch.clb_capacity) {
+      int best = -1;
+      int best_attraction = 0;
+      for (const int cand : seeds) {
+        if (placed[static_cast<std::size_t>(cand)]) {
+          continue;
+        }
+        const int att = attraction(netlist, cluster.blocks, cand);
+        if (att <= best_attraction) {
+          continue;  // require positive attraction; ties keep first
+        }
+        if (external_inputs(netlist, mode, cluster.blocks, cand) >
+            arch.clb_max_inputs) {
+          continue;
+        }
+        best = cand;
+        best_attraction = att;
+      }
+      if (best < 0) {
+        break;
+      }
+      cluster.blocks.push_back(best);
+      placed[static_cast<std::size_t>(best)] = true;
+    }
+
+    cluster.input_pins = external_inputs(netlist, mode, cluster.blocks, -1);
+    const int id = static_cast<int>(packed.clusters.size());
+    for (const int b : cluster.blocks) {
+      packed.cluster_of[static_cast<std::size_t>(b)] = id;
+    }
+    packed.clusters.push_back(std::move(cluster));
+  }
+
+  // Routed signals. GNOR: one per boundary-crossing net. Dual-rail:
+  // one per rail that crosses the boundary.
+  for (int n = 0; n < netlist.num_nets(); ++n) {
+    const Net& net = netlist.net(n);
+    const int driver =
+        packed.cluster_of[static_cast<std::size_t>(net.driver_block)];
+    std::set<int> true_sinks;
+    std::set<int> comp_sinks;
+    for (const NetSink& s : net.sinks) {
+      const int c = packed.cluster_of[static_cast<std::size_t>(s.block)];
+      if (c == driver) {
+        continue;
+      }
+      if (mode == PackMode::kDualRail && s.complemented) {
+        comp_sinks.insert(c);
+      } else {
+        true_sinks.insert(c);
+      }
+    }
+    const auto emit = [&](const std::set<int>& sinks, bool rail) {
+      if (sinks.empty()) {
+        return;
+      }
+      PackedNetlist::RoutedNet rn;
+      rn.netlist_net = n;
+      rn.complemented_rail = rail;
+      rn.driver_cluster = driver;
+      rn.sink_clusters.assign(sinks.begin(), sinks.end());
+      packed.nets.push_back(std::move(rn));
+    };
+    emit(true_sinks, false);
+    emit(comp_sinks, true);
+  }
+  return packed;
+}
+
+}  // namespace ambit::fpga

@@ -1,0 +1,62 @@
+// VPack-style clustering of logic blocks into CLBs.
+//
+// Greedy attraction clustering (Betz & Rose): seed each cluster with
+// the most-connected unclustered block, then absorb the block sharing
+// the most nets while capacity and the CLB input budget allow.
+//
+// The PackMode encodes the paper's architectural difference:
+//
+//   * kDualRail (standard PLA-based CLB): a complemented fan-in is a
+//     SEPARATE signal — it occupies its own CLB input pin and, if it
+//     crosses the cluster boundary, its own routed net (the driving
+//     CLB emits both rails). Input budgets fill faster and the router
+//     sees nearly twice the signals.
+//   * kGnor (ambipolar CNFET CLB): polarity is generated inside the
+//     GNOR cell; each net costs one pin and one routed signal no
+//     matter how sinks consume it.
+#pragma once
+
+#include <vector>
+
+#include "fpga/arch.h"
+#include "fpga/netlist.h"
+
+namespace ambit::fpga {
+
+/// Polarity economics of the CLB (see file comment).
+enum class PackMode {
+  kDualRail,  ///< standard: complement = extra pin + extra signal
+  kGnor,      ///< CNFET: complement free (internal inversion)
+};
+
+/// One packed CLB (or I/O pad) plus its external connectivity.
+struct Cluster {
+  std::vector<int> blocks;  ///< netlist block indices
+  bool is_io = false;       ///< pad cluster (placed on the ring)
+  int input_pins = 0;       ///< external input signals consumed
+};
+
+/// The clustered netlist: clusters plus the signals to route.
+struct PackedNetlist {
+  std::vector<Cluster> clusters;
+  /// One routed signal. In dual-rail mode a netlist net with sinks on
+  /// both rails appears TWICE (complemented_rail = false / true).
+  struct RoutedNet {
+    int netlist_net = -1;
+    bool complemented_rail = false;
+    int driver_cluster = -1;
+    std::vector<int> sink_clusters;
+  };
+  std::vector<RoutedNet> nets;
+  PackMode mode = PackMode::kDualRail;
+
+  int num_logic_clusters() const;
+  /// Cluster id of each netlist block.
+  std::vector<int> cluster_of;
+};
+
+/// Packs `netlist` into CLBs under `arch` limits. Deterministic.
+PackedNetlist pack(const Netlist& netlist, const FpgaArch& arch,
+                   PackMode mode);
+
+}  // namespace ambit::fpga

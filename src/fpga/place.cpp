@@ -1,0 +1,168 @@
+#include "fpga/place.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace ambit::fpga {
+namespace {
+
+double net_hpwl(const PackedNetlist::RoutedNet& net,
+                const std::vector<Location>& loc) {
+  int min_x = loc[static_cast<std::size_t>(net.driver_cluster)].x;
+  int max_x = min_x;
+  int min_y = loc[static_cast<std::size_t>(net.driver_cluster)].y;
+  int max_y = min_y;
+  for (const int c : net.sink_clusters) {
+    const Location& l = loc[static_cast<std::size_t>(c)];
+    min_x = std::min(min_x, l.x);
+    max_x = std::max(max_x, l.x);
+    min_y = std::min(min_y, l.y);
+    max_y = std::max(max_y, l.y);
+  }
+  return static_cast<double>(max_x - min_x) + static_cast<double>(max_y - min_y);
+}
+
+}  // namespace
+
+double placement_hpwl(const PackedNetlist& packed,
+                      const std::vector<Location>& locations) {
+  double total = 0;
+  for (const auto& net : packed.nets) {
+    total += net_hpwl(net, locations);
+  }
+  return total;
+}
+
+Placement place(const PackedNetlist& packed, const FpgaArch& arch,
+                const PlaceOptions& options) {
+  const int num_clusters = static_cast<int>(packed.clusters.size());
+  std::vector<int> logic_ids;
+  std::vector<int> pad_ids;
+  for (int c = 0; c < num_clusters; ++c) {
+    (packed.clusters[static_cast<std::size_t>(c)].is_io ? pad_ids : logic_ids)
+        .push_back(c);
+  }
+  check(static_cast<int>(logic_ids.size()) <= arch.num_tiles(),
+        "place: logic clusters exceed grid capacity");
+  const int ring_capacity = 2 * (arch.grid_width + arch.grid_height) + 4;
+  check(static_cast<int>(pad_ids.size()) <= ring_capacity,
+        "place: pads exceed perimeter capacity");
+
+  Rng rng(options.seed);
+  std::vector<Location> loc(static_cast<std::size_t>(num_clusters));
+
+  // Initial placement: logic row-major, pads around the ring.
+  std::vector<int> tile_occupant(
+      static_cast<std::size_t>(arch.num_tiles()), -1);
+  for (std::size_t i = 0; i < logic_ids.size(); ++i) {
+    const int x = static_cast<int>(i) % arch.grid_width;
+    const int y = static_cast<int>(i) / arch.grid_width;
+    loc[static_cast<std::size_t>(logic_ids[i])] = Location{x, y};
+    tile_occupant[i] = logic_ids[i];
+  }
+  {
+    // Ring positions enumerated clockwise.
+    std::vector<Location> ring;
+    for (int x = -1; x <= arch.grid_width; ++x) {
+      ring.push_back(Location{x, -1});
+      ring.push_back(Location{x, arch.grid_height});
+    }
+    for (int y = 0; y < arch.grid_height; ++y) {
+      ring.push_back(Location{-1, y});
+      ring.push_back(Location{arch.grid_width, y});
+    }
+    check(pad_ids.size() <= ring.size(), "place: ring overflow");
+    // Spread pads evenly over the ring.
+    for (std::size_t i = 0; i < pad_ids.size(); ++i) {
+      const std::size_t slot = i * ring.size() / pad_ids.size();
+      loc[static_cast<std::size_t>(pad_ids[i])] = ring[slot];
+    }
+  }
+
+  Placement result;
+  result.initial_hpwl = placement_hpwl(packed, loc);
+  double cost = result.initial_hpwl;
+
+  // Incremental cost: nets touching a cluster.
+  std::vector<std::vector<int>> nets_of(static_cast<std::size_t>(num_clusters));
+  for (int n = 0; n < static_cast<int>(packed.nets.size()); ++n) {
+    const auto& net = packed.nets[static_cast<std::size_t>(n)];
+    nets_of[static_cast<std::size_t>(net.driver_cluster)].push_back(n);
+    for (const int c : net.sink_clusters) {
+      nets_of[static_cast<std::size_t>(c)].push_back(n);
+    }
+  }
+  const auto cost_around = [&](int cluster_a, int cluster_b) {
+    double sum = 0;
+    for (const int n : nets_of[static_cast<std::size_t>(cluster_a)]) {
+      sum += net_hpwl(packed.nets[static_cast<std::size_t>(n)], loc);
+    }
+    if (cluster_b >= 0 && cluster_b != cluster_a) {
+      for (const int n : nets_of[static_cast<std::size_t>(cluster_b)]) {
+        // Avoid double-counting shared nets.
+        const auto& na = nets_of[static_cast<std::size_t>(cluster_a)];
+        if (std::find(na.begin(), na.end(), n) == na.end()) {
+          sum += net_hpwl(packed.nets[static_cast<std::size_t>(n)], loc);
+        }
+      }
+    }
+    return sum;
+  };
+
+  if (!logic_ids.empty() && !packed.nets.empty()) {
+    double temperature = options.initial_temperature;
+    const int moves_per_t = std::max<int>(
+        64, options.moves_per_temperature_per_cluster *
+                static_cast<int>(logic_ids.size()));
+    while (temperature > options.final_temperature) {
+      for (int m = 0; m < moves_per_t; ++m) {
+        ++result.moves_tried;
+        // Pick a logic cluster and a random tile.
+        const int a =
+            logic_ids[rng.next_below(static_cast<std::uint64_t>(logic_ids.size()))];
+        const int tx = static_cast<int>(
+            rng.next_below(static_cast<std::uint64_t>(arch.grid_width)));
+        const int ty = static_cast<int>(
+            rng.next_below(static_cast<std::uint64_t>(arch.grid_height)));
+        const int tile = ty * arch.grid_width + tx;
+        const int b = tile_occupant[static_cast<std::size_t>(tile)];
+        if (b == a) {
+          continue;
+        }
+        const Location old_a = loc[static_cast<std::size_t>(a)];
+        const double before = cost_around(a, b);
+        // Apply: move/swap.
+        loc[static_cast<std::size_t>(a)] = Location{tx, ty};
+        if (b >= 0) {
+          loc[static_cast<std::size_t>(b)] = old_a;
+        }
+        const double after = cost_around(a, b);
+        const double delta = after - before;
+        if (delta <= 0 || rng.next_double() < std::exp(-delta / temperature)) {
+          // Accept: update occupancy.
+          tile_occupant[static_cast<std::size_t>(tile)] = a;
+          const int old_tile = old_a.y * arch.grid_width + old_a.x;
+          tile_occupant[static_cast<std::size_t>(old_tile)] = b;
+          cost += delta;
+          ++result.moves_accepted;
+        } else {
+          // Revert.
+          loc[static_cast<std::size_t>(a)] = old_a;
+          if (b >= 0) {
+            loc[static_cast<std::size_t>(b)] = Location{tx, ty};
+          }
+        }
+      }
+      temperature *= options.cooling;
+    }
+  }
+
+  result.cluster_location = std::move(loc);
+  result.hpwl = placement_hpwl(packed, result.cluster_location);
+  return result;
+}
+
+}  // namespace ambit::fpga

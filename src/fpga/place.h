@@ -1,0 +1,52 @@
+// Simulated-annealing placement (VPR-style).
+//
+// Logic clusters occupy grid tiles; I/O pad clusters sit on a
+// perimeter ring just outside the CLB grid. The optimization objective
+// is total half-perimeter wirelength (HPWL) over inter-cluster nets,
+// annealed with the classic swap/relocate move set and a geometric
+// cooling schedule. Deterministic for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fpga/arch.h"
+#include "fpga/pack.h"
+
+namespace ambit::fpga {
+
+/// A placed location. Logic tiles use x ∈ [0,W), y ∈ [0,H); pads lie on
+/// the ring x = -1 / W or y = -1 / H.
+struct Location {
+  int x = 0;
+  int y = 0;
+};
+
+/// Placement result.
+struct Placement {
+  std::vector<Location> cluster_location;  ///< indexed by cluster id
+  double hpwl = 0;                         ///< final cost, in tile units
+  double initial_hpwl = 0;
+  int moves_accepted = 0;
+  int moves_tried = 0;
+};
+
+/// Annealing knobs.
+struct PlaceOptions {
+  std::uint64_t seed = 1;
+  double initial_temperature = 10.0;
+  double cooling = 0.92;
+  int moves_per_temperature_per_cluster = 12;
+  double final_temperature = 0.005;
+};
+
+/// Places `packed` onto `arch`'s grid. Throws if the logic clusters
+/// exceed the tile count or the pads exceed the ring capacity.
+Placement place(const PackedNetlist& packed, const FpgaArch& arch,
+                const PlaceOptions& options = {});
+
+/// Total HPWL of a placement, in tile units (for verification).
+double placement_hpwl(const PackedNetlist& packed,
+                      const std::vector<Location>& locations);
+
+}  // namespace ambit::fpga

@@ -1,0 +1,235 @@
+#include "fpga/route.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <set>
+
+#include "util/error.h"
+
+namespace ambit::fpga {
+namespace {
+
+/// Clamps a (possibly ring/pad) location onto the CLB grid, which is
+/// where its channel access lives.
+int tile_of(const Location& l, const FpgaArch& arch) {
+  const int x = std::clamp(l.x, 0, arch.grid_width - 1);
+  const int y = std::clamp(l.y, 0, arch.grid_height - 1);
+  return y * arch.grid_width + x;
+}
+
+struct EdgeKey {
+  int a, b;  // canonical: a < b
+  friend bool operator<(const EdgeKey& l, const EdgeKey& r) {
+    return std::tie(l.a, l.b) < std::tie(r.a, r.b);
+  }
+};
+
+EdgeKey make_edge(int t1, int t2) {
+  return t1 < t2 ? EdgeKey{t1, t2} : EdgeKey{t2, t1};
+}
+
+}  // namespace
+
+RoutingResult route(const PackedNetlist& packed, const FpgaArch& arch,
+                    const Placement& placement, const RouteOptions& options) {
+  check(placement.cluster_location.size() == packed.clusters.size(),
+        "route: placement/netlist mismatch");
+  const int tiles = arch.num_tiles();
+  const int w = arch.grid_width;
+
+  const auto neighbours = [&](int tile, int out[4]) {
+    int count = 0;
+    const int x = tile % w;
+    const int y = tile / w;
+    if (x > 0) out[count++] = tile - 1;
+    if (x + 1 < w) out[count++] = tile + 1;
+    if (y > 0) out[count++] = tile - w;
+    if (y + 1 < arch.grid_height) out[count++] = tile + w;
+    return count;
+  };
+
+  std::map<EdgeKey, double> history;
+  std::map<EdgeKey, int> usage;
+
+  RoutingResult result;
+  result.trees.assign(packed.nets.size(), RoutedTree{});
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    usage.clear();
+
+    for (std::size_t ni = 0; ni < packed.nets.size(); ++ni) {
+      const auto& net = packed.nets[ni];
+      RoutedTree tree;
+      const int src =
+          tile_of(placement.cluster_location[static_cast<std::size_t>(
+                      net.driver_cluster)],
+                  arch);
+
+      // Tree state: tiles in the tree with their hop distance from the
+      // driver, plus the set of edges used by THIS net.
+      std::vector<int> dist_from_driver(static_cast<std::size_t>(tiles), -1);
+      dist_from_driver[static_cast<std::size_t>(src)] = 0;
+      std::set<EdgeKey> net_edges;
+
+      for (const int sink_cluster : net.sink_clusters) {
+        const int dst =
+            tile_of(placement.cluster_location[static_cast<std::size_t>(
+                        sink_cluster)],
+                    arch);
+        if (dist_from_driver[static_cast<std::size_t>(dst)] >= 0) {
+          tree.sink_hops.push_back(
+              dist_from_driver[static_cast<std::size_t>(dst)]);
+          continue;  // sink already on the tree
+        }
+        // Dijkstra seeded from every tree tile at cost 0.
+        std::vector<double> cost(static_cast<std::size_t>(tiles),
+                                 std::numeric_limits<double>::infinity());
+        std::vector<int> parent(static_cast<std::size_t>(tiles), -1);
+        using Entry = std::pair<double, int>;
+        std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+        for (int t = 0; t < tiles; ++t) {
+          if (dist_from_driver[static_cast<std::size_t>(t)] >= 0) {
+            cost[static_cast<std::size_t>(t)] = 0;
+            heap.push({0, t});
+          }
+        }
+        while (!heap.empty()) {
+          const auto [c, t] = heap.top();
+          heap.pop();
+          if (c > cost[static_cast<std::size_t>(t)]) {
+            continue;
+          }
+          if (t == dst) {
+            break;
+          }
+          int nb[4];
+          const int n_count = neighbours(t, nb);
+          for (int k = 0; k < n_count; ++k) {
+            const EdgeKey e = make_edge(t, nb[k]);
+            double edge_cost = 1.0;
+            if (const auto h = history.find(e); h != history.end()) {
+              edge_cost += h->second;
+            }
+            if (const auto u = usage.find(e); u != usage.end()) {
+              const int over = u->second + 1 - arch.channel_width;
+              if (over > 0) {
+                edge_cost += options.present_penalty * over;
+              }
+            }
+            if (c + edge_cost < cost[static_cast<std::size_t>(nb[k])]) {
+              cost[static_cast<std::size_t>(nb[k])] = c + edge_cost;
+              parent[static_cast<std::size_t>(nb[k])] = t;
+              heap.push({c + edge_cost, nb[k]});
+            }
+          }
+        }
+        check(cost[static_cast<std::size_t>(dst)] <
+                  std::numeric_limits<double>::infinity(),
+              "route: sink unreachable (grid disconnected?)");
+
+        // Walk back to the tree, adding edges and distances.
+        std::vector<int> path;
+        int t = dst;
+        while (dist_from_driver[static_cast<std::size_t>(t)] < 0) {
+          path.push_back(t);
+          t = parent[static_cast<std::size_t>(t)];
+          require(t >= 0, "route: broken backtrace");
+        }
+        // `t` is the tree tile the path attaches to.
+        int d = dist_from_driver[static_cast<std::size_t>(t)];
+        for (auto it = path.rbegin(); it != path.rend(); ++it) {
+          const EdgeKey e = make_edge(t, *it);
+          if (net_edges.insert(e).second) {
+            ++usage[e];
+          }
+          ++d;
+          dist_from_driver[static_cast<std::size_t>(*it)] = d;
+          t = *it;
+        }
+        tree.sink_hops.push_back(
+            dist_from_driver[static_cast<std::size_t>(dst)]);
+      }
+
+      tree.edges.assign(net_edges.size(), {});
+      std::size_t i = 0;
+      for (const EdgeKey& e : net_edges) {
+        tree.edges[i++] = {e.a, e.b};
+      }
+
+      // Reconstruct the exact edge path to every sink: BFS over the
+      // tree edges from the driver tile.
+      {
+        std::map<int, std::vector<int>> tree_adj;
+        for (const auto& [a, b] : tree.edges) {
+          tree_adj[a].push_back(b);
+          tree_adj[b].push_back(a);
+        }
+        std::map<int, int> bfs_parent;
+        bfs_parent[src] = src;
+        std::queue<int> frontier;
+        frontier.push(src);
+        while (!frontier.empty()) {
+          const int t = frontier.front();
+          frontier.pop();
+          for (const int nb2 : tree_adj[t]) {
+            if (bfs_parent.find(nb2) == bfs_parent.end()) {
+              bfs_parent[nb2] = t;
+              frontier.push(nb2);
+            }
+          }
+        }
+        for (const int sink_cluster : net.sink_clusters) {
+          const int dst =
+              tile_of(placement.cluster_location[static_cast<std::size_t>(
+                          sink_cluster)],
+                      arch);
+          std::vector<std::pair<int, int>> path;
+          int t = dst;
+          require(bfs_parent.count(t) > 0, "route: sink missing from tree");
+          while (t != src) {
+            const int p = bfs_parent[t];
+            const EdgeKey e = make_edge(p, t);
+            path.push_back({e.a, e.b});
+            t = p;
+          }
+          std::reverse(path.begin(), path.end());
+          tree.sink_paths.push_back(std::move(path));
+        }
+      }
+      result.trees[ni] = std::move(tree);
+    }
+
+    // Congestion check.
+    int max_usage = 0;
+    bool overused = false;
+    for (const auto& [edge, count] : usage) {
+      max_usage = std::max(max_usage, count);
+      if (count > arch.channel_width) {
+        overused = true;
+        history[edge] += options.history_increment *
+                         static_cast<double>(count - arch.channel_width);
+      }
+    }
+    result.max_edge_usage = max_usage;
+    result.max_channel_utilization =
+        static_cast<double>(max_usage) / arch.channel_width;
+    result.edge_usage.clear();
+    for (const auto& [edge, count] : usage) {
+      result.edge_usage[{edge.a, edge.b}] = count;
+    }
+    if (!overused) {
+      result.success = true;
+      break;
+    }
+  }
+
+  result.total_wirelength = 0;
+  for (const auto& tree : result.trees) {
+    result.total_wirelength += static_cast<long long>(tree.edges.size());
+  }
+  return result;
+}
+
+}  // namespace ambit::fpga

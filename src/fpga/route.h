@@ -1,0 +1,63 @@
+// Negotiated-congestion global router (PathFinder-lite).
+//
+// Routing abstraction: nets travel over the channel graph whose nodes
+// are CLB tiles and whose edges are the channel segments between
+// adjacent tiles, each with capacity = channel_width tracks. Every net
+// is routed as a tree (driver tile -> each sink tile, Dijkstra seeded
+// from the partial tree). Congestion is resolved PathFinder-style:
+// iterate rip-up-and-reroute with edge costs
+//
+//     cost(e) = 1 + history(e) + present_penalty · overuse(e)
+//
+// until no edge exceeds its capacity. Per-sink hop counts are recorded
+// for timing analysis; under congestion nets detour, which is exactly
+// the mechanism that slows the paper's fully-occupied standard FPGA.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "fpga/arch.h"
+#include "fpga/pack.h"
+#include "fpga/place.h"
+
+namespace ambit::fpga {
+
+/// One routed net: tree edges plus per-sink paths.
+struct RoutedTree {
+  /// Channel edges used (tile-pair keys, canonical order).
+  std::vector<std::pair<int, int>> edges;
+  /// Hop count from the driver to each sink (parallel to the packed
+  /// net's sink_clusters).
+  std::vector<int> sink_hops;
+  /// Exact edge sequence from driver to each sink (for timing with
+  /// per-edge congestion loading).
+  std::vector<std::vector<std::pair<int, int>>> sink_paths;
+};
+
+/// Full routing result.
+struct RoutingResult {
+  bool success = false;
+  int iterations = 0;
+  std::vector<RoutedTree> trees;  ///< parallel to packed.nets
+  long long total_wirelength = 0; ///< sum of tree edge counts
+  int max_edge_usage = 0;
+  double max_channel_utilization = 0;  ///< max usage / capacity
+  /// Final usage per channel edge (canonical tile-pair key).
+  std::map<std::pair<int, int>, int> edge_usage;
+};
+
+/// Router knobs.
+struct RouteOptions {
+  int max_iterations = 40;
+  double history_increment = 0.4;
+  double present_penalty = 3.0;
+};
+
+/// Routes all inter-cluster nets of a placed design.
+RoutingResult route(const PackedNetlist& packed, const FpgaArch& arch,
+                    const Placement& placement,
+                    const RouteOptions& options = {});
+
+}  // namespace ambit::fpga

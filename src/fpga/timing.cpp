@@ -1,0 +1,96 @@
+#include "fpga/timing.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/error.h"
+
+namespace ambit::fpga {
+
+TimingReport analyze_timing(const Netlist& netlist, const PackedNetlist& packed,
+                            const RoutingResult& routing,
+                            const FpgaArch& arch) {
+  check(routing.trees.size() == packed.nets.size(),
+        "analyze_timing: routing/netlist mismatch");
+
+  const std::vector<int>& cluster_of = packed.cluster_of;
+
+  // Inter-cluster net delay per (net, rail, sink cluster): sum of the
+  // congestion-loaded segment delays along the routed path.
+  const auto edge_delay = [&](const std::pair<int, int>& edge) {
+    double utilization = 0;
+    const auto it = routing.edge_usage.find(edge);
+    if (it != routing.edge_usage.end()) {
+      utilization = static_cast<double>(it->second) / arch.channel_width;
+    }
+    return arch.segment_delay_s(utilization);
+  };
+  std::map<std::tuple<int, bool, int>, double> net_sink_delay;
+  for (std::size_t ni = 0; ni < packed.nets.size(); ++ni) {
+    const auto& net = packed.nets[ni];
+    const auto& tree = routing.trees[ni];
+    require(tree.sink_paths.size() == net.sink_clusters.size(),
+            "analyze_timing: tree sink arity mismatch");
+    for (std::size_t s = 0; s < net.sink_clusters.size(); ++s) {
+      double delay = 0;
+      for (const auto& edge : tree.sink_paths[s]) {
+        delay += edge_delay(edge);
+      }
+      net_sink_delay[{net.netlist_net, net.complemented_rail,
+                      net.sink_clusters[s]}] = delay;
+    }
+  }
+
+  // Longest-path over blocks in topological order.
+  const std::vector<int> order = netlist.topological_order();
+  std::vector<double> departure(static_cast<std::size_t>(netlist.num_blocks()),
+                                0);
+  std::vector<int> levels(static_cast<std::size_t>(netlist.num_blocks()), 0);
+  std::vector<double> routing_time(
+      static_cast<std::size_t>(netlist.num_blocks()), 0);
+  TimingReport report;
+
+  for (const int b : order) {
+    const Block& blk = netlist.block(b);
+    double arrival = 0;
+    int level_in = 0;
+    double route_in = 0;
+    for (const Fanin& f : blk.fanins) {
+      const int driver = netlist.net(f.net).driver_block;
+      double wire = 0;
+      const bool rail =
+          packed.mode == PackMode::kDualRail && f.complemented;
+      const auto it = net_sink_delay.find(
+          {f.net, rail, cluster_of[static_cast<std::size_t>(b)]});
+      if (it != net_sink_delay.end()) {
+        wire = it->second;
+      }
+      const double candidate = departure[static_cast<std::size_t>(driver)] + wire;
+      if (candidate > arrival) {
+        arrival = candidate;
+        level_in = levels[static_cast<std::size_t>(driver)];
+        route_in = routing_time[static_cast<std::size_t>(driver)] + wire;
+      }
+    }
+    const bool is_logic = blk.kind == BlockKind::kLogic;
+    departure[static_cast<std::size_t>(b)] =
+        arrival + (is_logic ? arch.clb_delay_s : 0);
+    levels[static_cast<std::size_t>(b)] = level_in + (is_logic ? 1 : 0);
+    routing_time[static_cast<std::size_t>(b)] = route_in;
+
+    if (departure[static_cast<std::size_t>(b)] > report.critical_path_s) {
+      report.critical_path_s = departure[static_cast<std::size_t>(b)];
+      report.logic_levels = levels[static_cast<std::size_t>(b)];
+      report.routing_fraction =
+          report.critical_path_s > 0
+              ? routing_time[static_cast<std::size_t>(b)] /
+                    report.critical_path_s
+              : 0;
+    }
+  }
+  report.fmax_hz =
+      report.critical_path_s > 0 ? 1.0 / report.critical_path_s : 0;
+  return report;
+}
+
+}  // namespace ambit::fpga

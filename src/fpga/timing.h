@@ -1,0 +1,36 @@
+// Static timing analysis over the placed-and-routed design.
+//
+// Block-level longest path: every logic/inverter block traversal costs
+// one CLB delay (a block feeding a block in the same CLB re-enters the
+// PLA, so per-block CLB delay is the physical behaviour, not just a
+// simplification); every inter-cluster net hop costs one channel
+// segment delay (wire RC + switch) taken from the architecture. The
+// critical path ends at a primary output; Fmax = 1 / critical path.
+#pragma once
+
+#include "fpga/arch.h"
+#include "fpga/netlist.h"
+#include "fpga/pack.h"
+#include "fpga/place.h"
+#include "fpga/route.h"
+
+namespace ambit::fpga {
+
+/// Timing analysis result.
+struct TimingReport {
+  double critical_path_s = 0;
+  double fmax_hz = 0;
+  /// Share of the critical path spent in routing (vs CLB logic).
+  double routing_fraction = 0;
+  /// Longest chain of CLB traversals.
+  int logic_levels = 0;
+};
+
+/// Runs block-level STA. `routing` must come from route() on the same
+/// packed netlist and placement.
+TimingReport analyze_timing(const Netlist& netlist,
+                            const PackedNetlist& packed,
+                            const RoutingResult& routing,
+                            const FpgaArch& arch);
+
+}  // namespace ambit::fpga

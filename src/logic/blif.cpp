@@ -1,0 +1,77 @@
+#include "logic/blif.h"
+
+#include <fstream>
+#include <ostream>
+
+#include "util/error.h"
+
+namespace ambit::logic {
+
+void write_blif(std::ostream& out, const Cover& cover,
+                const std::string& model_name,
+                const std::vector<std::string>& input_labels,
+                const std::vector<std::string>& output_labels) {
+  check(input_labels.empty() ||
+            static_cast<int>(input_labels.size()) == cover.num_inputs(),
+        "write_blif: input label arity mismatch");
+  check(output_labels.empty() ||
+            static_cast<int>(output_labels.size()) == cover.num_outputs(),
+        "write_blif: output label arity mismatch");
+  const auto in_name = [&](int i) {
+    return input_labels.empty() ? "in" + std::to_string(i)
+                                : input_labels[static_cast<std::size_t>(i)];
+  };
+  const auto out_name = [&](int j) {
+    return output_labels.empty() ? "out" + std::to_string(j)
+                                 : output_labels[static_cast<std::size_t>(j)];
+  };
+
+  out << ".model " << model_name << "\n.inputs";
+  for (int i = 0; i < cover.num_inputs(); ++i) {
+    out << ' ' << in_name(i);
+  }
+  out << "\n.outputs";
+  for (int j = 0; j < cover.num_outputs(); ++j) {
+    out << ' ' << out_name(j);
+  }
+  out << "\n";
+
+  for (int j = 0; j < cover.num_outputs(); ++j) {
+    out << ".names";
+    for (int i = 0; i < cover.num_inputs(); ++i) {
+      out << ' ' << in_name(i);
+    }
+    out << ' ' << out_name(j) << "\n";
+    bool any = false;
+    for (const Cube& c : cover) {
+      if (!c.output(j)) {
+        continue;
+      }
+      any = true;
+      for (int i = 0; i < cover.num_inputs(); ++i) {
+        switch (c.input(i)) {
+          case Literal::kZero: out << '0'; break;
+          case Literal::kOne: out << '1'; break;
+          default: out << '-'; break;
+        }
+      }
+      out << " 1\n";
+    }
+    if (!any) {
+      // Constant-0 output: .names block with no rows is exactly that,
+      // but be explicit for tools that dislike empty blocks.
+      out << "# constant 0\n";
+    }
+  }
+  out << ".end\n";
+}
+
+void write_blif_file(const std::string& path, const Cover& cover,
+                     const std::string& model_name) {
+  std::ofstream out(path);
+  check(out.good(), "cannot create BLIF file: " + path);
+  write_blif(out, cover, model_name);
+  check(out.good(), "error while writing BLIF file: " + path);
+}
+
+}  // namespace ambit::logic

@@ -1,0 +1,27 @@
+// BLIF (Berkeley Logic Interchange Format) export.
+//
+// Lets downstream multi-level tools (SIS/ABC-class) consume AMBIT
+// covers: each output becomes one .names block whose rows are the
+// cubes asserting it. Multi-output sharing is representational only in
+// BLIF, so shared cubes are simply repeated per output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "logic/cover.h"
+
+namespace ambit::logic {
+
+/// Writes `cover` as a single-model BLIF netlist. Labels default to
+/// in0…/out0… when the vectors are empty; arity is validated.
+void write_blif(std::ostream& out, const Cover& cover,
+                const std::string& model_name,
+                const std::vector<std::string>& input_labels = {},
+                const std::vector<std::string>& output_labels = {});
+
+/// Writes to disk (creates/truncates `path`).
+void write_blif_file(const std::string& path, const Cover& cover,
+                     const std::string& model_name);
+
+}  // namespace ambit::logic

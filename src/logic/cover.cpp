@@ -1,0 +1,225 @@
+#include "logic/cover.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace ambit::logic {
+
+Cover::Cover(int num_inputs, int num_outputs)
+    : num_inputs_(num_inputs), num_outputs_(num_outputs) {
+  check(num_inputs >= 0, "Cover: negative input count");
+  check(num_outputs >= 1, "Cover: at least one output required");
+}
+
+Cover Cover::universe(int num_inputs, int num_outputs) {
+  Cover f(num_inputs, num_outputs);
+  f.add(Cube::universe(num_inputs, num_outputs));
+  return f;
+}
+
+Cover Cover::parse(int num_inputs, int num_outputs,
+                   const std::vector<std::string>& rows) {
+  Cover f(num_inputs, num_outputs);
+  for (const auto& row : rows) {
+    const auto fields = split_ws(row);
+    check(fields.size() == 2, "Cover::parse: row must be '<inputs> <outputs>'");
+    check(static_cast<int>(fields[0].size()) == num_inputs,
+          "Cover::parse: wrong input arity in row '" + row + "'");
+    check(static_cast<int>(fields[1].size()) == num_outputs,
+          "Cover::parse: wrong output arity in row '" + row + "'");
+    f.add(Cube::parse(fields[0], fields[1]));
+  }
+  return f;
+}
+
+void Cover::add(Cube cube) {
+  check(cube.num_inputs() == num_inputs_ && cube.num_outputs() == num_outputs_,
+        "Cover::add: cube shape mismatch");
+  check(!cube.empty(), "Cover::add: empty cube");
+  cubes_.push_back(std::move(cube));
+}
+
+void Cover::append(const Cover& other) {
+  check(other.num_inputs_ == num_inputs_ && other.num_outputs_ == num_outputs_,
+        "Cover::append: shape mismatch");
+  cubes_.insert(cubes_.end(), other.cubes_.begin(), other.cubes_.end());
+}
+
+void Cover::remove_at(std::size_t i) {
+  require(i < cubes_.size(), "Cover::remove_at: index out of range");
+  cubes_.erase(cubes_.begin() + static_cast<std::ptrdiff_t>(i));
+}
+
+Cover Cover::cofactor(const Cube& p) const {
+  Cover result(num_inputs_, num_outputs_);
+  for (const Cube& c : cubes_) {
+    if (c.intersects(p)) {
+      result.cubes_.push_back(c.cofactor(p));
+    }
+  }
+  return result;
+}
+
+Cover Cover::restricted_to_output(int j) const {
+  check(j >= 0 && j < num_outputs_, "Cover::restricted_to_output: bad index");
+  Cover result(num_inputs_, 1);
+  for (const Cube& c : cubes_) {
+    if (c.output(j)) {
+      Cube single(num_inputs_, 1);
+      for (int i = 0; i < num_inputs_; ++i) {
+        single.set_input(i, c.input(i));
+      }
+      single.set_output(0, true);
+      result.cubes_.push_back(std::move(single));
+    }
+  }
+  return result;
+}
+
+bool Cover::has_universal_input_cube() const {
+  for (const Cube& c : cubes_) {
+    if (c.input_literal_count() == 0 && !c.output_empty()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Cover::and_literal(int var, bool value) {
+  check(var >= 0 && var < num_inputs_, "Cover::and_literal: bad variable");
+  const Literal wanted = value ? Literal::kOne : Literal::kZero;
+  std::vector<Cube> kept;
+  kept.reserve(cubes_.size());
+  for (Cube& c : cubes_) {
+    const Literal lit = c.input(var);
+    if (lit == Literal::kDontCare) {
+      c.set_input(var, wanted);
+      kept.push_back(std::move(c));
+    } else if (lit == wanted) {
+      kept.push_back(std::move(c));
+    }
+    // Opposite literal or empty part: the cube vanishes under the AND.
+  }
+  cubes_ = std::move(kept);
+}
+
+void Cover::sort_and_dedup() {
+  std::sort(cubes_.begin(), cubes_.end(), Cube::lexicographic_less);
+  cubes_.erase(std::unique(cubes_.begin(), cubes_.end()), cubes_.end());
+}
+
+void Cover::remove_single_cube_contained() {
+  std::vector<bool> dead(cubes_.size(), false);
+  for (std::size_t i = 0; i < cubes_.size(); ++i) {
+    if (dead[i]) continue;
+    for (std::size_t j = 0; j < cubes_.size(); ++j) {
+      if (i == j || dead[j]) continue;
+      if (cubes_[i].contains(cubes_[j])) {
+        // Ties (equal cubes) keep the earlier one.
+        if (!(cubes_[j].contains(cubes_[i]) && j < i)) {
+          dead[j] = true;
+        }
+      }
+    }
+  }
+  std::vector<Cube> kept;
+  kept.reserve(cubes_.size());
+  for (std::size_t i = 0; i < cubes_.size(); ++i) {
+    if (!dead[i]) {
+      kept.push_back(std::move(cubes_[i]));
+    }
+  }
+  cubes_ = std::move(kept);
+}
+
+VarOccurrence Cover::var_occurrence(int i) const {
+  check(i >= 0 && i < num_inputs_, "Cover::var_occurrence: bad variable");
+  VarOccurrence occ;
+  for (const Cube& c : cubes_) {
+    switch (c.input(i)) {
+      case Literal::kZero: ++occ.zeros; break;
+      case Literal::kOne: ++occ.ones; break;
+      default: break;
+    }
+  }
+  return occ;
+}
+
+bool Cover::is_unate() const {
+  for (int i = 0; i < num_inputs_; ++i) {
+    const VarOccurrence occ = var_occurrence(i);
+    if (occ.zeros > 0 && occ.ones > 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int Cover::most_binate_var() const {
+  int best = -1;
+  int best_min = -1;
+  int best_total = -1;
+  for (int i = 0; i < num_inputs_; ++i) {
+    const VarOccurrence occ = var_occurrence(i);
+    if (occ.zeros == 0 || occ.ones == 0) {
+      continue;
+    }
+    const int lo = std::min(occ.zeros, occ.ones);
+    const int total = occ.zeros + occ.ones;
+    if (lo > best_min || (lo == best_min && total > best_total)) {
+      best = i;
+      best_min = lo;
+      best_total = total;
+    }
+  }
+  return best;
+}
+
+int Cover::most_frequent_var() const {
+  int best = -1;
+  int best_total = 0;
+  for (int i = 0; i < num_inputs_; ++i) {
+    const VarOccurrence occ = var_occurrence(i);
+    const int total = occ.zeros + occ.ones;
+    if (total > best_total) {
+      best = i;
+      best_total = total;
+    }
+  }
+  return best;
+}
+
+int Cover::total_literals() const {
+  int total = 0;
+  for (const Cube& c : cubes_) {
+    total += c.input_literal_count();
+  }
+  return total;
+}
+
+bool Cover::covers_minterm(std::uint64_t minterm, int out) const {
+  for (const Cube& c : cubes_) {
+    if (c.covers_minterm(minterm, out)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string Cover::to_string() const {
+  std::string text;
+  for (const Cube& c : cubes_) {
+    text += c.to_string();
+    text += '\n';
+  }
+  return text;
+}
+
+bool Cover::operator==(const Cover& other) const {
+  return num_inputs_ == other.num_inputs_ &&
+         num_outputs_ == other.num_outputs_ && cubes_ == other.cubes_;
+}
+
+}  // namespace ambit::logic

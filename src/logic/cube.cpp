@@ -1,0 +1,311 @@
+#include "logic/cube.h"
+
+#include <bit>
+
+#include "util/error.h"
+
+namespace ambit::logic {
+namespace {
+
+constexpr std::uint64_t kEvenBits = 0x5555555555555555ULL;
+
+int word_count(int bits) { return (bits + 63) / 64; }
+
+}  // namespace
+
+Cube::Cube(int num_inputs, int num_outputs)
+    : num_inputs_(num_inputs),
+      num_outputs_(num_outputs),
+      words_(static_cast<std::size_t>(word_count(2 * num_inputs + num_outputs)),
+             0) {
+  check(num_inputs >= 0, "Cube: negative input count");
+  check(num_outputs >= 1, "Cube: at least one output required");
+  // All inputs start as don't-care (11); outputs start clear.
+  for (int i = 0; i < num_inputs_; ++i) {
+    set_input(i, Literal::kDontCare);
+  }
+}
+
+Cube Cube::universe(int num_inputs, int num_outputs) {
+  Cube c(num_inputs, num_outputs);
+  for (int j = 0; j < num_outputs; ++j) {
+    c.set_output(j, true);
+  }
+  return c;
+}
+
+Cube Cube::parse(const std::string& inputs, const std::string& outputs) {
+  Cube c(static_cast<int>(inputs.size()), static_cast<int>(outputs.size()));
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    switch (inputs[i]) {
+      case '0': c.set_input(static_cast<int>(i), Literal::kZero); break;
+      case '1': c.set_input(static_cast<int>(i), Literal::kOne); break;
+      case '-':
+      case '2': c.set_input(static_cast<int>(i), Literal::kDontCare); break;
+      default:
+        throw Error("Cube::parse: bad input character '" +
+                    std::string(1, inputs[i]) + "'");
+    }
+  }
+  for (std::size_t j = 0; j < outputs.size(); ++j) {
+    switch (outputs[j]) {
+      case '1': c.set_output(static_cast<int>(j), true); break;
+      case '0': c.set_output(static_cast<int>(j), false); break;
+      default:
+        throw Error("Cube::parse: bad output character '" +
+                    std::string(1, outputs[j]) + "'");
+    }
+  }
+  return c;
+}
+
+Literal Cube::input(int i) const {
+  require(i >= 0 && i < num_inputs_, "Cube::input index out of range");
+  const int bit = 2 * i;
+  const std::uint64_t pair = (words_[bit / 64] >> (bit % 64)) & 0x3;
+  return static_cast<Literal>(pair);
+}
+
+void Cube::set_input(int i, Literal value) {
+  require(i >= 0 && i < num_inputs_, "Cube::set_input index out of range");
+  const int bit = 2 * i;
+  std::uint64_t& word = words_[bit / 64];
+  word &= ~(std::uint64_t{0x3} << (bit % 64));
+  word |= static_cast<std::uint64_t>(value) << (bit % 64);
+}
+
+bool Cube::output(int j) const {
+  require(j >= 0 && j < num_outputs_, "Cube::output index out of range");
+  const int bit = 2 * num_inputs_ + j;
+  return ((words_[bit / 64] >> (bit % 64)) & 1) != 0;
+}
+
+void Cube::set_output(int j, bool value) {
+  require(j >= 0 && j < num_outputs_, "Cube::set_output index out of range");
+  const int bit = 2 * num_inputs_ + j;
+  if (value) {
+    words_[bit / 64] |= std::uint64_t{1} << (bit % 64);
+  } else {
+    words_[bit / 64] &= ~(std::uint64_t{1} << (bit % 64));
+  }
+}
+
+bool Cube::input_empty() const {
+  // An input part is empty when both of its bits are zero.
+  for (int w = 0; 64 * w < 2 * num_inputs_; ++w) {
+    const int bits_here = std::min(64, 2 * num_inputs_ - 64 * w);
+    const std::uint64_t pair_mask =
+        (bits_here == 64) ? kEvenBits : (kEvenBits & ((std::uint64_t{1} << bits_here) - 1));
+    const std::uint64_t x = words_[w];
+    const std::uint64_t empties = ~x & ~(x >> 1) & pair_mask;
+    if (empties != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Cube::output_empty() const {
+  for (int j = 0; j < num_outputs_; ++j) {
+    if (output(j)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int Cube::input_literal_count() const {
+  int count = 0;
+  for (int i = 0; i < num_inputs_; ++i) {
+    const Literal lit = input(i);
+    if (lit == Literal::kZero || lit == Literal::kOne) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+int Cube::output_count() const {
+  int count = 0;
+  for (int j = 0; j < num_outputs_; ++j) {
+    if (output(j)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+int Cube::distance(const Cube& other) const {
+  require(num_inputs_ == other.num_inputs_ && num_outputs_ == other.num_outputs_,
+          "Cube::distance shape mismatch");
+  int d = 0;
+  // Input parts: 2-bit pairs never straddle a word boundary.
+  for (int w = 0; 64 * w < 2 * num_inputs_; ++w) {
+    const int bits_here = std::min(64, 2 * num_inputs_ - 64 * w);
+    const std::uint64_t pair_mask =
+        (bits_here == 64) ? kEvenBits : (kEvenBits & ((std::uint64_t{1} << bits_here) - 1));
+    const std::uint64_t x = words_[w] & other.words_[w];
+    const std::uint64_t empties = ~x & ~(x >> 1) & pair_mask;
+    d += std::popcount(empties);
+  }
+  // Output part counts as a single part.
+  bool output_meets = false;
+  for (int j = 0; j < num_outputs_ && !output_meets; ++j) {
+    output_meets = output(j) && other.output(j);
+  }
+  if (!output_meets) {
+    ++d;
+  }
+  return d;
+}
+
+bool Cube::intersects(const Cube& other) const { return distance(other) == 0; }
+
+Cube Cube::intersect(const Cube& other) const {
+  require(num_inputs_ == other.num_inputs_ && num_outputs_ == other.num_outputs_,
+          "Cube::intersect shape mismatch");
+  Cube result = *this;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    result.words_[w] &= other.words_[w];
+  }
+  return result;
+}
+
+bool Cube::contains(const Cube& other) const {
+  require(num_inputs_ == other.num_inputs_ && num_outputs_ == other.num_outputs_,
+          "Cube::contains shape mismatch");
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    if ((words_[w] & other.words_[w]) != other.words_[w]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Cube::input_contains(const Cube& other) const {
+  require(num_inputs_ == other.num_inputs_, "Cube::input_contains shape mismatch");
+  for (int w = 0; 64 * w < 2 * num_inputs_; ++w) {
+    const int bits_here = std::min(64, 2 * num_inputs_ - 64 * w);
+    const std::uint64_t mask =
+        (bits_here == 64) ? ~std::uint64_t{0} : ((std::uint64_t{1} << bits_here) - 1);
+    const std::uint64_t a = words_[w] & mask;
+    const std::uint64_t b = other.words_[w] & mask;
+    if ((a & b) != b) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Cube Cube::supercube(const Cube& other) const {
+  require(num_inputs_ == other.num_inputs_ && num_outputs_ == other.num_outputs_,
+          "Cube::supercube shape mismatch");
+  Cube result = *this;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    result.words_[w] |= other.words_[w];
+  }
+  return result;
+}
+
+Cube Cube::consensus(const Cube& other) const {
+  Cube result = intersect(other);
+  if (distance(other) != 1) {
+    // Returns an explicitly empty cube (outputs cleared).
+    for (int j = 0; j < num_outputs_; ++j) {
+      result.set_output(j, false);
+    }
+    for (int i = 0; i < num_inputs_; ++i) {
+      result.set_input(i, Literal::kEmpty);
+    }
+    return result;
+  }
+  // Exactly one part conflicts: raise that part to the union.
+  for (int i = 0; i < num_inputs_; ++i) {
+    if (result.input(i) == Literal::kEmpty) {
+      const auto merged = static_cast<Literal>(
+          static_cast<std::uint8_t>(input(i)) |
+          static_cast<std::uint8_t>(other.input(i)));
+      result.set_input(i, merged);
+      return result;
+    }
+  }
+  // The conflicting part is the output part.
+  for (int j = 0; j < num_outputs_; ++j) {
+    result.set_output(j, output(j) || other.output(j));
+  }
+  return result;
+}
+
+Cube Cube::cofactor(const Cube& p) const {
+  require(num_inputs_ == p.num_inputs_ && num_outputs_ == p.num_outputs_,
+          "Cube::cofactor shape mismatch");
+  Cube result = *this;
+  const std::uint64_t last_mask = last_word_mask();
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    const std::uint64_t mask =
+        (w + 1 == words_.size()) ? last_mask : ~std::uint64_t{0};
+    result.words_[w] = (words_[w] | (~p.words_[w] & mask));
+  }
+  return result;
+}
+
+bool Cube::covers_minterm(std::uint64_t minterm, int out) const {
+  require(num_inputs_ <= 64, "Cube::covers_minterm supports at most 64 inputs");
+  if (!output(out)) {
+    return false;
+  }
+  for (int i = 0; i < num_inputs_; ++i) {
+    const int value = static_cast<int>((minterm >> i) & 1);
+    const int bit = 2 * i + value;
+    if (((words_[bit / 64] >> (bit % 64)) & 1) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Cube::to_string() const {
+  std::string text;
+  text.reserve(static_cast<std::size_t>(num_inputs_ + 1 + num_outputs_));
+  for (int i = 0; i < num_inputs_; ++i) {
+    switch (input(i)) {
+      case Literal::kEmpty: text += 'E'; break;
+      case Literal::kZero: text += '0'; break;
+      case Literal::kOne: text += '1'; break;
+      case Literal::kDontCare: text += '-'; break;
+    }
+  }
+  text += ' ';
+  for (int j = 0; j < num_outputs_; ++j) {
+    text += output(j) ? '1' : '0';
+  }
+  return text;
+}
+
+bool Cube::operator==(const Cube& other) const {
+  return num_inputs_ == other.num_inputs_ &&
+         num_outputs_ == other.num_outputs_ && words_ == other.words_;
+}
+
+bool Cube::lexicographic_less(const Cube& a, const Cube& b) {
+  require(a.num_inputs_ == b.num_inputs_ && a.num_outputs_ == b.num_outputs_,
+          "Cube::lexicographic_less shape mismatch");
+  return a.words_ < b.words_;
+}
+
+std::uint64_t Cube::last_word_mask() const {
+  const int rem = total_bits() % 64;
+  return rem == 0 ? ~std::uint64_t{0} : ((std::uint64_t{1} << rem) - 1);
+}
+
+std::string to_string(Literal lit) {
+  switch (lit) {
+    case Literal::kEmpty: return "ø";
+    case Literal::kZero: return "0";
+    case Literal::kOne: return "1";
+    case Literal::kDontCare: return "-";
+  }
+  return "?";
+}
+
+}  // namespace ambit::logic

@@ -1,0 +1,136 @@
+// Positional-cube representation of product terms.
+//
+// AMBIT uses the classical Espresso encoding for multi-output,
+// single-bit-valued logic:
+//
+//   * each input variable occupies a 2-bit "part":
+//       01 -> the cube covers input value 0   (literal x̄)
+//       10 -> the cube covers input value 1   (literal x)
+//       11 -> don't care                      (variable absent)
+//       00 -> empty part                      (cube covers nothing)
+//   * the outputs form one final part with one bit per output:
+//       bit j set -> the cube is part of output j's cover.
+//
+// All parts are packed LSB-first into an array of 64-bit words, so cube
+// algebra (intersection, containment, supercube) is word-parallel.
+//
+// Conventions used throughout AMBIT:
+//   * a cube is EMPTY when any input part is 00 or the output part is
+//     all zeroes — an empty cube covers no (minterm, output) pair;
+//   * "distance" counts the parts at which two cubes fail to intersect
+//     (Espresso's definition); distance 0 means they intersect.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ambit::logic {
+
+/// State of one input variable inside a cube.
+enum class Literal : std::uint8_t {
+  kEmpty = 0,     ///< 00 — no value allowed (cube is empty)
+  kZero = 1,      ///< 01 — complemented literal (covers input = 0)
+  kOne = 2,       ///< 10 — positive literal (covers input = 1)
+  kDontCare = 3,  ///< 11 — variable dropped from the product
+};
+
+/// A single product term over `num_inputs` binary inputs asserting a
+/// subset of `num_outputs` outputs. Value-semantic, cheaply copyable.
+class Cube {
+ public:
+  /// Constructs the cube with all inputs don't-care and NO outputs
+  /// asserted (an empty cube until at least one output bit is set).
+  Cube(int num_inputs, int num_outputs);
+
+  /// The universal cube: all inputs don't-care, all outputs asserted.
+  static Cube universe(int num_inputs, int num_outputs);
+
+  /// Parses Espresso text, e.g. Cube::parse("10-1", "01"). Throws
+  /// ambit::Error on malformed text.
+  static Cube parse(const std::string& inputs, const std::string& outputs);
+
+  int num_inputs() const { return num_inputs_; }
+  int num_outputs() const { return num_outputs_; }
+
+  /// Reads/writes the part for input variable `i`.
+  Literal input(int i) const;
+  void set_input(int i, Literal value);
+
+  /// Reads/writes output membership bit `j`.
+  bool output(int j) const;
+  void set_output(int j, bool value);
+
+  /// True when some input part is 00.
+  bool input_empty() const;
+  /// True when no output is asserted.
+  bool output_empty() const;
+  /// True when the cube covers no (minterm, output) pair.
+  bool empty() const { return input_empty() || output_empty(); }
+
+  /// Number of inputs that are not don't-care (the product's literals).
+  int input_literal_count() const;
+  /// Number of asserted outputs.
+  int output_count() const;
+
+  /// Espresso distance: number of parts (inputs + the single output
+  /// part) at which the two cubes do not intersect.
+  int distance(const Cube& other) const;
+  /// True iff distance(other) == 0.
+  bool intersects(const Cube& other) const;
+
+  /// Part-wise intersection (bitwise AND). May be an empty cube.
+  Cube intersect(const Cube& other) const;
+
+  /// True when this cube covers `other` (bitwise superset).
+  bool contains(const Cube& other) const;
+
+  /// Containment restricted to the input parts (ignores outputs).
+  bool input_contains(const Cube& other) const;
+
+  /// Smallest cube containing both (bitwise OR).
+  Cube supercube(const Cube& other) const;
+
+  /// Consensus: the largest cube covered by this ∪ other that spans the
+  /// single conflicting part. Returns an empty cube unless distance==1.
+  Cube consensus(const Cube& other) const;
+
+  /// Espresso cofactor of this cube against `p`: part-wise
+  /// this_i | ~p_i. Caller must ensure intersects(p); the output part
+  /// follows the same rule so multi-output cofactoring is uniform.
+  Cube cofactor(const Cube& p) const;
+
+  /// True when the cube covers input assignment `minterm` (bit i of
+  /// `minterm` is the value of input i) for output `out`.
+  bool covers_minterm(std::uint64_t minterm, int out) const;
+
+  /// Espresso text form, e.g. "10-1 01".
+  std::string to_string() const;
+
+  bool operator==(const Cube& other) const;
+
+  /// Deterministic strict weak ordering (for canonical sorting).
+  static bool lexicographic_less(const Cube& a, const Cube& b);
+
+  /// Raw word access for word-parallel algorithms.
+  std::span<const std::uint64_t> words() const { return words_; }
+  std::span<std::uint64_t> mutable_words() { return words_; }
+
+  /// Mask of the valid bits in the last word (other bits are zero).
+  std::uint64_t last_word_mask() const;
+
+ private:
+  friend class Cover;
+
+  int num_inputs_;
+  int num_outputs_;
+  std::vector<std::uint64_t> words_;
+
+  int total_bits() const { return 2 * num_inputs_ + num_outputs_; }
+};
+
+/// Human-readable name for a literal state ("0", "1", "-", "ø").
+std::string to_string(Literal lit);
+
+}  // namespace ambit::logic

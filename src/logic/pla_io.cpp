@@ -1,0 +1,237 @@
+#include "logic/pla_io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace ambit::logic {
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw Error(".pla parse error at line " + std::to_string(line) + ": " +
+              message);
+}
+
+}  // namespace
+
+PlaFile read_pla(std::istream& in, const std::string& name) {
+  PlaFile pla;
+  pla.name = name;
+
+  int num_inputs = -1;
+  int num_outputs = -1;
+  int declared_products = -1;
+  bool saw_type = false;
+  bool done = false;
+  std::vector<std::pair<std::string, std::string>> raw_rows;
+
+  std::string line;
+  int line_no = 0;
+  while (!done && std::getline(in, line)) {
+    ++line_no;
+    // Strip comments ('#' to end of line) and whitespace.
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    const std::string_view text = trim(line);
+    if (text.empty()) {
+      continue;
+    }
+    if (text[0] == '.') {
+      const auto tokens = split_ws(text);
+      const std::string& directive = tokens[0];
+      if (directive == ".i") {
+        if (tokens.size() != 2) fail(line_no, ".i needs one argument");
+        num_inputs = std::stoi(tokens[1]);
+      } else if (directive == ".o") {
+        if (tokens.size() != 2) fail(line_no, ".o needs one argument");
+        num_outputs = std::stoi(tokens[1]);
+      } else if (directive == ".p") {
+        if (tokens.size() != 2) fail(line_no, ".p needs one argument");
+        declared_products = std::stoi(tokens[1]);
+      } else if (directive == ".ilb") {
+        pla.input_labels.assign(tokens.begin() + 1, tokens.end());
+      } else if (directive == ".ob") {
+        pla.output_labels.assign(tokens.begin() + 1, tokens.end());
+      } else if (directive == ".type") {
+        if (tokens.size() != 2) fail(line_no, ".type needs one argument");
+        if (tokens[1] == "f") {
+          pla.type = PlaType::kF;
+        } else if (tokens[1] == "fd") {
+          pla.type = PlaType::kFd;
+        } else {
+          fail(line_no, "unsupported .type '" + tokens[1] + "'");
+        }
+        saw_type = true;
+      } else if (directive == ".e" || directive == ".end") {
+        done = true;
+      } else {
+        fail(line_no, "unknown directive '" + directive + "'");
+      }
+      continue;
+    }
+    // Cube row: "<inputs> <outputs>" or packed "inputsoutputs".
+    const auto tokens = split_ws(text);
+    if (num_inputs < 0 || num_outputs < 0) {
+      fail(line_no, "cube row before .i/.o");
+    }
+    std::string in_part;
+    std::string out_part;
+    if (tokens.size() == 2) {
+      in_part = tokens[0];
+      out_part = tokens[1];
+    } else if (tokens.size() == 1 &&
+               static_cast<int>(tokens[0].size()) == num_inputs + num_outputs) {
+      in_part = tokens[0].substr(0, static_cast<std::size_t>(num_inputs));
+      out_part = tokens[0].substr(static_cast<std::size_t>(num_inputs));
+    } else {
+      fail(line_no, "malformed cube row '" + std::string(text) + "'");
+    }
+    if (static_cast<int>(in_part.size()) != num_inputs) {
+      fail(line_no, "input field has wrong arity");
+    }
+    if (static_cast<int>(out_part.size()) != num_outputs) {
+      fail(line_no, "output field has wrong arity");
+    }
+    raw_rows.emplace_back(std::move(in_part), std::move(out_part));
+  }
+
+  if (num_inputs < 0) throw Error(".pla: missing .i directive");
+  if (num_outputs < 0) throw Error(".pla: missing .o directive");
+  if (!saw_type) pla.type = PlaType::kFd;
+
+  pla.onset = Cover(num_inputs, num_outputs);
+  pla.dcset = Cover(num_inputs, num_outputs);
+
+  for (const auto& [in_part, out_part] : raw_rows) {
+    Cube on(num_inputs, num_outputs);
+    Cube dc(num_inputs, num_outputs);
+    for (int i = 0; i < num_inputs; ++i) {
+      Literal lit;
+      switch (in_part[static_cast<std::size_t>(i)]) {
+        case '0': lit = Literal::kZero; break;
+        case '1': lit = Literal::kOne; break;
+        case '-':
+        case '2': lit = Literal::kDontCare; break;
+        default:
+          throw Error(".pla: bad input character '" +
+                      std::string(1, in_part[static_cast<std::size_t>(i)]) + "'");
+      }
+      on.set_input(i, lit);
+      dc.set_input(i, lit);
+    }
+    bool any_on = false;
+    bool any_dc = false;
+    for (int j = 0; j < num_outputs; ++j) {
+      switch (out_part[static_cast<std::size_t>(j)]) {
+        case '1':
+        case '4':
+          on.set_output(j, true);
+          any_on = true;
+          break;
+        case '-':
+        case '2':
+          if (pla.type == PlaType::kFd) {
+            dc.set_output(j, true);
+            any_dc = true;
+          }
+          break;
+        case '0':
+        case '~':
+          break;
+        default:
+          throw Error(".pla: bad output character '" +
+                      std::string(1, out_part[static_cast<std::size_t>(j)]) + "'");
+      }
+    }
+    if (any_on) pla.onset.add(std::move(on));
+    if (any_dc) pla.dcset.add(std::move(dc));
+  }
+
+  if (declared_products >= 0 &&
+      declared_products != static_cast<int>(raw_rows.size())) {
+    throw Error(".pla: .p declares " + std::to_string(declared_products) +
+                " products but " + std::to_string(raw_rows.size()) +
+                " rows were given");
+  }
+  return pla;
+}
+
+PlaFile read_pla_file(const std::string& path) {
+  std::ifstream in(path);
+  check(in.good(), "cannot open .pla file: " + path);
+  // Derive a short name: basename without extension.
+  std::string name = path;
+  if (const auto slash = name.find_last_of('/'); slash != std::string::npos) {
+    name.erase(0, slash + 1);
+  }
+  if (const auto dot = name.find_last_of('.'); dot != std::string::npos) {
+    name.erase(dot);
+  }
+  return read_pla(in, name);
+}
+
+void write_pla(std::ostream& out, const PlaFile& pla) {
+  const int ni = pla.num_inputs();
+  const int no = pla.num_outputs();
+  out << ".i " << ni << "\n.o " << no << "\n";
+  if (!pla.input_labels.empty()) {
+    out << ".ilb";
+    for (const auto& label : pla.input_labels) out << ' ' << label;
+    out << "\n";
+  }
+  if (!pla.output_labels.empty()) {
+    out << ".ob";
+    for (const auto& label : pla.output_labels) out << ' ' << label;
+    out << "\n";
+  }
+  out << ".type " << (pla.type == PlaType::kF ? "f" : "fd") << "\n";
+  out << ".p " << (pla.onset.size() + pla.dcset.size()) << "\n";
+
+  const auto emit = [&](const Cube& c, char on_char) {
+    std::string row;
+    for (int i = 0; i < ni; ++i) {
+      switch (c.input(i)) {
+        case Literal::kZero: row += '0'; break;
+        case Literal::kOne: row += '1'; break;
+        default: row += '-'; break;
+      }
+    }
+    row += ' ';
+    for (int j = 0; j < no; ++j) {
+      row += c.output(j) ? on_char : '0';
+    }
+    out << row << "\n";
+  };
+  for (const Cube& c : pla.onset) emit(c, '1');
+  for (const Cube& c : pla.dcset) emit(c, '-');
+  out << ".e\n";
+}
+
+void write_pla_file(const std::string& path, const PlaFile& pla) {
+  std::ofstream out(path);
+  check(out.good(), "cannot create .pla file: " + path);
+  write_pla(out, pla);
+  check(out.good(), "error while writing .pla file: " + path);
+}
+
+PlaFile make_pla(const Cover& onset, const std::string& name) {
+  PlaFile pla;
+  pla.name = name;
+  pla.type = PlaType::kFd;
+  pla.onset = onset;
+  pla.dcset = Cover(onset.num_inputs(), onset.num_outputs());
+  for (int i = 0; i < onset.num_inputs(); ++i) {
+    pla.input_labels.push_back("in" + std::to_string(i));
+  }
+  for (int j = 0; j < onset.num_outputs(); ++j) {
+    pla.output_labels.push_back("out" + std::to_string(j));
+  }
+  return pla;
+}
+
+}  // namespace ambit::logic

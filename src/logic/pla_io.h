@@ -1,0 +1,66 @@
+// Espresso .pla file reader/writer.
+//
+// Supports the subset of the Berkeley PLA format used by the MCNC
+// two-level benchmark suite referenced in the paper (Yang, "Logic
+// Synthesis and Optimization Benchmarks", MCNC 1991):
+//
+//   .i N / .o M          input/output counts (required, first)
+//   .p P                 product-term count (optional, validated)
+//   .ilb a b c ...       input labels (optional)
+//   .ob f g ...          output labels (optional)
+//   .type f|fd           cover semantics (default fd)
+//   <cube rows>          inputs over {0,1,-,2}; outputs over
+//                        {0,1,-,2,~,4} with Espresso's meaning
+//   .e / .end            end marker (optional)
+//
+// Output-character semantics per Espresso: '1'/'4' puts the cube in that
+// output's ON-set, '-'/'2' in its DC-set, '0' and '~' assert nothing.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "logic/cover.h"
+
+namespace ambit::logic {
+
+/// Cover semantics declared by the .type directive.
+enum class PlaType {
+  kF,   ///< rows define the ON-set only
+  kFd,  ///< rows define ON-set and DC-set
+};
+
+/// A parsed .pla file: ON-set, DC-set and labels.
+struct PlaFile {
+  std::string name;                        ///< derived from the file name (may be empty)
+  PlaType type = PlaType::kFd;             ///< declared cover semantics
+  std::vector<std::string> input_labels;   ///< .ilb, possibly empty
+  std::vector<std::string> output_labels;  ///< .ob, possibly empty
+  Cover onset;                             ///< F
+  Cover dcset;                             ///< D (empty for .type f)
+
+  PlaFile() : onset(0, 1), dcset(0, 1) {}
+
+  int num_inputs() const { return onset.num_inputs(); }
+  int num_outputs() const { return onset.num_outputs(); }
+};
+
+/// Parses a .pla stream. Throws ambit::Error with a line-numbered
+/// message on malformed input.
+PlaFile read_pla(std::istream& in, const std::string& name = "");
+
+/// Parses a .pla file from disk.
+PlaFile read_pla_file(const std::string& path);
+
+/// Writes `pla` in canonical .pla form (always emits .type).
+void write_pla(std::ostream& out, const PlaFile& pla);
+
+/// Writes to disk; creates/truncates `path`.
+void write_pla_file(const std::string& path, const PlaFile& pla);
+
+/// Convenience: wraps a plain ON-set cover into a PlaFile with
+/// generated labels (in0..inN-1 / out0..outM-1).
+PlaFile make_pla(const Cover& onset, const std::string& name);
+
+}  // namespace ambit::logic

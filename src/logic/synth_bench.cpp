@@ -1,0 +1,42 @@
+#include "logic/synth_bench.h"
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace ambit::logic {
+
+Cover generate_cover(const SynthSpec& spec, std::uint64_t seed) {
+  check(spec.num_inputs >= 1, "generate_cover: need at least one input");
+  check(spec.num_outputs >= 1, "generate_cover: need at least one output");
+  check(spec.literals_per_cube >= 1 &&
+            spec.literals_per_cube <= spec.num_inputs,
+        "generate_cover: literals_per_cube out of range");
+  Rng rng(seed);
+  Cover f(spec.num_inputs, spec.num_outputs);
+  for (int k = 0; k < spec.num_cubes; ++k) {
+    Cube c(spec.num_inputs, spec.num_outputs);
+    // Choose literal positions by shuffling the variable list.
+    std::vector<int> vars(static_cast<std::size_t>(spec.num_inputs));
+    for (int i = 0; i < spec.num_inputs; ++i) {
+      vars[static_cast<std::size_t>(i)] = i;
+    }
+    rng.shuffle(vars);
+    for (int l = 0; l < spec.literals_per_cube; ++l) {
+      const int var = vars[static_cast<std::size_t>(l)];
+      c.set_input(var, rng.next_bool() ? Literal::kOne : Literal::kZero);
+    }
+    c.set_output(static_cast<int>(rng.next_below(
+                     static_cast<std::uint64_t>(spec.num_outputs))),
+                 true);
+    for (int j = 0; j < spec.num_outputs; ++j) {
+      if (rng.next_bool(spec.extra_output_rate)) {
+        c.set_output(j, true);
+      }
+    }
+    f.add(std::move(c));
+  }
+  f.sort_and_dedup();
+  return f;
+}
+
+}  // namespace ambit::logic

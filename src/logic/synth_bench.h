@@ -1,0 +1,37 @@
+// Deterministic synthetic benchmark functions.
+//
+// The MCNC two-level suite the paper uses (max46, apla, t2) is not
+// redistributable here, so AMBIT reconstructs functions with the SAME
+// minimized dimensions (inputs, outputs, products) — the only
+// quantities the paper's area model consumes. generate_cover() draws a
+// reproducible random cover from a seed; the committed files in
+// benchmarks/data/ were produced by searching seeds until the Espresso
+// result hit the published product count exactly (see DESIGN.md §4).
+//
+// The generator is also the workload source for property tests and for
+// the crossover/phase-optimization sweeps.
+#pragma once
+
+#include <cstdint>
+
+#include "logic/cover.h"
+
+namespace ambit::logic {
+
+/// Shape and style parameters of a synthetic cover.
+struct SynthSpec {
+  int num_inputs = 8;
+  int num_outputs = 1;
+  int num_cubes = 16;
+  /// Literals per cube (rest are don't-care); higher values give more
+  /// specific, harder-to-merge cubes.
+  int literals_per_cube = 5;
+  /// Mean asserted outputs per cube (at least 1 is always asserted).
+  double extra_output_rate = 0.15;
+};
+
+/// Draws a deterministic random cover. Same (spec, seed) -> same cover
+/// on every platform.
+Cover generate_cover(const SynthSpec& spec, std::uint64_t seed);
+
+}  // namespace ambit::logic

@@ -1,0 +1,140 @@
+#include "logic/truth_table.h"
+
+#include <bit>
+
+#include "util/error.h"
+
+namespace ambit::logic {
+
+TruthTable::TruthTable(int num_inputs, int num_outputs)
+    : num_inputs_(num_inputs), num_outputs_(num_outputs) {
+  check(num_inputs >= 0 && num_inputs <= kMaxInputs,
+        "TruthTable: input count out of range");
+  check(num_outputs >= 1, "TruthTable: at least one output required");
+  const std::uint64_t minterms = std::uint64_t{1} << num_inputs_;
+  words_per_output_ = (minterms + 63) / 64;
+  bits_.assign(words_per_output_ * static_cast<std::uint64_t>(num_outputs_), 0);
+}
+
+TruthTable TruthTable::from_cover(const Cover& cover) {
+  TruthTable table(cover.num_inputs(), cover.num_outputs());
+  const std::uint64_t minterms = table.num_minterms();
+  for (const Cube& c : cover) {
+    // Enumerate the minterms of the cube directly: iterate over the
+    // assignments of its don't-care variables.
+    std::vector<int> free_vars;
+    std::uint64_t base = 0;
+    bool cube_input_empty = false;
+    for (int i = 0; i < cover.num_inputs(); ++i) {
+      switch (c.input(i)) {
+        case Literal::kOne: base |= std::uint64_t{1} << i; break;
+        case Literal::kZero: break;
+        case Literal::kDontCare: free_vars.push_back(i); break;
+        case Literal::kEmpty: cube_input_empty = true; break;
+      }
+    }
+    if (cube_input_empty) {
+      continue;
+    }
+    const std::uint64_t combos = std::uint64_t{1} << free_vars.size();
+    for (std::uint64_t k = 0; k < combos; ++k) {
+      std::uint64_t minterm = base;
+      for (std::size_t b = 0; b < free_vars.size(); ++b) {
+        if ((k >> b) & 1) {
+          minterm |= std::uint64_t{1} << free_vars[b];
+        }
+      }
+      require(minterm < minterms, "TruthTable::from_cover: bad minterm");
+      for (int j = 0; j < cover.num_outputs(); ++j) {
+        if (c.output(j)) {
+          table.set(minterm, j, true);
+        }
+      }
+    }
+  }
+  return table;
+}
+
+bool TruthTable::get(std::uint64_t minterm, int out) const {
+  require(minterm < num_minterms(), "TruthTable::get: minterm out of range");
+  require(out >= 0 && out < num_outputs_, "TruthTable::get: output out of range");
+  const std::uint64_t idx =
+      static_cast<std::uint64_t>(out) * words_per_output_ + minterm / 64;
+  return ((bits_[idx] >> (minterm % 64)) & 1) != 0;
+}
+
+void TruthTable::set(std::uint64_t minterm, int out, bool value) {
+  require(minterm < num_minterms(), "TruthTable::set: minterm out of range");
+  require(out >= 0 && out < num_outputs_, "TruthTable::set: output out of range");
+  const std::uint64_t idx =
+      static_cast<std::uint64_t>(out) * words_per_output_ + minterm / 64;
+  if (value) {
+    bits_[idx] |= std::uint64_t{1} << (minterm % 64);
+  } else {
+    bits_[idx] &= ~(std::uint64_t{1} << (minterm % 64));
+  }
+}
+
+std::uint64_t TruthTable::count_ones(int out) const {
+  require(out >= 0 && out < num_outputs_, "TruthTable::count_ones: bad output");
+  std::uint64_t count = 0;
+  const std::uint64_t start = static_cast<std::uint64_t>(out) * words_per_output_;
+  for (std::uint64_t w = 0; w < words_per_output_; ++w) {
+    count += static_cast<std::uint64_t>(std::popcount(bits_[start + w]));
+  }
+  return count;
+}
+
+TruthTable TruthTable::complemented() const {
+  TruthTable result(num_inputs_, num_outputs_);
+  const std::uint64_t minterms = num_minterms();
+  const std::uint64_t tail = minterms % 64;
+  const std::uint64_t tail_mask =
+      tail == 0 ? ~std::uint64_t{0} : ((std::uint64_t{1} << tail) - 1);
+  for (int j = 0; j < num_outputs_; ++j) {
+    const std::uint64_t start = static_cast<std::uint64_t>(j) * words_per_output_;
+    for (std::uint64_t w = 0; w < words_per_output_; ++w) {
+      const bool last = (w + 1 == words_per_output_);
+      result.bits_[start + w] = ~bits_[start + w] & (last ? tail_mask : ~std::uint64_t{0});
+    }
+  }
+  return result;
+}
+
+bool TruthTable::operator==(const TruthTable& other) const {
+  return num_inputs_ == other.num_inputs_ &&
+         num_outputs_ == other.num_outputs_ && bits_ == other.bits_;
+}
+
+bool equivalent(const Cover& cover, const TruthTable& table) {
+  if (cover.num_inputs() != table.num_inputs() ||
+      cover.num_outputs() != table.num_outputs()) {
+    return false;
+  }
+  return TruthTable::from_cover(cover) == table;
+}
+
+bool equivalent(const Cover& a, const Cover& b) {
+  if (a.num_inputs() != b.num_inputs() || a.num_outputs() != b.num_outputs()) {
+    return false;
+  }
+  return TruthTable::from_cover(a) == TruthTable::from_cover(b);
+}
+
+bool contained_in(const Cover& a, const Cover& b) {
+  if (a.num_inputs() != b.num_inputs() || a.num_outputs() != b.num_outputs()) {
+    return false;
+  }
+  const TruthTable ta = TruthTable::from_cover(a);
+  const TruthTable tb = TruthTable::from_cover(b);
+  for (int j = 0; j < a.num_outputs(); ++j) {
+    for (std::uint64_t m = 0; m < ta.num_minterms(); ++m) {
+      if (ta.get(m, j) && !tb.get(m, j)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace ambit::logic

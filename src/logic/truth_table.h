@@ -1,0 +1,63 @@
+// Exhaustive truth tables for verification.
+//
+// Truth tables are AMBIT's ground truth: tests and benches verify every
+// transformation (Espresso, phase optimization, GNOR mapping, WPLA
+// synthesis, switch-level simulation) by exhaustive comparison for
+// functions of up to kMaxInputs inputs. One bit is stored per
+// (minterm, output) pair.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "logic/cover.h"
+
+namespace ambit::logic {
+
+/// Dense truth table for a multi-output function of up to 24 inputs.
+class TruthTable {
+ public:
+  /// Largest supported input count (2^24 minterms per output).
+  static constexpr int kMaxInputs = 24;
+
+  TruthTable(int num_inputs, int num_outputs);
+
+  /// Evaluates every cube of `cover` over the full input space.
+  static TruthTable from_cover(const Cover& cover);
+
+  int num_inputs() const { return num_inputs_; }
+  int num_outputs() const { return num_outputs_; }
+  std::uint64_t num_minterms() const { return std::uint64_t{1} << num_inputs_; }
+
+  bool get(std::uint64_t minterm, int out) const;
+  void set(std::uint64_t minterm, int out, bool value);
+
+  /// Number of ON minterms of output `out`.
+  std::uint64_t count_ones(int out) const;
+
+  /// Bitwise complement of every output.
+  TruthTable complemented() const;
+
+  bool operator==(const TruthTable& other) const;
+
+ private:
+  int num_inputs_;
+  int num_outputs_;
+  std::uint64_t words_per_output_;
+  // Layout: output-major; each output owns words_per_output_ words.
+  std::vector<std::uint64_t> bits_;
+};
+
+/// True when `cover` and `table` denote the same function.
+bool equivalent(const Cover& cover, const TruthTable& table);
+
+/// True when two covers denote the same function (exhaustive check;
+/// both must have the same shape and at most TruthTable::kMaxInputs
+/// inputs).
+bool equivalent(const Cover& a, const Cover& b);
+
+/// True when cover `a` is semantically contained in cover `b`
+/// (every minterm of a is covered by b), checked exhaustively.
+bool contained_in(const Cover& a, const Cover& b);
+
+}  // namespace ambit::logic

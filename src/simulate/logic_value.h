@@ -1,0 +1,23 @@
+// Four-valued switch-level logic.
+#pragma once
+
+namespace ambit::simulate {
+
+/// Node value in the switch-level simulator.
+enum class Logic {
+  k0,  ///< driven (or held) low
+  k1,  ///< driven (or held) high
+  kZ,  ///< floating with no retained charge
+  kX,  ///< unknown / conflict
+};
+
+/// Human-readable name ("0", "1", "Z", "X").
+const char* to_string(Logic v);
+
+/// True for k0/k1.
+inline bool is_definite(Logic v) { return v == Logic::k0 || v == Logic::k1; }
+
+/// Converts a bool.
+inline Logic from_bool(bool b) { return b ? Logic::k1 : Logic::k0; }
+
+}  // namespace ambit::simulate

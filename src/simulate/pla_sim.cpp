@@ -1,0 +1,127 @@
+#include "simulate/pla_sim.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace ambit::simulate {
+
+using core::CellConfig;
+using core::GnorPla;
+using core::GnorPlane;
+using core::PolarityState;
+
+GnorPlaSimulator::GnorPlaSimulator(const GnorPla& pla,
+                                   const tech::CnfetElectrical& electrical)
+    : pla_(pla), net_(electrical) {
+  const NodeId vdd = net_.add_supply("vdd", Logic::k1);
+  const NodeId gnd = net_.add_supply("gnd", Logic::k0);
+  clk1_ = net_.add_input("clk1");
+  clk2_ = net_.add_input("clk2");
+
+  for (int i = 0; i < pla_.num_inputs(); ++i) {
+    input_nodes_.push_back(net_.add_input("in" + std::to_string(i)));
+  }
+
+  // Builds one dynamic GNOR plane: per row a TPC (p-type, clocked), a
+  // TEV foot (n-type, clocked) and one device per array position.
+  const auto build_plane = [&](const GnorPlane& plane, const char* prefix,
+                               NodeId clk,
+                               const std::vector<NodeId>& column_signals,
+                               std::vector<NodeId>& row_nodes,
+                               std::vector<std::size_t>& cell_devices) {
+    const double row_cap =
+        plane.cols() * (electrical.c_cell_f + electrical.c_wire_per_cell_f);
+    for (int r = 0; r < plane.rows(); ++r) {
+      const std::string base = std::string(prefix) + std::to_string(r);
+      const NodeId row = net_.add_node(base, row_cap);
+      // Foot node between the pull-down cells and TEV.
+      const NodeId foot = net_.add_node(base + "_foot", electrical.c_cell_f);
+      // TPC: precharges the row while clk is low.
+      net_.add_device(PolarityState::kPType, clk, vdd, row);
+      // TEV: enables the pull-down network while clk is high.
+      net_.add_device(PolarityState::kNType, clk, foot, gnd);
+      for (int c = 0; c < plane.cols(); ++c) {
+        cell_devices.push_back(net_.num_devices());
+        net_.add_device(polarity_of(plane.cell(r, c)),
+                        column_signals[static_cast<std::size_t>(c)], row,
+                        foot);
+      }
+      row_nodes.push_back(row);
+    }
+  };
+
+  build_plane(pla_.product_plane(), "p1r", clk1_, input_nodes_, p1_rows_,
+              p1_cell_device_);
+  // Plane 2 cell gates are driven directly by the plane-1 row nodes;
+  // its evaluate clock fires only after plane 1 has settled.
+  build_plane(pla_.output_plane(), "p2r", clk2_, p1_rows_, p2_rows_,
+              p2_cell_device_);
+}
+
+PlaSimResult GnorPlaSimulator::run_cycle(const std::vector<bool>& inputs) {
+  check(static_cast<int>(inputs.size()) == pla_.num_inputs(),
+        "GnorPlaSimulator::run_cycle: input arity mismatch");
+  PlaSimResult result;
+
+  // --- Precharge phase: both clocks low, inputs applied. ---
+  net_.set_value(clk1_, Logic::k0);
+  net_.set_value(clk2_, Logic::k0);
+  for (std::size_t i = 0; i < input_nodes_.size(); ++i) {
+    net_.set_value(input_nodes_[i], from_bool(inputs[i]));
+  }
+  net_.settle();
+  for (const NodeId row : p1_rows_) {
+    result.precharge_delay_s =
+        std::max(result.precharge_delay_s, net_.drive_delay_s(row));
+  }
+  for (const NodeId row : p2_rows_) {
+    result.precharge_delay_s =
+        std::max(result.precharge_delay_s, net_.drive_delay_s(row));
+  }
+
+  // --- Evaluate plane 1 (clk1 high, clk2 still low). ---
+  net_.set_value(clk1_, Logic::k1);
+  net_.settle();
+  for (const NodeId row : p1_rows_) {
+    result.product_lines.push_back(net_.value(row));
+    result.plane1_eval_delay_s =
+        std::max(result.plane1_eval_delay_s, net_.drive_delay_s(row));
+  }
+
+  // --- Evaluate plane 2 on the settled product lines. ---
+  net_.set_value(clk2_, Logic::k1);
+  net_.settle();
+  for (int o = 0; o < pla_.num_outputs(); ++o) {
+    const NodeId row = p2_rows_[static_cast<std::size_t>(o)];
+    Logic v = net_.value(row);
+    result.plane2_eval_delay_s =
+        std::max(result.plane2_eval_delay_s, net_.drive_delay_s(row));
+    if (pla_.buffer_inverted(o)) {
+      if (v == Logic::k0) {
+        v = Logic::k1;
+      } else if (v == Logic::k1) {
+        v = Logic::k0;
+      }
+    }
+    result.outputs.push_back(v);
+  }
+  return result;
+}
+
+void GnorPlaSimulator::override_cell(int plane, int row, int col,
+                                     PolarityState polarity) {
+  check(plane == 1 || plane == 2, "override_cell: plane must be 1 or 2");
+  const GnorPlane& target =
+      plane == 1 ? pla_.product_plane() : pla_.output_plane();
+  check(row >= 0 && row < target.rows() && col >= 0 && col < target.cols(),
+        "override_cell: cell out of range");
+  const auto& table = plane == 1 ? p1_cell_device_ : p2_cell_device_;
+  const std::size_t device =
+      table[static_cast<std::size_t>(row) *
+                static_cast<std::size_t>(target.cols()) +
+            static_cast<std::size_t>(col)];
+  net_.set_device_polarity(device, polarity);
+}
+
+}  // namespace ambit::simulate

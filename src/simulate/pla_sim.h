@@ -1,0 +1,78 @@
+// Switch-level simulation of a two-plane dynamic GNOR PLA.
+//
+// Builds the full transistor-level network of a mapped GnorPla — every
+// array position gets a physical device (off-programmed cells too, so
+// stuck-polarity faults can be injected), plus the TPC/TEV clocking
+// devices of each row (paper §3, Fig. 2) — and runs precharge/evaluate
+// cycles on it:
+//
+//   precharge (clk1 = clk2 = 0): every row charges high through its TPC;
+//   evaluate plane 1 (clk1 = 1):  product rows discharge where the GNOR
+//                                 fires; unfired rows HOLD their charge;
+//   evaluate plane 2 (clk2 = 1):  output rows discharge on the settled
+//                                 product values.
+//
+// The two-phase evaluate clocking is essential, not cosmetic: firing
+// both planes together would let plane 2 discharge on the still-
+// precharged (all-high) product lines, and dynamic charge retention
+// would make that glitch permanent — the classic domino-cascade hazard.
+//
+// Timing comes from the solver's Elmore annotation: the evaluate
+// latency of a plane is the slowest discharging row; a full PLA cycle
+// is precharge + plane-1 evaluate + plane-2 evaluate, which reproduces
+// the delay model in tech/delay_model.h from first principles.
+#pragma once
+
+#include <vector>
+
+#include "core/gnor_pla.h"
+#include "simulate/switch_network.h"
+
+namespace ambit::simulate {
+
+/// Result of one simulated PLA cycle.
+struct PlaSimResult {
+  std::vector<Logic> outputs;        ///< after output buffers
+  std::vector<Logic> product_lines;  ///< plane-1 row values
+  double precharge_delay_s = 0;
+  double plane1_eval_delay_s = 0;
+  double plane2_eval_delay_s = 0;
+
+  /// Total cycle latency.
+  double cycle_s() const {
+    return precharge_delay_s + plane1_eval_delay_s + plane2_eval_delay_s;
+  }
+};
+
+/// Transistor-level simulator for one GnorPla.
+class GnorPlaSimulator {
+ public:
+  GnorPlaSimulator(const core::GnorPla& pla,
+                   const tech::CnfetElectrical& electrical);
+
+  /// Runs one full precharge+evaluate cycle.
+  PlaSimResult run_cycle(const std::vector<bool>& inputs);
+
+  /// Fault injection: overrides the programmed polarity of the device
+  /// at (row, col) of plane 1 or 2 (plane index 1-based to match the
+  /// paper's figures).
+  void override_cell(int plane, int row, int col,
+                     core::PolarityState polarity);
+
+  const SwitchNetwork& network() const { return net_; }
+  int num_inputs() const { return static_cast<int>(input_nodes_.size()); }
+
+ private:
+  core::GnorPla pla_;
+  SwitchNetwork net_;
+  NodeId clk1_;
+  NodeId clk2_;
+  std::vector<NodeId> input_nodes_;
+  std::vector<NodeId> p1_rows_;
+  std::vector<NodeId> p2_rows_;
+  // Device index of cell (row, col) in each plane.
+  std::vector<std::size_t> p1_cell_device_;
+  std::vector<std::size_t> p2_cell_device_;
+};
+
+}  // namespace ambit::simulate

@@ -1,0 +1,282 @@
+#include "simulate/switch_network.h"
+
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "util/error.h"
+
+namespace ambit::simulate {
+namespace {
+
+constexpr double kLn2 = 0.6931471805599453;
+
+/// Disjoint-set forest over node ids.
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(static_cast<std::size_t>(n)) {
+    for (int i = 0; i < n; ++i) {
+      parent_[static_cast<std::size_t>(i)] = i;
+    }
+  }
+  int find(int x) {
+    while (parent_[static_cast<std::size_t>(x)] != x) {
+      parent_[static_cast<std::size_t>(x)] =
+          parent_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(x)])];
+      x = parent_[static_cast<std::size_t>(x)];
+    }
+    return x;
+  }
+  void unite(int a, int b) { parent_[static_cast<std::size_t>(find(a))] = find(b); }
+
+ private:
+  std::vector<int> parent_;
+};
+
+}  // namespace
+
+const char* to_string(Logic v) {
+  switch (v) {
+    case Logic::k0: return "0";
+    case Logic::k1: return "1";
+    case Logic::kZ: return "Z";
+    case Logic::kX: return "X";
+  }
+  return "?";
+}
+
+SwitchNetwork::SwitchNetwork(const tech::CnfetElectrical& electrical)
+    : electrical_(electrical) {}
+
+NodeId SwitchNetwork::add_node(std::string name, double cap_f) {
+  check(cap_f >= 0, "SwitchNetwork: negative capacitance");
+  nodes_.push_back(Node{.name = std::move(name), .cap_f = cap_f});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+NodeId SwitchNetwork::add_supply(std::string name, Logic value) {
+  check(is_definite(value), "SwitchNetwork: supply must be 0 or 1");
+  nodes_.push_back(Node{.name = std::move(name),
+                        .cap_f = 0,
+                        .value = value,
+                        .is_supply = true});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+NodeId SwitchNetwork::add_input(std::string name) {
+  nodes_.push_back(Node{.name = std::move(name),
+                        .cap_f = 0,
+                        .value = Logic::kZ,
+                        .is_input = true});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void SwitchNetwork::add_device(core::PolarityState polarity, NodeId gate,
+                               NodeId a, NodeId b, double width_factor) {
+  check(gate >= 0 && gate < num_nodes() && a >= 0 && a < num_nodes() &&
+            b >= 0 && b < num_nodes(),
+        "SwitchNetwork::add_device: node out of range");
+  check(width_factor > 0, "SwitchNetwork::add_device: width must be positive");
+  devices_.push_back(Device{polarity, gate, a, b, width_factor});
+}
+
+void SwitchNetwork::set_device_polarity(std::size_t index,
+                                        core::PolarityState polarity) {
+  check(index < devices_.size(), "SwitchNetwork: device index out of range");
+  devices_[index].polarity = polarity;
+}
+
+Logic SwitchNetwork::value(NodeId node) const {
+  check(node >= 0 && node < num_nodes(), "SwitchNetwork::value: bad node");
+  return nodes_[static_cast<std::size_t>(node)].value;
+}
+
+void SwitchNetwork::set_value(NodeId node, Logic value) {
+  check(node >= 0 && node < num_nodes(), "SwitchNetwork::set_value: bad node");
+  nodes_[static_cast<std::size_t>(node)].value = value;
+}
+
+const std::string& SwitchNetwork::node_name(NodeId node) const {
+  check(node >= 0 && node < num_nodes(), "SwitchNetwork::node_name: bad node");
+  return nodes_[static_cast<std::size_t>(node)].name;
+}
+
+double SwitchNetwork::drive_delay_s(NodeId node) const {
+  check(node >= 0 && node < num_nodes(), "SwitchNetwork::drive_delay_s: bad node");
+  return nodes_[static_cast<std::size_t>(node)].last_delay_s;
+}
+
+bool SwitchNetwork::sweep() {
+  const int n = num_nodes();
+  // 1. Conduction per device.
+  enum class Conduction { kOn, kOff, kMaybe };
+  std::vector<Conduction> state(devices_.size());
+  for (std::size_t d = 0; d < devices_.size(); ++d) {
+    const Logic g = nodes_[static_cast<std::size_t>(devices_[d].gate)].value;
+    if (devices_[d].polarity == core::PolarityState::kOff) {
+      state[d] = Conduction::kOff;
+    } else if (is_definite(g)) {
+      state[d] = core::conducts(devices_[d].polarity, g == Logic::k1)
+                     ? Conduction::kOn
+                     : Conduction::kOff;
+    } else {
+      state[d] = Conduction::kMaybe;
+    }
+  }
+
+  // 2. Components through conducting devices.
+  UnionFind uf(n);
+  for (std::size_t d = 0; d < devices_.size(); ++d) {
+    if (state[d] == Conduction::kOn) {
+      uf.unite(devices_[d].a, devices_[d].b);
+    }
+  }
+
+  // 3. Resolve each component.
+  struct CompInfo {
+    bool has0 = false, has1 = false, hasX = false;  // strong drivers
+    double cap0 = 0, cap1 = 0, capx = 0;            // retained charge
+    double cap_total = 0;
+  };
+  std::vector<int> root(static_cast<std::size_t>(n));
+  std::vector<CompInfo> info(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    root[static_cast<std::size_t>(i)] = uf.find(i);
+    CompInfo& ci = info[static_cast<std::size_t>(root[static_cast<std::size_t>(i)])];
+    const Node& node = nodes_[static_cast<std::size_t>(i)];
+    if (node.is_supply || node.is_input) {
+      switch (node.value) {
+        case Logic::k0: ci.has0 = true; break;
+        case Logic::k1: ci.has1 = true; break;
+        case Logic::kX: ci.hasX = true; break;
+        case Logic::kZ: break;  // undriven input contributes nothing
+      }
+    } else {
+      ci.cap_total += node.cap_f;
+      switch (node.value) {
+        case Logic::k0: ci.cap0 += node.cap_f; break;
+        case Logic::k1: ci.cap1 += node.cap_f; break;
+        case Logic::kX: ci.capx += node.cap_f; break;
+        case Logic::kZ: break;
+      }
+    }
+  }
+  const auto resolve = [](const CompInfo& ci) {
+    if (ci.hasX || (ci.has0 && ci.has1)) {
+      return Logic::kX;  // rail fight or unknown driver
+    }
+    if (ci.has0) return Logic::k0;
+    if (ci.has1) return Logic::k1;
+    // Floating: charge sharing.
+    if (ci.capx > 0 || (ci.cap0 > 0 && ci.cap1 > 0)) {
+      return Logic::kX;
+    }
+    if (ci.cap0 > 0) return Logic::k0;
+    if (ci.cap1 > 0) return Logic::k1;
+    return Logic::kZ;
+  };
+  std::vector<Logic> comp_value(static_cast<std::size_t>(n), Logic::kZ);
+  for (int i = 0; i < n; ++i) {
+    if (root[static_cast<std::size_t>(i)] == i) {
+      comp_value[static_cast<std::size_t>(i)] =
+          resolve(info[static_cast<std::size_t>(i)]);
+    }
+  }
+
+  // 4. Maybe-conducting devices degrade conflicting neighbours to X.
+  for (std::size_t d = 0; d < devices_.size(); ++d) {
+    if (state[d] != Conduction::kMaybe) {
+      continue;
+    }
+    const int ra = root[static_cast<std::size_t>(devices_[d].a)];
+    const int rb = root[static_cast<std::size_t>(devices_[d].b)];
+    Logic& va = comp_value[static_cast<std::size_t>(ra)];
+    Logic& vb = comp_value[static_cast<std::size_t>(rb)];
+    if (va == vb) {
+      continue;  // connecting equal values changes nothing
+    }
+    if (va == Logic::kZ) {
+      va = vb;  // charge could leak across: adopt neighbour, pessimistic
+    } else if (vb == Logic::kZ) {
+      vb = va;
+    } else {
+      va = Logic::kX;
+      vb = Logic::kX;
+    }
+  }
+
+  // 5. Commit values; track changes.
+  bool changed = false;
+  for (int i = 0; i < n; ++i) {
+    Node& node = nodes_[static_cast<std::size_t>(i)];
+    if (node.is_supply || node.is_input) {
+      continue;
+    }
+    const Logic v = comp_value[static_cast<std::size_t>(root[static_cast<std::size_t>(i)])];
+    if (node.value != v) {
+      node.value = v;
+      changed = true;
+    }
+  }
+
+  // 6. Delay annotation: Dijkstra from strong drivers inside each
+  //    driven component, edge weight = device on-resistance.
+  std::vector<std::vector<std::pair<int, double>>> adj(
+      static_cast<std::size_t>(n));
+  for (std::size_t d = 0; d < devices_.size(); ++d) {
+    if (state[d] == Conduction::kOn) {
+      const double r = electrical_.r_on_ohm / devices_[d].width_factor;
+      adj[static_cast<std::size_t>(devices_[d].a)].push_back({devices_[d].b, r});
+      adj[static_cast<std::size_t>(devices_[d].b)].push_back({devices_[d].a, r});
+    }
+  }
+  std::vector<double> rpath(static_cast<std::size_t>(n),
+                            std::numeric_limits<double>::infinity());
+  using Entry = std::pair<double, int>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (int i = 0; i < n; ++i) {
+    const Node& node = nodes_[static_cast<std::size_t>(i)];
+    if ((node.is_supply || node.is_input) && is_definite(node.value)) {
+      rpath[static_cast<std::size_t>(i)] = 0;
+      heap.push({0, i});
+    }
+  }
+  while (!heap.empty()) {
+    const auto [dist, u] = heap.top();
+    heap.pop();
+    if (dist > rpath[static_cast<std::size_t>(u)]) {
+      continue;
+    }
+    for (const auto& [v, r] : adj[static_cast<std::size_t>(u)]) {
+      if (dist + r < rpath[static_cast<std::size_t>(v)]) {
+        rpath[static_cast<std::size_t>(v)] = dist + r;
+        heap.push({dist + r, v});
+      }
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    Node& node = nodes_[static_cast<std::size_t>(i)];
+    const double r = rpath[static_cast<std::size_t>(i)];
+    if (std::isinf(r)) {
+      node.last_delay_s = 0;  // retained/floating: no drive event
+    } else {
+      const double c =
+          info[static_cast<std::size_t>(root[static_cast<std::size_t>(i)])]
+              .cap_total;
+      node.last_delay_s = kLn2 * r * c;
+    }
+  }
+  return changed;
+}
+
+void SwitchNetwork::settle(int max_sweeps) {
+  for (int i = 0; i < max_sweeps; ++i) {
+    if (!sweep()) {
+      return;
+    }
+  }
+  throw Error("SwitchNetwork::settle: no convergence after " +
+              std::to_string(max_sweeps) + " sweeps");
+}
+
+}  // namespace ambit::simulate

@@ -1,0 +1,105 @@
+// Generic switch-level network solver.
+//
+// A SwitchNetwork is a set of capacitive nodes connected by ambipolar
+// CNFETs acting as switches (conducting or not depending on polarity
+// and gate value). settle() computes the steady state of one clock
+// phase:
+//
+//   1. device conduction is evaluated from current gate node values;
+//   2. nodes group into electrical components through conducting
+//      devices (union-find);
+//   3. a component containing VDD and GND resolves to X (fight);
+//      containing exactly one supply rail resolves to its value;
+//      otherwise the component FLOATS and performs charge sharing:
+//      the retained values of its nodes, weighted by capacitance,
+//      decide the shared value (conflicting charge -> X);
+//   4. devices whose gate is Z/X conduct "maybe": if a maybe-device
+//      bridges components that would resolve differently, both sides
+//      degrade to X (conservative).
+//
+// Because gates may depend on other nodes, settle() iterates to a
+// fixed point (bounded; the PLA structures AMBIT builds are
+// feed-forward per phase and converge in a few sweeps).
+//
+// The solver also reports a first-order Elmore delay per node: the
+// series on-resistance along the conducting path from the driving rail
+// times the total capacitance of the node's component.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/cnfet.h"
+#include "simulate/logic_value.h"
+#include "tech/technology.h"
+
+namespace ambit::simulate {
+
+/// Node id type (index into the network's node table).
+using NodeId = int;
+
+/// A switch-level network of CNFET pass devices.
+class SwitchNetwork {
+ public:
+  explicit SwitchNetwork(const tech::CnfetElectrical& electrical);
+
+  /// Adds a floating node with capacitance `cap_f`; initial value Z.
+  NodeId add_node(std::string name, double cap_f);
+
+  /// Adds a supply rail permanently driving `value`.
+  NodeId add_supply(std::string name, Logic value);
+
+  /// Adds an externally driven node (e.g. primary input, clock); its
+  /// value is set with set_value() and never overwritten by settle().
+  NodeId add_input(std::string name);
+
+  /// Adds a CNFET between `a` and `b`, gated by node `gate`.
+  /// `width_factor` scales conductance and capacitance.
+  void add_device(core::PolarityState polarity, NodeId gate, NodeId a,
+                  NodeId b, double width_factor = 1.0);
+
+  /// Re-programs the polarity of device `index` (fault injection).
+  void set_device_polarity(std::size_t index, core::PolarityState polarity);
+  std::size_t num_devices() const { return devices_.size(); }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+
+  Logic value(NodeId node) const;
+  void set_value(NodeId node, Logic value);
+  const std::string& node_name(NodeId node) const;
+
+  /// Settles the current phase; throws after `max_sweeps` without
+  /// convergence (indicates oscillation, impossible in feed-forward
+  /// structures).
+  void settle(int max_sweeps = 64);
+
+  /// Elmore-style delay estimate for the most recent settle():
+  /// resistance of the conducting path that drove `node` times its
+  /// component's total capacitance [s]; 0 for undriven/retained nodes.
+  double drive_delay_s(NodeId node) const;
+
+ private:
+  struct Node {
+    std::string name;
+    double cap_f = 0;
+    Logic value = Logic::kZ;
+    bool is_supply = false;
+    bool is_input = false;
+    double last_delay_s = 0;
+  };
+  struct Device {
+    core::PolarityState polarity;
+    NodeId gate;
+    NodeId a;
+    NodeId b;
+    double width_factor;
+  };
+
+  tech::CnfetElectrical electrical_;
+  std::vector<Node> nodes_;
+  std::vector<Device> devices_;
+
+  /// One relaxation sweep; returns true when any node changed.
+  bool sweep();
+};
+
+}  // namespace ambit::simulate

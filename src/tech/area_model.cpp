@@ -1,0 +1,44 @@
+#include "tech/area_model.h"
+
+#include "util/error.h"
+
+namespace ambit::tech {
+
+PlaDimensions dimensions_of(const logic::Cover& cover) {
+  return PlaDimensions{.inputs = cover.num_inputs(),
+                       .outputs = cover.num_outputs(),
+                       .products = static_cast<int>(cover.size())};
+}
+
+long long classical_cell_count(const PlaDimensions& dim) {
+  check(dim.inputs >= 0 && dim.outputs >= 0 && dim.products >= 0,
+        "classical_cell_count: negative dimension");
+  return static_cast<long long>(2 * dim.inputs + dim.outputs) * dim.products;
+}
+
+long long gnor_cell_count(const PlaDimensions& dim) {
+  check(dim.inputs >= 0 && dim.outputs >= 0 && dim.products >= 0,
+        "gnor_cell_count: negative dimension");
+  return static_cast<long long>(dim.inputs + dim.outputs) * dim.products;
+}
+
+long long cell_count(const Technology& tech, const PlaDimensions& dim) {
+  return tech.replicated_input_columns ? classical_cell_count(dim)
+                                       : gnor_cell_count(dim);
+}
+
+double pla_area_l2(const Technology& tech, const PlaDimensions& dim) {
+  return static_cast<double>(cell_count(tech, dim)) * tech.cell_area_l2;
+}
+
+double cnfet_area_ratio(const Technology& classical_tech,
+                        const PlaDimensions& dim) {
+  check(classical_tech.replicated_input_columns,
+        "cnfet_area_ratio: reference technology must be classical");
+  const double cnfet = pla_area_l2(cnfet_technology(), dim);
+  const double reference = pla_area_l2(classical_tech, dim);
+  check(reference > 0, "cnfet_area_ratio: empty reference PLA");
+  return cnfet / reference;
+}
+
+}  // namespace ambit::tech

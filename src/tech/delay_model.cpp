@@ -1,0 +1,49 @@
+#include "tech/delay_model.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace ambit::tech {
+namespace {
+
+constexpr double kLn2 = 0.6931471805599453;
+
+}  // namespace
+
+double gnor_row_capacitance_f(int columns, const CnfetElectrical& e) {
+  check(columns >= 0, "gnor_row_capacitance_f: negative column count");
+  return columns * (e.c_cell_f + e.c_wire_per_cell_f);
+}
+
+double gnor_row_eval_delay_s(int columns, const CnfetElectrical& e) {
+  // Discharge path: one pull-down cell in series with TEV.
+  const double r = 2.0 * e.r_on_ohm;
+  return kLn2 * r * gnor_row_capacitance_f(columns, e);
+}
+
+double gnor_row_precharge_delay_s(int columns, const CnfetElectrical& e) {
+  return kLn2 * e.r_on_ohm * gnor_row_capacitance_f(columns, e);
+}
+
+double gnor_pla_cycle_s(const PlaDimensions& dim, const CnfetElectrical& e) {
+  // Plane 1: product rows cross `inputs` columns. Plane 2: output rows
+  // cross `products` columns. Precharge of both planes overlaps, so a
+  // single (worst) precharge term is charged.
+  const double eval1 = gnor_row_eval_delay_s(dim.inputs, e);
+  const double eval2 = gnor_row_eval_delay_s(dim.products, e);
+  const double pre = std::max(gnor_row_precharge_delay_s(dim.inputs, e),
+                              gnor_row_precharge_delay_s(dim.products, e));
+  return pre + eval1 + eval2;
+}
+
+double classical_pla_cycle_s(const PlaDimensions& dim,
+                             const CnfetElectrical& e) {
+  const double eval1 = gnor_row_eval_delay_s(2 * dim.inputs, e);
+  const double eval2 = gnor_row_eval_delay_s(dim.products, e);
+  const double pre = std::max(gnor_row_precharge_delay_s(2 * dim.inputs, e),
+                              gnor_row_precharge_delay_s(dim.products, e));
+  return pre + eval1 + eval2;
+}
+
+}  // namespace ambit::tech

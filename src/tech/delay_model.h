@@ -1,0 +1,42 @@
+// First-order RC delay model for dynamic GNOR planes and PLAs.
+//
+// A dynamic GNOR row discharges through one pull-down CNFET in series
+// with the evaluation transistor TEV; the row capacitance grows with
+// the number of cells hanging on the row wire (drain junctions + wire).
+// Elmore-style estimate:
+//
+//   t_eval      = ln(2) · (R_on,cell + R_on,TEV) · C_row
+//   C_row       = columns · (c_cell + c_wire_per_cell)
+//   t_precharge = ln(2) · R_on,TPC · C_row
+//
+// A two-plane PLA evaluates plane 1 then plane 2; its cycle time is the
+// precharge phase plus both evaluation phases. These expressions drive
+// the Fig. 2 timing readout, the CLB delay of the FPGA model (Table 2)
+// and the crossover benches. They predict *ratios* between
+// configurations of the same process, not absolute silicon delays.
+#pragma once
+
+#include "tech/area_model.h"
+#include "tech/technology.h"
+
+namespace ambit::tech {
+
+/// Row capacitance of a GNOR row crossing `columns` cells [F].
+double gnor_row_capacitance_f(int columns, const CnfetElectrical& e);
+
+/// Worst-case evaluate delay of a GNOR row with `columns` cells [s].
+double gnor_row_eval_delay_s(int columns, const CnfetElectrical& e);
+
+/// Precharge delay of a GNOR row with `columns` cells [s].
+double gnor_row_precharge_delay_s(int columns, const CnfetElectrical& e);
+
+/// Cycle time of a two-plane GNOR PLA: precharge + eval(plane1, width =
+/// inputs for the product rows) + eval(plane2, width = products) [s].
+double gnor_pla_cycle_s(const PlaDimensions& dim, const CnfetElectrical& e);
+
+/// Cycle time of a classical NOR-NOR PLA with replicated input columns
+/// (2·inputs wide plane 1) in the same electrical process [s]. Used for
+/// like-for-like delay comparisons.
+double classical_pla_cycle_s(const PlaDimensions& dim, const CnfetElectrical& e);
+
+}  // namespace ambit::tech

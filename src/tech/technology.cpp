@@ -1,0 +1,27 @@
+#include "tech/technology.h"
+
+namespace ambit::tech {
+
+Technology flash_technology() {
+  return Technology{.name = "Flash",
+                    .cell_area_l2 = 40.0,
+                    .replicated_input_columns = true};
+}
+
+Technology eeprom_technology() {
+  return Technology{.name = "EEPROM",
+                    .cell_area_l2 = 100.0,
+                    .replicated_input_columns = true};
+}
+
+Technology cnfet_technology() {
+  return Technology{.name = "CNFET",
+                    .cell_area_l2 = 60.0,
+                    .replicated_input_columns = false};
+}
+
+CnfetElectrical default_cnfet_electrical() {
+  return CnfetElectrical{};
+}
+
+}  // namespace ambit::tech

@@ -1,0 +1,63 @@
+// Technology parameters for the three PLA implementation styles the
+// paper compares (Table 1), plus electrical parameters for the
+// switch-level timing model.
+//
+// Area constants come straight from the paper's §5:
+//   * the CNFET basic cell is estimated from the scaling rules of
+//     Patil et al. (DAC'07) for misaligned-CNT-immune layout;
+//   * Flash and EEPROM basic cells are derived from the ITRS;
+//   * "The area of the contacted cells with respect to the lithography
+//     resolution (L)": Flash 40 L², EEPROM 100 L², CNFET 60 L².
+//
+// The paper's observation: the CNFET cell is "50% larger than the
+// Flash and 40% smaller than the EEPROM basic cell" — 60/40 = 1.5 and
+// 60/100 = 0.6 — which these constants reproduce exactly.
+#pragma once
+
+#include <string>
+
+namespace ambit::tech {
+
+/// One PLA implementation technology.
+struct Technology {
+  std::string name;
+  /// Area of the contacted programmable basic cell, in units of L²
+  /// (lithography resolution squared).
+  double cell_area_l2 = 0;
+  /// Classical floating-gate technologies need both polarities of every
+  /// input, i.e. two columns per input; the ambipolar CNFET GNOR plane
+  /// inverts internally and needs one.
+  bool replicated_input_columns = true;
+};
+
+/// Flash floating-gate PLA cell: 40 L², replicated input columns.
+Technology flash_technology();
+
+/// EEPROM PLA cell: 100 L², replicated input columns.
+Technology eeprom_technology();
+
+/// Ambipolar CNFET GNOR cell: 60 L², single column per input.
+Technology cnfet_technology();
+
+/// Electrical parameters of the ambipolar CNFET used by the
+/// switch-level delay model. Defaults are behavioural-level estimates
+/// for a mid-2000s CNT process (quantum-limited channel resistance
+/// plus contact resistance; aF-scale per-cell capacitance) — the model
+/// reproduces delay *ratios*, not absolute silicon numbers.
+struct CnfetElectrical {
+  double vdd = 1.8;                ///< supply voltage [V]
+  double v_polarity_high = 1.8;    ///< PG voltage V+ (n-type) [V]
+  double v_polarity_low = 0.0;     ///< PG voltage V− (p-type) [V]
+  double v_polarity_off = 0.9;     ///< PG voltage V0 = VDD/2 (off) [V]
+  double r_on_ohm = 25e3;          ///< on-resistance of one CNFET [Ω]
+  double c_cell_f = 0.15e-15;      ///< drain + PG coupling load per cell [F]
+  double c_wire_per_cell_f = 0.10e-15;  ///< row-wire capacitance per crossed cell [F]
+  double i_on_a = 10e-6;           ///< nominal on-current [A]
+  double i_off_a = 10e-12;         ///< off-state leakage [A]
+  double ss_v = 0.045;             ///< logistic slope of the analytic ambipolar branches [V]
+};
+
+/// Default electrical parameter set.
+CnfetElectrical default_cnfet_electrical();
+
+}  // namespace ambit::tech

@@ -1,0 +1,17 @@
+#include "util/error.h"
+
+namespace ambit {
+
+void check(bool condition, std::string_view message) {
+  if (!condition) {
+    throw Error(std::string(message));
+  }
+}
+
+void require(bool condition, std::string_view message) {
+  if (!condition) {
+    throw Error("internal invariant violated: " + std::string(message));
+  }
+}
+
+}  // namespace ambit

@@ -1,0 +1,34 @@
+// Error handling primitives shared by every AMBIT module.
+//
+// AMBIT distinguishes two failure classes:
+//   * Recoverable input errors (malformed .pla files, inconsistent
+//     configuration requests) -> ambit::Error exceptions, caught at tool
+//     boundaries.
+//   * Programming errors (violated internal invariants) -> ambit::require()
+//     in debug-style checks; these also throw so that tests can observe
+//     them deterministically, but they indicate a bug, not bad input.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace ambit {
+
+/// Exception type for all recoverable AMBIT errors (I/O, parsing,
+/// inconsistent user-supplied configuration).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throws ambit::Error with `message` when `condition` is false.
+/// Use for validating external input at module boundaries.
+void check(bool condition, std::string_view message);
+
+/// Throws ambit::Error annotated as an internal invariant violation when
+/// `condition` is false. Use for "this cannot happen" assertions whose
+/// failure means a bug in AMBIT itself.
+void require(bool condition, std::string_view message);
+
+}  // namespace ambit

@@ -1,0 +1,62 @@
+#include "util/table.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace ambit {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  check(!header_.empty(), "TextTable requires at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  check(cells.size() == header_.size(),
+        "TextTable row arity does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_separator() {
+  rows_.emplace_back();
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto rule = [&] {
+    std::string line = "+";
+    for (const std::size_t w : widths) {
+      line += std::string(w + 2, '-');
+      line += "+";
+    }
+    line += "\n";
+    return line;
+  }();
+
+  const auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      line += " " + cells[c] + std::string(widths[c] - cells[c].size(), ' ') + " |";
+    }
+    line += "\n";
+    return line;
+  };
+
+  std::string out = rule + render_row(header_) + rule;
+  for (const auto& row : rows_) {
+    out += row.empty() ? rule : render_row(row);
+  }
+  out += rule;
+  return out;
+}
+
+}  // namespace ambit

@@ -1,0 +1,38 @@
+// ASCII table rendering for benchmark reports.
+//
+// Every bench binary reproduces one of the paper's tables or figures and
+// prints it in a fixed-width layout so that paper-vs-measured comparisons
+// in EXPERIMENTS.md can be pasted verbatim.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ambit {
+
+/// Column-aligned ASCII table builder.
+///
+/// Usage:
+///   TextTable t({"Function", "Flash", "EEPROM", "CNFET"});
+///   t.add_row({"max46", "34960", "87400", "27600"});
+///   std::cout << t.render();
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator line.
+  void add_separator();
+
+  /// Renders the table with a header rule and outer borders.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  // A row with no cells encodes a separator.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ambit

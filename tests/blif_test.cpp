@@ -1,0 +1,78 @@
+// Tests for the BLIF exporter.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "logic/blif.h"
+#include "util/error.h"
+
+namespace ambit::logic {
+namespace {
+
+TEST(BlifTest, StructureOfSimpleModel) {
+  const Cover f = Cover::parse(2, 1, {"10 1", "01 1"});
+  std::ostringstream out;
+  write_blif(out, f, "exor");
+  const std::string text = out.str();
+  EXPECT_NE(text.find(".model exor"), std::string::npos);
+  EXPECT_NE(text.find(".inputs in0 in1"), std::string::npos);
+  EXPECT_NE(text.find(".outputs out0"), std::string::npos);
+  EXPECT_NE(text.find(".names in0 in1 out0"), std::string::npos);
+  EXPECT_NE(text.find("10 1"), std::string::npos);
+  EXPECT_NE(text.find("01 1"), std::string::npos);
+  EXPECT_NE(text.find(".end"), std::string::npos);
+}
+
+TEST(BlifTest, CustomLabels) {
+  const Cover f = Cover::parse(2, 2, {"1- 10", "-1 01"});
+  std::ostringstream out;
+  write_blif(out, f, "m", {"a", "b"}, {"x", "y"});
+  const std::string text = out.str();
+  EXPECT_NE(text.find(".inputs a b"), std::string::npos);
+  EXPECT_NE(text.find(".names a b x"), std::string::npos);
+  EXPECT_NE(text.find(".names a b y"), std::string::npos);
+}
+
+TEST(BlifTest, SharedCubeAppearsInBothBlocks) {
+  const Cover f = Cover::parse(2, 2, {"11 11"});
+  std::ostringstream out;
+  write_blif(out, f, "m");
+  const std::string text = out.str();
+  std::size_t count = 0;
+  for (std::size_t pos = 0; (pos = text.find("11 1", pos)) != std::string::npos;
+       ++pos) {
+    ++count;
+  }
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(BlifTest, ConstantZeroOutputAnnotated) {
+  Cover f(2, 2);
+  f.add(Cube::parse("1-", "10"));
+  std::ostringstream out;
+  write_blif(out, f, "m");
+  EXPECT_NE(out.str().find("# constant 0"), std::string::npos);
+}
+
+TEST(BlifTest, LabelArityValidated) {
+  const Cover f = Cover::parse(2, 1, {"10 1"});
+  std::ostringstream out;
+  EXPECT_THROW(write_blif(out, f, "m", {"only-one-label", "b", "c"}),
+               ambit::Error);
+}
+
+TEST(BlifTest, FileRoundTripToDisk) {
+  const Cover f = Cover::parse(3, 1, {"1-0 1"});
+  const std::string path = testing::TempDir() + "/ambit_blif_test.blif";
+  write_blif_file(path, f, "disk_model");
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find(".model disk_model"), std::string::npos);
+  EXPECT_NE(text.find("1-0 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ambit::logic

@@ -1,0 +1,116 @@
+// Tests for the ambipolar CNFET device model: discrete polarity states,
+// switch behaviour, and the analytic I–V shape of Fig. 1 / §2.
+#include <gtest/gtest.h>
+
+#include "core/cnfet.h"
+#include "tech/technology.h"
+
+namespace ambit::core {
+namespace {
+
+using tech::CnfetElectrical;
+using tech::default_cnfet_electrical;
+
+TEST(PolarityTest, HighPgIsNType) {
+  const CnfetElectrical e = default_cnfet_electrical();
+  EXPECT_EQ(polarity_from_pg(e.v_polarity_high, e), PolarityState::kNType);
+}
+
+TEST(PolarityTest, LowPgIsPType) {
+  const CnfetElectrical e = default_cnfet_electrical();
+  EXPECT_EQ(polarity_from_pg(e.v_polarity_low, e), PolarityState::kPType);
+}
+
+TEST(PolarityTest, MidRailIsOff) {
+  const CnfetElectrical e = default_cnfet_electrical();
+  EXPECT_EQ(polarity_from_pg(e.v_polarity_off, e), PolarityState::kOff);
+}
+
+TEST(PolarityTest, OffBandWidthRespected) {
+  const CnfetElectrical e = default_cnfet_electrical();
+  const double v0 = e.v_polarity_off;
+  EXPECT_EQ(polarity_from_pg(v0 + 0.2, e, 0.6), PolarityState::kOff);
+  EXPECT_EQ(polarity_from_pg(v0 + 0.4, e, 0.6), PolarityState::kNType);
+  EXPECT_EQ(polarity_from_pg(v0 - 0.2, e, 0.6), PolarityState::kOff);
+  EXPECT_EQ(polarity_from_pg(v0 - 0.4, e, 0.6), PolarityState::kPType);
+}
+
+TEST(ConductionTest, NTypeFollowsGate) {
+  EXPECT_TRUE(conducts(PolarityState::kNType, true));
+  EXPECT_FALSE(conducts(PolarityState::kNType, false));
+}
+
+TEST(ConductionTest, PTypeInverts) {
+  EXPECT_FALSE(conducts(PolarityState::kPType, true));
+  EXPECT_TRUE(conducts(PolarityState::kPType, false));
+}
+
+TEST(ConductionTest, OffNeverConducts) {
+  EXPECT_FALSE(conducts(PolarityState::kOff, true));
+  EXPECT_FALSE(conducts(PolarityState::kOff, false));
+}
+
+TEST(IvModelTest, NBranchConductsWithHighPgAndHighCg) {
+  const CnfetElectrical e = default_cnfet_electrical();
+  const double i_on = drain_current(e.vdd, e.v_polarity_high, e);
+  const double i_gated_off = drain_current(0.0, e.v_polarity_high, e);
+  EXPECT_GT(i_on, 100 * i_gated_off);
+}
+
+TEST(IvModelTest, PBranchConductsWithLowPgAndLowCg) {
+  const CnfetElectrical e = default_cnfet_electrical();
+  const double i_on = drain_current(0.0, e.v_polarity_low, e);
+  const double i_gated_off = drain_current(e.vdd, e.v_polarity_low, e);
+  EXPECT_GT(i_on, 100 * i_gated_off);
+}
+
+TEST(IvModelTest, ConductionMinimumAtV0) {
+  // "Between these two values of PG, there is a voltage V0 = VDD/2 …
+  //  for which the conduction is poor and the device is always off."
+  const CnfetElectrical e = default_cnfet_electrical();
+  const double at_v0_cg_high = drain_current(e.vdd, e.v_polarity_off, e);
+  const double at_v0_cg_low = drain_current(0.0, e.v_polarity_off, e);
+  const double n_on = drain_current(e.vdd, e.v_polarity_high, e);
+  EXPECT_LT(at_v0_cg_high, n_on / 100);
+  EXPECT_LT(at_v0_cg_low, n_on / 100);
+}
+
+TEST(IvModelTest, TransferCurveIsVShapedInPg) {
+  // Sweeping PG at CG tied to the matching rail gives high current at
+  // both ends and a minimum near V0.
+  const CnfetElectrical e = default_cnfet_electrical();
+  const double left = drain_current(0.0, 0.0, e);        // p side
+  const double right = drain_current(e.vdd, e.vdd, e);   // n side
+  double minimum = 1e9;
+  for (double vpg = 0; vpg <= e.vdd; vpg += 0.05) {
+    const double i = std::max(drain_current(e.vdd, vpg, e),
+                              drain_current(0.0, vpg, e));
+    minimum = std::min(minimum, i);
+  }
+  EXPECT_GT(left, 1000 * minimum);
+  EXPECT_GT(right, 1000 * minimum);
+}
+
+TEST(IvModelTest, OnOffRatioAtLeastFourDecades) {
+  const CnfetElectrical e = default_cnfet_electrical();
+  const double on = drain_current(e.vdd, e.v_polarity_high, e);
+  const double off = drain_current(e.vdd, e.v_polarity_off, e);
+  EXPECT_GT(on / off, 1e4);
+}
+
+TEST(DeviceStructTest, WidthFactorScalesRAndC) {
+  const CnfetElectrical e = default_cnfet_electrical();
+  AmbipolarCnfet narrow{.polarity = PolarityState::kNType, .width_factor = 1.0};
+  AmbipolarCnfet wide{.polarity = PolarityState::kNType, .width_factor = 4.0};
+  EXPECT_DOUBLE_EQ(wide.r_on(e), narrow.r_on(e) / 4.0);
+  EXPECT_DOUBLE_EQ(wide.c_drain(e), narrow.c_drain(e) * 4.0);
+}
+
+TEST(NamesTest, PolarityNames) {
+  EXPECT_STREQ(to_string(PolarityState::kNType), "n");
+  EXPECT_STREQ(to_string(PolarityState::kPType), "p");
+  EXPECT_STREQ(to_string(PolarityState::kOff), "off");
+}
+
+}  // namespace
+}  // namespace ambit::core

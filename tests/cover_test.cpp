@@ -1,0 +1,166 @@
+// Tests for Cover: construction, cofactor, output restriction, literal
+// merging, containment cleanup, binate variable selection.
+#include <gtest/gtest.h>
+
+#include "logic/cover.h"
+#include "util/error.h"
+
+namespace ambit::logic {
+namespace {
+
+Cover exor2() {
+  return Cover::parse(2, 1, {"10 1", "01 1"});
+}
+
+TEST(CoverTest, ParseBuildsCubes) {
+  const Cover f = exor2();
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[0].to_string(), "10 1");
+  EXPECT_EQ(f[1].to_string(), "01 1");
+}
+
+TEST(CoverTest, ParseValidatesArity) {
+  EXPECT_THROW(Cover::parse(2, 1, {"101 1"}), Error);
+  EXPECT_THROW(Cover::parse(2, 1, {"10 11"}), Error);
+  EXPECT_THROW(Cover::parse(2, 1, {"10"}), Error);
+}
+
+TEST(CoverTest, AddRejectsEmptyCube) {
+  Cover f(2, 1);
+  Cube dead(2, 1);  // no outputs asserted
+  EXPECT_THROW(f.add(dead), Error);
+}
+
+TEST(CoverTest, AddRejectsShapeMismatch) {
+  Cover f(2, 1);
+  EXPECT_THROW(f.add(Cube::parse("101", "1")), Error);
+}
+
+TEST(CoverTest, UniverseCoversEverything) {
+  const Cover u = Cover::universe(3, 2);
+  for (std::uint64_t m = 0; m < 8; ++m) {
+    EXPECT_TRUE(u.covers_minterm(m, 0));
+    EXPECT_TRUE(u.covers_minterm(m, 1));
+  }
+}
+
+TEST(CoverTest, CoversMintermExor) {
+  const Cover f = exor2();
+  EXPECT_FALSE(f.covers_minterm(0b00, 0));
+  EXPECT_TRUE(f.covers_minterm(0b01, 0));
+  EXPECT_TRUE(f.covers_minterm(0b10, 0));
+  EXPECT_FALSE(f.covers_minterm(0b11, 0));
+}
+
+TEST(CoverTest, CofactorDropsNonIntersecting) {
+  const Cover f = exor2();
+  Cube p = Cube::universe(2, 1);
+  p.set_input(0, Literal::kOne);  // x0 = 1
+  const Cover cf = f.cofactor(p);
+  // Only "10 1" survives, cofactored to "-0 1".
+  ASSERT_EQ(cf.size(), 1u);
+  EXPECT_EQ(cf[0].input(0), Literal::kDontCare);
+  EXPECT_EQ(cf[0].input(1), Literal::kZero);
+}
+
+TEST(CoverTest, RestrictedToOutputSelectsAndReshapes) {
+  const Cover f = Cover::parse(2, 2, {"1- 10", "-1 01", "00 11"});
+  const Cover f0 = f.restricted_to_output(0);
+  const Cover f1 = f.restricted_to_output(1);
+  EXPECT_EQ(f0.size(), 2u);
+  EXPECT_EQ(f1.size(), 2u);
+  EXPECT_EQ(f0.num_outputs(), 1);
+  EXPECT_EQ(f0[0].to_string(), "1- 1");
+  EXPECT_EQ(f1[1].to_string(), "00 1");
+}
+
+TEST(CoverTest, AndLiteralMergesShannonBranch) {
+  Cover f = Cover::parse(2, 1, {"-1 1", "0- 1", "1- 1"});
+  f.and_literal(0, true);
+  // "-1" picks up x0=1; "0-" dies; "1-" unchanged.
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[0].to_string(), "11 1");
+  EXPECT_EQ(f[1].to_string(), "1- 1");
+}
+
+TEST(CoverTest, SortAndDedupRemovesDuplicates) {
+  Cover f = Cover::parse(2, 1, {"10 1", "01 1", "10 1"});
+  f.sort_and_dedup();
+  EXPECT_EQ(f.size(), 2u);
+}
+
+TEST(CoverTest, RemoveSingleCubeContained) {
+  Cover f = Cover::parse(3, 1, {"1-- 1", "10- 1", "001 1"});
+  f.remove_single_cube_contained();
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[0].to_string(), "1-- 1");
+  EXPECT_EQ(f[1].to_string(), "001 1");
+}
+
+TEST(CoverTest, RemoveContainedKeepsOneOfEqualCubes) {
+  Cover f = Cover::parse(2, 1, {"10 1", "10 1", "10 1"});
+  f.remove_single_cube_contained();
+  EXPECT_EQ(f.size(), 1u);
+}
+
+TEST(CoverTest, VarOccurrenceCounts) {
+  const Cover f = Cover::parse(3, 1, {"10- 1", "1-0 1", "0-- 1"});
+  const auto occ0 = f.var_occurrence(0);
+  EXPECT_EQ(occ0.ones, 2);
+  EXPECT_EQ(occ0.zeros, 1);
+  const auto occ1 = f.var_occurrence(1);
+  EXPECT_EQ(occ1.ones, 0);
+  EXPECT_EQ(occ1.zeros, 1);
+  const auto occ2 = f.var_occurrence(2);
+  EXPECT_EQ(occ2.ones, 0);
+  EXPECT_EQ(occ2.zeros, 1);
+}
+
+TEST(CoverTest, UnateDetection) {
+  EXPECT_FALSE(exor2().is_unate());
+  const Cover unate = Cover::parse(3, 1, {"1-- 1", "11- 1", "--0 1"});
+  EXPECT_TRUE(unate.is_unate());
+}
+
+TEST(CoverTest, MostBinateVarPrefersBalancedColumns) {
+  // x0: 2 ones, 2 zeros (binate, balanced); x1: 1 one, 1 zero (binate).
+  const Cover f =
+      Cover::parse(2, 1, {"11 1", "10 1", "00 1", "01 1"});
+  EXPECT_EQ(f.most_binate_var(), 0);
+}
+
+TEST(CoverTest, MostBinateVarMinusOneWhenUnate) {
+  const Cover f = Cover::parse(2, 1, {"1- 1", "-1 1"});
+  EXPECT_EQ(f.most_binate_var(), -1);
+  EXPECT_EQ(f.most_frequent_var(), 0);
+}
+
+TEST(CoverTest, HasUniversalInputCube) {
+  Cover f = Cover::parse(2, 1, {"10 1"});
+  EXPECT_FALSE(f.has_universal_input_cube());
+  f.add(Cube::universe(2, 1));
+  EXPECT_TRUE(f.has_universal_input_cube());
+}
+
+TEST(CoverTest, TotalLiterals) {
+  const Cover f = Cover::parse(3, 1, {"10- 1", "--1 1"});
+  EXPECT_EQ(f.total_literals(), 3);
+}
+
+TEST(CoverTest, AppendConcatenates) {
+  Cover f = exor2();
+  Cover g = Cover::parse(2, 1, {"11 1"});
+  f.append(g);
+  EXPECT_EQ(f.size(), 3u);
+}
+
+TEST(CoverTest, RemoveAtPreservesOrder) {
+  Cover f = Cover::parse(2, 1, {"10 1", "01 1", "11 1"});
+  f.remove_at(1);
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[0].to_string(), "10 1");
+  EXPECT_EQ(f[1].to_string(), "11 1");
+}
+
+}  // namespace
+}  // namespace ambit::logic

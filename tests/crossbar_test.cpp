@@ -1,0 +1,128 @@
+// Tests for the pass-transistor crossbar: switching, connectivity,
+// propagation, path resistance.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/crossbar.h"
+#include "util/error.h"
+
+namespace ambit::core {
+namespace {
+
+TEST(CrossbarTest, FreshCrossbarFullyDisconnected) {
+  const Crossbar xb(3, 3);
+  for (int h = 0; h < 3; ++h) {
+    for (int v = 0; v < 3; ++v) {
+      EXPECT_FALSE(xb.switch_on(h, v));
+      EXPECT_FALSE(xb.connected(xb.horizontal_wire(h), xb.vertical_wire(v)));
+    }
+  }
+  EXPECT_EQ(xb.active_switches(), 0);
+}
+
+TEST(CrossbarTest, SingleSwitchConnectsPair) {
+  Crossbar xb(2, 2);
+  xb.set_switch(0, 1, true);
+  EXPECT_TRUE(xb.connected(xb.horizontal_wire(0), xb.vertical_wire(1)));
+  EXPECT_FALSE(xb.connected(xb.horizontal_wire(0), xb.vertical_wire(0)));
+  EXPECT_FALSE(xb.connected(xb.horizontal_wire(1), xb.vertical_wire(1)));
+  EXPECT_EQ(xb.path_switch_count(xb.horizontal_wire(0), xb.vertical_wire(1)),
+            1);
+}
+
+TEST(CrossbarTest, TransitiveConnectionThroughSharedWire) {
+  // h0-v0 and h1-v0 closed: h0 and h1 short through v0.
+  Crossbar xb(2, 2);
+  xb.set_switch(0, 0, true);
+  xb.set_switch(1, 0, true);
+  EXPECT_TRUE(xb.connected(xb.horizontal_wire(0), xb.horizontal_wire(1)));
+  EXPECT_EQ(xb.path_switch_count(xb.horizontal_wire(0), xb.horizontal_wire(1)),
+            2);
+}
+
+TEST(CrossbarTest, ComponentsLabelConnectedGroups) {
+  Crossbar xb(3, 3);
+  xb.set_switch(0, 0, true);
+  xb.set_switch(1, 0, true);  // {h0, h1, v0}
+  xb.set_switch(2, 2, true);  // {h2, v2}
+  const auto labels = xb.components();
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[0], labels[xb.vertical_wire(0)]);
+  EXPECT_EQ(labels[2], labels[xb.vertical_wire(2)]);
+  EXPECT_NE(labels[0], labels[2]);
+  EXPECT_NE(labels[xb.vertical_wire(1)], labels[0]);
+}
+
+TEST(CrossbarTest, PropagationReachesComponentOnly) {
+  Crossbar xb(2, 3);
+  xb.set_switch(0, 0, true);
+  xb.set_switch(0, 1, true);
+  const auto seen = xb.propagate(xb.horizontal_wire(0), true);
+  EXPECT_EQ(seen[xb.horizontal_wire(0)], true);
+  EXPECT_EQ(seen[xb.vertical_wire(0)], true);
+  EXPECT_EQ(seen[xb.vertical_wire(1)], true);
+  EXPECT_FALSE(seen[xb.vertical_wire(2)].has_value());
+  EXPECT_FALSE(seen[xb.horizontal_wire(1)].has_value());
+}
+
+TEST(CrossbarTest, PropagateCarriesValue) {
+  Crossbar xb(1, 1);
+  xb.set_switch(0, 0, true);
+  EXPECT_EQ(xb.propagate(0, false)[xb.vertical_wire(0)], false);
+  EXPECT_EQ(xb.propagate(0, true)[xb.vertical_wire(0)], true);
+}
+
+TEST(CrossbarTest, PathResistanceScalesWithHops) {
+  const auto e = tech::default_cnfet_electrical();
+  Crossbar xb(2, 2);
+  xb.set_switch(0, 0, true);
+  xb.set_switch(1, 0, true);
+  xb.set_switch(1, 1, true);
+  // h0 -> v0 -> h1 -> v1: three switches.
+  EXPECT_DOUBLE_EQ(
+      xb.path_resistance_ohm(xb.horizontal_wire(0), xb.vertical_wire(1), e),
+      3 * e.r_on_ohm);
+  EXPECT_DOUBLE_EQ(xb.path_resistance_ohm(0, 0, e), 0.0);
+}
+
+TEST(CrossbarTest, UnconnectedResistanceIsInfinite) {
+  const auto e = tech::default_cnfet_electrical();
+  const Crossbar xb(2, 2);
+  EXPECT_TRUE(std::isinf(
+      xb.path_resistance_ohm(xb.horizontal_wire(0), xb.vertical_wire(0), e)));
+  EXPECT_EQ(xb.path_switch_count(0, xb.vertical_wire(0)), -1);
+}
+
+TEST(CrossbarTest, BfsFindsShortestPath) {
+  // Two routes from h0 to v1: direct (1 switch) and via h1 (3 switches).
+  Crossbar xb(2, 2);
+  xb.set_switch(0, 0, true);
+  xb.set_switch(1, 0, true);
+  xb.set_switch(1, 1, true);
+  xb.set_switch(0, 1, true);
+  EXPECT_EQ(xb.path_switch_count(xb.horizontal_wire(0), xb.vertical_wire(1)),
+            1);
+}
+
+TEST(CrossbarTest, CellCountAndActiveSwitches) {
+  Crossbar xb(4, 5);
+  EXPECT_EQ(xb.cell_count(), 20);
+  xb.set_switch(1, 1, true);
+  xb.set_switch(2, 3, true);
+  EXPECT_EQ(xb.active_switches(), 2);
+  xb.set_switch(1, 1, false);
+  EXPECT_EQ(xb.active_switches(), 1);
+}
+
+TEST(CrossbarTest, BoundsChecked) {
+  Crossbar xb(2, 2);
+  EXPECT_THROW(xb.set_switch(2, 0, true), ambit::Error);
+  EXPECT_THROW(xb.switch_on(0, 2), ambit::Error);
+  EXPECT_THROW(xb.path_switch_count(0, 99), ambit::Error);
+  EXPECT_THROW(xb.horizontal_wire(5), ambit::Error);
+  EXPECT_THROW(xb.vertical_wire(-1), ambit::Error);
+}
+
+}  // namespace
+}  // namespace ambit::core

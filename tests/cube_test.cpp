@@ -1,0 +1,210 @@
+// Tests for the positional-cube algebra: encoding, intersection,
+// containment, distance, consensus, cofactor, minterm coverage.
+#include <gtest/gtest.h>
+
+#include "logic/cube.h"
+#include "util/error.h"
+
+namespace ambit::logic {
+namespace {
+
+TEST(CubeTest, FreshCubeIsDontCareInputsNoOutputs) {
+  Cube c(3, 2);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(c.input(i), Literal::kDontCare);
+  }
+  EXPECT_TRUE(c.output_empty());
+  EXPECT_TRUE(c.empty());
+}
+
+TEST(CubeTest, UniverseAssertsEverything) {
+  const Cube u = Cube::universe(4, 3);
+  EXPECT_FALSE(u.empty());
+  EXPECT_EQ(u.input_literal_count(), 0);
+  EXPECT_EQ(u.output_count(), 3);
+}
+
+TEST(CubeTest, ParseRoundTripsToString) {
+  const Cube c = Cube::parse("10-1", "01");
+  EXPECT_EQ(c.to_string(), "10-1 01");
+  EXPECT_EQ(c.input(0), Literal::kOne);
+  EXPECT_EQ(c.input(1), Literal::kZero);
+  EXPECT_EQ(c.input(2), Literal::kDontCare);
+  EXPECT_EQ(c.input(3), Literal::kOne);
+  EXPECT_FALSE(c.output(0));
+  EXPECT_TRUE(c.output(1));
+}
+
+TEST(CubeTest, ParseRejectsBadCharacters) {
+  EXPECT_THROW(Cube::parse("10x", "1"), Error);
+  EXPECT_THROW(Cube::parse("10", "z"), Error);
+}
+
+TEST(CubeTest, SetInputUpdatesLiteralCount) {
+  Cube c(5, 1);
+  c.set_output(0, true);
+  EXPECT_EQ(c.input_literal_count(), 0);
+  c.set_input(1, Literal::kZero);
+  c.set_input(4, Literal::kOne);
+  EXPECT_EQ(c.input_literal_count(), 2);
+  c.set_input(1, Literal::kDontCare);
+  EXPECT_EQ(c.input_literal_count(), 1);
+}
+
+TEST(CubeTest, EmptyInputPartDetected) {
+  Cube c(2, 1);
+  c.set_output(0, true);
+  EXPECT_FALSE(c.input_empty());
+  c.set_input(0, Literal::kEmpty);
+  EXPECT_TRUE(c.input_empty());
+  EXPECT_TRUE(c.empty());
+}
+
+TEST(CubeTest, DistanceCountsConflictingParts) {
+  const Cube a = Cube::parse("101-", "1");
+  const Cube b = Cube::parse("011-", "1");
+  // Conflicts at inputs 0 and 1; outputs meet.
+  EXPECT_EQ(a.distance(b), 2);
+  const Cube c = Cube::parse("1---", "1");
+  EXPECT_EQ(a.distance(c), 0);
+  EXPECT_TRUE(a.intersects(c));
+}
+
+TEST(CubeTest, DistanceCountsOutputPartOnce) {
+  const Cube a = Cube::parse("1-", "10");
+  const Cube b = Cube::parse("1-", "01");
+  EXPECT_EQ(a.distance(b), 1);
+  const Cube c = Cube::parse("0-", "01");
+  EXPECT_EQ(a.distance(c), 2);
+}
+
+TEST(CubeTest, IntersectIsBitwiseAnd) {
+  const Cube a = Cube::parse("1--", "11");
+  const Cube b = Cube::parse("-0-", "10");
+  const Cube x = a.intersect(b);
+  EXPECT_EQ(x.input(0), Literal::kOne);
+  EXPECT_EQ(x.input(1), Literal::kZero);
+  EXPECT_EQ(x.input(2), Literal::kDontCare);
+  EXPECT_TRUE(x.output(0));
+  EXPECT_FALSE(x.output(1));
+}
+
+TEST(CubeTest, ContainmentIsBitwiseSuperset) {
+  const Cube big = Cube::parse("1--", "11");
+  const Cube small = Cube::parse("10-", "01");
+  EXPECT_TRUE(big.contains(small));
+  EXPECT_FALSE(small.contains(big));
+  EXPECT_TRUE(big.contains(big));
+}
+
+TEST(CubeTest, InputContainsIgnoresOutputs) {
+  const Cube a = Cube::parse("1--", "10");
+  const Cube b = Cube::parse("10-", "01");
+  EXPECT_TRUE(a.input_contains(b));
+  EXPECT_FALSE(a.contains(b));
+}
+
+TEST(CubeTest, SupercubeIsBitwiseOr) {
+  const Cube a = Cube::parse("10-", "10");
+  const Cube b = Cube::parse("11-", "01");
+  const Cube s = a.supercube(b);
+  EXPECT_EQ(s.input(0), Literal::kOne);
+  EXPECT_EQ(s.input(1), Literal::kDontCare);
+  EXPECT_EQ(s.input(2), Literal::kDontCare);
+  EXPECT_TRUE(s.output(0));
+  EXPECT_TRUE(s.output(1));
+}
+
+TEST(CubeTest, ConsensusAtDistanceOneSpansConflict) {
+  // x·y + x̄·z have consensus y·z at the x conflict.
+  const Cube a = Cube::parse("11-", "1");
+  const Cube b = Cube::parse("0-1", "1");
+  const Cube c = a.consensus(b);
+  EXPECT_FALSE(c.empty());
+  EXPECT_EQ(c.input(0), Literal::kDontCare);
+  EXPECT_EQ(c.input(1), Literal::kOne);
+  EXPECT_EQ(c.input(2), Literal::kOne);
+}
+
+TEST(CubeTest, ConsensusAtDistanceTwoIsEmpty) {
+  const Cube a = Cube::parse("11", "1");
+  const Cube b = Cube::parse("00", "1");
+  EXPECT_TRUE(a.consensus(b).empty());
+}
+
+TEST(CubeTest, ConsensusOnOutputPartUnionsOutputs) {
+  const Cube a = Cube::parse("1-", "10");
+  const Cube b = Cube::parse("1-", "01");
+  const Cube c = a.consensus(b);
+  EXPECT_FALSE(c.empty());
+  EXPECT_TRUE(c.output(0));
+  EXPECT_TRUE(c.output(1));
+  EXPECT_EQ(c.input(0), Literal::kOne);
+}
+
+TEST(CubeTest, CofactorAgainstLiteralCube) {
+  // (x0 x̄1) cofactor (x0) = x̄1.
+  const Cube a = Cube::parse("10-", "1");
+  Cube p = Cube::universe(3, 1);
+  p.set_input(0, Literal::kOne);
+  const Cube cf = a.cofactor(p);
+  EXPECT_EQ(cf.input(0), Literal::kDontCare);
+  EXPECT_EQ(cf.input(1), Literal::kZero);
+  EXPECT_EQ(cf.input(2), Literal::kDontCare);
+}
+
+TEST(CubeTest, CoversMintermRespectsLiterals) {
+  const Cube c = Cube::parse("10-", "1");
+  // minterm bits: bit0=x0, bit1=x1, bit2=x2.
+  EXPECT_TRUE(c.covers_minterm(0b001, 0));   // x0=1, x1=0, x2=0
+  EXPECT_TRUE(c.covers_minterm(0b101, 0));   // x2 free
+  EXPECT_FALSE(c.covers_minterm(0b011, 0));  // x1 must be 0
+  EXPECT_FALSE(c.covers_minterm(0b000, 0));  // x0 must be 1
+}
+
+TEST(CubeTest, CoversMintermFalseForUnassertedOutput) {
+  const Cube c = Cube::parse("1-", "01");
+  EXPECT_FALSE(c.covers_minterm(0b01, 0));
+  EXPECT_TRUE(c.covers_minterm(0b01, 1));
+}
+
+TEST(CubeTest, EqualityAndOrdering) {
+  const Cube a = Cube::parse("10", "1");
+  const Cube b = Cube::parse("10", "1");
+  const Cube c = Cube::parse("01", "1");
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_TRUE(Cube::lexicographic_less(a, c) || Cube::lexicographic_less(c, a));
+}
+
+TEST(CubeTest, WideCubesSpanMultipleWords) {
+  // 40 inputs -> 80 input bits + outputs straddle word boundaries.
+  Cube c(40, 8);
+  c.set_output(5, true);
+  c.set_input(31, Literal::kZero);
+  c.set_input(32, Literal::kOne);
+  c.set_input(39, Literal::kZero);
+  EXPECT_EQ(c.input(31), Literal::kZero);
+  EXPECT_EQ(c.input(32), Literal::kOne);
+  EXPECT_EQ(c.input(39), Literal::kZero);
+  EXPECT_TRUE(c.output(5));
+  EXPECT_FALSE(c.output(4));
+  EXPECT_EQ(c.input_literal_count(), 3);
+
+  Cube d(40, 8);
+  d.set_output(5, true);
+  d.set_input(31, Literal::kOne);
+  EXPECT_EQ(c.distance(d), 1);
+  d.set_input(39, Literal::kOne);
+  EXPECT_EQ(c.distance(d), 2);
+}
+
+TEST(CubeTest, ShapeMismatchRejected) {
+  const Cube a = Cube::parse("10", "1");
+  const Cube b = Cube::parse("101", "1");
+  EXPECT_THROW(a.distance(b), Error);
+  EXPECT_THROW(a.contains(b), Error);
+}
+
+}  // namespace
+}  // namespace ambit::logic

@@ -1,0 +1,165 @@
+// Tests for the interleaved PLA/interconnect fabric (Fig. 3): stage
+// validation, routing semantics, multi-plane cascades.
+#include <gtest/gtest.h>
+
+#include "core/fabric.h"
+#include "core/gnor_pla.h"
+#include "logic/truth_table.h"
+#include "util/error.h"
+
+namespace ambit::core {
+namespace {
+
+using logic::Cover;
+
+std::vector<bool> bits_of(std::uint64_t m, int n) {
+  std::vector<bool> bits(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    bits[static_cast<std::size_t>(i)] = ((m >> i) & 1) != 0;
+  }
+  return bits;
+}
+
+/// Builds the two fabric stages of a GNOR PLA (identity routing).
+void add_pla_stages(Fabric& fabric, const GnorPla& pla) {
+  fabric.add_stage(FabricStage(
+      Fabric::identity_routing(pla.num_inputs(), pla.num_inputs()),
+      pla.product_plane()));
+  fabric.add_stage(FabricStage(
+      Fabric::identity_routing(pla.num_products(), pla.num_products()),
+      pla.output_plane()));
+}
+
+TEST(FabricTest, EmptyFabricEchoesInputWidth) {
+  const Fabric fabric(3);
+  EXPECT_EQ(fabric.bus_width(), 3);
+  const auto out = fabric.evaluate({true, false, true});
+  EXPECT_EQ(out.size(), 3u);
+  EXPECT_TRUE(out[0]);
+  EXPECT_FALSE(out[1]);
+}
+
+TEST(FabricTest, IdentityRoutingConnectsDiagonal) {
+  const Crossbar xb = Fabric::identity_routing(3, 5);
+  EXPECT_TRUE(xb.switch_on(0, 0));
+  EXPECT_TRUE(xb.switch_on(1, 1));
+  EXPECT_TRUE(xb.switch_on(2, 2));
+  EXPECT_FALSE(xb.switch_on(0, 1));
+  // Columns 3 and 4 stay undriven.
+  int drivers_col3 = 0;
+  for (int h = 0; h < 3; ++h) drivers_col3 += xb.switch_on(h, 3);
+  EXPECT_EQ(drivers_col3, 0);
+}
+
+TEST(FabricTest, TwoStagePlaMatchesDirectEvaluation) {
+  const Cover f = Cover::parse(3, 2, {"11- 10", "0-1 01", "10- 11"});
+  const GnorPla pla = GnorPla::map_cover(f);
+  Fabric fabric(3);
+  add_pla_stages(fabric, pla);
+  for (std::uint64_t m = 0; m < 8; ++m) {
+    const auto in = bits_of(m, 3);
+    const auto fabric_rows = fabric.evaluate(in);
+    // Fabric carries the raw plane-2 rows (¬g); PLA buffers re-invert.
+    const auto pla_out = pla.evaluate(in);
+    ASSERT_EQ(fabric_rows.size(), pla_out.size());
+    for (std::size_t j = 0; j < pla_out.size(); ++j) {
+      EXPECT_EQ(!fabric_rows[j], pla_out[j]) << "m=" << m << " j=" << j;
+    }
+  }
+}
+
+TEST(FabricTest, PermutedRoutingReordersInputs) {
+  // Route bus signal 1 to column 0 and bus signal 0 to column 1 of a
+  // plane computing NOR(col0): output = ¬bus1.
+  GnorPlane plane(1, 2);
+  plane.set_cell(0, 0, CellConfig::kPass);
+  Crossbar xb(2, 2);
+  xb.set_switch(1, 0, true);
+  xb.set_switch(0, 1, true);
+  Fabric fabric(2);
+  fabric.add_stage(FabricStage(std::move(xb), std::move(plane)));
+  EXPECT_FALSE(fabric.evaluate({false, true})[0]);
+  EXPECT_TRUE(fabric.evaluate({true, false})[0]);
+}
+
+TEST(FabricTest, UndrivenColumnReadsLow) {
+  // Column 1 undriven: NOR(col0, col1) behaves as NOR(col0, 0) = ¬col0.
+  GnorPlane plane(1, 2);
+  plane.set_cell(0, 0, CellConfig::kPass);
+  plane.set_cell(0, 1, CellConfig::kPass);
+  Fabric fabric(1);
+  fabric.add_stage(
+      FabricStage(Fabric::identity_routing(1, 2), std::move(plane)));
+  EXPECT_TRUE(fabric.evaluate({false})[0]);
+  EXPECT_FALSE(fabric.evaluate({true})[0]);
+}
+
+TEST(FabricTest, FeedThroughWidensBus) {
+  GnorPlane plane(2, 3);
+  Fabric fabric(3);
+  fabric.add_stage(FabricStage(Fabric::identity_routing(3, 3),
+                               std::move(plane), /*feed=*/true));
+  EXPECT_EQ(fabric.bus_width(), 5);
+  const auto out = fabric.evaluate({true, false, true});
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_TRUE(out[0]);   // fed-through input 0
+  EXPECT_FALSE(out[1]);  // fed-through input 1
+  EXPECT_TRUE(out[3]);   // blank plane row = 1
+}
+
+TEST(FabricTest, FourPlaneCascadeComputesComposition) {
+  // Stage pair 1: PLA computing g = x0 XOR x1 (raw rows = ¬g).
+  // Stage pair 2: PLA computing the complement of its input's identity,
+  // i.e. plane3 row = NOR(in) = ¬(¬g) = g, plane4 row = NOR(g) = ¬g.
+  const Cover exor = Cover::parse(2, 1, {"10 1", "01 1"});
+  const GnorPla pla = GnorPla::map_cover(exor);
+  Fabric fabric(2);
+  add_pla_stages(fabric, pla);
+
+  GnorPlane plane3(1, 1);
+  plane3.set_cell(0, 0, CellConfig::kPass);
+  fabric.add_stage(FabricStage(Fabric::identity_routing(1, 1), plane3));
+  GnorPlane plane4(1, 1);
+  plane4.set_cell(0, 0, CellConfig::kPass);
+  fabric.add_stage(FabricStage(Fabric::identity_routing(1, 1), plane4));
+
+  EXPECT_EQ(fabric.num_stages(), 4);
+  // Final bus = ¬(x0 XOR x1): XNOR.
+  EXPECT_TRUE(fabric.evaluate({false, false})[0]);
+  EXPECT_FALSE(fabric.evaluate({true, false})[0]);
+  EXPECT_FALSE(fabric.evaluate({false, true})[0]);
+  EXPECT_TRUE(fabric.evaluate({true, true})[0]);
+}
+
+TEST(FabricTest, StageValidationCatchesMismatches) {
+  Fabric fabric(3);
+  // Routing width mismatch (bus is 3, crossbar expects 2).
+  EXPECT_THROW(
+      fabric.add_stage(FabricStage(Crossbar(2, 2), GnorPlane(1, 2))),
+      ambit::Error);
+  // Routing/plane column mismatch.
+  EXPECT_THROW(
+      fabric.add_stage(FabricStage(Crossbar(3, 4), GnorPlane(1, 2))),
+      ambit::Error);
+}
+
+TEST(FabricTest, MultipleDriversRejected) {
+  Crossbar xb(2, 1);
+  xb.set_switch(0, 0, true);
+  xb.set_switch(1, 0, true);
+  Fabric fabric(2);
+  EXPECT_THROW(fabric.add_stage(FabricStage(std::move(xb), GnorPlane(1, 1))),
+               ambit::Error);
+}
+
+TEST(FabricTest, CellCountSumsPlanesAndCrossbars) {
+  const Cover f = Cover::parse(2, 1, {"10 1", "01 1"});
+  const GnorPla pla = GnorPla::map_cover(f);
+  Fabric fabric(2);
+  add_pla_stages(fabric, pla);
+  // Stage1: 2x2 crossbar + 2x2 plane; stage2: 2x2 crossbar + 1x2 plane.
+  EXPECT_EQ(fabric.cell_count(), 4 + 4 + 4 + 2);
+}
+
+}  // namespace
+}  // namespace ambit::core

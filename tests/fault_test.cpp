@@ -1,0 +1,199 @@
+// Tests for the defect / repair / yield framework.
+#include <gtest/gtest.h>
+
+#include "espresso/espresso.h"
+#include "fault/yield.h"
+#include "logic/synth_bench.h"
+#include "logic/truth_table.h"
+#include "util/error.h"
+
+namespace ambit::fault {
+namespace {
+
+using core::CellConfig;
+using core::GnorPla;
+using logic::Cover;
+
+GnorPla sample_pla() {
+  const Cover f =
+      Cover::parse(3, 2, {"11- 10", "0-1 01", "10- 11", "-01 10"});
+  return GnorPla::map_cover(f);
+}
+
+TEST(DefectMapTest, AddAndLookup) {
+  DefectMap map(3, 4);
+  EXPECT_EQ(map.count(), 0u);
+  EXPECT_EQ(map.at(1, 2), nullptr);
+  map.add(Defect{.row = 1, .col = 2, .type = DefectType::kStuckN});
+  ASSERT_NE(map.at(1, 2), nullptr);
+  EXPECT_EQ(map.at(1, 2)->type, DefectType::kStuckN);
+  EXPECT_EQ(map.at(0, 0), nullptr);
+}
+
+TEST(DefectMapTest, DuplicateAndOutOfRangeRejected) {
+  DefectMap map(2, 2);
+  map.add(Defect{.row = 0, .col = 0, .type = DefectType::kStuckOff});
+  EXPECT_THROW(map.add(Defect{.row = 0, .col = 0}), ambit::Error);
+  EXPECT_THROW(map.add(Defect{.row = 5, .col = 0}), ambit::Error);
+}
+
+TEST(DefectMapTest, CompatibilityRules) {
+  const Defect off{.row = 0, .col = 0, .type = DefectType::kStuckOff};
+  const Defect n{.row = 0, .col = 0, .type = DefectType::kStuckN};
+  const Defect p{.row = 0, .col = 0, .type = DefectType::kStuckP};
+  EXPECT_TRUE(DefectMap::compatible(nullptr, CellConfig::kPass));
+  EXPECT_TRUE(DefectMap::compatible(&off, CellConfig::kOff));
+  EXPECT_FALSE(DefectMap::compatible(&off, CellConfig::kPass));
+  EXPECT_TRUE(DefectMap::compatible(&n, CellConfig::kPass));
+  EXPECT_FALSE(DefectMap::compatible(&n, CellConfig::kInvert));
+  EXPECT_TRUE(DefectMap::compatible(&p, CellConfig::kInvert));
+  EXPECT_FALSE(DefectMap::compatible(&p, CellConfig::kOff));
+}
+
+TEST(DefectSamplingTest, RateZeroAndDeterminism) {
+  Rng rng(5);
+  EXPECT_EQ(sample_defects(10, 10, 0.0, rng).count(), 0u);
+  Rng a(7), b(7);
+  const DefectMap ma = sample_defects(20, 20, 0.1, a);
+  const DefectMap mb = sample_defects(20, 20, 0.1, b);
+  EXPECT_EQ(ma.count(), mb.count());
+}
+
+TEST(DefectSamplingTest, RateRoughlyRespected) {
+  Rng rng(11);
+  const DefectMap map = sample_defects(100, 100, 0.05, rng);
+  EXPECT_NEAR(static_cast<double>(map.count()) / 10000.0, 0.05, 0.01);
+}
+
+TEST(RepairTest, HealthyArrayIdentityAssignment) {
+  const GnorPla pla = sample_pla();
+  const DefectMap healthy(pla.num_products(), pla.num_inputs());
+  const RepairResult result = repair_product_plane(pla, healthy, 0);
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(result.relocated, 0);
+  for (int p = 0; p < pla.num_products(); ++p) {
+    EXPECT_EQ(result.row_of_product[static_cast<std::size_t>(p)], p);
+  }
+}
+
+TEST(RepairTest, IncompatibleDefectForcesRelocation) {
+  const GnorPla pla = sample_pla();
+  // Product 0 is "11-": col 0 needs kInvert. A stuck-n defect there
+  // breaks row 0 for product 0.
+  DefectMap defects(pla.num_products() + 1, pla.num_inputs());
+  defects.add(Defect{.row = 0, .col = 0, .type = DefectType::kStuckN});
+  const RepairResult result = repair_product_plane(pla, defects, 1);
+  ASSERT_TRUE(result.success);
+  EXPECT_GT(result.relocated, 0);
+  EXPECT_NE(result.row_of_product[0], 0);
+}
+
+TEST(RepairTest, CompatibleDefectNeedsNoRelocation) {
+  const GnorPla pla = sample_pla();
+  // Product 0 ("11-") needs kInvert at col 0: a stuck-p defect there
+  // is harmless.
+  DefectMap defects(pla.num_products(), pla.num_inputs());
+  defects.add(Defect{.row = 0, .col = 0, .type = DefectType::kStuckP});
+  const RepairResult result = repair_product_plane(pla, defects, 0);
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(result.relocated, 0);
+}
+
+TEST(RepairTest, UnrepairableWithoutSpares) {
+  const GnorPla pla = sample_pla();
+  // Break column 0 of every row for every config except kOff.
+  DefectMap defects(pla.num_products(), pla.num_inputs());
+  for (int r = 0; r < pla.num_products(); ++r) {
+    defects.add(Defect{.row = r, .col = 0, .type = DefectType::kStuckOff});
+  }
+  const RepairResult result = repair_product_plane(pla, defects, 0);
+  EXPECT_FALSE(result.success);
+}
+
+TEST(RepairTest, SparesRescueBrokenRows) {
+  const GnorPla pla = sample_pla();
+  const int spares = 2;
+  DefectMap defects(pla.num_products() + spares, pla.num_inputs());
+  // Rows 0 and 1 fully broken (stuck-off everywhere breaks any literal).
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < pla.num_inputs(); ++c) {
+      defects.add(Defect{.row = r, .col = c, .type = DefectType::kStuckOff});
+    }
+  }
+  const RepairResult result = repair_product_plane(pla, defects, spares);
+  ASSERT_TRUE(result.success);
+  for (int p = 0; p < pla.num_products(); ++p) {
+    EXPECT_GE(result.row_of_product[static_cast<std::size_t>(p)], 2);
+  }
+}
+
+TEST(RepairTest, AppliedRepairPreservesFunction) {
+  const Cover f =
+      Cover::parse(4, 2, {"11-- 10", "0-1- 01", "10-1 11", "--01 10"});
+  const GnorPla pla = GnorPla::map_cover(f);
+  const int spares = 2;
+  Rng rng(31);
+  const DefectMap defects = sample_defects(pla.num_products() + spares,
+                                           pla.num_inputs(), 0.08, rng);
+  const RepairResult repair = repair_product_plane(pla, defects, spares);
+  if (!repair.success) {
+    GTEST_SKIP() << "sampled defects unrepairable; covered elsewhere";
+  }
+  const GnorPla physical = apply_repair(pla, repair, spares);
+  const auto table = logic::TruthTable::from_cover(f);
+  for (std::uint64_t m = 0; m < table.num_minterms(); ++m) {
+    std::vector<bool> in(4);
+    for (int i = 0; i < 4; ++i) {
+      in[static_cast<std::size_t>(i)] = ((m >> i) & 1) != 0;
+    }
+    const auto out = physical.evaluate(in);
+    for (int j = 0; j < 2; ++j) {
+      ASSERT_EQ(out[static_cast<std::size_t>(j)], table.get(m, j))
+          << "minterm " << m << " output " << j;
+    }
+  }
+}
+
+TEST(YieldTest, ZeroDefectsGiveFullYield) {
+  const GnorPla pla = sample_pla();
+  const auto curve = yield_sweep(pla, {0.0}, YieldSpec{.trials = 20});
+  ASSERT_EQ(curve.size(), 1u);
+  EXPECT_DOUBLE_EQ(curve[0].naive_yield, 1.0);
+  EXPECT_DOUBLE_EQ(curve[0].repaired_yield, 1.0);
+}
+
+TEST(YieldTest, RepairNeverWorseThanNaive) {
+  logic::SynthSpec spec{.num_inputs = 6, .num_outputs = 3, .num_cubes = 12,
+                        .literals_per_cube = 4};
+  const Cover f = espresso::minimize(logic::generate_cover(spec, 4)).cover;
+  const GnorPla pla = GnorPla::map_cover(f);
+  const auto curve = yield_sweep(pla, {0.005, 0.02, 0.05},
+                                 YieldSpec{.spare_rows = 3, .trials = 60});
+  for (const auto& point : curve) {
+    EXPECT_GE(point.repaired_yield, point.naive_yield)
+        << "rate " << point.defect_rate;
+  }
+}
+
+TEST(YieldTest, YieldDecreasesWithDefectRate) {
+  const GnorPla pla = sample_pla();
+  const auto curve = yield_sweep(pla, {0.0, 0.05, 0.25},
+                                 YieldSpec{.spare_rows = 1, .trials = 80});
+  EXPECT_GE(curve[0].repaired_yield, curve[1].repaired_yield);
+  EXPECT_GE(curve[1].repaired_yield, curve[2].repaired_yield);
+}
+
+TEST(YieldTest, SparesImproveYield) {
+  logic::SynthSpec spec{.num_inputs = 6, .num_outputs = 2, .num_cubes = 10,
+                        .literals_per_cube = 4};
+  const Cover f = espresso::minimize(logic::generate_cover(spec, 9)).cover;
+  const GnorPla pla = GnorPla::map_cover(f);
+  const auto none =
+      yield_sweep(pla, {0.03}, YieldSpec{.spare_rows = 0, .trials = 100});
+  const auto some =
+      yield_sweep(pla, {0.03}, YieldSpec{.spare_rows = 4, .trials = 100});
+  EXPECT_GT(some[0].repaired_yield, none[0].repaired_yield);
+}
+
+}  // namespace
+}  // namespace ambit::fault

@@ -1,0 +1,317 @@
+// Tests for the FPGA substrate: netlist generation, dual-rail vs GNOR
+// packing, placement, routing, timing, and the full flow.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "fpga/flow.h"
+#include "util/error.h"
+
+namespace ambit::fpga {
+namespace {
+
+CircuitSpec small_spec() {
+  CircuitSpec spec;
+  spec.num_primary_inputs = 8;
+  spec.num_primary_outputs = 4;
+  spec.num_logic_blocks = 60;
+  spec.num_levels = 5;
+  return spec;
+}
+
+TEST(NetlistTest, GeneratorIsDeterministic) {
+  const Netlist a = generate_circuit(small_spec(), 7);
+  const Netlist b = generate_circuit(small_spec(), 7);
+  ASSERT_EQ(a.num_blocks(), b.num_blocks());
+  ASSERT_EQ(a.num_nets(), b.num_nets());
+  for (int i = 0; i < a.num_blocks(); ++i) {
+    EXPECT_EQ(a.block(i).name, b.block(i).name);
+    EXPECT_EQ(a.block(i).fanins.size(), b.block(i).fanins.size());
+  }
+}
+
+TEST(NetlistTest, GeneratedCircuitValidates) {
+  const Netlist nl = generate_circuit(small_spec(), 3);
+  EXPECT_NO_THROW(nl.validate());
+  EXPECT_EQ(nl.count_kind(BlockKind::kInput), 8);
+  EXPECT_EQ(nl.count_kind(BlockKind::kOutput), 4);
+  EXPECT_EQ(nl.count_kind(BlockKind::kLogic), 60);
+}
+
+TEST(NetlistTest, DepthMatchesSpec) {
+  const Netlist nl = generate_circuit(small_spec(), 3);
+  // Longest fan-in chain = num_levels (every level takes a fan-in from
+  // the one below).
+  std::vector<int> depth(static_cast<std::size_t>(nl.num_blocks()), 0);
+  int max_depth = 0;
+  for (const int b : nl.topological_order()) {
+    int d = 0;
+    for (const Fanin& f : nl.block(b).fanins) {
+      d = std::max(d, depth[static_cast<std::size_t>(
+                       nl.net(f.net).driver_block)]);
+    }
+    const bool logic = nl.block(b).kind == BlockKind::kLogic;
+    depth[static_cast<std::size_t>(b)] = d + (logic ? 1 : 0);
+    max_depth = std::max(max_depth, depth[static_cast<std::size_t>(b)]);
+  }
+  EXPECT_EQ(max_depth, 5);
+}
+
+TEST(NetlistTest, ComplementRateProducesDualRailNets) {
+  CircuitSpec spec = small_spec();
+  spec.complement_fanin_rate = 0.5;
+  const Netlist nl = generate_circuit(spec, 11);
+  EXPECT_GT(nl.count_complemented_nets(), nl.num_nets() / 4);
+  spec.complement_fanin_rate = 0.0;
+  const Netlist none = generate_circuit(spec, 11);
+  EXPECT_EQ(none.count_complemented_nets(), 0);
+}
+
+TEST(NetlistTest, TopologicalOrderRespectsEdges) {
+  const Netlist nl = generate_circuit(small_spec(), 5);
+  const auto order = nl.topological_order();
+  std::vector<int> position(static_cast<std::size_t>(nl.num_blocks()));
+  for (int i = 0; i < static_cast<int>(order.size()); ++i) {
+    position[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] = i;
+  }
+  for (int b = 0; b < nl.num_blocks(); ++b) {
+    for (const Fanin& f : nl.block(b).fanins) {
+      EXPECT_LT(position[static_cast<std::size_t>(nl.net(f.net).driver_block)],
+                position[static_cast<std::size_t>(b)]);
+    }
+  }
+}
+
+TEST(ArchTest, CnfetArchDoublesTilesAndShrinksPitch) {
+  const auto e = tech::default_cnfet_electrical();
+  const FpgaArch std_arch = make_standard_arch(12, 12, e);
+  const FpgaArch cn_arch = make_cnfet_arch(std_arch, e);
+  EXPECT_GE(cn_arch.num_tiles(), 2 * std_arch.num_tiles());
+  EXPECT_NEAR(cn_arch.tile_pitch_m, std_arch.tile_pitch_m / std::sqrt(2.0),
+              1e-12);
+  EXPECT_LT(cn_arch.clb_delay_s, std_arch.clb_delay_s);
+}
+
+TEST(ArchTest, SegmentDelayGrowsWithUtilizationAndPitch) {
+  const auto e = tech::default_cnfet_electrical();
+  const FpgaArch std_arch = make_standard_arch(12, 12, e);
+  const FpgaArch cn_arch = make_cnfet_arch(std_arch, e);
+  EXPECT_GT(std_arch.segment_delay_s(1.0), std_arch.segment_delay_s(0.0));
+  EXPECT_LT(cn_arch.segment_delay_s(0.5), std_arch.segment_delay_s(0.5));
+}
+
+TEST(PackTest, DualRailUsesMorePinsAndSignals) {
+  const auto e = tech::default_cnfet_electrical();
+  const FpgaArch arch = make_standard_arch(12, 12, e);
+  CircuitSpec spec = small_spec();
+  spec.complement_fanin_rate = 0.5;
+  const Netlist nl = generate_circuit(spec, 13);
+  const PackedNetlist dual = pack(nl, arch, PackMode::kDualRail);
+  const PackedNetlist gnor = pack(nl, arch, PackMode::kGnor);
+  EXPECT_GT(dual.nets.size(), gnor.nets.size());
+  EXPECT_GE(dual.num_logic_clusters(), gnor.num_logic_clusters());
+}
+
+TEST(PackTest, EveryLogicBlockPackedExactlyOnce) {
+  const auto e = tech::default_cnfet_electrical();
+  const FpgaArch arch = make_standard_arch(12, 12, e);
+  const Netlist nl = generate_circuit(small_spec(), 17);
+  const PackedNetlist packed = pack(nl, arch, PackMode::kGnor);
+  std::set<int> seen;
+  for (const Cluster& c : packed.clusters) {
+    for (const int b : c.blocks) {
+      EXPECT_TRUE(seen.insert(b).second) << "block packed twice";
+    }
+  }
+  EXPECT_EQ(static_cast<int>(seen.size()), nl.num_blocks());
+}
+
+TEST(PackTest, CapacityAndInputLimitsRespected) {
+  const auto e = tech::default_cnfet_electrical();
+  FpgaArch arch = make_standard_arch(12, 12, e);
+  arch.clb_capacity = 3;
+  arch.clb_max_inputs = 6;
+  const Netlist nl = generate_circuit(small_spec(), 19);
+  for (const PackMode mode : {PackMode::kDualRail, PackMode::kGnor}) {
+    const PackedNetlist packed = pack(nl, arch, mode);
+    for (const Cluster& c : packed.clusters) {
+      if (c.is_io) {
+        continue;
+      }
+      EXPECT_LE(static_cast<int>(c.blocks.size()), arch.clb_capacity);
+      EXPECT_LE(c.input_pins, arch.clb_max_inputs);
+    }
+  }
+}
+
+TEST(PackTest, RoutedNetsCrossClusterBoundaries) {
+  const auto e = tech::default_cnfet_electrical();
+  const FpgaArch arch = make_standard_arch(12, 12, e);
+  const Netlist nl = generate_circuit(small_spec(), 23);
+  const PackedNetlist packed = pack(nl, arch, PackMode::kGnor);
+  for (const auto& net : packed.nets) {
+    EXPECT_FALSE(net.sink_clusters.empty());
+    for (const int s : net.sink_clusters) {
+      EXPECT_NE(s, net.driver_cluster);
+    }
+  }
+}
+
+TEST(PlaceTest, AnnealingImprovesWirelength) {
+  const auto e = tech::default_cnfet_electrical();
+  const FpgaArch arch = make_standard_arch(12, 12, e);
+  const Netlist nl = generate_circuit(small_spec(), 29);
+  const PackedNetlist packed = pack(nl, arch, PackMode::kGnor);
+  const Placement result = place(packed, arch);
+  EXPECT_LE(result.hpwl, result.initial_hpwl);
+  EXPECT_GT(result.moves_accepted, 0);
+}
+
+TEST(PlaceTest, PlacementIsLegal) {
+  const auto e = tech::default_cnfet_electrical();
+  const FpgaArch arch = make_standard_arch(12, 12, e);
+  const Netlist nl = generate_circuit(small_spec(), 31);
+  const PackedNetlist packed = pack(nl, arch, PackMode::kGnor);
+  const Placement result = place(packed, arch);
+  std::set<std::pair<int, int>> used;
+  for (int c = 0; c < static_cast<int>(packed.clusters.size()); ++c) {
+    const Location& l = result.cluster_location[static_cast<std::size_t>(c)];
+    if (packed.clusters[static_cast<std::size_t>(c)].is_io) {
+      const bool on_ring = l.x == -1 || l.x == arch.grid_width || l.y == -1 ||
+                           l.y == arch.grid_height;
+      EXPECT_TRUE(on_ring) << "pad off ring at (" << l.x << "," << l.y << ")";
+    } else {
+      EXPECT_GE(l.x, 0);
+      EXPECT_LT(l.x, arch.grid_width);
+      EXPECT_GE(l.y, 0);
+      EXPECT_LT(l.y, arch.grid_height);
+      EXPECT_TRUE(used.insert({l.x, l.y}).second)
+          << "two clusters on one tile";
+    }
+  }
+}
+
+TEST(PlaceTest, DeterministicForSeed) {
+  const auto e = tech::default_cnfet_electrical();
+  const FpgaArch arch = make_standard_arch(12, 12, e);
+  const Netlist nl = generate_circuit(small_spec(), 37);
+  const PackedNetlist packed = pack(nl, arch, PackMode::kGnor);
+  const Placement a = place(packed, arch);
+  const Placement b = place(packed, arch);
+  EXPECT_EQ(a.hpwl, b.hpwl);
+}
+
+TEST(PlaceTest, OverflowRejected) {
+  const auto e = tech::default_cnfet_electrical();
+  const FpgaArch arch = make_standard_arch(2, 2, e);
+  CircuitSpec spec = small_spec();
+  const Netlist nl = generate_circuit(spec, 41);
+  const PackedNetlist packed = pack(nl, arch, PackMode::kGnor);
+  EXPECT_THROW(place(packed, arch), ambit::Error);
+}
+
+TEST(RouteTest, AllSinksReached) {
+  const auto e = tech::default_cnfet_electrical();
+  const FpgaArch arch = make_standard_arch(12, 12, e);
+  const Netlist nl = generate_circuit(small_spec(), 43);
+  const PackedNetlist packed = pack(nl, arch, PackMode::kGnor);
+  const Placement pl = place(packed, arch);
+  const RoutingResult rt = route(packed, arch, pl);
+  ASSERT_EQ(rt.trees.size(), packed.nets.size());
+  for (std::size_t n = 0; n < packed.nets.size(); ++n) {
+    EXPECT_EQ(rt.trees[n].sink_hops.size(),
+              packed.nets[n].sink_clusters.size());
+    EXPECT_EQ(rt.trees[n].sink_paths.size(),
+              packed.nets[n].sink_clusters.size());
+    for (std::size_t s = 0; s < rt.trees[n].sink_hops.size(); ++s) {
+      EXPECT_EQ(static_cast<int>(rt.trees[n].sink_paths[s].size()),
+                rt.trees[n].sink_hops[s]);
+    }
+  }
+}
+
+TEST(RouteTest, CapacityRespectedOnSuccess) {
+  const auto e = tech::default_cnfet_electrical();
+  const FpgaArch arch = make_standard_arch(12, 12, e);
+  const Netlist nl = generate_circuit(small_spec(), 47);
+  const PackedNetlist packed = pack(nl, arch, PackMode::kGnor);
+  const Placement pl = place(packed, arch);
+  const RoutingResult rt = route(packed, arch, pl);
+  ASSERT_TRUE(rt.success);
+  for (const auto& [edge, usage] : rt.edge_usage) {
+    EXPECT_LE(usage, arch.channel_width);
+  }
+}
+
+TEST(RouteTest, TightChannelsForceIterations) {
+  const auto e = tech::default_cnfet_electrical();
+  FpgaArch narrow = make_standard_arch(12, 12, e);
+  narrow.channel_width = 2;
+  FpgaArch wide = narrow;
+  wide.channel_width = 50;
+  const Netlist nl = generate_circuit(small_spec(), 53);
+  const PackedNetlist packed = pack(nl, narrow, PackMode::kDualRail);
+  const Placement pl = place(packed, narrow);
+  const RoutingResult rt_narrow = route(packed, narrow, pl);
+  const RoutingResult rt_wide = route(packed, wide, pl);
+  EXPECT_TRUE(rt_wide.success);
+  EXPECT_LE(rt_wide.iterations, rt_narrow.iterations);
+  EXPECT_LE(rt_wide.total_wirelength, rt_narrow.total_wirelength + 64);
+}
+
+TEST(TimingTest, CriticalPathPositiveAndConsistent) {
+  const auto e = tech::default_cnfet_electrical();
+  const FpgaArch arch = make_standard_arch(12, 12, e);
+  const Netlist nl = generate_circuit(small_spec(), 59);
+  const FlowReport report = run_flow(nl, arch, {.mode = PackMode::kGnor});
+  EXPECT_GT(report.timing.critical_path_s, 0);
+  EXPECT_NEAR(report.timing.fmax_hz * report.timing.critical_path_s, 1.0,
+              1e-9);
+  EXPECT_GE(report.timing.logic_levels, 1);
+  EXPECT_LE(report.timing.logic_levels, 5);
+  EXPECT_GE(report.timing.routing_fraction, 0);
+  EXPECT_LE(report.timing.routing_fraction, 1);
+}
+
+TEST(TimingTest, CongestionLoadingSlowsDesign) {
+  const auto e = tech::default_cnfet_electrical();
+  FpgaArch coupled = make_standard_arch(12, 12, e);
+  FpgaArch uncoupled = coupled;
+  uncoupled.coupling_factor = 0;
+  const Netlist nl = generate_circuit(small_spec(), 61);
+  const PackedNetlist packed = pack(nl, coupled, PackMode::kDualRail);
+  const Placement pl = place(packed, coupled);
+  const RoutingResult rt = route(packed, coupled, pl);
+  const TimingReport with = analyze_timing(nl, packed, rt, coupled);
+  const TimingReport without = analyze_timing(nl, packed, rt, uncoupled);
+  EXPECT_GT(with.critical_path_s, without.critical_path_s);
+}
+
+TEST(FlowTest, Table2ShapeOnSmallDesign) {
+  // Scaled-down version of the Table 2 experiment: same circuit on the
+  // standard and CNFET architectures; the CNFET variant must occupy
+  // roughly half the die fraction and clock faster.
+  const auto e = tech::default_cnfet_electrical();
+  FpgaArch std_arch = make_standard_arch(8, 8, e);
+  std_arch.channel_width = 20;
+  const FpgaArch cn_arch = make_cnfet_arch(std_arch, e);
+
+  CircuitSpec spec;
+  spec.num_primary_inputs = 12;
+  spec.num_primary_outputs = 6;
+  spec.num_logic_blocks = 170;
+  spec.num_levels = 6;
+  const Netlist nl = generate_circuit(spec, 2008);
+
+  const FlowReport std_rep = run_flow(nl, std_arch, {.mode = PackMode::kDualRail});
+  const FlowReport cn_rep = run_flow(nl, cn_arch, {.mode = PackMode::kGnor});
+
+  EXPECT_GT(std_rep.occupancy, 0.75);
+  EXPECT_LT(cn_rep.occupancy, 0.62 * std_rep.occupancy);
+  EXPECT_LT(cn_rep.nets_routed, std_rep.nets_routed);
+  EXPECT_GT(cn_rep.timing.fmax_hz, 1.15 * std_rep.timing.fmax_hz);
+}
+
+}  // namespace
+}  // namespace ambit::fpga

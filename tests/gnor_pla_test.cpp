@@ -1,0 +1,215 @@
+// Tests for the GNOR-PLA and classical-PLA cover mappers: functional
+// equivalence against truth tables, phase handling, cell counting.
+#include <gtest/gtest.h>
+
+#include "core/classical_pla.h"
+#include "core/gnor_pla.h"
+#include "espresso/espresso.h"
+#include "espresso/phase_opt.h"
+#include "logic/truth_table.h"
+#include "util/rng.h"
+
+namespace ambit::core {
+namespace {
+
+using logic::Cover;
+using logic::Cube;
+using logic::Literal;
+using logic::TruthTable;
+
+std::vector<bool> minterm_bits(std::uint64_t m, int n) {
+  std::vector<bool> bits(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    bits[static_cast<std::size_t>(i)] = ((m >> i) & 1) != 0;
+  }
+  return bits;
+}
+
+/// Exhaustively checks a mapped PLA (any type with evaluate()) against
+/// the truth table of `reference`.
+template <typename Pla>
+void expect_matches_cover(const Pla& pla, const Cover& reference) {
+  const TruthTable t = TruthTable::from_cover(reference);
+  for (std::uint64_t m = 0; m < t.num_minterms(); ++m) {
+    const auto out = pla.evaluate(minterm_bits(m, reference.num_inputs()));
+    for (int j = 0; j < reference.num_outputs(); ++j) {
+      ASSERT_EQ(out[static_cast<std::size_t>(j)], t.get(m, j))
+          << "minterm " << m << " output " << j;
+    }
+  }
+}
+
+Cover random_cover(ambit::Rng& rng, int ni, int no, int cubes) {
+  Cover f(ni, no);
+  for (int k = 0; k < cubes; ++k) {
+    Cube c(ni, no);
+    for (int i = 0; i < ni; ++i) {
+      const auto r = rng.next_below(3);
+      c.set_input(i, r == 0   ? Literal::kZero
+                     : r == 1 ? Literal::kOne
+                              : Literal::kDontCare);
+    }
+    c.set_output(static_cast<int>(rng.next_below(no)), true);
+    f.add(c);
+  }
+  return f;
+}
+
+TEST(GnorPlaTest, ProductPlaneMappingPolarity) {
+  // P = x0·x̄1 -> cell0 = invert (p-type), cell1 = pass (n-type).
+  const Cover f = Cover::parse(2, 1, {"10 1"});
+  const GnorPla pla = GnorPla::map_cover(f);
+  EXPECT_EQ(pla.product_plane().cell(0, 0), CellConfig::kInvert);
+  EXPECT_EQ(pla.product_plane().cell(0, 1), CellConfig::kPass);
+  expect_matches_cover(pla, f);
+}
+
+TEST(GnorPlaTest, ProductLinesCarryProducts) {
+  const Cover f = Cover::parse(3, 1, {"11- 1", "0-1 1"});
+  const GnorPla pla = GnorPla::map_cover(f);
+  // At x = 110 the first product fires, the second does not.
+  const auto products = pla.evaluate_products({true, true, false});
+  EXPECT_TRUE(products[0]);
+  EXPECT_FALSE(products[1]);
+}
+
+TEST(GnorPlaTest, ExorMapsExactly) {
+  const Cover f = Cover::parse(2, 1, {"10 1", "01 1"});
+  expect_matches_cover(GnorPla::map_cover(f), f);
+}
+
+TEST(GnorPlaTest, MultiOutputSharing) {
+  const Cover f = Cover::parse(3, 2, {"11- 11", "--1 01"});
+  const GnorPla pla = GnorPla::map_cover(f);
+  expect_matches_cover(pla, f);
+  // Shared product drives both output rows.
+  EXPECT_EQ(pla.output_plane().cell(0, 0), CellConfig::kPass);
+  EXPECT_EQ(pla.output_plane().cell(1, 0), CellConfig::kPass);
+}
+
+TEST(GnorPlaTest, CellCountMatchesAreaModel) {
+  const Cover f = Cover::parse(4, 3, {"10-- 111", "--11 010", "0--1 001"});
+  const GnorPla pla = GnorPla::map_cover(f);
+  EXPECT_EQ(pla.cell_count(), (4 + 3) * 3);
+  EXPECT_EQ(pla.dimensions().inputs, 4);
+  EXPECT_EQ(pla.dimensions().outputs, 3);
+  EXPECT_EQ(pla.dimensions().products, 3);
+}
+
+TEST(GnorPlaTest, ComplementedPhaseRecoversPositiveFunction) {
+  // Implement f = x0 ∨ x1 through its complement cover f̄ = x̄0·x̄1.
+  const Cover f_bar = Cover::parse(2, 1, {"00 1"});
+  const GnorPla pla = GnorPla::map_cover(f_bar, {true});
+  const Cover f = Cover::parse(2, 1, {"1- 1", "-1 1"});
+  expect_matches_cover(pla, f);
+  EXPECT_FALSE(pla.buffer_inverted(0));
+}
+
+TEST(GnorPlaTest, PhaseOptimizedCoverMapsToOriginalFunction) {
+  // Nearly-full ON-set: phase opt complements the output; the mapped
+  // PLA must still compute the original function.
+  ambit::Rng rng(808);
+  Cover f(3, 1);
+  for (std::uint64_t m = 1; m < 8; ++m) {
+    Cube c(3, 1);
+    c.set_output(0, true);
+    for (int i = 0; i < 3; ++i) {
+      c.set_input(i, ((m >> i) & 1) ? Literal::kOne : Literal::kZero);
+    }
+    f.add(c);
+  }
+  const auto phased =
+      espresso::optimize_output_phases(f, Cover(3, 1));
+  ASSERT_TRUE(phased.complemented[0]);
+  const GnorPla pla = GnorPla::map_cover(phased.cover, phased.complemented);
+  expect_matches_cover(pla, f);
+}
+
+TEST(GnorPlaTest, AsciiShowsBothPlanes) {
+  const Cover f = Cover::parse(2, 1, {"10 1"});
+  const std::string art = GnorPla::map_cover(f).to_ascii();
+  EXPECT_NE(art.find("product plane"), std::string::npos);
+  EXPECT_NE(art.find("output plane"), std::string::npos);
+  EXPECT_NE(art.find("-+"), std::string::npos);
+}
+
+TEST(ClassicalPlaTest, LiteralColumnsConnectComplementRail) {
+  // P = x0 -> complement rail of input 0 (column 1) is connected.
+  const Cover f = Cover::parse(2, 1, {"1- 1"});
+  const ClassicalPla pla = ClassicalPla::map_cover(f);
+  EXPECT_TRUE(pla.and_plane_connected(0, 1));
+  EXPECT_FALSE(pla.and_plane_connected(0, 0));
+  EXPECT_FALSE(pla.and_plane_connected(0, 2));
+  expect_matches_cover(pla, f);
+}
+
+TEST(ClassicalPlaTest, ExorMapsExactly) {
+  const Cover f = Cover::parse(2, 1, {"10 1", "01 1"});
+  expect_matches_cover(ClassicalPla::map_cover(f), f);
+}
+
+TEST(ClassicalPlaTest, CellCountUsesReplicatedColumns) {
+  const Cover f = Cover::parse(4, 3, {"10-- 111", "--11 010"});
+  const ClassicalPla pla = ClassicalPla::map_cover(f);
+  EXPECT_EQ(pla.cell_count(), (2 * 4 + 3) * 2);
+}
+
+TEST(ClassicalPlaTest, ComplementedPhaseRecovered) {
+  const Cover f_bar = Cover::parse(2, 1, {"00 1"});
+  const ClassicalPla pla = ClassicalPla::map_cover(f_bar, {true});
+  const Cover f = Cover::parse(2, 1, {"1- 1", "-1 1"});
+  expect_matches_cover(pla, f);
+}
+
+TEST(ClassicalPlaTest, ActiveCellsCountsConnections)  {
+  const Cover f = Cover::parse(2, 1, {"10 1"});
+  const ClassicalPla pla = ClassicalPla::map_cover(f);
+  // 2 literal connections + 1 output connection.
+  EXPECT_EQ(pla.active_cells(), 3);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: random covers map equivalently on BOTH architectures,
+// before and after Espresso minimization.
+// ---------------------------------------------------------------------------
+
+using SweepParam = std::tuple<int, int, int>;
+
+class PlaMappingSweep : public testing::TestWithParam<SweepParam> {};
+
+TEST_P(PlaMappingSweep, BothArchitecturesMatchFunction) {
+  const auto [ni, no, cubes] = GetParam();
+  ambit::Rng rng(static_cast<std::uint64_t>(ni * 31 + no * 7 + cubes));
+  for (int trial = 0; trial < 5; ++trial) {
+    const Cover f = random_cover(rng, ni, no, cubes);
+    expect_matches_cover(GnorPla::map_cover(f), f);
+    expect_matches_cover(ClassicalPla::map_cover(f), f);
+
+    const auto minimized = espresso::minimize(f);
+    expect_matches_cover(GnorPla::map_cover(minimized.cover), f);
+    expect_matches_cover(ClassicalPla::map_cover(minimized.cover), f);
+  }
+}
+
+TEST_P(PlaMappingSweep, GnorUsesFewerCellsThanClassical) {
+  const auto [ni, no, cubes] = GetParam();
+  ambit::Rng rng(static_cast<std::uint64_t>(ni * 131 + no * 17 + cubes));
+  const Cover f = random_cover(rng, ni, no, cubes);
+  EXPECT_LT(GnorPla::map_cover(f).cell_count(),
+            ClassicalPla::map_cover(f).cell_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeGrid, PlaMappingSweep,
+    testing::Values(SweepParam{3, 1, 5}, SweepParam{4, 2, 6},
+                    SweepParam{5, 1, 8}, SweepParam{5, 4, 10},
+                    SweepParam{6, 2, 12}, SweepParam{7, 3, 14},
+                    SweepParam{8, 1, 16}, SweepParam{8, 5, 18}),
+    [](const testing::TestParamInfo<SweepParam>& info) {
+      return "i" + std::to_string(std::get<0>(info.param)) + "_o" +
+             std::to_string(std::get<1>(info.param)) + "_c" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+}  // namespace
+}  // namespace ambit::core

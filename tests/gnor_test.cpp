@@ -1,0 +1,169 @@
+// Tests for the GNOR gate and GNOR plane, including the paper's Fig. 2
+// configuration Y = NOR(A, B', D) with input C inhibited.
+#include <gtest/gtest.h>
+
+#include "core/gnor.h"
+#include "core/gnor_plane.h"
+#include "util/error.h"
+
+namespace ambit::core {
+namespace {
+
+TEST(GnorGateTest, FreshGateIsConstantOne) {
+  GnorGate gate(4);
+  EXPECT_TRUE(gate.evaluate({false, false, false, false}));
+  EXPECT_TRUE(gate.evaluate({true, true, true, true}));
+  EXPECT_EQ(gate.active_cells(), 0);
+  EXPECT_EQ(gate.function_string(), "1");
+}
+
+TEST(GnorGateTest, SingleNCellIsInverter) {
+  GnorGate gate(1);
+  gate.set_cell(0, CellConfig::kPass);
+  EXPECT_TRUE(gate.evaluate({false}));
+  EXPECT_FALSE(gate.evaluate({true}));
+}
+
+TEST(GnorGateTest, SinglePCellIsBuffer) {
+  // Y = NOR(A') = A.
+  GnorGate gate(1);
+  gate.set_cell(0, CellConfig::kInvert);
+  EXPECT_FALSE(gate.evaluate({false}));
+  EXPECT_TRUE(gate.evaluate({true}));
+}
+
+TEST(GnorGateTest, TwoInputNorAndExorBuildingBlock) {
+  // Paper §3: "A 2-input function is given by NOR(C1 ⊙ A, C2 ⊙ B),
+  // representing EXOR" — with one input inverted the gate computes one
+  // EXOR product NOR-style; plain pass cells give classic NOR.
+  GnorGate nor2(2);
+  nor2.configure({CellConfig::kPass, CellConfig::kPass});
+  EXPECT_TRUE(nor2.evaluate({false, false}));
+  EXPECT_FALSE(nor2.evaluate({true, false}));
+  EXPECT_FALSE(nor2.evaluate({false, true}));
+  EXPECT_FALSE(nor2.evaluate({true, true}));
+
+  // NOR(A', B) = A·B̄ : one EXOR minterm.
+  GnorGate mixed(2);
+  mixed.configure({CellConfig::kInvert, CellConfig::kPass});
+  EXPECT_FALSE(mixed.evaluate({false, false}));
+  EXPECT_TRUE(mixed.evaluate({true, false}));
+  EXPECT_FALSE(mixed.evaluate({false, true}));
+  EXPECT_FALSE(mixed.evaluate({true, true}));
+}
+
+// Fig. 2 of the paper: a 4-input GNOR with C1=V+ (A pass), C2=V−
+// (B inverted), C3=V0 (C inhibited), C4=V+ (D pass):
+// Y = NOR(A, B', D).
+class Fig2Gate : public testing::Test {
+ protected:
+  Fig2Gate() : gate_(4) {
+    gate_.configure({CellConfig::kPass, CellConfig::kInvert, CellConfig::kOff,
+                     CellConfig::kPass});
+  }
+  GnorGate gate_;
+};
+
+TEST_F(Fig2Gate, FunctionStringMatchesPaper) {
+  EXPECT_EQ(gate_.function_string(), "NOR(A, B', D)");
+  EXPECT_EQ(gate_.active_cells(), 3);
+}
+
+TEST_F(Fig2Gate, FullTruthTable) {
+  for (int a = 0; a <= 1; ++a) {
+    for (int b = 0; b <= 1; ++b) {
+      for (int c = 0; c <= 1; ++c) {
+        for (int d = 0; d <= 1; ++d) {
+          const bool expected = !(a == 1 || b == 0 || d == 1);
+          EXPECT_EQ(gate_.evaluate({a == 1, b == 1, c == 1, d == 1}), expected)
+              << "a=" << a << " b=" << b << " c=" << c << " d=" << d;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(Fig2Gate, InhibitedInputHasNoInfluence) {
+  for (int a = 0; a <= 1; ++a) {
+    for (int b = 0; b <= 1; ++b) {
+      for (int d = 0; d <= 1; ++d) {
+        EXPECT_EQ(gate_.evaluate({a == 1, b == 1, false, d == 1}),
+                  gate_.evaluate({a == 1, b == 1, true, d == 1}));
+      }
+    }
+  }
+}
+
+TEST(GnorGateTest, ConfigureArityChecked) {
+  GnorGate gate(3);
+  EXPECT_THROW(gate.configure({CellConfig::kPass}), ambit::Error);
+  EXPECT_THROW(gate.evaluate({true}), ambit::Error);
+}
+
+TEST(GnorGateTest, VoltageMapping) {
+  const auto e = tech::default_cnfet_electrical();
+  EXPECT_DOUBLE_EQ(pg_voltage_of(CellConfig::kPass, e), e.v_polarity_high);
+  EXPECT_DOUBLE_EQ(pg_voltage_of(CellConfig::kInvert, e), e.v_polarity_low);
+  EXPECT_DOUBLE_EQ(pg_voltage_of(CellConfig::kOff, e), e.v_polarity_off);
+}
+
+TEST(GnorGateTest, PolarityMapping) {
+  EXPECT_EQ(polarity_of(CellConfig::kPass), PolarityState::kNType);
+  EXPECT_EQ(polarity_of(CellConfig::kInvert), PolarityState::kPType);
+  EXPECT_EQ(polarity_of(CellConfig::kOff), PolarityState::kOff);
+}
+
+TEST(GnorPlaneTest, FreshPlaneAllRowsOne) {
+  GnorPlane plane(3, 2);
+  const auto out = plane.evaluate({true, false});
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_TRUE(out[0]);
+  EXPECT_TRUE(out[1]);
+  EXPECT_TRUE(out[2]);
+}
+
+TEST(GnorPlaneTest, RowsEvaluateIndependently) {
+  GnorPlane plane(2, 2);
+  plane.set_cell(0, 0, CellConfig::kPass);    // row0 = NOR(A) = Ā
+  plane.set_cell(1, 1, CellConfig::kInvert);  // row1 = NOR(B') = B
+  const auto out = plane.evaluate({true, true});
+  EXPECT_FALSE(out[0]);
+  EXPECT_TRUE(out[1]);
+}
+
+TEST(GnorPlaneTest, RowGateMatchesPlaneEvaluation) {
+  GnorPlane plane(2, 3);
+  plane.set_cell(1, 0, CellConfig::kInvert);
+  plane.set_cell(1, 2, CellConfig::kPass);
+  const GnorGate gate = plane.row_gate(1);
+  for (int m = 0; m < 8; ++m) {
+    const std::vector<bool> in{(m & 1) != 0, (m & 2) != 0, (m & 4) != 0};
+    EXPECT_EQ(gate.evaluate(in), plane.evaluate(in)[1]);
+  }
+}
+
+TEST(GnorPlaneTest, ActiveCellsAndCount) {
+  GnorPlane plane(4, 5);
+  EXPECT_EQ(plane.cell_count(), 20);
+  EXPECT_EQ(plane.active_cells(), 0);
+  plane.set_cell(0, 0, CellConfig::kPass);
+  plane.set_cell(3, 4, CellConfig::kInvert);
+  EXPECT_EQ(plane.active_cells(), 2);
+}
+
+TEST(GnorPlaneTest, AsciiArt) {
+  GnorPlane plane(2, 3);
+  plane.set_cell(0, 0, CellConfig::kPass);
+  plane.set_cell(1, 1, CellConfig::kInvert);
+  EXPECT_EQ(plane.to_ascii(), "+..\n.-.\n");
+}
+
+TEST(GnorPlaneTest, BoundsChecked) {
+  GnorPlane plane(2, 2);
+  EXPECT_THROW(plane.cell(2, 0), ambit::Error);
+  EXPECT_THROW(plane.set_cell(0, 2, CellConfig::kPass), ambit::Error);
+  EXPECT_THROW(plane.evaluate({true}), ambit::Error);
+}
+
+}  // namespace
+}  // namespace ambit::core

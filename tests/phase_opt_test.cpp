@@ -1,0 +1,135 @@
+// Tests for output phase optimization (Sasao-style).
+#include <gtest/gtest.h>
+
+#include "espresso/phase_opt.h"
+#include "espresso/unate.h"
+#include "logic/truth_table.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace ambit::espresso {
+namespace {
+
+using logic::Cover;
+using logic::Cube;
+using logic::Literal;
+using logic::TruthTable;
+
+/// Recovers the positive-phase truth table from a phase-optimized
+/// result: flipped outputs are complemented back.
+TruthTable recover(const PhaseOptResult& result, int ni, int no) {
+  const TruthTable raw = TruthTable::from_cover(result.cover);
+  TruthTable fixed(ni, no);
+  for (int j = 0; j < no; ++j) {
+    for (std::uint64_t m = 0; m < raw.num_minterms(); ++m) {
+      const bool v = raw.get(m, j);
+      fixed.set(m, j, result.complemented[static_cast<std::size_t>(j)] ? !v : v);
+    }
+  }
+  return fixed;
+}
+
+TEST(ApplyPhasesTest, AllPositiveIsOriginalOnset) {
+  const Cover f = Cover::parse(2, 2, {"10 10", "01 01"});
+  const Cover g = apply_phases(f, Cover(2, 2), {false, false});
+  EXPECT_TRUE(logic::equivalent(f, g));
+}
+
+TEST(ApplyPhasesTest, FlippedOutputIsComplement) {
+  const Cover f = Cover::parse(2, 1, {"10 1", "01 1"});  // EXOR
+  const Cover g = apply_phases(f, Cover(2, 1), {true});
+  const TruthTable tg = TruthTable::from_cover(g);
+  EXPECT_TRUE(tg.get(0b00, 0));
+  EXPECT_TRUE(tg.get(0b11, 0));
+  EXPECT_FALSE(tg.get(0b01, 0));
+}
+
+TEST(ApplyPhasesTest, DontCaresAbsorbedIntoFlippedPhase) {
+  // f = x0, dc = x̄0x1. Complemented phase onset = complement(f ∪ d).
+  const Cover f = Cover::parse(2, 1, {"1- 1"});
+  const Cover d = Cover::parse(2, 1, {"01 1"});
+  const Cover g = apply_phases(f, d, {true});
+  const TruthTable tg = TruthTable::from_cover(g);
+  EXPECT_TRUE(tg.get(0b00, 0));    // x0=0,x1=0: off in f, on in f̄
+  EXPECT_FALSE(tg.get(0b01, 0));   // onset of f
+  EXPECT_FALSE(tg.get(0b10, 0));   // don't-care: excluded from f̄ onset
+}
+
+TEST(PhaseOptTest, ComplementCheaperFunctionGetsFlipped) {
+  // f = OR of all minterms except one: f̄ is a single minterm, so the
+  // complemented phase yields a 1-cube cover.
+  Cover f(3, 1);
+  for (std::uint64_t m = 1; m < 8; ++m) {
+    Cube c(3, 1);
+    c.set_output(0, true);
+    for (int i = 0; i < 3; ++i) {
+      c.set_input(i, ((m >> i) & 1) ? Literal::kOne : Literal::kZero);
+    }
+    f.add(c);
+  }
+  const auto result = optimize_output_phases(f, Cover(3, 1));
+  ASSERT_EQ(result.complemented.size(), 1u);
+  EXPECT_TRUE(result.complemented[0]);
+  EXPECT_EQ(result.cover.size(), 1u);
+  EXPECT_LT(result.cover.size(), result.baseline_cubes);
+}
+
+TEST(PhaseOptTest, SymmetricFunctionKeepsPositivePhase) {
+  // EXOR: both phases cost 2 cubes; no flip should be accepted.
+  const Cover f = Cover::parse(2, 1, {"10 1", "01 1"});
+  const auto result = optimize_output_phases(f, Cover(2, 1));
+  EXPECT_FALSE(result.complemented[0]);
+  EXPECT_EQ(result.cover.size(), 2u);
+}
+
+TEST(PhaseOptTest, RecoveredFunctionMatchesOriginal) {
+  ambit::Rng rng(123);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int ni = 4;
+    const int no = 2;
+    Cover f(ni, no);
+    for (int k = 0; k < 8; ++k) {
+      Cube c(ni, no);
+      for (int i = 0; i < ni; ++i) {
+        const auto r = rng.next_below(3);
+        c.set_input(i, r == 0   ? Literal::kZero
+                       : r == 1 ? Literal::kOne
+                                : Literal::kDontCare);
+      }
+      c.set_output(static_cast<int>(rng.next_below(no)), true);
+      f.add(c);
+    }
+    const auto result = optimize_output_phases(f, Cover(ni, no));
+    EXPECT_EQ(recover(result, ni, no), TruthTable::from_cover(f));
+  }
+}
+
+TEST(PhaseOptTest, NeverWorseThanBaseline) {
+  ambit::Rng rng(456);
+  for (int trial = 0; trial < 8; ++trial) {
+    const int ni = 5;
+    const int no = 3;
+    Cover f(ni, no);
+    for (int k = 0; k < 12; ++k) {
+      Cube c(ni, no);
+      for (int i = 0; i < ni; ++i) {
+        const auto r = rng.next_below(4);
+        c.set_input(i, r == 0   ? Literal::kZero
+                       : r == 1 ? Literal::kOne
+                                : Literal::kDontCare);
+      }
+      c.set_output(static_cast<int>(rng.next_below(no)), true);
+      f.add(c);
+    }
+    const auto result = optimize_output_phases(f, Cover(ni, no));
+    EXPECT_LE(result.cover.size(), result.baseline_cubes);
+  }
+}
+
+TEST(PhaseOptTest, PhaseVectorArityChecked) {
+  const Cover f = Cover::parse(2, 2, {"10 11"});
+  EXPECT_THROW(apply_phases(f, Cover(2, 2), {true}), ambit::Error);
+}
+
+}  // namespace
+}  // namespace ambit::espresso

@@ -1,0 +1,175 @@
+// Tests for the .pla reader/writer: directives, cube rows, type f/fd
+// semantics, error reporting, round-tripping.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "logic/pla_io.h"
+#include "logic/truth_table.h"
+#include "util/error.h"
+
+namespace ambit::logic {
+namespace {
+
+PlaFile parse(const std::string& text) {
+  std::istringstream in(text);
+  return read_pla(in, "test");
+}
+
+TEST(PlaIoTest, MinimalFile) {
+  const PlaFile pla = parse(
+      ".i 2\n"
+      ".o 1\n"
+      "10 1\n"
+      "01 1\n"
+      ".e\n");
+  EXPECT_EQ(pla.num_inputs(), 2);
+  EXPECT_EQ(pla.num_outputs(), 1);
+  EXPECT_EQ(pla.onset.size(), 2u);
+  EXPECT_TRUE(pla.dcset.empty());
+}
+
+TEST(PlaIoTest, LabelsAndProductCount) {
+  const PlaFile pla = parse(
+      ".i 2\n.o 2\n.p 1\n"
+      ".ilb a b\n.ob f g\n"
+      "1- 10\n"
+      ".e\n");
+  ASSERT_EQ(pla.input_labels.size(), 2u);
+  EXPECT_EQ(pla.input_labels[1], "b");
+  ASSERT_EQ(pla.output_labels.size(), 2u);
+  EXPECT_EQ(pla.output_labels[0], "f");
+}
+
+TEST(PlaIoTest, WrongProductCountRejected) {
+  EXPECT_THROW(parse(".i 2\n.o 1\n.p 3\n10 1\n.e\n"), Error);
+}
+
+TEST(PlaIoTest, TypeFdSplitsOnsetAndDcset) {
+  const PlaFile pla = parse(
+      ".i 2\n.o 2\n.type fd\n"
+      "10 1-\n"
+      "01 -1\n"
+      ".e\n");
+  // Row 1: out0 on, out1 dc. Row 2: out0 dc, out1 on.
+  EXPECT_EQ(pla.onset.size(), 2u);
+  EXPECT_EQ(pla.dcset.size(), 2u);
+  EXPECT_TRUE(pla.onset[0].output(0));
+  EXPECT_FALSE(pla.onset[0].output(1));
+  EXPECT_FALSE(pla.dcset[0].output(0));
+  EXPECT_TRUE(pla.dcset[0].output(1));
+}
+
+TEST(PlaIoTest, TypeFIgnoresDashOutputs) {
+  const PlaFile pla = parse(
+      ".i 2\n.o 2\n.type f\n"
+      "10 1-\n"
+      ".e\n");
+  EXPECT_EQ(pla.onset.size(), 1u);
+  EXPECT_TRUE(pla.dcset.empty());
+}
+
+TEST(PlaIoTest, FourAndTildeOutputChars) {
+  const PlaFile pla = parse(
+      ".i 1\n.o 2\n"
+      "1 4~\n"
+      ".e\n");
+  ASSERT_EQ(pla.onset.size(), 1u);
+  EXPECT_TRUE(pla.onset[0].output(0));
+  EXPECT_FALSE(pla.onset[0].output(1));
+}
+
+TEST(PlaIoTest, PackedRowWithoutSpace) {
+  const PlaFile pla = parse(".i 3\n.o 1\n1011\n.e\n");
+  ASSERT_EQ(pla.onset.size(), 1u);
+  EXPECT_EQ(pla.onset[0].to_string(), "101 1");
+}
+
+TEST(PlaIoTest, CommentsAndBlankLinesIgnored) {
+  const PlaFile pla = parse(
+      "# header comment\n"
+      ".i 2\n.o 1\n"
+      "\n"
+      "10 1   # trailing comment\n"
+      ".e\n");
+  EXPECT_EQ(pla.onset.size(), 1u);
+}
+
+TEST(PlaIoTest, TwoAsInputDontCare) {
+  const PlaFile pla = parse(".i 3\n.o 1\n122 1\n.e\n");
+  EXPECT_EQ(pla.onset[0].to_string(), "1-- 1");
+}
+
+TEST(PlaIoTest, MissingDotIRejected) {
+  EXPECT_THROW(parse(".o 1\n1 1\n.e\n"), Error);
+}
+
+TEST(PlaIoTest, RowBeforeDeclarationsRejected) {
+  EXPECT_THROW(parse("10 1\n.i 2\n.o 1\n.e\n"), Error);
+}
+
+TEST(PlaIoTest, BadArityRejected) {
+  EXPECT_THROW(parse(".i 2\n.o 1\n101 1\n.e\n"), Error);
+  EXPECT_THROW(parse(".i 2\n.o 1\n10 11\n.e\n"), Error);
+}
+
+TEST(PlaIoTest, UnknownDirectiveRejected) {
+  EXPECT_THROW(parse(".i 2\n.o 1\n.magic\n.e\n"), Error);
+}
+
+TEST(PlaIoTest, BadCharactersRejected) {
+  EXPECT_THROW(parse(".i 2\n.o 1\n1x 1\n.e\n"), Error);
+  EXPECT_THROW(parse(".i 2\n.o 1\n10 z\n.e\n"), Error);
+}
+
+TEST(PlaIoTest, ErrorsCarryLineNumbers) {
+  try {
+    parse(".i 2\n.o 1\n10 1\nbad row here now\n.e\n");
+    FAIL() << "expected parse error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos);
+  }
+}
+
+TEST(PlaIoTest, WriteReadRoundTripPreservesFunction) {
+  const PlaFile original = parse(
+      ".i 3\n.o 2\n"
+      "10- 11\n"
+      "-11 10\n"
+      "001 0-\n"
+      ".e\n");
+  std::ostringstream out;
+  write_pla(out, original);
+  std::istringstream in(out.str());
+  const PlaFile reread = read_pla(in, "roundtrip");
+  EXPECT_TRUE(equivalent(original.onset, reread.onset));
+  EXPECT_TRUE(equivalent(original.dcset, reread.dcset));
+  EXPECT_EQ(reread.type, original.type);
+}
+
+TEST(PlaIoTest, MakePlaGeneratesLabels) {
+  const Cover f = Cover::parse(2, 2, {"10 11"});
+  const PlaFile pla = make_pla(f, "gen");
+  EXPECT_EQ(pla.name, "gen");
+  ASSERT_EQ(pla.input_labels.size(), 2u);
+  EXPECT_EQ(pla.input_labels[0], "in0");
+  EXPECT_EQ(pla.output_labels[1], "out1");
+  EXPECT_TRUE(equivalent(pla.onset, f));
+}
+
+TEST(PlaIoTest, FileRoundTripViaDisk) {
+  const Cover f = Cover::parse(4, 1, {"10-- 1", "--11 1"});
+  const PlaFile pla = make_pla(f, "disk");
+  const std::string path = testing::TempDir() + "/ambit_pla_io_test.pla";
+  write_pla_file(path, pla);
+  const PlaFile reread = read_pla_file(path);
+  EXPECT_TRUE(equivalent(pla.onset, reread.onset));
+  EXPECT_EQ(reread.name, "ambit_pla_io_test");
+}
+
+TEST(PlaIoTest, MissingFileRaises) {
+  EXPECT_THROW(read_pla_file("/nonexistent/path/foo.pla"), Error);
+}
+
+}  // namespace
+}  // namespace ambit::logic

@@ -1,0 +1,134 @@
+// Tests for the §4 charge-programming protocol: pulse compilation,
+// individual cell selection, retention/leakage, decode round trips.
+#include <gtest/gtest.h>
+
+#include "core/gnor_pla.h"
+#include "core/programmer.h"
+#include "util/error.h"
+
+namespace ambit::core {
+namespace {
+
+using tech::CnfetElectrical;
+using tech::default_cnfet_electrical;
+
+GnorPlane sample_plane() {
+  GnorPlane plane(3, 4);
+  plane.set_cell(0, 0, CellConfig::kPass);
+  plane.set_cell(0, 3, CellConfig::kInvert);
+  plane.set_cell(1, 1, CellConfig::kInvert);
+  plane.set_cell(2, 2, CellConfig::kPass);
+  return plane;
+}
+
+TEST(ProgrammerTest, BlankArrayDecodesToAllOff) {
+  const CnfetElectrical e = default_cnfet_electrical();
+  const PlaneProgrammer prog(3, 4, e);
+  const GnorPlane decoded = prog.decode();
+  EXPECT_EQ(decoded.active_cells(), 0);
+}
+
+TEST(ProgrammerTest, CompileSkipsOffCells) {
+  const CnfetElectrical e = default_cnfet_electrical();
+  const auto pulses = PlaneProgrammer::compile(sample_plane(), e);
+  // Only the four programmed cells need pulses.
+  EXPECT_EQ(pulses.size(), 4u);
+}
+
+TEST(ProgrammerTest, CompiledPulsesCarryPolarityVoltages) {
+  const CnfetElectrical e = default_cnfet_electrical();
+  const auto pulses = PlaneProgrammer::compile(sample_plane(), e);
+  for (const auto& pulse : pulses) {
+    EXPECT_TRUE(pulse.vpg == e.v_polarity_high ||
+                pulse.vpg == e.v_polarity_low);
+  }
+}
+
+TEST(ProgrammerTest, ProgramDecodeRoundTrip) {
+  const CnfetElectrical e = default_cnfet_electrical();
+  const GnorPlane target = sample_plane();
+  PlaneProgrammer prog(target.rows(), target.cols(), e);
+  prog.apply_all(PlaneProgrammer::compile(target, e));
+  EXPECT_EQ(prog.decode(), target);
+}
+
+TEST(ProgrammerTest, IndividualSelectionTouchesOneCell) {
+  // §4: "every ambipolar CNFET is selected individually".
+  const CnfetElectrical e = default_cnfet_electrical();
+  PlaneProgrammer prog(2, 2, e);
+  prog.apply(ProgramPulse{.row = 1, .col = 0, .vpg = e.v_polarity_high});
+  EXPECT_DOUBLE_EQ(prog.charge(1, 0), e.v_polarity_high);
+  EXPECT_DOUBLE_EQ(prog.charge(0, 0), e.v_polarity_off);
+  EXPECT_DOUBLE_EQ(prog.charge(0, 1), e.v_polarity_off);
+  EXPECT_DOUBLE_EQ(prog.charge(1, 1), e.v_polarity_off);
+}
+
+TEST(ProgrammerTest, ReprogrammingOverwrites) {
+  const CnfetElectrical e = default_cnfet_electrical();
+  PlaneProgrammer prog(1, 1, e);
+  prog.apply(ProgramPulse{.row = 0, .col = 0, .vpg = e.v_polarity_high});
+  EXPECT_EQ(prog.decode().cell(0, 0), CellConfig::kPass);
+  prog.apply(ProgramPulse{.row = 0, .col = 0, .vpg = e.v_polarity_low});
+  EXPECT_EQ(prog.decode().cell(0, 0), CellConfig::kInvert);
+}
+
+TEST(ProgrammerTest, MildLeakageKeepsConfiguration) {
+  const CnfetElectrical e = default_cnfet_electrical();
+  const GnorPlane target = sample_plane();
+  PlaneProgrammer prog(target.rows(), target.cols(), e);
+  prog.apply_all(PlaneProgrammer::compile(target, e));
+  prog.leak_toward(e.v_polarity_off, 0.2);  // 20% drift toward mid-rail
+  EXPECT_EQ(prog.decode(), target);
+}
+
+TEST(ProgrammerTest, SevereLeakageCollapsesToOff) {
+  const CnfetElectrical e = default_cnfet_electrical();
+  const GnorPlane target = sample_plane();
+  PlaneProgrammer prog(target.rows(), target.cols(), e);
+  prog.apply_all(PlaneProgrammer::compile(target, e));
+  prog.leak_toward(e.v_polarity_off, 0.95);
+  EXPECT_EQ(prog.decode().active_cells(), 0);
+}
+
+TEST(ProgrammerTest, LeakFractionValidated) {
+  const CnfetElectrical e = default_cnfet_electrical();
+  PlaneProgrammer prog(1, 1, e);
+  EXPECT_THROW(prog.leak_toward(0.0, 1.5), ambit::Error);
+  EXPECT_THROW(prog.leak_toward(0.0, -0.1), ambit::Error);
+}
+
+TEST(ProgrammerTest, SetChargeFaultInjection) {
+  const CnfetElectrical e = default_cnfet_electrical();
+  PlaneProgrammer prog(2, 2, e);
+  prog.apply(ProgramPulse{.row = 0, .col = 0, .vpg = e.v_polarity_high});
+  // A retention defect drags the charge into the off band.
+  prog.set_charge(0, 0, e.v_polarity_off + 0.1);
+  EXPECT_EQ(prog.decode().cell(0, 0), CellConfig::kOff);
+}
+
+TEST(ProgrammerTest, BoundsChecked) {
+  const CnfetElectrical e = default_cnfet_electrical();
+  PlaneProgrammer prog(2, 2, e);
+  EXPECT_THROW(prog.charge(2, 0), ambit::Error);
+  EXPECT_THROW(prog.apply(ProgramPulse{.row = 0, .col = 5, .vpg = 0}),
+               ambit::Error);
+}
+
+TEST(ProgrammerTest, FullPlaProgrammingFlow) {
+  // Map a cover, program both planes through pulses, decode, and check
+  // the decoded array equals the mapped one.
+  const auto f = logic::Cover::parse(3, 2, {"10- 11", "-01 01"});
+  const CnfetElectrical e = default_cnfet_electrical();
+  const GnorPla pla = GnorPla::map_cover(f);
+
+  PlaneProgrammer p1(pla.product_plane().rows(), pla.product_plane().cols(), e);
+  p1.apply_all(PlaneProgrammer::compile(pla.product_plane(), e));
+  PlaneProgrammer p2(pla.output_plane().rows(), pla.output_plane().cols(), e);
+  p2.apply_all(PlaneProgrammer::compile(pla.output_plane(), e));
+
+  EXPECT_EQ(p1.decode(), pla.product_plane());
+  EXPECT_EQ(p2.decode(), pla.output_plane());
+}
+
+}  // namespace
+}  // namespace ambit::core

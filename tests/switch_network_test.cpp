@@ -1,0 +1,213 @@
+// Tests for the generic switch-level solver: pass gates, dynamic charge
+// retention, rail fights, charge sharing, maybe-conduction, delays.
+#include <gtest/gtest.h>
+
+#include "simulate/switch_network.h"
+#include "util/error.h"
+
+namespace ambit::simulate {
+namespace {
+
+using core::PolarityState;
+using tech::CnfetElectrical;
+using tech::default_cnfet_electrical;
+
+class SwitchNetworkTest : public testing::Test {
+ protected:
+  SwitchNetworkTest() : net_(default_cnfet_electrical()) {
+    vdd_ = net_.add_supply("vdd", Logic::k1);
+    gnd_ = net_.add_supply("gnd", Logic::k0);
+  }
+  SwitchNetwork net_;
+  NodeId vdd_ = 0;
+  NodeId gnd_ = 0;
+};
+
+TEST_F(SwitchNetworkTest, NPassGateFollowsGate) {
+  const NodeId g = net_.add_input("g");
+  const NodeId out = net_.add_node("out", 1e-15);
+  net_.add_device(PolarityState::kNType, g, vdd_, out);
+  net_.set_value(g, Logic::k1);
+  net_.settle();
+  EXPECT_EQ(net_.value(out), Logic::k1);
+  net_.set_value(g, Logic::k0);
+  net_.settle();
+  // Switch open: node floats but retains its charge.
+  EXPECT_EQ(net_.value(out), Logic::k1);
+}
+
+TEST_F(SwitchNetworkTest, PPassGateConductsOnLowGate) {
+  const NodeId g = net_.add_input("g");
+  const NodeId out = net_.add_node("out", 1e-15);
+  net_.add_device(PolarityState::kPType, g, gnd_, out);
+  net_.set_value(g, Logic::k0);
+  net_.settle();
+  EXPECT_EQ(net_.value(out), Logic::k0);
+}
+
+TEST_F(SwitchNetworkTest, OffDeviceNeverConducts) {
+  const NodeId g = net_.add_input("g");
+  const NodeId out = net_.add_node("out", 1e-15);
+  net_.add_device(PolarityState::kOff, g, vdd_, out);
+  net_.set_value(g, Logic::k1);
+  net_.settle();
+  EXPECT_EQ(net_.value(out), Logic::kZ);
+}
+
+TEST_F(SwitchNetworkTest, RailFightResolvesToX) {
+  const NodeId g = net_.add_input("g");
+  const NodeId out = net_.add_node("out", 1e-15);
+  net_.add_device(PolarityState::kNType, g, vdd_, out);
+  net_.add_device(PolarityState::kNType, g, gnd_, out);
+  net_.set_value(g, Logic::k1);
+  net_.settle();
+  EXPECT_EQ(net_.value(out), Logic::kX);
+}
+
+TEST_F(SwitchNetworkTest, DynamicNodeRetainsChargeAcrossPhases) {
+  // Classic dynamic logic: precharge, isolate, conditional discharge.
+  const NodeId clk = net_.add_input("clk");
+  const NodeId in = net_.add_input("in");
+  const NodeId row = net_.add_node("row", 5e-15);
+  const NodeId foot = net_.add_node("foot", 1e-16);
+  net_.add_device(PolarityState::kPType, clk, vdd_, row);   // TPC
+  net_.add_device(PolarityState::kNType, clk, foot, gnd_);  // TEV
+  net_.add_device(PolarityState::kNType, in, row, foot);    // cell
+
+  // Precharge with in=0.
+  net_.set_value(clk, Logic::k0);
+  net_.set_value(in, Logic::k0);
+  net_.settle();
+  EXPECT_EQ(net_.value(row), Logic::k1);
+
+  // Evaluate with in=0: no pull-down path; charge retained.
+  net_.set_value(clk, Logic::k1);
+  net_.settle();
+  EXPECT_EQ(net_.value(row), Logic::k1);
+
+  // Precharge again, then evaluate with in=1: row discharges.
+  net_.set_value(clk, Logic::k0);
+  net_.settle();
+  net_.set_value(in, Logic::k1);
+  net_.set_value(clk, Logic::k1);
+  net_.settle();
+  EXPECT_EQ(net_.value(row), Logic::k0);
+}
+
+TEST_F(SwitchNetworkTest, ChargeSharingMixedValuesGiveX) {
+  const NodeId g = net_.add_input("g");
+  const NodeId a = net_.add_node("a", 1e-15);
+  const NodeId b = net_.add_node("b", 1e-15);
+  net_.add_device(PolarityState::kNType, g, a, b);
+  net_.set_value(a, Logic::k1);
+  net_.set_value(b, Logic::k0);
+  net_.set_value(g, Logic::k1);
+  net_.settle();
+  EXPECT_EQ(net_.value(a), Logic::kX);
+  EXPECT_EQ(net_.value(b), Logic::kX);
+}
+
+TEST_F(SwitchNetworkTest, ChargeSharingSameValueIsStable) {
+  const NodeId g = net_.add_input("g");
+  const NodeId a = net_.add_node("a", 1e-15);
+  const NodeId b = net_.add_node("b", 2e-15);
+  net_.add_device(PolarityState::kNType, g, a, b);
+  net_.set_value(a, Logic::k1);
+  net_.set_value(b, Logic::k1);
+  net_.set_value(g, Logic::k1);
+  net_.settle();
+  EXPECT_EQ(net_.value(a), Logic::k1);
+  EXPECT_EQ(net_.value(b), Logic::k1);
+}
+
+TEST_F(SwitchNetworkTest, UnknownGatePropagatesPessimistically) {
+  const NodeId g = net_.add_input("g");  // left at Z
+  const NodeId out = net_.add_node("out", 1e-15);
+  net_.set_value(out, Logic::k0);
+  net_.add_device(PolarityState::kNType, g, vdd_, out);
+  net_.settle();
+  // Maybe-conducting bridge between VDD(1) and out(0): X.
+  EXPECT_EQ(net_.value(out), Logic::kX);
+}
+
+TEST_F(SwitchNetworkTest, SeriesChainConducts) {
+  const NodeId g = net_.add_input("g");
+  const NodeId mid = net_.add_node("mid", 1e-16);
+  const NodeId out = net_.add_node("out", 1e-15);
+  net_.add_device(PolarityState::kNType, g, vdd_, mid);
+  net_.add_device(PolarityState::kNType, g, mid, out);
+  net_.set_value(g, Logic::k1);
+  net_.settle();
+  EXPECT_EQ(net_.value(out), Logic::k1);
+  EXPECT_EQ(net_.value(mid), Logic::k1);
+}
+
+TEST_F(SwitchNetworkTest, GateFedByInternalNodeSettles) {
+  // Two-stage structure: stage1 drives the gate of stage2.
+  const NodeId g1 = net_.add_input("g1");
+  const NodeId n1 = net_.add_node("n1", 1e-15);
+  const NodeId out = net_.add_node("out", 1e-15);
+  net_.add_device(PolarityState::kNType, g1, vdd_, n1);
+  net_.add_device(PolarityState::kNType, n1, gnd_, out);
+  net_.set_value(g1, Logic::k1);
+  net_.settle();
+  EXPECT_EQ(net_.value(n1), Logic::k1);
+  EXPECT_EQ(net_.value(out), Logic::k0);
+}
+
+TEST_F(SwitchNetworkTest, DelayGrowsWithPathResistanceAndCap) {
+  const NodeId g = net_.add_input("g");
+  const NodeId a = net_.add_node("a", 1e-15);
+  const NodeId b1 = net_.add_node("b1", 1e-15);
+  const NodeId b2 = net_.add_node("b2", 1e-15);
+  net_.add_device(PolarityState::kNType, g, vdd_, a);
+  net_.add_device(PolarityState::kNType, g, a, b1);
+  net_.add_device(PolarityState::kNType, g, b1, b2);
+  net_.set_value(g, Logic::k1);
+  net_.settle();
+  EXPECT_GT(net_.drive_delay_s(a), 0);
+  EXPECT_GT(net_.drive_delay_s(b1), net_.drive_delay_s(a));
+  EXPECT_GT(net_.drive_delay_s(b2), net_.drive_delay_s(b1));
+}
+
+TEST_F(SwitchNetworkTest, WidthFactorReducesDelay) {
+  const NodeId g = net_.add_input("g");
+  const NodeId slim = net_.add_node("slim", 1e-15);
+  const NodeId wide = net_.add_node("wide", 1e-15);
+  net_.add_device(PolarityState::kNType, g, vdd_, slim, 1.0);
+  net_.add_device(PolarityState::kNType, g, vdd_, wide, 4.0);
+  net_.set_value(g, Logic::k1);
+  net_.settle();
+  EXPECT_NEAR(net_.drive_delay_s(slim) / net_.drive_delay_s(wide), 4.0, 1e-9);
+}
+
+TEST_F(SwitchNetworkTest, FloatingNodeHasNoDriveDelay) {
+  const NodeId n = net_.add_node("n", 1e-15);
+  net_.settle();
+  EXPECT_DOUBLE_EQ(net_.drive_delay_s(n), 0.0);
+  EXPECT_EQ(net_.value(n), Logic::kZ);
+}
+
+TEST_F(SwitchNetworkTest, DevicePolarityOverride) {
+  const NodeId g = net_.add_input("g");
+  const NodeId out = net_.add_node("out", 1e-15);
+  net_.add_device(PolarityState::kOff, g, vdd_, out);
+  net_.set_value(g, Logic::k1);
+  net_.settle();
+  EXPECT_EQ(net_.value(out), Logic::kZ);
+  net_.set_device_polarity(0, PolarityState::kNType);  // stuck-on fault
+  net_.settle();
+  EXPECT_EQ(net_.value(out), Logic::k1);
+}
+
+TEST_F(SwitchNetworkTest, ValidationErrors) {
+  EXPECT_THROW(net_.add_supply("bad", Logic::kX), ambit::Error);
+  EXPECT_THROW(net_.add_node("neg", -1.0), ambit::Error);
+  EXPECT_THROW(net_.add_device(PolarityState::kNType, 0, 0, 99), ambit::Error);
+  EXPECT_THROW(net_.value(99), ambit::Error);
+  EXPECT_THROW(net_.set_device_polarity(0, PolarityState::kNType),
+               ambit::Error);
+}
+
+}  // namespace
+}  // namespace ambit::simulate

@@ -1,0 +1,161 @@
+// Tests for the technology constants, the Table 1 area arithmetic and
+// the RC delay model.
+#include <gtest/gtest.h>
+
+#include "tech/area_model.h"
+#include "tech/delay_model.h"
+#include "tech/technology.h"
+#include "util/error.h"
+
+namespace ambit::tech {
+namespace {
+
+TEST(TechnologyTest, PaperCellAreas) {
+  EXPECT_DOUBLE_EQ(flash_technology().cell_area_l2, 40.0);
+  EXPECT_DOUBLE_EQ(eeprom_technology().cell_area_l2, 100.0);
+  EXPECT_DOUBLE_EQ(cnfet_technology().cell_area_l2, 60.0);
+}
+
+TEST(TechnologyTest, CnfetCellRelativeSizesMatchPaperText) {
+  // "The CNFET basic cell is 50% larger than the Flash and 40% smaller
+  //  than the EEPROM basic cell."
+  EXPECT_DOUBLE_EQ(cnfet_technology().cell_area_l2 /
+                       flash_technology().cell_area_l2,
+                   1.5);
+  EXPECT_DOUBLE_EQ(cnfet_technology().cell_area_l2 /
+                       eeprom_technology().cell_area_l2,
+                   0.6);
+}
+
+TEST(TechnologyTest, ColumnReplicationFlags) {
+  EXPECT_TRUE(flash_technology().replicated_input_columns);
+  EXPECT_TRUE(eeprom_technology().replicated_input_columns);
+  EXPECT_FALSE(cnfet_technology().replicated_input_columns);
+}
+
+TEST(TechnologyTest, OffVoltageIsHalfVdd) {
+  const CnfetElectrical e = default_cnfet_electrical();
+  EXPECT_DOUBLE_EQ(e.v_polarity_off, e.vdd / 2);
+}
+
+TEST(AreaModelTest, CellCountFormulas) {
+  const PlaDimensions dim{.inputs = 9, .outputs = 1, .products = 46};
+  EXPECT_EQ(classical_cell_count(dim), (2 * 9 + 1) * 46);
+  EXPECT_EQ(gnor_cell_count(dim), (9 + 1) * 46);
+}
+
+// The three Table 1 rows, exactly as published.
+struct Table1Row {
+  const char* name;
+  PlaDimensions dim;
+  double flash;
+  double eeprom;
+  double cnfet;
+};
+
+class Table1Areas : public testing::TestWithParam<Table1Row> {};
+
+TEST_P(Table1Areas, ReproducesPaperNumbers) {
+  const Table1Row& row = GetParam();
+  EXPECT_DOUBLE_EQ(pla_area_l2(flash_technology(), row.dim), row.flash);
+  EXPECT_DOUBLE_EQ(pla_area_l2(eeprom_technology(), row.dim), row.eeprom);
+  EXPECT_DOUBLE_EQ(pla_area_l2(cnfet_technology(), row.dim), row.cnfet);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperRows, Table1Areas,
+    testing::Values(
+        Table1Row{"max46", {9, 1, 46}, 34960, 87400, 27600},
+        Table1Row{"apla", {10, 12, 25}, 32000, 80000, 33000},
+        Table1Row{"t2", {17, 16, 52}, 104000, 260000, 102960}),
+    [](const testing::TestParamInfo<Table1Row>& info) {
+      return info.param.name;
+    });
+
+TEST(AreaModelTest, Max46HeadlineSavings) {
+  const PlaDimensions dim{.inputs = 9, .outputs = 1, .products = 46};
+  // "saving ~21%" vs Flash, "up to 68% less area" vs EEPROM.
+  EXPECT_NEAR(1.0 - cnfet_area_ratio(flash_technology(), dim), 0.2105, 0.001);
+  EXPECT_NEAR(1.0 - cnfet_area_ratio(eeprom_technology(), dim), 0.684, 0.001);
+}
+
+TEST(AreaModelTest, AplaSmallOverheadVsFlash) {
+  const PlaDimensions dim{.inputs = 10, .outputs = 12, .products = 25};
+  // "otherwise a small area overhead (3%) can be seen".
+  EXPECT_NEAR(cnfet_area_ratio(flash_technology(), dim) - 1.0, 0.031, 0.002);
+}
+
+TEST(AreaModelTest, CrossoverAtInputsEqualOutputs) {
+  // Analytic crossover vs Flash: 60(i+o) < 40(2i+o) <=> o < i.
+  for (int i = 1; i <= 20; ++i) {
+    for (int o = 1; o <= 20; ++o) {
+      const PlaDimensions dim{.inputs = i, .outputs = o, .products = 10};
+      const double ratio = cnfet_area_ratio(flash_technology(), dim);
+      if (o < i) {
+        EXPECT_LT(ratio, 1.0) << "i=" << i << " o=" << o;
+      } else if (o > i) {
+        EXPECT_GT(ratio, 1.0) << "i=" << i << " o=" << o;
+      } else {
+        EXPECT_DOUBLE_EQ(ratio, 1.0);
+      }
+    }
+  }
+}
+
+TEST(AreaModelTest, CnfetAlwaysBeatsEeprom) {
+  // 60(i+o) < 100(2i+o) for all positive dimensions.
+  for (int i = 1; i <= 20; ++i) {
+    for (int o = 1; o <= 20; ++o) {
+      const PlaDimensions dim{.inputs = i, .outputs = o, .products = 7};
+      EXPECT_LT(cnfet_area_ratio(eeprom_technology(), dim), 1.0);
+    }
+  }
+}
+
+TEST(AreaModelTest, DimensionsOfCover) {
+  const auto f = logic::Cover::parse(3, 2, {"1-- 10", "-11 01"});
+  const PlaDimensions dim = dimensions_of(f);
+  EXPECT_EQ(dim.inputs, 3);
+  EXPECT_EQ(dim.outputs, 2);
+  EXPECT_EQ(dim.products, 2);
+}
+
+TEST(AreaModelTest, RatioRequiresClassicalReference) {
+  const PlaDimensions dim{.inputs = 2, .outputs = 1, .products = 1};
+  EXPECT_THROW(cnfet_area_ratio(cnfet_technology(), dim), ambit::Error);
+}
+
+TEST(DelayModelTest, CapacitanceScalesLinearly) {
+  const CnfetElectrical e = default_cnfet_electrical();
+  EXPECT_DOUBLE_EQ(gnor_row_capacitance_f(0, e), 0.0);
+  EXPECT_DOUBLE_EQ(gnor_row_capacitance_f(20, e),
+                   2.0 * gnor_row_capacitance_f(10, e));
+}
+
+TEST(DelayModelTest, EvalSlowerThanPrecharge) {
+  // Two devices in series discharge; one precharges.
+  const CnfetElectrical e = default_cnfet_electrical();
+  EXPECT_GT(gnor_row_eval_delay_s(16, e), gnor_row_precharge_delay_s(16, e));
+}
+
+TEST(DelayModelTest, GnorPlaFasterThanClassicalSameFunction) {
+  // The GNOR plane has half the plane-1 columns -> lower row C -> faster.
+  const CnfetElectrical e = default_cnfet_electrical();
+  const PlaDimensions dim{.inputs = 12, .outputs = 4, .products = 30};
+  EXPECT_LT(gnor_pla_cycle_s(dim, e), classical_pla_cycle_s(dim, e));
+}
+
+TEST(DelayModelTest, CycleGrowsWithProducts) {
+  const CnfetElectrical e = default_cnfet_electrical();
+  const PlaDimensions small{.inputs = 8, .outputs = 2, .products = 10};
+  const PlaDimensions big{.inputs = 8, .outputs = 2, .products = 60};
+  EXPECT_LT(gnor_pla_cycle_s(small, e), gnor_pla_cycle_s(big, e));
+}
+
+TEST(DelayModelTest, NegativeColumnsRejected) {
+  const CnfetElectrical e = default_cnfet_electrical();
+  EXPECT_THROW(gnor_row_capacitance_f(-1, e), ambit::Error);
+}
+
+}  // namespace
+}  // namespace ambit::tech

@@ -1,0 +1,144 @@
+// Tests for TruthTable and the exhaustive equivalence helpers.
+#include <gtest/gtest.h>
+
+#include "logic/truth_table.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace ambit::logic {
+namespace {
+
+TEST(TruthTableTest, FromCoverExor) {
+  const Cover f = Cover::parse(2, 1, {"10 1", "01 1"});
+  const TruthTable t = TruthTable::from_cover(f);
+  EXPECT_FALSE(t.get(0b00, 0));
+  EXPECT_TRUE(t.get(0b01, 0));
+  EXPECT_TRUE(t.get(0b10, 0));
+  EXPECT_FALSE(t.get(0b11, 0));
+  EXPECT_EQ(t.count_ones(0), 2u);
+}
+
+TEST(TruthTableTest, FromCoverMultiOutput) {
+  const Cover f = Cover::parse(2, 2, {"1- 10", "-1 01"});
+  const TruthTable t = TruthTable::from_cover(f);
+  EXPECT_TRUE(t.get(0b01, 0));   // x0=1 -> out0
+  EXPECT_FALSE(t.get(0b01, 1));  // x1=0 -> no out1
+  EXPECT_TRUE(t.get(0b10, 1));
+  EXPECT_FALSE(t.get(0b10, 0));
+  EXPECT_TRUE(t.get(0b11, 0));
+  EXPECT_TRUE(t.get(0b11, 1));
+}
+
+TEST(TruthTableTest, EmptyCoverAllZero) {
+  const Cover f(3, 1);
+  const TruthTable t = TruthTable::from_cover(f);
+  EXPECT_EQ(t.count_ones(0), 0u);
+}
+
+TEST(TruthTableTest, UniverseCoverAllOnes) {
+  const Cover f = Cover::universe(3, 2);
+  const TruthTable t = TruthTable::from_cover(f);
+  EXPECT_EQ(t.count_ones(0), 8u);
+  EXPECT_EQ(t.count_ones(1), 8u);
+}
+
+TEST(TruthTableTest, ComplementFlipsEveryBit) {
+  const Cover f = Cover::parse(2, 1, {"10 1", "01 1"});
+  const TruthTable t = TruthTable::from_cover(f);
+  const TruthTable n = t.complemented();
+  for (std::uint64_t m = 0; m < 4; ++m) {
+    EXPECT_NE(t.get(m, 0), n.get(m, 0));
+  }
+  EXPECT_EQ(n.count_ones(0), 2u);
+}
+
+TEST(TruthTableTest, ComplementIsInvolution) {
+  const Cover f = Cover::parse(3, 2, {"1-- 10", "-11 01", "000 11"});
+  const TruthTable t = TruthTable::from_cover(f);
+  EXPECT_EQ(t.complemented().complemented(), t);
+}
+
+TEST(TruthTableTest, SetGetRoundTrip) {
+  TruthTable t(4, 2);
+  t.set(13, 1, true);
+  EXPECT_TRUE(t.get(13, 1));
+  EXPECT_FALSE(t.get(13, 0));
+  t.set(13, 1, false);
+  EXPECT_FALSE(t.get(13, 1));
+}
+
+TEST(TruthTableTest, SixPlusInputsUseMultipleWords) {
+  TruthTable t(8, 1);  // 256 minterms = 4 words
+  t.set(255, 0, true);
+  t.set(64, 0, true);
+  EXPECT_TRUE(t.get(255, 0));
+  EXPECT_TRUE(t.get(64, 0));
+  EXPECT_EQ(t.count_ones(0), 2u);
+}
+
+TEST(TruthTableTest, RejectsOversizedInputCount) {
+  EXPECT_THROW(TruthTable(40, 1), Error);
+}
+
+TEST(EquivalenceTest, EquivalentCoversDifferentSyntax) {
+  // x + x̄y == x + y.
+  const Cover a = Cover::parse(2, 1, {"1- 1", "01 1"});
+  const Cover b = Cover::parse(2, 1, {"1- 1", "-1 1"});
+  EXPECT_TRUE(equivalent(a, b));
+}
+
+TEST(EquivalenceTest, InequivalentCoversDetected) {
+  const Cover a = Cover::parse(2, 1, {"1- 1"});
+  const Cover b = Cover::parse(2, 1, {"-1 1"});
+  EXPECT_FALSE(equivalent(a, b));
+}
+
+TEST(EquivalenceTest, ShapeMismatchNotEquivalent) {
+  const Cover a = Cover::parse(2, 1, {"1- 1"});
+  const Cover b = Cover::parse(3, 1, {"1-- 1"});
+  EXPECT_FALSE(equivalent(a, b));
+}
+
+TEST(EquivalenceTest, ContainmentIsReflexiveAndDirectional) {
+  const Cover small = Cover::parse(2, 1, {"11 1"});
+  const Cover big = Cover::parse(2, 1, {"1- 1"});
+  EXPECT_TRUE(contained_in(small, big));
+  EXPECT_FALSE(contained_in(big, small));
+  EXPECT_TRUE(contained_in(big, big));
+}
+
+TEST(EquivalenceTest, RandomCoverEquivalentToItsMintermExpansion) {
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int ni = 4 + static_cast<int>(rng.next_below(4));
+    Cover f(ni, 1);
+    const int cubes = 1 + static_cast<int>(rng.next_below(6));
+    for (int k = 0; k < cubes; ++k) {
+      Cube c(ni, 1);
+      c.set_output(0, true);
+      for (int i = 0; i < ni; ++i) {
+        const auto r = rng.next_below(3);
+        c.set_input(i, r == 0   ? Literal::kZero
+                       : r == 1 ? Literal::kOne
+                                : Literal::kDontCare);
+      }
+      f.add(c);
+    }
+    // Expand to minterms and compare.
+    const TruthTable t = TruthTable::from_cover(f);
+    Cover minterms(ni, 1);
+    for (std::uint64_t m = 0; m < t.num_minterms(); ++m) {
+      if (!t.get(m, 0)) continue;
+      Cube c(ni, 1);
+      c.set_output(0, true);
+      for (int i = 0; i < ni; ++i) {
+        c.set_input(i, ((m >> i) & 1) ? Literal::kOne : Literal::kZero);
+      }
+      minterms.add(c);
+    }
+    EXPECT_TRUE(equivalent(f, minterms));
+  }
+}
+
+}  // namespace
+}  // namespace ambit::logic

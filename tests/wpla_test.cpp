@@ -1,0 +1,175 @@
+// Tests for the Whirlpool-PLA structure and Doppio-Espresso synthesis.
+#include <gtest/gtest.h>
+
+#include "core/wpla.h"
+
+#include "util/rng.h"
+#include "espresso/espresso.h"
+#include "logic/truth_table.h"
+#include "util/error.h"
+
+namespace ambit::core {
+namespace {
+
+using logic::Cover;
+using logic::TruthTable;
+
+std::vector<bool> bits_of(std::uint64_t m, int n) {
+  std::vector<bool> bits(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    bits[static_cast<std::size_t>(i)] = ((m >> i) & 1) != 0;
+  }
+  return bits;
+}
+
+/// A function with plantable OR-structure: out0 = a 4-product SOP g
+/// over inputs 0–4, out1 = g + private products over inputs 5–7,
+/// out2 = g + other private products over inputs 5–7. The input-set
+/// split is what makes the two WPLA stages narrow (each plane only
+/// receives the columns it uses).
+Cover structured_function() {
+  return Cover::parse(8, 3,
+                      {"11------ 111",   // shared x0·x1
+                       "00--1--- 111",   // shared x̄0·x̄1·x4
+                       "--110--- 111",   // shared x2·x3·x̄4
+                       "-0-01--- 111",   // shared x̄1·x̄3·x4
+                       "-----11- 010",   // out1 private
+                       "-----00- 010",   // out1 private
+                       "------01 001",   // out2 private
+                       "-----1-1 001"}); // out2 private
+}
+
+TEST(WplaTest, StructureValidation) {
+  const Cover a = Cover::parse(2, 1, {"11 1"});
+  const Cover b_ok = Cover::parse(3, 1, {"--1 1"});
+  EXPECT_NO_THROW(Wpla(a, b_ok, 2));
+  const Cover b_bad = Cover::parse(2, 1, {"-1 1"});
+  EXPECT_THROW(Wpla(a, b_bad, 2), ambit::Error);
+}
+
+TEST(WplaTest, CascadeEvaluatesComposition) {
+  // g = x0·x1; f = g + x2  (stage B reads [x0 x1 x2 g]).
+  const Cover a = Cover::parse(3, 1, {"11- 1"});
+  const Cover b = Cover::parse(4, 1, {"--1- 1", "---1 1"});
+  const Wpla wpla(a, b, 3);
+  for (std::uint64_t m = 0; m < 8; ++m) {
+    const auto in = bits_of(m, 3);
+    const bool g = in[0] && in[1];
+    const bool expected = g || in[2];
+    EXPECT_EQ(wpla.evaluate(in)[0], expected) << "m=" << m;
+  }
+}
+
+TEST(WplaTest, CellCountSumsStages) {
+  const Cover a = Cover::parse(3, 1, {"11- 1"});
+  const Cover b = Cover::parse(4, 1, {"--1- 1", "---1 1"});
+  const Wpla wpla(a, b, 3);
+  // Stage A: (3+1)*1; stage B: (4+1)*2.
+  EXPECT_EQ(wpla.cell_count(), 4 + 10);
+}
+
+TEST(DoppioEspressoTest, FindsSharedDivisor) {
+  const auto synth = synthesize_wpla(structured_function());
+  EXPECT_FALSE(synth.intermediate_outputs.empty());
+  // out0 (the contained product set) should be the divisor.
+  EXPECT_EQ(synth.intermediate_outputs[0], 0);
+}
+
+TEST(DoppioEspressoTest, WplaSmallerThanFlatOnStructuredLogic) {
+  const auto synth = synthesize_wpla(structured_function());
+  EXPECT_LT(synth.wpla_cells, synth.flat_cells);
+}
+
+TEST(DoppioEspressoTest, SynthesizedWplaMatchesFunction) {
+  const Cover f = structured_function();
+  const auto synth = synthesize_wpla(f);
+  const Wpla wpla(synth.stage_a, synth.stage_b, f.num_inputs());
+  const TruthTable expected = TruthTable::from_cover(f);
+  for (std::uint64_t m = 0; m < expected.num_minterms(); ++m) {
+    const auto out = wpla.evaluate(bits_of(m, f.num_inputs()));
+    for (int j = 0; j < f.num_outputs(); ++j) {
+      ASSERT_EQ(out[static_cast<std::size_t>(j)], expected.get(m, j))
+          << "minterm " << m << " output " << j;
+    }
+  }
+}
+
+TEST(DoppioEspressoTest, UnstructuredLogicDegradesGracefully) {
+  // EXOR-ish outputs share nothing: no divisor, degenerate WPLA that
+  // still computes the right function.
+  const Cover f = Cover::parse(3, 2, {"10- 10", "01- 10", "-01 01", "-10 01"});
+  const auto synth = synthesize_wpla(f);
+  EXPECT_TRUE(synth.intermediate_outputs.empty());
+  const Wpla wpla(synth.stage_a, synth.stage_b, 3);
+  const TruthTable expected = TruthTable::from_cover(f);
+  for (std::uint64_t m = 0; m < 8; ++m) {
+    const auto out = wpla.evaluate(bits_of(m, 3));
+    for (int j = 0; j < 2; ++j) {
+      ASSERT_EQ(out[static_cast<std::size_t>(j)], expected.get(m, j));
+    }
+  }
+}
+
+TEST(DoppioEspressoTest, IntermediateForwardingPreservesDivisorOutput) {
+  const Cover f = structured_function();
+  const auto synth = synthesize_wpla(f);
+  ASSERT_FALSE(synth.intermediate_outputs.empty());
+  const Wpla wpla(synth.stage_a, synth.stage_b, f.num_inputs());
+  const TruthTable expected = TruthTable::from_cover(f);
+  const int g = synth.intermediate_outputs[0];
+  for (std::uint64_t m = 0; m < expected.num_minterms(); ++m) {
+    EXPECT_EQ(wpla.evaluate(bits_of(m, f.num_inputs()))[static_cast<std::size_t>(g)],
+              expected.get(m, g));
+  }
+}
+
+TEST(DoppioEspressoTest, RandomizedStructuredSweep) {
+  // Build functions with planted shared cores and verify synthesis
+  // end-to-end.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Cover f(6, 3);
+    ambit::Rng rng(seed);
+    // Two shared products asserted by all outputs.
+    for (int s = 0; s < 2; ++s) {
+      logic::Cube c(6, 3);
+      for (int i = 0; i < 4; ++i) {
+        c.set_input(static_cast<int>((s * 3 + i) % 6),
+                    rng.next_bool() ? logic::Literal::kOne
+                                    : logic::Literal::kZero);
+      }
+      for (int j = 0; j < 3; ++j) {
+        c.set_output(j, true);
+      }
+      f.add(c);
+    }
+    // Private products for outputs 1 and 2.
+    for (int j = 1; j <= 2; ++j) {
+      for (int s = 0; s < 2; ++s) {
+        logic::Cube c(6, 3);
+        for (int i = 0; i < 3; ++i) {
+          c.set_input(static_cast<int>(rng.next_below(6)),
+                      rng.next_bool() ? logic::Literal::kOne
+                                      : logic::Literal::kZero);
+        }
+        if (c.input_literal_count() == 0) {
+          c.set_input(0, logic::Literal::kOne);
+        }
+        c.set_output(j, true);
+        f.add(c);
+      }
+    }
+    const auto synth = synthesize_wpla(f);
+    const Wpla wpla(synth.stage_a, synth.stage_b, 6);
+    const TruthTable expected = TruthTable::from_cover(f);
+    for (std::uint64_t m = 0; m < expected.num_minterms(); ++m) {
+      const auto out = wpla.evaluate(bits_of(m, 6));
+      for (int j = 0; j < 3; ++j) {
+        ASSERT_EQ(out[static_cast<std::size_t>(j)], expected.get(m, j))
+            << "seed " << seed << " minterm " << m << " output " << j;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ambit::core
