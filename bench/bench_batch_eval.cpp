@@ -1,0 +1,148 @@
+// Scalar vs bit-parallel batch evaluation throughput.
+//
+// The Evaluator redesign claims exhaustive sweeps get an order of
+// magnitude faster when the GNOR inner loop runs word-wide over packed
+// PatternBatch lanes instead of branching per bit. This bench measures
+// it instead of asserting it: for synthetic benchmark covers of
+// increasing width (logic/synth_bench.h), sweep the full input space
+// through both paths, check the outputs are BIT-IDENTICAL, and report
+// patterns/sec. The acceptance bar is >= 10x on the 16-input cover.
+#include <chrono>
+#include <cstdio>
+
+#include "core/classical_pla.h"
+#include "core/gnor_pla.h"
+#include "core/wpla.h"
+#include "espresso/espresso.h"
+#include "logic/pattern_batch.h"
+#include "logic/synth_bench.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace ambit;
+using logic::Cover;
+using logic::PatternBatch;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+struct Throughput {
+  double scalar_pps = 0;  ///< patterns/sec, scalar path
+  double batch_pps = 0;   ///< patterns/sec, batch path
+  bool identical = false;
+};
+
+/// Sweeps the full input space of `e` through both paths and compares
+/// the outputs word for word.
+Throughput sweep(const Evaluator& e) {
+  const int ni = e.num_inputs();
+  const std::uint64_t patterns = std::uint64_t{1} << ni;
+  const PatternBatch inputs = PatternBatch::exhaustive(ni);
+
+  // Scalar path: one evaluate() per minterm, packed into lanes so the
+  // comparison against the batch result is exact.
+  PatternBatch scalar_out(e.num_outputs(), patterns);
+  const auto scalar_start = std::chrono::steady_clock::now();
+  std::vector<bool> in(static_cast<std::size_t>(ni));
+  for (std::uint64_t m = 0; m < patterns; ++m) {
+    for (int i = 0; i < ni; ++i) {
+      in[static_cast<std::size_t>(i)] = ((m >> i) & 1) != 0;
+    }
+    const std::vector<bool> out = e.evaluate(in);
+    for (int j = 0; j < e.num_outputs(); ++j) {
+      scalar_out.set(m, j, out[static_cast<std::size_t>(j)]);
+    }
+  }
+  const double scalar_secs = seconds_since(scalar_start);
+
+  // Batch path: repeat until the measurement is long enough to trust.
+  PatternBatch batch_out(e.num_outputs(), patterns);
+  int reps = 0;
+  const auto batch_start = std::chrono::steady_clock::now();
+  double batch_secs = 0;
+  do {
+    batch_out = e.evaluate_batch(inputs);
+    ++reps;
+    batch_secs = seconds_since(batch_start);
+  } while (batch_secs < 0.05);
+
+  Throughput t;
+  t.scalar_pps = static_cast<double>(patterns) / scalar_secs;
+  t.batch_pps = static_cast<double>(patterns) * reps / batch_secs;
+  t.identical = scalar_out == batch_out;
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Scalar vs bit-parallel batch evaluation ===\n\n");
+  TextTable table({"circuit", "i x p x o", "scalar [Mpat/s]",
+                   "batch [Mpat/s]", "speedup", "bit-identical"});
+
+  bool all_identical = true;
+  double speedup_16 = 0;
+  for (const int ni : {8, 12, 16}) {
+    const logic::SynthSpec spec{.num_inputs = ni,
+                                .num_outputs = 4,
+                                .num_cubes = 3 * ni,
+                                .literals_per_cube = ni / 2};
+    const Cover cover =
+        espresso::minimize(logic::generate_cover(spec, 42)).cover;
+    const auto pla = core::GnorPla::map_cover(cover);
+    const Throughput t = sweep(pla);
+    all_identical = all_identical && t.identical;
+    const double speedup = t.batch_pps / t.scalar_pps;
+    if (ni == 16) {
+      speedup_16 = speedup;
+    }
+    table.add_row({"GnorPla",
+                   std::to_string(pla.num_inputs()) + " x " +
+                       std::to_string(pla.num_products()) + " x " +
+                       std::to_string(pla.num_outputs()),
+                   format_double(t.scalar_pps / 1e6, 2),
+                   format_double(t.batch_pps / 1e6, 1),
+                   format_double(speedup, 1) + "x",
+                   t.identical ? "yes" : "NO"});
+
+    if (ni == 12) {
+      // The classical baseline and the four-plane WPLA ride the same
+      // interface, so the comparison is one call each.
+      const auto classical = core::ClassicalPla::map_cover(cover);
+      const Throughput tc = sweep(classical);
+      all_identical = all_identical && tc.identical;
+      table.add_row({"ClassicalPla",
+                     std::to_string(classical.num_inputs()) + " x " +
+                         std::to_string(classical.num_products()) + " x " +
+                         std::to_string(classical.num_outputs()),
+                     format_double(tc.scalar_pps / 1e6, 2),
+                     format_double(tc.batch_pps / 1e6, 1),
+                     format_double(tc.batch_pps / tc.scalar_pps, 1) + "x",
+                     tc.identical ? "yes" : "NO"});
+
+      const auto synth = core::synthesize_wpla(cover);
+      const core::Wpla wpla(synth.stage_a, synth.stage_b, ni);
+      const Throughput tw = sweep(wpla);
+      all_identical = all_identical && tw.identical;
+      table.add_row({"Wpla",
+                     std::to_string(wpla.num_inputs()) + " x (" +
+                         std::to_string(wpla.num_intermediates()) + ") x " +
+                         std::to_string(wpla.num_outputs()),
+                     format_double(tw.scalar_pps / 1e6, 2),
+                     format_double(tw.batch_pps / 1e6, 1),
+                     format_double(tw.batch_pps / tw.scalar_pps, 1) + "x",
+                     tw.identical ? "yes" : "NO"});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("16-input GNOR PLA speedup: %.1fx (acceptance bar: >= 10x)\n",
+              speedup_16);
+  std::printf("all sweeps bit-identical scalar vs batch: %s\n",
+              all_identical ? "yes" : "NO");
+  return (all_identical && speedup_16 >= 10.0) ? 0 : 1;
+}

@@ -67,18 +67,20 @@ int main() {
   std::printf("stage 3 product plane (polarity-absorbed inversion):\n%s\n",
               fabric.stage(2).plane.to_ascii().c_str());
 
-  // Exhaustive verification: the final bus row carries ¬F.
+  // Exhaustive verification through the batch path: all 16 patterns in
+  // one bit-parallel pass. The final bus row carries ¬F.
+  const logic::PatternBatch in = logic::PatternBatch::exhaustive(4);
+  const logic::PatternBatch out = fabric.evaluate_batch(in);
   TextTable table({"a", "b", "c", "d", "F = (a^b)^(c^d)", "fabric"});
   bool all_ok = true;
-  for (int m = 0; m < 16; ++m) {
-    std::vector<bool> in{(m & 1) != 0, (m & 2) != 0, (m & 4) != 0,
-                         (m & 8) != 0};
-    const bool expected = (in[0] != in[1]) != (in[2] != in[3]);
-    const bool got = !fabric.evaluate(in)[0];  // final NOR row = ¬F
+  for (std::uint64_t m = 0; m < 16; ++m) {
+    const bool a = in.get(m, 0), b = in.get(m, 1), c = in.get(m, 2),
+               d = in.get(m, 3);
+    const bool expected = (a != b) != (c != d);
+    const bool got = !out.get(m, 0);  // final NOR row = ¬F
     all_ok = all_ok && got == expected;
-    table.add_row({in[0] ? "1" : "0", in[1] ? "1" : "0", in[2] ? "1" : "0",
-                   in[3] ? "1" : "0", expected ? "1" : "0",
-                   got ? "1" : "0"});
+    table.add_row({a ? "1" : "0", b ? "1" : "0", c ? "1" : "0", d ? "1" : "0",
+                   expected ? "1" : "0", got ? "1" : "0"});
   }
   std::printf("%s\n", table.render().c_str());
   std::printf("cascade of NOR planes realizes the 4-input EXOR exactly: %s\n",

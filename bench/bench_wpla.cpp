@@ -66,21 +66,9 @@ Cover structured(int ni, int no, int shared, int private_p,
 }
 
 bool verify(const Cover& f, const core::WplaSynthesis& synth) {
+  // Exhaustive check through the bit-parallel Evaluator batch path.
   const core::Wpla wpla(synth.stage_a, synth.stage_b, f.num_inputs());
-  const auto expected = logic::TruthTable::from_cover(f);
-  for (std::uint64_t m = 0; m < expected.num_minterms(); ++m) {
-    std::vector<bool> in(static_cast<std::size_t>(f.num_inputs()));
-    for (int i = 0; i < f.num_inputs(); ++i) {
-      in[static_cast<std::size_t>(i)] = ((m >> i) & 1) != 0;
-    }
-    const auto out = wpla.evaluate(in);
-    for (int j = 0; j < f.num_outputs(); ++j) {
-      if (out[static_cast<std::size_t>(j)] != expected.get(m, j)) {
-        return false;
-      }
-    }
-  }
-  return true;
+  return equivalent(wpla, logic::TruthTable::from_cover(f));
 }
 
 }  // namespace

@@ -130,7 +130,8 @@ std::vector<bool> ClassicalPla::evaluate_products(
   return products;
 }
 
-std::vector<bool> ClassicalPla::evaluate(const std::vector<bool>& inputs) const {
+std::vector<bool> ClassicalPla::do_evaluate(
+    const std::vector<bool>& inputs) const {
   const std::vector<bool> products = evaluate_products(inputs);
   std::vector<bool> outputs(static_cast<std::size_t>(num_outputs_), true);
   for (int o = 0; o < num_outputs_; ++o) {
@@ -144,6 +145,52 @@ std::vector<bool> ClassicalPla::evaluate(const std::vector<bool>& inputs) const 
       value = !value;
     }
     outputs[static_cast<std::size_t>(o)] = value;
+  }
+  return outputs;
+}
+
+logic::PatternBatch ClassicalPla::do_evaluate_batch(
+    const logic::PatternBatch& inputs) const {
+  const std::uint64_t words = inputs.words_per_lane();
+
+  // Plane 1: product row k NORs the connected literal rails, word-wide.
+  logic::PatternBatch products(num_products_, inputs.num_patterns());
+  for (int k = 0; k < num_products_; ++k) {
+    std::uint64_t* lane = products.lane(k);
+    for (int i = 0; i < num_inputs_; ++i) {
+      const std::uint64_t* x = inputs.lane(i);
+      if (and_plane_connected(k, 2 * i)) {
+        for (std::uint64_t w = 0; w < words; ++w) {
+          lane[w] |= x[w];
+        }
+      }
+      if (and_plane_connected(k, 2 * i + 1)) {
+        for (std::uint64_t w = 0; w < words; ++w) {
+          lane[w] |= ~x[w];
+        }
+      }
+    }
+    products.complement_lane(k);  // NOR: invert the pull-down accumulator
+  }
+
+  // Plane 2 + buffers: output row o NORs the connected product lines;
+  // an inverting tap undoes the final complement, so it keeps the raw
+  // pull-down accumulator instead.
+  logic::PatternBatch outputs(num_outputs_, inputs.num_patterns());
+  for (int o = 0; o < num_outputs_; ++o) {
+    std::uint64_t* lane = outputs.lane(o);
+    for (int k = 0; k < num_products_; ++k) {
+      if (!or_plane_connected(o, k)) {
+        continue;
+      }
+      const std::uint64_t* p = products.lane(k);
+      for (std::uint64_t w = 0; w < words; ++w) {
+        lane[w] |= p[w];
+      }
+    }
+    if (!buffer_inverted_[static_cast<std::size_t>(o)]) {
+      outputs.complement_lane(o);
+    }
   }
   return outputs;
 }

@@ -1,0 +1,62 @@
+#include "core/evaluator.h"
+
+#include <string>
+
+#include "util/error.h"
+
+namespace ambit {
+
+namespace {
+
+/// The single, uniform width error raised at the Evaluator boundary.
+void check_width(int got, int expected, const char* entry) {
+  if (got != expected) {
+    throw Error(std::string("Evaluator::") + entry +
+                ": input width mismatch (got " + std::to_string(got) +
+                ", expected " + std::to_string(expected) + ")");
+  }
+}
+
+}  // namespace
+
+std::vector<bool> Evaluator::evaluate(const std::vector<bool>& inputs) const {
+  check_width(static_cast<int>(inputs.size()), num_inputs(), "evaluate");
+  return do_evaluate(inputs);
+}
+
+std::vector<bool> Evaluator::evaluate(std::span<const bool> inputs) const {
+  check_width(static_cast<int>(inputs.size()), num_inputs(), "evaluate");
+  return do_evaluate(std::vector<bool>(inputs.begin(), inputs.end()));
+}
+
+logic::PatternBatch Evaluator::evaluate_batch(
+    const logic::PatternBatch& inputs) const {
+  check_width(inputs.num_signals(), num_inputs(), "evaluate_batch");
+  return do_evaluate_batch(inputs);
+}
+
+logic::TruthTable exhaustive_truth_table(const Evaluator& e) {
+  check(e.num_inputs() <= logic::TruthTable::kMaxInputs,
+        "exhaustive_truth_table: too many inputs");
+  return logic::TruthTable::from_outputs(
+      e.num_inputs(),
+      e.evaluate_batch(logic::PatternBatch::exhaustive(e.num_inputs())));
+}
+
+bool equivalent(const Evaluator& e, const logic::TruthTable& table) {
+  if (e.num_inputs() != table.num_inputs() ||
+      e.num_outputs() != table.num_outputs()) {
+    return false;
+  }
+  return exhaustive_truth_table(e) == table;
+}
+
+bool equivalent(const Evaluator& a, const Evaluator& b) {
+  if (a.num_inputs() != b.num_inputs() ||
+      a.num_outputs() != b.num_outputs()) {
+    return false;
+  }
+  return exhaustive_truth_table(a) == exhaustive_truth_table(b);
+}
+
+}  // namespace ambit

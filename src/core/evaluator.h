@@ -1,0 +1,79 @@
+// The unified evaluation interface for every programmable circuit type.
+//
+// All AMBIT circuit models (GnorPla, ClassicalPla, Wpla, Fabric) expose
+// the same two entry points:
+//
+//   * evaluate(inputs)        — one pattern in, one pattern out;
+//   * evaluate_batch(batch)   — N patterns in, N patterns out, computed
+//                               word-parallel (64 patterns per uint64
+//                               lane, see logic/pattern_batch.h).
+//
+// The base class is a non-virtual interface: the public entry points
+// validate the input width ONCE, uniformly, throwing ambit::Error with
+// a consistent message, and then dispatch to the protected do_* hooks.
+// Derived classes therefore never re-implement width checking and the
+// batch path is guaranteed to accept exactly the shapes the scalar path
+// accepts.
+//
+// Exhaustive sweeps — verification, Table 1/2-style comparisons, fault
+// Monte-Carlo — should go through evaluate_batch: on a GNOR plane the
+// inner loop becomes AND/OR/NOT over packed lanes instead of per-bit
+// branching, which is an order of magnitude faster (measured in
+// bench/bench_batch_eval.cpp).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "logic/pattern_batch.h"
+#include "logic/truth_table.h"
+
+namespace ambit {
+
+/// Abstract N-input / M-output combinational evaluator.
+class Evaluator {
+ public:
+  virtual ~Evaluator() = default;
+
+  virtual int num_inputs() const = 0;
+  virtual int num_outputs() const = 0;
+
+  /// Scalar path: evaluates one input pattern. Throws ambit::Error when
+  /// inputs.size() != num_inputs().
+  std::vector<bool> evaluate(const std::vector<bool>& inputs) const;
+
+  /// Scalar path over a contiguous bool span (for callers that keep
+  /// patterns unpacked in plain arrays rather than vector<bool>).
+  std::vector<bool> evaluate(std::span<const bool> inputs) const;
+
+  /// Bit-parallel path: evaluates every pattern of the batch in one
+  /// pass. The result holds num_outputs() lanes over the same pattern
+  /// count. Throws ambit::Error when batch.num_signals() !=
+  /// num_inputs().
+  logic::PatternBatch evaluate_batch(const logic::PatternBatch& inputs) const;
+
+ protected:
+  /// Width-validated scalar evaluation hook.
+  virtual std::vector<bool> do_evaluate(
+      const std::vector<bool>& inputs) const = 0;
+
+  /// Width-validated batch evaluation hook.
+  virtual logic::PatternBatch do_evaluate_batch(
+      const logic::PatternBatch& inputs) const = 0;
+};
+
+/// Evaluates every minterm of the evaluator's input space through the
+/// batch path and returns the result as a truth table (the batch lane
+/// layout IS the truth-table word layout, see pattern_batch.h).
+/// Requires num_inputs() <= TruthTable::kMaxInputs.
+logic::TruthTable exhaustive_truth_table(const Evaluator& e);
+
+/// True when the evaluator computes exactly the function denoted by
+/// `table` (exhaustive, via the batch path).
+bool equivalent(const Evaluator& e, const logic::TruthTable& table);
+
+/// True when two evaluators of the same shape compute the same function
+/// (exhaustive, via the batch path).
+bool equivalent(const Evaluator& a, const Evaluator& b);
+
+}  // namespace ambit

@@ -36,9 +36,7 @@ void Fabric::add_stage(FabricStage stage) {
   stages_.push_back(std::move(stage));
 }
 
-std::vector<bool> Fabric::evaluate(const std::vector<bool>& inputs) const {
-  check(static_cast<int>(inputs.size()) == primary_inputs_,
-        "Fabric::evaluate: input arity mismatch");
+std::vector<bool> Fabric::do_evaluate(const std::vector<bool>& inputs) const {
   std::vector<bool> bus = inputs;
   for (const FabricStage& s : stages_) {
     std::vector<bool> plane_inputs(static_cast<std::size_t>(s.plane.cols()),
@@ -57,6 +55,39 @@ std::vector<bool> Fabric::evaluate(const std::vector<bool>& inputs) const {
       bus.insert(bus.end(), outputs.begin(), outputs.end());
     } else {
       bus = outputs;
+    }
+  }
+  return bus;
+}
+
+logic::PatternBatch Fabric::do_evaluate_batch(
+    const logic::PatternBatch& inputs) const {
+  logic::PatternBatch bus = inputs;
+  for (const FabricStage& s : stages_) {
+    // Route the bus lanes onto the plane columns; undriven columns keep
+    // their all-zero lane (weak keeper ties them low).
+    logic::PatternBatch plane_inputs(s.plane.cols(), inputs.num_patterns());
+    for (int v = 0; v < s.routing.num_vertical(); ++v) {
+      for (int h = 0; h < s.routing.num_horizontal(); ++h) {
+        if (s.routing.switch_on(h, v)) {
+          plane_inputs.copy_lane_from(bus, h, v);
+          break;  // at most one driver (validated in add_stage)
+        }
+      }
+    }
+    logic::PatternBatch outputs = s.plane.evaluate_batch(plane_inputs);
+    if (s.feed_through) {
+      logic::PatternBatch widened(bus.num_signals() + outputs.num_signals(),
+                                  inputs.num_patterns());
+      for (int i = 0; i < bus.num_signals(); ++i) {
+        widened.copy_lane_from(bus, i, i);
+      }
+      for (int j = 0; j < outputs.num_signals(); ++j) {
+        widened.copy_lane_from(outputs, j, bus.num_signals() + j);
+      }
+      bus = std::move(widened);
+    } else {
+      bus = std::move(outputs);
     }
   }
   return bus;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/crossbar.h"
+#include "core/evaluator.h"
 #include "core/gnor_plane.h"
 
 namespace ambit::core {
@@ -37,7 +38,7 @@ struct FabricStage {
 };
 
 /// A cascade of GNOR planes and crossbars evaluated functionally.
-class Fabric {
+class Fabric : public Evaluator {
  public:
   explicit Fabric(int primary_inputs);
 
@@ -52,10 +53,10 @@ class Fabric {
   /// Bus width after the last stage (= width of evaluate()'s result).
   int bus_width() const;
 
-  const FabricStage& stage(int i) const;
+  int num_inputs() const override { return primary_inputs_; }
+  int num_outputs() const override { return bus_width(); }
 
-  /// Evaluates the full cascade.
-  std::vector<bool> evaluate(const std::vector<bool>& inputs) const;
+  const FabricStage& stage(int i) const;
 
   /// Total programmable cells (plane cells + crossbar crosspoints).
   long long cell_count() const;
@@ -64,6 +65,12 @@ class Fabric {
   /// plane with `columns` inputs (bus signal i drives column i; extra
   /// columns stay undriven).
   static Crossbar identity_routing(int bus, int columns);
+
+ protected:
+  /// Evaluates the full cascade.
+  std::vector<bool> do_evaluate(const std::vector<bool>& inputs) const override;
+  logic::PatternBatch do_evaluate_batch(
+      const logic::PatternBatch& inputs) const override;
 
  private:
   int primary_inputs_;

@@ -70,12 +70,24 @@ std::vector<bool> GnorPla::evaluate_products(
   return plane1_.evaluate(inputs);
 }
 
-std::vector<bool> GnorPla::evaluate(const std::vector<bool>& inputs) const {
+std::vector<bool> GnorPla::do_evaluate(const std::vector<bool>& inputs) const {
   const std::vector<bool> products = plane1_.evaluate(inputs);
   std::vector<bool> rows = plane2_.evaluate(products);
   for (int o = 0; o < num_outputs(); ++o) {
     if (buffer_inverted_[static_cast<std::size_t>(o)]) {
       rows[static_cast<std::size_t>(o)] = !rows[static_cast<std::size_t>(o)];
+    }
+  }
+  return rows;
+}
+
+logic::PatternBatch GnorPla::do_evaluate_batch(
+    const logic::PatternBatch& inputs) const {
+  const logic::PatternBatch products = plane1_.evaluate_batch(inputs);
+  logic::PatternBatch rows = plane2_.evaluate_batch(products);
+  for (int o = 0; o < num_outputs(); ++o) {
+    if (buffer_inverted_[static_cast<std::size_t>(o)]) {
+      rows.complement_lane(o);
     }
   }
   return rows;

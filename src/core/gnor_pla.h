@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "core/evaluator.h"
 #include "core/gnor_plane.h"
 #include "logic/cover.h"
 #include "tech/area_model.h"
@@ -28,7 +29,7 @@
 namespace ambit::core {
 
 /// A programmable two-plane GNOR PLA plus per-output buffer taps.
-class GnorPla {
+class GnorPla : public Evaluator {
  public:
   GnorPla(int num_inputs, int num_products, int num_outputs);
 
@@ -40,9 +41,9 @@ class GnorPla {
   static GnorPla map_cover(const logic::Cover& cover,
                            const std::vector<bool>& complemented = {});
 
-  int num_inputs() const { return plane1_.cols(); }
+  int num_inputs() const override { return plane1_.cols(); }
   int num_products() const { return plane1_.rows(); }
-  int num_outputs() const { return plane2_.rows(); }
+  int num_outputs() const override { return plane2_.rows(); }
 
   const GnorPlane& product_plane() const { return plane1_; }
   const GnorPlane& output_plane() const { return plane2_; }
@@ -53,9 +54,6 @@ class GnorPla {
   /// positive-phase SOP on a NOR-NOR array).
   bool buffer_inverted(int output) const;
   void set_buffer_inverted(int output, bool inverted);
-
-  /// Full functional evaluation: inputs -> outputs (after buffers).
-  std::vector<bool> evaluate(const std::vector<bool>& inputs) const;
 
   /// Product-line values before plane 2 (useful for tests/inspection).
   std::vector<bool> evaluate_products(const std::vector<bool>& inputs) const;
@@ -71,6 +69,12 @@ class GnorPla {
 
   /// ASCII rendering of both planes.
   std::string to_ascii() const;
+
+ protected:
+  /// Full functional evaluation: inputs -> outputs (after buffers).
+  std::vector<bool> do_evaluate(const std::vector<bool>& inputs) const override;
+  logic::PatternBatch do_evaluate_batch(
+      const logic::PatternBatch& inputs) const override;
 
  private:
   GnorPlane plane1_;  // products × inputs

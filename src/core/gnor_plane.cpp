@@ -50,6 +50,40 @@ std::vector<bool> GnorPlane::evaluate(const std::vector<bool>& inputs) const {
   return outputs;
 }
 
+logic::PatternBatch GnorPlane::evaluate_batch(
+    const logic::PatternBatch& inputs) const {
+  check(inputs.num_signals() == cols_,
+        "GnorPlane::evaluate_batch: input arity mismatch");
+  logic::PatternBatch out(rows_, inputs.num_patterns());
+  const std::uint64_t words = inputs.words_per_lane();
+  for (int r = 0; r < rows_; ++r) {
+    // Accumulate the pull-down network word-wide: an n-type cell
+    // conducts on the input lane as-is, a p-type cell on its
+    // complement. Tail garbage introduced by the complement is cleared
+    // by the final NOR mask.
+    std::uint64_t* lane = out.lane(r);
+    for (int c = 0; c < cols_; ++c) {
+      const std::uint64_t* in = inputs.lane(c);
+      switch (cell(r, c)) {
+        case CellConfig::kPass:
+          for (std::uint64_t w = 0; w < words; ++w) {
+            lane[w] |= in[w];
+          }
+          break;
+        case CellConfig::kInvert:
+          for (std::uint64_t w = 0; w < words; ++w) {
+            lane[w] |= ~in[w];
+          }
+          break;
+        case CellConfig::kOff:
+          break;
+      }
+    }
+    out.complement_lane(r);  // NOR: invert the pull-down accumulator
+  }
+  return out;
+}
+
 int GnorPlane::active_cells() const {
   int count = 0;
   for (const CellConfig c : cells_) {

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/gnor.h"
+#include "logic/pattern_batch.h"
 
 namespace ambit::core {
 
@@ -30,6 +31,12 @@ class GnorPlane {
 
   /// Evaluates all rows against the shared column inputs.
   std::vector<bool> evaluate(const std::vector<bool>& inputs) const;
+
+  /// Word-parallel row evaluation: lane r of the result carries row r's
+  /// value for all patterns of the batch (64 patterns per AND/OR/NOT).
+  /// This is the bit-parallel kernel every Evaluator batch path
+  /// bottoms out in.
+  logic::PatternBatch evaluate_batch(const logic::PatternBatch& inputs) const;
 
   /// Number of cells not configured off.
   int active_cells() const;

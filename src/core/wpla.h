@@ -34,7 +34,7 @@
 namespace ambit::core {
 
 /// A two-stage (four-NOR-plane) Whirlpool PLA.
-class Wpla {
+class Wpla : public Evaluator {
  public:
   /// Builds from the two stage covers. Stage B's cover is over
   /// (primary inputs + stage-A outputs): its first `primary_inputs`
@@ -42,18 +42,21 @@ class Wpla {
   Wpla(const logic::Cover& stage_a, const logic::Cover& stage_b,
        int primary_inputs);
 
-  int num_inputs() const { return primary_inputs_; }
+  int num_inputs() const override { return primary_inputs_; }
   int num_intermediates() const { return stage_a_.num_outputs(); }
-  int num_outputs() const { return stage_b_.num_outputs(); }
+  int num_outputs() const override { return stage_b_.num_outputs(); }
 
   const GnorPla& stage_a() const { return stage_a_; }
   const GnorPla& stage_b() const { return stage_b_; }
 
-  /// Evaluates the full four-plane cascade.
-  std::vector<bool> evaluate(const std::vector<bool>& inputs) const;
-
   /// Total programmable cells over all four planes.
   long long cell_count() const;
+
+ protected:
+  /// Evaluates the full four-plane cascade.
+  std::vector<bool> do_evaluate(const std::vector<bool>& inputs) const override;
+  logic::PatternBatch do_evaluate_batch(
+      const logic::PatternBatch& inputs) const override;
 
  private:
   int primary_inputs_;

@@ -1,5 +1,8 @@
 #include "fault/yield.h"
 
+#include <optional>
+
+#include "core/evaluator.h"
 #include "util/error.h"
 
 namespace ambit::fault {
@@ -21,6 +24,12 @@ std::vector<YieldPoint> yield_sweep(const core::GnorPla& pla,
                                     const YieldSpec& spec) {
   check(spec.trials > 0, "yield_sweep: need at least one trial");
   check(spec.spare_rows >= 0, "yield_sweep: negative spare rows");
+  // The nominal function, computed ONCE through the bit-parallel batch
+  // path; every verified trial then compares against these words.
+  std::optional<logic::TruthTable> reference;
+  if (spec.functional_check) {
+    reference = exhaustive_truth_table(pla);
+  }
   std::vector<YieldPoint> curve;
   Rng rng(spec.seed);
   for (const double rate : defect_rates) {
@@ -28,6 +37,7 @@ std::vector<YieldPoint> yield_sweep(const core::GnorPla& pla,
     point.defect_rate = rate;
     int naive_ok = 0;
     int repaired_ok = 0;
+    int functional_ok = 0;
     long long relocations = 0;
     for (int t = 0; t < spec.trials; ++t) {
       const DefectMap defects =
@@ -39,10 +49,18 @@ std::vector<YieldPoint> yield_sweep(const core::GnorPla& pla,
       if (repair.success) {
         ++repaired_ok;
         relocations += repair.relocated;
+        if (reference.has_value()) {
+          const core::GnorPla physical =
+              apply_repair(pla, repair, spec.spare_rows);
+          functional_ok += equivalent(physical, *reference);
+        } else {
+          ++functional_ok;
+        }
       }
     }
     point.naive_yield = static_cast<double>(naive_ok) / spec.trials;
     point.repaired_yield = static_cast<double>(repaired_ok) / spec.trials;
+    point.functional_yield = static_cast<double>(functional_ok) / spec.trials;
     point.mean_relocations =
         repaired_ok > 0 ? static_cast<double>(relocations) / repaired_ok : 0;
     curve.push_back(point);

@@ -28,6 +28,10 @@ struct YieldPoint {
   double naive_yield = 0;
   double repaired_yield = 0;
   double mean_relocations = 0;  ///< over successful repairs
+  /// Fraction of trials whose repaired array also verified functionally
+  /// equivalent to the nominal PLA (only when YieldSpec::functional_check;
+  /// otherwise equals repaired_yield by construction).
+  double functional_yield = 0;
 };
 
 /// Experiment parameters.
@@ -35,6 +39,11 @@ struct YieldSpec {
   int spare_rows = 4;
   int trials = 200;
   std::uint64_t seed = 99;
+  /// When set, every successful repair is additionally verified by
+  /// exhaustive bit-parallel evaluation (Evaluator::evaluate_batch)
+  /// against the nominal array. Requires the PLA input count to be at
+  /// most TruthTable::kMaxInputs.
+  bool functional_check = false;
 };
 
 /// True when `pla`'s product plane can be programmed on its nominal

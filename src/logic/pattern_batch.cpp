@@ -1,0 +1,136 @@
+#include "logic/pattern_batch.h"
+
+#include "util/error.h"
+
+namespace ambit::logic {
+
+namespace {
+
+// Stripe constants for the low six exhaustive input lanes: lane i of an
+// exhaustive batch repeats the 64-bit pattern where bit p is bit i of p.
+constexpr std::uint64_t kStripe[6] = {
+    0xAAAAAAAAAAAAAAAAULL,  // bit 0 of the pattern index
+    0xCCCCCCCCCCCCCCCCULL,  // bit 1
+    0xF0F0F0F0F0F0F0F0ULL,  // bit 2
+    0xFF00FF00FF00FF00ULL,  // bit 3
+    0xFFFF0000FFFF0000ULL,  // bit 4
+    0xFFFFFFFF00000000ULL,  // bit 5
+};
+
+}  // namespace
+
+PatternBatch::PatternBatch(int num_signals, std::uint64_t num_patterns)
+    : num_signals_(num_signals), num_patterns_(num_patterns) {
+  check(num_signals >= 0, "PatternBatch: negative signal count");
+  words_per_lane_ = (num_patterns + 63) / 64;
+  const std::uint64_t tail = num_patterns % 64;
+  tail_mask_ = tail == 0 ? ~std::uint64_t{0} : ((std::uint64_t{1} << tail) - 1);
+  words_.assign(words_per_lane_ * static_cast<std::uint64_t>(num_signals), 0);
+}
+
+PatternBatch PatternBatch::exhaustive(int num_inputs) {
+  check(num_inputs >= 0 && num_inputs < 63,
+        "PatternBatch::exhaustive: input count out of range");
+  PatternBatch batch(num_inputs, std::uint64_t{1} << num_inputs);
+  for (int i = 0; i < num_inputs; ++i) {
+    std::uint64_t* words = batch.lane(i);
+    if (i < 6) {
+      for (std::uint64_t w = 0; w < batch.words_per_lane_; ++w) {
+        words[w] = kStripe[i];
+      }
+    } else {
+      // Signal i is bit i of the pattern index: within word w, all 64
+      // patterns share that bit, which is bit (i - 6) of w.
+      for (std::uint64_t w = 0; w < batch.words_per_lane_; ++w) {
+        words[w] = ((w >> (i - 6)) & 1) ? ~std::uint64_t{0} : 0;
+      }
+    }
+  }
+  // Sub-word exhaustive batches (num_inputs < 6) must keep the tail
+  // padding zero.
+  if (batch.words_per_lane_ == 1) {
+    for (int i = 0; i < num_inputs; ++i) {
+      batch.lane(i)[0] &= batch.tail_mask_;
+    }
+  }
+  return batch;
+}
+
+PatternBatch PatternBatch::from_patterns(
+    const std::vector<std::vector<bool>>& patterns) {
+  const int width =
+      patterns.empty() ? 0 : static_cast<int>(patterns.front().size());
+  PatternBatch batch(width, patterns.size());
+  for (std::uint64_t p = 0; p < patterns.size(); ++p) {
+    batch.set_pattern(p, patterns[p]);
+  }
+  return batch;
+}
+
+std::uint64_t PatternBatch::lane_start(int signal) const {
+  check(signal >= 0 && signal < num_signals_,
+        "PatternBatch: signal index out of range");
+  return static_cast<std::uint64_t>(signal) * words_per_lane_;
+}
+
+bool PatternBatch::get(std::uint64_t pattern, int signal) const {
+  check(pattern < num_patterns_, "PatternBatch::get: pattern out of range");
+  return ((words_[lane_start(signal) + pattern / 64] >> (pattern % 64)) & 1) !=
+         0;
+}
+
+void PatternBatch::set(std::uint64_t pattern, int signal, bool value) {
+  check(pattern < num_patterns_, "PatternBatch::set: pattern out of range");
+  std::uint64_t& word = words_[lane_start(signal) + pattern / 64];
+  const std::uint64_t bit = std::uint64_t{1} << (pattern % 64);
+  if (value) {
+    word |= bit;
+  } else {
+    word &= ~bit;
+  }
+}
+
+std::vector<bool> PatternBatch::pattern(std::uint64_t p) const {
+  std::vector<bool> bits(static_cast<std::size_t>(num_signals_));
+  for (int s = 0; s < num_signals_; ++s) {
+    bits[static_cast<std::size_t>(s)] = get(p, s);
+  }
+  return bits;
+}
+
+void PatternBatch::set_pattern(std::uint64_t p, const std::vector<bool>& bits) {
+  check(static_cast<int>(bits.size()) == num_signals_,
+        "PatternBatch::set_pattern: width mismatch");
+  for (int s = 0; s < num_signals_; ++s) {
+    set(p, s, bits[static_cast<std::size_t>(s)]);
+  }
+}
+
+const std::uint64_t* PatternBatch::lane(int signal) const {
+  return words_.data() + lane_start(signal);
+}
+
+std::uint64_t* PatternBatch::lane(int signal) {
+  return words_.data() + lane_start(signal);
+}
+
+void PatternBatch::copy_lane_from(const PatternBatch& src, int src_signal,
+                                  int dst_signal) {
+  check(src.num_patterns_ == num_patterns_,
+        "PatternBatch::copy_lane_from: pattern count mismatch");
+  const std::uint64_t* from = src.lane(src_signal);
+  std::uint64_t* to = lane(dst_signal);
+  for (std::uint64_t w = 0; w < words_per_lane_; ++w) {
+    to[w] = from[w];
+  }
+}
+
+void PatternBatch::complement_lane(int signal) {
+  std::uint64_t* words = lane(signal);
+  for (std::uint64_t w = 0; w < words_per_lane_; ++w) {
+    const bool last = (w + 1 == words_per_lane_);
+    words[w] = ~words[w] & (last ? tail_mask_ : ~std::uint64_t{0});
+  }
+}
+
+}  // namespace ambit::logic

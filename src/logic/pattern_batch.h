@@ -1,0 +1,80 @@
+// Word-packed input/output pattern batches for bit-parallel evaluation.
+//
+// A PatternBatch holds N boolean patterns over S signals in transposed
+// ("bit-sliced") form: one lane of ceil(N/64) uint64 words per signal,
+// with pattern p stored at bit (p % 64) of word (p / 64). Evaluating a
+// NOR plane over a batch then reduces to word-wide AND/OR/NOT over the
+// lanes — 64 patterns per machine operation — which is what makes
+// exhaustive verification and Monte-Carlo sweeps throughput-bound
+// instead of branch-bound (see core/evaluator.h).
+//
+// The layout is deliberately identical to TruthTable's output-major
+// word layout: the batch returned by evaluating every minterm in
+// ascending order IS a truth table, lane for lane.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ambit::logic {
+
+/// A fixed-size batch of bit-packed patterns, one 64-bit lane set per
+/// signal. Unused bits of the last word of every lane are kept zero.
+class PatternBatch {
+ public:
+  /// An empty batch: `num_signals` lanes of `num_patterns` zero bits.
+  PatternBatch(int num_signals, std::uint64_t num_patterns);
+
+  /// The exhaustive batch over `num_inputs` signals: pattern m assigns
+  /// bit i of m to signal i, for all 2^num_inputs minterms in order.
+  /// Lane words follow the classic truth-table stripe patterns, so
+  /// construction is O(signals · words), not O(signals · patterns).
+  static PatternBatch exhaustive(int num_inputs);
+
+  /// Packs a vector of same-width patterns (pattern-major to
+  /// signal-major transpose).
+  static PatternBatch from_patterns(
+      const std::vector<std::vector<bool>>& patterns);
+
+  int num_signals() const { return num_signals_; }
+  std::uint64_t num_patterns() const { return num_patterns_; }
+  std::uint64_t words_per_lane() const { return words_per_lane_; }
+
+  bool get(std::uint64_t pattern, int signal) const;
+  void set(std::uint64_t pattern, int signal, bool value);
+
+  /// Pattern `p` unpacked back into one bool per signal.
+  std::vector<bool> pattern(std::uint64_t p) const;
+  void set_pattern(std::uint64_t p, const std::vector<bool>& bits);
+
+  /// Raw lane access for word-parallel kernels. A lane is
+  /// words_per_lane() consecutive uint64 values.
+  const std::uint64_t* lane(int signal) const;
+  std::uint64_t* lane(int signal);
+
+  /// Copies lane `src_signal` of `src` into lane `dst_signal` (both
+  /// batches must hold the same number of patterns).
+  void copy_lane_from(const PatternBatch& src, int src_signal,
+                      int dst_signal);
+
+  /// Complements lane `signal` over the valid pattern bits (the tail
+  /// padding stays zero).
+  void complement_lane(int signal);
+
+  /// Mask selecting the valid bits of the LAST word of a lane; all
+  /// earlier words are fully valid.
+  std::uint64_t tail_mask() const { return tail_mask_; }
+
+  bool operator==(const PatternBatch& other) const = default;
+
+ private:
+  int num_signals_;
+  std::uint64_t num_patterns_;
+  std::uint64_t words_per_lane_;
+  std::uint64_t tail_mask_;
+  std::vector<std::uint64_t> words_;  // signal-major: lane s at s*words_per_lane_
+
+  std::uint64_t lane_start(int signal) const;
+};
+
+}  // namespace ambit::logic

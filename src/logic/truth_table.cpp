@@ -55,6 +55,26 @@ TruthTable TruthTable::from_cover(const Cover& cover) {
   return table;
 }
 
+TruthTable TruthTable::from_outputs(int num_inputs,
+                                    const PatternBatch& outputs) {
+  check(outputs.num_signals() >= 1,
+        "TruthTable::from_outputs: at least one output lane required");
+  TruthTable table(num_inputs, outputs.num_signals());
+  check(outputs.num_patterns() == table.num_minterms(),
+        "TruthTable::from_outputs: batch does not cover the minterm space");
+  require(outputs.words_per_lane() == table.words_per_output_,
+          "TruthTable::from_outputs: lane/word layout mismatch");
+  for (int j = 0; j < table.num_outputs_; ++j) {
+    const std::uint64_t* lane = outputs.lane(j);
+    const std::uint64_t start =
+        static_cast<std::uint64_t>(j) * table.words_per_output_;
+    for (std::uint64_t w = 0; w < table.words_per_output_; ++w) {
+      table.bits_[start + w] = lane[w];
+    }
+  }
+  return table;
+}
+
 bool TruthTable::get(std::uint64_t minterm, int out) const {
   require(minterm < num_minterms(), "TruthTable::get: minterm out of range");
   require(out >= 0 && out < num_outputs_, "TruthTable::get: output out of range");
@@ -99,6 +119,24 @@ TruthTable TruthTable::complemented() const {
     }
   }
   return result;
+}
+
+std::uint64_t TruthTable::count_mismatches(const TruthTable& other,
+                                           const TruthTable* dontcare) const {
+  check(num_inputs_ == other.num_inputs_ && num_outputs_ == other.num_outputs_,
+        "TruthTable::count_mismatches: shape mismatch");
+  check(dontcare == nullptr || (dontcare->num_inputs_ == num_inputs_ &&
+                                dontcare->num_outputs_ == num_outputs_),
+        "TruthTable::count_mismatches: dontcare shape mismatch");
+  std::uint64_t mismatches = 0;
+  for (std::uint64_t w = 0; w < bits_.size(); ++w) {
+    std::uint64_t diff = bits_[w] ^ other.bits_[w];
+    if (dontcare != nullptr) {
+      diff &= ~dontcare->bits_[w];
+    }
+    mismatches += static_cast<std::uint64_t>(std::popcount(diff));
+  }
+  return mismatches;
 }
 
 bool TruthTable::operator==(const TruthTable& other) const {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "logic/cover.h"
+#include "logic/pattern_batch.h"
 
 namespace ambit::logic {
 
@@ -25,6 +26,12 @@ class TruthTable {
   /// Evaluates every cube of `cover` over the full input space.
   static TruthTable from_cover(const Cover& cover);
 
+  /// Adopts the output lanes of a batch evaluation over the exhaustive
+  /// minterm order as a truth table: lane j becomes output j. The batch
+  /// must hold exactly 2^num_inputs patterns — PatternBatch lanes and
+  /// TruthTable words share one layout, so this is a straight copy.
+  static TruthTable from_outputs(int num_inputs, const PatternBatch& outputs);
+
   int num_inputs() const { return num_inputs_; }
   int num_outputs() const { return num_outputs_; }
   std::uint64_t num_minterms() const { return std::uint64_t{1} << num_inputs_; }
@@ -37,6 +44,12 @@ class TruthTable {
 
   /// Bitwise complement of every output.
   TruthTable complemented() const;
+
+  /// Number of (minterm, output) pairs on which the two tables differ,
+  /// counted word-parallel. Minterms asserted in `dontcare` (when
+  /// non-null) are ignored. Shapes must match.
+  std::uint64_t count_mismatches(const TruthTable& other,
+                                 const TruthTable* dontcare = nullptr) const;
 
   bool operator==(const TruthTable& other) const;
 

@@ -1,0 +1,157 @@
+// Tests for the unified Evaluator interface and the PatternBatch
+// bit-packed container: layout invariants, scalar/batch entry points,
+// and the uniform input-width validation at the Evaluator boundary.
+#include <gtest/gtest.h>
+
+#include <span>
+#include <string>
+
+#include "core/classical_pla.h"
+#include "core/fabric.h"
+#include "core/gnor_pla.h"
+#include "core/wpla.h"
+#include "logic/pattern_batch.h"
+#include "logic/truth_table.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace ambit {
+namespace {
+
+using core::ClassicalPla;
+using core::Fabric;
+using core::FabricStage;
+using core::GnorPla;
+using core::Wpla;
+using logic::Cover;
+using logic::PatternBatch;
+using logic::TruthTable;
+
+TEST(PatternBatchTest, SetGetRoundTrip) {
+  PatternBatch batch(3, 130);  // spans three words per lane
+  EXPECT_EQ(batch.num_signals(), 3);
+  EXPECT_EQ(batch.num_patterns(), 130u);
+  EXPECT_EQ(batch.words_per_lane(), 3u);
+  batch.set(0, 0, true);
+  batch.set(64, 1, true);
+  batch.set(129, 2, true);
+  EXPECT_TRUE(batch.get(0, 0));
+  EXPECT_FALSE(batch.get(0, 1));
+  EXPECT_TRUE(batch.get(64, 1));
+  EXPECT_TRUE(batch.get(129, 2));
+  batch.set(64, 1, false);
+  EXPECT_FALSE(batch.get(64, 1));
+}
+
+TEST(PatternBatchTest, ExhaustiveMatchesMintermBits) {
+  for (const int n : {1, 3, 6, 7, 9}) {
+    const PatternBatch batch = PatternBatch::exhaustive(n);
+    ASSERT_EQ(batch.num_patterns(), std::uint64_t{1} << n);
+    for (std::uint64_t m = 0; m < batch.num_patterns(); ++m) {
+      for (int i = 0; i < n; ++i) {
+        ASSERT_EQ(batch.get(m, i), ((m >> i) & 1) != 0)
+            << "n=" << n << " m=" << m << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(PatternBatchTest, SubWordExhaustiveKeepsTailZero) {
+  const PatternBatch batch = PatternBatch::exhaustive(3);
+  EXPECT_EQ(batch.tail_mask(), 0xFFu);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(batch.lane(i)[0] & ~batch.tail_mask(), 0u);
+  }
+}
+
+TEST(PatternBatchTest, ComplementLanePreservesTailPadding) {
+  PatternBatch batch(1, 70);  // 6 valid bits in the second word
+  batch.set(69, 0, true);
+  batch.complement_lane(0);
+  EXPECT_FALSE(batch.get(69, 0));
+  EXPECT_TRUE(batch.get(0, 0));
+  // Bits past num_patterns stay zero so NOR/complement kernels cannot
+  // leak garbage between batches.
+  EXPECT_EQ(batch.lane(0)[1] & ~batch.tail_mask(), 0u);
+}
+
+TEST(PatternBatchTest, FromPatternsTransposes) {
+  const PatternBatch batch = PatternBatch::from_patterns(
+      {{true, false}, {false, true}, {true, true}});
+  EXPECT_EQ(batch.num_signals(), 2);
+  EXPECT_EQ(batch.num_patterns(), 3u);
+  EXPECT_EQ(batch.pattern(0), (std::vector<bool>{true, false}));
+  EXPECT_EQ(batch.pattern(1), (std::vector<bool>{false, true}));
+  EXPECT_EQ(batch.pattern(2), (std::vector<bool>{true, true}));
+}
+
+TEST(EvaluatorTest, ExhaustiveTruthTableMatchesCover) {
+  const Cover f = Cover::parse(4, 2, {"11-- 10", "1-1- 10", "--11 01",
+                                      "0--1 01"});
+  const GnorPla pla = GnorPla::map_cover(f);
+  EXPECT_EQ(exhaustive_truth_table(pla), TruthTable::from_cover(f));
+  EXPECT_TRUE(equivalent(pla, TruthTable::from_cover(f)));
+  // And the two architectures agree with each other.
+  const ClassicalPla classical = ClassicalPla::map_cover(f);
+  EXPECT_TRUE(equivalent(pla, classical));
+}
+
+TEST(EvaluatorTest, SpanEntryPointMatchesVectorEntryPoint) {
+  const Cover f = Cover::parse(3, 1, {"11- 1", "0-1 1"});
+  const GnorPla pla = GnorPla::map_cover(f);
+  const bool raw[3] = {true, true, false};
+  EXPECT_EQ(pla.evaluate(std::span<const bool>(raw)),
+            pla.evaluate(std::vector<bool>{true, true, false}));
+}
+
+// ---------------------------------------------------------------------------
+// Uniform width validation: every circuit type raises the SAME error,
+// from the Evaluator boundary, on both the scalar and batch paths.
+// ---------------------------------------------------------------------------
+
+void expect_width_error(const Evaluator& e) {
+  const std::vector<bool> wrong(static_cast<std::size_t>(e.num_inputs() + 1));
+  const PatternBatch bad_batch(e.num_inputs() + 1, 10);
+  for (const char* entry : {"scalar", "batch"}) {
+    try {
+      if (std::string(entry) == "scalar") {
+        e.evaluate(wrong);
+      } else {
+        e.evaluate_batch(bad_batch);
+      }
+      FAIL() << entry << " path accepted a wrong-width input";
+    } catch (const Error& err) {
+      EXPECT_NE(std::string(err.what()).find("input width mismatch"),
+                std::string::npos)
+          << entry << " path raised a non-uniform error: " << err.what();
+    }
+  }
+}
+
+TEST(EvaluatorTest, WidthValidationIsUniformAcrossCircuitTypes) {
+  const Cover f = Cover::parse(3, 1, {"11- 1", "0-1 1"});
+  const GnorPla gnor = GnorPla::map_cover(f);
+  expect_width_error(gnor);
+  expect_width_error(ClassicalPla::map_cover(f));
+
+  const Cover a = Cover::parse(3, 1, {"11- 1"});
+  const Cover b = Cover::parse(4, 1, {"--1- 1", "---1 1"});
+  expect_width_error(Wpla(a, b, 3));
+
+  Fabric fabric(3);
+  fabric.add_stage(FabricStage(Fabric::identity_routing(3, 3),
+                               gnor.product_plane()));
+  expect_width_error(fabric);
+}
+
+TEST(EvaluatorTest, CorrectWidthIsAcceptedAfterMismatch) {
+  const Cover f = Cover::parse(2, 1, {"10 1"});
+  const GnorPla pla = GnorPla::map_cover(f);
+  EXPECT_THROW(pla.evaluate({true}), Error);
+  EXPECT_NO_THROW(pla.evaluate({true, false}));
+  EXPECT_THROW(pla.evaluate_batch(PatternBatch(3, 4)), Error);
+  EXPECT_NO_THROW(pla.evaluate_batch(PatternBatch(2, 4)));
+}
+
+}  // namespace
+}  // namespace ambit

@@ -17,26 +17,12 @@ using logic::Cube;
 using logic::Literal;
 using logic::TruthTable;
 
-std::vector<bool> minterm_bits(std::uint64_t m, int n) {
-  std::vector<bool> bits(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) {
-    bits[static_cast<std::size_t>(i)] = ((m >> i) & 1) != 0;
-  }
-  return bits;
-}
-
-/// Exhaustively checks a mapped PLA (any type with evaluate()) against
-/// the truth table of `reference`.
-template <typename Pla>
-void expect_matches_cover(const Pla& pla, const Cover& reference) {
-  const TruthTable t = TruthTable::from_cover(reference);
-  for (std::uint64_t m = 0; m < t.num_minterms(); ++m) {
-    const auto out = pla.evaluate(minterm_bits(m, reference.num_inputs()));
-    for (int j = 0; j < reference.num_outputs(); ++j) {
-      ASSERT_EQ(out[static_cast<std::size_t>(j)], t.get(m, j))
-          << "minterm " << m << " output " << j;
-    }
-  }
+/// Exhaustively checks a mapped PLA against the truth table of
+/// `reference`, through the Evaluator batch path.
+void expect_matches_cover(const Evaluator& pla, const Cover& reference) {
+  const TruthTable expected = TruthTable::from_cover(reference);
+  const TruthTable actual = exhaustive_truth_table(pla);
+  EXPECT_EQ(expected.count_mismatches(actual), 0u);
 }
 
 Cover random_cover(ambit::Rng& rng, int ni, int no, int cubes) {

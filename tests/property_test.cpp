@@ -6,8 +6,11 @@
 #include <tuple>
 
 #include "core/crossbar.h"
+#include "core/fabric.h"
 #include "core/gnor_pla.h"
+#include "core/wpla.h"
 #include "espresso/unate.h"
+#include "logic/pattern_batch.h"
 #include "logic/truth_table.h"
 #include "util/rng.h"
 
@@ -236,6 +239,116 @@ TEST(GnorMappingInverse, PlaneConfigRecoversCover) {
     }
   }
 }
+
+// ---------------------------------------------------------------------------
+// Evaluator law: evaluate_batch ≡ scalar evaluate, pattern for pattern,
+// for every circuit type — including batch sizes that do not fill a
+// whole 64-bit word.
+// ---------------------------------------------------------------------------
+
+using logic::PatternBatch;
+
+/// Draws `count` random patterns and checks the batch path against the
+/// scalar path bit-for-bit on the given evaluator.
+void expect_batch_matches_scalar(const Evaluator& e, Rng& rng,
+                                 std::uint64_t count) {
+  PatternBatch batch(e.num_inputs(), count);
+  for (std::uint64_t p = 0; p < count; ++p) {
+    for (int i = 0; i < e.num_inputs(); ++i) {
+      batch.set(p, i, rng.next_bool());
+    }
+  }
+  const PatternBatch out = e.evaluate_batch(batch);
+  ASSERT_EQ(out.num_signals(), e.num_outputs());
+  ASSERT_EQ(out.num_patterns(), count);
+  for (std::uint64_t p = 0; p < count; ++p) {
+    const std::vector<bool> scalar = e.evaluate(batch.pattern(p));
+    ASSERT_EQ(scalar, out.pattern(p)) << "pattern " << p;
+  }
+  // Tail padding must stay zero after the kernel's NOR complements.
+  for (int j = 0; j < out.num_signals(); ++j) {
+    ASSERT_EQ(out.lane(j)[out.words_per_lane() - 1] & ~out.tail_mask(), 0u)
+        << "lane " << j << " leaked into the tail";
+  }
+}
+
+class BatchScalarEquivalence : public testing::TestWithParam<int> {
+ protected:
+  Rng rng_{static_cast<std::uint64_t>(GetParam()) * 6151 + 3};
+
+  // Deliberately straddles word boundaries: sub-word, exact word, and
+  // word+tail batch sizes.
+  static constexpr std::uint64_t kBatchSizes[] = {1, 63, 64, 65, 257};
+};
+
+TEST_P(BatchScalarEquivalence, GnorPla) {
+  for (int t = 0; t < 8; ++t) {
+    const int ni = 2 + static_cast<int>(rng_.next_below(8));
+    Cover f(ni, 3);
+    for (int k = 0; k < 2 + static_cast<int>(rng_.next_below(8)); ++k) {
+      f.add(random_cube(rng_, ni, 3));
+    }
+    const auto pla = core::GnorPla::map_cover(f);
+    for (const std::uint64_t count : kBatchSizes) {
+      expect_batch_matches_scalar(pla, rng_, count);
+    }
+  }
+}
+
+TEST_P(BatchScalarEquivalence, Wpla) {
+  for (int t = 0; t < 6; ++t) {
+    const int ni = 2 + static_cast<int>(rng_.next_below(6));
+    const int k = 1 + static_cast<int>(rng_.next_below(2));
+    Cover stage_a(ni, k);
+    for (int c = 0; c < 3; ++c) {
+      stage_a.add(random_cube(rng_, ni, k));
+    }
+    Cover stage_b(ni + k, 2);
+    for (int c = 0; c < 4; ++c) {
+      stage_b.add(random_cube(rng_, ni + k, 2));
+    }
+    const core::Wpla wpla(stage_a, stage_b, ni);
+    for (const std::uint64_t count : kBatchSizes) {
+      expect_batch_matches_scalar(wpla, rng_, count);
+    }
+  }
+}
+
+TEST_P(BatchScalarEquivalence, Fabric) {
+  for (int t = 0; t < 6; ++t) {
+    const int ni = 2 + static_cast<int>(rng_.next_below(5));
+    Cover f(ni, 2);
+    for (int c = 0; c < 4; ++c) {
+      f.add(random_cube(rng_, ni, 2));
+    }
+    const auto pla = core::GnorPla::map_cover(f);
+    core::Fabric fabric(ni);
+    // Plane columns wider than the bus leave undriven (grounded)
+    // columns; feed-through on the first stage widens the bus.
+    core::GnorPlane wide(pla.num_products(), ni + 1);
+    for (int r = 0; r < pla.num_products(); ++r) {
+      for (int c = 0; c < ni; ++c) {
+        wide.set_cell(r, c, pla.product_plane().cell(r, c));
+      }
+    }
+    fabric.add_stage(core::FabricStage(
+        core::Fabric::identity_routing(ni, ni + 1), std::move(wide),
+        /*feed=*/true));
+    fabric.add_stage(core::FabricStage(
+        core::Fabric::identity_routing(fabric.bus_width(),
+                                       fabric.bus_width()),
+        core::GnorPlane(2, fabric.bus_width())));
+    for (const std::uint64_t count : kBatchSizes) {
+      expect_batch_matches_scalar(fabric, rng_, count);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchScalarEquivalence,
+                         testing::Values(1, 2, 3),
+                         [](const testing::TestParamInfo<int>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
 
 TEST(CrossbarRelations, ConnectivityIsEquivalenceRelation) {
   Rng rng(321);
