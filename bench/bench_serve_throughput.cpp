@@ -1,0 +1,185 @@
+// End-to-end serve throughput and parallel sharded batch speedup.
+//
+// Two measurements, both against a >= 16-input Espresso-minimized
+// GNOR PLA:
+//
+//   1. evaluate_batch sharding: the exhaustive input space swept
+//      sequentially vs across 2 / 4 / hardware worker counts, with the
+//      parallel output checked BIT-IDENTICAL to the sequential sweep
+//      (PatternBatch operator==, every word of every lane).
+//   2. protocol throughput: a full LOAD + EVAL storm + VERIFY session
+//      driven through Server::serve_stream, reported as requests/s and
+//      patterns/s.
+//
+// Acceptance bar (ISSUE 2): >= 3x speedup at 4+ workers. A speedup bar
+// is only meaningful when the machine HAS 4 hardware threads, so the
+// bar is enforced exactly then; on smaller containers the bench still
+// verifies bit-identity and reports the measured numbers.
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/gnor_pla.h"
+#include "espresso/espresso.h"
+#include "logic/pattern_batch.h"
+#include "logic/pla_io.h"
+#include "logic/synth_bench.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/session.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+using namespace ambit;
+using logic::Cover;
+using logic::PatternBatch;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Sweeps the exhaustive input space repeatedly until >= 0.2 s and
+/// returns patterns/sec.
+template <typename Sweep>
+double measure_pps(std::uint64_t patterns, const Sweep& sweep) {
+  const auto start = std::chrono::steady_clock::now();
+  int reps = 0;
+  double secs = 0;
+  do {
+    sweep();
+    ++reps;
+    secs = seconds_since(start);
+  } while (secs < 0.2);
+  return static_cast<double>(patterns) * reps / secs;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== ambit::serve throughput ===\n\n");
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  std::printf("hardware threads: %d\n\n", hw);
+
+  // --- 1. Parallel sharded evaluate_batch ---------------------------------
+  const logic::SynthSpec spec{.num_inputs = 16,
+                              .num_outputs = 6,
+                              .num_cubes = 48,
+                              .literals_per_cube = 8};
+  const Cover cover = espresso::minimize(logic::generate_cover(spec, 42)).cover;
+  const auto pla = core::GnorPla::map_cover(cover);
+  std::printf("cover: %d inputs, %d outputs, %d products\n", pla.num_inputs(),
+              pla.num_outputs(), pla.num_products());
+
+  const PatternBatch inputs = PatternBatch::exhaustive(pla.num_inputs());
+  const PatternBatch sequential = pla.evaluate_batch(inputs);
+  const double seq_pps = measure_pps(
+      inputs.num_patterns(), [&] { (void)pla.evaluate_batch(inputs); });
+
+  TextTable table({"workers", "Mpatterns/s", "speedup", "bit-identical"});
+  table.add_row({"1 (sequential)", format_double(seq_pps / 1e6, 1), "1.0x",
+                 "yes"});
+  bool all_identical = true;
+  double best_speedup_4plus = 0;
+  std::vector<int> worker_counts = {2, 4};
+  if (hw > 4) {
+    worker_counts.push_back(hw);
+  }
+  for (const int workers : worker_counts) {
+    ThreadPool pool(workers);
+    const PatternBatch parallel = pla.evaluate_batch(inputs, pool);
+    const bool identical = parallel == sequential;
+    all_identical = all_identical && identical;
+    const double pps = measure_pps(
+        inputs.num_patterns(), [&] { (void)pla.evaluate_batch(inputs, pool); });
+    const double speedup = pps / seq_pps;
+    if (workers >= 4 && speedup > best_speedup_4plus) {
+      best_speedup_4plus = speedup;
+    }
+    table.add_row({std::to_string(workers), format_double(pps / 1e6, 1),
+                   format_double(speedup, 1) + "x", identical ? "yes" : "NO"});
+  }
+  std::printf("\n%s\n", table.render().c_str());
+
+  // --- 2. End-to-end protocol throughput ----------------------------------
+  const std::string pla_path =
+      (std::filesystem::temp_directory_path() / "ambit_bench_serve.pla")
+          .string();
+  logic::write_pla_file(pla_path, logic::make_pla(cover, "bench"));
+
+  constexpr int kEvalRequests = 2000;
+  constexpr int kPatternsPerRequest = 8;
+  std::ostringstream script;
+  script << "LOAD bench " << pla_path << "\n";
+  Rng rng(7);
+  for (int r = 0; r < kEvalRequests; ++r) {
+    script << "EVAL bench";
+    for (int p = 0; p < kPatternsPerRequest; ++p) {
+      std::vector<bool> bits(static_cast<std::size_t>(pla.num_inputs()));
+      for (std::size_t i = 0; i < bits.size(); ++i) {
+        bits[i] = rng.next_bool();
+      }
+      script << ' ' << serve::hex_encode(bits);
+    }
+    script << "\n";
+  }
+  script << "VERIFY bench\nSTATS\nQUIT\n";
+
+  serve::Session session(hw >= 4 ? 4 : 1);
+  serve::Server server(session);
+  std::istringstream in(script.str());
+  std::ostringstream out;
+  const auto start = std::chrono::steady_clock::now();
+  const std::uint64_t served = server.serve_stream(in, out);
+  const double secs = seconds_since(start);
+
+  // Every response must be OK — count the ERR lines instead of parsing.
+  int errors = 0;
+  std::istringstream responses(out.str());
+  for (std::string line; std::getline(responses, line);) {
+    errors += starts_with(line, "ERR");
+  }
+  std::printf("protocol session: %llu requests in %.3f s -> %.0f req/s, "
+              "%.2f Mpatterns/s through EVAL, %d error(s)\n",
+              static_cast<unsigned long long>(served), secs, served / secs,
+              static_cast<double>(kEvalRequests) * kPatternsPerRequest / secs /
+                  1e6,
+              errors);
+  std::filesystem::remove(pla_path);
+
+  // --- Verdict -------------------------------------------------------------
+  // The bar needs real parallel hardware and an uninstrumented build;
+  // under ThreadSanitizer (which serializes heavily) or on small
+  // containers the bench still verifies bit-identity and reports.
+  bool instrumented = false;
+#if defined(__SANITIZE_THREAD__)
+  instrumented = true;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+  instrumented = true;
+#endif
+#endif
+  const bool enforce_speedup = hw >= 4 && !instrumented;
+  std::printf("\nparallel outputs bit-identical to sequential: %s\n",
+              all_identical ? "yes" : "NO");
+  if (enforce_speedup) {
+    std::printf("best speedup at 4+ workers: %.1fx (acceptance bar: >= 3x)\n",
+                best_speedup_4plus);
+  } else {
+    std::printf("best speedup at 4+ workers: %.1fx (bar NOT enforced: %s)\n",
+                best_speedup_4plus,
+                instrumented ? "sanitizer build"
+                             : "fewer than 4 hardware threads");
+  }
+  const bool pass = all_identical && errors == 0 &&
+                    (!enforce_speedup || best_speedup_4plus >= 3.0);
+  return pass ? 0 : 1;
+}

@@ -1,8 +1,10 @@
 #include "core/evaluator.h"
 
+#include <algorithm>
 #include <string>
 
 #include "util/error.h"
+#include "util/thread_pool.h"
 
 namespace ambit {
 
@@ -35,12 +37,44 @@ logic::PatternBatch Evaluator::evaluate_batch(
   return do_evaluate_batch(inputs);
 }
 
+logic::PatternBatch Evaluator::evaluate_batch(const logic::PatternBatch& inputs,
+                                              ThreadPool& pool) const {
+  check_width(inputs.num_signals(), num_inputs(), "evaluate_batch");
+  const std::uint64_t words = inputs.words_per_lane();
+  // Below ~8 words (512 patterns) per worker the shard copies and the
+  // wakeup cost dominate; fall through to the sequential kernel.
+  constexpr std::uint64_t kMinWordsPerShard = 8;
+  if (pool.num_workers() <= 1 || words < 2 * kMinWordsPerShard) {
+    return do_evaluate_batch(inputs);
+  }
+  logic::PatternBatch out(num_outputs(), inputs.num_patterns());
+  pool.parallel_for(
+      0, words, kMinWordsPerShard,
+      [&](std::uint64_t word_lo, std::uint64_t word_hi) {
+        const std::uint64_t first = word_lo * 64;
+        const std::uint64_t count =
+            std::min(inputs.num_patterns(), word_hi * 64) - first;
+        // Shards write disjoint word ranges of `out`, so the pastes
+        // need no synchronization beyond parallel_for's own join.
+        out.paste(do_evaluate_batch(inputs.slice(first, count)), first);
+      });
+  return out;
+}
+
 logic::TruthTable exhaustive_truth_table(const Evaluator& e) {
   check(e.num_inputs() <= logic::TruthTable::kMaxInputs,
         "exhaustive_truth_table: too many inputs");
   return logic::TruthTable::from_outputs(
       e.num_inputs(),
       e.evaluate_batch(logic::PatternBatch::exhaustive(e.num_inputs())));
+}
+
+logic::TruthTable exhaustive_truth_table(const Evaluator& e, ThreadPool& pool) {
+  check(e.num_inputs() <= logic::TruthTable::kMaxInputs,
+        "exhaustive_truth_table: too many inputs");
+  return logic::TruthTable::from_outputs(
+      e.num_inputs(),
+      e.evaluate_batch(logic::PatternBatch::exhaustive(e.num_inputs()), pool));
 }
 
 bool equivalent(const Evaluator& e, const logic::TruthTable& table) {

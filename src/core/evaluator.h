@@ -30,6 +30,8 @@
 
 namespace ambit {
 
+class ThreadPool;
+
 /// Abstract N-input / M-output combinational evaluator.
 class Evaluator {
  public:
@@ -52,6 +54,16 @@ class Evaluator {
   /// num_inputs().
   logic::PatternBatch evaluate_batch(const logic::PatternBatch& inputs) const;
 
+  /// Sharded bit-parallel path: splits the batch into word-aligned
+  /// pattern shards and evaluates them on `pool`'s workers. Every AMBIT
+  /// kernel is word-local (no state crosses PatternBatch words), so the
+  /// result is BIT-IDENTICAL to the single-thread evaluate_batch for
+  /// any pattern count, including non-multiples of 64 — the shard
+  /// partition is word-aligned and deterministic (util/thread_pool.h).
+  /// Small batches fall through to the sequential path.
+  logic::PatternBatch evaluate_batch(const logic::PatternBatch& inputs,
+                                     ThreadPool& pool) const;
+
  protected:
   /// Width-validated scalar evaluation hook.
   virtual std::vector<bool> do_evaluate(
@@ -67,6 +79,10 @@ class Evaluator {
 /// layout IS the truth-table word layout, see pattern_batch.h).
 /// Requires num_inputs() <= TruthTable::kMaxInputs.
 logic::TruthTable exhaustive_truth_table(const Evaluator& e);
+
+/// Sharded variant: the exhaustive sweep runs across `pool`'s workers.
+/// Bit-identical to the sequential overload.
+logic::TruthTable exhaustive_truth_table(const Evaluator& e, ThreadPool& pool);
 
 /// True when the evaluator computes exactly the function denoted by
 /// `table` (exhaustive, via the batch path).

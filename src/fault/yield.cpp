@@ -4,6 +4,7 @@
 
 #include "core/evaluator.h"
 #include "util/error.h"
+#include "util/thread_pool.h"
 
 namespace ambit::fault {
 
@@ -19,44 +20,88 @@ bool naive_programmable(const core::GnorPla& pla, const DefectMap& defects) {
   return true;
 }
 
+namespace {
+
+/// What one Monte-Carlo trial contributes to its curve point. Each
+/// trial writes exactly one slot of a preallocated vector, so workers
+/// never contend and the reduction below is a sequential sum in trial
+/// order — the curve cannot depend on scheduling.
+struct TrialOutcome {
+  bool naive = false;
+  bool repaired = false;
+  bool functional = false;
+  int relocated = 0;
+};
+
+TrialOutcome run_trial(const core::GnorPla& pla, double rate,
+                       const YieldSpec& spec,
+                       const logic::TruthTable* reference,
+                       std::uint64_t stream_index) {
+  // The trial's entire draw sequence comes from its own RNG stream,
+  // derived from (seed, global trial index) — never from a shared
+  // sequential generator (see Rng::stream).
+  Rng rng = Rng::stream(spec.seed, stream_index);
+  TrialOutcome outcome;
+  const DefectMap defects = sample_defects(
+      pla.num_products() + spec.spare_rows, pla.num_inputs(), rate, rng);
+  outcome.naive = naive_programmable(pla, defects);
+  const RepairResult repair =
+      repair_product_plane(pla, defects, spec.spare_rows);
+  if (repair.success) {
+    outcome.repaired = true;
+    outcome.relocated = repair.relocated;
+    if (reference != nullptr) {
+      const core::GnorPla physical = apply_repair(pla, repair, spec.spare_rows);
+      outcome.functional = equivalent(physical, *reference);
+    } else {
+      outcome.functional = true;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace
+
 std::vector<YieldPoint> yield_sweep(const core::GnorPla& pla,
                                     const std::vector<double>& defect_rates,
-                                    const YieldSpec& spec) {
+                                    const YieldSpec& spec, ThreadPool& pool) {
   check(spec.trials > 0, "yield_sweep: need at least one trial");
   check(spec.spare_rows >= 0, "yield_sweep: negative spare rows");
   // The nominal function, computed ONCE through the bit-parallel batch
   // path; every verified trial then compares against these words.
   std::optional<logic::TruthTable> reference;
   if (spec.functional_check) {
-    reference = exhaustive_truth_table(pla);
+    reference = exhaustive_truth_table(pla, pool);
   }
+  const logic::TruthTable* ref_ptr =
+      reference.has_value() ? &*reference : nullptr;
   std::vector<YieldPoint> curve;
-  Rng rng(spec.seed);
-  for (const double rate : defect_rates) {
+  for (std::size_t r = 0; r < defect_rates.size(); ++r) {
+    const double rate = defect_rates[r];
+    std::vector<TrialOutcome> outcomes(
+        static_cast<std::size_t>(spec.trials));
+    pool.parallel_for(
+        0, static_cast<std::uint64_t>(spec.trials), /*grain=*/1,
+        [&](std::uint64_t lo, std::uint64_t hi) {
+          for (std::uint64_t t = lo; t < hi; ++t) {
+            outcomes[t] = run_trial(
+                pla, rate, spec, ref_ptr,
+                static_cast<std::uint64_t>(r) *
+                        static_cast<std::uint64_t>(spec.trials) +
+                    t);
+          }
+        });
     YieldPoint point;
     point.defect_rate = rate;
     int naive_ok = 0;
     int repaired_ok = 0;
     int functional_ok = 0;
     long long relocations = 0;
-    for (int t = 0; t < spec.trials; ++t) {
-      const DefectMap defects =
-          sample_defects(pla.num_products() + spec.spare_rows,
-                         pla.num_inputs(), rate, rng);
-      naive_ok += naive_programmable(pla, defects);
-      const RepairResult repair =
-          repair_product_plane(pla, defects, spec.spare_rows);
-      if (repair.success) {
-        ++repaired_ok;
-        relocations += repair.relocated;
-        if (reference.has_value()) {
-          const core::GnorPla physical =
-              apply_repair(pla, repair, spec.spare_rows);
-          functional_ok += equivalent(physical, *reference);
-        } else {
-          ++functional_ok;
-        }
-      }
+    for (const TrialOutcome& outcome : outcomes) {
+      naive_ok += outcome.naive;
+      repaired_ok += outcome.repaired;
+      functional_ok += outcome.functional;
+      relocations += outcome.relocated;
     }
     point.naive_yield = static_cast<double>(naive_ok) / spec.trials;
     point.repaired_yield = static_cast<double>(repaired_ok) / spec.trials;
@@ -66,6 +111,13 @@ std::vector<YieldPoint> yield_sweep(const core::GnorPla& pla,
     curve.push_back(point);
   }
   return curve;
+}
+
+std::vector<YieldPoint> yield_sweep(const core::GnorPla& pla,
+                                    const std::vector<double>& defect_rates,
+                                    const YieldSpec& spec) {
+  ThreadPool pool(spec.workers > 1 ? spec.workers : 0);
+  return yield_sweep(pla, defect_rates, spec, pool);
 }
 
 }  // namespace ambit::fault

@@ -20,6 +20,10 @@
 #include "core/gnor_pla.h"
 #include "fault/repair.h"
 
+namespace ambit {
+class ThreadPool;
+}
+
 namespace ambit::fault {
 
 /// One point of the yield curve.
@@ -44,15 +48,28 @@ struct YieldSpec {
   /// against the nominal array. Requires the PLA input count to be at
   /// most TruthTable::kMaxInputs.
   bool functional_check = false;
+  /// Worker threads fanning the Monte-Carlo trials out. Trial t of rate
+  /// r draws from Rng::stream(seed, r * trials + t), so the curve is a
+  /// pure function of the spec — bit-identical for ANY worker count,
+  /// including 1 (see the determinism test in tests/fault_test.cpp).
+  int workers = 1;
 };
 
 /// True when `pla`'s product plane can be programmed on its nominal
 /// rows under `defects` (rows 0..products-1) without any remapping.
 bool naive_programmable(const core::GnorPla& pla, const DefectMap& defects);
 
-/// Runs the Monte-Carlo sweep over `defect_rates`.
+/// Runs the Monte-Carlo sweep over `defect_rates`. Spawns spec.workers
+/// threads when > 1.
 std::vector<YieldPoint> yield_sweep(const core::GnorPla& pla,
                                     const std::vector<double>& defect_rates,
                                     const YieldSpec& spec = {});
+
+/// As above, but fans the trials across an existing pool (spec.workers
+/// is ignored). Long-running callers — the serve subsystem, benches —
+/// reuse one pool across sweeps instead of respawning threads.
+std::vector<YieldPoint> yield_sweep(const core::GnorPla& pla,
+                                    const std::vector<double>& defect_rates,
+                                    const YieldSpec& spec, ThreadPool& pool);
 
 }  // namespace ambit::fault

@@ -125,6 +125,47 @@ void PatternBatch::copy_lane_from(const PatternBatch& src, int src_signal,
   }
 }
 
+PatternBatch PatternBatch::slice(std::uint64_t first,
+                                 std::uint64_t count) const {
+  check(first % 64 == 0, "PatternBatch::slice: first must be word-aligned");
+  check(first + count <= num_patterns_ && count > 0,
+        "PatternBatch::slice: range out of bounds");
+  check(count % 64 == 0 || first + count == num_patterns_,
+        "PatternBatch::slice: partial word only allowed at the batch end");
+  PatternBatch out(num_signals_, count);
+  const std::uint64_t word0 = first / 64;
+  for (int s = 0; s < num_signals_; ++s) {
+    const std::uint64_t* from = lane(s) + word0;
+    std::uint64_t* to = out.lane(s);
+    for (std::uint64_t w = 0; w < out.words_per_lane_; ++w) {
+      to[w] = from[w];
+    }
+    // The source's final word is already masked, so the slice's tail
+    // padding stays zero by construction; re-mask anyway for safety.
+    to[out.words_per_lane_ - 1] &= out.tail_mask_;
+  }
+  return out;
+}
+
+void PatternBatch::paste(const PatternBatch& src, std::uint64_t first) {
+  check(src.num_signals_ == num_signals_,
+        "PatternBatch::paste: signal count mismatch");
+  check(first % 64 == 0, "PatternBatch::paste: first must be word-aligned");
+  check(first + src.num_patterns_ <= num_patterns_,
+        "PatternBatch::paste: source does not fit");
+  check(src.num_patterns_ % 64 == 0 ||
+            first + src.num_patterns_ == num_patterns_,
+        "PatternBatch::paste: partial word only allowed at the batch end");
+  const std::uint64_t word0 = first / 64;
+  for (int s = 0; s < num_signals_; ++s) {
+    const std::uint64_t* from = src.lane(s);
+    std::uint64_t* to = lane(s) + word0;
+    for (std::uint64_t w = 0; w < src.words_per_lane_; ++w) {
+      to[w] = from[w];
+    }
+  }
+}
+
 void PatternBatch::complement_lane(int signal) {
   std::uint64_t* words = lane(signal);
   for (std::uint64_t w = 0; w < words_per_lane_; ++w) {

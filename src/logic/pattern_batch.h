@@ -57,6 +57,20 @@ class PatternBatch {
   void copy_lane_from(const PatternBatch& src, int src_signal,
                       int dst_signal);
 
+  /// Copies patterns [first, first + count) of every lane into a new
+  /// batch. `first` must be a multiple of 64 so the copy is word-wise:
+  /// lane word k of the slice IS lane word first/64 + k of the source,
+  /// which is what lets the sharded evaluation driver (core/evaluator.h)
+  /// stay bit-identical to the unsharded run. A partial final word is
+  /// only allowed at the very end of the batch.
+  PatternBatch slice(std::uint64_t first, std::uint64_t count) const;
+
+  /// Inverse of slice: copies every lane of `src` into this batch
+  /// starting at word-aligned pattern `first`. Signal counts must
+  /// match; `src` must fit, and may end mid-word only at this batch's
+  /// end.
+  void paste(const PatternBatch& src, std::uint64_t first);
+
   /// Complements lane `signal` over the valid pattern bits (the tail
   /// padding stays zero).
   void complement_lane(int signal);

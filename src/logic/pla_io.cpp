@@ -11,10 +11,13 @@
 namespace ambit::logic {
 namespace {
 
-[[noreturn]] void fail(int line, const std::string& message) {
-  throw Error(".pla parse error at line " + std::to_string(line) + ": " +
-              message);
-}
+/// One cube row as read, kept with its source line so the second
+/// parsing pass (character decoding) can still report file:line.
+struct RawRow {
+  std::string inputs;
+  std::string outputs;
+  int line = 0;
+};
 
 }  // namespace
 
@@ -22,12 +25,36 @@ PlaFile read_pla(std::istream& in, const std::string& name) {
   PlaFile pla;
   pla.name = name;
 
+  // Every diagnostic carries "<file>:<line>" so that a malformed cover
+  // arriving through the serve LOAD path (a routine event for a
+  // long-running server) points straight at the offending row.
+  const std::string where = name.empty() ? "<pla>" : name;
+  const auto fail = [&where](int line, const std::string& message) -> void {
+    throw Error(".pla parse error at " + where + ":" + std::to_string(line) +
+                ": " + message);
+  };
+  const auto parse_count = [&fail](int line, const std::string& token,
+                                   const char* directive) -> int {
+    int value = 0;
+    std::size_t used = 0;
+    try {
+      value = std::stoi(token, &used);
+    } catch (const std::exception&) {
+      used = std::string::npos;
+    }
+    if (used != token.size() || value < 0) {
+      fail(line, std::string(directive) +
+                     " needs a non-negative integer, got '" + token + "'");
+    }
+    return value;
+  };
+
   int num_inputs = -1;
   int num_outputs = -1;
   int declared_products = -1;
   bool saw_type = false;
   bool done = false;
-  std::vector<std::pair<std::string, std::string>> raw_rows;
+  std::vector<RawRow> raw_rows;
 
   std::string line;
   int line_no = 0;
@@ -46,13 +73,15 @@ PlaFile read_pla(std::istream& in, const std::string& name) {
       const std::string& directive = tokens[0];
       if (directive == ".i") {
         if (tokens.size() != 2) fail(line_no, ".i needs one argument");
-        num_inputs = std::stoi(tokens[1]);
+        if (!raw_rows.empty()) fail(line_no, ".i after cube rows");
+        num_inputs = parse_count(line_no, tokens[1], ".i");
       } else if (directive == ".o") {
         if (tokens.size() != 2) fail(line_no, ".o needs one argument");
-        num_outputs = std::stoi(tokens[1]);
+        if (!raw_rows.empty()) fail(line_no, ".o after cube rows");
+        num_outputs = parse_count(line_no, tokens[1], ".o");
       } else if (directive == ".p") {
         if (tokens.size() != 2) fail(line_no, ".p needs one argument");
-        declared_products = std::stoi(tokens[1]);
+        declared_products = parse_count(line_no, tokens[1], ".p");
       } else if (directive == ".ilb") {
         pla.input_labels.assign(tokens.begin() + 1, tokens.end());
       } else if (directive == ".ob") {
@@ -92,34 +121,41 @@ PlaFile read_pla(std::istream& in, const std::string& name) {
       fail(line_no, "malformed cube row '" + std::string(text) + "'");
     }
     if (static_cast<int>(in_part.size()) != num_inputs) {
-      fail(line_no, "input field has wrong arity");
+      fail(line_no, "cube input field is " +
+                        std::to_string(in_part.size()) + " wide but .i declares " +
+                        std::to_string(num_inputs));
     }
     if (static_cast<int>(out_part.size()) != num_outputs) {
-      fail(line_no, "output field has wrong arity");
+      fail(line_no, "cube output field is " +
+                        std::to_string(out_part.size()) +
+                        " wide but .o declares " + std::to_string(num_outputs));
     }
-    raw_rows.emplace_back(std::move(in_part), std::move(out_part));
+    raw_rows.push_back(
+        RawRow{std::move(in_part), std::move(out_part), line_no});
   }
 
-  if (num_inputs < 0) throw Error(".pla: missing .i directive");
-  if (num_outputs < 0) throw Error(".pla: missing .o directive");
+  if (num_inputs < 0) throw Error(where + ": missing .i directive");
+  if (num_outputs < 0) throw Error(where + ": missing .o directive");
   if (!saw_type) pla.type = PlaType::kFd;
 
   pla.onset = Cover(num_inputs, num_outputs);
   pla.dcset = Cover(num_inputs, num_outputs);
 
-  for (const auto& [in_part, out_part] : raw_rows) {
+  for (const RawRow& row : raw_rows) {
     Cube on(num_inputs, num_outputs);
     Cube dc(num_inputs, num_outputs);
     for (int i = 0; i < num_inputs; ++i) {
-      Literal lit;
-      switch (in_part[static_cast<std::size_t>(i)]) {
+      Literal lit = Literal::kDontCare;
+      switch (row.inputs[static_cast<std::size_t>(i)]) {
         case '0': lit = Literal::kZero; break;
         case '1': lit = Literal::kOne; break;
         case '-':
         case '2': lit = Literal::kDontCare; break;
         default:
-          throw Error(".pla: bad input character '" +
-                      std::string(1, in_part[static_cast<std::size_t>(i)]) + "'");
+          fail(row.line,
+               "bad input character '" +
+                   std::string(1, row.inputs[static_cast<std::size_t>(i)]) +
+                   "'");
       }
       on.set_input(i, lit);
       dc.set_input(i, lit);
@@ -127,7 +163,7 @@ PlaFile read_pla(std::istream& in, const std::string& name) {
     bool any_on = false;
     bool any_dc = false;
     for (int j = 0; j < num_outputs; ++j) {
-      switch (out_part[static_cast<std::size_t>(j)]) {
+      switch (row.outputs[static_cast<std::size_t>(j)]) {
         case '1':
         case '4':
           on.set_output(j, true);
@@ -144,8 +180,10 @@ PlaFile read_pla(std::istream& in, const std::string& name) {
         case '~':
           break;
         default:
-          throw Error(".pla: bad output character '" +
-                      std::string(1, out_part[static_cast<std::size_t>(j)]) + "'");
+          fail(row.line,
+               "bad output character '" +
+                   std::string(1, row.outputs[static_cast<std::size_t>(j)]) +
+                   "'");
       }
     }
     if (any_on) pla.onset.add(std::move(on));
@@ -154,7 +192,7 @@ PlaFile read_pla(std::istream& in, const std::string& name) {
 
   if (declared_products >= 0 &&
       declared_products != static_cast<int>(raw_rows.size())) {
-    throw Error(".pla: .p declares " + std::to_string(declared_products) +
+    throw Error(where + ": .p declares " + std::to_string(declared_products) +
                 " products but " + std::to_string(raw_rows.size()) +
                 " rows were given");
   }

@@ -1,0 +1,127 @@
+#include "serve/protocol.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace ambit::serve {
+
+namespace {
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+Request parse_request(const std::string& line) {
+  const std::vector<std::string> tokens = split_ws(line);
+  check(!tokens.empty(), "empty request");
+  const std::string& verb = tokens[0];
+  Request request;
+  if (verb == "LOAD") {
+    check(tokens.size() == 3, "LOAD needs: LOAD <name> <path>");
+    request.verb = Verb::kLoad;
+    request.name = tokens[1];
+    request.path = tokens[2];
+  } else if (verb == "EVAL") {
+    check(tokens.size() >= 3, "EVAL needs: EVAL <name> <hex-pattern>...");
+    request.verb = Verb::kEval;
+    request.name = tokens[1];
+    request.patterns.assign(tokens.begin() + 2, tokens.end());
+  } else if (verb == "VERIFY") {
+    check(tokens.size() == 2, "VERIFY needs: VERIFY <name>");
+    request.verb = Verb::kVerify;
+    request.name = tokens[1];
+  } else if (verb == "STATS") {
+    check(tokens.size() == 1, "STATS takes no arguments");
+    request.verb = Verb::kStats;
+  } else if (verb == "UNLOAD") {
+    check(tokens.size() == 2, "UNLOAD needs: UNLOAD <name>");
+    request.verb = Verb::kUnload;
+    request.name = tokens[1];
+  } else if (verb == "HELP") {
+    request.verb = Verb::kHelp;
+  } else if (verb == "QUIT") {
+    request.verb = Verb::kQuit;
+  } else if (verb == "SHUTDOWN") {
+    request.verb = Verb::kShutdown;
+  } else {
+    throw Error("unknown verb '" + verb + "' (try HELP)");
+  }
+  return request;
+}
+
+std::string hex_encode(const std::vector<bool>& bits) {
+  const int width = static_cast<int>(bits.size());
+  const int digits = std::max(1, (width + 3) / 4);
+  std::string hex(static_cast<std::size_t>(digits), '0');
+  for (int i = 0; i < width; ++i) {
+    if (!bits[static_cast<std::size_t>(i)]) {
+      continue;
+    }
+    // Bit i lives in hex digit i/4 counted from the LEAST significant
+    // (rightmost) digit.
+    const int digit = digits - 1 - i / 4;
+    int value = hex_digit(hex[static_cast<std::size_t>(digit)]);
+    value |= 1 << (i % 4);
+    hex[static_cast<std::size_t>(digit)] =
+        value < 10 ? static_cast<char>('0' + value)
+                   : static_cast<char>('a' + value - 10);
+  }
+  return hex;
+}
+
+std::vector<bool> hex_decode(const std::string& hex, int width) {
+  check(width >= 0, "hex_decode: negative width");
+  std::size_t start = 0;
+  if (hex.size() >= 2 && hex[0] == '0' && (hex[1] == 'x' || hex[1] == 'X')) {
+    start = 2;
+  }
+  check(hex.size() > start, "empty hex pattern '" + hex + "'");
+  std::vector<bool> bits(static_cast<std::size_t>(width), false);
+  // Digit-wise from the right: digit j (0 = rightmost) covers bits
+  // 4j..4j+3, so arbitrary widths never need a big integer.
+  for (std::size_t k = 0; k < hex.size() - start; ++k) {
+    const char c = hex[hex.size() - 1 - k];
+    const int value = hex_digit(c);
+    if (value < 0) {
+      throw Error("bad hex digit '" + std::string(1, c) + "' in pattern '" +
+                  hex + "'");
+    }
+    for (int b = 0; b < 4; ++b) {
+      if ((value >> b) & 1) {
+        const std::size_t bit = 4 * k + static_cast<std::size_t>(b);
+        if (bit >= static_cast<std::size_t>(width)) {
+          throw Error("pattern '" + hex + "' has bit " + std::to_string(bit) +
+                      " set but the circuit has " + std::to_string(width) +
+                      " inputs");
+        }
+        bits[bit] = true;
+      }
+    }
+  }
+  return bits;
+}
+
+std::string ok_response(const std::string& detail) {
+  return detail.empty() ? "OK" : "OK " + detail;
+}
+
+std::string err_response(const std::string& message) {
+  std::string flat = message;
+  std::replace(flat.begin(), flat.end(), '\n', ' ');
+  std::replace(flat.begin(), flat.end(), '\r', ' ');
+  return "ERR " + flat;
+}
+
+std::string help_text() {
+  return "commands: LOAD <name> <path> | EVAL <name> <hex>... | "
+         "VERIFY <name> | STATS | UNLOAD <name> | HELP | QUIT | SHUTDOWN";
+}
+
+}  // namespace ambit::serve

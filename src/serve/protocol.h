@@ -1,0 +1,75 @@
+// The ambit::serve wire protocol.
+//
+// Line-oriented, human-typeable, one request per line and one response
+// line per request — the same grammar over a stdio pipe and over the
+// Unix-domain socket (serve/server.h):
+//
+//   LOAD <name> <path>          parse + minimize + map <path>, register
+//                               the circuit under <name>
+//   EVAL <name> <hex>...        evaluate one input pattern per hex token
+//   VERIFY <name>               exhaustive equivalence re-check of the
+//                               mapped array against its source cover
+//   STATS                       session counters
+//   UNLOAD <name>               drop a circuit
+//   HELP                        grammar summary
+//   QUIT                        close this connection
+//   SHUTDOWN                    close this connection and stop the server
+//
+// Responses: "OK[ <detail>]" on success, "ERR <message>" on failure.
+// An EVAL response carries one hex token per input pattern, in order.
+//
+// Hex patterns are plain hexadecimal numbers: bit i of the value is
+// input (or output) i. Tokens may carry a "0x" prefix; widths beyond 64
+// signals are supported digit-wise (the value never materializes as an
+// integer).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ambit::serve {
+
+/// Request verbs of the grammar above.
+enum class Verb {
+  kLoad,
+  kEval,
+  kVerify,
+  kStats,
+  kUnload,
+  kHelp,
+  kQuit,
+  kShutdown,
+};
+
+/// One parsed request line.
+struct Request {
+  Verb verb = Verb::kHelp;
+  std::string name;                   ///< circuit name (LOAD/EVAL/VERIFY/UNLOAD)
+  std::string path;                   ///< .pla path (LOAD)
+  std::vector<std::string> patterns;  ///< raw hex tokens (EVAL)
+};
+
+/// Parses one request line; throws ambit::Error on malformed requests
+/// (unknown verb, wrong argument count).
+Request parse_request(const std::string& line);
+
+/// Packs `bits` (bit i = signal i) as fixed-width lowercase hex,
+/// ceil(width / 4) digits, most significant first.
+std::string hex_encode(const std::vector<bool>& bits);
+
+/// Parses a hex token into `width` signal bits. Accepts an optional
+/// "0x"/"0X" prefix. Throws ambit::Error on non-hex digits or when a
+/// set bit lies at or above `width`.
+std::vector<bool> hex_decode(const std::string& hex, int width);
+
+/// "OK" / "OK <detail>".
+std::string ok_response(const std::string& detail = "");
+
+/// "ERR <message>" (newlines in `message` are flattened to spaces so
+/// the response stays one line).
+std::string err_response(const std::string& message);
+
+/// The HELP response detail: one-line grammar summary.
+std::string help_text();
+
+}  // namespace ambit::serve

@@ -1,0 +1,212 @@
+#include "serve/server.h"
+
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+#ifndef _WIN32
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#endif
+
+namespace ambit::serve {
+
+std::string Server::handle_line(const std::string& line) {
+  try {
+    const Request request = parse_request(line);
+    switch (request.verb) {
+      case Verb::kLoad: {
+        const LoadedCircuit& circuit =
+            session_.load(request.name, request.path);
+        return ok_response(
+            "loaded " + circuit.name + ": " +
+            std::to_string(circuit.gnor.num_inputs()) + " inputs, " +
+            std::to_string(circuit.gnor.num_outputs()) + " outputs, " +
+            std::to_string(circuit.gnor.num_products()) + " products, " +
+            std::to_string(circuit.gnor.cell_count()) + " cells, " +
+            format_double(circuit.load_seconds * 1e3, 1) + " ms");
+      }
+      case Verb::kEval: {
+        const int width = session_.get(request.name).gnor.num_inputs();
+        std::vector<std::vector<bool>> patterns;
+        patterns.reserve(request.patterns.size());
+        for (const std::string& token : request.patterns) {
+          patterns.push_back(hex_decode(token, width));
+        }
+        const logic::PatternBatch outputs = session_.eval(
+            request.name, logic::PatternBatch::from_patterns(patterns));
+        std::string detail;
+        for (std::uint64_t p = 0; p < outputs.num_patterns(); ++p) {
+          if (!detail.empty()) {
+            detail += ' ';
+          }
+          detail += hex_encode(outputs.pattern(p));
+        }
+        return ok_response(detail);
+      }
+      case Verb::kVerify: {
+        const bool equivalent = session_.verify(request.name);
+        const int inputs = session_.get(request.name).gnor.num_inputs();
+        if (!equivalent) {
+          return err_response(request.name +
+                              ": mapped array NOT equivalent to its source "
+                              "cover");
+        }
+        return ok_response(
+            "verified " + request.name + ": equivalent over " +
+            std::to_string(std::uint64_t{1} << inputs) + " patterns");
+      }
+      case Verb::kStats: {
+        const SessionStats stats = session_.stats();
+        return ok_response("circuits=" + std::to_string(stats.circuits) +
+                           " loads=" + std::to_string(stats.loads) +
+                           " evals=" + std::to_string(stats.evals) +
+                           " patterns=" + std::to_string(stats.patterns) +
+                           " verifies=" + std::to_string(stats.verifies) +
+                           " workers=" + std::to_string(stats.workers));
+      }
+      case Verb::kUnload:
+        session_.unload(request.name);
+        return ok_response("unloaded " + request.name);
+      case Verb::kHelp:
+        return ok_response(help_text());
+      case Verb::kQuit:
+        quit_ = true;
+        return ok_response("bye");
+      case Verb::kShutdown:
+        quit_ = true;
+        shutdown_.store(true);
+        return ok_response("shutting down");
+    }
+    return err_response("unhandled verb");  // unreachable
+  } catch (const Error& e) {
+    return err_response(e.what());
+  } catch (const std::exception& e) {
+    // Anything the request pipeline can throw beyond ambit::Error —
+    // e.g. bad_alloc from a cover declaring absurd widths — is still a
+    // request failure, not a reason to take the server down.
+    return err_response(std::string("internal: ") + e.what());
+  }
+}
+
+std::uint64_t Server::serve_stream(std::istream& in, std::ostream& out) {
+  quit_ = false;
+  std::uint64_t served = 0;
+  std::string line;
+  while (!quit_ && std::getline(in, line)) {
+    if (trim(line).empty()) {
+      continue;  // blank lines are keep-alives, not requests
+    }
+    out << handle_line(line) << '\n' << std::flush;
+    ++served;
+  }
+  return served;
+}
+
+#ifndef _WIN32
+
+namespace {
+
+/// Writes all of `text` to `fd`, retrying on short writes. MSG_NOSIGNAL
+/// keeps a peer that hung up from raising SIGPIPE; returns false when
+/// the peer is gone (any non-EINTR failure), which the caller treats as
+/// a dropped connection — never as a server-fatal error.
+bool write_all(int fd, const std::string& text) {
+  std::size_t done = 0;
+  while (done < text.size()) {
+    const ssize_t n =
+        ::send(fd, text.data() + done, text.size() - done, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t Server::serve_unix(const std::string& socket_path) {
+  sockaddr_un addr{};
+  check(socket_path.size() < sizeof(addr.sun_path),
+        "serve_unix: socket path too long: " + socket_path);
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  check(listener >= 0, "serve_unix: cannot create socket");
+  ::unlink(socket_path.c_str());
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listener, 8) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(listener);
+    throw Error("serve_unix: cannot bind " + socket_path + ": " + reason);
+  }
+
+  std::uint64_t served = 0;
+  while (!shutdown_.load()) {
+    const int conn = ::accept(listener, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      ::close(listener);
+      throw Error(std::string("serve_unix: accept failed: ") +
+                  std::strerror(errno));
+    }
+    quit_ = false;
+    bool peer_gone = false;
+    std::string buffer;
+    char chunk[4096];
+    while (!quit_ && !peer_gone) {
+      const ssize_t n = ::read(conn, chunk, sizeof(chunk));
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      if (n <= 0) {
+        break;  // peer closed (or errored): drop the connection
+      }
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      // Serve every complete line in the buffer; a partial trailing
+      // line waits for the next read.
+      std::size_t newline;
+      while (!quit_ && (newline = buffer.find('\n')) != std::string::npos) {
+        const std::string line = buffer.substr(0, newline);
+        buffer.erase(0, newline + 1);
+        if (trim(line).empty()) {
+          continue;
+        }
+        if (!write_all(conn, handle_line(line) + "\n")) {
+          peer_gone = true;
+          break;
+        }
+        ++served;
+      }
+    }
+    ::close(conn);
+  }
+  ::close(listener);
+  ::unlink(socket_path.c_str());
+  return served;
+}
+
+#else  // _WIN32
+
+std::uint64_t Server::serve_unix(const std::string&) {
+  throw Error("serve_unix: Unix-domain sockets unavailable on this platform");
+}
+
+#endif
+
+}  // namespace ambit::serve

@@ -1,0 +1,59 @@
+// The serve front door: one request line in, one response line out.
+//
+// Server binds a Session to the wire protocol (serve/protocol.h) and
+// drives it over either transport:
+//
+//   * serve_stream — any istream/ostream pair: ambit_cli --serve and
+//     ambit_serve --stdio run it over stdin/stdout, tests over
+//     stringstreams;
+//   * serve_unix — a Unix-domain socket: connections are accepted and
+//     served SEQUENTIALLY (the parallelism lives below, in the
+//     session's worker pool that shards every EVAL), QUIT ends a
+//     connection, SHUTDOWN ends the accept loop.
+//
+// Request failures — unknown verbs, malformed covers, missing circuits
+// — never kill the server: every ambit::Error becomes one "ERR ..."
+// response line and the loop continues, which is what makes malformed
+// LOAD input a routine event instead of a crash.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "serve/session.h"
+
+namespace ambit::serve {
+
+/// Serves the line protocol for one Session.
+class Server {
+ public:
+  explicit Server(Session& session) : session_(session) {}
+
+  /// Handles one request line; returns the response line (no trailing
+  /// newline). Never throws for request-level failures — they come back
+  /// as "ERR ..." responses.
+  std::string handle_line(const std::string& line);
+
+  /// Reads request lines from `in` until QUIT, SHUTDOWN or EOF, writing
+  /// one response line each to `out` (flushed per response, so a pipe
+  /// peer can interleave). Returns the number of requests served.
+  std::uint64_t serve_stream(std::istream& in, std::ostream& out);
+
+  /// Binds and listens on `socket_path` (an existing socket file is
+  /// replaced), then accepts and serves connections until a SHUTDOWN
+  /// request. Returns the number of requests served across all
+  /// connections. Throws ambit::Error on socket-level failures.
+  std::uint64_t serve_unix(const std::string& socket_path);
+
+  /// True once a SHUTDOWN request was handled.
+  bool shutdown_requested() const { return shutdown_.load(); }
+
+ private:
+  Session& session_;
+  std::atomic<bool> shutdown_{false};
+  bool quit_ = false;  ///< QUIT seen on the current connection
+};
+
+}  // namespace ambit::serve

@@ -1,0 +1,104 @@
+#include "serve/session.h"
+
+#include <chrono>
+#include <utility>
+
+#include "core/evaluator.h"
+#include "espresso/espresso.h"
+#include "util/error.h"
+
+namespace ambit::serve {
+
+Session::Session(int workers) : pool_(workers > 1 ? workers : 0) {}
+
+const LoadedCircuit& Session::load(const std::string& name,
+                                   const std::string& path) {
+  check(!name.empty(), "Session::load: empty circuit name");
+  const auto start = std::chrono::steady_clock::now();
+  // The full pipeline runs BEFORE the registry is touched: a failed
+  // LOAD (missing file, malformed cover) leaves any same-named circuit
+  // untouched.
+  auto circuit = std::make_unique<LoadedCircuit>();
+  circuit->name = name;
+  circuit->pla = logic::read_pla_file(path);
+  circuit->minimized =
+      espresso::minimize(circuit->pla.onset, circuit->pla.dcset).cover;
+  circuit->gnor = core::GnorPla::map_cover(circuit->minimized);
+  circuit->load_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  LoadedCircuit& slot = *(circuits_[name] = std::move(circuit));
+  ++loads_;
+  return slot;
+}
+
+const LoadedCircuit* Session::find(const std::string& name) const {
+  const auto it = circuits_.find(name);
+  return it == circuits_.end() ? nullptr : it->second.get();
+}
+
+const LoadedCircuit& Session::get(const std::string& name) const {
+  const LoadedCircuit* circuit = find(name);
+  check(circuit != nullptr, "no circuit loaded under '" + name + "'");
+  return *circuit;
+}
+
+LoadedCircuit& Session::get_mutable(const std::string& name) {
+  const auto it = circuits_.find(name);
+  check(it != circuits_.end(), "no circuit loaded under '" + name + "'");
+  return *it->second;
+}
+
+logic::PatternBatch Session::eval(const std::string& name,
+                                  const logic::PatternBatch& inputs) {
+  LoadedCircuit& circuit = get_mutable(name);
+  logic::PatternBatch outputs = circuit.gnor.evaluate_batch(inputs, pool_);
+  ++circuit.evals;
+  circuit.patterns += inputs.num_patterns();
+  ++evals_;
+  patterns_ += inputs.num_patterns();
+  return outputs;
+}
+
+bool Session::verify(const std::string& name) {
+  LoadedCircuit& circuit = get_mutable(name);
+  check(circuit.gnor.num_inputs() <= logic::TruthTable::kMaxInputs,
+        "VERIFY supports at most " +
+            std::to_string(logic::TruthTable::kMaxInputs) + " inputs");
+  if (!circuit.reference.has_value()) {
+    circuit.reference = logic::TruthTable::from_cover(circuit.pla.onset);
+    circuit.dontcare = logic::TruthTable::from_cover(circuit.pla.dcset);
+  }
+  const logic::TruthTable actual = exhaustive_truth_table(circuit.gnor, pool_);
+  ++circuit.verifies;
+  ++verifies_;
+  return actual.count_mismatches(*circuit.reference, &*circuit.dontcare) == 0;
+}
+
+void Session::unload(const std::string& name) {
+  const auto it = circuits_.find(name);
+  check(it != circuits_.end(), "no circuit loaded under '" + name + "'");
+  circuits_.erase(it);
+}
+
+std::vector<std::string> Session::names() const {
+  std::vector<std::string> result;
+  result.reserve(circuits_.size());
+  for (const auto& [name, circuit] : circuits_) {
+    result.push_back(name);
+  }
+  return result;
+}
+
+SessionStats Session::stats() const {
+  SessionStats stats;
+  stats.loads = loads_;
+  stats.evals = evals_;
+  stats.patterns = patterns_;
+  stats.verifies = verifies_;
+  stats.circuits = static_cast<int>(circuits_.size());
+  stats.workers = pool_.num_workers();
+  return stats;
+}
+
+}  // namespace ambit::serve

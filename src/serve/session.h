@@ -1,0 +1,118 @@
+// The serve session: loaded-and-mapped circuits, ready to answer.
+//
+// A one-shot ambit_cli run pays the whole pipeline — parse, Espresso
+// minimization, GNOR mapping — for every single query. A Session pays
+// it ONCE per LOAD and keeps the mapped array hot, keyed by name:
+//
+//   * EVAL answers from the sharded bit-parallel batch path
+//     (Evaluator::evaluate_batch over the session's ThreadPool);
+//   * VERIFY re-checks the mapped array exhaustively against its
+//     source cover, caching the reference truth tables per circuit so
+//     a re-verify only pays the array sweep, not the cover sweep;
+//   * STATS exposes the counters a long-running operator cares about.
+//
+// Thread model: the Session itself is driven by ONE front-door thread
+// (serve/server.h handles connections sequentially); the parallelism
+// lives BELOW it, in the pool that shards every batch evaluation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/gnor_pla.h"
+#include "logic/pattern_batch.h"
+#include "logic/pla_io.h"
+#include "logic/truth_table.h"
+#include "util/thread_pool.h"
+
+namespace ambit::serve {
+
+/// One circuit after the LOAD pipeline: source cover, minimized cover,
+/// mapped GNOR array, lazily cached verification tables.
+struct LoadedCircuit {
+  std::string name;
+  logic::PlaFile pla;            ///< as parsed from disk
+  logic::Cover minimized;        ///< after Espresso
+  core::GnorPla gnor;            ///< mapped once, evaluated many times
+  double load_seconds = 0;       ///< parse+minimize+map wall time
+  std::uint64_t evals = 0;       ///< EVAL requests served
+  std::uint64_t patterns = 0;    ///< patterns evaluated in total
+  std::uint64_t verifies = 0;    ///< VERIFY requests served
+  /// Reference truth tables (onset / don't-care) for VERIFY, built on
+  /// first use; this is the per-session cache that makes re-verify
+  /// cheap.
+  std::optional<logic::TruthTable> reference;
+  std::optional<logic::TruthTable> dontcare;
+
+  LoadedCircuit() : minimized(0, 1), gnor(0, 0, 1) {}
+};
+
+/// Session-wide counters for STATS.
+struct SessionStats {
+  std::uint64_t loads = 0;
+  std::uint64_t evals = 0;
+  std::uint64_t patterns = 0;
+  std::uint64_t verifies = 0;
+  int circuits = 0;
+  int workers = 0;
+};
+
+/// A registry of loaded circuits sharing one worker pool.
+class Session {
+ public:
+  /// `workers` threads shard every batch evaluation; <= 1 keeps the
+  /// session sequential (still correct, see Evaluator::evaluate_batch).
+  explicit Session(int workers = ThreadPool::default_workers());
+
+  /// Runs the LOAD pipeline on `path` and registers the result under
+  /// `name`, replacing any circuit previously loaded under that name.
+  /// Throws ambit::Error (with file:line context from the parser) on
+  /// malformed input.
+  const LoadedCircuit& load(const std::string& name, const std::string& path);
+
+  /// The registered circuit; throws ambit::Error when unknown.
+  const LoadedCircuit& get(const std::string& name) const;
+
+  /// nullptr when unknown (no throw).
+  const LoadedCircuit* find(const std::string& name) const;
+
+  /// Evaluates one batch through the sharded bit-parallel path and
+  /// bumps the counters. Input width must match the circuit.
+  logic::PatternBatch eval(const std::string& name,
+                           const logic::PatternBatch& inputs);
+
+  /// Exhaustively re-checks the mapped array against the source cover
+  /// (don't-cares ignored as always). Builds and caches the reference
+  /// tables on first call. Requires the circuit to have at most
+  /// TruthTable::kMaxInputs inputs.
+  bool verify(const std::string& name);
+
+  /// Drops a circuit; throws when unknown.
+  void unload(const std::string& name);
+
+  /// Registered names, sorted.
+  std::vector<std::string> names() const;
+
+  SessionStats stats() const;
+
+  ThreadPool& pool() { return pool_; }
+
+ private:
+  LoadedCircuit& get_mutable(const std::string& name);
+
+  ThreadPool pool_;
+  std::map<std::string, std::unique_ptr<LoadedCircuit>> circuits_;
+  // Session-lifetime counters: cumulative across UNLOADs and same-name
+  // reloads, so STATS never goes backwards (the per-circuit counters in
+  // LoadedCircuit die with the circuit).
+  std::uint64_t loads_ = 0;
+  std::uint64_t evals_ = 0;
+  std::uint64_t patterns_ = 0;
+  std::uint64_t verifies_ = 0;
+};
+
+}  // namespace ambit::serve

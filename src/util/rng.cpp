@@ -26,6 +26,16 @@ Rng::Rng(std::uint64_t seed) {
   }
 }
 
+Rng Rng::stream(std::uint64_t seed, std::uint64_t stream) {
+  // Scramble the stream index through one SplitMix64 round and fold it
+  // into the root seed; Rng's constructor then expands the combined
+  // value as usual. stream(s, 0) is deliberately NOT Rng(s): a family
+  // member never collides with the plain sequential generator.
+  std::uint64_t sm = stream;
+  const std::uint64_t scrambled = splitmix64(sm);
+  return Rng(seed ^ scrambled);
+}
+
 std::uint64_t Rng::next_u64() {
   const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
   const std::uint64_t t = state_[1] << 17;

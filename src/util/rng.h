@@ -21,6 +21,17 @@ class Rng {
   /// 64-bit seed with SplitMix64 as recommended by the xoshiro authors.
   explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
 
+  /// An independent deterministic stream: generator number `stream` of
+  /// the family rooted at `seed`. The (seed, stream) pair is scrambled
+  /// through a SplitMix64 round before the usual state expansion, so
+  /// consecutive stream indices yield statistically independent
+  /// sequences. Parallel Monte-Carlo code (fault/yield.cpp) gives trial
+  /// t the generator stream(seed, t): the draw sequence then depends
+  /// only on the trial index, never on which worker runs it or in what
+  /// order, which is what keeps threaded sweeps bit-identical to
+  /// sequential ones.
+  static Rng stream(std::uint64_t seed, std::uint64_t stream);
+
   /// Next raw 64-bit value.
   std::uint64_t next_u64();
 

@@ -1,0 +1,120 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+
+#include "util/error.h"
+
+namespace ambit {
+
+ThreadPool::ThreadPool(int num_workers) {
+  check(num_workers >= 0, "ThreadPool: negative worker count");
+  workers_.reserve(static_cast<std::size_t>(num_workers));
+  for (int w = 0; w < num_workers; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        return;  // stopping_ and drained
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::uint64_t begin, std::uint64_t end, std::uint64_t grain,
+    const std::function<void(std::uint64_t, std::uint64_t)>& body) {
+  if (begin >= end) {
+    return;
+  }
+  grain = std::max<std::uint64_t>(grain, 1);
+  const std::uint64_t count = end - begin;
+  if (num_workers() == 0 || count <= grain) {
+    body(begin, end);
+    return;
+  }
+  // Contiguous chunks of ceil(count / slices) indices, where the slice
+  // count targets a few chunks per worker for load balance. The
+  // partition depends only on (count, grain, num_workers).
+  const std::uint64_t max_slices =
+      std::max<std::uint64_t>(count / grain, 1);
+  const std::uint64_t slices = std::min<std::uint64_t>(
+      max_slices, static_cast<std::uint64_t>(num_workers()) * 4);
+  const std::uint64_t chunk = (count + slices - 1) / slices;
+
+  // Shared completion state for this call. Exceptions are captured
+  // under the same mutex; the first one wins and is rethrown below.
+  struct Join {
+    std::mutex m;
+    std::condition_variable done;
+    std::uint64_t pending = 0;
+    std::exception_ptr error;
+  };
+  auto join = std::make_shared<Join>();
+
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (std::uint64_t lo = begin; lo < end; lo += chunk) {
+      const std::uint64_t hi = std::min(end, lo + chunk);
+      ++join->pending;
+      tasks_.push([join, lo, hi, &body] {
+        try {
+          body(lo, hi);
+        } catch (...) {
+          const std::lock_guard<std::mutex> jlock(join->m);
+          if (!join->error) {
+            join->error = std::current_exception();
+          }
+        }
+        {
+          const std::lock_guard<std::mutex> jlock(join->m);
+          --join->pending;
+        }
+        join->done.notify_one();
+      });
+    }
+  }
+  work_ready_.notify_all();
+
+  std::unique_lock<std::mutex> jlock(join->m);
+  join->done.wait(jlock, [&join] { return join->pending == 0; });
+  if (join->error) {
+    std::rethrow_exception(join->error);
+  }
+}
+
+int ThreadPool::default_workers() {
+  if (const char* env = std::getenv("AMBIT_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) {
+      return n;
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace ambit

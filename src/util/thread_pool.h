@@ -1,0 +1,69 @@
+// A fixed-size worker pool with a chunked parallel_for.
+//
+// AMBIT's bit-parallel kernels (core/evaluator.h) already squeeze 64
+// patterns into every machine word; the remaining axis of parallelism
+// is ACROSS words, and the lanes are embarrassingly parallel: no kernel
+// carries state between words of a PatternBatch lane. ThreadPool
+// exploits that with the smallest possible surface — parallel_for over
+// an index range, split into contiguous chunks, executed by a fixed set
+// of workers that live as long as the pool.
+//
+// Guarantees relied on by the callers:
+//   * the chunk partition depends only on (range, grain, num_workers) —
+//     never on scheduling — so any per-chunk determinism (e.g. the
+//     per-trial RNG streams of fault/yield.cpp) survives threading;
+//   * exceptions thrown by the body are captured and the FIRST one is
+//     rethrown on the calling thread after every chunk has finished, so
+//     a throwing worker cannot leave the pool wedged;
+//   * a pool with zero workers degrades to an inline sequential loop,
+//     which keeps single-core containers and TSan runs cheap.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ambit {
+
+/// Fixed set of worker threads executing chunked index ranges.
+class ThreadPool {
+ public:
+  /// Spawns `num_workers` threads; 0 means "run everything inline on
+  /// the calling thread" (still a valid pool, just sequential).
+  explicit ThreadPool(int num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Applies `body(chunk_begin, chunk_end)` over a partition of
+  /// [begin, end) into contiguous chunks of at least `grain` indices
+  /// (the last chunk may be smaller). Blocks until every chunk is done;
+  /// rethrows the first exception any chunk raised. The partition is a
+  /// pure function of the arguments and num_workers(), so work
+  /// assignment is reproducible run to run.
+  void parallel_for(
+      std::uint64_t begin, std::uint64_t end, std::uint64_t grain,
+      const std::function<void(std::uint64_t, std::uint64_t)>& body);
+
+  /// Worker count for "use the machine": the AMBIT_THREADS environment
+  /// variable when set and positive, else std::thread::hardware_concurrency.
+  static int default_workers();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::queue<std::function<void()>> tasks_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ambit

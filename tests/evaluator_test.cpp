@@ -14,6 +14,7 @@
 #include "logic/truth_table.h"
 #include "util/error.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace ambit {
 namespace {
@@ -83,6 +84,89 @@ TEST(PatternBatchTest, FromPatternsTransposes) {
   EXPECT_EQ(batch.pattern(0), (std::vector<bool>{true, false}));
   EXPECT_EQ(batch.pattern(1), (std::vector<bool>{false, true}));
   EXPECT_EQ(batch.pattern(2), (std::vector<bool>{true, true}));
+}
+
+TEST(PatternBatchTest, SliceAndPasteRoundTrip) {
+  // 150 patterns = two full words + a 22-bit tail.
+  PatternBatch batch(2, 150);
+  Rng rng(3);
+  for (std::uint64_t p = 0; p < 150; ++p) {
+    for (int s = 0; s < 2; ++s) {
+      batch.set(p, s, rng.next_bool());
+    }
+  }
+  PatternBatch rebuilt(2, 150);
+  rebuilt.paste(batch.slice(0, 64), 0);
+  rebuilt.paste(batch.slice(64, 86), 64);  // 86 = 64 + 22-bit tail
+  EXPECT_EQ(rebuilt, batch);
+
+  const PatternBatch tail = batch.slice(128, 22);
+  EXPECT_EQ(tail.num_patterns(), 22u);
+  for (std::uint64_t p = 0; p < 22; ++p) {
+    EXPECT_EQ(tail.get(p, 0), batch.get(128 + p, 0));
+  }
+  EXPECT_EQ(tail.lane(0)[0] & ~tail.tail_mask(), 0u);
+}
+
+TEST(PatternBatchTest, SliceRejectsMisalignedAndOutOfRange) {
+  const PatternBatch batch(1, 130);
+  EXPECT_THROW(batch.slice(3, 64), Error);    // not word-aligned
+  EXPECT_THROW(batch.slice(64, 100), Error);  // past the end
+  EXPECT_THROW(batch.slice(0, 70), Error);    // partial word mid-batch
+  PatternBatch dst(1, 130);
+  EXPECT_THROW(dst.paste(batch.slice(0, 64), 32), Error);  // misaligned
+  PatternBatch narrow(2, 64);
+  EXPECT_THROW(dst.paste(narrow, 0), Error);  // signal count mismatch
+}
+
+// ---------------------------------------------------------------------------
+// Sharded parallel evaluation: bit-identical to single-thread for every
+// circuit type and for pattern counts that are NOT multiples of 64.
+// ---------------------------------------------------------------------------
+
+TEST(EvaluatorTest, ParallelBatchBitIdenticalToSequential) {
+  const Cover f = Cover::parse(6, 3, {"11---- 100", "--11-- 010",
+                                      "----11 001", "1--0-1 110",
+                                      "0-1-0- 011"});
+  const GnorPla pla = GnorPla::map_cover(f);
+  ThreadPool pool(3);
+  Rng rng(11);
+  // 4000 patterns: 62 full words + a 32-bit tail; also a small batch
+  // that falls through to the sequential path, and the exhaustive one.
+  for (const std::uint64_t count : {40ull, 1000ull, 4000ull}) {
+    PatternBatch inputs(6, count);
+    for (std::uint64_t p = 0; p < count; ++p) {
+      for (int s = 0; s < 6; ++s) {
+        inputs.set(p, s, rng.next_bool());
+      }
+    }
+    EXPECT_EQ(pla.evaluate_batch(inputs, pool), pla.evaluate_batch(inputs))
+        << count << " patterns";
+  }
+  EXPECT_EQ(exhaustive_truth_table(pla, pool), exhaustive_truth_table(pla));
+}
+
+TEST(EvaluatorTest, ParallelBatchMatchesAcrossCircuitTypes) {
+  const Cover f = Cover::parse(5, 2, {"11--- 10", "--1-1 01", "0--0- 11"});
+  ThreadPool pool(4);
+  const PatternBatch inputs = PatternBatch::exhaustive(5);
+  const GnorPla gnor = GnorPla::map_cover(f);
+  const ClassicalPla classical = ClassicalPla::map_cover(f);
+  EXPECT_EQ(gnor.evaluate_batch(inputs, pool), gnor.evaluate_batch(inputs));
+  EXPECT_EQ(classical.evaluate_batch(inputs, pool),
+            classical.evaluate_batch(inputs));
+
+  const Cover a = Cover::parse(5, 1, {"11--- 1"});
+  const Cover b = Cover::parse(6, 1, {"--1--- 1", "-----1 1"});
+  const Wpla wpla(a, b, 5);
+  EXPECT_EQ(wpla.evaluate_batch(inputs, pool), wpla.evaluate_batch(inputs));
+}
+
+TEST(EvaluatorTest, ParallelBatchValidatesWidthAtBoundary) {
+  const Cover f = Cover::parse(3, 1, {"11- 1"});
+  const GnorPla pla = GnorPla::map_cover(f);
+  ThreadPool pool(2);
+  EXPECT_THROW(pla.evaluate_batch(PatternBatch(4, 100), pool), Error);
 }
 
 TEST(EvaluatorTest, ExhaustiveTruthTableMatchesCover) {

@@ -6,6 +6,7 @@
 #include "logic/synth_bench.h"
 #include "logic/truth_table.h"
 #include "util/error.h"
+#include "util/thread_pool.h"
 
 namespace ambit::fault {
 namespace {
@@ -170,6 +171,42 @@ TEST(YieldTest, YieldDecreasesWithDefectRate) {
                                  YieldSpec{.spare_rows = 1, .trials = 80});
   EXPECT_GE(curve[0].repaired_yield, curve[1].repaired_yield);
   EXPECT_GE(curve[1].repaired_yield, curve[2].repaired_yield);
+}
+
+TEST(YieldTest, ParallelSweepBitIdenticalToSequential) {
+  // The tentpole reproducibility requirement: fanning the Monte-Carlo
+  // trials across workers must not move the curve AT ALL, because every
+  // trial draws from its own (seed, trial index) RNG stream. Compare
+  // exact doubles, not tolerances.
+  const GnorPla pla = sample_pla();
+  const std::vector<double> rates = {0.0, 0.02, 0.08, 0.2};
+  const YieldSpec sequential{.spare_rows = 2, .trials = 40, .seed = 7,
+                             .functional_check = true, .workers = 1};
+  YieldSpec parallel = sequential;
+  parallel.workers = 4;
+  const auto a = yield_sweep(pla, rates, sequential);
+  const auto b = yield_sweep(pla, rates, parallel);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].naive_yield, b[i].naive_yield) << "rate index " << i;
+    EXPECT_DOUBLE_EQ(a[i].repaired_yield, b[i].repaired_yield)
+        << "rate index " << i;
+    EXPECT_DOUBLE_EQ(a[i].functional_yield, b[i].functional_yield)
+        << "rate index " << i;
+    EXPECT_DOUBLE_EQ(a[i].mean_relocations, b[i].mean_relocations)
+        << "rate index " << i;
+  }
+}
+
+TEST(YieldTest, ExternalPoolOverloadMatchesOwnedPool) {
+  const GnorPla pla = sample_pla();
+  const YieldSpec spec{.spare_rows = 1, .trials = 30, .seed = 3};
+  ThreadPool pool(3);
+  const auto owned = yield_sweep(pla, {0.05}, spec);
+  const auto external = yield_sweep(pla, {0.05}, spec, pool);
+  ASSERT_EQ(owned.size(), external.size());
+  EXPECT_DOUBLE_EQ(owned[0].repaired_yield, external[0].repaired_yield);
+  EXPECT_DOUBLE_EQ(owned[0].naive_yield, external[0].naive_yield);
 }
 
 TEST(YieldTest, SparesImproveYield) {

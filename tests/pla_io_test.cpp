@@ -122,13 +122,58 @@ TEST(PlaIoTest, BadCharactersRejected) {
   EXPECT_THROW(parse(".i 2\n.o 1\n10 z\n.e\n"), Error);
 }
 
-TEST(PlaIoTest, ErrorsCarryLineNumbers) {
+TEST(PlaIoTest, ErrorsCarryFileAndLine) {
   try {
     parse(".i 2\n.o 1\n10 1\nbad row here now\n.e\n");
     FAIL() << "expected parse error";
   } catch (const Error& e) {
-    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("test:4"), std::string::npos)
+        << e.what();
   }
+}
+
+TEST(PlaIoTest, ArityMismatchNamesDeclaredWidths) {
+  // The serve LOAD path makes malformed covers routine: the message
+  // must say which declaration the row disagrees with, and where.
+  try {
+    parse(".i 2\n.o 1\n101 1\n.e\n");
+    FAIL() << "expected parse error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("test:3"), std::string::npos) << what;
+    EXPECT_NE(what.find(".i declares 2"), std::string::npos) << what;
+  }
+  try {
+    parse(".i 2\n.o 2\n10 111\n.e\n");
+    FAIL() << "expected parse error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("test:3"), std::string::npos) << what;
+    EXPECT_NE(what.find(".o declares 2"), std::string::npos) << what;
+  }
+}
+
+TEST(PlaIoTest, BadCharacterErrorsCarryLineNumbers) {
+  // Character decoding happens in a second pass; the diagnostics must
+  // still point at the SOURCE line of the offending row.
+  try {
+    parse(".i 2\n.o 1\n10 1\n1x 1\n.e\n");
+    FAIL() << "expected parse error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("test:4"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(PlaIoTest, DeclarationsAfterRowsRejected) {
+  EXPECT_THROW(parse(".i 2\n.o 1\n10 1\n.i 3\n.e\n"), Error);
+  EXPECT_THROW(parse(".i 2\n.o 1\n10 1\n.o 2\n.e\n"), Error);
+}
+
+TEST(PlaIoTest, NonNumericCountsRejected) {
+  EXPECT_THROW(parse(".i x\n.o 1\n.e\n"), Error);
+  EXPECT_THROW(parse(".i 2\n.o -1\n.e\n"), Error);
+  EXPECT_THROW(parse(".i 2\n.o 1\n.p many\n10 1\n.e\n"), Error);
 }
 
 TEST(PlaIoTest, WriteReadRoundTripPreservesFunction) {

@@ -1,0 +1,390 @@
+// Tests for the ambit::serve subsystem: protocol parsing and hex
+// codecs, the session registry (LOAD pipeline, sharded EVAL, cached
+// VERIFY), and the server driven end-to-end over both transports — a
+// stream pipe and a Unix-domain socket.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/gnor_pla.h"
+#include "logic/pla_io.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/session.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+#ifndef _WIN32
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#endif
+
+namespace ambit::serve {
+namespace {
+
+using logic::Cover;
+using logic::PatternBatch;
+
+/// Writes a small 3-input/2-output cover to a temp .pla file and
+/// returns its path.
+std::string write_sample_pla(const std::string& filename) {
+  const Cover f = Cover::parse(3, 2, {"11- 10", "0-1 01", "10- 11"});
+  const std::string path = testing::TempDir() + "/" + filename;
+  logic::write_pla_file(path, logic::make_pla(f, "sample"));
+  return path;
+}
+
+// ---------------------------------------------------------------------------
+// Protocol: request parsing and the hex codec.
+// ---------------------------------------------------------------------------
+
+TEST(ProtocolTest, ParsesEveryVerb) {
+  EXPECT_EQ(parse_request("LOAD adder /tmp/a.pla").verb, Verb::kLoad);
+  EXPECT_EQ(parse_request("EVAL adder ff 0").verb, Verb::kEval);
+  EXPECT_EQ(parse_request("VERIFY adder").verb, Verb::kVerify);
+  EXPECT_EQ(parse_request("STATS").verb, Verb::kStats);
+  EXPECT_EQ(parse_request("UNLOAD adder").verb, Verb::kUnload);
+  EXPECT_EQ(parse_request("HELP").verb, Verb::kHelp);
+  EXPECT_EQ(parse_request("QUIT").verb, Verb::kQuit);
+  EXPECT_EQ(parse_request("SHUTDOWN").verb, Verb::kShutdown);
+}
+
+TEST(ProtocolTest, LoadCarriesNameAndPath) {
+  const Request r = parse_request("  LOAD  c17   /data/c17.pla ");
+  EXPECT_EQ(r.name, "c17");
+  EXPECT_EQ(r.path, "/data/c17.pla");
+}
+
+TEST(ProtocolTest, EvalCarriesAllPatterns) {
+  const Request r = parse_request("EVAL f 0 1f 0x2a");
+  EXPECT_EQ(r.name, "f");
+  EXPECT_EQ(r.patterns, (std::vector<std::string>{"0", "1f", "0x2a"}));
+}
+
+TEST(ProtocolTest, MalformedRequestsRejected) {
+  EXPECT_THROW(parse_request(""), Error);
+  EXPECT_THROW(parse_request("FROBNICATE x"), Error);
+  EXPECT_THROW(parse_request("LOAD just_a_name"), Error);
+  EXPECT_THROW(parse_request("EVAL name_but_no_patterns"), Error);
+  EXPECT_THROW(parse_request("VERIFY"), Error);
+  EXPECT_THROW(parse_request("STATS extra"), Error);
+}
+
+TEST(ProtocolTest, HexRoundTrip) {
+  for (const int width : {1, 3, 4, 8, 13, 64, 70}) {
+    std::vector<bool> bits(static_cast<std::size_t>(width));
+    for (int i = 0; i < width; i += 3) {
+      bits[static_cast<std::size_t>(i)] = true;
+    }
+    EXPECT_EQ(hex_decode(hex_encode(bits), width), bits) << "width " << width;
+  }
+}
+
+TEST(ProtocolTest, HexEncodeIsFixedWidth) {
+  EXPECT_EQ(hex_encode({false, false, false, false, false}), "00");
+  EXPECT_EQ(hex_encode({true, false, true}), "5");
+  EXPECT_EQ(hex_encode(std::vector<bool>(8, true)), "ff");
+}
+
+TEST(ProtocolTest, HexDecodeAcceptsPrefixAndCase) {
+  EXPECT_EQ(hex_decode("0x2A", 6), hex_decode("2a", 6));
+}
+
+TEST(ProtocolTest, HexDecodeRejectsBadInput) {
+  EXPECT_THROW(hex_decode("zz", 8), Error);
+  EXPECT_THROW(hex_decode("", 8), Error);
+  EXPECT_THROW(hex_decode("0x", 8), Error);
+  // Bit 4 set, but only 3 inputs wide.
+  EXPECT_THROW(hex_decode("10", 3), Error);
+}
+
+TEST(ProtocolTest, ResponseFormatting) {
+  EXPECT_EQ(ok_response(), "OK");
+  EXPECT_EQ(ok_response("loaded x"), "OK loaded x");
+  EXPECT_EQ(err_response("bad\nthing"), "ERR bad thing");
+}
+
+// ---------------------------------------------------------------------------
+// Session: the LOAD pipeline and the sharded answer paths.
+// ---------------------------------------------------------------------------
+
+TEST(SessionTest, LoadEvalVerifyUnload) {
+  const std::string path = write_sample_pla("serve_session.pla");
+  Session session(/*workers=*/2);
+  const LoadedCircuit& circuit = session.load("s", path);
+  EXPECT_EQ(circuit.gnor.num_inputs(), 3);
+  EXPECT_EQ(circuit.gnor.num_outputs(), 2);
+
+  // EVAL answers must match direct evaluation of the mapped array.
+  PatternBatch inputs = PatternBatch::exhaustive(3);
+  const PatternBatch outputs = session.eval("s", inputs);
+  EXPECT_EQ(outputs, circuit.gnor.evaluate_batch(inputs));
+
+  EXPECT_TRUE(session.verify("s"));
+  // Second verify rides the cached reference tables.
+  EXPECT_TRUE(session.verify("s"));
+  EXPECT_EQ(session.get("s").verifies, 2u);
+
+  session.unload("s");
+  EXPECT_EQ(session.find("s"), nullptr);
+  EXPECT_THROW(session.eval("s", inputs), Error);
+}
+
+TEST(SessionTest, VerifyCatchesCorruptedArray) {
+  const std::string path = write_sample_pla("serve_corrupt.pla");
+  Session session(1);
+  session.load("s", path);
+  ASSERT_TRUE(session.verify("s"));
+  // Sabotage the mapped array behind the session's back; VERIFY must
+  // notice. (The const_cast stands in for radiation/defect drift — the
+  // protocol has no mutation verb.)
+  auto& gnor = const_cast<core::GnorPla&>(session.get("s").gnor);
+  gnor.set_buffer_inverted(0, !gnor.buffer_inverted(0));
+  EXPECT_FALSE(session.verify("s"));
+}
+
+TEST(SessionTest, UnknownNamesThrow) {
+  Session session(1);
+  EXPECT_THROW(session.get("ghost"), Error);
+  EXPECT_THROW(session.verify("ghost"), Error);
+  EXPECT_THROW(session.unload("ghost"), Error);
+}
+
+TEST(SessionTest, ReloadReplacesCircuit) {
+  const std::string path = write_sample_pla("serve_reload.pla");
+  Session session(1);
+  session.load("s", path);
+  const Cover g = Cover::parse(2, 1, {"11 1"});
+  const std::string path2 = testing::TempDir() + "/serve_reload2.pla";
+  logic::write_pla_file(path2, logic::make_pla(g, "g"));
+  session.load("s", path2);
+  EXPECT_EQ(session.get("s").gnor.num_inputs(), 2);
+  EXPECT_EQ(session.stats().loads, 2u);
+  EXPECT_EQ(session.stats().circuits, 1);
+}
+
+TEST(SessionTest, FailedLoadKeepsExistingCircuit) {
+  const std::string path = write_sample_pla("serve_keep.pla");
+  Session session(1);
+  session.load("s", path);
+  EXPECT_THROW(session.load("s", "/nonexistent/nope.pla"), Error);
+  EXPECT_EQ(session.get("s").gnor.num_inputs(), 3);
+}
+
+TEST(SessionTest, StatsAccumulate) {
+  const std::string path = write_sample_pla("serve_stats.pla");
+  Session session(1);
+  session.load("a", path);
+  session.load("b", path);
+  session.eval("a", PatternBatch::exhaustive(3));
+  session.eval("b", PatternBatch::exhaustive(3));
+  const SessionStats stats = session.stats();
+  EXPECT_EQ(stats.circuits, 2);
+  EXPECT_EQ(stats.evals, 2u);
+  EXPECT_EQ(stats.patterns, 16u);
+  // Counters are session-cumulative: dropping or replacing circuits
+  // must never make STATS go backwards.
+  session.unload("a");
+  session.load("b", path);
+  EXPECT_EQ(session.stats().evals, 2u);
+  EXPECT_EQ(session.stats().patterns, 16u);
+  EXPECT_EQ(session.stats().circuits, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Server over a stream pipe: the full protocol round trip.
+// ---------------------------------------------------------------------------
+
+TEST(ServerTest, StreamSessionRoundTrip) {
+  const std::string path = write_sample_pla("serve_stream.pla");
+  Session session(2);
+  Server server(session);
+
+  std::istringstream in("HELP\n"
+                        "LOAD s " + path + "\n"
+                        "EVAL s 0 7 3\n"
+                        "VERIFY s\n"
+                        "STATS\n"
+                        "UNLOAD s\n"
+                        "QUIT\n"
+                        "EVAL s 0\n");  // after QUIT: must not be served
+  std::ostringstream out;
+  const std::uint64_t served = server.serve_stream(in, out);
+  EXPECT_EQ(served, 7u);
+
+  std::vector<std::string> lines;
+  std::istringstream responses(out.str());
+  for (std::string line; std::getline(responses, line);) {
+    lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 7u);
+  EXPECT_TRUE(starts_with(lines[0], "OK commands:"));
+  EXPECT_TRUE(starts_with(lines[1], "OK loaded s: 3 inputs, 2 outputs"));
+  // The sample cover on {000, 111, 110}: check against the real array.
+  const core::GnorPla pla = core::GnorPla::map_cover(
+      Cover::parse(3, 2, {"11- 10", "0-1 01", "10- 11"}));
+  const std::string expected =
+      "OK " + hex_encode(pla.evaluate(hex_decode("0", 3))) + " " +
+      hex_encode(pla.evaluate(hex_decode("7", 3))) + " " +
+      hex_encode(pla.evaluate(hex_decode("3", 3)));
+  EXPECT_EQ(lines[2], expected);
+  EXPECT_TRUE(starts_with(lines[3], "OK verified s: equivalent over 8"));
+  EXPECT_TRUE(starts_with(lines[4], "OK circuits=1"));
+  EXPECT_EQ(lines[5], "OK unloaded s");
+  EXPECT_EQ(lines[6], "OK bye");
+}
+
+TEST(ServerTest, ErrorsAreResponsesNotCrashes) {
+  Session session(1);
+  Server server(session);
+  EXPECT_TRUE(starts_with(server.handle_line("NONSENSE"), "ERR"));
+  EXPECT_TRUE(starts_with(server.handle_line("EVAL ghost ff"), "ERR"));
+  EXPECT_TRUE(
+      starts_with(server.handle_line("LOAD x /nonexistent/x.pla"), "ERR"));
+}
+
+TEST(ServerTest, MalformedPlaLoadReportsFileAndLine) {
+  // A cube row wider than .i/.o declares must come back as an ERR
+  // response carrying file:line context — the serve LOAD path makes
+  // malformed input a routine event.
+  const std::string path = testing::TempDir() + "/serve_malformed.pla";
+  std::ofstream file(path);
+  file << ".i 2\n.o 1\n101 1\n.e\n";
+  file.close();
+  Session session(1);
+  Server server(session);
+  const std::string response = server.handle_line("LOAD bad " + path);
+  EXPECT_TRUE(starts_with(response, "ERR"));
+  EXPECT_NE(response.find("serve_malformed:3"), std::string::npos) << response;
+  EXPECT_NE(response.find(".i declares 2"), std::string::npos) << response;
+}
+
+TEST(ServerTest, BlankLinesAreIgnored) {
+  Session session(1);
+  Server server(session);
+  std::istringstream in("\n   \nHELP\nQUIT\n");
+  std::ostringstream out;
+  EXPECT_EQ(server.serve_stream(in, out), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Server over a Unix-domain socket: a real client connection.
+// ---------------------------------------------------------------------------
+
+#ifndef _WIN32
+
+/// Connects to `socket_path`, retrying until the server thread has
+/// bound it. Returns the connected fd (or -1 after the deadline).
+int connect_with_retry(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd >= 0 &&
+        ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      return fd;
+    }
+    if (fd >= 0) {
+      ::close(fd);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return -1;
+}
+
+/// Sends `request` lines and reads exactly `expected_lines` response
+/// lines back.
+std::vector<std::string> socket_transact(int fd, const std::string& requests,
+                                         std::size_t expected_lines) {
+  std::size_t sent = 0;
+  while (sent < requests.size()) {
+    const ssize_t n =
+        ::write(fd, requests.data() + sent, requests.size() - sent);
+    if (n <= 0) {
+      break;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string buffer;
+  char chunk[4096];
+  std::vector<std::string> lines;
+  while (lines.size() < expected_lines) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) {
+      break;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t newline;
+    while ((newline = buffer.find('\n')) != std::string::npos) {
+      lines.push_back(buffer.substr(0, newline));
+      buffer.erase(0, newline + 1);
+    }
+  }
+  return lines;
+}
+
+TEST(ServerTest, UnixSocketSessionEndToEnd) {
+  const std::string path = write_sample_pla("serve_socket.pla");
+  const std::string socket_path = testing::TempDir() + "/ambit_serve_test.sock";
+  Session session(2);
+  Server server(session);
+  std::thread server_thread([&] { server.serve_unix(socket_path); });
+
+  const int fd = connect_with_retry(socket_path);
+  ASSERT_GE(fd, 0) << "could not connect to " << socket_path;
+  const std::vector<std::string> lines = socket_transact(
+      fd,
+      "LOAD s " + path + "\nEVAL s 7 0\nVERIFY s\nSTATS\nSHUTDOWN\n", 5);
+  ::close(fd);
+  server_thread.join();
+
+  ASSERT_EQ(lines.size(), 5u);
+  EXPECT_TRUE(starts_with(lines[0], "OK loaded s"));
+  EXPECT_TRUE(starts_with(lines[1], "OK "));
+  EXPECT_TRUE(starts_with(lines[2], "OK verified s"));
+  EXPECT_TRUE(starts_with(lines[3], "OK circuits=1"));
+  EXPECT_EQ(lines[4], "OK shutting down");
+  EXPECT_TRUE(server.shutdown_requested());
+}
+
+TEST(ServerTest, UnixSocketServesConsecutiveConnections) {
+  const std::string path = write_sample_pla("serve_socket2.pla");
+  const std::string socket_path =
+      testing::TempDir() + "/ambit_serve_test2.sock";
+  Session session(1);
+  Server server(session);
+  std::thread server_thread([&] { server.serve_unix(socket_path); });
+
+  // Connection 1 loads and quits; connection 2 still sees the circuit
+  // (the session outlives connections), then shuts the server down.
+  const int first = connect_with_retry(socket_path);
+  ASSERT_GE(first, 0);
+  const auto lines1 =
+      socket_transact(first, "LOAD s " + path + "\nQUIT\n", 2);
+  ::close(first);
+  ASSERT_EQ(lines1.size(), 2u);
+  EXPECT_TRUE(starts_with(lines1[0], "OK loaded s"));
+
+  const int second = connect_with_retry(socket_path);
+  ASSERT_GE(second, 0);
+  const auto lines2 = socket_transact(second, "EVAL s 5\nSHUTDOWN\n", 2);
+  ::close(second);
+  server_thread.join();
+  ASSERT_EQ(lines2.size(), 2u);
+  EXPECT_TRUE(starts_with(lines2[0], "OK "));
+}
+
+#endif  // !_WIN32
+
+}  // namespace
+}  // namespace ambit::serve

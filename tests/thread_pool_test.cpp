@@ -1,0 +1,115 @@
+// Tests for the ThreadPool chunked parallel_for: exact coverage of the
+// index range, deterministic partitioning, exception propagation out of
+// workers, and the inline zero-worker degenerate mode.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "util/error.h"
+#include "util/thread_pool.h"
+
+namespace ambit {
+namespace {
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  for (const int workers : {0, 1, 3}) {
+    ThreadPool pool(workers);
+    for (const std::uint64_t count : {0ull, 1ull, 7ull, 64ull, 1000ull}) {
+      std::vector<std::atomic<int>> hits(count);
+      for (auto& h : hits) {
+        h.store(0);
+      }
+      pool.parallel_for(0, count, 3, [&](std::uint64_t lo, std::uint64_t hi) {
+        for (std::uint64_t i = lo; i < hi; ++i) {
+          hits[i].fetch_add(1);
+        }
+      });
+      for (std::uint64_t i = 0; i < count; ++i) {
+        ASSERT_EQ(hits[i].load(), 1)
+            << "workers=" << workers << " count=" << count << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, NonZeroBeginRespected) {
+  ThreadPool pool(2);
+  std::atomic<std::uint64_t> sum{0};
+  pool.parallel_for(10, 20, 1, [&](std::uint64_t lo, std::uint64_t hi) {
+    for (std::uint64_t i = lo; i < hi; ++i) {
+      sum.fetch_add(i);
+    }
+  });
+  EXPECT_EQ(sum.load(), 145u);  // 10 + 11 + ... + 19
+}
+
+TEST(ThreadPoolTest, ChunkPartitionIsDeterministic) {
+  // The chunk boundaries must be a pure function of the arguments, not
+  // of scheduling: run the same range twice and compare the recorded
+  // partitions.
+  ThreadPool pool(3);
+  const auto record = [&pool] {
+    std::mutex m;
+    std::set<std::pair<std::uint64_t, std::uint64_t>> chunks;
+    pool.parallel_for(0, 997, 10, [&](std::uint64_t lo, std::uint64_t hi) {
+      const std::lock_guard<std::mutex> lock(m);
+      chunks.emplace(lo, hi);
+    });
+    return chunks;
+  };
+  EXPECT_EQ(record(), record());
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  for (const int workers : {0, 2}) {
+    ThreadPool pool(workers);
+    EXPECT_THROW(
+        pool.parallel_for(0, 100, 1,
+                          [](std::uint64_t, std::uint64_t hi) {
+                            if (hi > 40) {
+                              throw Error("worker failure");
+                            }
+                          }),
+        Error)
+        << "workers=" << workers;
+    // The pool must stay usable after a throwing body.
+    std::atomic<int> count{0};
+    pool.parallel_for(0, 10, 1, [&](std::uint64_t lo, std::uint64_t hi) {
+      count.fetch_add(static_cast<int>(hi - lo));
+    });
+    EXPECT_EQ(count.load(), 10);
+  }
+}
+
+TEST(ThreadPoolTest, ManySuccessiveCallsReuseWorkers) {
+  ThreadPool pool(2);
+  std::atomic<std::uint64_t> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.parallel_for(0, 64, 4, [&](std::uint64_t lo, std::uint64_t hi) {
+      total.fetch_add(hi - lo);
+    });
+  }
+  EXPECT_EQ(total.load(), 50u * 64u);
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsNoOp) {
+  ThreadPool pool(2);
+  bool touched = false;
+  pool.parallel_for(5, 5, 1,
+                    [&](std::uint64_t, std::uint64_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPoolTest, NegativeWorkerCountRejected) {
+  EXPECT_THROW(ThreadPool(-1), Error);
+}
+
+TEST(ThreadPoolTest, DefaultWorkersIsPositive) {
+  EXPECT_GE(ThreadPool::default_workers(), 1);
+}
+
+}  // namespace
+}  // namespace ambit

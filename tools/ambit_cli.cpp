@@ -9,6 +9,9 @@
 //   --out-pla <path>    write the minimized cover as .pla
 //   --out-blif <path>   write the minimized cover as BLIF
 //   --verify            exhaustive equivalence check (<= 20 inputs)
+//   --serve             no input file: serve the ambit::serve line
+//                       protocol over stdin/stdout (see ambit_serve
+//                       for the socket transport and more options)
 //
 // Prints the minimization summary, the GNOR mapping, and the Table-1
 // style area comparison across Flash / EEPROM / CNFET.
@@ -17,8 +20,12 @@
 #include <cstring>
 #include <string>
 
+#include <iostream>
+
 #include "core/evaluator.h"
 #include "core/gnor_pla.h"
+#include "serve/server.h"
+#include "serve/session.h"
 #include "core/wpla.h"
 #include "espresso/phase_opt.h"
 #include "logic/blif.h"
@@ -38,7 +45,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: ambit_cli <input.pla> [--phase-opt] [--wpla]\n"
                "                 [--out-pla <path>] [--out-blif <path>]\n"
-               "                 [--verify]\n");
+               "                 [--verify]\n"
+               "       ambit_cli --serve\n");
   return 2;
 }
 
@@ -54,9 +62,12 @@ int main(int argc, char** argv) {
   bool phase_opt = false;
   bool wpla = false;
   bool verify = false;
+  bool serve_mode = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--phase-opt") {
+    if (arg == "--serve") {
+      serve_mode = true;
+    } else if (arg == "--phase-opt") {
       phase_opt = true;
     } else if (arg == "--wpla") {
       wpla = true;
@@ -71,6 +82,23 @@ int main(int argc, char** argv) {
     } else {
       return usage();
     }
+  }
+  if (serve_mode) {
+    // Delegate to the serve subsystem: a long-running session over
+    // stdin/stdout, sharded across the default worker count.
+    if (!input.empty() || phase_opt || wpla || verify || !out_pla.empty() ||
+        !out_blif.empty()) {
+      return usage();
+    }
+    try {
+      serve::Session session;
+      serve::Server server(session);
+      server.serve_stream(std::cin, std::cout);
+    } catch (const Error& e) {
+      std::fprintf(stderr, "ambit_cli: %s\n", e.what());
+      return 1;
+    }
+    return 0;
   }
   if (input.empty()) {
     return usage();

@@ -1,0 +1,99 @@
+// ambit_serve — the long-running evaluation service front door.
+//
+// Usage:
+//   ambit_serve [options]
+//
+// Options:
+//   --stdio              serve the line protocol over stdin/stdout
+//                        (the default)
+//   --socket <path>      serve over a Unix-domain socket at <path>
+//   --workers <n>        worker threads sharding every EVAL
+//                        (default: AMBIT_THREADS or hardware threads)
+//   --preload <name>=<path>
+//                        LOAD a circuit before serving (repeatable)
+//
+// The protocol grammar is documented in src/serve/protocol.h and the
+// README's "Serving" section; an interactive session starts with HELP.
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/session.h"
+#include "util/error.h"
+#include "util/thread_pool.h"
+
+using namespace ambit;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: ambit_serve [--stdio] [--socket <path>]\n"
+               "                   [--workers <n>] [--preload <name>=<path>]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  int workers = ThreadPool::default_workers();
+  std::vector<std::pair<std::string, std::string>> preloads;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--stdio") {
+      socket_path.clear();
+    } else if (arg == "--socket" && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (arg == "--workers" && i + 1 < argc) {
+      workers = std::atoi(argv[++i]);
+      if (workers < 1) {
+        std::fprintf(stderr, "ambit_serve: --workers must be >= 1\n");
+        return 2;
+      }
+    } else if (arg == "--preload" && i + 1 < argc) {
+      const std::string spec = argv[++i];
+      const auto eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == spec.size()) {
+        std::fprintf(stderr, "ambit_serve: --preload needs <name>=<path>\n");
+        return 2;
+      }
+      preloads.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+    } else {
+      return usage();
+    }
+  }
+
+  try {
+    serve::Session session(workers);
+    for (const auto& [name, path] : preloads) {
+      const serve::LoadedCircuit& circuit = session.load(name, path);
+      std::fprintf(stderr, "ambit_serve: preloaded %s (%d in, %d out, %d products)\n",
+                   circuit.name.c_str(), circuit.gnor.num_inputs(),
+                   circuit.gnor.num_outputs(), circuit.gnor.num_products());
+    }
+    serve::Server server(session);
+    if (socket_path.empty()) {
+      std::fprintf(stderr, "ambit_serve: serving stdin/stdout, %d worker(s); %s\n",
+                   session.pool().num_workers(),
+                   serve::help_text().c_str());
+      const std::uint64_t served = server.serve_stream(std::cin, std::cout);
+      std::fprintf(stderr, "ambit_serve: served %llu request(s)\n",
+                   static_cast<unsigned long long>(served));
+    } else {
+      std::fprintf(stderr, "ambit_serve: serving %s, %d worker(s)\n",
+                   socket_path.c_str(), session.pool().num_workers());
+      const std::uint64_t served = server.serve_unix(socket_path);
+      std::fprintf(stderr, "ambit_serve: served %llu request(s)\n",
+                   static_cast<unsigned long long>(served));
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "ambit_serve: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
