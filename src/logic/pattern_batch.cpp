@@ -1,5 +1,7 @@
 #include "logic/pattern_batch.h"
 
+#include <algorithm>
+
 #include "util/error.h"
 
 namespace ambit::logic {
@@ -22,6 +24,8 @@ constexpr std::uint64_t kStripe[6] = {
 PatternBatch::PatternBatch(int num_signals, std::uint64_t num_patterns)
     : num_signals_(num_signals), num_patterns_(num_patterns) {
   check(num_signals >= 0, "PatternBatch: negative signal count");
+  check(num_patterns <= ~std::uint64_t{0} - 63,
+        "PatternBatch: pattern count overflows the word layout");
   words_per_lane_ = (num_patterns + 63) / 64;
   const std::uint64_t tail = num_patterns % 64;
   tail_mask_ = tail == 0 ? ~std::uint64_t{0} : ((std::uint64_t{1} << tail) - 1);
@@ -164,6 +168,25 @@ void PatternBatch::paste(const PatternBatch& src, std::uint64_t first) {
       to[w] = from[w];
     }
   }
+}
+
+void PatternBatch::load_words(const std::uint64_t* src, std::uint64_t count) {
+  check(count == total_words(),
+        "PatternBatch::load_words: expected " + std::to_string(total_words()) +
+            " words, got " + std::to_string(count));
+  std::copy(src, src + count, words_.begin());
+  if (tail_mask_ != ~std::uint64_t{0}) {
+    for (int s = 0; s < num_signals_; ++s) {
+      lane(s)[words_per_lane_ - 1] &= tail_mask_;
+    }
+  }
+}
+
+void PatternBatch::store_words(std::uint64_t* dst, std::uint64_t count) const {
+  check(count == total_words(),
+        "PatternBatch::store_words: expected " + std::to_string(total_words()) +
+            " words, got " + std::to_string(count));
+  std::copy(words_.begin(), words_.end(), dst);
 }
 
 void PatternBatch::complement_lane(int signal) {

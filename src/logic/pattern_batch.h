@@ -71,6 +71,23 @@ class PatternBatch {
   /// end.
   void paste(const PatternBatch& src, std::uint64_t first);
 
+  /// Total packed words across all lanes: num_signals * words_per_lane.
+  /// This is the payload size of the serve EVALB frame.
+  std::uint64_t total_words() const {
+    return static_cast<std::uint64_t>(num_signals_) * words_per_lane_;
+  }
+
+  /// Overwrites every lane from `count` consecutive words — lane 0's
+  /// words first, then lane 1's, and so on (the EVALB wire layout).
+  /// `count` must equal total_words(). Each lane's tail padding is
+  /// re-masked, so a frame with stray bits beyond num_patterns() cannot
+  /// corrupt downstream word-parallel kernels.
+  void load_words(const std::uint64_t* src, std::uint64_t count);
+
+  /// Copies every lane into `dst` in the same layout; `count` must
+  /// equal total_words().
+  void store_words(std::uint64_t* dst, std::uint64_t count) const;
+
   /// Complements lane `signal` over the valid pattern bits (the tail
   /// padding stays zero).
   void complement_lane(int signal);

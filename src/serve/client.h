@@ -1,0 +1,122 @@
+// A minimal Unix-domain-socket client for the ambit::serve protocol.
+//
+// Header-only on purpose: the serve tests and bench_serve_throughput
+// both drive a live server over AF_UNIX, and the connect-retry /
+// line-transact plumbing must be ONE implementation so the two can
+// never drift into exercising different client behavior. It is also
+// the reference for anyone writing a real client against the wire
+// protocol (serve/protocol.h).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#ifndef _WIN32
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <thread>
+#endif
+
+namespace ambit::serve {
+
+/// Decodes an EVALB success response sitting at the start of
+/// `response`: the header line "OK EVALB <num_patterns> <num_words>"
+/// plus `num_words` raw little-endian words of output lanes. On a match
+/// with the expected pattern count, fills `words` and sets `consumed`
+/// to the total frame size (header line + payload), so the caller can
+/// keep parsing pipelined responses after it. Returns false — outputs
+/// untouched — on a header mismatch or a truncated payload.
+inline bool decode_evalb_response(const std::string& response,
+                                  std::uint64_t expected_patterns,
+                                  std::uint64_t expected_words,
+                                  std::vector<std::uint64_t>& words,
+                                  std::size_t& consumed) {
+  const std::string header = "OK EVALB " + std::to_string(expected_patterns) +
+                             " " + std::to_string(expected_words) + "\n";
+  if (response.compare(0, header.size(), header) != 0) {
+    return false;
+  }
+  const std::size_t payload_bytes = expected_words * sizeof(std::uint64_t);
+  if (response.size() < header.size() + payload_bytes) {
+    return false;
+  }
+  words.resize(expected_words);
+  std::memcpy(words.data(), response.data() + header.size(), payload_bytes);
+  consumed = header.size() + payload_bytes;
+  return true;
+}
+
+#ifndef _WIN32
+
+/// Connects to `socket_path`, retrying until the server has bound it.
+/// Returns the connected fd, or -1 once the attempts are exhausted.
+inline int connect_with_retry(const std::string& socket_path,
+                              int attempts = 500, int delay_ms = 5) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd >= 0 &&
+        ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      return fd;
+    }
+    if (fd >= 0) {
+      ::close(fd);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
+  return -1;
+}
+
+/// Sends `requests` and reads exactly `expected_lines` response lines
+/// back (fewer if the server closes the connection first).
+inline std::vector<std::string> socket_transact(int fd,
+                                                const std::string& requests,
+                                                std::size_t expected_lines) {
+  std::size_t sent = 0;
+  while (sent < requests.size()) {
+    // MSG_NOSIGNAL: a server that drops the connection mid-request
+    // (oversized line, unframed EVALB header) must surface as a short
+    // response, not SIGPIPE the client process.
+    const ssize_t n = ::send(fd, requests.data() + sent,
+                             requests.size() - sent, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n <= 0) {
+      break;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string buffer;
+  char chunk[65536];
+  std::vector<std::string> lines;
+  while (lines.size() < expected_lines) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n <= 0) {
+      break;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t newline;
+    while ((newline = buffer.find('\n')) != std::string::npos) {
+      lines.push_back(buffer.substr(0, newline));
+      buffer.erase(0, newline + 1);
+    }
+  }
+  return lines;
+}
+
+#endif  // !_WIN32
+
+}  // namespace ambit::serve

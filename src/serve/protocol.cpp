@@ -16,6 +16,20 @@ int hex_digit(char c) {
   return -1;
 }
 
+/// Parses a decimal count field of an EVALB header; every digit must be
+/// consumed, so "12x" and "-3" fail as loudly as "abc".
+std::uint64_t parse_count(const std::string& token, const std::string& what) {
+  std::uint64_t value = 0;
+  check(!token.empty(), what + " is empty");
+  for (const char c : token) {
+    check(c >= '0' && c <= '9', what + " '" + token + "' is not a number");
+    check(value <= (~std::uint64_t{0} - static_cast<std::uint64_t>(c - '0')) / 10,
+          what + " '" + token + "' overflows");
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
 }  // namespace
 
 Request parse_request(const std::string& line) {
@@ -33,6 +47,12 @@ Request parse_request(const std::string& line) {
     request.verb = Verb::kEval;
     request.name = tokens[1];
     request.patterns.assign(tokens.begin() + 2, tokens.end());
+  } else if (verb == "EVALB") {
+    check(tokens.size() == 4, "EVALB needs: EVALB <name> <npatterns> <nwords>");
+    request.verb = Verb::kEvalB;
+    request.name = tokens[1];
+    request.num_patterns = parse_count(tokens[2], "EVALB pattern count");
+    request.num_words = parse_count(tokens[3], "EVALB word count");
   } else if (verb == "VERIFY") {
     check(tokens.size() == 2, "VERIFY needs: VERIFY <name>");
     request.verb = Verb::kVerify;
@@ -112,6 +132,12 @@ std::string ok_response(const std::string& detail) {
   return detail.empty() ? "OK" : "OK " + detail;
 }
 
+std::string evalb_response_header(std::uint64_t num_patterns,
+                                  std::uint64_t num_words) {
+  return "OK EVALB " + std::to_string(num_patterns) + " " +
+         std::to_string(num_words);
+}
+
 std::string err_response(const std::string& message) {
   std::string flat = message;
   std::replace(flat.begin(), flat.end(), '\n', ' ');
@@ -121,6 +147,7 @@ std::string err_response(const std::string& message) {
 
 std::string help_text() {
   return "commands: LOAD <name> <path> | EVAL <name> <hex>... | "
+         "EVALB <name> <npatterns> <nwords> (+ raw input lanes) | "
          "VERIFY <name> | STATS | UNLOAD <name> | HELP | QUIT | SHUTDOWN";
 }
 

@@ -7,16 +7,35 @@
 //   LOAD <name> <path>          parse + minimize + map <path>, register
 //                               the circuit under <name>
 //   EVAL <name> <hex>...        evaluate one input pattern per hex token
+//   EVALB <name> <np> <nw>      bulk evaluate: the header line is
+//                               followed by <nw> raw little-endian
+//                               uint64 words holding the word-packed
+//                               input lanes of a PatternBatch over <np>
+//                               patterns — ceil(np/64) words per input
+//                               lane, lane 0 first (<nw> must equal
+//                               inputs * ceil(np/64))
 //   VERIFY <name>               exhaustive equivalence re-check of the
 //                               mapped array against its source cover
 //   STATS                       session counters
 //   UNLOAD <name>               drop a circuit
 //   HELP                        grammar summary
 //   QUIT                        close this connection
-//   SHUTDOWN                    close this connection and stop the server
+//   SHUTDOWN                    stop accepting connections, drain the
+//                               in-flight ones, then stop the server
 //
 // Responses: "OK[ <detail>]" on success, "ERR <message>" on failure.
 // An EVAL response carries one hex token per input pattern, in order.
+// An EVALB response is the line "OK EVALB <np> <nw'>" followed by <nw'>
+// raw words of word-packed OUTPUT lanes in the same layout (an ERR
+// response to EVALB carries no payload). The explicit word count is
+// what keeps the stream in sync: for any WELL-FORMED header the server
+// consumes exactly <nw> payload words, even when the request itself
+// fails (unknown name, wrong count), so one bad bulk request costs one
+// ERR line, not the connection. The exceptions close the connection
+// after the ERR line, because the payload can no longer be consumed or
+// trusted: a header that does not parse at all, one whose <nw> exceeds
+// the server's payload limit (serve/server.h kMaxEvalbWords), and a
+// payload buffer the server failed to allocate under memory pressure.
 //
 // Hex patterns are plain hexadecimal numbers: bit i of the value is
 // input (or output) i. Tokens may carry a "0x" prefix; widths beyond 64
@@ -24,6 +43,7 @@
 // integer).
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -33,6 +53,7 @@ namespace ambit::serve {
 enum class Verb {
   kLoad,
   kEval,
+  kEvalB,
   kVerify,
   kStats,
   kUnload,
@@ -44,9 +65,11 @@ enum class Verb {
 /// One parsed request line.
 struct Request {
   Verb verb = Verb::kHelp;
-  std::string name;                   ///< circuit name (LOAD/EVAL/VERIFY/UNLOAD)
+  std::string name;                   ///< circuit name (LOAD/EVAL*/VERIFY/UNLOAD)
   std::string path;                   ///< .pla path (LOAD)
   std::vector<std::string> patterns;  ///< raw hex tokens (EVAL)
+  std::uint64_t num_patterns = 0;     ///< pattern count (EVALB)
+  std::uint64_t num_words = 0;        ///< payload word count (EVALB)
 };
 
 /// Parses one request line; throws ambit::Error on malformed requests
@@ -64,6 +87,11 @@ std::vector<bool> hex_decode(const std::string& hex, int width);
 
 /// "OK" / "OK <detail>".
 std::string ok_response(const std::string& detail = "");
+
+/// The EVALB success header: "OK EVALB <num_patterns> <num_words>" (the
+/// raw output-lane words follow it on the wire).
+std::string evalb_response_header(std::uint64_t num_patterns,
+                                  std::uint64_t num_words);
 
 /// "ERR <message>" (newlines in `message` are flattened to spaces so
 /// the response stays one line).

@@ -1,7 +1,9 @@
 #include "serve/server.h"
 
+#include <cstring>
 #include <istream>
 #include <ostream>
+#include <utility>
 #include <vector>
 
 #include "serve/protocol.h"
@@ -9,12 +11,17 @@
 #include "util/strings.h"
 
 #ifndef _WIN32
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
-#include <cstring>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <thread>
 #endif
 
 namespace ambit::serve {
@@ -22,27 +29,47 @@ namespace ambit::serve {
 std::string Server::handle_line(const std::string& line) {
   try {
     const Request request = parse_request(line);
+    if (request.verb == Verb::kEvalB) {
+      return err_response(
+          "EVALB carries a binary payload and needs a stream or socket "
+          "transport (use EVAL for text)");
+    }
+    return dispatch(request).response;
+  } catch (const Error& e) {
+    return err_response(e.what());
+  } catch (const std::exception& e) {
+    return err_response(std::string("internal: ") + e.what());
+  }
+}
+
+Server::Outcome Server::dispatch(const Request& request) {
+  try {
     switch (request.verb) {
       case Verb::kLoad: {
-        const LoadedCircuit& circuit =
+        const std::shared_ptr<const LoadedCircuit> circuit =
             session_.load(request.name, request.path);
-        return ok_response(
-            "loaded " + circuit.name + ": " +
-            std::to_string(circuit.gnor.num_inputs()) + " inputs, " +
-            std::to_string(circuit.gnor.num_outputs()) + " outputs, " +
-            std::to_string(circuit.gnor.num_products()) + " products, " +
-            std::to_string(circuit.gnor.cell_count()) + " cells, " +
-            format_double(circuit.load_seconds * 1e3, 1) + " ms");
+        return {ok_response(
+            "loaded " + circuit->name + ": " +
+            std::to_string(circuit->gnor.num_inputs()) + " inputs, " +
+            std::to_string(circuit->gnor.num_outputs()) + " outputs, " +
+            std::to_string(circuit->gnor.num_products()) + " products, " +
+            std::to_string(circuit->gnor.cell_count()) + " cells, " +
+            format_double(circuit->load_seconds * 1e3, 1) + " ms")};
       }
       case Verb::kEval: {
-        const int width = session_.get(request.name).gnor.num_inputs();
+        // One registry lookup: the decode and the evaluation both run
+        // against the same circuit even if a same-name reload lands in
+        // between.
+        const std::shared_ptr<const LoadedCircuit> circuit =
+            session_.get(request.name);
+        const int width = circuit->gnor.num_inputs();
         std::vector<std::vector<bool>> patterns;
         patterns.reserve(request.patterns.size());
         for (const std::string& token : request.patterns) {
           patterns.push_back(hex_decode(token, width));
         }
         const logic::PatternBatch outputs = session_.eval(
-            request.name, logic::PatternBatch::from_patterns(patterns));
+            circuit, logic::PatternBatch::from_patterns(patterns));
         std::string detail;
         for (std::uint64_t p = 0; p < outputs.num_patterns(); ++p) {
           if (!detail.empty()) {
@@ -50,63 +77,232 @@ std::string Server::handle_line(const std::string& line) {
           }
           detail += hex_encode(outputs.pattern(p));
         }
-        return ok_response(detail);
+        return {ok_response(detail)};
       }
+      case Verb::kEvalB:
+        // Handled by serve_line, which owns the payload exchange.
+        return {err_response("EVALB reached the text dispatcher")};
       case Verb::kVerify: {
-        const bool equivalent = session_.verify(request.name);
-        const int inputs = session_.get(request.name).gnor.num_inputs();
+        // One registry lookup, same reasoning as kEval: the verdict
+        // and the reported pattern count must describe the SAME
+        // circuit even if a concurrent unload/reload lands in between.
+        const std::shared_ptr<const LoadedCircuit> circuit =
+            session_.get(request.name);
+        const bool equivalent = session_.verify(circuit);
+        const int inputs = circuit->gnor.num_inputs();
         if (!equivalent) {
-          return err_response(request.name +
-                              ": mapped array NOT equivalent to its source "
-                              "cover");
+          return {err_response(request.name +
+                               ": mapped array NOT equivalent to its source "
+                               "cover")};
         }
-        return ok_response(
+        return {ok_response(
             "verified " + request.name + ": equivalent over " +
-            std::to_string(std::uint64_t{1} << inputs) + " patterns");
+            std::to_string(std::uint64_t{1} << inputs) + " patterns")};
       }
       case Verb::kStats: {
         const SessionStats stats = session_.stats();
-        return ok_response("circuits=" + std::to_string(stats.circuits) +
-                           " loads=" + std::to_string(stats.loads) +
-                           " evals=" + std::to_string(stats.evals) +
-                           " patterns=" + std::to_string(stats.patterns) +
-                           " verifies=" + std::to_string(stats.verifies) +
-                           " workers=" + std::to_string(stats.workers));
+        return {ok_response("circuits=" + std::to_string(stats.circuits) +
+                            " loads=" + std::to_string(stats.loads) +
+                            " evals=" + std::to_string(stats.evals) +
+                            " patterns=" + std::to_string(stats.patterns) +
+                            " verifies=" + std::to_string(stats.verifies) +
+                            " workers=" + std::to_string(stats.workers))};
       }
       case Verb::kUnload:
         session_.unload(request.name);
-        return ok_response("unloaded " + request.name);
+        return {ok_response("unloaded " + request.name)};
       case Verb::kHelp:
-        return ok_response(help_text());
+        return {ok_response(help_text())};
       case Verb::kQuit:
-        quit_ = true;
-        return ok_response("bye");
+        return {ok_response("bye"), /*quit=*/true};
       case Verb::kShutdown:
-        quit_ = true;
         shutdown_.store(true);
-        return ok_response("shutting down");
+        return {ok_response("shutting down"), /*quit=*/true};
     }
-    return err_response("unhandled verb");  // unreachable
+    return {err_response("unhandled verb")};  // unreachable
   } catch (const Error& e) {
-    return err_response(e.what());
+    return {err_response(e.what())};
   } catch (const std::exception& e) {
     // Anything the request pipeline can throw beyond ambit::Error —
     // e.g. bad_alloc from a cover declaring absurd widths — is still a
     // request failure, not a reason to take the server down.
-    return err_response(std::string("internal: ") + e.what());
+    return {err_response(std::string("internal: ") + e.what())};
   }
 }
 
-std::uint64_t Server::serve_stream(std::istream& in, std::ostream& out) {
-  quit_ = false;
-  std::uint64_t served = 0;
-  std::string line;
-  while (!quit_ && std::getline(in, line)) {
-    if (trim(line).empty()) {
-      continue;  // blank lines are keep-alives, not requests
+bool Server::serve_line(const std::string& line,
+                        const PayloadReader& read_payload,
+                        const ByteWriter& write_bytes, Outcome& outcome) {
+  outcome = Outcome{};
+  // Sends the response line set in `outcome`; false when the peer is
+  // gone.
+  const auto respond = [&] {
+    const std::string text = outcome.response + "\n";
+    return write_bytes(text.data(), text.size());
+  };
+  Request request;
+  try {
+    request = parse_request(line);
+  } catch (const Error& e) {
+    outcome.response = err_response(e.what());
+    // A malformed EVALB header leaves an unknown number of payload
+    // bytes unframed in the stream; resyncing is impossible, so the
+    // connection must go. Only an exact "EVALB" verb qualifies — a
+    // typo'd verb like "EVALBATCH" is an ordinary one-line request.
+    const std::vector<std::string> tokens = split_ws(line);
+    if (!tokens.empty() && tokens[0] == "EVALB") {
+      outcome.quit = true;
     }
-    out << handle_line(line) << '\n' << std::flush;
-    ++served;
+    return respond();
+  }
+
+  if (request.verb != Verb::kEvalB) {
+    outcome = dispatch(request);
+    return respond();
+  }
+
+  // EVALB: the length prefix is trusted BEFORE the name or the pattern
+  // count, so the payload can always be consumed and the stream stays
+  // framed even when the request itself fails.
+  if (request.num_words > kMaxEvalbWords) {
+    outcome.response = err_response(
+        "EVALB payload of " + std::to_string(request.num_words) +
+        " words exceeds the " + std::to_string(kMaxEvalbWords) +
+        "-word limit");
+    outcome.quit = true;
+    return respond();
+  }
+  std::vector<std::uint64_t> payload;
+  try {
+    payload.resize(request.num_words);
+  } catch (const std::exception&) {
+    // Under memory pressure even a within-limit payload buffer can
+    // fail to allocate. The payload cannot be consumed, so the stream
+    // is unframed and the connection must go — but the SERVER stays
+    // up (a thrown bad_alloc would escape the connection thread and
+    // call std::terminate).
+    outcome.response = err_response(
+        "EVALB: cannot allocate " + std::to_string(request.num_words) +
+        "-word payload buffer");
+    outcome.quit = true;
+    return respond();
+  }
+  if (request.num_words > 0 &&
+      !read_payload(reinterpret_cast<char*>(payload.data()),
+                    payload.size() * sizeof(std::uint64_t))) {
+    // EOF mid-payload: nothing sensible to answer.
+    outcome.quit = true;
+    return false;
+  }
+  std::vector<std::uint64_t> out_words;
+  try {
+    check(request.num_patterns > 0, "EVALB needs at least one pattern");
+    // A pattern count near 2^64 would wrap the words-per-lane
+    // computation to zero and sail through the framing checks; anything
+    // above what the word limit can carry is hostile.
+    check(request.num_patterns <= kMaxEvalbWords * 64,
+          "EVALB pattern count " + std::to_string(request.num_patterns) +
+              " exceeds the " + std::to_string(kMaxEvalbWords * 64) +
+              "-pattern limit");
+    const std::shared_ptr<const LoadedCircuit> circuit =
+        session_.get(request.name);
+    const int width = circuit->gnor.num_inputs();
+    const std::uint64_t words_per_lane = (request.num_patterns + 63) / 64;
+    const std::uint64_t expected =
+        static_cast<std::uint64_t>(width) * words_per_lane;
+    check(request.num_words == expected,
+          "EVALB: " + std::to_string(request.num_patterns) + " patterns over " +
+              std::to_string(width) + " inputs need " +
+              std::to_string(expected) + " words, header declares " +
+              std::to_string(request.num_words));
+    // The word limit must bound the RESPONSE too: a 1-input circuit
+    // with many outputs would otherwise turn a within-limit payload
+    // into an output batch far beyond it.
+    const std::uint64_t response_words =
+        static_cast<std::uint64_t>(circuit->gnor.num_outputs()) *
+        words_per_lane;
+    check(response_words <= kMaxEvalbWords,
+          "EVALB: response of " + std::to_string(response_words) +
+              " words over " + std::to_string(circuit->gnor.num_outputs()) +
+              " outputs exceeds the " + std::to_string(kMaxEvalbWords) +
+              "-word limit");
+    logic::PatternBatch inputs(width, request.num_patterns);
+    inputs.load_words(payload.data(), payload.size());
+    // Evaluate the circuit the width check ran against — a concurrent
+    // same-name reload must not swap it out between the two.
+    const logic::PatternBatch outputs = session_.eval(circuit, inputs);
+    out_words.resize(outputs.total_words());
+    outputs.store_words(out_words.data(), out_words.size());
+    outcome.response =
+        evalb_response_header(outputs.num_patterns(), out_words.size());
+  } catch (const Error& e) {
+    outcome.response = err_response(e.what());
+    out_words.clear();
+  } catch (const std::exception& e) {
+    outcome.response = err_response(std::string("internal: ") + e.what());
+    out_words.clear();
+  }
+  if (!respond()) {
+    return false;
+  }
+  if (!out_words.empty() &&
+      !write_bytes(reinterpret_cast<const char*>(out_words.data()),
+                   out_words.size() * sizeof(std::uint64_t))) {
+    return false;
+  }
+  return true;
+}
+
+std::uint64_t Server::serve_stream(std::istream& in, std::ostream& out) {
+  std::uint64_t served = 0;
+  bool quit = false;
+  const PayloadReader read_payload = [&in](char* dst, std::size_t n) {
+    in.read(dst, static_cast<std::streamsize>(n));
+    return in.gcount() == static_cast<std::streamsize>(n);
+  };
+  const ByteWriter write_bytes = [&out](const char* data, std::size_t n) {
+    out.write(data, static_cast<std::streamsize>(n));
+    out.flush();
+    return out.good();
+  };
+  // istream::getline into a bounded buffer, not std::getline: this
+  // transport must enforce kMaxLineBytes too — a newline-free byte
+  // stream must not grow a std::string until OOM. The buffer holds
+  // kMaxLineBytes + 1 line bytes plus the terminator, so a line of
+  // exactly kMaxLineBytes is accepted — the same boundary the socket
+  // transport's `buffer.size() > kMaxLineBytes` check draws.
+  std::vector<char> linebuf(kMaxLineBytes + 2);
+  while (!quit) {
+    in.getline(linebuf.data(), static_cast<std::streamsize>(linebuf.size()));
+    if (in.bad()) {
+      break;
+    }
+    if (in.fail() && !in.eof()) {
+      // The buffer filled before any newline: answer once and stop —
+      // the rest of the stream is an unframed continuation of this
+      // over-long line.
+      const std::string text =
+          err_response("request line exceeds " +
+                       std::to_string(kMaxLineBytes) + " bytes") +
+          "\n";
+      write_bytes(text.data(), text.size());
+      break;
+    }
+    const std::string line(linebuf.data());
+    if (line.empty() && in.eof()) {
+      break;
+    }
+    if (!trim(line).empty()) {
+      Outcome outcome;
+      if (!serve_line(line, read_payload, write_bytes, outcome)) {
+        break;
+      }
+      ++served;
+      quit = outcome.quit;
+    }
+    if (in.eof()) {
+      break;  // the final unterminated line was just served
+    }
   }
   return served;
 }
@@ -115,15 +311,14 @@ std::uint64_t Server::serve_stream(std::istream& in, std::ostream& out) {
 
 namespace {
 
-/// Writes all of `text` to `fd`, retrying on short writes. MSG_NOSIGNAL
+/// Writes all of `data` to `fd`, retrying on short writes. MSG_NOSIGNAL
 /// keeps a peer that hung up from raising SIGPIPE; returns false when
 /// the peer is gone (any non-EINTR failure), which the caller treats as
 /// a dropped connection — never as a server-fatal error.
-bool write_all(int fd, const std::string& text) {
+bool write_all(int fd, const char* data, std::size_t size) {
   std::size_t done = 0;
-  while (done < text.size()) {
-    const ssize_t n =
-        ::send(fd, text.data() + done, text.size() - done, MSG_NOSIGNAL);
+  while (done < size) {
+    const ssize_t n = ::send(fd, data + done, size - done, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) {
         continue;
@@ -135,70 +330,384 @@ bool write_all(int fd, const std::string& text) {
   return true;
 }
 
-}  // namespace
+/// One std::thread per live connection, with three jobs: cap the number
+/// of simultaneously served connections (launch blocks until a slot
+/// frees), reap finished threads opportunistically so a long-running
+/// server never accumulates dead thread handles, and cut the pending
+/// reads of every live connection on shutdown so the drain is bounded.
+/// Connection fds leave the live set BEFORE they are closed, so
+/// shutdown_inputs can never touch a recycled descriptor.
+class ConnectionRegistry {
+ public:
+  /// `abort` interrupts the slot wait in launch: when it goes true
+  /// (SHUTDOWN handled on an already-running connection), a blocked
+  /// accept loop must stop waiting for a slot instead of serving one
+  /// more connection.
+  ConnectionRegistry(int max_active, const std::atomic<bool>& abort)
+      : max_active_(max_active < 1 ? 1 : max_active), abort_(abort) {}
 
-std::uint64_t Server::serve_unix(const std::string& socket_path) {
-  sockaddr_un addr{};
-  check(socket_path.size() < sizeof(addr.sun_path),
-        "serve_unix: socket path too long: " + socket_path);
-  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  check(listener >= 0, "serve_unix: cannot create socket");
-  ::unlink(socket_path.c_str());
-  addr.sun_family = AF_UNIX;
-  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
-  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof(addr)) != 0 ||
-      ::listen(listener, 8) != 0) {
-    const std::string reason = std::strerror(errno);
-    ::close(listener);
-    throw Error("serve_unix: cannot bind " + socket_path + ": " + reason);
+  /// Blocks until fewer than max_active connections are live, then runs
+  /// `body` on its own thread and returns true; the registry closes
+  /// `fd` when the body returns. Returns false — fd untouched — when
+  /// the abort flag went true while waiting.
+  bool launch(int fd, std::function<void()> body) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    slot_free_.wait(lock, [this] {
+      return active_ < max_active_ || abort_.load();
+    });
+    if (abort_.load()) {
+      return false;
+    }
+    reap_locked();
+    const std::uint64_t id = next_id_++;
+    // Every allocation happens BEFORE the thread exists (the map nodes
+    // below) and nothing that can throw happens AFTER it: if thread
+    // creation fails (RLIMIT_NPROC exhaustion), the pre-inserted state
+    // is rolled back under this same lock and launch propagates with
+    // the registry unchanged — a joinable std::thread is never left
+    // for a destructor (std::terminate) and the fd stays owned by the
+    // caller. The new thread cannot race the bookkeeping: its tail
+    // needs mutex_, which this call still holds.
+    const auto slot = threads_.emplace(id, std::thread()).first;
+    try {
+      live_fds_[id] = fd;
+      slot->second = std::thread([this, id, fd, body = std::move(body)] {
+        body();
+        {
+          const std::lock_guard<std::mutex> inner(mutex_);
+          live_fds_.erase(id);
+          finished_.push_back(id);
+          --active_;
+        }
+        slot_free_.notify_one();
+        ::close(fd);
+      });
+    } catch (...) {
+      threads_.erase(slot);
+      live_fds_.erase(id);
+      throw;
+    }
+    ++active_;
+    return true;
   }
 
-  std::uint64_t served = 0;
-  while (!shutdown_.load()) {
-    const int conn = ::accept(listener, nullptr, nullptr);
-    if (conn < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      ::close(listener);
-      throw Error(std::string("serve_unix: accept failed: ") +
-                  std::strerror(errno));
+  /// SHUT_RD on every live connection: blocked reads return EOF, so
+  /// each connection finishes its current request, flushes, and exits.
+  /// Responses still in flight are unaffected (the write side stays
+  /// open until the connection thread is done).
+  void shutdown_inputs() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [id, fd] : live_fds_) {
+      ::shutdown(fd, SHUT_RD);
     }
-    quit_ = false;
-    bool peer_gone = false;
-    std::string buffer;
-    char chunk[4096];
-    while (!quit_ && !peer_gone) {
+  }
+
+  /// Joins every connection thread (the SHUTDOWN drain). Must not race
+  /// launch — the accept loop has exited by the time this runs.
+  void join_all() {
+    std::map<std::uint64_t, std::thread> grab;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      grab.swap(threads_);
+      finished_.clear();
+    }
+    for (auto& [id, thread] : grab) {
+      thread.join();
+    }
+  }
+
+ private:
+  void reap_locked() {
+    for (const std::uint64_t id : finished_) {
+      const auto it = threads_.find(id);
+      if (it != threads_.end()) {
+        it->second.join();
+        threads_.erase(it);
+      }
+    }
+    finished_.clear();
+  }
+
+  const int max_active_;
+  const std::atomic<bool>& abort_;
+  std::mutex mutex_;
+  std::condition_variable slot_free_;
+  int active_ = 0;
+  std::uint64_t next_id_ = 0;
+  std::map<std::uint64_t, int> live_fds_;
+  std::map<std::uint64_t, std::thread> threads_;
+  std::vector<std::uint64_t> finished_;
+};
+
+/// True when a listener may still be accepting behind `socket_path` —
+/// the probe that keeps serve_unix from silently stealing a live
+/// server's socket. Only two outcomes prove the path is SAFE to
+/// replace: ECONNREFUSED (a socket file with nobody behind it — a
+/// stale crash leftover) and ENOENT (no file at all). Everything else
+/// — a successful connect, but also EAGAIN from a listener whose
+/// backlog is momentarily full — is treated as live: when in doubt,
+/// refuse to unlink.
+bool socket_is_live(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (probe < 0) {
+    return false;  // cannot probe; let bind() report the real problem
+  }
+  const bool connected =
+      ::connect(probe, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) == 0;
+  const int reason = errno;
+  ::close(probe);
+  if (connected) {
+    return true;
+  }
+  return reason != ECONNREFUSED && reason != ENOENT;
+}
+
+}  // namespace
+
+std::uint64_t Server::serve_connection(int conn) {
+  std::uint64_t served = 0;
+  std::string buffer;
+  char chunk[4096];
+  bool eof = false;
+  // True only for a real peer close (read() == 0) — an SO_RCVTIMEO
+  // idle timeout also ends the connection, but any truncated partial
+  // line it leaves behind must NOT be served as a request: the client
+  // is slow, not done, and executing half its line would desync the
+  // request/response pairing if it ever resumed.
+  bool clean_eof = false;
+
+  // Appends the next chunk from the socket; false on EOF, timeout or
+  // error.
+  const auto read_more = [&]() -> bool {
+    for (;;) {
       const ssize_t n = ::read(conn, chunk, sizeof(chunk));
       if (n < 0 && errno == EINTR) {
         continue;
       }
       if (n <= 0) {
-        break;  // peer closed (or errored): drop the connection
+        eof = true;
+        // read()==0 is a clean close only when the PEER closed; the
+        // SHUTDOWN drain's shutdown(SHUT_RD) also yields 0 while the
+        // peer may be mid-send, so under shutdown a residual partial
+        // line is still treated as truncated, never served.
+        clean_eof = (n == 0) && !shutdown_.load();
+        return false;
       }
       buffer.append(chunk, static_cast<std::size_t>(n));
-      // Serve every complete line in the buffer; a partial trailing
-      // line waits for the next read.
-      std::size_t newline;
-      while (!quit_ && (newline = buffer.find('\n')) != std::string::npos) {
-        const std::string line = buffer.substr(0, newline);
-        buffer.erase(0, newline + 1);
-        if (trim(line).empty()) {
-          continue;
-        }
-        if (!write_all(conn, handle_line(line) + "\n")) {
-          peer_gone = true;
-          break;
-        }
-        ++served;
-      }
+      return true;
     }
-    ::close(conn);
+  };
+  // EVALB payloads take whatever is already in the line buffer
+  // (pipelined clients may have sent payload bytes along with the
+  // header), then read the remainder from the socket STRAIGHT into the
+  // destination — a 128 MiB frame must not be staged through the line
+  // buffer a second time.
+  const PayloadReader read_payload = [&](char* dst, std::size_t n) {
+    const std::size_t buffered = buffer.size() < n ? buffer.size() : n;
+    std::memcpy(dst, buffer.data(), buffered);
+    buffer.erase(0, buffered);
+    std::size_t done = buffered;
+    while (done < n) {
+      const ssize_t got = ::read(conn, dst + done, n - done);
+      if (got < 0 && errno == EINTR) {
+        continue;
+      }
+      if (got <= 0) {
+        eof = true;
+        return false;
+      }
+      done += static_cast<std::size_t>(got);
+    }
+    return true;
+  };
+  const ByteWriter write_bytes = [&](const char* data, std::size_t n) {
+    return write_all(conn, data, n);
+  };
+
+  bool quit = false;
+  while (!quit && !eof) {
+    const std::size_t newline = buffer.find('\n');
+    if (newline == std::string::npos) {
+      if (buffer.size() > kMaxLineBytes) {
+        // A newline-free byte stream must not grow the buffer without
+        // bound; answer once and drop the connection.
+        const std::string text =
+            err_response("request line exceeds " +
+                         std::to_string(kMaxLineBytes) + " bytes") +
+            "\n";
+        write_all(conn, text.data(), text.size());
+        break;
+      }
+      if (read_more()) {
+        continue;
+      }
+      // CLEAN EOF with a residual unterminated line: the peer sent a
+      // final request and closed without the trailing newline. Serve it
+      // like any other line instead of silently dropping it. (After an
+      // idle TIMEOUT the residual is a truncated line from a stalled
+      // peer and is dropped, see clean_eof above.) The line is MOVED
+      // out of the buffer first so a residual EVALB header can't
+      // re-read its own text as payload — its payload read hits the
+      // (empty) buffer, then EOF, and fails cleanly.
+      if (clean_eof && !trim(buffer).empty()) {
+        const std::string line = buffer;
+        buffer.clear();
+        Outcome outcome;
+        if (serve_line(line, read_payload, write_bytes, outcome)) {
+          ++served;
+        }
+      }
+      break;
+    }
+    if (newline > kMaxLineBytes) {
+      // A complete line can still exceed the cap when its newline
+      // arrived in the same read chunk; the boundary must match the
+      // no-newline path (and the stream transport) exactly.
+      const std::string text =
+          err_response("request line exceeds " +
+                       std::to_string(kMaxLineBytes) + " bytes") +
+          "\n";
+      write_all(conn, text.data(), text.size());
+      break;
+    }
+    const std::string line = buffer.substr(0, newline);
+    buffer.erase(0, newline + 1);
+    if (trim(line).empty()) {
+      continue;
+    }
+    Outcome outcome;
+    if (!serve_line(line, read_payload, write_bytes, outcome)) {
+      break;
+    }
+    ++served;
+    quit = outcome.quit;
+    // Post-QUIT/SHUTDOWN drain policy: complete lines still sitting in
+    // this connection's buffer are deliberately DISCARDED, never
+    // half-processed — the quit response is the last thing the peer
+    // gets, and pipelining past QUIT is a client bug.
   }
-  ::close(listener);
-  ::unlink(socket_path.c_str());
   return served;
+}
+
+std::uint64_t Server::serve_unix(const std::string& socket_path) {
+  sockaddr_un addr{};
+  check(socket_path.size() < sizeof(addr.sun_path),
+        "serve_unix: socket path too long: " + socket_path);
+  if (socket_is_live(socket_path)) {
+    throw Error("serve_unix: another server is already accepting on " +
+                socket_path + " (shut it down first)");
+  }
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  check(listener >= 0, "serve_unix: cannot create socket");
+  // Only a STALE socket file (probe above found no listener) is
+  // replaced.
+  ::unlink(socket_path.c_str());
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listener, kListenBacklog) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(listener);
+    throw Error("serve_unix: cannot bind " + socket_path + ": " + reason);
+  }
+
+  shutdown_.store(false);
+  std::atomic<std::uint64_t> served{0};
+  ConnectionRegistry registry(options_.max_connections, shutdown_);
+
+  // Every exit from the accept loop — SHUTDOWN or a socket-level
+  // failure — must drain the in-flight connection threads before the
+  // registry leaves scope: destroying a joinable std::thread calls
+  // std::terminate, which would turn a catchable accept error (e.g.
+  // EMFILE under fd exhaustion) into a process abort.
+  const auto drain_and_cleanup = [&] {
+    registry.shutdown_inputs();
+    registry.join_all();
+    ::close(listener);
+    ::unlink(socket_path.c_str());
+  };
+
+  while (!shutdown_.load()) {
+    // Poll with a short timeout so a SHUTDOWN handled on a connection
+    // thread stops the accept loop promptly — accept() alone would
+    // block until the next client happened to arrive.
+    pollfd pfd{listener, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/50);
+    if (ready < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      const std::string reason = std::strerror(errno);
+      drain_and_cleanup();
+      throw Error("serve_unix: poll failed: " + reason);
+    }
+    if (ready == 0) {
+      continue;  // timeout: re-check the shutdown latch
+    }
+    const int conn = ::accept(listener, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      const std::string reason = std::strerror(errno);
+      drain_and_cleanup();
+      throw Error("serve_unix: accept failed: " + reason);
+    }
+    // A peer that stops READING while the server owes it a big
+    // response would otherwise block ::send forever — past SHUT_RD,
+    // beyond the reach of shutdown_inputs — and make the SHUTDOWN
+    // drain unbounded. The send timeout turns that stall into a
+    // dropped connection.
+    const timeval send_timeout{kSendTimeoutSecs, 0};
+    ::setsockopt(conn, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
+                 sizeof(send_timeout));
+    // A silent peer must not pin its slot forever: the receive timeout
+    // turns an idle connection into an EOF drop (which is also what
+    // keeps a slot-saturated server reachable for SHUTDOWN).
+    const timeval recv_timeout{kIdleTimeoutSecs, 0};
+    ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &recv_timeout,
+                 sizeof(recv_timeout));
+    try {
+      const bool launched =
+          registry.launch(conn, [this, conn, &served] {
+            try {
+              served.fetch_add(serve_connection(conn),
+                               std::memory_order_relaxed);
+            } catch (...) {
+              // Whatever a connection manages to throw past
+              // serve_line's guards (e.g. bad_alloc building a
+              // response string), it costs that one connection — never
+              // the process, which is what an exception escaping a
+              // thread body would do.
+            }
+          });
+      if (!launched) {
+        // SHUTDOWN arrived while this accept waited for a slot.
+        ::close(conn);
+        break;
+      }
+    } catch (const std::exception& e) {
+      // Thread creation failed (e.g. process thread limit): this is a
+      // server-fatal condition, but it must surface as a catchable
+      // Error after a proper drain — never as std::terminate from a
+      // registry destroyed with joinable threads.
+      ::close(conn);
+      drain_and_cleanup();
+      throw Error(std::string("serve_unix: cannot spawn connection thread: ") +
+                  e.what());
+    }
+  }
+
+  // Graceful drain: no new accepts, pending reads cut, every in-flight
+  // connection finishes its current request and is joined before the
+  // socket file disappears.
+  drain_and_cleanup();
+  return served.load();
 }
 
 #else  // _WIN32

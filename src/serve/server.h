@@ -6,44 +6,109 @@
 //   * serve_stream — any istream/ostream pair: ambit_cli --serve and
 //     ambit_serve --stdio run it over stdin/stdout, tests over
 //     stringstreams;
-//   * serve_unix — a Unix-domain socket: connections are accepted and
-//     served SEQUENTIALLY (the parallelism lives below, in the
-//     session's worker pool that shards every EVAL), QUIT ends a
-//     connection, SHUTDOWN ends the accept loop.
+//   * serve_unix — a Unix-domain socket: every accepted connection is
+//     served on ITS OWN THREAD against the one shared (thread-safe)
+//     Session, up to ServerOptions::max_connections at a time; QUIT
+//     ends a connection, SHUTDOWN stops accepting, drains the in-flight
+//     connections (their pending reads are cut with shutdown(SHUT_RD),
+//     responses already owed are still written), then unlinks the
+//     socket.
+//
+// Per-connection loop state (the QUIT flag, the receive buffer) lives
+// on the connection's stack, never in the shared Server object — the
+// only cross-connection state is the SHUTDOWN latch and the Session.
+//
+// Bulk evaluation uses the EVALB binary frame (see protocol.h): the
+// payload words stream straight into a logic::PatternBatch via its
+// load_words/store_words lane helpers, so a million-pattern request
+// pays two memcpys instead of a million hex parses. Both transports
+// speak it.
 //
 // Request failures — unknown verbs, malformed covers, missing circuits
 // — never kill the server: every ambit::Error becomes one "ERR ..."
 // response line and the loop continues, which is what makes malformed
-// LOAD input a routine event instead of a crash.
+// LOAD input a routine event instead of a crash. The one exception is a
+// malformed EVALB HEADER, which leaves the byte stream unframed; the
+// server answers ERR and closes that connection (a well-formed header
+// whose request fails is fine — the length prefix lets the server skip
+// the payload and stay in sync).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
+#include "serve/protocol.h"
 #include "serve/session.h"
 
 namespace ambit::serve {
 
-/// Serves the line protocol for one Session.
+/// Backlog passed to listen(): sized for a burst of concurrent clients,
+/// not the single interactive user the prototype assumed.
+inline constexpr int kListenBacklog = 128;
+
+/// Default cap on simultaneously served connections.
+inline constexpr int kDefaultMaxConnections = 64;
+
+/// Upper bound on one EVALB payload AND response (words): 128 MiB of
+/// lane data either way. A header announcing more is rejected before
+/// any allocation (and the connection closed); a request whose OUTPUT
+/// lanes would exceed it is rejected before evaluation. A hostile
+/// request cannot OOM the server from either direction.
+inline constexpr std::uint64_t kMaxEvalbWords = std::uint64_t{1} << 24;
+
+/// Send timeout per connection: a peer that stops reading its responses
+/// for this long is dropped (which also bounds the SHUTDOWN drain — a
+/// blocked send is past the reach of shutdown(SHUT_RD)).
+inline constexpr long kSendTimeoutSecs = 30;
+
+/// Idle receive timeout per connection: a peer that sends nothing for
+/// this long is dropped. Without it, max_connections silent clients
+/// would pin every slot forever and even SHUTDOWN could not get a
+/// connection to be heard on.
+inline constexpr long kIdleTimeoutSecs = 300;
+
+/// Upper bound on one request LINE (bytes). A peer streaming data with
+/// no newline would otherwise grow the receive buffer without limit —
+/// the text-side counterpart of kMaxEvalbWords.
+inline constexpr std::size_t kMaxLineBytes = std::size_t{1} << 20;
+
+/// Knobs for serve_unix.
+struct ServerOptions {
+  /// Connections served at once; further accepts wait for a free slot.
+  int max_connections = kDefaultMaxConnections;
+};
+
+/// Serves the line protocol for one Session. A single Server instance
+/// drives all connection threads of serve_unix; it holds no
+/// per-connection state.
 class Server {
  public:
-  explicit Server(Session& session) : session_(session) {}
+  explicit Server(Session& session, ServerOptions options = {})
+      : session_(session), options_(options) {}
 
-  /// Handles one request line; returns the response line (no trailing
-  /// newline). Never throws for request-level failures — they come back
-  /// as "ERR ..." responses.
+  /// Handles one TEXT request line; returns the response line (no
+  /// trailing newline). Never throws for request-level failures — they
+  /// come back as "ERR ..." responses. EVALB is answered with ERR here:
+  /// its binary payload only exists on a transport (see serve_stream /
+  /// serve_unix).
   std::string handle_line(const std::string& line);
 
   /// Reads request lines from `in` until QUIT, SHUTDOWN or EOF, writing
   /// one response line each to `out` (flushed per response, so a pipe
-  /// peer can interleave). Returns the number of requests served.
+  /// peer can interleave). EVALB payloads are read from / written to
+  /// the same streams. Returns the number of requests served.
   std::uint64_t serve_stream(std::istream& in, std::ostream& out);
 
-  /// Binds and listens on `socket_path` (an existing socket file is
-  /// replaced), then accepts and serves connections until a SHUTDOWN
-  /// request. Returns the number of requests served across all
+  /// Binds and listens on `socket_path` and serves each accepted
+  /// connection on its own thread until a SHUTDOWN request, then drains
+  /// the in-flight connections and unlinks the socket. A STALE socket
+  /// file (no listener behind it) is replaced; a LIVE one — another
+  /// server still accepting — is a hard ambit::Error, never silently
+  /// stolen. Returns the number of requests served across all
   /// connections. Throws ambit::Error on socket-level failures.
   std::uint64_t serve_unix(const std::string& socket_path);
 
@@ -51,9 +116,36 @@ class Server {
   bool shutdown_requested() const { return shutdown_.load(); }
 
  private:
+  /// Outcome of one request on a connection.
+  struct Outcome {
+    std::string response;  ///< the response line (no trailing newline)
+    bool quit = false;     ///< close this connection (QUIT, SHUTDOWN,
+                           ///< or an unframed/oversized EVALB header)
+  };
+
+  /// Reads exactly n payload bytes from the transport; false on EOF.
+  using PayloadReader = std::function<bool(char*, std::size_t)>;
+  /// Writes n response bytes to the transport; false when the peer is
+  /// gone.
+  using ByteWriter = std::function<bool(const char*, std::size_t)>;
+
+  /// Dispatches one parsed text request (everything but EVALB).
+  Outcome dispatch(const Request& request);
+
+  /// Handles one request line on any transport, including the EVALB
+  /// payload exchange. Returns false when the peer is gone (a write
+  /// failed or an EVALB payload hit EOF); `outcome` is valid either
+  /// way.
+  bool serve_line(const std::string& line, const PayloadReader& read_payload,
+                  const ByteWriter& write_bytes, Outcome& outcome);
+
+  /// Serves one accepted socket connection until QUIT/SHUTDOWN/EOF;
+  /// returns the number of requests served on it.
+  std::uint64_t serve_connection(int conn);
+
   Session& session_;
+  ServerOptions options_;
   std::atomic<bool> shutdown_{false};
-  bool quit_ = false;  ///< QUIT seen on the current connection
 };
 
 }  // namespace ambit::serve

@@ -11,14 +11,14 @@ namespace ambit::serve {
 
 Session::Session(int workers) : pool_(workers > 1 ? workers : 0) {}
 
-const LoadedCircuit& Session::load(const std::string& name,
-                                   const std::string& path) {
+std::shared_ptr<const LoadedCircuit> Session::load(const std::string& name,
+                                                   const std::string& path) {
   check(!name.empty(), "Session::load: empty circuit name");
   const auto start = std::chrono::steady_clock::now();
-  // The full pipeline runs BEFORE the registry is touched: a failed
-  // LOAD (missing file, malformed cover) leaves any same-named circuit
-  // untouched.
-  auto circuit = std::make_unique<LoadedCircuit>();
+  // The full pipeline runs BEFORE the registry is touched (and outside
+  // its lock): a failed LOAD leaves any same-named circuit untouched,
+  // and a slow one never blocks concurrent lookups.
+  auto circuit = std::make_shared<LoadedCircuit>();
   circuit->name = name;
   circuit->pla = logic::read_pla_file(path);
   circuit->minimized =
@@ -27,61 +27,95 @@ const LoadedCircuit& Session::load(const std::string& name,
   circuit->load_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
-  LoadedCircuit& slot = *(circuits_[name] = std::move(circuit));
-  ++loads_;
-  return slot;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    circuits_[name] = circuit;
+  }
+  loads_.fetch_add(1, std::memory_order_relaxed);
+  return circuit;
 }
 
-const LoadedCircuit* Session::find(const std::string& name) const {
+std::shared_ptr<const LoadedCircuit> Session::find(
+    const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = circuits_.find(name);
-  return it == circuits_.end() ? nullptr : it->second.get();
+  return it == circuits_.end() ? nullptr : it->second;
 }
 
-const LoadedCircuit& Session::get(const std::string& name) const {
-  const LoadedCircuit* circuit = find(name);
-  check(circuit != nullptr, "no circuit loaded under '" + name + "'");
-  return *circuit;
+std::shared_ptr<const LoadedCircuit> Session::get(
+    const std::string& name) const {
+  return get_shared(name);
 }
 
-LoadedCircuit& Session::get_mutable(const std::string& name) {
+std::shared_ptr<LoadedCircuit> Session::get_shared(
+    const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = circuits_.find(name);
   check(it != circuits_.end(), "no circuit loaded under '" + name + "'");
-  return *it->second;
+  return it->second;
 }
 
 logic::PatternBatch Session::eval(const std::string& name,
                                   const logic::PatternBatch& inputs) {
-  LoadedCircuit& circuit = get_mutable(name);
-  logic::PatternBatch outputs = circuit.gnor.evaluate_batch(inputs, pool_);
-  ++circuit.evals;
-  circuit.patterns += inputs.num_patterns();
-  ++evals_;
-  patterns_ += inputs.num_patterns();
+  return eval(std::shared_ptr<const LoadedCircuit>(get_shared(name)), inputs);
+}
+
+logic::PatternBatch Session::eval(
+    const std::shared_ptr<const LoadedCircuit>& circuit,
+    const logic::PatternBatch& inputs) {
+  check(circuit != nullptr, "Session::eval: null circuit");
+  // The mapped array is immutable post-LOAD and the shared_ptr keeps it
+  // alive, so the evaluation runs with no lock held.
+  logic::PatternBatch outputs = circuit->gnor.evaluate_batch(inputs, pool_);
+  circuit->evals.fetch_add(1, std::memory_order_relaxed);
+  circuit->patterns.fetch_add(inputs.num_patterns(),
+                              std::memory_order_relaxed);
+  evals_.fetch_add(1, std::memory_order_relaxed);
+  patterns_.fetch_add(inputs.num_patterns(), std::memory_order_relaxed);
   return outputs;
 }
 
 bool Session::verify(const std::string& name) {
-  LoadedCircuit& circuit = get_mutable(name);
-  check(circuit.gnor.num_inputs() <= logic::TruthTable::kMaxInputs,
+  return verify(std::shared_ptr<const LoadedCircuit>(get_shared(name)));
+}
+
+bool Session::verify(const std::shared_ptr<const LoadedCircuit>& circuit) {
+  check(circuit != nullptr, "Session::verify: null circuit");
+  check(circuit->gnor.num_inputs() <= logic::TruthTable::kMaxInputs,
         "VERIFY supports at most " +
             std::to_string(logic::TruthTable::kMaxInputs) + " inputs");
-  if (!circuit.reference.has_value()) {
-    circuit.reference = logic::TruthTable::from_cover(circuit.pla.onset);
-    circuit.dontcare = logic::TruthTable::from_cover(circuit.pla.dcset);
+  // Same-circuit verifies serialize here: the cache build must happen
+  // once, and count_mismatches reads it under the same mutex.
+  const std::lock_guard<std::mutex> lock(circuit->verify_mutex);
+  if (!circuit->reference.has_value() || !circuit->dontcare.has_value()) {
+    // Build BOTH tables before caching EITHER: if the second build
+    // throws (the request fails with ERR as usual), a later VERIFY
+    // must retry the whole build rather than dereference a cached
+    // reference next to an empty dontcare.
+    logic::TruthTable reference =
+        logic::TruthTable::from_cover(circuit->pla.onset);
+    logic::TruthTable dontcare =
+        logic::TruthTable::from_cover(circuit->pla.dcset);
+    circuit->reference = std::move(reference);
+    circuit->dontcare = std::move(dontcare);
   }
-  const logic::TruthTable actual = exhaustive_truth_table(circuit.gnor, pool_);
-  ++circuit.verifies;
-  ++verifies_;
-  return actual.count_mismatches(*circuit.reference, &*circuit.dontcare) == 0;
+  const logic::TruthTable actual =
+      exhaustive_truth_table(circuit->gnor, pool_);
+  circuit->verifies.fetch_add(1, std::memory_order_relaxed);
+  verifies_.fetch_add(1, std::memory_order_relaxed);
+  return actual.count_mismatches(*circuit->reference, &*circuit->dontcare) ==
+         0;
 }
 
 void Session::unload(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = circuits_.find(name);
   check(it != circuits_.end(), "no circuit loaded under '" + name + "'");
   circuits_.erase(it);
 }
 
 std::vector<std::string> Session::names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::string> result;
   result.reserve(circuits_.size());
   for (const auto& [name, circuit] : circuits_) {
@@ -92,11 +126,14 @@ std::vector<std::string> Session::names() const {
 
 SessionStats Session::stats() const {
   SessionStats stats;
-  stats.loads = loads_;
-  stats.evals = evals_;
-  stats.patterns = patterns_;
-  stats.verifies = verifies_;
-  stats.circuits = static_cast<int>(circuits_.size());
+  stats.loads = loads_.load(std::memory_order_relaxed);
+  stats.evals = evals_.load(std::memory_order_relaxed);
+  stats.patterns = patterns_.load(std::memory_order_relaxed);
+  stats.verifies = verifies_.load(std::memory_order_relaxed);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stats.circuits = static_cast<int>(circuits_.size());
+  }
   stats.workers = pool_.num_workers();
   return stats;
 }

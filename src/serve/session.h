@@ -11,14 +11,24 @@
 //     a re-verify only pays the array sweep, not the cover sweep;
 //   * STATS exposes the counters a long-running operator cares about.
 //
-// Thread model: the Session itself is driven by ONE front-door thread
-// (serve/server.h handles connections sequentially); the parallelism
-// lives BELOW it, in the pool that shards every batch evaluation.
+// Thread model: the Session is shared by EVERY connection thread of the
+// concurrent front door (serve/server.h), so all of it is thread-safe:
+// the registry map is guarded by one mutex held only for lookups and
+// (un)registrations — never across an evaluation — circuits are handed
+// out as shared_ptr so an UNLOAD can never pull a circuit out from
+// under a running EVAL, counters are atomics so STATS stays exact under
+// concurrent traffic, and the per-circuit verify cache is built under a
+// per-circuit mutex. The expensive work (LOAD pipeline, batch
+// evaluation, exhaustive verify sweeps) always runs OUTSIDE the
+// registry lock; below that, the shared worker pool shards every batch
+// (ThreadPool::parallel_for is safe for concurrent callers).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -32,21 +42,29 @@
 namespace ambit::serve {
 
 /// One circuit after the LOAD pipeline: source cover, minimized cover,
-/// mapped GNOR array, lazily cached verification tables.
+/// mapped GNOR array, lazily cached verification tables. The covers and
+/// the mapped array are immutable once registered — that immutability
+/// is what lets connection threads evaluate concurrently without a
+/// per-circuit lock; only the verify cache mutates, under verify_mutex.
 struct LoadedCircuit {
   std::string name;
   logic::PlaFile pla;            ///< as parsed from disk
   logic::Cover minimized;        ///< after Espresso
   core::GnorPla gnor;            ///< mapped once, evaluated many times
   double load_seconds = 0;       ///< parse+minimize+map wall time
-  std::uint64_t evals = 0;       ///< EVAL requests served
-  std::uint64_t patterns = 0;    ///< patterns evaluated in total
-  std::uint64_t verifies = 0;    ///< VERIFY requests served
+  // Bookkeeping, not logical state: callers hold circuits as
+  // shared_ptr<const LoadedCircuit>, and counting an eval must not
+  // require shedding the const.
+  mutable std::atomic<std::uint64_t> evals{0};     ///< EVAL requests served
+  mutable std::atomic<std::uint64_t> patterns{0};  ///< patterns evaluated
+  mutable std::atomic<std::uint64_t> verifies{0};  ///< VERIFY requests served
   /// Reference truth tables (onset / don't-care) for VERIFY, built on
-  /// first use; this is the per-session cache that makes re-verify
-  /// cheap.
-  std::optional<logic::TruthTable> reference;
-  std::optional<logic::TruthTable> dontcare;
+  /// first use under verify_mutex; this is the per-session cache that
+  /// makes re-verify cheap. Mutable for the same reason as the
+  /// counters: a cache fill through a shared_ptr-to-const handle.
+  mutable std::mutex verify_mutex;
+  mutable std::optional<logic::TruthTable> reference;
+  mutable std::optional<logic::TruthTable> dontcare;
 
   LoadedCircuit() : minimized(0, 1), gnor(0, 0, 1) {}
 };
@@ -61,7 +79,8 @@ struct SessionStats {
   int workers = 0;
 };
 
-/// A registry of loaded circuits sharing one worker pool.
+/// A registry of loaded circuits sharing one worker pool. Safe to drive
+/// from any number of connection threads concurrently.
 class Session {
  public:
   /// `workers` threads shard every batch evaluation; <= 1 keeps the
@@ -71,27 +90,45 @@ class Session {
   /// Runs the LOAD pipeline on `path` and registers the result under
   /// `name`, replacing any circuit previously loaded under that name.
   /// Throws ambit::Error (with file:line context from the parser) on
-  /// malformed input.
-  const LoadedCircuit& load(const std::string& name, const std::string& path);
+  /// malformed input. The pipeline runs outside the registry lock, so
+  /// a slow LOAD never stalls concurrent EVALs.
+  std::shared_ptr<const LoadedCircuit> load(const std::string& name,
+                                            const std::string& path);
 
-  /// The registered circuit; throws ambit::Error when unknown.
-  const LoadedCircuit& get(const std::string& name) const;
+  /// The registered circuit; throws ambit::Error when unknown. The
+  /// returned shared_ptr keeps the circuit alive across a concurrent
+  /// UNLOAD or same-name reload.
+  std::shared_ptr<const LoadedCircuit> get(const std::string& name) const;
 
   /// nullptr when unknown (no throw).
-  const LoadedCircuit* find(const std::string& name) const;
+  std::shared_ptr<const LoadedCircuit> find(const std::string& name) const;
 
   /// Evaluates one batch through the sharded bit-parallel path and
   /// bumps the counters. Input width must match the circuit.
   logic::PatternBatch eval(const std::string& name,
                            const logic::PatternBatch& inputs);
 
+  /// Same, against a circuit the caller already holds — no second
+  /// registry lookup, and immune to a concurrent same-name reload
+  /// swapping the circuit between the caller's width check and the
+  /// evaluation.
+  logic::PatternBatch eval(const std::shared_ptr<const LoadedCircuit>& circuit,
+                           const logic::PatternBatch& inputs);
+
   /// Exhaustively re-checks the mapped array against the source cover
   /// (don't-cares ignored as always). Builds and caches the reference
   /// tables on first call. Requires the circuit to have at most
-  /// TruthTable::kMaxInputs inputs.
+  /// TruthTable::kMaxInputs inputs. Concurrent verifies of the SAME
+  /// circuit serialize on its verify_mutex; different circuits proceed
+  /// in parallel.
   bool verify(const std::string& name);
 
-  /// Drops a circuit; throws when unknown.
+  /// Same, against a circuit the caller already holds (no second
+  /// registry lookup).
+  bool verify(const std::shared_ptr<const LoadedCircuit>& circuit);
+
+  /// Drops a circuit; throws when unknown. In-flight evaluations that
+  /// already hold the circuit finish normally.
   void unload(const std::string& name);
 
   /// Registered names, sorted.
@@ -102,17 +139,19 @@ class Session {
   ThreadPool& pool() { return pool_; }
 
  private:
-  LoadedCircuit& get_mutable(const std::string& name);
+  std::shared_ptr<LoadedCircuit> get_shared(const std::string& name) const;
 
   ThreadPool pool_;
-  std::map<std::string, std::unique_ptr<LoadedCircuit>> circuits_;
+  mutable std::mutex mutex_;  ///< guards circuits_ (lookups and edits only)
+  std::map<std::string, std::shared_ptr<LoadedCircuit>> circuits_;
   // Session-lifetime counters: cumulative across UNLOADs and same-name
   // reloads, so STATS never goes backwards (the per-circuit counters in
-  // LoadedCircuit die with the circuit).
-  std::uint64_t loads_ = 0;
-  std::uint64_t evals_ = 0;
-  std::uint64_t patterns_ = 0;
-  std::uint64_t verifies_ = 0;
+  // LoadedCircuit die with the circuit). Atomics keep them exact when
+  // many connection threads bump them at once.
+  std::atomic<std::uint64_t> loads_{0};
+  std::atomic<std::uint64_t> evals_{0};
+  std::atomic<std::uint64_t> patterns_{0};
+  std::atomic<std::uint64_t> verifies_{0};
 };
 
 }  // namespace ambit::serve

@@ -15,6 +15,11 @@
 //   * exceptions thrown by the body are captured and the FIRST one is
 //     rethrown on the calling thread after every chunk has finished, so
 //     a throwing worker cannot leave the pool wedged;
+//   * parallel_for is safe for CONCURRENT CALLERS: each call carries
+//     its own completion state, so the connection threads of the serve
+//     front door (serve/server.h) can all shard their evaluations
+//     through the one shared session pool at once — calls interleave
+//     in the task queue but each blocks only on its own chunks;
 //   * a pool with zero workers degrades to an inline sequential loop,
 //     which keeps single-core containers and TSan runs cheap.
 #pragma once

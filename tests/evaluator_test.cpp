@@ -108,6 +108,53 @@ TEST(PatternBatchTest, SliceAndPasteRoundTrip) {
   EXPECT_EQ(tail.lane(0)[0] & ~tail.tail_mask(), 0u);
 }
 
+TEST(PatternBatchTest, WordIoRoundTrip) {
+  // load_words/store_words carry the serve EVALB frame: lane-major,
+  // words_per_lane words per signal. 150 patterns = a 22-bit tail word.
+  PatternBatch batch(3, 150);
+  Rng rng(11);
+  for (std::uint64_t p = 0; p < 150; ++p) {
+    for (int s = 0; s < 3; ++s) {
+      batch.set(p, s, rng.next_bool());
+    }
+  }
+  EXPECT_EQ(batch.total_words(), 3u * 3u);
+  std::vector<std::uint64_t> words(batch.total_words());
+  batch.store_words(words.data(), words.size());
+  // The wire layout is the lanes back to back.
+  for (int s = 0; s < 3; ++s) {
+    for (std::uint64_t w = 0; w < batch.words_per_lane(); ++w) {
+      EXPECT_EQ(words[static_cast<std::size_t>(s) * batch.words_per_lane() + w],
+                batch.lane(s)[w]);
+    }
+  }
+  PatternBatch rebuilt(3, 150);
+  rebuilt.load_words(words.data(), words.size());
+  EXPECT_EQ(rebuilt, batch);
+}
+
+TEST(PatternBatchTest, LoadWordsMasksTailPadding) {
+  // A frame with stray bits beyond num_patterns must come out clean —
+  // word-parallel kernels rely on zero tail padding.
+  PatternBatch batch(2, 70);  // words_per_lane = 2, 6-bit tail
+  std::vector<std::uint64_t> words(batch.total_words(),
+                                   ~std::uint64_t{0});  // all bits set
+  batch.load_words(words.data(), words.size());
+  for (int s = 0; s < 2; ++s) {
+    EXPECT_EQ(batch.lane(s)[0], ~std::uint64_t{0});
+    EXPECT_EQ(batch.lane(s)[1] & ~batch.tail_mask(), 0u);
+    EXPECT_EQ(batch.lane(s)[1], batch.tail_mask());
+  }
+}
+
+TEST(PatternBatchTest, WordIoRejectsWrongCounts) {
+  PatternBatch batch(2, 70);
+  std::vector<std::uint64_t> words(batch.total_words() + 1);
+  EXPECT_THROW(batch.load_words(words.data(), words.size()), Error);
+  EXPECT_THROW(batch.store_words(words.data(), batch.total_words() - 1),
+               Error);
+}
+
 TEST(PatternBatchTest, SliceRejectsMisalignedAndOutOfRange) {
   const PatternBatch batch(1, 130);
   EXPECT_THROW(batch.slice(3, 64), Error);    // not word-aligned

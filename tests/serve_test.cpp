@@ -13,6 +13,7 @@
 
 #include "core/gnor_pla.h"
 #include "logic/pla_io.h"
+#include "serve/client.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
 #include "serve/session.h"
@@ -78,6 +79,28 @@ TEST(ProtocolTest, MalformedRequestsRejected) {
   EXPECT_THROW(parse_request("STATS extra"), Error);
 }
 
+TEST(ProtocolTest, ParsesEvalbHeader) {
+  const Request r = parse_request("EVALB f 130 9");
+  EXPECT_EQ(r.verb, Verb::kEvalB);
+  EXPECT_EQ(r.name, "f");
+  EXPECT_EQ(r.num_patterns, 130u);
+  EXPECT_EQ(r.num_words, 9u);
+}
+
+TEST(ProtocolTest, MalformedEvalbHeadersRejected) {
+  EXPECT_THROW(parse_request("EVALB f"), Error);
+  EXPECT_THROW(parse_request("EVALB f 128"), Error);
+  EXPECT_THROW(parse_request("EVALB f 128 6 extra"), Error);
+  EXPECT_THROW(parse_request("EVALB f abc 6"), Error);
+  EXPECT_THROW(parse_request("EVALB f 128 -6"), Error);
+  EXPECT_THROW(parse_request("EVALB f 12x8 6"), Error);
+  EXPECT_THROW(parse_request("EVALB f 99999999999999999999999 6"), Error);
+}
+
+TEST(ProtocolTest, EvalbResponseHeaderFormat) {
+  EXPECT_EQ(evalb_response_header(128, 6), "OK EVALB 128 6");
+}
+
 TEST(ProtocolTest, HexRoundTrip) {
   for (const int width : {1, 3, 4, 8, 13, 64, 70}) {
     std::vector<bool> bits(static_cast<std::size_t>(width));
@@ -85,6 +108,25 @@ TEST(ProtocolTest, HexRoundTrip) {
       bits[static_cast<std::size_t>(i)] = true;
     }
     EXPECT_EQ(hex_decode(hex_encode(bits), width), bits) << "width " << width;
+  }
+}
+
+TEST(ProtocolTest, HexRoundTripOddAndWideWidths) {
+  // Odd widths (partial final digit) and widths far beyond 64 (the
+  // value can never materialize as an integer) with several densities.
+  for (const int width : {5, 7, 9, 31, 63, 65, 66, 127, 128, 129, 200}) {
+    for (const int stride : {1, 2, 7}) {
+      std::vector<bool> bits(static_cast<std::size_t>(width));
+      for (int i = 0; i < width; i += stride) {
+        bits[static_cast<std::size_t>(i)] = true;
+      }
+      // The top bit set exercises the width-boundary check exactly.
+      bits[static_cast<std::size_t>(width - 1)] = true;
+      const std::string hex = hex_encode(bits);
+      EXPECT_EQ(static_cast<int>(hex.size()), (width + 3) / 4);
+      EXPECT_EQ(hex_decode(hex, width), bits)
+          << "width " << width << " stride " << stride;
+    }
   }
 }
 
@@ -96,14 +138,24 @@ TEST(ProtocolTest, HexEncodeIsFixedWidth) {
 
 TEST(ProtocolTest, HexDecodeAcceptsPrefixAndCase) {
   EXPECT_EQ(hex_decode("0x2A", 6), hex_decode("2a", 6));
+  // The "0X" prefix (uppercase X) is part of the grammar too.
+  EXPECT_EQ(hex_decode("0X2A", 6), hex_decode("2a", 6));
+  EXPECT_EQ(hex_decode("0XfF", 8), hex_decode("ff", 8));
 }
 
 TEST(ProtocolTest, HexDecodeRejectsBadInput) {
   EXPECT_THROW(hex_decode("zz", 8), Error);
   EXPECT_THROW(hex_decode("", 8), Error);
   EXPECT_THROW(hex_decode("0x", 8), Error);
+  EXPECT_THROW(hex_decode("0X", 8), Error);
+  // Malformed digits buried mid-token, including a second prefix.
+  EXPECT_THROW(hex_decode("1g4", 12), Error);
+  EXPECT_THROW(hex_decode("0x0x11", 12), Error);
+  EXPECT_THROW(hex_decode("ff ", 8), Error);
   // Bit 4 set, but only 3 inputs wide.
   EXPECT_THROW(hex_decode("10", 3), Error);
+  // Same boundary check past 64 signals: bit 68 set, 68 wide.
+  EXPECT_THROW(hex_decode("100000000000000000", 68), Error);
 }
 
 TEST(ProtocolTest, ResponseFormatting) {
@@ -119,23 +171,26 @@ TEST(ProtocolTest, ResponseFormatting) {
 TEST(SessionTest, LoadEvalVerifyUnload) {
   const std::string path = write_sample_pla("serve_session.pla");
   Session session(/*workers=*/2);
-  const LoadedCircuit& circuit = session.load("s", path);
-  EXPECT_EQ(circuit.gnor.num_inputs(), 3);
-  EXPECT_EQ(circuit.gnor.num_outputs(), 2);
+  const std::shared_ptr<const LoadedCircuit> circuit = session.load("s", path);
+  EXPECT_EQ(circuit->gnor.num_inputs(), 3);
+  EXPECT_EQ(circuit->gnor.num_outputs(), 2);
 
   // EVAL answers must match direct evaluation of the mapped array.
   PatternBatch inputs = PatternBatch::exhaustive(3);
   const PatternBatch outputs = session.eval("s", inputs);
-  EXPECT_EQ(outputs, circuit.gnor.evaluate_batch(inputs));
+  EXPECT_EQ(outputs, circuit->gnor.evaluate_batch(inputs));
 
   EXPECT_TRUE(session.verify("s"));
   // Second verify rides the cached reference tables.
   EXPECT_TRUE(session.verify("s"));
-  EXPECT_EQ(session.get("s").verifies, 2u);
+  EXPECT_EQ(session.get("s")->verifies.load(), 2u);
 
   session.unload("s");
   EXPECT_EQ(session.find("s"), nullptr);
   EXPECT_THROW(session.eval("s", inputs), Error);
+  // The shared_ptr handed out before the unload stays valid: an
+  // in-flight evaluation can never dangle.
+  EXPECT_EQ(circuit->gnor.num_inputs(), 3);
 }
 
 TEST(SessionTest, VerifyCatchesCorruptedArray) {
@@ -146,7 +201,7 @@ TEST(SessionTest, VerifyCatchesCorruptedArray) {
   // Sabotage the mapped array behind the session's back; VERIFY must
   // notice. (The const_cast stands in for radiation/defect drift — the
   // protocol has no mutation verb.)
-  auto& gnor = const_cast<core::GnorPla&>(session.get("s").gnor);
+  auto& gnor = const_cast<core::GnorPla&>(session.get("s")->gnor);
   gnor.set_buffer_inverted(0, !gnor.buffer_inverted(0));
   EXPECT_FALSE(session.verify("s"));
 }
@@ -166,7 +221,7 @@ TEST(SessionTest, ReloadReplacesCircuit) {
   const std::string path2 = testing::TempDir() + "/serve_reload2.pla";
   logic::write_pla_file(path2, logic::make_pla(g, "g"));
   session.load("s", path2);
-  EXPECT_EQ(session.get("s").gnor.num_inputs(), 2);
+  EXPECT_EQ(session.get("s")->gnor.num_inputs(), 2);
   EXPECT_EQ(session.stats().loads, 2u);
   EXPECT_EQ(session.stats().circuits, 1);
 }
@@ -176,7 +231,7 @@ TEST(SessionTest, FailedLoadKeepsExistingCircuit) {
   Session session(1);
   session.load("s", path);
   EXPECT_THROW(session.load("s", "/nonexistent/nope.pla"), Error);
-  EXPECT_EQ(session.get("s").gnor.num_inputs(), 3);
+  EXPECT_EQ(session.get("s")->gnor.num_inputs(), 3);
 }
 
 TEST(SessionTest, StatsAccumulate) {
@@ -275,63 +330,161 @@ TEST(ServerTest, BlankLinesAreIgnored) {
   EXPECT_EQ(server.serve_stream(in, out), 2u);
 }
 
+TEST(ServerTest, HandleLineRejectsEvalbWithoutTransport) {
+  // handle_line is text-only; the binary payload needs a transport.
+  Session session(1);
+  Server server(session);
+  EXPECT_TRUE(starts_with(server.handle_line("EVALB f 64 3"), "ERR"));
+}
+
+// ---------------------------------------------------------------------------
+// The EVALB binary bulk frame, over the stream transport.
+// ---------------------------------------------------------------------------
+
+/// Raw little-endian bytes of a batch's packed lanes — the EVALB wire
+/// payload.
+std::string frame_payload(const PatternBatch& batch) {
+  std::vector<std::uint64_t> words(batch.total_words());
+  batch.store_words(words.data(), words.size());
+  return std::string(reinterpret_cast<const char*>(words.data()),
+                     words.size() * sizeof(std::uint64_t));
+}
+
+TEST(ServerTest, StreamEvalbRoundTrip) {
+  const std::string path = write_sample_pla("serve_evalb.pla");
+  Session session(1);
+  Server server(session);
+
+  // 130 patterns force a partial final word (130 % 64 != 0).
+  constexpr std::uint64_t kPatterns = 130;
+  PatternBatch inputs(3, kPatterns);
+  for (std::uint64_t p = 0; p < kPatterns; ++p) {
+    inputs.set_pattern(p, {(p & 1) != 0, (p & 2) != 0, (p & 4) != 0});
+  }
+  std::ostringstream request;
+  request << "LOAD s " << path << "\n"
+          << "EVALB s " << kPatterns << " " << inputs.total_words() << "\n"
+          << frame_payload(inputs) << "QUIT\n";
+  std::istringstream in(request.str());
+  std::ostringstream out;
+  EXPECT_EQ(server.serve_stream(in, out), 3u);
+
+  // Response stream: LOAD line, EVALB header line, raw payload, QUIT
+  // line.
+  const core::GnorPla pla = core::GnorPla::map_cover(
+      Cover::parse(3, 2, {"11- 10", "0-1 01", "10- 11"}));
+  const PatternBatch expected = pla.evaluate_batch(inputs);
+  std::istringstream response(out.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(response, line));
+  EXPECT_TRUE(starts_with(line, "OK loaded s"));
+  ASSERT_TRUE(std::getline(response, line));
+  EXPECT_EQ(line, evalb_response_header(kPatterns, expected.total_words()));
+  std::vector<std::uint64_t> out_words(expected.total_words());
+  response.read(reinterpret_cast<char*>(out_words.data()),
+                static_cast<std::streamsize>(out_words.size() *
+                                             sizeof(std::uint64_t)));
+  ASSERT_EQ(response.gcount(),
+            static_cast<std::streamsize>(out_words.size() *
+                                         sizeof(std::uint64_t)));
+  PatternBatch outputs(expected.num_signals(), kPatterns);
+  outputs.load_words(out_words.data(), out_words.size());
+  EXPECT_EQ(outputs, expected);
+  ASSERT_TRUE(std::getline(response, line));
+  EXPECT_EQ(line, "OK bye");
+
+  // The session counted the bulk patterns exactly.
+  EXPECT_EQ(session.stats().patterns, kPatterns);
+}
+
+TEST(ServerTest, EvalbLengthPrefixKeepsStreamFramedOnErrors) {
+  // An unknown circuit and a wrong word count both consume exactly the
+  // declared payload, answer ERR, and leave the NEXT request intact.
+  const std::string path = write_sample_pla("serve_evalb_err.pla");
+  Session session(1);
+  Server server(session);
+  PatternBatch inputs = PatternBatch::exhaustive(3);  // 8 patterns, 3 words
+
+  std::ostringstream request;
+  request << "EVALB ghost 8 3\n" << frame_payload(inputs)      // unknown name
+          << "LOAD s " << path << "\n"
+          << "EVALB s 8 7\n"                                   // wrong count
+          << std::string(7 * sizeof(std::uint64_t), '\xab')
+          << "EVALB s 0 0\n"                                   // no patterns
+          << "STATS\nQUIT\n";
+  std::istringstream in(request.str());
+  std::ostringstream out;
+  EXPECT_EQ(server.serve_stream(in, out), 6u);
+
+  std::istringstream response(out.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(response, line));
+  EXPECT_TRUE(starts_with(line, "ERR no circuit loaded under 'ghost'"));
+  ASSERT_TRUE(std::getline(response, line));
+  EXPECT_TRUE(starts_with(line, "OK loaded s"));
+  ASSERT_TRUE(std::getline(response, line));
+  EXPECT_TRUE(starts_with(line, "ERR EVALB"));
+  ASSERT_TRUE(std::getline(response, line));
+  EXPECT_TRUE(starts_with(line, "ERR EVALB needs at least one pattern"));
+  ASSERT_TRUE(std::getline(response, line));
+  EXPECT_TRUE(starts_with(line, "OK circuits=1"));
+  EXPECT_EQ(session.stats().evals, 0u);  // no bulk request ever evaluated
+}
+
+TEST(ServerTest, EvalbHugePatternCountIsRejectedNotCrashing) {
+  // A pattern count near 2^64 wraps (np + 63) / 64 to zero words; the
+  // framing checks would all pass and the lane load would write out of
+  // bounds. It must come back as a plain ERR on a live connection.
+  const std::string path = write_sample_pla("serve_evalb_huge.pla");
+  Session session(1);
+  Server server(session);
+  std::istringstream in("LOAD s " + path +
+                        "\nEVALB s 18446744073709551553 0\nSTATS\nQUIT\n");
+  std::ostringstream out;
+  EXPECT_EQ(server.serve_stream(in, out), 4u);
+  std::istringstream response(out.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(response, line));
+  ASSERT_TRUE(std::getline(response, line));
+  EXPECT_TRUE(starts_with(line, "ERR EVALB pattern count")) << line;
+  ASSERT_TRUE(std::getline(response, line));
+  EXPECT_TRUE(starts_with(line, "OK circuits=1"));
+}
+
+TEST(ServerTest, EvalbPrefixedTypoVerbDoesNotDropConnection) {
+  // Only the exact "EVALB" verb is unframed on a parse failure; a typo
+  // sharing the prefix is an ordinary one-line request and serving
+  // continues.
+  Session session(1);
+  Server server(session);
+  std::istringstream in("EVALBATCH x ff\nSTATS\nQUIT\n");
+  std::ostringstream out;
+  EXPECT_EQ(server.serve_stream(in, out), 3u);
+  EXPECT_NE(out.str().find("OK circuits=0"), std::string::npos);
+}
+
+TEST(ServerTest, EvalbOversizedHeaderDropsConnection) {
+  // A header announcing more than kMaxEvalbWords must be refused
+  // BEFORE any allocation, and the connection closed (the stream can
+  // no longer be trusted).
+  Session session(1);
+  Server server(session);
+  std::istringstream in("EVALB f 1 99999999999\nSTATS\n");
+  std::ostringstream out;
+  EXPECT_EQ(server.serve_stream(in, out), 1u);
+  EXPECT_TRUE(starts_with(out.str(), "ERR EVALB payload"));
+  EXPECT_EQ(out.str().find("OK circuits"), std::string::npos);
+}
+
 // ---------------------------------------------------------------------------
 // Server over a Unix-domain socket: a real client connection.
 // ---------------------------------------------------------------------------
 
 #ifndef _WIN32
 
-/// Connects to `socket_path`, retrying until the server thread has
-/// bound it. Returns the connected fd (or -1 after the deadline).
-int connect_with_retry(const std::string& socket_path) {
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
-  for (int attempt = 0; attempt < 200; ++attempt) {
-    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (fd >= 0 &&
-        ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                  sizeof(addr)) == 0) {
-      return fd;
-    }
-    if (fd >= 0) {
-      ::close(fd);
-    }
-    std::this_thread::sleep_for(std::chrono::milliseconds(10));
-  }
-  return -1;
-}
-
-/// Sends `request` lines and reads exactly `expected_lines` response
-/// lines back.
-std::vector<std::string> socket_transact(int fd, const std::string& requests,
-                                         std::size_t expected_lines) {
-  std::size_t sent = 0;
-  while (sent < requests.size()) {
-    const ssize_t n =
-        ::write(fd, requests.data() + sent, requests.size() - sent);
-    if (n <= 0) {
-      break;
-    }
-    sent += static_cast<std::size_t>(n);
-  }
-  std::string buffer;
-  char chunk[4096];
-  std::vector<std::string> lines;
-  while (lines.size() < expected_lines) {
-    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
-    if (n <= 0) {
-      break;
-    }
-    buffer.append(chunk, static_cast<std::size_t>(n));
-    std::size_t newline;
-    while ((newline = buffer.find('\n')) != std::string::npos) {
-      lines.push_back(buffer.substr(0, newline));
-      buffer.erase(0, newline + 1);
-    }
-  }
-  return lines;
-}
+// connect_with_retry / socket_transact come from serve/client.h — the
+// one shared Unix-socket client implementation used by these tests AND
+// bench_serve_throughput.
 
 TEST(ServerTest, UnixSocketSessionEndToEnd) {
   const std::string path = write_sample_pla("serve_socket.pla");
@@ -382,6 +535,384 @@ TEST(ServerTest, UnixSocketServesConsecutiveConnections) {
   server_thread.join();
   ASSERT_EQ(lines2.size(), 2u);
   EXPECT_TRUE(starts_with(lines2[0], "OK "));
+}
+
+TEST(ServerTest, ConnectionsAreServedConcurrently) {
+  // Regression for the sequential-accept prototype: with one client
+  // connected and IDLE, a second client must still get answers. Under
+  // sequential accept this deadlocks (the second connection sits in the
+  // backlog until the first closes).
+  const std::string socket_path =
+      testing::TempDir() + "/ambit_serve_conc.sock";
+  Session session(1);
+  Server server(session);
+  std::thread server_thread([&] { server.serve_unix(socket_path); });
+
+  const int idle = connect_with_retry(socket_path);
+  ASSERT_GE(idle, 0);
+  const int active = connect_with_retry(socket_path);
+  ASSERT_GE(active, 0);
+  const auto lines = socket_transact(active, "STATS\nQUIT\n", 2);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_TRUE(starts_with(lines[0], "OK circuits=0"));
+  ::close(active);
+
+  // The idle connection still works afterwards, then shuts down.
+  const auto idle_lines = socket_transact(idle, "SHUTDOWN\n", 1);
+  ASSERT_EQ(idle_lines.size(), 1u);
+  EXPECT_EQ(idle_lines[0], "OK shutting down");
+  ::close(idle);
+  server_thread.join();
+}
+
+TEST(ServerTest, ResidualEvalbHeaderAtEofFailsCleanly) {
+  // An EVALB header that arrives WITHOUT its newline and payload before
+  // the peer half-closes must not re-read its own header text as
+  // payload — the payload read hits EOF and the connection just ends.
+  const std::string path = write_sample_pla("serve_resid_evalb.pla");
+  const std::string socket_path =
+      testing::TempDir() + "/ambit_serve_residb.sock";
+  Session session(1);
+  session.load("s", path);
+  Server server(session);
+  std::thread server_thread([&] { server.serve_unix(socket_path); });
+
+  const int fd = connect_with_retry(socket_path);
+  ASSERT_GE(fd, 0);
+  const std::string request = "EVALB s 8 3";  // header only, no newline
+  ASSERT_EQ(::write(fd, request.data(), request.size()),
+            static_cast<ssize_t>(request.size()));
+  ::shutdown(fd, SHUT_WR);
+  std::string buffer;
+  char chunk[256];
+  for (ssize_t n; (n = ::read(fd, chunk, sizeof(chunk))) > 0;) {
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_EQ(buffer, "");  // no bogus OK EVALB from self-consumed bytes
+  EXPECT_EQ(session.stats().evals, 0u);
+
+  const int ctl = connect_with_retry(socket_path);
+  ASSERT_GE(ctl, 0);
+  socket_transact(ctl, "SHUTDOWN\n", 1);
+  ::close(ctl);
+  server_thread.join();
+}
+
+TEST(ServerTest, OversizedRequestLineDropsConnection) {
+  // A newline-free byte stream must not grow the receive buffer
+  // without bound: past kMaxLineBytes the server answers ERR once and
+  // drops the connection.
+  const std::string socket_path =
+      testing::TempDir() + "/ambit_serve_longline.sock";
+  Session session(1);
+  Server server(session);
+  std::thread server_thread([&] { server.serve_unix(socket_path); });
+
+  const int fd = connect_with_retry(socket_path);
+  ASSERT_GE(fd, 0);
+  const std::string blob(kMaxLineBytes + (1 << 16), 'a');  // no newline
+  std::size_t sent = 0;
+  while (sent < blob.size()) {
+    // MSG_NOSIGNAL: the server drops us mid-send (that's the point)
+    // and EPIPE must not SIGPIPE the test process.
+    const ssize_t n = ::send(fd, blob.data() + sent, blob.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      break;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string buffer;
+  char chunk[4096];
+  for (ssize_t n; (n = ::read(fd, chunk, sizeof(chunk))) > 0;) {
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_TRUE(starts_with(buffer, "ERR request line exceeds")) << buffer;
+
+  const int ctl = connect_with_retry(socket_path);
+  ASSERT_GE(ctl, 0);
+  socket_transact(ctl, "SHUTDOWN\n", 1);
+  ::close(ctl);
+  server_thread.join();
+}
+
+TEST(ServerTest, ShutdownInterruptsSlotWait) {
+  // max_connections=1: connection B is accepted but waits for A's
+  // slot. A then issues SHUTDOWN — the accept loop must abandon the
+  // slot wait and close B instead of serving one more connection.
+  const std::string socket_path =
+      testing::TempDir() + "/ambit_serve_slotwait.sock";
+  Session session(1);
+  Server server(session, ServerOptions{.max_connections = 1});
+  std::thread server_thread([&] { server.serve_unix(socket_path); });
+
+  const int a = connect_with_retry(socket_path);
+  ASSERT_GE(a, 0);
+  // Make sure A owns the slot before B arrives.
+  ASSERT_EQ(socket_transact(a, "STATS\n", 1).size(), 1u);
+  const int b = connect_with_retry(socket_path);
+  ASSERT_GE(b, 0);
+  const std::string probe = "STATS\n";
+  ASSERT_EQ(::send(b, probe.data(), probe.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(probe.size()));
+
+  const auto lines = socket_transact(a, "SHUTDOWN\n", 1);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "OK shutting down");
+  ::close(a);
+  server_thread.join();
+
+  // B was dropped, never served: EOF — or ECONNRESET when the close
+  // discarded B's unread request bytes — but never a response.
+  char extra;
+  EXPECT_LE(::read(b, &extra, 1), 0);
+  ::close(b);
+}
+
+TEST(ServerTest, ResidualLineWithoutNewlineIsServed) {
+  // A final request that arrives without a trailing '\n' before the
+  // peer half-closes must be served, not silently dropped.
+  const std::string socket_path =
+      testing::TempDir() + "/ambit_serve_resid.sock";
+  Session session(1);
+  Server server(session);
+  std::thread server_thread([&] { server.serve_unix(socket_path); });
+
+  const int fd = connect_with_retry(socket_path);
+  ASSERT_GE(fd, 0);
+  const std::string request = "STATS";  // no newline
+  ASSERT_EQ(::write(fd, request.data(), request.size()),
+            static_cast<ssize_t>(request.size()));
+  ::shutdown(fd, SHUT_WR);  // EOF on the server's read side
+  std::string buffer;
+  char chunk[256];
+  for (ssize_t n; (n = ::read(fd, chunk, sizeof(chunk))) > 0;) {
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_TRUE(starts_with(buffer, "OK circuits=0")) << buffer;
+
+  const int ctl = connect_with_retry(socket_path);
+  ASSERT_GE(ctl, 0);
+  socket_transact(ctl, "SHUTDOWN\n", 1);
+  ::close(ctl);
+  server_thread.join();
+}
+
+TEST(ServerTest, PipelinedLinesAfterQuitAreDiscarded) {
+  // Complete lines already buffered behind a QUIT (or SHUTDOWN) must
+  // not be half-processed: the quit response is the last one, and the
+  // pipelined LOAD never happens.
+  const std::string path = write_sample_pla("serve_postquit.pla");
+  const std::string socket_path =
+      testing::TempDir() + "/ambit_serve_postquit.sock";
+  Session session(1);
+  Server server(session);
+  std::thread server_thread([&] { server.serve_unix(socket_path); });
+
+  const int fd = connect_with_retry(socket_path);
+  ASSERT_GE(fd, 0);
+  // One write carries QUIT plus a trailing LOAD in the same buffer.
+  const auto lines =
+      socket_transact(fd, "QUIT\nLOAD s " + path + "\n", 1);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "OK bye");
+  // The connection is closed: no further response ever arrives.
+  char extra;
+  EXPECT_EQ(::read(fd, &extra, 1), 0);
+  ::close(fd);
+  EXPECT_EQ(session.stats().loads, 0u);
+
+  const int ctl = connect_with_retry(socket_path);
+  ASSERT_GE(ctl, 0);
+  // Same drain contract for SHUTDOWN: the pipelined LOAD is discarded.
+  const auto ctl_lines =
+      socket_transact(ctl, "SHUTDOWN\nLOAD s " + path + "\n", 1);
+  ASSERT_EQ(ctl_lines.size(), 1u);
+  EXPECT_EQ(ctl_lines[0], "OK shutting down");
+  ::close(ctl);
+  server_thread.join();
+  EXPECT_EQ(session.stats().loads, 0u);
+}
+
+TEST(ServerTest, RefusesToStealLiveSocket) {
+  const std::string socket_path =
+      testing::TempDir() + "/ambit_serve_live.sock";
+  Session session(1);
+  Server server(session);
+  std::thread server_thread([&] { server.serve_unix(socket_path); });
+  const int fd = connect_with_retry(socket_path);
+  ASSERT_GE(fd, 0);  // the first server is live
+
+  // A second server must fail loudly instead of silently unlinking the
+  // live listener's socket.
+  Session session2(1);
+  Server server2(session2);
+  EXPECT_THROW(server2.serve_unix(socket_path), Error);
+
+  // The first server is unharmed.
+  const auto lines = socket_transact(fd, "SHUTDOWN\n", 1);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "OK shutting down");
+  ::close(fd);
+  server_thread.join();
+}
+
+TEST(ServerTest, ReplacesStaleSocketFile) {
+  // A leftover socket file with no listener behind it (e.g. after a
+  // crash) must be replaced, not reported as a conflict.
+  const std::string socket_path =
+      testing::TempDir() + "/ambit_serve_stale.sock";
+  ::unlink(socket_path.c_str());
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  const int stale = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(stale, 0);
+  ASSERT_EQ(::bind(stale, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ::close(stale);  // socket file remains, nobody listens
+
+  Session session(1);
+  Server server(session);
+  std::thread server_thread([&] { server.serve_unix(socket_path); });
+  const int fd = connect_with_retry(socket_path);
+  ASSERT_GE(fd, 0);
+  const auto lines = socket_transact(fd, "HELP\nSHUTDOWN\n", 2);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_TRUE(starts_with(lines[0], "OK commands:"));
+  ::close(fd);
+  server_thread.join();
+}
+
+TEST(ServerTest, MultiClientHammerMatchesSequentialServing) {
+  // >= 4 client threads hammer one server; every response must be
+  // bit-identical to what sequential serving (== direct evaluation of
+  // the mapped array) would produce, and the exact-request counters
+  // must add up.
+  const std::string path = write_sample_pla("serve_hammer.pla");
+  const std::string socket_path =
+      testing::TempDir() + "/ambit_serve_hammer.sock";
+  Session session(/*workers=*/2);
+  session.load("s", path);
+  const core::GnorPla pla = core::GnorPla::map_cover(
+      Cover::parse(3, 2, {"11- 10", "0-1 01", "10- 11"}));
+  Server server(session);
+  std::thread server_thread([&] { server.serve_unix(socket_path); });
+
+  constexpr int kClients = 4;
+  constexpr int kRequestsPerClient = 50;
+  std::vector<int> mismatches(kClients, 0);
+  std::vector<int> failures(kClients, 0);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      const int fd = connect_with_retry(socket_path);
+      if (fd < 0) {
+        failures[static_cast<std::size_t>(c)] = 1;
+        return;
+      }
+      std::string requests;
+      std::vector<std::string> expected;
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        // Client-distinct pattern pairs covering the whole input space.
+        const int a = (c + r) % 8;
+        const int b = (c * 3 + r * 5) % 8;
+        const std::string ha = hex_encode(
+            {(a & 1) != 0, (a & 2) != 0, (a & 4) != 0});
+        const std::string hb = hex_encode(
+            {(b & 1) != 0, (b & 2) != 0, (b & 4) != 0});
+        requests += "EVAL s " + ha + " " + hb + "\n";
+        expected.push_back(
+            "OK " +
+            hex_encode(pla.evaluate(hex_decode(ha, 3))) + " " +
+            hex_encode(pla.evaluate(hex_decode(hb, 3))));
+      }
+      requests += "QUIT\n";
+      const std::vector<std::string> lines = socket_transact(
+          fd, requests, static_cast<std::size_t>(kRequestsPerClient) + 1);
+      ::close(fd);
+      if (lines.size() != static_cast<std::size_t>(kRequestsPerClient) + 1) {
+        failures[static_cast<std::size_t>(c)] = 1;
+        return;
+      }
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        if (lines[static_cast<std::size_t>(r)] !=
+            expected[static_cast<std::size_t>(r)]) {
+          ++mismatches[static_cast<std::size_t>(c)];
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) {
+    client.join();
+  }
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(failures[static_cast<std::size_t>(c)], 0) << "client " << c;
+    EXPECT_EQ(mismatches[static_cast<std::size_t>(c)], 0) << "client " << c;
+  }
+
+  const int ctl = connect_with_retry(socket_path);
+  ASSERT_GE(ctl, 0);
+  socket_transact(ctl, "SHUTDOWN\n", 1);
+  ::close(ctl);
+  server_thread.join();
+
+  // Counters stayed exact under concurrency.
+  const SessionStats stats = session.stats();
+  EXPECT_EQ(stats.evals,
+            static_cast<std::uint64_t>(kClients) * kRequestsPerClient);
+  EXPECT_EQ(stats.patterns,
+            static_cast<std::uint64_t>(kClients) * kRequestsPerClient * 2);
+}
+
+TEST(ServerTest, UnixSocketEvalbRoundTrip) {
+  // The binary bulk frame over the real socket transport, pipelined in
+  // one write together with its header and a QUIT.
+  const std::string path = write_sample_pla("serve_evalb_sock.pla");
+  const std::string socket_path =
+      testing::TempDir() + "/ambit_serve_evalb.sock";
+  Session session(1);
+  session.load("s", path);
+  Server server(session);
+  std::thread server_thread([&] { server.serve_unix(socket_path); });
+
+  PatternBatch inputs = PatternBatch::exhaustive(3);
+  const core::GnorPla pla = core::GnorPla::map_cover(
+      Cover::parse(3, 2, {"11- 10", "0-1 01", "10- 11"}));
+  const PatternBatch expected = pla.evaluate_batch(inputs);
+
+  const int fd = connect_with_retry(socket_path);
+  ASSERT_GE(fd, 0);
+  std::ostringstream request;
+  request << "EVALB s " << inputs.num_patterns() << " "
+          << inputs.total_words() << "\n"
+          << frame_payload(inputs) << "SHUTDOWN\n";
+  const std::string wire = request.str();
+  ASSERT_EQ(::write(fd, wire.data(), wire.size()),
+            static_cast<ssize_t>(wire.size()));
+
+  std::string buffer;
+  char chunk[4096];
+  for (ssize_t n; (n = ::read(fd, chunk, sizeof(chunk))) > 0;) {
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  server_thread.join();
+
+  std::vector<std::uint64_t> out_words;
+  std::size_t consumed = 0;
+  ASSERT_TRUE(decode_evalb_response(buffer, expected.num_patterns(),
+                                    expected.total_words(), out_words,
+                                    consumed))
+      << buffer;
+  PatternBatch outputs(expected.num_signals(), expected.num_patterns());
+  outputs.load_words(out_words.data(), out_words.size());
+  EXPECT_EQ(outputs, expected);
+  EXPECT_EQ(buffer.substr(consumed), "OK shutting down\n");
 }
 
 #endif  // !_WIN32

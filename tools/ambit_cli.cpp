@@ -22,6 +22,11 @@
 
 #include <iostream>
 
+#ifdef _WIN32
+#include <fcntl.h>
+#include <io.h>
+#endif
+
 #include "core/evaluator.h"
 #include "core/gnor_pla.h"
 #include "serve/server.h"
@@ -91,6 +96,12 @@ int main(int argc, char** argv) {
       return usage();
     }
     try {
+#ifdef _WIN32
+      // EVALB frames carry raw bytes; text-mode stdio would translate
+      // 0x0D 0x0A pairs and corrupt the framing.
+      _setmode(_fileno(stdin), _O_BINARY);
+      _setmode(_fileno(stdout), _O_BINARY);
+#endif
       serve::Session session;
       serve::Server server(session);
       server.serve_stream(std::cin, std::cout);

@@ -6,9 +6,13 @@
 // Options:
 //   --stdio              serve the line protocol over stdin/stdout
 //                        (the default)
-//   --socket <path>      serve over a Unix-domain socket at <path>
+//   --socket <path>      serve over a Unix-domain socket at <path>,
+//                        each connection on its own thread
 //   --workers <n>        worker threads sharding every EVAL
 //                        (default: AMBIT_THREADS or hardware threads)
+//   --max-connections <n>
+//                        connections served at once over --socket
+//                        (default 64); further accepts wait for a slot
 //   --preload <name>=<path>
 //                        LOAD a circuit before serving (repeatable)
 //
@@ -26,6 +30,11 @@
 #include "util/error.h"
 #include "util/thread_pool.h"
 
+#ifdef _WIN32
+#include <fcntl.h>
+#include <io.h>
+#endif
+
 using namespace ambit;
 
 namespace {
@@ -33,7 +42,8 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: ambit_serve [--stdio] [--socket <path>]\n"
-               "                   [--workers <n>] [--preload <name>=<path>]\n");
+               "                   [--workers <n>] [--max-connections <n>]\n"
+               "                   [--preload <name>=<path>]\n");
   return 2;
 }
 
@@ -42,6 +52,7 @@ int usage() {
 int main(int argc, char** argv) {
   std::string socket_path;
   int workers = ThreadPool::default_workers();
+  int max_connections = serve::kDefaultMaxConnections;
   std::vector<std::pair<std::string, std::string>> preloads;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -53,6 +64,12 @@ int main(int argc, char** argv) {
       workers = std::atoi(argv[++i]);
       if (workers < 1) {
         std::fprintf(stderr, "ambit_serve: --workers must be >= 1\n");
+        return 2;
+      }
+    } else if (arg == "--max-connections" && i + 1 < argc) {
+      max_connections = std::atoi(argv[++i]);
+      if (max_connections < 1) {
+        std::fprintf(stderr, "ambit_serve: --max-connections must be >= 1\n");
         return 2;
       }
     } else if (arg == "--preload" && i + 1 < argc) {
@@ -71,13 +88,20 @@ int main(int argc, char** argv) {
   try {
     serve::Session session(workers);
     for (const auto& [name, path] : preloads) {
-      const serve::LoadedCircuit& circuit = session.load(name, path);
+      const auto circuit = session.load(name, path);
       std::fprintf(stderr, "ambit_serve: preloaded %s (%d in, %d out, %d products)\n",
-                   circuit.name.c_str(), circuit.gnor.num_inputs(),
-                   circuit.gnor.num_outputs(), circuit.gnor.num_products());
+                   circuit->name.c_str(), circuit->gnor.num_inputs(),
+                   circuit->gnor.num_outputs(), circuit->gnor.num_products());
     }
-    serve::Server server(session);
+    serve::Server server(session,
+                         serve::ServerOptions{.max_connections = max_connections});
     if (socket_path.empty()) {
+#ifdef _WIN32
+      // EVALB frames carry raw bytes; text-mode stdio would translate
+      // 0x0D 0x0A pairs and corrupt the framing.
+      _setmode(_fileno(stdin), _O_BINARY);
+      _setmode(_fileno(stdout), _O_BINARY);
+#endif
       std::fprintf(stderr, "ambit_serve: serving stdin/stdout, %d worker(s); %s\n",
                    session.pool().num_workers(),
                    serve::help_text().c_str());
@@ -85,8 +109,11 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "ambit_serve: served %llu request(s)\n",
                    static_cast<unsigned long long>(served));
     } else {
-      std::fprintf(stderr, "ambit_serve: serving %s, %d worker(s)\n",
-                   socket_path.c_str(), session.pool().num_workers());
+      std::fprintf(stderr,
+                   "ambit_serve: serving %s, %d worker(s), up to %d "
+                   "concurrent connection(s)\n",
+                   socket_path.c_str(), session.pool().num_workers(),
+                   max_connections);
       const std::uint64_t served = server.serve_unix(socket_path);
       std::fprintf(stderr, "ambit_serve: served %llu request(s)\n",
                    static_cast<unsigned long long>(served));
