@@ -5,9 +5,11 @@
 // including the §4 charge-programming step.
 #include <cstdio>
 
+#include "core/fig2.h"
 #include "core/gnor_pla.h"
 #include "core/programmer.h"
 #include "simulate/pla_sim.h"
+#include "util/error.h"
 #include "util/table.h"
 
 using namespace ambit;
@@ -34,13 +36,14 @@ int main() {
               prog.decode() == plane ? "yes" : "NO");
 
   // Wrap into a 1-product/1-output PLA so the switch-level simulator
-  // can clock it; the output buffer taps the raw NOR row.
-  core::GnorPla pla(4, 1, 1);
+  // can clock it — the SHARED Fig. 2 reference construction
+  // (core/fig2.h), whose inverting buffer tap restores Y = P = the
+  // configured NOR.
+  const core::GnorPla pla = core::fig2_reference_pla();
   for (int c = 0; c < 4; ++c) {
-    pla.product_plane().set_cell(0, c, plane.cell(0, c));
+    check(pla.product_plane().cell(0, c) == plane.cell(0, c),
+          "fig2 reference drifted from the configured gate");
   }
-  pla.output_plane().set_cell(0, 0, CellConfig::kPass);
-  pla.set_buffer_inverted(0, false);  // Y = row value = the NOR itself
   simulate::GnorPlaSimulator sim(pla, e);
 
   TextTable table({"A", "B", "C", "D", "Y=NOR(A,B',D)", "switch-level",

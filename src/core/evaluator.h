@@ -1,7 +1,9 @@
 // The unified evaluation interface for every programmable circuit type.
 //
-// All AMBIT circuit models (GnorPla, ClassicalPla, Wpla, Fabric) expose
-// the same two entry points:
+// All AMBIT circuit models (GnorPla, ClassicalPla, Wpla, Fabric — and
+// the transistor-level simulator via simulate::SimEvaluator, which
+// makes the switch-level network a drop-in oracle for every harness
+// written against this interface) expose the same two entry points:
 //
 //   * evaluate(inputs)        — one pattern in, one pattern out;
 //   * evaluate_batch(batch)   — N patterns in, N patterns out, computed

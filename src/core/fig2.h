@@ -1,0 +1,31 @@
+// The paper's Fig. 2 reference configuration as a mapped PLA.
+//
+// Y = NOR(A, B', D) with input C inhibited (C1 = V+, C2 = V-, C3 = V0,
+// C4 = V+), wrapped as a 4-input / 1-product / 1-output dynamic GNOR
+// PLA so the switch-level simulator can clock it. This single
+// construction backs the Fig. 2 reproduction bench, the batch-
+// simulation bench and the golden timing tests — one definition, so
+// the circuit those three validate can never drift apart (the
+// non-inverting buffer tap they once disagreed on reported the
+// complement of the NOR on every vector).
+#pragma once
+
+#include "core/gnor_pla.h"
+
+namespace ambit::core {
+
+/// The Fig. 2 reference PLA: Y = NOR(A, B', D), C inhibited.
+inline GnorPla fig2_reference_pla() {
+  GnorPla pla(4, 1, 1);
+  pla.product_plane().set_cell(0, 0, CellConfig::kPass);    // C1 = V+ : A
+  pla.product_plane().set_cell(0, 1, CellConfig::kInvert);  // C2 = V- : B'
+  pla.product_plane().set_cell(0, 2, CellConfig::kOff);     // C3 = V0 : C
+  pla.product_plane().set_cell(0, 3, CellConfig::kPass);    // C4 = V+ : D
+  pla.output_plane().set_cell(0, 0, CellConfig::kPass);
+  // The plane-2 row computes NOT(P) (it NORs the selected product), so
+  // the INVERTING buffer tap restores Y = P = the configured NOR.
+  pla.set_buffer_inverted(0, true);
+  return pla;
+}
+
+}  // namespace ambit::core

@@ -25,20 +25,23 @@
 
 namespace ambit::serve {
 
-/// Decodes an EVALB success response sitting at the start of
-/// `response`: the header line "OK EVALB <num_patterns> <num_words>"
-/// plus `num_words` raw little-endian words of output lanes. On a match
-/// with the expected pattern count, fills `words` and sets `consumed`
-/// to the total frame size (header line + payload), so the caller can
-/// keep parsing pipelined responses after it. Returns false — outputs
-/// untouched — on a header mismatch or a truncated payload.
-inline bool decode_evalb_response(const std::string& response,
-                                  std::uint64_t expected_patterns,
-                                  std::uint64_t expected_words,
-                                  std::vector<std::uint64_t>& words,
-                                  std::size_t& consumed) {
-  const std::string header = "OK EVALB " + std::to_string(expected_patterns) +
-                             " " + std::to_string(expected_words) + "\n";
+/// Decodes a bulk success response (EVALB or SIMB, per `verb`) sitting
+/// at the start of `response`: the header line
+/// "OK <verb> <num_patterns> <num_words>" plus `num_words` raw
+/// little-endian words of payload. On a match with the expected pattern
+/// count, fills `words` and sets `consumed` to the total frame size
+/// (header line + payload), so the caller can keep parsing pipelined
+/// responses after it. Returns false — outputs untouched — on a header
+/// mismatch or a truncated payload.
+inline bool decode_bulk_response(const std::string& verb,
+                                 const std::string& response,
+                                 std::uint64_t expected_patterns,
+                                 std::uint64_t expected_words,
+                                 std::vector<std::uint64_t>& words,
+                                 std::size_t& consumed) {
+  const std::string header = "OK " + verb + " " +
+                             std::to_string(expected_patterns) + " " +
+                             std::to_string(expected_words) + "\n";
   if (response.compare(0, header.size(), header) != 0) {
     return false;
   }
@@ -50,6 +53,27 @@ inline bool decode_evalb_response(const std::string& response,
   std::memcpy(words.data(), response.data() + header.size(), payload_bytes);
   consumed = header.size() + payload_bytes;
   return true;
+}
+
+/// EVALB frame: `expected_words` output-lane words.
+inline bool decode_evalb_response(const std::string& response,
+                                  std::uint64_t expected_patterns,
+                                  std::uint64_t expected_words,
+                                  std::vector<std::uint64_t>& words,
+                                  std::size_t& consumed) {
+  return decode_bulk_response("EVALB", response, expected_patterns,
+                              expected_words, words, consumed);
+}
+
+/// SIMB frame: output lanes followed by the 3*np per-pattern delay
+/// doubles (see serve/protocol.h for the exact layout).
+inline bool decode_simb_response(const std::string& response,
+                                 std::uint64_t expected_patterns,
+                                 std::uint64_t expected_words,
+                                 std::vector<std::uint64_t>& words,
+                                 std::size_t& consumed) {
+  return decode_bulk_response("SIMB", response, expected_patterns,
+                              expected_words, words, consumed);
 }
 
 #ifndef _WIN32

@@ -1,6 +1,7 @@
 #include "serve/protocol.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "util/error.h"
 #include "util/strings.h"
@@ -53,6 +54,17 @@ Request parse_request(const std::string& line) {
     request.name = tokens[1];
     request.num_patterns = parse_count(tokens[2], "EVALB pattern count");
     request.num_words = parse_count(tokens[3], "EVALB word count");
+  } else if (verb == "SIM") {
+    check(tokens.size() >= 3, "SIM needs: SIM <name> <hex-pattern>...");
+    request.verb = Verb::kSim;
+    request.name = tokens[1];
+    request.patterns.assign(tokens.begin() + 2, tokens.end());
+  } else if (verb == "SIMB") {
+    check(tokens.size() == 4, "SIMB needs: SIMB <name> <npatterns> <nwords>");
+    request.verb = Verb::kSimB;
+    request.name = tokens[1];
+    request.num_patterns = parse_count(tokens[2], "SIMB pattern count");
+    request.num_words = parse_count(tokens[3], "SIMB word count");
   } else if (verb == "VERIFY") {
     check(tokens.size() == 2, "VERIFY needs: VERIFY <name>");
     request.verb = Verb::kVerify;
@@ -138,6 +150,20 @@ std::string evalb_response_header(std::uint64_t num_patterns,
          std::to_string(num_words);
 }
 
+std::string simb_response_header(std::uint64_t num_patterns,
+                                 std::uint64_t num_words) {
+  return "OK SIMB " + std::to_string(num_patterns) + " " +
+         std::to_string(num_words);
+}
+
+std::string sim_token(const std::vector<bool>& outputs, double precharge_s,
+                      double plane1_eval_s, double plane2_eval_s) {
+  char delays[96];
+  std::snprintf(delays, sizeof(delays), "@%.6g/%.6g/%.6g", precharge_s * 1e12,
+                plane1_eval_s * 1e12, plane2_eval_s * 1e12);
+  return hex_encode(outputs) + delays;
+}
+
 std::string err_response(const std::string& message) {
   std::string flat = message;
   std::replace(flat.begin(), flat.end(), '\n', ' ');
@@ -148,6 +174,8 @@ std::string err_response(const std::string& message) {
 std::string help_text() {
   return "commands: LOAD <name> <path> | EVAL <name> <hex>... | "
          "EVALB <name> <npatterns> <nwords> (+ raw input lanes) | "
+         "SIM <name> <hex>... (switch-level, outputs@pre/e1/e2 ps) | "
+         "SIMB <name> <npatterns> <nwords> (+ raw input lanes) | "
          "VERIFY <name> | STATS | UNLOAD <name> | HELP | QUIT | SHUTDOWN";
 }
 

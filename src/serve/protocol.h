@@ -14,6 +14,13 @@
 //                               patterns — ceil(np/64) words per input
 //                               lane, lane 0 first (<nw> must equal
 //                               inputs * ceil(np/64))
+//   SIM <name> <hex>...         switch-level simulation of one input
+//                               pattern per hex token: outputs AND the
+//                               precharge/plane-1/plane-2 phase delays
+//                               of every pattern's dynamic cycle
+//   SIMB <name> <np> <nw>       bulk switch-level timing sweep: framed
+//                               exactly like EVALB (same input payload
+//                               layout and <nw> = inputs * ceil(np/64))
 //   VERIFY <name>               exhaustive equivalence re-check of the
 //                               mapped array against its source cover
 //   STATS                       session counters
@@ -25,17 +32,26 @@
 //
 // Responses: "OK[ <detail>]" on success, "ERR <message>" on failure.
 // An EVAL response carries one hex token per input pattern, in order.
+// A SIM response carries one TOKEN per pattern:
+// "<hex>@<pre>/<e1>/<e2>" — the output pattern plus that pattern's
+// precharge, plane-1-evaluate and plane-2-evaluate delays in
+// picoseconds (%.6g).
 // An EVALB response is the line "OK EVALB <np> <nw'>" followed by <nw'>
 // raw words of word-packed OUTPUT lanes in the same layout (an ERR
-// response to EVALB carries no payload). The explicit word count is
-// what keeps the stream in sync: for any WELL-FORMED header the server
-// consumes exactly <nw> payload words, even when the request itself
-// fails (unknown name, wrong count), so one bad bulk request costs one
-// ERR line, not the connection. The exceptions close the connection
-// after the ERR line, because the payload can no longer be consumed or
-// trusted: a header that does not parse at all, one whose <nw> exceeds
-// the server's payload limit (serve/server.h kMaxEvalbWords), and a
-// payload buffer the server failed to allocate under memory pressure.
+// response to EVALB carries no payload). A SIMB response is the line
+// "OK SIMB <np> <nw'>" whose <nw'> payload words are the output lanes
+// FOLLOWED by 3*np little-endian IEEE-754 doubles (one word each): the
+// per-pattern precharge delays, then the plane-1 delays, then the
+// plane-2 delays, all in seconds — so <nw'> = outputs * ceil(np/64) +
+// 3*np. The explicit word count is what keeps the stream in sync: for
+// any WELL-FORMED header the server consumes exactly <nw> payload
+// words, even when the request itself fails (unknown name, wrong
+// count), so one bad bulk request costs one ERR line, not the
+// connection. The exceptions close the connection after the ERR line,
+// because the payload can no longer be consumed or trusted: a header
+// that does not parse at all, one whose <nw> exceeds the server's
+// payload limit (serve/server.h kMaxEvalbWords), and a payload buffer
+// the server failed to allocate under memory pressure.
 //
 // Hex patterns are plain hexadecimal numbers: bit i of the value is
 // input (or output) i. Tokens may carry a "0x" prefix; widths beyond 64
@@ -54,6 +70,8 @@ enum class Verb {
   kLoad,
   kEval,
   kEvalB,
+  kSim,
+  kSimB,
   kVerify,
   kStats,
   kUnload,
@@ -62,14 +80,21 @@ enum class Verb {
   kShutdown,
 };
 
+/// True for the verbs whose request carries a raw binary payload after
+/// the header line (EVALB/SIMB) — the ones that need a stream or
+/// socket transport and whose malformed headers unframe the stream.
+inline bool is_bulk_verb(Verb verb) {
+  return verb == Verb::kEvalB || verb == Verb::kSimB;
+}
+
 /// One parsed request line.
 struct Request {
   Verb verb = Verb::kHelp;
-  std::string name;                   ///< circuit name (LOAD/EVAL*/VERIFY/UNLOAD)
+  std::string name;                   ///< circuit name (LOAD/EVAL*/SIM*/VERIFY/UNLOAD)
   std::string path;                   ///< .pla path (LOAD)
-  std::vector<std::string> patterns;  ///< raw hex tokens (EVAL)
-  std::uint64_t num_patterns = 0;     ///< pattern count (EVALB)
-  std::uint64_t num_words = 0;        ///< payload word count (EVALB)
+  std::vector<std::string> patterns;  ///< raw hex tokens (EVAL/SIM)
+  std::uint64_t num_patterns = 0;     ///< pattern count (EVALB/SIMB)
+  std::uint64_t num_words = 0;        ///< payload word count (EVALB/SIMB)
 };
 
 /// Parses one request line; throws ambit::Error on malformed requests
@@ -92,6 +117,18 @@ std::string ok_response(const std::string& detail = "");
 /// raw output-lane words follow it on the wire).
 std::string evalb_response_header(std::uint64_t num_patterns,
                                   std::uint64_t num_words);
+
+/// The SIMB success header: "OK SIMB <num_patterns> <num_words>" (the
+/// output lanes plus the three per-pattern delay arrays follow it).
+std::string simb_response_header(std::uint64_t num_patterns,
+                                 std::uint64_t num_words);
+
+/// One SIM response token: "<hex>@<pre>/<e1>/<e2>" — the packed output
+/// pattern plus the three phase delays, converted to picoseconds and
+/// formatted %.6g. Tests and clients re-encode expected values through
+/// this same helper, so formatting can never drift between them.
+std::string sim_token(const std::vector<bool>& outputs, double precharge_s,
+                      double plane1_eval_s, double plane2_eval_s);
 
 /// "ERR <message>" (newlines in `message` are flattened to spaces so
 /// the response stays one line).

@@ -29,10 +29,12 @@ namespace ambit::serve {
 std::string Server::handle_line(const std::string& line) {
   try {
     const Request request = parse_request(line);
-    if (request.verb == Verb::kEvalB) {
+    if (is_bulk_verb(request.verb)) {
       return err_response(
-          "EVALB carries a binary payload and needs a stream or socket "
-          "transport (use EVAL for text)");
+          (request.verb == Verb::kEvalB ? "EVALB" : "SIMB") +
+          std::string(" carries a binary payload and needs a stream or "
+                      "socket transport (use ") +
+          (request.verb == Verb::kEvalB ? "EVAL" : "SIM") + " for text)");
     }
     return dispatch(request).response;
   } catch (const Error& e) {
@@ -41,6 +43,26 @@ std::string Server::handle_line(const std::string& line) {
     return err_response(std::string("internal: ") + e.what());
   }
 }
+
+namespace {
+
+/// The shared EVAL/SIM front half: one registry handle, every hex
+/// token decoded against ITS width. One lookup on purpose — the decode
+/// and the evaluation must run against the same circuit even if a
+/// same-name reload lands in between, so the caller evaluates the
+/// returned circuit, never the name.
+std::vector<std::vector<bool>> decode_request_patterns(
+    const LoadedCircuit& circuit, const Request& request) {
+  const int width = circuit.gnor.num_inputs();
+  std::vector<std::vector<bool>> patterns;
+  patterns.reserve(request.patterns.size());
+  for (const std::string& token : request.patterns) {
+    patterns.push_back(hex_decode(token, width));
+  }
+  return patterns;
+}
+
+}  // namespace
 
 Server::Outcome Server::dispatch(const Request& request) {
   try {
@@ -57,19 +79,12 @@ Server::Outcome Server::dispatch(const Request& request) {
             format_double(circuit->load_seconds * 1e3, 1) + " ms")};
       }
       case Verb::kEval: {
-        // One registry lookup: the decode and the evaluation both run
-        // against the same circuit even if a same-name reload lands in
-        // between.
         const std::shared_ptr<const LoadedCircuit> circuit =
             session_.get(request.name);
-        const int width = circuit->gnor.num_inputs();
-        std::vector<std::vector<bool>> patterns;
-        patterns.reserve(request.patterns.size());
-        for (const std::string& token : request.patterns) {
-          patterns.push_back(hex_decode(token, width));
-        }
-        const logic::PatternBatch outputs = session_.eval(
-            circuit, logic::PatternBatch::from_patterns(patterns));
+        const logic::PatternBatch outputs =
+            session_.eval(circuit, logic::PatternBatch::from_patterns(
+                                       decode_request_patterns(*circuit,
+                                                               request)));
         std::string detail;
         for (std::uint64_t p = 0; p < outputs.num_patterns(); ++p) {
           if (!detail.empty()) {
@@ -79,9 +94,31 @@ Server::Outcome Server::dispatch(const Request& request) {
         }
         return {ok_response(detail)};
       }
+      case Verb::kSim: {
+        const std::shared_ptr<const LoadedCircuit> circuit =
+            session_.get(request.name);
+        const simulate::BatchSimResult result =
+            session_.sim(circuit, logic::PatternBatch::from_patterns(
+                                      decode_request_patterns(*circuit,
+                                                              request)));
+        check(result.all_definite(),
+              request.name + ": simulation produced non-digital outputs");
+        std::string detail;
+        for (std::uint64_t p = 0; p < result.num_patterns(); ++p) {
+          if (!detail.empty()) {
+            detail += ' ';
+          }
+          detail += sim_token(result.outputs.pattern(p),
+                              result.precharge_delay_s[p],
+                              result.plane1_eval_delay_s[p],
+                              result.plane2_eval_delay_s[p]);
+        }
+        return {ok_response(detail)};
+      }
       case Verb::kEvalB:
+      case Verb::kSimB:
         // Handled by serve_line, which owns the payload exchange.
-        return {err_response("EVALB reached the text dispatcher")};
+        return {err_response("bulk verb reached the text dispatcher")};
       case Verb::kVerify: {
         // One registry lookup, same reasoning as kEval: the verdict
         // and the reported pattern count must describe the SAME
@@ -105,6 +142,9 @@ Server::Outcome Server::dispatch(const Request& request) {
                             " loads=" + std::to_string(stats.loads) +
                             " evals=" + std::to_string(stats.evals) +
                             " patterns=" + std::to_string(stats.patterns) +
+                            " sims=" + std::to_string(stats.sims) +
+                            " sim_patterns=" +
+                            std::to_string(stats.sim_patterns) +
                             " verifies=" + std::to_string(stats.verifies) +
                             " workers=" + std::to_string(stats.workers))};
       }
@@ -145,28 +185,29 @@ bool Server::serve_line(const std::string& line,
     request = parse_request(line);
   } catch (const Error& e) {
     outcome.response = err_response(e.what());
-    // A malformed EVALB header leaves an unknown number of payload
+    // A malformed EVALB/SIMB header leaves an unknown number of payload
     // bytes unframed in the stream; resyncing is impossible, so the
-    // connection must go. Only an exact "EVALB" verb qualifies — a
-    // typo'd verb like "EVALBATCH" is an ordinary one-line request.
+    // connection must go. Only the exact bulk verbs qualify — a typo'd
+    // verb like "EVALBATCH" is an ordinary one-line request.
     const std::vector<std::string> tokens = split_ws(line);
-    if (!tokens.empty() && tokens[0] == "EVALB") {
+    if (!tokens.empty() && (tokens[0] == "EVALB" || tokens[0] == "SIMB")) {
       outcome.quit = true;
     }
     return respond();
   }
 
-  if (request.verb != Verb::kEvalB) {
+  if (!is_bulk_verb(request.verb)) {
     outcome = dispatch(request);
     return respond();
   }
 
-  // EVALB: the length prefix is trusted BEFORE the name or the pattern
-  // count, so the payload can always be consumed and the stream stays
-  // framed even when the request itself fails.
+  // EVALB/SIMB: the length prefix is trusted BEFORE the name or the
+  // pattern count, so the payload can always be consumed and the stream
+  // stays framed even when the request itself fails.
+  const char* verb = request.verb == Verb::kEvalB ? "EVALB" : "SIMB";
   if (request.num_words > kMaxEvalbWords) {
     outcome.response = err_response(
-        "EVALB payload of " + std::to_string(request.num_words) +
+        std::string(verb) + " payload of " + std::to_string(request.num_words) +
         " words exceeds the " + std::to_string(kMaxEvalbWords) +
         "-word limit");
     outcome.quit = true;
@@ -182,8 +223,8 @@ bool Server::serve_line(const std::string& line,
     // up (a thrown bad_alloc would escape the connection thread and
     // call std::terminate).
     outcome.response = err_response(
-        "EVALB: cannot allocate " + std::to_string(request.num_words) +
-        "-word payload buffer");
+        std::string(verb) + ": cannot allocate " +
+        std::to_string(request.num_words) + "-word payload buffer");
     outcome.quit = true;
     return respond();
   }
@@ -196,14 +237,23 @@ bool Server::serve_line(const std::string& line,
   }
   std::vector<std::uint64_t> out_words;
   try {
-    check(request.num_patterns > 0, "EVALB needs at least one pattern");
+    check(request.num_patterns > 0,
+          std::string(verb) + " needs at least one pattern");
     // A pattern count near 2^64 would wrap the words-per-lane
     // computation to zero and sail through the framing checks; anything
     // above what the word limit can carry is hostile.
     check(request.num_patterns <= kMaxEvalbWords * 64,
-          "EVALB pattern count " + std::to_string(request.num_patterns) +
-              " exceeds the " + std::to_string(kMaxEvalbWords * 64) +
-              "-pattern limit");
+          std::string(verb) + " pattern count " +
+              std::to_string(request.num_patterns) + " exceeds the " +
+              std::to_string(kMaxEvalbWords * 64) + "-pattern limit");
+    // Simulated patterns cost three settles each, not one word-op per
+    // 64: a SIMB within the byte framing limits could still pin the
+    // pool for minutes, so its pattern count has its own cap.
+    check(request.verb != Verb::kSimB ||
+              request.num_patterns <= kMaxSimbPatterns,
+          "SIMB pattern count " + std::to_string(request.num_patterns) +
+              " exceeds the " + std::to_string(kMaxSimbPatterns) +
+              "-pattern simulation limit");
     const std::shared_ptr<const LoadedCircuit> circuit =
         session_.get(request.name);
     const int width = circuit->gnor.num_inputs();
@@ -211,30 +261,53 @@ bool Server::serve_line(const std::string& line,
     const std::uint64_t expected =
         static_cast<std::uint64_t>(width) * words_per_lane;
     check(request.num_words == expected,
-          "EVALB: " + std::to_string(request.num_patterns) + " patterns over " +
-              std::to_string(width) + " inputs need " +
+          std::string(verb) + ": " + std::to_string(request.num_patterns) +
+              " patterns over " + std::to_string(width) + " inputs need " +
               std::to_string(expected) + " words, header declares " +
               std::to_string(request.num_words));
     // The word limit must bound the RESPONSE too: a 1-input circuit
     // with many outputs would otherwise turn a within-limit payload
-    // into an output batch far beyond it.
-    const std::uint64_t response_words =
+    // into an output batch far beyond it. A SIMB response additionally
+    // carries the three per-pattern delay arrays.
+    const std::uint64_t lane_words =
         static_cast<std::uint64_t>(circuit->gnor.num_outputs()) *
         words_per_lane;
+    const std::uint64_t response_words =
+        request.verb == Verb::kSimB ? lane_words + 3 * request.num_patterns
+                                    : lane_words;
     check(response_words <= kMaxEvalbWords,
-          "EVALB: response of " + std::to_string(response_words) +
-              " words over " + std::to_string(circuit->gnor.num_outputs()) +
+          std::string(verb) + ": response of " +
+              std::to_string(response_words) + " words over " +
+              std::to_string(circuit->gnor.num_outputs()) +
               " outputs exceeds the " + std::to_string(kMaxEvalbWords) +
               "-word limit");
     logic::PatternBatch inputs(width, request.num_patterns);
     inputs.load_words(payload.data(), payload.size());
     // Evaluate the circuit the width check ran against — a concurrent
     // same-name reload must not swap it out between the two.
-    const logic::PatternBatch outputs = session_.eval(circuit, inputs);
-    out_words.resize(outputs.total_words());
-    outputs.store_words(out_words.data(), out_words.size());
-    outcome.response =
-        evalb_response_header(outputs.num_patterns(), out_words.size());
+    if (request.verb == Verb::kEvalB) {
+      const logic::PatternBatch outputs = session_.eval(circuit, inputs);
+      out_words.resize(outputs.total_words());
+      outputs.store_words(out_words.data(), out_words.size());
+      outcome.response =
+          evalb_response_header(outputs.num_patterns(), out_words.size());
+    } else {
+      const simulate::BatchSimResult result = session_.sim(circuit, inputs);
+      check(result.all_definite(),
+            request.name + ": simulation produced non-digital outputs");
+      out_words.resize(response_words);
+      result.outputs.store_words(out_words.data(), lane_words);
+      // The delay arrays ride as raw doubles, one per 8-byte word —
+      // same-endianness memcpy, like the lanes.
+      const std::uint64_t np = request.num_patterns;
+      std::memcpy(out_words.data() + lane_words,
+                  result.precharge_delay_s.data(), np * sizeof(double));
+      std::memcpy(out_words.data() + lane_words + np,
+                  result.plane1_eval_delay_s.data(), np * sizeof(double));
+      std::memcpy(out_words.data() + lane_words + 2 * np,
+                  result.plane2_eval_delay_s.data(), np * sizeof(double));
+      outcome.response = simb_response_header(np, out_words.size());
+    }
   } catch (const Error& e) {
     outcome.response = err_response(e.what());
     out_words.clear();

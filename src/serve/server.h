@@ -22,7 +22,9 @@
 // payload words stream straight into a logic::PatternBatch via its
 // load_words/store_words lane helpers, so a million-pattern request
 // pays two memcpys instead of a million hex parses. Both transports
-// speak it.
+// speak it. SIMB rides the exact same input framing and answers from
+// the switch-level simulator instead — output lanes plus the three
+// per-pattern phase-delay arrays as raw doubles.
 //
 // Request failures — unknown verbs, malformed covers, missing circuits
 // — never kill the server: every ambit::Error becomes one "ERR ..."
@@ -53,12 +55,20 @@ inline constexpr int kListenBacklog = 128;
 /// Default cap on simultaneously served connections.
 inline constexpr int kDefaultMaxConnections = 64;
 
-/// Upper bound on one EVALB payload AND response (words): 128 MiB of
-/// lane data either way. A header announcing more is rejected before
+/// Upper bound on one EVALB/SIMB payload AND response (words): 128 MiB
+/// of lane data either way. A header announcing more is rejected before
 /// any allocation (and the connection closed); a request whose OUTPUT
 /// lanes would exceed it is rejected before evaluation. A hostile
 /// request cannot OOM the server from either direction.
 inline constexpr std::uint64_t kMaxEvalbWords = std::uint64_t{1} << 24;
+
+/// Upper bound on one SIMB request's PATTERN count. Switch-level
+/// simulation costs three full network settles per pattern — orders of
+/// magnitude more than a word-packed EVALB — so the byte-level framing
+/// limit alone would admit requests that pin the pool for minutes. The
+/// cap keeps one hostile (or merely ambitious) SIMB bounded; larger
+/// sweeps just split into multiple requests.
+inline constexpr std::uint64_t kMaxSimbPatterns = std::uint64_t{1} << 20;
 
 /// Send timeout per connection: a peer that stops reading its responses
 /// for this long is dropped (which also bounds the SHUTDOWN drain — a

@@ -75,6 +75,35 @@ logic::PatternBatch Session::eval(
   return outputs;
 }
 
+simulate::BatchSimResult Session::sim(const std::string& name,
+                                      const logic::PatternBatch& inputs) {
+  return sim(std::shared_ptr<const LoadedCircuit>(get_shared(name)), inputs);
+}
+
+simulate::BatchSimResult Session::sim(
+    const std::shared_ptr<const LoadedCircuit>& circuit,
+    const logic::PatternBatch& inputs) {
+  check(circuit != nullptr, "Session::sim: null circuit");
+  std::shared_ptr<const simulate::GnorPlaSimulator> simulator;
+  {
+    // Build the transistor network once per circuit, on first use —
+    // concurrent first-SIMs serialize here; every later sweep only
+    // copies the shared_ptr. The sweep itself runs OUTSIDE the lock
+    // (simulate_batch settles per-shard network copies).
+    const std::lock_guard<std::mutex> lock(circuit->sim_mutex);
+    if (circuit->simulator == nullptr) {
+      circuit->simulator = std::make_shared<const simulate::GnorPlaSimulator>(
+          circuit->gnor, tech::default_cnfet_electrical());
+    }
+    simulator = circuit->simulator;
+  }
+  simulate::BatchSimResult result = simulator->simulate_batch(inputs, &pool_);
+  circuit->sims.fetch_add(1, std::memory_order_relaxed);
+  sims_.fetch_add(1, std::memory_order_relaxed);
+  sim_patterns_.fetch_add(inputs.num_patterns(), std::memory_order_relaxed);
+  return result;
+}
+
 bool Session::verify(const std::string& name) {
   return verify(std::shared_ptr<const LoadedCircuit>(get_shared(name)));
 }
@@ -129,6 +158,8 @@ SessionStats Session::stats() const {
   stats.loads = loads_.load(std::memory_order_relaxed);
   stats.evals = evals_.load(std::memory_order_relaxed);
   stats.patterns = patterns_.load(std::memory_order_relaxed);
+  stats.sims = sims_.load(std::memory_order_relaxed);
+  stats.sim_patterns = sim_patterns_.load(std::memory_order_relaxed);
   stats.verifies = verifies_.load(std::memory_order_relaxed);
   {
     const std::lock_guard<std::mutex> lock(mutex_);

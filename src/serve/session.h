@@ -6,6 +6,10 @@
 //
 //   * EVAL answers from the sharded bit-parallel batch path
 //     (Evaluator::evaluate_batch over the session's ThreadPool);
+//   * SIM/SIMB answer switch-level timing queries from the same loaded
+//     circuits: the transistor-level network is built ONCE per circuit
+//     (lazily, on the first SIM) and every sweep rides
+//     GnorPlaSimulator::simulate_batch sharded across the same pool;
 //   * VERIFY re-checks the mapped array exhaustively against its
 //     source cover, caching the reference truth tables per circuit so
 //     a re-verify only pays the array sweep, not the cover sweep;
@@ -37,6 +41,7 @@
 #include "logic/pattern_batch.h"
 #include "logic/pla_io.h"
 #include "logic/truth_table.h"
+#include "simulate/pla_sim.h"
 #include "util/thread_pool.h"
 
 namespace ambit::serve {
@@ -57,6 +62,7 @@ struct LoadedCircuit {
   // require shedding the const.
   mutable std::atomic<std::uint64_t> evals{0};     ///< EVAL requests served
   mutable std::atomic<std::uint64_t> patterns{0};  ///< patterns evaluated
+  mutable std::atomic<std::uint64_t> sims{0};      ///< SIM/SIMB requests served
   mutable std::atomic<std::uint64_t> verifies{0};  ///< VERIFY requests served
   /// Reference truth tables (onset / don't-care) for VERIFY, built on
   /// first use under verify_mutex; this is the per-session cache that
@@ -65,6 +71,15 @@ struct LoadedCircuit {
   mutable std::mutex verify_mutex;
   mutable std::optional<logic::TruthTable> reference;
   mutable std::optional<logic::TruthTable> dontcare;
+  /// The transistor-level network for SIM/SIMB, built lazily on first
+  /// use under sim_mutex (the mapped array is immutable, so one build
+  /// serves the circuit's whole lifetime). Held shared-and-const:
+  /// GnorPlaSimulator::simulate_batch settles per-shard COPIES, so any
+  /// number of connection threads can sweep through this one instance
+  /// concurrently, and a caller mid-sweep survives an UNLOAD exactly
+  /// like the mapped array does.
+  mutable std::mutex sim_mutex;
+  mutable std::shared_ptr<const simulate::GnorPlaSimulator> simulator;
 
   LoadedCircuit() : minimized(0, 1), gnor(0, 0, 1) {}
 };
@@ -73,7 +88,9 @@ struct LoadedCircuit {
 struct SessionStats {
   std::uint64_t loads = 0;
   std::uint64_t evals = 0;
-  std::uint64_t patterns = 0;
+  std::uint64_t patterns = 0;      ///< patterns through EVAL/EVALB
+  std::uint64_t sims = 0;          ///< SIM/SIMB requests
+  std::uint64_t sim_patterns = 0;  ///< patterns through SIM/SIMB
   std::uint64_t verifies = 0;
   int circuits = 0;
   int workers = 0;
@@ -115,6 +132,18 @@ class Session {
   logic::PatternBatch eval(const std::shared_ptr<const LoadedCircuit>& circuit,
                            const logic::PatternBatch& inputs);
 
+  /// Switch-level timing sweep through the circuit's lazily built
+  /// transistor network (SIM/SIMB): per-pattern outputs AND phase
+  /// delays, sharded across the session pool, bit-identical to a
+  /// sequential sweep. Input width must match the circuit.
+  simulate::BatchSimResult sim(const std::string& name,
+                               const logic::PatternBatch& inputs);
+
+  /// Same, against a circuit the caller already holds.
+  simulate::BatchSimResult sim(
+      const std::shared_ptr<const LoadedCircuit>& circuit,
+      const logic::PatternBatch& inputs);
+
   /// Exhaustively re-checks the mapped array against the source cover
   /// (don't-cares ignored as always). Builds and caches the reference
   /// tables on first call. Requires the circuit to have at most
@@ -151,6 +180,8 @@ class Session {
   std::atomic<std::uint64_t> loads_{0};
   std::atomic<std::uint64_t> evals_{0};
   std::atomic<std::uint64_t> patterns_{0};
+  std::atomic<std::uint64_t> sims_{0};
+  std::atomic<std::uint64_t> sim_patterns_{0};
   std::atomic<std::uint64_t> verifies_{0};
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/error.h"
+#include "util/thread_pool.h"
 
 namespace ambit::simulate {
 
@@ -10,6 +11,79 @@ using core::CellConfig;
 using core::GnorPla;
 using core::GnorPlane;
 using core::PolarityState;
+
+namespace {
+
+double max_of(const std::vector<double>& values) {
+  double worst = 0;
+  for (const double v : values) {
+    worst = std::max(worst, v);
+  }
+  return worst;
+}
+
+}  // namespace
+
+BatchSimResult::BatchSimResult(int num_outputs, std::uint64_t num_patterns)
+    : outputs(num_outputs, num_patterns),
+      definite(num_outputs, num_patterns),
+      precharge_delay_s(num_patterns),
+      plane1_eval_delay_s(num_patterns),
+      plane2_eval_delay_s(num_patterns) {}
+
+bool BatchSimResult::all_definite() const {
+  for (int o = 0; o < definite.num_signals(); ++o) {
+    const std::uint64_t* lane = definite.lane(o);
+    for (std::uint64_t w = 0; w < definite.words_per_lane(); ++w) {
+      const bool last = (w + 1 == definite.words_per_lane());
+      if (lane[w] != (last ? definite.tail_mask() : ~std::uint64_t{0})) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+double BatchSimResult::cycle_s(std::uint64_t p) const {
+  check(p < num_patterns(), "BatchSimResult::cycle_s: pattern out of range");
+  return precharge_delay_s[p] + plane1_eval_delay_s[p] + plane2_eval_delay_s[p];
+}
+
+double BatchSimResult::worst_precharge_s() const {
+  return max_of(precharge_delay_s);
+}
+
+double BatchSimResult::worst_plane1_eval_s() const {
+  return max_of(plane1_eval_delay_s);
+}
+
+double BatchSimResult::worst_plane2_eval_s() const {
+  return max_of(plane2_eval_delay_s);
+}
+
+std::uint64_t BatchSimResult::critical_pattern() const {
+  std::uint64_t worst = 0;
+  double worst_cycle = -1;
+  for (std::uint64_t p = 0; p < num_patterns(); ++p) {
+    const double c = cycle_s(p);
+    if (c > worst_cycle) {
+      worst_cycle = c;
+      worst = p;
+    }
+  }
+  return worst;
+}
+
+double BatchSimResult::mean_cycle_s() const {
+  if (num_patterns() == 0) {
+    return 0;
+  }
+  double total = 0;
+  for (std::uint64_t p = 0; p < num_patterns(); ++p) {
+    total += cycle_s(p);
+  }
+  return total / static_cast<double>(num_patterns());
+}
 
 GnorPlaSimulator::GnorPlaSimulator(const GnorPla& pla,
                                    const tech::CnfetElectrical& electrical)
@@ -59,52 +133,134 @@ GnorPlaSimulator::GnorPlaSimulator(const GnorPla& pla,
               p2_cell_device_);
 }
 
-PlaSimResult GnorPlaSimulator::run_cycle(const std::vector<bool>& inputs) {
+GnorPlaSimulator::PhaseDelays GnorPlaSimulator::cycle_on(
+    SwitchNetwork& net, const std::vector<Logic>& inputs) const {
   check(static_cast<int>(inputs.size()) == pla_.num_inputs(),
         "GnorPlaSimulator::run_cycle: input arity mismatch");
-  PlaSimResult result;
+  PhaseDelays delays;
 
   // --- Precharge phase: both clocks low, inputs applied. ---
-  net_.set_value(clk1_, Logic::k0);
-  net_.set_value(clk2_, Logic::k0);
+  net.set_value(clk1_, Logic::k0);
+  net.set_value(clk2_, Logic::k0);
   for (std::size_t i = 0; i < input_nodes_.size(); ++i) {
-    net_.set_value(input_nodes_[i], from_bool(inputs[i]));
+    net.set_value(input_nodes_[i], inputs[i]);
   }
-  net_.settle();
+  net.settle();
   for (const NodeId row : p1_rows_) {
-    result.precharge_delay_s =
-        std::max(result.precharge_delay_s, net_.drive_delay_s(row));
+    delays.precharge_s = std::max(delays.precharge_s, net.drive_delay_s(row));
   }
   for (const NodeId row : p2_rows_) {
-    result.precharge_delay_s =
-        std::max(result.precharge_delay_s, net_.drive_delay_s(row));
+    delays.precharge_s = std::max(delays.precharge_s, net.drive_delay_s(row));
   }
 
   // --- Evaluate plane 1 (clk1 high, clk2 still low). ---
-  net_.set_value(clk1_, Logic::k1);
-  net_.settle();
+  net.set_value(clk1_, Logic::k1);
+  net.settle();
   for (const NodeId row : p1_rows_) {
-    result.product_lines.push_back(net_.value(row));
-    result.plane1_eval_delay_s =
-        std::max(result.plane1_eval_delay_s, net_.drive_delay_s(row));
+    delays.plane1_s = std::max(delays.plane1_s, net.drive_delay_s(row));
   }
 
   // --- Evaluate plane 2 on the settled product lines. ---
-  net_.set_value(clk2_, Logic::k1);
-  net_.settle();
+  net.set_value(clk2_, Logic::k1);
+  net.settle();
+  for (const NodeId row : p2_rows_) {
+    delays.plane2_s = std::max(delays.plane2_s, net.drive_delay_s(row));
+  }
+  return delays;
+}
+
+Logic GnorPlaSimulator::output_value(const SwitchNetwork& net, int o) const {
+  Logic v = net.value(p2_rows_[static_cast<std::size_t>(o)]);
+  if (pla_.buffer_inverted(o)) {
+    if (v == Logic::k0) {
+      v = Logic::k1;
+    } else if (v == Logic::k1) {
+      v = Logic::k0;
+    }
+  }
+  return v;
+}
+
+PlaSimResult GnorPlaSimulator::run_cycle_logic(
+    const std::vector<Logic>& inputs) {
+  const PhaseDelays delays = cycle_on(net_, inputs);
+  PlaSimResult result;
+  result.precharge_delay_s = delays.precharge_s;
+  result.plane1_eval_delay_s = delays.plane1_s;
+  result.plane2_eval_delay_s = delays.plane2_s;
+  result.product_lines.reserve(p1_rows_.size());
+  for (const NodeId row : p1_rows_) {
+    result.product_lines.push_back(net_.value(row));
+  }
+  result.outputs.reserve(static_cast<std::size_t>(pla_.num_outputs()));
   for (int o = 0; o < pla_.num_outputs(); ++o) {
-    const NodeId row = p2_rows_[static_cast<std::size_t>(o)];
-    Logic v = net_.value(row);
-    result.plane2_eval_delay_s =
-        std::max(result.plane2_eval_delay_s, net_.drive_delay_s(row));
-    if (pla_.buffer_inverted(o)) {
-      if (v == Logic::k0) {
-        v = Logic::k1;
-      } else if (v == Logic::k1) {
-        v = Logic::k0;
+    result.outputs.push_back(output_value(net_, o));
+  }
+  return result;
+}
+
+PlaSimResult GnorPlaSimulator::run_cycle(const std::vector<bool>& inputs) {
+  std::vector<Logic> logic_inputs(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    logic_inputs[i] = from_bool(inputs[i]);
+  }
+  return run_cycle_logic(logic_inputs);
+}
+
+PlaSimResult GnorPlaSimulator::simulate(const std::vector<bool>& inputs) {
+  net_.reset();
+  return run_cycle(inputs);
+}
+
+BatchSimResult GnorPlaSimulator::simulate_batch(
+    const logic::PatternBatch& inputs, ThreadPool* pool) const {
+  check(inputs.num_signals() == pla_.num_inputs(),
+        "GnorPlaSimulator::simulate_batch: input width mismatch (got " +
+            std::to_string(inputs.num_signals()) + ", expected " +
+            std::to_string(pla_.num_inputs()) + ")");
+  const std::uint64_t patterns = inputs.num_patterns();
+  const int ni = pla_.num_inputs();
+  const int no = pla_.num_outputs();
+  BatchSimResult result(no, patterns);
+
+  // Simulates patterns [lo, hi) on a private settle-state copy of the
+  // ONE built network: topology and fault overrides are shared, charge
+  // state is not, so shards never race and reset-per-pattern keeps
+  // every result independent of pattern order.
+  const auto run_range = [&](std::uint64_t lo, std::uint64_t hi) {
+    SwitchNetwork net = net_;
+    std::vector<Logic> in(static_cast<std::size_t>(ni));
+    for (std::uint64_t p = lo; p < hi; ++p) {
+      for (int i = 0; i < ni; ++i) {
+        in[static_cast<std::size_t>(i)] = from_bool(inputs.get(p, i));
+      }
+      net.reset();
+      const PhaseDelays delays = cycle_on(net, in);
+      result.precharge_delay_s[p] = delays.precharge_s;
+      result.plane1_eval_delay_s[p] = delays.plane1_s;
+      result.plane2_eval_delay_s[p] = delays.plane2_s;
+      for (int o = 0; o < no; ++o) {
+        const Logic v = output_value(net, o);
+        // Word-aligned shards touch disjoint result words, so these
+        // read-modify-write bit sets need no synchronization.
+        result.outputs.set(p, o, v == Logic::k1);
+        result.definite.set(p, o, is_definite(v));
       }
     }
-    result.outputs.push_back(v);
+  };
+
+  const std::uint64_t words = inputs.words_per_lane();
+  // Unlike the word-cheap logic-level kernels, every simulated pattern
+  // costs three full settles, so sharding pays from the second word on
+  // (grain: one 64-pattern word).
+  if (pool == nullptr || pool->num_workers() <= 1 || words < 2) {
+    run_range(0, patterns);
+  } else {
+    pool->parallel_for(0, words, /*grain=*/1,
+                       [&](std::uint64_t word_lo, std::uint64_t word_hi) {
+                         run_range(word_lo * 64,
+                                   std::min(patterns, word_hi * 64));
+                       });
   }
   return result;
 }

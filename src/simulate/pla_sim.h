@@ -21,12 +21,37 @@
 // latency of a plane is the slowest discharging row; a full PLA cycle
 // is precharge + plane-1 evaluate + plane-2 evaluate, which reproduces
 // the delay model in tech/delay_model.h from first principles.
+//
+// Two evaluation granularities:
+//
+//   * run_cycle()/simulate() — one pattern at a time, full visibility
+//     (product lines, 4-valued outputs, per-phase delays). simulate()
+//     resets the settle state first, so its result never depends on
+//     charge retained from an earlier pattern; run_cycle() deliberately
+//     keeps the previous state (that is how the hazard tests drive
+//     retention).
+//   * simulate_batch() — the word-packed batch path: every pattern of a
+//     logic::PatternBatch swept through ONE built network
+//     (reset-and-resettle per pattern instead of rebuild — a ~2.5x
+//     sequential win that bench/bench_sim_batch.cpp measures at >=5x
+//     once the sweep also shards), optionally sharded word-aligned
+//     across an ambit::ThreadPool. Results are
+//     BIT-IDENTICAL to per-pattern simulate() for any worker count:
+//     patterns are independent, every shard runs the same deterministic
+//     solve on an identical copy of the network, and shards write
+//     disjoint word ranges of the packed result.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "core/gnor_pla.h"
+#include "logic/pattern_batch.h"
 #include "simulate/switch_network.h"
+
+namespace ambit {
+class ThreadPool;
+}
 
 namespace ambit::simulate {
 
@@ -44,25 +69,112 @@ struct PlaSimResult {
   }
 };
 
+/// Result of a batch timing sweep: per-pattern outputs packed as
+/// PatternBatch lanes plus the per-pattern phase delays, with
+/// worst-case cycle statistics derived on demand.
+struct BatchSimResult {
+  BatchSimResult(int num_outputs, std::uint64_t num_patterns);
+
+  /// Lane o, bit p: output o of pattern p settled to 1.
+  logic::PatternBatch outputs;
+  /// Lane o, bit p: output o of pattern p settled to a definite 0/1
+  /// (a clear bit marks X/Z — possible only under fault injection or
+  /// non-digital stimuli; all-definite for any healthy mapped PLA).
+  logic::PatternBatch definite;
+  std::vector<double> precharge_delay_s;    ///< per pattern
+  std::vector<double> plane1_eval_delay_s;  ///< per pattern
+  std::vector<double> plane2_eval_delay_s;  ///< per pattern
+
+  std::uint64_t num_patterns() const { return outputs.num_patterns(); }
+  bool all_definite() const;
+
+  /// Latency of pattern `p`'s cycle (sum of its three phases).
+  double cycle_s(std::uint64_t p) const;
+
+  /// Worst observed delay of each phase across the batch.
+  double worst_precharge_s() const;
+  double worst_plane1_eval_s() const;
+  double worst_plane2_eval_s() const;
+
+  /// The clock period the batch requires: each phase must accommodate
+  /// its own worst pattern (the phases are clocked, not self-timed), so
+  /// this is the SUM OF THE PHASE MAXIMA — >= the worst single
+  /// pattern's cycle_s when different patterns stress different phases.
+  double worst_cycle_s() const {
+    return worst_precharge_s() + worst_plane1_eval_s() + worst_plane2_eval_s();
+  }
+
+  /// Pattern with the slowest individual cycle (first on ties; 0 when
+  /// the batch is empty).
+  std::uint64_t critical_pattern() const;
+
+  /// Mean per-pattern cycle latency (0 when the batch is empty).
+  double mean_cycle_s() const;
+};
+
 /// Transistor-level simulator for one GnorPla.
 class GnorPlaSimulator {
  public:
   GnorPlaSimulator(const core::GnorPla& pla,
                    const tech::CnfetElectrical& electrical);
 
-  /// Runs one full precharge+evaluate cycle.
+  /// Runs one full precharge+evaluate cycle ON THE CURRENT settle state
+  /// (dynamic charge retained from earlier cycles persists — see
+  /// simulate() for the state-independent variant).
   PlaSimResult run_cycle(const std::vector<bool>& inputs);
+
+  /// Same, with 4-valued stimuli: X/Z inputs propagate pessimistically
+  /// (a floating or unknown input degrades dependent rows to X rather
+  /// than guessing), which is the edge-lane oracle the robustness tests
+  /// drive. (Own name, not an overload: a braced bool list would be
+  /// ambiguous against the vector<bool> entry point.)
+  PlaSimResult run_cycle_logic(const std::vector<Logic>& inputs);
+
+  /// State-independent single-pattern evaluation: resets the settle
+  /// state (SwitchNetwork::reset), then runs one cycle. This is the
+  /// scalar oracle the batch path is asserted bit-identical against.
+  PlaSimResult simulate(const std::vector<bool>& inputs);
+
+  /// Batch timing sweep: simulates every pattern of `inputs` through
+  /// one built network (reset-and-resettle per pattern — never a
+  /// rebuild), sharded across `pool` in word-aligned pattern ranges
+  /// when one is given. Bit-identical outputs AND delays to per-pattern
+  /// simulate() for any worker count. Throws ambit::Error on an input
+  /// width mismatch. Const on purpose: each shard settles its own copy
+  /// of the built network, so concurrent calls (e.g. from the serve
+  /// layer) never share mutable state.
+  BatchSimResult simulate_batch(const logic::PatternBatch& inputs,
+                                ThreadPool* pool = nullptr) const;
 
   /// Fault injection: overrides the programmed polarity of the device
   /// at (row, col) of plane 1 or 2 (plane index 1-based to match the
-  /// paper's figures).
+  /// paper's figures). Overrides persist into simulate_batch sweeps
+  /// (the shards copy the overridden network).
   void override_cell(int plane, int row, int col,
                      core::PolarityState polarity);
 
   const SwitchNetwork& network() const { return net_; }
   int num_inputs() const { return static_cast<int>(input_nodes_.size()); }
+  int num_outputs() const { return pla_.num_outputs(); }
 
  private:
+  /// Per-phase worst row delays of one cycle.
+  struct PhaseDelays {
+    double precharge_s = 0;
+    double plane1_s = 0;
+    double plane2_s = 0;
+  };
+
+  /// Runs the three clock phases of one cycle on `net` (which must be
+  /// structurally identical to net_), recording each phase's worst row
+  /// delay. Leaves `net` settled after plane 2 so the caller can read
+  /// row and output values.
+  PhaseDelays cycle_on(SwitchNetwork& net,
+                       const std::vector<Logic>& inputs) const;
+
+  /// Output o's post-buffer value on a settled network.
+  Logic output_value(const SwitchNetwork& net, int o) const;
+
   core::GnorPla pla_;
   SwitchNetwork net_;
   NodeId clk1_;

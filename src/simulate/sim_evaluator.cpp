@@ -1,0 +1,31 @@
+#include "simulate/sim_evaluator.h"
+
+#include "util/error.h"
+
+namespace ambit::simulate {
+
+SimEvaluator::SimEvaluator(const core::GnorPla& pla,
+                           const tech::CnfetElectrical& electrical)
+    : sim_(pla, electrical) {}
+
+std::vector<bool> SimEvaluator::do_evaluate(
+    const std::vector<bool>& inputs) const {
+  // One-pattern batch: the scalar path must agree with the batch path
+  // by construction, not by a parallel implementation.
+  logic::PatternBatch batch(num_inputs(), 1);
+  batch.set_pattern(0, inputs);
+  const BatchSimResult result = sim_.simulate_batch(batch);
+  check(result.all_definite(),
+        "SimEvaluator: output failed to settle to a definite value");
+  return result.outputs.pattern(0);
+}
+
+logic::PatternBatch SimEvaluator::do_evaluate_batch(
+    const logic::PatternBatch& inputs) const {
+  BatchSimResult result = sim_.simulate_batch(inputs);
+  check(result.all_definite(),
+        "SimEvaluator: output failed to settle to a definite value");
+  return std::move(result.outputs);
+}
+
+}  // namespace ambit::simulate

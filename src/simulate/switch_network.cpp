@@ -1,8 +1,8 @@
 #include "simulate/switch_network.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
-#include <queue>
 
 #include "util/error.h"
 
@@ -10,28 +10,6 @@ namespace ambit::simulate {
 namespace {
 
 constexpr double kLn2 = 0.6931471805599453;
-
-/// Disjoint-set forest over node ids.
-class UnionFind {
- public:
-  explicit UnionFind(int n) : parent_(static_cast<std::size_t>(n)) {
-    for (int i = 0; i < n; ++i) {
-      parent_[static_cast<std::size_t>(i)] = i;
-    }
-  }
-  int find(int x) {
-    while (parent_[static_cast<std::size_t>(x)] != x) {
-      parent_[static_cast<std::size_t>(x)] =
-          parent_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(x)])];
-      x = parent_[static_cast<std::size_t>(x)];
-    }
-    return x;
-  }
-  void unite(int a, int b) { parent_[static_cast<std::size_t>(find(a))] = find(b); }
-
- private:
-  std::vector<int> parent_;
-};
 
 }  // namespace
 
@@ -78,6 +56,7 @@ void SwitchNetwork::add_device(core::PolarityState polarity, NodeId gate,
         "SwitchNetwork::add_device: node out of range");
   check(width_factor > 0, "SwitchNetwork::add_device: width must be positive");
   devices_.push_back(Device{polarity, gate, a, b, width_factor});
+  csr_.valid = false;  // topology grew; the static adjacency is stale
 }
 
 void SwitchNetwork::set_device_polarity(std::size_t index,
@@ -106,42 +85,70 @@ double SwitchNetwork::drive_delay_s(NodeId node) const {
   return nodes_[static_cast<std::size_t>(node)].last_delay_s;
 }
 
-bool SwitchNetwork::sweep() {
-  const int n = num_nodes();
-  // 1. Conduction per device.
-  enum class Conduction { kOn, kOff, kMaybe };
-  std::vector<Conduction> state(devices_.size());
-  for (std::size_t d = 0; d < devices_.size(); ++d) {
+void SwitchNetwork::reset() {
+  for (Node& node : nodes_) {
+    if (!node.is_supply) {
+      node.value = Logic::kZ;
+    }
+    node.last_delay_s = 0;
+  }
+}
+
+int SwitchNetwork::find_root(int x) {
+  std::vector<int>& parent = scratch_.parent;
+  while (parent[static_cast<std::size_t>(x)] != x) {
+    parent[static_cast<std::size_t>(x)] =
+        parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+    x = parent[static_cast<std::size_t>(x)];
+  }
+  return x;
+}
+
+bool SwitchNetwork::compute_conduction(std::vector<Conduction>& out) const {
+  const std::size_t nd = devices_.size();
+  out.resize(nd);
+  bool has_maybe = false;
+  for (std::size_t d = 0; d < nd; ++d) {
     const Logic g = nodes_[static_cast<std::size_t>(devices_[d].gate)].value;
     if (devices_[d].polarity == core::PolarityState::kOff) {
-      state[d] = Conduction::kOff;
+      out[d] = Conduction::kOff;
     } else if (is_definite(g)) {
-      state[d] = core::conducts(devices_[d].polarity, g == Logic::k1)
-                     ? Conduction::kOn
-                     : Conduction::kOff;
+      out[d] = core::conducts(devices_[d].polarity, g == Logic::k1)
+                   ? Conduction::kOn
+                   : Conduction::kOff;
     } else {
-      state[d] = Conduction::kMaybe;
+      out[d] = Conduction::kMaybe;
+      has_maybe = true;
     }
   }
+  return has_maybe;
+}
+
+bool SwitchNetwork::sweep_components() {
+  const int n = num_nodes();
+  const std::size_t nd = devices_.size();
+  const std::vector<Conduction>& state = scratch_.state;
 
   // 2. Components through conducting devices.
-  UnionFind uf(n);
-  for (std::size_t d = 0; d < devices_.size(); ++d) {
+  std::vector<int>& parent = scratch_.parent;
+  parent.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    parent[static_cast<std::size_t>(i)] = i;
+  }
+  for (std::size_t d = 0; d < nd; ++d) {
     if (state[d] == Conduction::kOn) {
-      uf.unite(devices_[d].a, devices_[d].b);
+      parent[static_cast<std::size_t>(find_root(devices_[d].a))] =
+          find_root(devices_[d].b);
     }
   }
 
   // 3. Resolve each component.
-  struct CompInfo {
-    bool has0 = false, has1 = false, hasX = false;  // strong drivers
-    double cap0 = 0, cap1 = 0, capx = 0;            // retained charge
-    double cap_total = 0;
-  };
-  std::vector<int> root(static_cast<std::size_t>(n));
-  std::vector<CompInfo> info(static_cast<std::size_t>(n));
+  std::vector<int>& root = scratch_.root;
+  std::vector<CompInfo>& info = scratch_.info;
+  root.resize(static_cast<std::size_t>(n));
+  info.assign(static_cast<std::size_t>(n), CompInfo{});
   for (int i = 0; i < n; ++i) {
-    root[static_cast<std::size_t>(i)] = uf.find(i);
+    root[static_cast<std::size_t>(i)] = find_root(i);
     CompInfo& ci = info[static_cast<std::size_t>(root[static_cast<std::size_t>(i)])];
     const Node& node = nodes_[static_cast<std::size_t>(i)];
     if (node.is_supply || node.is_input) {
@@ -175,7 +182,8 @@ bool SwitchNetwork::sweep() {
     if (ci.cap1 > 0) return Logic::k1;
     return Logic::kZ;
   };
-  std::vector<Logic> comp_value(static_cast<std::size_t>(n), Logic::kZ);
+  std::vector<Logic>& comp_value = scratch_.comp_value;
+  comp_value.assign(static_cast<std::size_t>(n), Logic::kZ);
   for (int i = 0; i < n; ++i) {
     if (root[static_cast<std::size_t>(i)] == i) {
       comp_value[static_cast<std::size_t>(i)] =
@@ -184,7 +192,7 @@ bool SwitchNetwork::sweep() {
   }
 
   // 4. Maybe-conducting devices degrade conflicting neighbours to X.
-  for (std::size_t d = 0; d < devices_.size(); ++d) {
+  for (std::size_t d = 0; d < nd; ++d) {
     if (state[d] != Conduction::kMaybe) {
       continue;
     }
@@ -218,39 +226,90 @@ bool SwitchNetwork::sweep() {
       changed = true;
     }
   }
+  return changed;
+}
 
-  // 6. Delay annotation: Dijkstra from strong drivers inside each
-  //    driven component, edge weight = device on-resistance.
-  std::vector<std::vector<std::pair<int, double>>> adj(
-      static_cast<std::size_t>(n));
+void SwitchNetwork::build_static_csr() {
+  const int n = num_nodes();
+  csr_.offset.assign(static_cast<std::size_t>(n) + 1, 0);
+  csr_.resistance.resize(devices_.size());
   for (std::size_t d = 0; d < devices_.size(); ++d) {
-    if (state[d] == Conduction::kOn) {
-      const double r = electrical_.r_on_ohm / devices_[d].width_factor;
-      adj[static_cast<std::size_t>(devices_[d].a)].push_back({devices_[d].b, r});
-      adj[static_cast<std::size_t>(devices_[d].b)].push_back({devices_[d].a, r});
-    }
+    ++csr_.offset[static_cast<std::size_t>(devices_[d].a) + 1];
+    ++csr_.offset[static_cast<std::size_t>(devices_[d].b) + 1];
+    csr_.resistance[d] = electrical_.r_on_ohm / devices_[d].width_factor;
   }
-  std::vector<double> rpath(static_cast<std::size_t>(n),
-                            std::numeric_limits<double>::infinity());
-  using Entry = std::pair<double, int>;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (int i = 0; i < n; ++i) {
+    csr_.offset[static_cast<std::size_t>(i) + 1] +=
+        csr_.offset[static_cast<std::size_t>(i)];
+  }
+  csr_.edges.resize(2 * devices_.size());
+  std::vector<int> cursor(csr_.offset.begin(), csr_.offset.end() - 1);
+  for (std::size_t d = 0; d < devices_.size(); ++d) {
+    csr_.edges[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(devices_[d].a)]++)] = {
+        devices_[d].b, static_cast<int>(d)};
+    csr_.edges[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(devices_[d].b)]++)] = {
+        devices_[d].a, static_cast<int>(d)};
+  }
+  csr_.valid = true;
+}
+
+void SwitchNetwork::annotate_delays() {
+  // Dijkstra from strong drivers inside each driven component, edge
+  // weight = device on-resistance. Runs on the CONVERGED sweep state
+  // (scratch_.state/root/info are those of the final sweep), so one
+  // annotation per settle replaces the per-sweep Dijkstra the solver
+  // used to pay, over the static endpoint adjacency (non-conducting
+  // edges are skipped by state, not rebuilt away).
+  const int n = num_nodes();
+  const std::vector<Conduction>& state = scratch_.state;
+  const std::vector<int>& root = scratch_.root;
+  const std::vector<CompInfo>& info = scratch_.info;
+  if (!csr_.valid) {
+    build_static_csr();
+  }
+
+  std::vector<double>& rpath = scratch_.rpath;
+  rpath.assign(static_cast<std::size_t>(n),
+               std::numeric_limits<double>::infinity());
+  // Min-heap on (resistance, node) via push_heap/pop_heap over a
+  // reusable buffer (std::priority_queue would reallocate per settle).
+  std::vector<std::pair<double, int>>& heap = scratch_.heap;
+  heap.clear();
+  const auto heap_greater = std::greater<std::pair<double, int>>{};
   for (int i = 0; i < n; ++i) {
     const Node& node = nodes_[static_cast<std::size_t>(i)];
-    if ((node.is_supply || node.is_input) && is_definite(node.value)) {
+    if ((node.is_supply || node.is_input) && is_definite(node.value) &&
+        csr_.offset[static_cast<std::size_t>(i)] !=
+            csr_.offset[static_cast<std::size_t>(i) + 1]) {
+      // Gate-only drivers (most primary inputs) have no channel edges:
+      // they can reach nothing and their own delay is 0 either way
+      // (r = 0 and r = inf both annotate as 0), so they stay out of
+      // the frontier.
       rpath[static_cast<std::size_t>(i)] = 0;
-      heap.push({0, i});
+      heap.push_back({0, i});
     }
   }
+  std::make_heap(heap.begin(), heap.end(), heap_greater);
   while (!heap.empty()) {
-    const auto [dist, u] = heap.top();
-    heap.pop();
+    std::pop_heap(heap.begin(), heap.end(), heap_greater);
+    const auto [dist, u] = heap.back();
+    heap.pop_back();
     if (dist > rpath[static_cast<std::size_t>(u)]) {
       continue;
     }
-    for (const auto& [v, r] : adj[static_cast<std::size_t>(u)]) {
+    for (int e = csr_.offset[static_cast<std::size_t>(u)];
+         e < csr_.offset[static_cast<std::size_t>(u) + 1]; ++e) {
+      const auto& [v, d] = csr_.edges[static_cast<std::size_t>(e)];
+      if (state[static_cast<std::size_t>(d)] != Conduction::kOn) {
+        continue;
+      }
+      const double r = csr_.resistance[static_cast<std::size_t>(d)];
       if (dist + r < rpath[static_cast<std::size_t>(v)]) {
         rpath[static_cast<std::size_t>(v)] = dist + r;
-        heap.push({dist + r, v});
+        heap.push_back({dist + r, v});
+        std::push_heap(heap.begin(), heap.end(), heap_greater);
       }
     }
   }
@@ -266,12 +325,27 @@ bool SwitchNetwork::sweep() {
       node.last_delay_s = kLn2 * r * c;
     }
   }
-  return changed;
 }
 
 void SwitchNetwork::settle(int max_sweeps) {
   for (int i = 0; i < max_sweeps; ++i) {
-    if (!sweep()) {
+    const bool has_maybe = compute_conduction(scratch_.next);
+    if (i > 0 && !has_maybe && scratch_.next == scratch_.state) {
+      // Same conduction as the previous sweep, no external value change
+      // in between, and every device definitely on or off: components
+      // and resolution are forced to repeat themselves, so the previous
+      // sweep's commit was already the fixed point (and its root/info
+      // still describe it for the annotation). This turns each settle's
+      // confirming sweep into one device pass plus a compare. Maybe-
+      // conducting devices are excluded because their Z-adoption can
+      // legitimately advance one hop per sweep UNDER unchanged
+      // conduction — those settles must run the full sweeps.
+      annotate_delays();
+      return;
+    }
+    scratch_.state.swap(scratch_.next);
+    if (!sweep_components()) {
+      annotate_delays();
       return;
     }
   }

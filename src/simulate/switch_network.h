@@ -23,10 +23,19 @@
 //
 // The solver also reports a first-order Elmore delay per node: the
 // series on-resistance along the conducting path from the driving rail
-// times the total capacitance of the node's component.
+// times the total capacitance of the node's component. The annotation
+// runs ONCE per settle, on the converged state — intermediate sweeps
+// only relax values — and all sweep scratch lives in reusable member
+// buffers, so a settle on an already-built network allocates nothing
+// in steady state. That is what makes reset()-and-resettle cheap
+// enough for the batch simulation path (pla_sim.h) to sweep thousands
+// of patterns through one network instead of rebuilding it per
+// pattern.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/cnfet.h"
@@ -67,6 +76,16 @@ class SwitchNetwork {
   void set_value(NodeId node, Logic value);
   const std::string& node_name(NodeId node) const;
 
+  /// Returns every node to its post-construction settle state: floating
+  /// and input nodes back to Z (dropping any retained dynamic charge),
+  /// delay annotations back to 0. Supplies keep driving their rails and
+  /// the topology (devices, polarities — including fault overrides) is
+  /// untouched. After reset() the next settle() behaves exactly as on a
+  /// freshly built copy of the network, which is what lets one built
+  /// network be REUSED across the patterns of a batch sweep instead of
+  /// rebuilt per pattern (asserted in tests/switch_network_test.cpp).
+  void reset();
+
   /// Settles the current phase; throws after `max_sweeps` without
   /// convergence (indicates oscillation, impossible in feed-forward
   /// structures).
@@ -93,13 +112,62 @@ class SwitchNetwork {
     NodeId b;
     double width_factor;
   };
+  /// Resolution inputs of one electrical component (indexed by root).
+  struct CompInfo {
+    bool has0 = false, has1 = false, hasX = false;  // strong drivers
+    double cap0 = 0, cap1 = 0, capx = 0;            // retained charge
+    double cap_total = 0;
+  };
+  enum class Conduction : std::uint8_t { kOn, kOff, kMaybe };
 
   tech::CnfetElectrical electrical_;
   std::vector<Node> nodes_;
   std::vector<Device> devices_;
 
-  /// One relaxation sweep; returns true when any node changed.
-  bool sweep();
+  // Sweep scratch, reused across sweeps/settles so the steady-state
+  // solve is allocation-free (sized lazily to the network).
+  struct Scratch {
+    std::vector<Conduction> state;   // per device (current sweep)
+    std::vector<Conduction> next;    // conduction staging/compare buffer
+    std::vector<int> parent;         // union-find forest
+    std::vector<int> root;           // per node: component root
+    std::vector<CompInfo> info;      // per root
+    std::vector<Logic> comp_value;   // per root
+    std::vector<double> rpath;
+    std::vector<std::pair<double, int>> heap;  // Dijkstra frontier
+  };
+  Scratch scratch_;
+
+  // Static endpoint adjacency (CSR: node -> (neighbor, device)), built
+  // lazily on first settle and reused until add_device grows the
+  // topology (polarity overrides keep it valid — endpoints and widths
+  // are untouched). Amortizing this per NETWORK instead of per settle
+  // is part of what makes reset-and-resettle beat rebuild-per-pattern.
+  struct StaticCsr {
+    bool valid = false;
+    std::vector<int> offset;                  // n + 1
+    std::vector<std::pair<int, int>> edges;   // (neighbor node, device)
+    std::vector<double> resistance;           // per device
+  };
+  StaticCsr csr_;
+
+  int find_root(int x);
+
+  /// Fills `out` with the per-device conduction for the current node
+  /// values; returns true when any device is maybe-conducting (Z/X
+  /// gate), which disables settle()'s conduction-equality early exit.
+  bool compute_conduction(std::vector<Conduction>& out) const;
+
+  /// The component/resolve/commit part of one sweep, for the conduction
+  /// in scratch_.state; returns true when any node changed. Leaves
+  /// scratch_.root/info describing the swept state for
+  /// annotate_delays().
+  bool sweep_components();
+
+  /// Writes last_delay_s for every node from the converged sweep state.
+  void annotate_delays();
+
+  void build_static_csr();
 };
 
 }  // namespace ambit::simulate

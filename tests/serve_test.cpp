@@ -17,6 +17,8 @@
 #include "serve/protocol.h"
 #include "serve/server.h"
 #include "serve/session.h"
+#include "simulate/pla_sim.h"
+#include "tech/technology.h"
 #include "util/error.h"
 #include "util/strings.h"
 
@@ -99,6 +101,41 @@ TEST(ProtocolTest, MalformedEvalbHeadersRejected) {
 
 TEST(ProtocolTest, EvalbResponseHeaderFormat) {
   EXPECT_EQ(evalb_response_header(128, 6), "OK EVALB 128 6");
+}
+
+TEST(ProtocolTest, ParsesSimVerbs) {
+  const Request sim = parse_request("SIM f 0 1f 0x2a");
+  EXPECT_EQ(sim.verb, Verb::kSim);
+  EXPECT_EQ(sim.name, "f");
+  EXPECT_EQ(sim.patterns, (std::vector<std::string>{"0", "1f", "0x2a"}));
+
+  const Request simb = parse_request("SIMB f 130 9");
+  EXPECT_EQ(simb.verb, Verb::kSimB);
+  EXPECT_EQ(simb.name, "f");
+  EXPECT_EQ(simb.num_patterns, 130u);
+  EXPECT_EQ(simb.num_words, 9u);
+  EXPECT_TRUE(is_bulk_verb(Verb::kSimB));
+  EXPECT_TRUE(is_bulk_verb(Verb::kEvalB));
+  EXPECT_FALSE(is_bulk_verb(Verb::kSim));
+}
+
+TEST(ProtocolTest, MalformedSimRequestsRejected) {
+  EXPECT_THROW(parse_request("SIM name_but_no_patterns"), Error);
+  EXPECT_THROW(parse_request("SIMB f"), Error);
+  EXPECT_THROW(parse_request("SIMB f 128"), Error);
+  EXPECT_THROW(parse_request("SIMB f 128 6 extra"), Error);
+  EXPECT_THROW(parse_request("SIMB f abc 6"), Error);
+  EXPECT_THROW(parse_request("SIMB f 128 -6"), Error);
+  EXPECT_THROW(parse_request("SIMB f 99999999999999999999999 6"), Error);
+}
+
+TEST(ProtocolTest, SimbResponseHeaderAndSimTokenFormat) {
+  EXPECT_EQ(simb_response_header(128, 390), "OK SIMB 128 390");
+  // 1 ps / 2 ps / 3 ps, outputs {1,0} -> hex "1".
+  EXPECT_EQ(sim_token({true, false}, 1e-12, 2e-12, 3e-12), "1@1/2/3");
+  // %.6g keeps sub-ps resolution without drift-prone padding.
+  EXPECT_EQ(sim_token({false}, 26.8594e-12, 39.856e-12, 19.0615e-12),
+            "0@26.8594/39.856/19.0615");
 }
 
 TEST(ProtocolTest, HexRoundTrip) {
@@ -252,6 +289,37 @@ TEST(SessionTest, StatsAccumulate) {
   EXPECT_EQ(session.stats().evals, 2u);
   EXPECT_EQ(session.stats().patterns, 16u);
   EXPECT_EQ(session.stats().circuits, 1);
+}
+
+TEST(SessionTest, SimMatchesDirectSimulatorAndCounts) {
+  const std::string path = write_sample_pla("serve_sim.pla");
+  Session session(/*workers=*/2);
+  const std::shared_ptr<const LoadedCircuit> circuit = session.load("s", path);
+
+  const PatternBatch inputs = PatternBatch::exhaustive(3);
+  const simulate::BatchSimResult served = session.sim("s", inputs);
+  // Reference: a directly built simulator over the SAME mapped array.
+  simulate::GnorPlaSimulator direct(circuit->gnor,
+                                    tech::default_cnfet_electrical());
+  const simulate::BatchSimResult expected = direct.simulate_batch(inputs);
+  EXPECT_EQ(served.outputs, expected.outputs);
+  EXPECT_EQ(served.precharge_delay_s, expected.precharge_delay_s);
+  EXPECT_EQ(served.plane1_eval_delay_s, expected.plane1_eval_delay_s);
+  EXPECT_EQ(served.plane2_eval_delay_s, expected.plane2_eval_delay_s);
+  EXPECT_TRUE(served.all_definite());
+
+  // And against the functional batch path: the oracle chain holds
+  // through the serve layer too.
+  EXPECT_EQ(served.outputs, session.eval("s", inputs));
+
+  const SessionStats stats = session.stats();
+  EXPECT_EQ(stats.sims, 1u);
+  EXPECT_EQ(stats.sim_patterns, 8u);
+  EXPECT_EQ(stats.evals, 1u);  // the eval() above
+  EXPECT_EQ(session.get("s")->sims.load(), 1u);
+  // Width mismatches surface as ambit::Error, same as eval.
+  EXPECT_THROW(session.sim("s", PatternBatch(2, 4)), Error);
+  EXPECT_THROW(session.sim("ghost", inputs), Error);
 }
 
 // ---------------------------------------------------------------------------
@@ -474,6 +542,193 @@ TEST(ServerTest, EvalbOversizedHeaderDropsConnection) {
   EXPECT_EQ(server.serve_stream(in, out), 1u);
   EXPECT_TRUE(starts_with(out.str(), "ERR EVALB payload"));
   EXPECT_EQ(out.str().find("OK circuits"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// SIM / SIMB: switch-level timing queries over the serve layer.
+// ---------------------------------------------------------------------------
+
+/// Expected SIM token for pattern `bits` through a scalar simulation of
+/// `gnor` — the independent oracle the served answers are checked
+/// against (same formatting helper, values from per-pattern settles).
+std::string expected_sim_token(const core::GnorPla& gnor,
+                               const std::vector<bool>& bits) {
+  simulate::GnorPlaSimulator sim(gnor, tech::default_cnfet_electrical());
+  const simulate::PlaSimResult r = sim.simulate(bits);
+  std::vector<bool> outputs;
+  for (const simulate::Logic v : r.outputs) {
+    outputs.push_back(v == simulate::Logic::k1);
+  }
+  return sim_token(outputs, r.precharge_delay_s, r.plane1_eval_delay_s,
+                   r.plane2_eval_delay_s);
+}
+
+TEST(ServerTest, StreamSimRoundTripMatchesScalarSimulator) {
+  const std::string path = write_sample_pla("serve_sim_stream.pla");
+  Session session(1);
+  Server server(session);
+  std::istringstream in("LOAD s " + path + "\nSIM s 0 7 3\nQUIT\n");
+  std::ostringstream out;
+  EXPECT_EQ(server.serve_stream(in, out), 3u);
+
+  std::vector<std::string> lines;
+  std::istringstream responses(out.str());
+  for (std::string line; std::getline(responses, line);) {
+    lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 3u);
+  const core::GnorPla& gnor = session.get("s")->gnor;
+  const std::string expected = "OK " +
+                               expected_sim_token(gnor, hex_decode("0", 3)) +
+                               " " +
+                               expected_sim_token(gnor, hex_decode("7", 3)) +
+                               " " +
+                               expected_sim_token(gnor, hex_decode("3", 3));
+  EXPECT_EQ(lines[1], expected);
+  EXPECT_EQ(session.stats().sims, 1u);
+  EXPECT_EQ(session.stats().sim_patterns, 3u);
+}
+
+TEST(ServerTest, SimErrorLines) {
+  const std::string path = write_sample_pla("serve_sim_err.pla");
+  Session session(1);
+  Server server(session);
+  // Unknown circuit.
+  EXPECT_TRUE(starts_with(server.handle_line("SIM ghost 0"), "ERR no circuit"));
+  ASSERT_TRUE(starts_with(server.handle_line("LOAD s " + path), "OK"));
+  // Width mismatch: bit 3 set on a 3-input circuit.
+  EXPECT_TRUE(starts_with(server.handle_line("SIM s 8"), "ERR"));
+  // SIMB is binary-only in the text entry point, like EVALB.
+  EXPECT_TRUE(starts_with(server.handle_line("SIMB s 8 3"), "ERR SIMB"));
+  EXPECT_EQ(session.stats().sims, 0u);
+}
+
+TEST(ServerTest, StreamSimbRoundTrip) {
+  const std::string path = write_sample_pla("serve_simb.pla");
+  Session session(1);
+  Server server(session);
+
+  // 130 patterns force a partial final word.
+  constexpr std::uint64_t kPatterns = 130;
+  PatternBatch inputs(3, kPatterns);
+  for (std::uint64_t p = 0; p < kPatterns; ++p) {
+    inputs.set_pattern(p, {(p & 1) != 0, (p & 2) != 0, (p & 4) != 0});
+  }
+  std::ostringstream request;
+  request << "LOAD s " << path << "\n"
+          << "SIMB s " << kPatterns << " " << inputs.total_words() << "\n"
+          << frame_payload(inputs) << "QUIT\n";
+  std::istringstream in(request.str());
+  std::ostringstream out;
+  EXPECT_EQ(server.serve_stream(in, out), 3u);
+
+  // Reference: direct batch simulation of the loaded array.
+  simulate::GnorPlaSimulator direct(session.get("s")->gnor,
+                                    tech::default_cnfet_electrical());
+  const simulate::BatchSimResult expected = direct.simulate_batch(inputs);
+  const std::uint64_t lane_words = expected.outputs.total_words();
+  const std::uint64_t response_words = lane_words + 3 * kPatterns;
+
+  std::istringstream response(out.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(response, line));
+  EXPECT_TRUE(starts_with(line, "OK loaded s"));
+  ASSERT_TRUE(std::getline(response, line));
+  EXPECT_EQ(line, simb_response_header(kPatterns, response_words));
+  std::vector<std::uint64_t> out_words(response_words);
+  response.read(reinterpret_cast<char*>(out_words.data()),
+                static_cast<std::streamsize>(out_words.size() *
+                                             sizeof(std::uint64_t)));
+  ASSERT_EQ(response.gcount(),
+            static_cast<std::streamsize>(out_words.size() *
+                                         sizeof(std::uint64_t)));
+  PatternBatch outputs(expected.outputs.num_signals(), kPatterns);
+  outputs.load_words(out_words.data(), lane_words);
+  EXPECT_EQ(outputs, expected.outputs);
+  std::vector<double> pre(kPatterns), e1(kPatterns), e2(kPatterns);
+  std::memcpy(pre.data(), out_words.data() + lane_words,
+              kPatterns * sizeof(double));
+  std::memcpy(e1.data(), out_words.data() + lane_words + kPatterns,
+              kPatterns * sizeof(double));
+  std::memcpy(e2.data(), out_words.data() + lane_words + 2 * kPatterns,
+              kPatterns * sizeof(double));
+  EXPECT_EQ(pre, expected.precharge_delay_s);
+  EXPECT_EQ(e1, expected.plane1_eval_delay_s);
+  EXPECT_EQ(e2, expected.plane2_eval_delay_s);
+  ASSERT_TRUE(std::getline(response, line));
+  EXPECT_EQ(line, "OK bye");
+  EXPECT_EQ(session.stats().sim_patterns, kPatterns);
+  EXPECT_EQ(session.stats().patterns, 0u);  // EVAL counters untouched
+}
+
+TEST(ServerTest, SimbErrorsKeepStreamFramed) {
+  // Unknown name, wrong word count, zero patterns and an over-cap
+  // pattern count all consume exactly the declared payload, answer one
+  // ERR line, and leave the following requests intact.
+  const std::string path = write_sample_pla("serve_simb_err.pla");
+  Session session(1);
+  Server server(session);
+  PatternBatch inputs = PatternBatch::exhaustive(3);  // 8 patterns, 3 words
+
+  std::ostringstream request;
+  request << "SIMB ghost 8 3\n" << frame_payload(inputs)      // unknown name
+          << "LOAD s " << path << "\n"
+          << "SIMB s 8 7\n"                                   // wrong count
+          << std::string(7 * sizeof(std::uint64_t), '\xcd')
+          << "SIMB s 0 0\n"                                   // no patterns
+          << "SIMB s " << (kMaxSimbPatterns + 1) << " 1\n"    // over the cap
+          << std::string(sizeof(std::uint64_t), '\x11')
+          << "STATS\nQUIT\n";
+  std::istringstream in(request.str());
+  std::ostringstream out;
+  EXPECT_EQ(server.serve_stream(in, out), 7u);
+
+  std::istringstream response(out.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(response, line));
+  EXPECT_TRUE(starts_with(line, "ERR no circuit loaded under 'ghost'"));
+  ASSERT_TRUE(std::getline(response, line));
+  EXPECT_TRUE(starts_with(line, "OK loaded s"));
+  ASSERT_TRUE(std::getline(response, line));
+  EXPECT_TRUE(starts_with(line, "ERR SIMB"));
+  ASSERT_TRUE(std::getline(response, line));
+  EXPECT_TRUE(starts_with(line, "ERR SIMB needs at least one pattern"));
+  ASSERT_TRUE(std::getline(response, line));
+  EXPECT_TRUE(starts_with(line, "ERR SIMB pattern count")) << line;
+  EXPECT_NE(line.find("simulation limit"), std::string::npos) << line;
+  ASSERT_TRUE(std::getline(response, line));
+  EXPECT_TRUE(starts_with(line, "OK circuits=1"));
+  EXPECT_EQ(session.stats().sims, 0u);  // no bulk request ever simulated
+}
+
+TEST(ServerTest, SimbOversizedHeaderDropsConnection) {
+  Session session(1);
+  Server server(session);
+  std::istringstream in("SIMB f 1 99999999999\nSTATS\n");
+  std::ostringstream out;
+  EXPECT_EQ(server.serve_stream(in, out), 1u);
+  EXPECT_TRUE(starts_with(out.str(), "ERR SIMB payload"));
+  EXPECT_EQ(out.str().find("OK circuits"), std::string::npos);
+}
+
+TEST(ServerTest, MalformedSimbHeaderDropsConnection) {
+  // Like EVALB: an unparseable SIMB header unframes the byte stream, so
+  // the server answers ERR once and closes; a typo'd "SIMBx" verb stays
+  // an ordinary one-line failure.
+  Session session(1);
+  Server server(session);
+  {
+    std::istringstream in("SIMB f nonsense 3\nSTATS\n");
+    std::ostringstream out;
+    EXPECT_EQ(server.serve_stream(in, out), 1u);
+    EXPECT_EQ(out.str().find("OK circuits"), std::string::npos);
+  }
+  {
+    std::istringstream in("SIMBATCH f 8 3\nSTATS\nQUIT\n");
+    std::ostringstream out;
+    EXPECT_EQ(server.serve_stream(in, out), 3u);
+    EXPECT_NE(out.str().find("OK circuits=0"), std::string::npos);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -913,6 +1168,199 @@ TEST(ServerTest, UnixSocketEvalbRoundTrip) {
   outputs.load_words(out_words.data(), out_words.size());
   EXPECT_EQ(outputs, expected);
   EXPECT_EQ(buffer.substr(consumed), "OK shutting down\n");
+}
+
+TEST(ServerTest, UnixSocketSimAndSimbRoundTrip) {
+  // SIM (text) and SIMB (binary frame) over the real socket transport,
+  // checked against scalar and batch simulation of the loaded array.
+  const std::string path = write_sample_pla("serve_sim_sock.pla");
+  const std::string socket_path =
+      testing::TempDir() + "/ambit_serve_simb.sock";
+  Session session(1);
+  session.load("s", path);
+  Server server(session);
+  std::thread server_thread([&] { server.serve_unix(socket_path); });
+
+  const core::GnorPla& gnor = session.get("s")->gnor;
+
+  // Text SIM first: one request line, one token per pattern.
+  const int sim_fd = connect_with_retry(socket_path);
+  ASSERT_GE(sim_fd, 0);
+  const auto sim_lines = socket_transact(sim_fd, "SIM s 7 0\nQUIT\n", 2);
+  ::close(sim_fd);
+  ASSERT_EQ(sim_lines.size(), 2u);
+  EXPECT_EQ(sim_lines[0], "OK " + expected_sim_token(gnor, hex_decode("7", 3)) +
+                              " " + expected_sim_token(gnor, hex_decode("0", 3)));
+
+  // Binary SIMB, pipelined with SHUTDOWN in one write.
+  PatternBatch inputs = PatternBatch::exhaustive(3);
+  simulate::GnorPlaSimulator direct(gnor, tech::default_cnfet_electrical());
+  const simulate::BatchSimResult expected = direct.simulate_batch(inputs);
+  const std::uint64_t lane_words = expected.outputs.total_words();
+  const std::uint64_t response_words =
+      lane_words + 3 * inputs.num_patterns();
+
+  const int fd = connect_with_retry(socket_path);
+  ASSERT_GE(fd, 0);
+  std::ostringstream request;
+  request << "SIMB s " << inputs.num_patterns() << " "
+          << inputs.total_words() << "\n"
+          << frame_payload(inputs) << "SHUTDOWN\n";
+  const std::string wire = request.str();
+  ASSERT_EQ(::write(fd, wire.data(), wire.size()),
+            static_cast<ssize_t>(wire.size()));
+  std::string buffer;
+  char chunk[4096];
+  for (ssize_t n; (n = ::read(fd, chunk, sizeof(chunk))) > 0;) {
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  server_thread.join();
+
+  std::vector<std::uint64_t> out_words;
+  std::size_t consumed = 0;
+  ASSERT_TRUE(decode_simb_response(buffer, inputs.num_patterns(),
+                                   response_words, out_words, consumed))
+      << buffer;
+  PatternBatch outputs(expected.outputs.num_signals(), inputs.num_patterns());
+  outputs.load_words(out_words.data(), lane_words);
+  EXPECT_EQ(outputs, expected.outputs);
+  std::vector<double> pre(inputs.num_patterns());
+  std::memcpy(pre.data(), out_words.data() + lane_words,
+              pre.size() * sizeof(double));
+  EXPECT_EQ(pre, expected.precharge_delay_s);
+  EXPECT_EQ(buffer.substr(consumed), "OK shutting down\n");
+  EXPECT_EQ(session.stats().sims, 2u);  // one SIM + one SIMB
+  EXPECT_EQ(session.stats().sim_patterns, 10u);
+}
+
+TEST(ServerTest, MultiClientHammerMixesEvalbAndSimb) {
+  // >= 4 clients interleave EVALB and SIMB bulk frames against the SAME
+  // loaded circuit on one shared session: every binary response must be
+  // bit-identical to direct evaluation/simulation, and the exact
+  // counters must add up afterwards.
+  const std::string path = write_sample_pla("serve_mixed_hammer.pla");
+  const std::string socket_path =
+      testing::TempDir() + "/ambit_serve_mixhammer.sock";
+  Session session(/*workers=*/2);
+  session.load("s", path);
+  Server server(session);
+  std::thread server_thread([&] { server.serve_unix(socket_path); });
+
+  PatternBatch inputs = PatternBatch::exhaustive(3);
+  const core::GnorPla& gnor = session.get("s")->gnor;
+  const PatternBatch expected_eval = gnor.evaluate_batch(inputs);
+  simulate::GnorPlaSimulator direct(gnor, tech::default_cnfet_electrical());
+  const simulate::BatchSimResult expected_sim = direct.simulate_batch(inputs);
+  std::vector<std::uint64_t> expected_eval_words(
+      expected_eval.total_words());
+  expected_eval.store_words(expected_eval_words.data(),
+                            expected_eval_words.size());
+  const std::uint64_t lane_words = expected_sim.outputs.total_words();
+  const std::uint64_t simb_words = lane_words + 3 * inputs.num_patterns();
+  std::vector<std::uint64_t> expected_simb_words(simb_words);
+  expected_sim.outputs.store_words(expected_simb_words.data(), lane_words);
+  std::memcpy(expected_simb_words.data() + lane_words,
+              expected_sim.precharge_delay_s.data(),
+              inputs.num_patterns() * sizeof(double));
+  std::memcpy(expected_simb_words.data() + lane_words + inputs.num_patterns(),
+              expected_sim.plane1_eval_delay_s.data(),
+              inputs.num_patterns() * sizeof(double));
+  std::memcpy(
+      expected_simb_words.data() + lane_words + 2 * inputs.num_patterns(),
+      expected_sim.plane2_eval_delay_s.data(),
+      inputs.num_patterns() * sizeof(double));
+
+  constexpr int kClients = 4;
+  constexpr int kRoundsPerClient = 20;
+  std::vector<int> failures(kClients, 0);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      const int fd = connect_with_retry(socket_path);
+      if (fd < 0) {
+        failures[static_cast<std::size_t>(c)] = 1;
+        return;
+      }
+      std::ostringstream request;
+      for (int r = 0; r < kRoundsPerClient; ++r) {
+        request << "EVALB s " << inputs.num_patterns() << " "
+                << inputs.total_words() << "\n"
+                << frame_payload(inputs)
+                << "SIMB s " << inputs.num_patterns() << " "
+                << inputs.total_words() << "\n"
+                << frame_payload(inputs);
+      }
+      request << "QUIT\n";
+      const std::string wire = request.str();
+      std::size_t sent = 0;
+      while (sent < wire.size()) {
+        const ssize_t n = ::send(fd, wire.data() + sent, wire.size() - sent,
+                                 MSG_NOSIGNAL);
+        if (n < 0 && errno == EINTR) {
+          continue;
+        }
+        if (n <= 0) {
+          break;
+        }
+        sent += static_cast<std::size_t>(n);
+      }
+      std::string buffer;
+      char chunk[65536];
+      for (ssize_t n; (n = ::read(fd, chunk, sizeof(chunk))) > 0;) {
+        buffer.append(chunk, static_cast<std::size_t>(n));
+      }
+      ::close(fd);
+      // Parse the pipelined responses in order; any deviation from the
+      // expected frames counts as a failure.
+      std::size_t cursor = 0;
+      for (int r = 0; r < kRoundsPerClient; ++r) {
+        std::vector<std::uint64_t> words;
+        std::size_t consumed = 0;
+        if (!decode_evalb_response(buffer.substr(cursor),
+                                   inputs.num_patterns(),
+                                   expected_eval_words.size(), words,
+                                   consumed) ||
+            words != expected_eval_words) {
+          failures[static_cast<std::size_t>(c)] = 1;
+          return;
+        }
+        cursor += consumed;
+        if (!decode_simb_response(buffer.substr(cursor),
+                                  inputs.num_patterns(), simb_words, words,
+                                  consumed) ||
+            words != expected_simb_words) {
+          failures[static_cast<std::size_t>(c)] = 1;
+          return;
+        }
+        cursor += consumed;
+      }
+      if (buffer.substr(cursor) != "OK bye\n") {
+        failures[static_cast<std::size_t>(c)] = 1;
+      }
+    });
+  }
+  for (std::thread& client : clients) {
+    client.join();
+  }
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(failures[static_cast<std::size_t>(c)], 0) << "client " << c;
+  }
+
+  const int ctl = connect_with_retry(socket_path);
+  ASSERT_GE(ctl, 0);
+  socket_transact(ctl, "SHUTDOWN\n", 1);
+  ::close(ctl);
+  server_thread.join();
+
+  // Counters stayed exact under mixed concurrent bulk traffic.
+  const SessionStats stats = session.stats();
+  const std::uint64_t rounds =
+      static_cast<std::uint64_t>(kClients) * kRoundsPerClient;
+  EXPECT_EQ(stats.evals, rounds);
+  EXPECT_EQ(stats.patterns, rounds * inputs.num_patterns());
+  EXPECT_EQ(stats.sims, rounds);
+  EXPECT_EQ(stats.sim_patterns, rounds * inputs.num_patterns());
 }
 
 #endif  // !_WIN32

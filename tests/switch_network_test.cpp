@@ -200,6 +200,116 @@ TEST_F(SwitchNetworkTest, DevicePolarityOverride) {
   EXPECT_EQ(net_.value(out), Logic::k1);
 }
 
+TEST_F(SwitchNetworkTest, MultiHopMaybeChainStillPropagates) {
+  // A pessimistic Z-adoption chain advances one hop per sweep while the
+  // conduction picture stays IDENTICAL — the convergence fast path must
+  // not cut it short. Devices are ordered adversarially (far hop
+  // first) so one maybe-pass cannot finish the chain in a single
+  // sweep.
+  const NodeId g = net_.add_input("g");  // left at Z: both devices maybe
+  const NodeId n1 = net_.add_node("n1", 1e-15);
+  const NodeId n2 = net_.add_node("n2", 1e-15);
+  net_.add_device(PolarityState::kNType, g, n1, n2);    // far hop first
+  net_.add_device(PolarityState::kNType, g, vdd_, n1);  // source hop last
+  net_.settle();
+  EXPECT_EQ(net_.value(n1), Logic::k1);
+  EXPECT_EQ(net_.value(n2), Logic::k1);
+}
+
+TEST_F(SwitchNetworkTest, ResetClearsRetainedDynamicCharge) {
+  // The latent state-reuse hazard the batch path must be guarded
+  // against: an isolated node RETAINS charge from an earlier phase, so
+  // re-using a settled network for a fresh pattern without reset()
+  // reports stale state a freshly built network would not have.
+  const NodeId g = net_.add_input("g");
+  const NodeId out = net_.add_node("out", 1e-15);
+  net_.add_device(PolarityState::kNType, g, vdd_, out);
+  net_.set_value(g, Logic::k1);
+  net_.settle();
+  ASSERT_EQ(net_.value(out), Logic::k1);
+  net_.set_value(g, Logic::k0);
+  net_.settle();
+  // Hazard demonstrated: the isolated node still reads the old charge.
+  ASSERT_EQ(net_.value(out), Logic::k1);
+
+  // reset() drops the charge: the same stimulus now settles exactly as
+  // a fresh build would (floating, never driven -> Z).
+  net_.reset();
+  net_.set_value(g, Logic::k0);
+  net_.settle();
+  EXPECT_EQ(net_.value(out), Logic::kZ);
+  EXPECT_DOUBLE_EQ(net_.drive_delay_s(out), 0.0);
+}
+
+TEST_F(SwitchNetworkTest, SecondSettleAfterResetEqualsFreshBuild) {
+  // Drive a dynamic row through a charge-heavy history, reset, and
+  // replay a stimulus on it: every node value AND delay must equal a
+  // freshly built twin settling the same stimulus — this is what makes
+  // reuse-and-reset a sound replacement for rebuild-per-pattern.
+  const auto build = [](SwitchNetwork& net, NodeId vdd, NodeId gnd,
+                        NodeId& clk, NodeId& in, NodeId& row, NodeId& foot) {
+    clk = net.add_input("clk");
+    in = net.add_input("in");
+    row = net.add_node("row", 5e-15);
+    foot = net.add_node("foot", 1e-16);
+    net.add_device(PolarityState::kPType, clk, vdd, row);   // TPC
+    net.add_device(PolarityState::kNType, clk, foot, gnd);  // TEV
+    net.add_device(PolarityState::kNType, in, row, foot);   // cell
+  };
+  NodeId clk = 0, in = 0, row = 0, foot = 0;
+  build(net_, vdd_, gnd_, clk, in, row, foot);
+
+  // History: precharge, evaluate-discharge, then a half-cycle that
+  // leaves the row floating low — retained charge everywhere.
+  net_.set_value(clk, Logic::k0);
+  net_.set_value(in, Logic::k1);
+  net_.settle();
+  net_.set_value(clk, Logic::k1);
+  net_.settle();
+  ASSERT_EQ(net_.value(row), Logic::k0);
+
+  // Replay stimulus S after reset() on the used network...
+  net_.reset();
+  net_.set_value(clk, Logic::k0);
+  net_.set_value(in, Logic::k0);
+  net_.settle();
+  net_.set_value(clk, Logic::k1);
+  net_.settle();
+
+  // ...and the same S on a freshly built twin.
+  SwitchNetwork fresh(default_cnfet_electrical());
+  const NodeId fvdd = fresh.add_supply("vdd", Logic::k1);
+  const NodeId fgnd = fresh.add_supply("gnd", Logic::k0);
+  NodeId fclk = 0, fin = 0, frow = 0, ffoot = 0;
+  build(fresh, fvdd, fgnd, fclk, fin, frow, ffoot);
+  fresh.set_value(fclk, Logic::k0);
+  fresh.set_value(fin, Logic::k0);
+  fresh.settle();
+  fresh.set_value(fclk, Logic::k1);
+  fresh.settle();
+
+  for (const auto& [used, twin] :
+       {std::pair{row, frow}, {foot, ffoot}, {clk, fclk}, {in, fin}}) {
+    EXPECT_EQ(net_.value(used), fresh.value(twin))
+        << net_.node_name(used);
+    EXPECT_EQ(net_.drive_delay_s(used), fresh.drive_delay_s(twin))
+        << net_.node_name(used);
+  }
+}
+
+TEST_F(SwitchNetworkTest, ResetKeepsTopologyAndPolarityOverrides) {
+  // reset() clears settle STATE only: devices, widths and fault
+  // overrides survive (the batch path copies an overridden network).
+  const NodeId g = net_.add_input("g");
+  const NodeId out = net_.add_node("out", 1e-15);
+  net_.add_device(PolarityState::kOff, g, vdd_, out);
+  net_.set_device_polarity(0, PolarityState::kNType);
+  net_.reset();
+  net_.set_value(g, Logic::k1);
+  net_.settle();
+  EXPECT_EQ(net_.value(out), Logic::k1);  // the override still conducts
+}
+
 TEST_F(SwitchNetworkTest, ValidationErrors) {
   EXPECT_THROW(net_.add_supply("bad", Logic::kX), ambit::Error);
   EXPECT_THROW(net_.add_node("neg", -1.0), ambit::Error);

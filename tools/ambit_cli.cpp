@@ -9,6 +9,11 @@
 //   --out-pla <path>    write the minimized cover as .pla
 //   --out-blif <path>   write the minimized cover as BLIF
 //   --verify            exhaustive equivalence check (<= 20 inputs)
+//   --sim               switch-level batch timing sweep of the mapped
+//                       array (exhaustive <= 12 inputs, else 4096
+//                       seeded random patterns): worst-case phase
+//                       delays and clock period, cross-checked
+//                       bit-for-bit against the functional model
 //   --serve             no input file: serve the ambit::serve line
 //                       protocol over stdin/stdout (see ambit_serve
 //                       for the socket transport and more options)
@@ -34,13 +39,17 @@
 #include "core/wpla.h"
 #include "espresso/phase_opt.h"
 #include "logic/blif.h"
+#include "logic/pattern_batch.h"
 #include "logic/pla_io.h"
 #include "logic/truth_table.h"
+#include "simulate/pla_sim.h"
 #include "tech/area_model.h"
 #include "tech/delay_model.h"
 #include "util/error.h"
+#include "util/rng.h"
 #include "util/strings.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 using namespace ambit;
 
@@ -50,7 +59,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: ambit_cli <input.pla> [--phase-opt] [--wpla]\n"
                "                 [--out-pla <path>] [--out-blif <path>]\n"
-               "                 [--verify]\n"
+               "                 [--verify] [--sim]\n"
                "       ambit_cli --serve\n");
   return 2;
 }
@@ -67,6 +76,7 @@ int main(int argc, char** argv) {
   bool phase_opt = false;
   bool wpla = false;
   bool verify = false;
+  bool sim = false;
   bool serve_mode = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -78,6 +88,8 @@ int main(int argc, char** argv) {
       wpla = true;
     } else if (arg == "--verify") {
       verify = true;
+    } else if (arg == "--sim") {
+      sim = true;
     } else if (arg == "--out-pla" && i + 1 < argc) {
       out_pla = argv[++i];
     } else if (arg == "--out-blif" && i + 1 < argc) {
@@ -91,8 +103,8 @@ int main(int argc, char** argv) {
   if (serve_mode) {
     // Delegate to the serve subsystem: a long-running session over
     // stdin/stdout, sharded across the default worker count.
-    if (!input.empty() || phase_opt || wpla || verify || !out_pla.empty() ||
-        !out_blif.empty()) {
+    if (!input.empty() || phase_opt || wpla || verify || sim ||
+        !out_pla.empty() || !out_blif.empty()) {
       return usage();
     }
     try {
@@ -187,6 +199,65 @@ int main(int argc, char** argv) {
       std::printf("verify: mapped GNOR PLA equivalent to the input: %s\n",
                   mismatches == 0 ? "ok" : "FAILED");
       if (mismatches != 0) {
+        return 1;
+      }
+    }
+
+    if (sim) {
+      // Switch-level timing sweep of the mapped array: exhaustive for
+      // small inputs, a seeded random sample beyond that (the sweep
+      // costs three full network settles per pattern).
+      logic::PatternBatch patterns(0, 0);
+      if (gnor.num_inputs() <= 12) {
+        patterns = logic::PatternBatch::exhaustive(gnor.num_inputs());
+      } else {
+        constexpr std::uint64_t kSample = 4096;
+        logic::PatternBatch sample(gnor.num_inputs(), kSample);
+        Rng rng(0xA5B17);
+        for (int i = 0; i < gnor.num_inputs(); ++i) {
+          std::uint64_t* lane = sample.lane(i);
+          for (std::uint64_t w = 0; w < sample.words_per_lane(); ++w) {
+            lane[w] = rng.next_u64();
+          }
+          lane[sample.words_per_lane() - 1] &= sample.tail_mask();
+        }
+        patterns = std::move(sample);
+      }
+      simulate::GnorPlaSimulator simulator(gnor,
+                                           tech::default_cnfet_electrical());
+      ThreadPool pool(ThreadPool::default_workers());
+      const auto sim_start = std::chrono::steady_clock::now();
+      const simulate::BatchSimResult swept =
+          simulator.simulate_batch(patterns, &pool);
+      const double sim_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        sim_start)
+              .count();
+      const bool identical =
+          swept.all_definite() && swept.outputs == gnor.evaluate_batch(patterns);
+      std::printf("\nswitch-level sweep: %llu patterns in %.1f ms "
+                  "(%.0f patterns/s)\n",
+                  static_cast<unsigned long long>(swept.num_patterns()),
+                  sim_seconds * 1e3,
+                  sim_seconds > 0
+                      ? static_cast<double>(swept.num_patterns()) / sim_seconds
+                      : 0.0);
+      std::printf("switch-level vs functional outputs: %s\n",
+                  identical ? "bit-identical" : "MISMATCH");
+      std::printf("worst delays: precharge %.2f ps, plane1 %.2f ps, "
+                  "plane2 %.2f ps -> clock period %.2f ps "
+                  "(critical pattern %llu, mean cycle %.2f ps)\n",
+                  swept.worst_precharge_s() * 1e12,
+                  swept.worst_plane1_eval_s() * 1e12,
+                  swept.worst_plane2_eval_s() * 1e12,
+                  swept.worst_cycle_s() * 1e12,
+                  static_cast<unsigned long long>(swept.critical_pattern()),
+                  swept.mean_cycle_s() * 1e12);
+      std::printf("first-order model cycle (tech/delay_model.h): %.2f ps\n",
+                  tech::gnor_pla_cycle_s(dim,
+                                         tech::default_cnfet_electrical()) *
+                      1e12);
+      if (!identical) {
         return 1;
       }
     }
