@@ -1,8 +1,9 @@
 // End-to-end serve throughput: sharded batch speedup, protocol
-// throughput, the EVALB binary bulk frame, and concurrent connections.
+// throughput, the EVALB binary bulk frame, concurrent connections, and
+// cross-connection request coalescing.
 //
-// Four measurements, all against a >= 16-input Espresso-minimized
-// GNOR PLA (smaller under --smoke):
+// Five measurements, against >= 16-input Espresso-minimized GNOR PLAs
+// (smaller under --smoke):
 //
 //   1. evaluate_batch sharding: the exhaustive input space swept
 //      sequentially vs across 2 / 4 / hardware worker counts, with the
@@ -18,12 +19,20 @@
 //      server, aggregate throughput with sequential accepts
 //      (--max-connections 1, the old prototype's behavior) vs
 //      concurrent accepts, responses checked against direct evaluation.
+//   5. many small clients, over the TCP transport: 8 clients of tiny
+//      EVAL requests against a heavy circuit, served once with
+//      coalescing off and once with a coalescing window — fused
+//      requests share lane words (a 4-pattern request stops paying a
+//      full 64-bit word sweep), so the coalesced run must WIN, not
+//      merely tie. Running this section over serve_tcp also makes the
+//      --smoke TSan run race the TCP accept loop and the coalescer.
 //
-// Acceptance bars: >= 3x sharded speedup at 4+ workers (ISSUE 2) and
+// Acceptance bars: >= 3x sharded speedup at 4+ workers (ISSUE 2),
 // >= 2x aggregate multi-client speedup over the sequential-accept
-// baseline (ISSUE 3). Speedup bars are only meaningful when the machine
-// HAS 4 hardware threads and the build is uninstrumented, so they are
-// enforced exactly then; otherwise the bench still verifies
+// baseline (ISSUE 3), and >= 1.5x many-small-clients gain from
+// coalescing (ISSUE 5). Speedup bars are only meaningful when the
+// machine HAS 4 hardware threads and the build is uninstrumented, so
+// they are enforced exactly then; otherwise the bench still verifies
 // bit-identity and reports the measured numbers. --smoke shrinks every
 // section for sanitizer CI runs (races still fire, bars don't).
 #include <atomic>
@@ -108,27 +117,41 @@ struct StormResult {
   bool all_served = true;
 };
 
-/// `clients` threads hammer one serve_unix server capped at
-/// `max_connections`; every response is checked against direct
-/// evaluation of the mapped array (== sequential serving).
+/// `clients` threads hammer one server — serve_unix on `socket_path`,
+/// or serve_tcp on an ephemeral 127.0.0.1 port when `socket_path` is
+/// empty — under the given options; every response is checked against
+/// direct evaluation of the mapped array (== sequential serving).
 StormResult run_storm(const core::GnorPla& pla, serve::Session& session,
-                      const std::string& socket_path, int max_connections,
-                      int clients, int requests_per_client,
-                      int patterns_per_request) {
-  serve::Server server(session,
-                       serve::ServerOptions{.max_connections = max_connections});
-  // A serve_unix failure must become a bench failure with a message —
+                      const std::string& socket_path,
+                      serve::ServerOptions options, int clients,
+                      int requests_per_client, int patterns_per_request) {
+  const bool over_tcp = socket_path.empty();
+  serve::Server server(session, options);
+  // A transport failure must become a bench failure with a message —
   // an exception escaping a bare thread body would call std::terminate.
   std::atomic<bool> server_failed{false};
+  std::atomic<int> tcp_port{0};
   std::thread server_thread([&] {
     try {
-      server.serve_unix(socket_path);
+      if (over_tcp) {
+        server.serve_tcp("127.0.0.1", 0, &tcp_port);
+      } else {
+        server.serve_unix(socket_path);
+      }
     } catch (const std::exception& e) {
       std::fprintf(stderr, "bench_serve_throughput: storm server: %s\n",
                    e.what());
       server_failed.store(true);
+      tcp_port.store(-1);
     }
   });
+  const auto connect_client = [&]() -> int {
+    if (!over_tcp) {
+      return connect_with_retry(socket_path);
+    }
+    const int port = serve::await_bound_port(tcp_port);
+    return port > 0 ? serve::connect_tcp_with_retry("127.0.0.1", port) : -1;
+  };
 
   // Pre-build every client's pipelined request script and the expected
   // responses OUTSIDE the timed region.
@@ -167,7 +190,7 @@ StormResult run_storm(const core::GnorPla& pla, serve::Session& session,
   std::vector<std::thread> threads;
   for (int c = 0; c < clients; ++c) {
     threads.emplace_back([&, c] {
-      const int fd = connect_with_retry(socket_path);
+      const int fd = connect_client();
       if (fd < 0) {
         failures.fetch_add(1);
         return;
@@ -195,7 +218,7 @@ StormResult run_storm(const core::GnorPla& pla, serve::Session& session,
   }
   result.seconds = seconds_since(start);
 
-  const int ctl = connect_with_retry(socket_path);
+  const int ctl = connect_client();
   if (ctl >= 0) {
     socket_transact(ctl, "SHUTDOWN\n", 1);
     ::close(ctl);
@@ -402,15 +425,18 @@ int main(int argc, char** argv) {
     // test is ACROSS connections, not inside one EVAL.
     serve::Session seq_session(1);
     seq_session.load("bench", pla_path);
+    serve::ServerOptions seq_options;
+    seq_options.max_connections = 1;
     const StormResult seq =
-        run_storm(pla, seq_session, socket_path, /*max_connections=*/1,
-                  clients, requests_per_client, patterns_per_request);
+        run_storm(pla, seq_session, socket_path, seq_options, clients,
+                  requests_per_client, patterns_per_request);
     serve::Session conc_session(1);
     conc_session.load("bench", pla_path);
+    serve::ServerOptions conc_options;
+    conc_options.max_connections = clients;
     const StormResult conc =
-        run_storm(pla, conc_session, socket_path,
-                  /*max_connections=*/clients, clients, requests_per_client,
-                  patterns_per_request);
+        run_storm(pla, conc_session, socket_path, conc_options, clients,
+                  requests_per_client, patterns_per_request);
     storm_identical = seq.all_identical && conc.all_identical;
     storm_served = seq.all_served && conc.all_served;
     storm_ran = true;
@@ -425,6 +451,78 @@ int main(int argc, char** argv) {
   }
 #else
   std::printf("concurrent-connection storm skipped: no Unix sockets\n");
+#endif
+
+  // --- 5. Cross-connection coalescing: many small clients, over TCP -------
+  // The workload coalescing exists for: many clients, each sending
+  // requests of a FEW patterns against a heavy circuit. Uncoalesced,
+  // every 4-pattern request pays a full word sweep over every
+  // product/output lane (64-bit words it leaves 94% empty);
+  // coalesced, concurrent requests pack bit-contiguously into shared
+  // words, so the same traffic costs a fraction of the lane work.
+  // Responses are checked against direct evaluation in BOTH arms.
+  bool coalesce_identical = true;
+  bool coalesce_served = true;
+  bool coalesce_ran = false;
+  double coalesce_speedup = 0;
+#ifndef _WIN32
+  {
+    // A deliberately heavy cover — wide output plane, many products —
+    // so per-request lane work dominates parse/syscall overhead the
+    // way it does for real classification fabrics.
+    const logic::SynthSpec heavy_spec{.num_inputs = 16,
+                                      .num_outputs = smoke ? 8 : 32,
+                                      .num_cubes = smoke ? 32 : 224,
+                                      .literals_per_cube = 5};
+    const Cover heavy_cover =
+        espresso::minimize(logic::generate_cover(heavy_spec, 11)).cover;
+    const auto heavy = core::GnorPla::map_cover(heavy_cover);
+    const std::string heavy_path =
+        (std::filesystem::temp_directory_path() / "ambit_bench_coal.pla")
+            .string();
+    logic::write_pla_file(heavy_path, logic::make_pla(heavy_cover, "bench"));
+    std::printf("\nheavy cover for coalescing: %d inputs, %d outputs, %d "
+                "products\n",
+                heavy.num_inputs(), heavy.num_outputs(),
+                heavy.num_products());
+
+    const int small_clients = 8;
+    const int small_requests = smoke ? 40 : 400;
+    const int small_patterns = 4;
+    // Single-worker sessions on purpose: the contest is per-request
+    // word sweeps vs shared word sweeps, not pool sharding (tiny
+    // batches never shard anyway).
+    serve::Session plain_session(1);
+    plain_session.load("bench", heavy_path);
+    serve::ServerOptions plain_options;
+    const StormResult plain =
+        run_storm(heavy, plain_session, /*socket_path=*/"", plain_options,
+                  small_clients, small_requests, small_patterns);
+    serve::Session coal_session(1);
+    coal_session.load("bench", heavy_path);
+    serve::ServerOptions coal_options;
+    coal_options.coalesce.window_us = 200;
+    coal_options.coalesce.min_patterns =
+        static_cast<std::uint64_t>(small_clients) * small_patterns / 2;
+    const StormResult coal =
+        run_storm(heavy, coal_session, /*socket_path=*/"", coal_options,
+                  small_clients, small_requests, small_patterns);
+    coalesce_identical = plain.all_identical && coal.all_identical;
+    coalesce_served = plain.all_served && coal.all_served;
+    coalesce_ran = true;
+    coalesce_speedup = plain.seconds / coal.seconds;
+    std::printf(
+        "%d small clients x %d requests x %d patterns over TCP: "
+        "uncoalesced %.0f req/s, coalesced %.0f req/s (%.2fx), "
+        "responses %s\n",
+        small_clients, small_requests, small_patterns,
+        static_cast<double>(plain.requests) / plain.seconds,
+        static_cast<double>(coal.requests) / coal.seconds, coalesce_speedup,
+        coalesce_identical && coalesce_served ? "bit-identical" : "WRONG");
+    std::filesystem::remove(heavy_path);
+  }
+#else
+  std::printf("coalescing storm skipped: no sockets\n");
 #endif
   std::filesystem::remove(pla_path);
 
@@ -446,11 +544,15 @@ int main(int argc, char** argv) {
   std::printf("EVALB frame bit-identical: %s\n", evalb_identical ? "yes" : "NO");
   std::printf("multi-client responses correct: %s\n",
               storm_identical && storm_served ? "yes" : "NO");
+  std::printf("coalesced responses correct: %s\n",
+              coalesce_identical && coalesce_served ? "yes" : "NO");
   if (enforce_speedup) {
     std::printf("best sharded speedup at 4+ workers: %.1fx (bar: >= 3x)\n",
                 best_speedup_4plus);
     std::printf("multi-client aggregate speedup: %.1fx (bar: >= 2x)\n",
                 conc_speedup);
+    std::printf("many-small-clients coalescing speedup: %.2fx (bar: >= 1.5x)\n",
+                coalesce_speedup);
   } else {
     std::printf("best sharded speedup at 4+ workers: %.1fx (bar NOT "
                 "enforced: %s)\n",
@@ -460,13 +562,18 @@ int main(int argc, char** argv) {
                              : "fewer than 4 hardware threads");
     std::printf("multi-client aggregate speedup: %.1fx (bar NOT enforced)\n",
                 conc_speedup);
+    std::printf(
+        "many-small-clients coalescing speedup: %.2fx (bar NOT enforced)\n",
+        coalesce_speedup);
   }
-  // The concurrency bar only applies where the storm could run (no
-  // Unix sockets -> no storm -> no bar).
+  // The concurrency bars only apply where the storms could run (no
+  // sockets -> no storm -> no bar).
   const bool pass = all_identical && evalb_identical && storm_identical &&
-                    storm_served && errors == 0 &&
+                    storm_served && coalesce_identical && coalesce_served &&
+                    errors == 0 &&
                     (!enforce_speedup ||
                      (best_speedup_4plus >= 3.0 &&
-                      (!storm_ran || conc_speedup >= 2.0)));
+                      (!storm_ran || conc_speedup >= 2.0) &&
+                      (!coalesce_ran || coalesce_speedup >= 1.5)));
   return pass ? 0 : 1;
 }

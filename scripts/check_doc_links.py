@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Link-checks the repo's markdown documentation.
+
+Verifies every intra-repo link in README.md and docs/*.md:
+
+  * relative link targets (files or directories) must exist;
+  * fragment links into markdown files (foo.md#section, or #section
+    within the same file) must match a real heading's GitHub-style
+    anchor.
+
+External links (http/https/mailto) are NOT fetched — this guard is
+about the repo's own structure, and CI must not flake on the network.
+
+Exits non-zero listing every dead link. Run from anywhere:
+
+    python3 scripts/check_doc_links.py
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# [text](target) — excluding images' leading '!' is unnecessary (image
+# targets must exist too). Nested ()/[] in link text are out of scope.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*?)\s*$", re.MULTILINE)
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def github_anchor(heading: str) -> str:
+    """GitHub's heading-to-anchor slug: lowercase, spaces to hyphens,
+    punctuation (except hyphens/underscores) dropped, backticks
+    ignored."""
+    text = heading.strip().lower().replace("`", "")
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(markdown_path: Path) -> set:
+    text = markdown_path.read_text(encoding="utf-8")
+    return {github_anchor(h) for h in HEADING.findall(text)}
+
+
+def check_file(markdown_path: Path) -> list:
+    failures = []
+    text = markdown_path.read_text(encoding="utf-8")
+    for match in LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(EXTERNAL):
+            continue
+        path_part, _, fragment = target.partition("#")
+        if path_part:
+            resolved = (markdown_path.parent / path_part).resolve()
+            if not resolved.exists():
+                failures.append(f"{markdown_path.relative_to(REPO)}: "
+                                f"dead link target '{target}'")
+                continue
+        else:
+            resolved = markdown_path
+        if fragment:
+            if resolved.suffix != ".md" or not resolved.is_file():
+                # Fragments into non-markdown targets (e.g. source
+                # files) are line anchors GitHub resolves itself.
+                continue
+            if fragment not in anchors_of(resolved):
+                failures.append(f"{markdown_path.relative_to(REPO)}: "
+                                f"'{target}' points at a missing heading "
+                                f"anchor '#{fragment}'")
+    return failures
+
+
+def main() -> int:
+    candidates = [REPO / "README.md"] + sorted((REPO / "docs").glob("*.md"))
+    missing = [p for p in candidates if not p.is_file()]
+    if missing:
+        for path in missing:
+            print(f"check_doc_links: expected file missing: {path}")
+        return 1
+    failures = []
+    for path in candidates:
+        failures.extend(check_file(path))
+    for failure in failures:
+        print(f"check_doc_links: {failure}")
+    checked = len(candidates)
+    if failures:
+        print(f"check_doc_links: {len(failures)} dead link(s) across "
+              f"{checked} file(s)")
+        return 1
+    print(f"check_doc_links: OK ({checked} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,6 +22,29 @@
 // inner loop becomes AND/OR/NOT over packed lanes instead of per-bit
 // branching, which is an order of magnitude faster (measured in
 // bench/bench_batch_eval.cpp).
+//
+// THE BIT-LOCALITY CONTRACT (docs/ARCHITECTURE.md has the long form):
+// every do_evaluate_batch kernel must be bitwise over the lane words —
+// output bit b of lane word w may depend only on bit b of word w of
+// the input lanes. Two load-bearing consequences:
+//   * word-aligned sharding (the pool overload below) is bit-identical
+//     to the sequential sweep for any worker count;
+//   * batches packed back-to-back at BIT granularity (the serve
+//     coalescer, serve/coalesce.h) evaluate to exactly the
+//     concatenation of their separate results.
+// A kernel that carries state across bit positions — shifts across
+// patterns, arithmetic carries, pattern-index logic — violates both;
+// do not add one without revisiting those call sites (the property
+// suites in tests/evaluator_test.cpp and tests/property_test.cpp
+// catch violations).
+//
+// Thread-safety: evaluation is const and touches no shared mutable
+// state, so any number of threads may evaluate the SAME immutable
+// model concurrently (the serve layer relies on this — one loaded
+// circuit answers every connection thread). Mutating a model (e.g.
+// reprogramming cells) while another thread evaluates it is a data
+// race; the serve registry sidesteps it by treating loaded circuits
+// as immutable and replacing them wholesale.
 #pragma once
 
 #include <span>
@@ -57,12 +80,14 @@ class Evaluator {
   logic::PatternBatch evaluate_batch(const logic::PatternBatch& inputs) const;
 
   /// Sharded bit-parallel path: splits the batch into word-aligned
-  /// pattern shards and evaluates them on `pool`'s workers. Every AMBIT
-  /// kernel is word-local (no state crosses PatternBatch words), so the
-  /// result is BIT-IDENTICAL to the single-thread evaluate_batch for
-  /// any pattern count, including non-multiples of 64 — the shard
-  /// partition is word-aligned and deterministic (util/thread_pool.h).
-  /// Small batches fall through to the sequential path.
+  /// pattern shards and evaluates them on `pool`'s workers. By the
+  /// bit-locality contract above, the result is BIT-IDENTICAL to the
+  /// single-thread evaluate_batch for any pattern count, including
+  /// non-multiples of 64 — the shard partition is word-aligned and
+  /// deterministic (util/thread_pool.h). Small batches (< 16 words
+  /// per lane) fall through to the sequential path. Safe for
+  /// concurrent callers sharing one pool (each call joins only its
+  /// own shards).
   logic::PatternBatch evaluate_batch(const logic::PatternBatch& inputs,
                                      ThreadPool& pool) const;
 

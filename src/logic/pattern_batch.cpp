@@ -170,6 +170,51 @@ void PatternBatch::paste(const PatternBatch& src, std::uint64_t first) {
   }
 }
 
+namespace {
+
+/// Copies `count` bits from bit offset `src_off` of `src` to bit offset
+/// `dst_off` of `dst`, chunked so every shift stays strictly below 64.
+/// Bits of `dst` outside the destination range are preserved.
+void copy_bit_range(const std::uint64_t* src, std::uint64_t src_off,
+                    std::uint64_t* dst, std::uint64_t dst_off,
+                    std::uint64_t count) {
+  while (count > 0) {
+    const std::uint64_t s_bit = src_off % 64;
+    const std::uint64_t d_bit = dst_off % 64;
+    // The chunk ends at the nearest word boundary of EITHER side, so a
+    // single masked read/modify/write per iteration suffices and the
+    // full-word case (n == 64, only possible when both sides are
+    // aligned) is the one place a 64-bit shift could occur.
+    const std::uint64_t n =
+        std::min({count, 64 - s_bit, 64 - d_bit});
+    const std::uint64_t mask =
+        n == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+    const std::uint64_t bits = (src[src_off / 64] >> s_bit) & mask;
+    std::uint64_t& word = dst[dst_off / 64];
+    word = (word & ~(mask << d_bit)) | (bits << d_bit);
+    src_off += n;
+    dst_off += n;
+    count -= n;
+  }
+}
+
+}  // namespace
+
+void PatternBatch::copy_patterns_from(const PatternBatch& src,
+                                      std::uint64_t src_first,
+                                      std::uint64_t dst_first,
+                                      std::uint64_t count) {
+  check(src.num_signals_ == num_signals_,
+        "PatternBatch::copy_patterns_from: signal count mismatch");
+  check(src_first + count <= src.num_patterns_,
+        "PatternBatch::copy_patterns_from: source range out of bounds");
+  check(dst_first + count <= num_patterns_,
+        "PatternBatch::copy_patterns_from: destination range out of bounds");
+  for (int s = 0; s < num_signals_; ++s) {
+    copy_bit_range(src.lane(s), src_first, lane(s), dst_first, count);
+  }
+}
+
 void PatternBatch::load_words(const std::uint64_t* src, std::uint64_t count) {
   check(count == total_words(),
         "PatternBatch::load_words: expected " + std::to_string(total_words()) +

@@ -71,6 +71,18 @@ class PatternBatch {
   /// end.
   void paste(const PatternBatch& src, std::uint64_t first);
 
+  /// Bit-granular lane copy: patterns [src_first, src_first + count)
+  /// of every lane of `src` land at [dst_first, dst_first + count) of
+  /// this batch, with NO alignment requirement on either offset. Bits
+  /// outside the destination range — neighbouring patterns and the
+  /// tail padding — are left untouched, so back-to-back copies from
+  /// many sources pack a batch bit-contiguously (this is what the
+  /// serve coalescer uses to fuse many small requests into shared
+  /// words; see serve/coalesce.h). Signal counts must match and both
+  /// ranges must be in bounds.
+  void copy_patterns_from(const PatternBatch& src, std::uint64_t src_first,
+                          std::uint64_t dst_first, std::uint64_t count);
+
   /// Total packed words across all lanes: num_signals * words_per_lane.
   /// This is the payload size of the serve EVALB frame.
   std::uint64_t total_words() const {

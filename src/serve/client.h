@@ -1,26 +1,34 @@
-// A minimal Unix-domain-socket client for the ambit::serve protocol.
+// A minimal socket client for the ambit::serve protocol, over both the
+// Unix-domain and the TCP transport.
 //
 // Header-only on purpose: the serve tests and bench_serve_throughput
-// both drive a live server over AF_UNIX, and the connect-retry /
-// line-transact plumbing must be ONE implementation so the two can
-// never drift into exercising different client behavior. It is also
-// the reference for anyone writing a real client against the wire
-// protocol (serve/protocol.h).
+// both drive live servers over AF_UNIX and AF_INET, and the
+// connect-retry / line-transact plumbing must be ONE implementation so
+// the two can never drift into exercising different client behavior.
+// It is also the reference for anyone writing a real client against
+// the wire protocol (serve/protocol.h; normative reference
+// docs/PROTOCOL.md). Everything below a connected fd —
+// socket_transact, the bulk-response decoders — is transport-agnostic,
+// exactly like the server side.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #ifndef _WIN32
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
-#include <chrono>
-#include <thread>
 #endif
 
 namespace ambit::serve {
@@ -76,6 +84,54 @@ inline bool decode_simb_response(const std::string& response,
                               expected_words, words, consumed);
 }
 
+/// Waits for a thread running Server::serve_tcp(host, 0, &port) to
+/// publish its kernel-assigned port. Returns the port once non-zero;
+/// a NEGATIVE value means the caller's server thread reported failure
+/// (the convention: store -1 when serve_tcp throws), 0 that the wait
+/// timed out. One shared implementation so the tests, the bench, and
+/// the tools cannot drift on this handshake. (Portable on purpose —
+/// the tools call it unconditionally; on Windows serve_tcp itself
+/// throws at runtime, but everything must still compile.)
+inline int await_bound_port(const std::atomic<int>& port, int attempts = 2000,
+                            int delay_ms = 2) {
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    const int bound = port.load(std::memory_order_acquire);
+    if (bound != 0) {
+      return bound;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
+  return 0;
+}
+
+/// Runs a blocking Server::serve_tcp call while announcing the
+/// kernel-assigned port: `serve_fn()` must invoke serve_tcp(...,
+/// &port); a reporter thread waits on `port` and calls
+/// `announce(bound)` once the server is listening (skipped when it
+/// never binds). The reporter is joined on BOTH exit paths — on a
+/// serve failure, -1 is stored first so the reporter cannot be left
+/// waiting. One implementation of this unblock-on-throw/join protocol
+/// so ambit_serve and ambit_cli cannot drift on it.
+template <typename ServeFn, typename Announce>
+std::uint64_t serve_tcp_announced(std::atomic<int>& port, ServeFn&& serve_fn,
+                                  Announce&& announce) {
+  std::thread reporter([&port, &announce] {
+    const int bound = await_bound_port(port, /*attempts=*/5000);
+    if (bound > 0) {
+      announce(bound);
+    }
+  });
+  try {
+    const std::uint64_t served = serve_fn();
+    reporter.join();
+    return served;
+  } catch (...) {
+    port.store(-1);  // unblock the reporter before rethrowing
+    reporter.join();
+    throw;
+  }
+}
+
 #ifndef _WIN32
 
 /// Connects to `socket_path`, retrying until the server has bound it.
@@ -90,6 +146,36 @@ inline int connect_with_retry(const std::string& socket_path,
     if (fd >= 0 &&
         ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
                   sizeof(addr)) == 0) {
+      return fd;
+    }
+    if (fd >= 0) {
+      ::close(fd);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
+  return -1;
+}
+
+/// Connects to TCP `host:port` (IPv4 dotted-quad or "localhost"),
+/// retrying until the server has bound it. TCP_NODELAY is set so small
+/// request lines are not Nagle-delayed behind the server's responses.
+/// Returns the connected fd, or -1 once the attempts are exhausted.
+inline int connect_tcp_with_retry(const std::string& host, int port,
+                                  int attempts = 500, int delay_ms = 5) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  const std::string node = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, node.c_str(), &addr.sin_addr) != 1) {
+    return -1;
+  }
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd >= 0 &&
+        ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      const int nodelay = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
       return fd;
     }
     if (fd >= 0) {

@@ -1,0 +1,117 @@
+#include "serve/coalesce.h"
+
+#include <chrono>
+#include <utility>
+
+#include "util/error.h"
+
+namespace ambit::serve {
+
+logic::PatternBatch CoalescingQueue::eval(
+    const std::shared_ptr<const LoadedCircuit>& circuit,
+    const logic::PatternBatch& inputs) {
+  check(circuit != nullptr, "CoalescingQueue::eval: null circuit");
+  if (!enabled() || inputs.num_patterns() >= options_.min_patterns) {
+    // Large requests already fill their lane words; fusing them could
+    // only add copies and wake-up latency.
+    return session_.eval(circuit, inputs);
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  ++requests_;
+  const auto it = groups_.find(circuit.get());
+  if (it != groups_.end()) {
+    // Follower: park in the open group and wait for the leader's
+    // flush. The group stores a POINTER to the caller's batch — the
+    // caller blocks on the future right below, so the batch outlives
+    // the leader's gather.
+    const std::shared_ptr<Group> group = it->second;
+    auto pending = std::make_unique<Pending>();
+    pending->inputs = &inputs;
+    pending->first = group->total_patterns;
+    group->total_patterns += inputs.num_patterns();
+    std::future<logic::PatternBatch> future = pending->result.get_future();
+    group->members.push_back(std::move(pending));
+    if (group->total_patterns >= options_.min_patterns) {
+      group->flush.notify_one();
+    }
+    lock.unlock();
+    // get() rethrows whatever the leader's evaluation threw, so a
+    // failed fused sweep fails every member request identically.
+    return future.get();
+  }
+
+  // Leader: open a group, wait for followers, then flush it. The
+  // leader's own patterns sit at offset 0; members hold the followers.
+  const auto group = std::make_shared<Group>();
+  group->circuit = circuit;
+  group->total_patterns = inputs.num_patterns();
+  groups_[circuit.get()] = group;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(options_.window_us);
+  group->flush.wait_until(lock, deadline, [&] {
+    return group->total_patterns >= options_.min_patterns;
+  });
+  // Detach the group BEFORE evaluating: arrivals from here on start a
+  // fresh group with a fresh leader instead of waiting on this sweep.
+  groups_.erase(circuit.get());
+  const std::uint64_t total = group->total_patterns;
+  if (!group->members.empty()) {
+    batches_ += 1;
+    fused_ += group->members.size() + 1;
+  }
+  lock.unlock();
+
+  // From here the leader owns the group exclusively: it is out of the
+  // map, so no new member can appear, and every existing member is
+  // blocked on its future.
+  if (group->members.empty()) {
+    // The window expired with no company; identical to a direct eval.
+    return session_.eval(circuit, inputs);
+  }
+  try {
+    logic::PatternBatch fused(inputs.num_signals(), total);
+    fused.copy_patterns_from(inputs, 0, 0, inputs.num_patterns());
+    for (const auto& member : group->members) {
+      fused.copy_patterns_from(*member->inputs, 0, member->first,
+                               member->inputs->num_patterns());
+    }
+    const logic::PatternBatch out = session_.eval_unrecorded(circuit, fused);
+    // One fused sweep, but per-request accounting: STATS must report
+    // exactly what uncoalesced execution would have.
+    session_.record_eval(circuit, inputs.num_patterns());
+    for (const auto& member : group->members) {
+      session_.record_eval(circuit, member->inputs->num_patterns());
+    }
+    for (const auto& member : group->members) {
+      const std::uint64_t np = member->inputs->num_patterns();
+      logic::PatternBatch slice(out.num_signals(), np);
+      slice.copy_patterns_from(out, member->first, 0, np);
+      member->result.set_value(std::move(slice));
+    }
+    logic::PatternBatch mine(out.num_signals(), inputs.num_patterns());
+    mine.copy_patterns_from(out, 0, 0, inputs.num_patterns());
+    return mine;
+  } catch (...) {
+    // EVERY member promise must end up satisfied or its connection
+    // thread blocks forever. A member whose set_value already
+    // succeeded before the failure (e.g. bad_alloc mid-scatter) makes
+    // set_exception throw future_error — swallow it and keep going so
+    // the remaining members still get the error.
+    for (const auto& member : group->members) {
+      try {
+        member->result.set_exception(std::current_exception());
+      } catch (const std::future_error&) {
+      }
+    }
+    throw;
+  }
+}
+
+CoalesceStats CoalescingQueue::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return CoalesceStats{.requests = requests_, .fused = fused_,
+                       .batches = batches_};
+}
+
+}  // namespace ambit::serve

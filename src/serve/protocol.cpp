@@ -88,6 +88,13 @@ Request parse_request(const std::string& line) {
   return request;
 }
 
+std::vector<std::string> verb_names() {
+  // Must cover every case parse_request accepts — the HELP audit test
+  // (tests/serve_test.cpp) fails when help_text() misses one of these.
+  return {"LOAD", "EVAL", "EVALB", "SIM",  "SIMB",     "VERIFY",
+          "STATS", "UNLOAD", "HELP",  "QUIT", "SHUTDOWN"};
+}
+
 std::string hex_encode(const std::vector<bool>& bits) {
   const int width = static_cast<int>(bits.size());
   const int digits = std::max(1, (width + 3) / 4);
@@ -176,7 +183,9 @@ std::string help_text() {
          "EVALB <name> <npatterns> <nwords> (+ raw input lanes) | "
          "SIM <name> <hex>... (switch-level, outputs@pre/e1/e2 ps) | "
          "SIMB <name> <npatterns> <nwords> (+ raw input lanes) | "
-         "VERIFY <name> | STATS | UNLOAD <name> | HELP | QUIT | SHUTDOWN";
+         "VERIFY <name> | STATS | UNLOAD <name> | HELP | QUIT | SHUTDOWN "
+         "(protocol v" +
+         std::to_string(kProtocolVersion) + ", reference: docs/PROTOCOL.md)";
 }
 
 }  // namespace ambit::serve

@@ -1,8 +1,9 @@
-// The ambit::serve wire protocol.
+// The ambit::serve wire protocol. Normative reference (byte-level
+// frame tables, limits, version history): docs/PROTOCOL.md.
 //
 // Line-oriented, human-typeable, one request per line and one response
-// line per request — the same grammar over a stdio pipe and over the
-// Unix-domain socket (serve/server.h):
+// line per request — the same grammar over a stdio pipe, the
+// Unix-domain socket, and the TCP socket (serve/server.h):
 //
 //   LOAD <name> <path>          parse + minimize + map <path>, register
 //                               the circuit under <name>
@@ -65,6 +66,12 @@
 
 namespace ambit::serve {
 
+/// Wire-protocol revision: bumped whenever the grammar, a frame
+/// layout, or a response format changes (history in docs/PROTOCOL.md,
+/// the normative reference for everything in this header). Purely
+/// informational — every revision so far is backward compatible.
+inline constexpr int kProtocolVersion = 3;
+
 /// Request verbs of the grammar above.
 enum class Verb {
   kLoad,
@@ -100,6 +107,12 @@ struct Request {
 /// Parses one request line; throws ambit::Error on malformed requests
 /// (unknown verb, wrong argument count).
 Request parse_request(const std::string& line);
+
+/// Every verb string parse_request dispatches, in grammar order. The
+/// HELP audit test checks help_text() against this list, so a new verb
+/// cannot land without its HELP entry (and docs/PROTOCOL.md is written
+/// against the same list).
+std::vector<std::string> verb_names();
 
 /// Packs `bits` (bit i = signal i) as fixed-width lowercase hex,
 /// ceil(width / 4) digits, most significant first.

@@ -11,6 +11,9 @@
 #include "util/strings.h"
 
 #ifndef _WIN32
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
@@ -25,6 +28,22 @@
 #endif
 
 namespace ambit::serve {
+
+std::pair<std::string, int> parse_host_port(const std::string& spec) {
+  const std::size_t colon = spec.rfind(':');
+  check(colon != std::string::npos && colon > 0 && colon + 1 < spec.size(),
+        "expected <host>:<port>, got '" + spec + "'");
+  const std::string host = spec.substr(0, colon);
+  const std::string port_text = spec.substr(colon + 1);
+  int port = 0;
+  for (const char c : port_text) {
+    check(c >= '0' && c <= '9',
+          "port '" + port_text + "' in '" + spec + "' is not a number");
+    port = port * 10 + (c - '0');
+    check(port <= 65535, "port '" + port_text + "' exceeds 65535");
+  }
+  return {host, port};
+}
 
 std::string Server::handle_line(const std::string& line) {
   try {
@@ -81,10 +100,9 @@ Server::Outcome Server::dispatch(const Request& request) {
       case Verb::kEval: {
         const std::shared_ptr<const LoadedCircuit> circuit =
             session_.get(request.name);
-        const logic::PatternBatch outputs =
-            session_.eval(circuit, logic::PatternBatch::from_patterns(
-                                       decode_request_patterns(*circuit,
-                                                               request)));
+        const logic::PatternBatch outputs = coalesced_eval(
+            circuit, logic::PatternBatch::from_patterns(
+                         decode_request_patterns(*circuit, request)));
         std::string detail;
         for (std::uint64_t p = 0; p < outputs.num_patterns(); ++p) {
           if (!detail.empty()) {
@@ -138,15 +156,24 @@ Server::Outcome Server::dispatch(const Request& request) {
       }
       case Verb::kStats: {
         const SessionStats stats = session_.stats();
-        return {ok_response("circuits=" + std::to_string(stats.circuits) +
-                            " loads=" + std::to_string(stats.loads) +
-                            " evals=" + std::to_string(stats.evals) +
-                            " patterns=" + std::to_string(stats.patterns) +
-                            " sims=" + std::to_string(stats.sims) +
-                            " sim_patterns=" +
-                            std::to_string(stats.sim_patterns) +
-                            " verifies=" + std::to_string(stats.verifies) +
-                            " workers=" + std::to_string(stats.workers))};
+        std::string detail =
+            "circuits=" + std::to_string(stats.circuits) +
+            " loads=" + std::to_string(stats.loads) +
+            " evals=" + std::to_string(stats.evals) +
+            " patterns=" + std::to_string(stats.patterns) +
+            " sims=" + std::to_string(stats.sims) +
+            " sim_patterns=" + std::to_string(stats.sim_patterns) +
+            " verifies=" + std::to_string(stats.verifies) +
+            " workers=" + std::to_string(stats.workers);
+        if (coalescer_.enabled()) {
+          // Only when the feature is on: the trailing fields appear
+          // exactly when the operator asked for coalescing, and their
+          // absence keeps pre-coalescing STATS consumers byte-stable.
+          const CoalesceStats fused = coalescer_.stats();
+          detail += " coalesced_requests=" + std::to_string(fused.fused) +
+                    " coalesced_batches=" + std::to_string(fused.batches);
+        }
+        return {ok_response(detail)};
       }
       case Verb::kUnload:
         session_.unload(request.name);
@@ -168,6 +195,15 @@ Server::Outcome Server::dispatch(const Request& request) {
     // request failure, not a reason to take the server down.
     return {err_response(std::string("internal: ") + e.what())};
   }
+}
+
+logic::PatternBatch Server::coalesced_eval(
+    const std::shared_ptr<const LoadedCircuit>& circuit,
+    const logic::PatternBatch& inputs) {
+  if (coalescer_.enabled()) {
+    return coalescer_.eval(circuit, inputs);
+  }
+  return session_.eval(circuit, inputs);
 }
 
 bool Server::serve_line(const std::string& line,
@@ -286,7 +322,7 @@ bool Server::serve_line(const std::string& line,
     // Evaluate the circuit the width check ran against — a concurrent
     // same-name reload must not swap it out between the two.
     if (request.verb == Verb::kEvalB) {
-      const logic::PatternBatch outputs = session_.eval(circuit, inputs);
+      const logic::PatternBatch outputs = coalesced_eval(circuit, inputs);
       out_words.resize(outputs.total_words());
       outputs.store_words(out_words.data(), out_words.size());
       outcome.response =
@@ -666,29 +702,8 @@ std::uint64_t Server::serve_connection(int conn) {
   return served;
 }
 
-std::uint64_t Server::serve_unix(const std::string& socket_path) {
-  sockaddr_un addr{};
-  check(socket_path.size() < sizeof(addr.sun_path),
-        "serve_unix: socket path too long: " + socket_path);
-  if (socket_is_live(socket_path)) {
-    throw Error("serve_unix: another server is already accepting on " +
-                socket_path + " (shut it down first)");
-  }
-  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  check(listener >= 0, "serve_unix: cannot create socket");
-  // Only a STALE socket file (probe above found no listener) is
-  // replaced.
-  ::unlink(socket_path.c_str());
-  addr.sun_family = AF_UNIX;
-  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
-  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof(addr)) != 0 ||
-      ::listen(listener, kListenBacklog) != 0) {
-    const std::string reason = std::strerror(errno);
-    ::close(listener);
-    throw Error("serve_unix: cannot bind " + socket_path + ": " + reason);
-  }
-
+std::uint64_t Server::serve_listener(int listener, const std::string& what,
+                                     const std::function<void()>& cleanup) {
   shutdown_.store(false);
   std::atomic<std::uint64_t> served{0};
   ConnectionRegistry registry(options_.max_connections, shutdown_);
@@ -702,7 +717,7 @@ std::uint64_t Server::serve_unix(const std::string& socket_path) {
     registry.shutdown_inputs();
     registry.join_all();
     ::close(listener);
-    ::unlink(socket_path.c_str());
+    cleanup();
   };
 
   while (!shutdown_.load()) {
@@ -717,7 +732,7 @@ std::uint64_t Server::serve_unix(const std::string& socket_path) {
       }
       const std::string reason = std::strerror(errno);
       drain_and_cleanup();
-      throw Error("serve_unix: poll failed: " + reason);
+      throw Error(what + ": poll failed: " + reason);
     }
     if (ready == 0) {
       continue;  // timeout: re-check the shutdown latch
@@ -729,22 +744,31 @@ std::uint64_t Server::serve_unix(const std::string& socket_path) {
       }
       const std::string reason = std::strerror(errno);
       drain_and_cleanup();
-      throw Error("serve_unix: accept failed: " + reason);
+      throw Error(what + ": accept failed: " + reason);
     }
     // A peer that stops READING while the server owes it a big
     // response would otherwise block ::send forever — past SHUT_RD,
     // beyond the reach of shutdown_inputs — and make the SHUTDOWN
     // drain unbounded. The send timeout turns that stall into a
     // dropped connection.
-    const timeval send_timeout{kSendTimeoutSecs, 0};
-    ::setsockopt(conn, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
-                 sizeof(send_timeout));
+    if (options_.send_timeout_secs > 0) {
+      const timeval send_timeout{options_.send_timeout_secs, 0};
+      ::setsockopt(conn, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
+                   sizeof(send_timeout));
+    }
     // A silent peer must not pin its slot forever: the receive timeout
     // turns an idle connection into an EOF drop (which is also what
     // keeps a slot-saturated server reachable for SHUTDOWN).
-    const timeval recv_timeout{kIdleTimeoutSecs, 0};
-    ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &recv_timeout,
-                 sizeof(recv_timeout));
+    if (options_.idle_timeout_secs > 0) {
+      const timeval recv_timeout{options_.idle_timeout_secs, 0};
+      ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &recv_timeout,
+                   sizeof(recv_timeout));
+    }
+    // Request lines are tens of bytes; Nagle batching them behind a
+    // 40 ms delayed ACK would dwarf every latency in the server. No-op
+    // (EOPNOTSUPP) on a Unix-domain connection — deliberately ignored.
+    const int nodelay = 1;
+    ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
     try {
       const bool launched =
           registry.launch(conn, [this, conn, &served] {
@@ -771,22 +795,97 @@ std::uint64_t Server::serve_unix(const std::string& socket_path) {
       // registry destroyed with joinable threads.
       ::close(conn);
       drain_and_cleanup();
-      throw Error(std::string("serve_unix: cannot spawn connection thread: ") +
-                  e.what());
+      throw Error(what + ": cannot spawn connection thread: " + e.what());
     }
   }
 
   // Graceful drain: no new accepts, pending reads cut, every in-flight
   // connection finishes its current request and is joined before the
-  // socket file disappears.
+  // listener (and, for serve_unix, the socket file) disappears.
   drain_and_cleanup();
   return served.load();
+}
+
+std::uint64_t Server::serve_unix(const std::string& socket_path) {
+  sockaddr_un addr{};
+  check(socket_path.size() < sizeof(addr.sun_path),
+        "serve_unix: socket path too long: " + socket_path);
+  if (socket_is_live(socket_path)) {
+    throw Error("serve_unix: another server is already accepting on " +
+                socket_path + " (shut it down first)");
+  }
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  check(listener >= 0, "serve_unix: cannot create socket");
+  // Only a STALE socket file (probe above found no listener) is
+  // replaced.
+  ::unlink(socket_path.c_str());
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listener, kListenBacklog) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(listener);
+    throw Error("serve_unix: cannot bind " + socket_path + ": " + reason);
+  }
+  return serve_listener(listener, "serve_unix", [socket_path] {
+    ::unlink(socket_path.c_str());
+  });
+}
+
+std::uint64_t Server::serve_tcp(const std::string& host, int port,
+                                std::atomic<int>* bound_port) {
+  check(port >= 0 && port <= 65535,
+        "serve_tcp: port " + std::to_string(port) + " out of range");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  // inet_pton keeps the dependency surface tiny (no resolver); the one
+  // name everyone types is special-cased.
+  const std::string node = host == "localhost" ? "127.0.0.1" : host;
+  check(::inet_pton(AF_INET, node.c_str(), &addr.sin_addr) == 1,
+        "serve_tcp: cannot parse host '" + host +
+            "' (use an IPv4 address or localhost)");
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  check(listener >= 0, "serve_tcp: cannot create socket");
+  // Unlike a Unix socket there is no stale FILE to replace, but a
+  // just-restarted server must not wait out TIME_WAIT on its own
+  // previous address.
+  const int reuse = 1;
+  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listener, kListenBacklog) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(listener);
+    throw Error("serve_tcp: cannot bind " + host + ":" +
+                std::to_string(port) + ": " + reason);
+  }
+  if (bound_port != nullptr) {
+    // Port 0 asked the kernel for an ephemeral port; report the real
+    // one BEFORE the first accept so the caller can connect.
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listener, reinterpret_cast<sockaddr*>(&bound), &len) !=
+        0) {
+      const std::string reason = std::strerror(errno);
+      ::close(listener);
+      throw Error("serve_tcp: getsockname failed: " + reason);
+    }
+    bound_port->store(static_cast<int>(ntohs(bound.sin_port)),
+                      std::memory_order_release);
+  }
+  return serve_listener(listener, "serve_tcp", [] {});
 }
 
 #else  // _WIN32
 
 std::uint64_t Server::serve_unix(const std::string&) {
   throw Error("serve_unix: Unix-domain sockets unavailable on this platform");
+}
+
+std::uint64_t Server::serve_tcp(const std::string&, int, std::atomic<int>*) {
+  throw Error("serve_tcp: socket transports unavailable on this platform");
 }
 
 #endif

@@ -1,30 +1,46 @@
 // The serve front door: one request line in, one response line out.
 //
-// Server binds a Session to the wire protocol (serve/protocol.h) and
-// drives it over either transport:
+// Server binds a Session to the wire protocol (serve/protocol.h,
+// normative reference: docs/PROTOCOL.md) and drives it over any of
+// three transports:
 //
 //   * serve_stream — any istream/ostream pair: ambit_cli --serve and
 //     ambit_serve --stdio run it over stdin/stdout, tests over
 //     stringstreams;
-//   * serve_unix — a Unix-domain socket: every accepted connection is
-//     served on ITS OWN THREAD against the one shared (thread-safe)
-//     Session, up to ServerOptions::max_connections at a time; QUIT
-//     ends a connection, SHUTDOWN stops accepting, drains the in-flight
-//     connections (their pending reads are cut with shutdown(SHUT_RD),
-//     responses already owed are still written), then unlinks the
-//     socket.
+//   * serve_unix — a Unix-domain socket;
+//   * serve_tcp  — a TCP socket, so clients on other hosts (or ones
+//     that only speak TCP) reach the same service.
+//
+// The two socket transports are thin listeners over ONE shared
+// connection loop (serve_listener): every accepted connection is served
+// on ITS OWN THREAD against the one shared (thread-safe) Session, up to
+// ServerOptions::max_connections at a time, with identical line
+// framing, EVALB/SIMB payload handling, idle/send timeouts, and
+// graceful-SHUTDOWN drain. QUIT ends a connection; SHUTDOWN stops
+// accepting, drains the in-flight connections (their pending reads are
+// cut with shutdown(SHUT_RD), responses already owed are still
+// written), then closes the listener — and, for serve_unix, unlinks
+// the socket file.
 //
 // Per-connection loop state (the QUIT flag, the receive buffer) lives
 // on the connection's stack, never in the shared Server object — the
-// only cross-connection state is the SHUTDOWN latch and the Session.
+// only cross-connection state is the SHUTDOWN latch, the Session, and
+// the coalescing queue below.
 //
 // Bulk evaluation uses the EVALB binary frame (see protocol.h): the
 // payload words stream straight into a logic::PatternBatch via its
 // load_words/store_words lane helpers, so a million-pattern request
-// pays two memcpys instead of a million hex parses. Both transports
+// pays two memcpys instead of a million hex parses. All transports
 // speak it. SIMB rides the exact same input framing and answers from
 // the switch-level simulator instead — output lanes plus the three
 // per-pattern phase-delay arrays as raw doubles.
+//
+// Cross-connection coalescing (serve/coalesce.h): when
+// ServerOptions::coalesce.window_us > 0, small EVAL/EVALB requests
+// against the same circuit arriving concurrently from different
+// connections are fused into one bit-packed sharded sweep and the
+// per-request responses scattered back — bit-identical to uncoalesced
+// execution, at most window_us of added latency per request.
 //
 // Request failures — unknown verbs, malformed covers, missing circuits
 // — never kill the server: every ambit::Error becomes one "ERR ..."
@@ -41,8 +57,10 @@
 #include <functional>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "serve/coalesce.h"
 #include "serve/protocol.h"
 #include "serve/session.h"
 
@@ -70,15 +88,16 @@ inline constexpr std::uint64_t kMaxEvalbWords = std::uint64_t{1} << 24;
 /// sweeps just split into multiple requests.
 inline constexpr std::uint64_t kMaxSimbPatterns = std::uint64_t{1} << 20;
 
-/// Send timeout per connection: a peer that stops reading its responses
-/// for this long is dropped (which also bounds the SHUTDOWN drain — a
-/// blocked send is past the reach of shutdown(SHUT_RD)).
+/// Default send timeout per connection (seconds): a peer that stops
+/// reading its responses for this long is dropped (which also bounds
+/// the SHUTDOWN drain — a blocked send is past the reach of
+/// shutdown(SHUT_RD)).
 inline constexpr long kSendTimeoutSecs = 30;
 
-/// Idle receive timeout per connection: a peer that sends nothing for
-/// this long is dropped. Without it, max_connections silent clients
-/// would pin every slot forever and even SHUTDOWN could not get a
-/// connection to be heard on.
+/// Default idle receive timeout per connection (seconds): a peer that
+/// sends nothing for this long is dropped. Without it,
+/// max_connections silent clients would pin every slot forever and
+/// even SHUTDOWN could not get a connection to be heard on.
 inline constexpr long kIdleTimeoutSecs = 300;
 
 /// Upper bound on one request LINE (bytes). A peer streaming data with
@@ -86,25 +105,44 @@ inline constexpr long kIdleTimeoutSecs = 300;
 /// the text-side counterpart of kMaxEvalbWords.
 inline constexpr std::size_t kMaxLineBytes = std::size_t{1} << 20;
 
-/// Knobs for serve_unix.
+/// Knobs for the socket transports (serve_unix / serve_tcp).
 struct ServerOptions {
   /// Connections served at once; further accepts wait for a free slot.
   int max_connections = kDefaultMaxConnections;
+  /// SO_RCVTIMEO per connection: a silent peer is dropped after this
+  /// many seconds (tests shrink it; 0 keeps the OS default = forever).
+  long idle_timeout_secs = kIdleTimeoutSecs;
+  /// SO_SNDTIMEO per connection: a peer that stops reading is dropped
+  /// after this many seconds (0 = OS default).
+  long send_timeout_secs = kSendTimeoutSecs;
+  /// Cross-connection EVAL/EVALB coalescing (serve/coalesce.h);
+  /// window_us == 0 (default) disables it.
+  CoalesceOptions coalesce;
 };
 
+/// Splits "host:port" into its parts; throws ambit::Error on a missing
+/// or non-numeric port or an empty host ("0.0.0.0:7878" and
+/// "localhost:0" are fine — port 0 asks the kernel for an ephemeral
+/// port, see Server::serve_tcp).
+std::pair<std::string, int> parse_host_port(const std::string& spec);
+
 /// Serves the line protocol for one Session. A single Server instance
-/// drives all connection threads of serve_unix; it holds no
-/// per-connection state.
+/// drives all connection threads of a socket transport; it holds no
+/// per-connection state, so one instance can serve any number of
+/// consecutive serve_* calls (but only one listener at a time — the
+/// SHUTDOWN latch is shared).
 class Server {
  public:
   explicit Server(Session& session, ServerOptions options = {})
-      : session_(session), options_(options) {}
+      : session_(session),
+        options_(options),
+        coalescer_(session, options.coalesce) {}
 
   /// Handles one TEXT request line; returns the response line (no
   /// trailing newline). Never throws for request-level failures — they
   /// come back as "ERR ..." responses. EVALB is answered with ERR here:
   /// its binary payload only exists on a transport (see serve_stream /
-  /// serve_unix).
+  /// serve_unix / serve_tcp).
   std::string handle_line(const std::string& line);
 
   /// Reads request lines from `in` until QUIT, SHUTDOWN or EOF, writing
@@ -122,8 +160,23 @@ class Server {
   /// connections. Throws ambit::Error on socket-level failures.
   std::uint64_t serve_unix(const std::string& socket_path);
 
+  /// Binds and listens on TCP `host:port` and serves connections
+  /// exactly like serve_unix (same connection loop, framing, timeouts
+  /// and SHUTDOWN drain). `host` is an IPv4 dotted-quad or
+  /// "localhost"; port 0 binds an ephemeral port. When `bound_port` is
+  /// non-null it receives the actually bound port (release-stored)
+  /// BEFORE the first accept, so a caller that runs serve_tcp on its
+  /// own thread can bind port 0, spin until the atomic goes non-zero,
+  /// and connect — no extra synchronization needed. Returns the number
+  /// of requests served; throws ambit::Error on socket-level failures.
+  std::uint64_t serve_tcp(const std::string& host, int port,
+                          std::atomic<int>* bound_port = nullptr);
+
   /// True once a SHUTDOWN request was handled.
   bool shutdown_requested() const { return shutdown_.load(); }
+
+  /// The coalescing queue (for tests and benches; counters only).
+  const CoalescingQueue& coalescer() const { return coalescer_; }
 
  private:
   /// Outcome of one request on a connection.
@@ -142,6 +195,13 @@ class Server {
   /// Dispatches one parsed text request (everything but EVALB).
   Outcome dispatch(const Request& request);
 
+  /// EVAL/EVALB evaluation entry: through the coalescer when enabled,
+  /// directly through the Session otherwise. Either way the result and
+  /// the counters are bit-identical.
+  logic::PatternBatch coalesced_eval(
+      const std::shared_ptr<const LoadedCircuit>& circuit,
+      const logic::PatternBatch& inputs);
+
   /// Handles one request line on any transport, including the EVALB
   /// payload exchange. Returns false when the peer is gone (a write
   /// failed or an EVALB payload hit EOF); `outcome` is valid either
@@ -153,8 +213,20 @@ class Server {
   /// returns the number of requests served on it.
   std::uint64_t serve_connection(int conn);
 
+  /// The transport-agnostic accept/connection loop shared by serve_unix
+  /// and serve_tcp: polls `listener`, accepts up to max_connections
+  /// concurrent connections (one thread each, per-connection timeouts
+  /// applied), and on SHUTDOWN — or a fatal accept error — drains every
+  /// in-flight connection, closes the listener, and runs `cleanup`
+  /// (serve_unix unlinks its socket file there). `what` prefixes error
+  /// messages ("serve_unix" / "serve_tcp"). Takes ownership of
+  /// `listener`.
+  std::uint64_t serve_listener(int listener, const std::string& what,
+                               const std::function<void()>& cleanup);
+
   Session& session_;
   ServerOptions options_;
+  CoalescingQueue coalescer_;
   std::atomic<bool> shutdown_{false};
 };
 

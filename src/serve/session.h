@@ -132,6 +132,21 @@ class Session {
   logic::PatternBatch eval(const std::shared_ptr<const LoadedCircuit>& circuit,
                            const logic::PatternBatch& inputs);
 
+  /// The sharded batch evaluation alone, WITHOUT bumping any counter.
+  /// The cross-connection coalescer (serve/coalesce.h) runs ONE fused
+  /// sweep for many requests but must account per-request — it pairs
+  /// this with one record_eval per member request, so STATS is exactly
+  /// what uncoalesced execution would have reported.
+  logic::PatternBatch eval_unrecorded(
+      const std::shared_ptr<const LoadedCircuit>& circuit,
+      const logic::PatternBatch& inputs);
+
+  /// Counts one EVAL/EVALB request of `num_patterns` patterns against
+  /// `circuit` (the bookkeeping half of eval, split out for the
+  /// coalescer). Thread-safe: all counters are atomics.
+  void record_eval(const std::shared_ptr<const LoadedCircuit>& circuit,
+                   std::uint64_t num_patterns);
+
   /// Switch-level timing sweep through the circuit's lazily built
   /// transistor network (SIM/SIMB): per-pattern outputs AND phase
   /// delays, sharded across the session pool, bit-identical to a

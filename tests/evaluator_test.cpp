@@ -108,6 +108,104 @@ TEST(PatternBatchTest, SliceAndPasteRoundTrip) {
   EXPECT_EQ(tail.lane(0)[0] & ~tail.tail_mask(), 0u);
 }
 
+TEST(PatternBatchTest, CopyPatternsFromMatchesBitwiseReference) {
+  // The bit-granular lane copy behind the serve coalescer, checked
+  // against a get/set reference over random ranges at EVERY alignment:
+  // offsets straddling word boundaries on either side, sub-word and
+  // multi-word counts, and full-batch copies.
+  Rng rng(29);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int signals = 1 + static_cast<int>(rng.next_u64() % 4);
+    const std::uint64_t src_np = 1 + rng.next_u64() % 200;
+    const std::uint64_t dst_np = 1 + rng.next_u64() % 200;
+    PatternBatch src(signals, src_np);
+    PatternBatch dst(signals, dst_np);
+    for (int s = 0; s < signals; ++s) {
+      for (std::uint64_t p = 0; p < src_np; ++p) {
+        src.set(p, s, rng.next_bool());
+      }
+      for (std::uint64_t p = 0; p < dst_np; ++p) {
+        dst.set(p, s, rng.next_bool());
+      }
+    }
+    const std::uint64_t count =
+        rng.next_u64() % (std::min(src_np, dst_np) + 1);
+    const std::uint64_t src_first =
+        count == src_np ? 0 : rng.next_u64() % (src_np - count + 1);
+    const std::uint64_t dst_first =
+        count == dst_np ? 0 : rng.next_u64() % (dst_np - count + 1);
+    const PatternBatch before = dst;
+    dst.copy_patterns_from(src, src_first, dst_first, count);
+    for (int s = 0; s < signals; ++s) {
+      for (std::uint64_t p = 0; p < dst_np; ++p) {
+        const bool inside = p >= dst_first && p < dst_first + count;
+        const bool expected = inside ? src.get(src_first + (p - dst_first), s)
+                                     : before.get(p, s);
+        ASSERT_EQ(dst.get(p, s), expected)
+            << "trial=" << trial << " s=" << s << " p=" << p
+            << " src_first=" << src_first << " dst_first=" << dst_first
+            << " count=" << count;
+      }
+      // Tail padding must survive any in-range copy.
+      ASSERT_EQ(dst.lane(s)[dst.words_per_lane() - 1] & ~dst.tail_mask(), 0u);
+    }
+  }
+}
+
+TEST(PatternBatchTest, CopyPatternsFromValidatesRanges) {
+  PatternBatch src(2, 50);
+  PatternBatch dst(2, 50);
+  PatternBatch narrow(1, 50);
+  EXPECT_THROW(narrow.copy_patterns_from(src, 0, 0, 10), Error);
+  EXPECT_THROW(dst.copy_patterns_from(src, 45, 0, 10), Error);
+  EXPECT_THROW(dst.copy_patterns_from(src, 0, 45, 10), Error);
+  EXPECT_NO_THROW(dst.copy_patterns_from(src, 0, 0, 50));
+}
+
+TEST(EvaluatorTest, BitPackedFusionMatchesSeparateEvaluation) {
+  // The premise of serve's cross-connection coalescing: every batch
+  // kernel is bit-local (output bit b of lane word w depends only on
+  // bit b of word w of the inputs), so many small batches packed
+  // back-to-back at BIT granularity evaluate to exactly the
+  // concatenation of their separate results — no word alignment
+  // between requests required.
+  const Cover cover =
+      Cover::parse(4, 3, {"11-- 101", "0-1- 010", "-01- 110", "1--1 011"});
+  const GnorPla pla = GnorPla::map_cover(cover);
+  Rng rng(41);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<PatternBatch> requests;
+    std::uint64_t total = 0;
+    const int n = 2 + static_cast<int>(rng.next_u64() % 6);
+    for (int r = 0; r < n; ++r) {
+      const std::uint64_t np = 1 + rng.next_u64() % 90;  // straddles words
+      PatternBatch batch(pla.num_inputs(), np);
+      for (std::uint64_t p = 0; p < np; ++p) {
+        for (int s = 0; s < pla.num_inputs(); ++s) {
+          batch.set(p, s, rng.next_bool());
+        }
+      }
+      total += np;
+      requests.push_back(std::move(batch));
+    }
+    PatternBatch fused(pla.num_inputs(), total);
+    std::uint64_t first = 0;
+    for (const PatternBatch& request : requests) {
+      fused.copy_patterns_from(request, 0, first, request.num_patterns());
+      first += request.num_patterns();
+    }
+    const PatternBatch fused_out = pla.evaluate_batch(fused);
+    first = 0;
+    for (const PatternBatch& request : requests) {
+      const PatternBatch expected = pla.evaluate_batch(request);
+      PatternBatch got(pla.num_outputs(), request.num_patterns());
+      got.copy_patterns_from(fused_out, first, 0, request.num_patterns());
+      ASSERT_EQ(got, expected) << "trial=" << trial;
+      first += request.num_patterns();
+    }
+  }
+}
+
 TEST(PatternBatchTest, WordIoRoundTrip) {
   // load_words/store_words carry the serve EVALB frame: lane-major,
   // words_per_lane words per signal. 150 patterns = a 22-bit tail word.

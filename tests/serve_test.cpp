@@ -4,6 +4,7 @@
 // stream pipe and a Unix-domain socket.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <fstream>
 #include <sstream>
@@ -14,6 +15,7 @@
 #include "core/gnor_pla.h"
 #include "logic/pla_io.h"
 #include "serve/client.h"
+#include "serve/coalesce.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
 #include "serve/session.h"
@@ -201,6 +203,56 @@ TEST(ProtocolTest, ResponseFormatting) {
   EXPECT_EQ(err_response("bad\nthing"), "ERR bad thing");
 }
 
+TEST(ProtocolTest, HelpListsEveryVerb) {
+  // The drift guard behind the HELP audit: every verb the parser
+  // dispatches must appear in the HELP text AS A WORD, so a new
+  // command cannot land without documenting itself. Word boundaries
+  // matter: a plain substring search would let "EVALB" satisfy "EVAL"
+  // and "SIMB" satisfy "SIM" — exactly the omission class this test
+  // exists to catch. verb_names() is maintained next to parse_request
+  // for exactly this check.
+  const auto contains_word = [](const std::string& text,
+                                const std::string& word) {
+    const auto is_word_char = [](char c) {
+      return (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+             (c >= '0' && c <= '9');
+    };
+    for (std::size_t at = text.find(word); at != std::string::npos;
+         at = text.find(word, at + 1)) {
+      const bool left_ok = at == 0 || !is_word_char(text[at - 1]);
+      const std::size_t end = at + word.size();
+      const bool right_ok = end == text.size() || !is_word_char(text[end]);
+      if (left_ok && right_ok) {
+        return true;
+      }
+    }
+    return false;
+  };
+  const std::vector<std::string> names = verb_names();
+  ASSERT_EQ(names.size(), 11u);  // grows with the grammar
+  const std::string help = help_text();
+  for (const std::string& name : names) {
+    EXPECT_TRUE(contains_word(help, name))
+        << "HELP omits the " << name << " command";
+  }
+  // Every listed name really is a dispatchable verb (the list cannot
+  // drift ahead of the parser either): an unknown verb raises "unknown
+  // verb", a known one either parses or complains about ARGUMENTS.
+  for (const std::string& name : names) {
+    try {
+      parse_request(name + " x y z w");
+    } catch (const Error& e) {
+      EXPECT_EQ(std::string(e.what()).find("unknown verb"),
+                std::string::npos)
+          << name << " is listed in verb_names() but not dispatched";
+    }
+  }
+  // HELP points at the normative reference and states the revision.
+  EXPECT_NE(help.find("docs/PROTOCOL.md"), std::string::npos);
+  EXPECT_NE(help.find("v" + std::to_string(kProtocolVersion)),
+            std::string::npos);
+}
+
 // ---------------------------------------------------------------------------
 // Session: the LOAD pipeline and the sharded answer paths.
 // ---------------------------------------------------------------------------
@@ -320,6 +372,160 @@ TEST(SessionTest, SimMatchesDirectSimulatorAndCounts) {
   // Width mismatches surface as ambit::Error, same as eval.
   EXPECT_THROW(session.sim("s", PatternBatch(2, 4)), Error);
   EXPECT_THROW(session.sim("ghost", inputs), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-connection coalescing: fused sweeps must be bit-identical to
+// direct evaluation, with exact per-request accounting.
+// ---------------------------------------------------------------------------
+
+/// A deterministic small batch over `width` signals (distinct per
+/// (seed, size) so fused neighbours never accidentally match).
+PatternBatch make_request_batch(int width, std::uint64_t num_patterns,
+                                std::uint64_t seed) {
+  PatternBatch batch(width, num_patterns);
+  std::uint64_t state = seed * 0x9E3779B97F4A7C15ULL + 1;
+  for (std::uint64_t p = 0; p < num_patterns; ++p) {
+    for (int s = 0; s < width; ++s) {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      batch.set(p, s, (state >> 60) & 1);
+    }
+  }
+  return batch;
+}
+
+TEST(CoalesceTest, WindowExpiryMatchesDirectEval) {
+  // A lone request whose window expires with no company must come back
+  // exactly as if coalescing were off — and count as one eval.
+  const std::string path = write_sample_pla("serve_coal_alone.pla");
+  Session session(1);
+  const auto circuit = session.load("s", path);
+  CoalescingQueue queue(session, CoalesceOptions{.window_us = 500,
+                                                 .min_patterns = 64});
+  const PatternBatch inputs = make_request_batch(3, 5, 1);
+  const PatternBatch outputs = queue.eval(circuit, inputs);
+  EXPECT_EQ(outputs, circuit->gnor.evaluate_batch(inputs));
+  const CoalesceStats stats = queue.stats();
+  EXPECT_EQ(stats.requests, 1u);
+  EXPECT_EQ(stats.fused, 0u);
+  EXPECT_EQ(stats.batches, 0u);
+  EXPECT_EQ(session.stats().evals, 1u);
+  EXPECT_EQ(session.stats().patterns, 5u);
+}
+
+TEST(CoalesceTest, LargeRequestsBypassTheQueue) {
+  const std::string path = write_sample_pla("serve_coal_large.pla");
+  Session session(1);
+  const auto circuit = session.load("s", path);
+  CoalescingQueue queue(session, CoalesceOptions{.window_us = 500,
+                                                 .min_patterns = 8});
+  const PatternBatch inputs = make_request_batch(3, 8, 2);  // == min
+  const PatternBatch outputs = queue.eval(circuit, inputs);
+  EXPECT_EQ(outputs, circuit->gnor.evaluate_batch(inputs));
+  EXPECT_EQ(queue.stats().requests, 0u);  // went straight to the session
+  EXPECT_EQ(session.stats().evals, 1u);
+}
+
+TEST(CoalesceTest, ConcurrentRequestsFuseBitIdentically) {
+  // Eight connection threads with DIFFERENT small batches against one
+  // circuit: min_patterns equals the combined size, so the leader
+  // flushes exactly when the last member arrives, one fused sweep
+  // serves all eight, and every scattered response must equal direct
+  // evaluation of that thread's own batch.
+  const std::string path = write_sample_pla("serve_coal_fuse.pla");
+  Session session(1);
+  const auto circuit = session.load("s", path);
+  constexpr int kThreads = 8;
+  std::uint64_t total = 0;
+  std::vector<PatternBatch> inputs;
+  for (int t = 0; t < kThreads; ++t) {
+    const std::uint64_t np = static_cast<std::uint64_t>(t) % 7 + 1;
+    inputs.push_back(make_request_batch(3, np, 10 + static_cast<std::uint64_t>(t)));
+    total += np;
+  }
+  // The window is a LIVENESS bound only (a straggler past it still gets
+  // a correct answer from its own sweep); generous so slow CI cannot
+  // split the group.
+  CoalescingQueue queue(session,
+                        CoalesceOptions{.window_us = 10'000'000,
+                                        .min_patterns = total});
+  std::vector<int> mismatches(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const PatternBatch out =
+          queue.eval(circuit, inputs[static_cast<std::size_t>(t)]);
+      if (out != circuit->gnor.evaluate_batch(
+                     inputs[static_cast<std::size_t>(t)])) {
+        mismatches[static_cast<std::size_t>(t)] = 1;
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(mismatches[static_cast<std::size_t>(t)], 0) << "thread " << t;
+  }
+  const CoalesceStats stats = queue.stats();
+  EXPECT_EQ(stats.requests, static_cast<std::uint64_t>(kThreads));
+  EXPECT_EQ(stats.fused, static_cast<std::uint64_t>(kThreads));
+  EXPECT_EQ(stats.batches, 1u);
+  // Per-request accounting: exactly what uncoalesced serving reports.
+  EXPECT_EQ(session.stats().evals, static_cast<std::uint64_t>(kThreads));
+  EXPECT_EQ(session.stats().patterns, total);
+}
+
+TEST(CoalesceTest, BitIdenticalForAnyWindowAndMinPatternSettings) {
+  // The acceptance property: whatever the knobs — windows from 1 us to
+  // 100 ms, thresholds from "bypass everything" to "wait for a full
+  // word" — every response equals direct evaluation and the session
+  // counters equal the uncoalesced run's.
+  const std::string path = write_sample_pla("serve_coal_sweep.pla");
+  struct Config {
+    std::uint64_t window_us;
+    std::uint64_t min_patterns;
+  };
+  const std::vector<Config> configs = {
+      {1, 1}, {1, 64}, {50, 2}, {1000, 8}, {100'000, 3}, {5000, 64}};
+  for (const Config& config : configs) {
+    Session session(1);
+    const auto circuit = session.load("s", path);
+    CoalescingQueue queue(session,
+                          CoalesceOptions{.window_us = config.window_us,
+                                          .min_patterns = config.min_patterns});
+    constexpr int kThreads = 4;
+    constexpr int kRequestsPerThread = 5;
+    std::vector<int> mismatches(kThreads, 0);
+    std::vector<std::thread> threads;
+    std::atomic<std::uint64_t> patterns_sent{0};
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (int r = 0; r < kRequestsPerThread; ++r) {
+          const std::uint64_t np =
+              static_cast<std::uint64_t>(t * 13 + r * 7) % 70 + 1;
+          const PatternBatch batch = make_request_batch(
+              3, np, static_cast<std::uint64_t>(t * 100 + r));
+          patterns_sent.fetch_add(np);
+          const PatternBatch out = queue.eval(circuit, batch);
+          if (out != circuit->gnor.evaluate_batch(batch)) {
+            mismatches[static_cast<std::size_t>(t)] = 1;
+          }
+        }
+      });
+    }
+    for (std::thread& thread : threads) {
+      thread.join();
+    }
+    for (int t = 0; t < kThreads; ++t) {
+      EXPECT_EQ(mismatches[static_cast<std::size_t>(t)], 0)
+          << "window_us=" << config.window_us
+          << " min_patterns=" << config.min_patterns << " thread " << t;
+    }
+    EXPECT_EQ(session.stats().evals,
+              static_cast<std::uint64_t>(kThreads) * kRequestsPerThread);
+    EXPECT_EQ(session.stats().patterns, patterns_sent.load());
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -900,7 +1106,9 @@ TEST(ServerTest, ShutdownInterruptsSlotWait) {
   const std::string socket_path =
       testing::TempDir() + "/ambit_serve_slotwait.sock";
   Session session(1);
-  Server server(session, ServerOptions{.max_connections = 1});
+  ServerOptions slot_options;
+  slot_options.max_connections = 1;
+  Server server(session, slot_options);
   std::thread server_thread([&] { server.serve_unix(socket_path); });
 
   const int a = connect_with_retry(socket_path);
@@ -1361,6 +1569,411 @@ TEST(ServerTest, MultiClientHammerMixesEvalbAndSimb) {
   EXPECT_EQ(stats.patterns, rounds * inputs.num_patterns());
   EXPECT_EQ(stats.sims, rounds);
   EXPECT_EQ(stats.sim_patterns, rounds * inputs.num_patterns());
+}
+
+// ---------------------------------------------------------------------------
+// TCP transport: the same connection loop, framing, drain and limits
+// over AF_INET (serve_tcp shares serve_listener with serve_unix).
+// ---------------------------------------------------------------------------
+
+/// Starts `server` on an ephemeral TCP port on its own thread. Any
+/// server-side exception (e.g. a sandbox that refuses the bind) is
+/// caught and signalled as port = -1 — escaping a bare thread body
+/// would std::terminate the whole test binary instead of failing one
+/// test. Callers learn the port with serve::await_bound_port(port)
+/// and must ASSERT it positive.
+std::thread start_tcp_server(Server& server, std::atomic<int>& port,
+                             const std::string& host = "127.0.0.1") {
+  return std::thread([&server, &port, host] {
+    try {
+      server.serve_tcp(host, 0, &port);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "serve_tcp failed: %s\n", e.what());
+      port.store(-1, std::memory_order_release);
+    }
+  });
+}
+
+TEST(TcpServerTest, SessionEndToEnd) {
+  const std::string path = write_sample_pla("serve_tcp.pla");
+  Session session(2);
+  Server server(session);
+  std::atomic<int> port{0};
+  std::thread server_thread = start_tcp_server(server, port);
+  const int bound = await_bound_port(port);
+  ASSERT_GT(bound, 0);
+
+  const int fd = connect_tcp_with_retry("127.0.0.1", bound);
+  ASSERT_GE(fd, 0) << "could not connect to 127.0.0.1:" << bound;
+  const std::vector<std::string> lines = socket_transact(
+      fd,
+      "LOAD s " + path + "\nEVAL s 7 0\nVERIFY s\nSTATS\nSHUTDOWN\n", 5);
+  ::close(fd);
+  server_thread.join();
+
+  ASSERT_EQ(lines.size(), 5u);
+  EXPECT_TRUE(starts_with(lines[0], "OK loaded s"));
+  EXPECT_TRUE(starts_with(lines[1], "OK "));
+  EXPECT_TRUE(starts_with(lines[2], "OK verified s"));
+  EXPECT_TRUE(starts_with(lines[3], "OK circuits=1"));
+  EXPECT_EQ(lines[4], "OK shutting down");
+  EXPECT_TRUE(server.shutdown_requested());
+}
+
+TEST(TcpServerTest, ConnectionsAreServedConcurrently) {
+  // Same regression as the Unix transport: one idle connected client
+  // must not starve a second one — they share the concurrent accept
+  // loop, not a sequential prototype.
+  Session session(1);
+  Server server(session);
+  std::atomic<int> port{0};
+  std::thread server_thread = start_tcp_server(server, port, "localhost");
+  const int bound = await_bound_port(port);
+  ASSERT_GT(bound, 0);
+
+  const int idle = connect_tcp_with_retry("localhost", bound);
+  ASSERT_GE(idle, 0);
+  const int active = connect_tcp_with_retry("localhost", bound);
+  ASSERT_GE(active, 0);
+  const auto lines = socket_transact(active, "STATS\nQUIT\n", 2);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_TRUE(starts_with(lines[0], "OK circuits=0"));
+  ::close(active);
+
+  // The idle connection still works afterwards — and its SHUTDOWN
+  // drains the server gracefully while it is itself still connected.
+  const auto idle_lines = socket_transact(idle, "SHUTDOWN\n", 1);
+  ASSERT_EQ(idle_lines.size(), 1u);
+  EXPECT_EQ(idle_lines[0], "OK shutting down");
+  ::close(idle);
+  server_thread.join();
+}
+
+TEST(TcpServerTest, EvalbAndSimbRoundTrip) {
+  // Both binary bulk frames over a real TCP socket, pipelined with the
+  // SHUTDOWN that drains the server: decoded lanes (and SIMB's delay
+  // arrays) must match direct evaluation/simulation bit for bit.
+  const std::string path = write_sample_pla("serve_tcp_bulk.pla");
+  Session session(1);
+  session.load("s", path);
+  Server server(session);
+  std::atomic<int> port{0};
+  std::thread server_thread = start_tcp_server(server, port);
+  const int bound = await_bound_port(port);
+  ASSERT_GT(bound, 0);
+
+  PatternBatch inputs = PatternBatch::exhaustive(3);
+  const core::GnorPla& gnor = session.get("s")->gnor;
+  const PatternBatch expected = gnor.evaluate_batch(inputs);
+  simulate::GnorPlaSimulator direct(gnor, tech::default_cnfet_electrical());
+  const simulate::BatchSimResult expected_sim = direct.simulate_batch(inputs);
+  const std::uint64_t lane_words = expected_sim.outputs.total_words();
+  const std::uint64_t simb_words = lane_words + 3 * inputs.num_patterns();
+
+  const int fd = connect_tcp_with_retry("127.0.0.1", bound);
+  ASSERT_GE(fd, 0);
+  std::ostringstream request;
+  request << "EVALB s " << inputs.num_patterns() << " "
+          << inputs.total_words() << "\n"
+          << frame_payload(inputs) << "SIMB s " << inputs.num_patterns()
+          << " " << inputs.total_words() << "\n"
+          << frame_payload(inputs) << "SHUTDOWN\n";
+  const std::string wire = request.str();
+  ASSERT_EQ(::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(wire.size()));
+  std::string buffer;
+  char chunk[4096];
+  for (ssize_t n; (n = ::read(fd, chunk, sizeof(chunk))) > 0;) {
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  server_thread.join();
+
+  std::vector<std::uint64_t> out_words;
+  std::size_t consumed = 0;
+  ASSERT_TRUE(decode_evalb_response(buffer, expected.num_patterns(),
+                                    expected.total_words(), out_words,
+                                    consumed))
+      << buffer;
+  PatternBatch outputs(expected.num_signals(), expected.num_patterns());
+  outputs.load_words(out_words.data(), out_words.size());
+  EXPECT_EQ(outputs, expected);
+  std::size_t sim_consumed = 0;
+  ASSERT_TRUE(decode_simb_response(buffer.substr(consumed),
+                                   inputs.num_patterns(), simb_words,
+                                   out_words, sim_consumed))
+      << buffer.substr(consumed);
+  PatternBatch sim_outputs(expected_sim.outputs.num_signals(),
+                           inputs.num_patterns());
+  sim_outputs.load_words(out_words.data(), lane_words);
+  EXPECT_EQ(sim_outputs, expected_sim.outputs);
+  std::vector<double> pre(inputs.num_patterns());
+  std::memcpy(pre.data(), out_words.data() + lane_words,
+              pre.size() * sizeof(double));
+  EXPECT_EQ(pre, expected_sim.precharge_delay_s);
+  EXPECT_EQ(buffer.substr(consumed + sim_consumed), "OK shutting down\n");
+}
+
+TEST(TcpServerTest, OversizedRequestLineDropsConnection) {
+  // The kMaxLineBytes boundary is transport-agnostic: the TCP side
+  // must answer ERR once and drop, exactly like the Unix side.
+  Session session(1);
+  Server server(session);
+  std::atomic<int> port{0};
+  std::thread server_thread = start_tcp_server(server, port);
+  const int bound = await_bound_port(port);
+  ASSERT_GT(bound, 0);
+
+  const int fd = connect_tcp_with_retry("127.0.0.1", bound);
+  ASSERT_GE(fd, 0);
+  const std::string blob(kMaxLineBytes + (1 << 16), 'a');  // no newline
+  std::size_t sent = 0;
+  while (sent < blob.size()) {
+    const ssize_t n = ::send(fd, blob.data() + sent, blob.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      break;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string buffer;
+  char chunk[4096];
+  for (ssize_t n; (n = ::read(fd, chunk, sizeof(chunk))) > 0;) {
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_TRUE(starts_with(buffer, "ERR request line exceeds")) << buffer;
+
+  const int ctl = connect_tcp_with_retry("127.0.0.1", bound);
+  ASSERT_GE(ctl, 0);
+  socket_transact(ctl, "SHUTDOWN\n", 1);
+  ::close(ctl);
+  server_thread.join();
+}
+
+TEST(TcpServerTest, IdleTimeoutDropsSilentPeer) {
+  // ServerOptions::idle_timeout_secs reaches the TCP transport through
+  // the shared listener loop: a peer that never sends is dropped after
+  // the timeout, and the freed slot still serves new connections.
+  Session session(1);
+  ServerOptions options;
+  options.idle_timeout_secs = 1;
+  Server server(session, options);
+  std::atomic<int> port{0};
+  std::thread server_thread = start_tcp_server(server, port);
+  const int bound = await_bound_port(port);
+  ASSERT_GT(bound, 0);
+
+  const int silent = connect_tcp_with_retry("127.0.0.1", bound);
+  ASSERT_GE(silent, 0);
+  // Say nothing: the server's SO_RCVTIMEO must cut us loose. A clean
+  // drop shows up as EOF (or a reset) on our read side within a couple
+  // of timeout periods.
+  char byte;
+  const ssize_t n = ::read(silent, &byte, 1);
+  EXPECT_LE(n, 0);
+  ::close(silent);
+
+  const int ctl = connect_tcp_with_retry("127.0.0.1", bound);
+  ASSERT_GE(ctl, 0);
+  const auto lines = socket_transact(ctl, "STATS\nSHUTDOWN\n", 2);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_TRUE(starts_with(lines[0], "OK circuits=0"));
+  ::close(ctl);
+  server_thread.join();
+}
+
+TEST(TcpServerTest, MultiClientHammerMatchesDirectEvaluation) {
+  // The concurrent hammer of the Unix matrix over TCP: four clients,
+  // client-distinct patterns, every response checked against direct
+  // evaluation, exact counters, graceful SHUTDOWN drain at the end.
+  const std::string path = write_sample_pla("serve_tcp_hammer.pla");
+  Session session(/*workers=*/2);
+  session.load("s", path);
+  const core::GnorPla pla = core::GnorPla::map_cover(
+      Cover::parse(3, 2, {"11- 10", "0-1 01", "10- 11"}));
+  Server server(session);
+  std::atomic<int> port{0};
+  std::thread server_thread = start_tcp_server(server, port);
+  const int bound = await_bound_port(port);
+  ASSERT_GT(bound, 0);
+
+  constexpr int kClients = 4;
+  constexpr int kRequestsPerClient = 50;
+  std::vector<int> mismatches(kClients, 0);
+  std::vector<int> failures(kClients, 0);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      const int fd = connect_tcp_with_retry("127.0.0.1", bound);
+      if (fd < 0) {
+        failures[static_cast<std::size_t>(c)] = 1;
+        return;
+      }
+      std::string requests;
+      std::vector<std::string> expected;
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        const int a = (c + r) % 8;
+        const int b = (c * 3 + r * 5) % 8;
+        const std::string ha = hex_encode(
+            {(a & 1) != 0, (a & 2) != 0, (a & 4) != 0});
+        const std::string hb = hex_encode(
+            {(b & 1) != 0, (b & 2) != 0, (b & 4) != 0});
+        requests += "EVAL s " + ha + " " + hb + "\n";
+        expected.push_back(
+            "OK " +
+            hex_encode(pla.evaluate(hex_decode(ha, 3))) + " " +
+            hex_encode(pla.evaluate(hex_decode(hb, 3))));
+      }
+      requests += "QUIT\n";
+      const std::vector<std::string> lines = socket_transact(
+          fd, requests, static_cast<std::size_t>(kRequestsPerClient) + 1);
+      ::close(fd);
+      if (lines.size() != static_cast<std::size_t>(kRequestsPerClient) + 1) {
+        failures[static_cast<std::size_t>(c)] = 1;
+        return;
+      }
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        if (lines[static_cast<std::size_t>(r)] !=
+            expected[static_cast<std::size_t>(r)]) {
+          ++mismatches[static_cast<std::size_t>(c)];
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) {
+    client.join();
+  }
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(failures[static_cast<std::size_t>(c)], 0) << "client " << c;
+    EXPECT_EQ(mismatches[static_cast<std::size_t>(c)], 0) << "client " << c;
+  }
+
+  const int ctl = connect_tcp_with_retry("127.0.0.1", bound);
+  ASSERT_GE(ctl, 0);
+  socket_transact(ctl, "SHUTDOWN\n", 1);
+  ::close(ctl);
+  server_thread.join();
+
+  const SessionStats stats = session.stats();
+  EXPECT_EQ(stats.evals,
+            static_cast<std::uint64_t>(kClients) * kRequestsPerClient);
+  EXPECT_EQ(stats.patterns,
+            static_cast<std::uint64_t>(kClients) * kRequestsPerClient * 2);
+}
+
+TEST(TcpServerTest, CoalescedHammerBitIdenticalWithExactStats) {
+  // Coalescing enabled over the TCP transport: four clients of small
+  // EVAL and EVALB requests; every response must match direct
+  // evaluation, the counters must equal the uncoalesced run's, and
+  // STATS must expose the coalescing fields.
+  const std::string path = write_sample_pla("serve_tcp_coal.pla");
+  Session session(1);
+  session.load("s", path);
+  const auto circuit = session.get("s");
+  ServerOptions options;
+  options.coalesce.window_us = 2000;
+  options.coalesce.min_patterns = 4;
+  Server server(session, options);
+  std::atomic<int> port{0};
+  std::thread server_thread = start_tcp_server(server, port);
+  const int bound = await_bound_port(port);
+  ASSERT_GT(bound, 0);
+
+  constexpr int kClients = 4;
+  constexpr int kRequestsPerClient = 25;
+  std::vector<int> failures(kClients, 0);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      // Odd clients speak EVALB (2-pattern binary frames), even ones
+      // hex EVAL — both ride the same coalescer.
+      const int fd = connect_tcp_with_retry("127.0.0.1", bound);
+      if (fd < 0) {
+        failures[static_cast<std::size_t>(c)] = 1;
+        return;
+      }
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        const PatternBatch batch = make_request_batch(
+            3, 2, static_cast<std::uint64_t>(c * 1000 + r));
+        const PatternBatch expected = circuit->gnor.evaluate_batch(batch);
+        if (c % 2 == 0) {
+          const std::string request = "EVAL s " +
+                                      hex_encode(batch.pattern(0)) + " " +
+                                      hex_encode(batch.pattern(1)) + "\n";
+          const auto lines = socket_transact(fd, request, 1);
+          const std::string want = "OK " + hex_encode(expected.pattern(0)) +
+                                   " " + hex_encode(expected.pattern(1));
+          if (lines.size() != 1 || lines[0] != want) {
+            failures[static_cast<std::size_t>(c)] = 1;
+            return;
+          }
+        } else {
+          std::ostringstream request;
+          request << "EVALB s " << batch.num_patterns() << " "
+                  << batch.total_words() << "\n" << frame_payload(batch);
+          const std::string wire = request.str();
+          if (::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL) !=
+              static_cast<ssize_t>(wire.size())) {
+            failures[static_cast<std::size_t>(c)] = 1;
+            return;
+          }
+          // One EVALB response frame: header line + payload.
+          std::string buffer;
+          char chunk[4096];
+          std::vector<std::uint64_t> words;
+          std::size_t consumed = 0;
+          bool decoded = false;
+          for (ssize_t n; (n = ::read(fd, chunk, sizeof(chunk))) > 0;) {
+            buffer.append(chunk, static_cast<std::size_t>(n));
+            if (decode_evalb_response(buffer, batch.num_patterns(),
+                                      expected.total_words(), words,
+                                      consumed)) {
+              decoded = true;
+              break;
+            }
+            if (buffer.size() > (1u << 16)) {
+              break;  // some other (wrong) response is accumulating
+            }
+          }
+          PatternBatch got(expected.num_signals(), batch.num_patterns());
+          if (decoded) {
+            got.load_words(words.data(), words.size());
+          }
+          if (!decoded || got != expected) {
+            failures[static_cast<std::size_t>(c)] = 1;
+            return;
+          }
+        }
+      }
+      socket_transact(fd, "QUIT\n", 1);
+      ::close(fd);
+    });
+  }
+  for (std::thread& client : clients) {
+    client.join();
+  }
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(failures[static_cast<std::size_t>(c)], 0) << "client " << c;
+  }
+
+  const int ctl = connect_tcp_with_retry("127.0.0.1", bound);
+  ASSERT_GE(ctl, 0);
+  const auto stats_lines = socket_transact(ctl, "STATS\nSHUTDOWN\n", 2);
+  ::close(ctl);
+  server_thread.join();
+
+  // Exact per-request accounting regardless of how much fusion the
+  // timing produced — and the STATS line advertises the feature.
+  const SessionStats stats = session.stats();
+  EXPECT_EQ(stats.evals,
+            static_cast<std::uint64_t>(kClients) * kRequestsPerClient);
+  EXPECT_EQ(stats.patterns,
+            static_cast<std::uint64_t>(kClients) * kRequestsPerClient * 2);
+  ASSERT_EQ(stats_lines.size(), 2u);
+  EXPECT_NE(stats_lines[0].find("coalesced_requests="), std::string::npos)
+      << stats_lines[0];
+  EXPECT_NE(stats_lines[0].find("coalesced_batches="), std::string::npos);
 }
 
 #endif  // !_WIN32

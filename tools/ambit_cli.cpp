@@ -16,14 +16,20 @@
 //                       bit-for-bit against the functional model
 //   --serve             no input file: serve the ambit::serve line
 //                       protocol over stdin/stdout (see ambit_serve
-//                       for the socket transport and more options)
+//                       for more options and docs/PROTOCOL.md for the
+//                       wire grammar)
+//   --tcp <host:port>   with --serve: serve over TCP instead of
+//                       stdin/stdout (port 0 binds an ephemeral port,
+//                       announced on stderr once listening)
 //
 // Prints the minimization summary, the GNOR mapping, and the Table-1
 // style area comparison across Flash / EEPROM / CNFET.
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include <iostream>
 
@@ -34,6 +40,7 @@
 
 #include "core/evaluator.h"
 #include "core/gnor_pla.h"
+#include "serve/client.h"
 #include "serve/server.h"
 #include "serve/session.h"
 #include "core/wpla.h"
@@ -60,7 +67,7 @@ int usage() {
                "usage: ambit_cli <input.pla> [--phase-opt] [--wpla]\n"
                "                 [--out-pla <path>] [--out-blif <path>]\n"
                "                 [--verify] [--sim]\n"
-               "       ambit_cli --serve\n");
+               "       ambit_cli --serve [--tcp <host:port>]\n");
   return 2;
 }
 
@@ -78,10 +85,13 @@ int main(int argc, char** argv) {
   bool verify = false;
   bool sim = false;
   bool serve_mode = false;
+  std::string tcp_spec;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--serve") {
       serve_mode = true;
+    } else if (arg == "--tcp" && i + 1 < argc) {
+      tcp_spec = argv[++i];
     } else if (arg == "--phase-opt") {
       phase_opt = true;
     } else if (arg == "--wpla") {
@@ -102,26 +112,47 @@ int main(int argc, char** argv) {
   }
   if (serve_mode) {
     // Delegate to the serve subsystem: a long-running session over
-    // stdin/stdout, sharded across the default worker count.
+    // stdin/stdout (or TCP with --tcp), sharded across the default
+    // worker count. ambit_serve has the full option surface
+    // (--socket, --max-connections, coalescing, preloads).
     if (!input.empty() || phase_opt || wpla || verify || sim ||
         !out_pla.empty() || !out_blif.empty()) {
       return usage();
     }
     try {
-#ifdef _WIN32
-      // EVALB frames carry raw bytes; text-mode stdio would translate
-      // 0x0D 0x0A pairs and corrupt the framing.
-      _setmode(_fileno(stdin), _O_BINARY);
-      _setmode(_fileno(stdout), _O_BINARY);
-#endif
       serve::Session session;
       serve::Server server(session);
-      server.serve_stream(std::cin, std::cout);
+      if (!tcp_spec.empty()) {
+        const auto [host, port] = serve::parse_host_port(tcp_spec);
+        std::fprintf(stderr, "ambit_cli: serving tcp %s:%d; %s\n",
+                     host.c_str(), port, serve::help_text().c_str());
+        // Kernel-assigned real port announced on stderr while the
+        // server runs (matters for port 0), so a driving script can
+        // connect.
+        std::atomic<int> bound_port{0};
+        serve::serve_tcp_announced(
+            bound_port,
+            [&] { return server.serve_tcp(host, port, &bound_port); },
+            [](int bound) {
+              std::fprintf(stderr, "ambit_cli: tcp bound port %d\n", bound);
+            });
+      } else {
+#ifdef _WIN32
+        // EVALB frames carry raw bytes; text-mode stdio would translate
+        // 0x0D 0x0A pairs and corrupt the framing.
+        _setmode(_fileno(stdin), _O_BINARY);
+        _setmode(_fileno(stdout), _O_BINARY);
+#endif
+        server.serve_stream(std::cin, std::cout);
+      }
     } catch (const Error& e) {
       std::fprintf(stderr, "ambit_cli: %s\n", e.what());
       return 1;
     }
     return 0;
+  }
+  if (!tcp_spec.empty()) {
+    return usage();  // --tcp only means something with --serve
   }
   if (input.empty()) {
     return usage();

@@ -8,21 +8,43 @@
 //                        (the default)
 //   --socket <path>      serve over a Unix-domain socket at <path>,
 //                        each connection on its own thread
+//   --tcp <host:port>    serve over TCP (IPv4 or "localhost") — the
+//                        same protocol, concurrency model and limits
+//                        as --socket. The bound port is announced on
+//                        stderr as "tcp bound port <n>" once
+//                        listening; port 0 binds an ephemeral port,
+//                        which that line is how you discover
 //   --workers <n>        worker threads sharding every EVAL
 //                        (default: AMBIT_THREADS or hardware threads)
 //   --max-connections <n>
-//                        connections served at once over --socket
+//                        connections served at once over --socket/--tcp
 //                        (default 64); further accepts wait for a slot
+//   --coalesce-window-us <n>
+//                        fuse small EVAL/EVALB requests from different
+//                        connections that arrive within <n> us into one
+//                        bit-packed sharded sweep (default 0 = off;
+//                        needs --socket or --tcp — stdio has a single
+//                        connection, nothing to fuse across); responses
+//                        are bit-identical either way
+//   --coalesce-min-patterns <n>
+//                        flush a fused batch early once it holds <n>
+//                        patterns; requests of >= <n> patterns bypass
+//                        coalescing (default 64)
 //   --preload <name>=<path>
 //                        LOAD a circuit before serving (repeatable)
 //
-// The protocol grammar is documented in src/serve/protocol.h and the
-// README's "Serving" section; an interactive session starts with HELP.
+// The protocol grammar is documented in docs/PROTOCOL.md (normative)
+// and src/serve/protocol.h; an interactive session starts with HELP.
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
+
+#include "serve/client.h"
 
 #include "serve/protocol.h"
 #include "serve/server.h"
@@ -41,8 +63,11 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: ambit_serve [--stdio] [--socket <path>]\n"
+               "usage: ambit_serve [--stdio] [--socket <path>] "
+               "[--tcp <host:port>]\n"
                "                   [--workers <n>] [--max-connections <n>]\n"
+               "                   [--coalesce-window-us <n>] "
+               "[--coalesce-min-patterns <n>]\n"
                "                   [--preload <name>=<path>]\n");
   return 2;
 }
@@ -51,15 +76,19 @@ int usage() {
 
 int main(int argc, char** argv) {
   std::string socket_path;
+  std::string tcp_spec;
   int workers = ThreadPool::default_workers();
-  int max_connections = serve::kDefaultMaxConnections;
+  serve::ServerOptions options;
   std::vector<std::pair<std::string, std::string>> preloads;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--stdio") {
       socket_path.clear();
+      tcp_spec.clear();
     } else if (arg == "--socket" && i + 1 < argc) {
       socket_path = argv[++i];
+    } else if (arg == "--tcp" && i + 1 < argc) {
+      tcp_spec = argv[++i];
     } else if (arg == "--workers" && i + 1 < argc) {
       workers = std::atoi(argv[++i]);
       if (workers < 1) {
@@ -67,11 +96,44 @@ int main(int argc, char** argv) {
         return 2;
       }
     } else if (arg == "--max-connections" && i + 1 < argc) {
-      max_connections = std::atoi(argv[++i]);
-      if (max_connections < 1) {
+      options.max_connections = std::atoi(argv[++i]);
+      if (options.max_connections < 1) {
         std::fprintf(stderr, "ambit_serve: --max-connections must be >= 1\n");
         return 2;
       }
+    } else if (arg == "--coalesce-window-us" && i + 1 < argc) {
+      // Strict digits, not atol: 0 legitimately means "off", so a typo
+      // ("2OO") silently parsing to 0 would disable the feature the
+      // operator explicitly asked for.
+      const std::string value = argv[++i];
+      const bool numeric =
+          !value.empty() && value.size() <= 9 &&
+          value.find_first_not_of("0123456789") == std::string::npos;
+      if (!numeric) {
+        std::fprintf(stderr,
+                     "ambit_serve: --coalesce-window-us needs a "
+                     "non-negative integer (microseconds), got '%s'\n",
+                     value.c_str());
+        return 2;
+      }
+      options.coalesce.window_us =
+          static_cast<std::uint64_t>(std::stoul(value));
+    } else if (arg == "--coalesce-min-patterns" && i + 1 < argc) {
+      // Same strictness as --coalesce-window-us: "2OO" must not
+      // silently become 2 and cripple the flush threshold.
+      const std::string value = argv[++i];
+      const bool numeric =
+          !value.empty() && value.size() <= 9 &&
+          value.find_first_not_of("0123456789") == std::string::npos;
+      if (!numeric || value.find_first_not_of('0') == std::string::npos) {
+        std::fprintf(stderr,
+                     "ambit_serve: --coalesce-min-patterns needs a "
+                     "positive integer, got '%s'\n",
+                     value.c_str());
+        return 2;
+      }
+      options.coalesce.min_patterns =
+          static_cast<std::uint64_t>(std::stoul(value));
     } else if (arg == "--preload" && i + 1 < argc) {
       const std::string spec = argv[++i];
       const auto eq = spec.find('=');
@@ -84,6 +146,21 @@ int main(int argc, char** argv) {
       return usage();
     }
   }
+  if (!socket_path.empty() && !tcp_spec.empty()) {
+    std::fprintf(stderr,
+                 "ambit_serve: --socket and --tcp are mutually exclusive "
+                 "(run two processes to serve both)\n");
+    return 2;
+  }
+  if (socket_path.empty() && tcp_spec.empty() &&
+      options.coalesce.window_us > 0) {
+    // stdio serves exactly one connection, so there is nothing to fuse
+    // across — the window would only add latency to every request.
+    std::fprintf(stderr,
+                 "ambit_serve: --coalesce-window-us needs a socket "
+                 "transport (--socket or --tcp)\n");
+    return 2;
+  }
 
   try {
     serve::Session session(workers);
@@ -93,9 +170,47 @@ int main(int argc, char** argv) {
                    circuit->name.c_str(), circuit->gnor.num_inputs(),
                    circuit->gnor.num_outputs(), circuit->gnor.num_products());
     }
-    serve::Server server(session,
-                         serve::ServerOptions{.max_connections = max_connections});
-    if (socket_path.empty()) {
+    serve::Server server(session, options);
+    const auto report_served = [](std::uint64_t served) {
+      std::fprintf(stderr, "ambit_serve: served %llu request(s)\n",
+                   static_cast<unsigned long long>(served));
+    };
+    const auto describe_coalescing = [&options]() -> std::string {
+      if (options.coalesce.window_us == 0) {
+        return "coalescing off";
+      }
+      return "coalescing " + std::to_string(options.coalesce.window_us) +
+             " us / " + std::to_string(options.coalesce.min_patterns) +
+             " patterns";
+    };
+    if (!tcp_spec.empty()) {
+      const auto [host, port] = serve::parse_host_port(tcp_spec);
+      std::atomic<int> bound_port{0};
+      std::fprintf(stderr,
+                   "ambit_serve: serving tcp %s:%d, %d worker(s), up to %d "
+                   "concurrent connection(s), %s; %s\n",
+                   host.c_str(), port, session.pool().num_workers(),
+                   options.max_connections, describe_coalescing().c_str(),
+                   serve::help_text().c_str());
+      // With port 0 the kernel picks the port, and a script driving
+      // this tool needs it WHILE the server runs — serve_tcp publishes
+      // it before the first accept and serve_tcp_announced prints it
+      // without racing the blocking serve call.
+      report_served(serve::serve_tcp_announced(
+          bound_port,
+          [&] { return server.serve_tcp(host, port, &bound_port); },
+          [](int bound) {
+            std::fprintf(stderr, "ambit_serve: tcp bound port %d\n", bound);
+          }));
+    } else if (!socket_path.empty()) {
+      std::fprintf(stderr,
+                   "ambit_serve: serving %s, %d worker(s), up to %d "
+                   "concurrent connection(s), %s; %s\n",
+                   socket_path.c_str(), session.pool().num_workers(),
+                   options.max_connections, describe_coalescing().c_str(),
+                   serve::help_text().c_str());
+      report_served(server.serve_unix(socket_path));
+    } else {
 #ifdef _WIN32
       // EVALB frames carry raw bytes; text-mode stdio would translate
       // 0x0D 0x0A pairs and corrupt the framing.
@@ -105,18 +220,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "ambit_serve: serving stdin/stdout, %d worker(s); %s\n",
                    session.pool().num_workers(),
                    serve::help_text().c_str());
-      const std::uint64_t served = server.serve_stream(std::cin, std::cout);
-      std::fprintf(stderr, "ambit_serve: served %llu request(s)\n",
-                   static_cast<unsigned long long>(served));
-    } else {
-      std::fprintf(stderr,
-                   "ambit_serve: serving %s, %d worker(s), up to %d "
-                   "concurrent connection(s)\n",
-                   socket_path.c_str(), session.pool().num_workers(),
-                   max_connections);
-      const std::uint64_t served = server.serve_unix(socket_path);
-      std::fprintf(stderr, "ambit_serve: served %llu request(s)\n",
-                   static_cast<unsigned long long>(served));
+      report_served(server.serve_stream(std::cin, std::cout));
     }
   } catch (const Error& e) {
     std::fprintf(stderr, "ambit_serve: %s\n", e.what());
