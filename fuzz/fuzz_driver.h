@@ -1,0 +1,236 @@
+// Standalone driver for the fuzz/ harnesses.
+//
+// Every harness defines the libFuzzer entry point
+//
+//   extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+//
+// and includes this header. Under -DAMBIT_LIBFUZZER=ON (clang) the
+// header contributes nothing — libFuzzer's runtime provides main() and
+// the coverage-guided engine. Everywhere else (gcc has no libFuzzer)
+// CMake defines AMBIT_FUZZ_STANDALONE and this header supplies a main()
+// with the same command-line shape libFuzzer uses:
+//
+//   fuzz_foo <corpus-dir-or-file>...        replay each input once, exit 0
+//   fuzz_foo --fuzz <seconds> <corpus>...   random-mutation fuzzing from
+//                                           the corpus for a wall-clock
+//                                           budget (crash = abort, with
+//                                           the dying input left in
+//                                           ./<argv0>.last_input so it
+//                                           can be minimized and checked
+//                                           into tests/data/fuzz_regressions/)
+//
+// The mutation engine is deliberately tiny — bit flips, byte edits,
+// block duplication/deletion and two-seed splices — because the
+// standalone mode exists for smoke coverage and CI corpus replay, not
+// to compete with libFuzzer. Nonexistent corpus directories are
+// skipped with a note (a harness may legitimately have no recorded
+// regressions yet).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+#if defined(AMBIT_FUZZ_STANDALONE)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+namespace ambit::fuzz {
+
+using Bytes = std::vector<std::uint8_t>;
+
+inline Bytes read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return Bytes(std::istreambuf_iterator<char>(in),
+               std::istreambuf_iterator<char>());
+}
+
+/// Collects the inputs behind one command-line path: a file is one
+/// input, a directory is each regular file in it (sorted, so replay
+/// order is stable). Missing paths are noted and skipped.
+inline std::vector<std::filesystem::path> collect(const std::string& arg) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> files;
+  std::error_code ec;
+  const fs::file_status st = fs::status(arg, ec);
+  if (ec || st.type() == fs::file_type::not_found) {
+    std::fprintf(stderr, "note: corpus path %s does not exist, skipping\n",
+                 arg.c_str());
+    return files;
+  }
+  if (fs::is_directory(st)) {
+    for (const auto& entry : fs::directory_iterator(arg)) {
+      if (entry.is_regular_file()) {
+        files.push_back(entry.path());
+      }
+    }
+    std::sort(files.begin(), files.end());
+  } else {
+    files.emplace_back(arg);
+  }
+  return files;
+}
+
+/// xorshift64* — deterministic, seedable, no <random> weight.
+struct Rng {
+  std::uint64_t state;
+  std::uint64_t next() {
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    return state * 0x2545F4914F6CDD1DULL;
+  }
+  std::size_t below(std::size_t n) {
+    return n == 0 ? 0 : static_cast<std::size_t>(next() % n);
+  }
+};
+
+inline constexpr std::size_t kMaxInputBytes = std::size_t{1} << 16;
+
+/// One mutation step over `input`, possibly splicing in `other`.
+inline void mutate(Bytes& input, const Bytes& other, Rng& rng) {
+  switch (rng.below(6)) {
+    case 0:  // flip one bit
+      if (!input.empty()) {
+        input[rng.below(input.size())] ^=
+            static_cast<std::uint8_t>(1u << rng.below(8));
+      }
+      break;
+    case 1:  // overwrite one byte
+      if (!input.empty()) {
+        input[rng.below(input.size())] =
+            static_cast<std::uint8_t>(rng.next());
+      }
+      break;
+    case 2: {  // insert a random byte
+      const std::size_t at = rng.below(input.size() + 1);
+      input.insert(input.begin() + static_cast<std::ptrdiff_t>(at),
+                   static_cast<std::uint8_t>(rng.next()));
+      break;
+    }
+    case 3: {  // delete a block
+      if (!input.empty()) {
+        const std::size_t at = rng.below(input.size());
+        const std::size_t len = 1 + rng.below(input.size() - at);
+        input.erase(input.begin() + static_cast<std::ptrdiff_t>(at),
+                    input.begin() + static_cast<std::ptrdiff_t>(at + len));
+      }
+      break;
+    }
+    case 4: {  // duplicate a block
+      if (!input.empty()) {
+        const std::size_t at = rng.below(input.size());
+        const std::size_t len =
+            1 + rng.below(std::min<std::size_t>(input.size() - at, 32));
+        Bytes block(input.begin() + static_cast<std::ptrdiff_t>(at),
+                    input.begin() + static_cast<std::ptrdiff_t>(at + len));
+        input.insert(input.begin() + static_cast<std::ptrdiff_t>(at),
+                     block.begin(), block.end());
+      }
+      break;
+    }
+    default: {  // splice: tail of `other` onto a prefix of `input`
+      if (!other.empty()) {
+        const std::size_t keep = rng.below(input.size() + 1);
+        input.resize(keep);
+        const std::size_t from = rng.below(other.size());
+        input.insert(input.end(),
+                     other.begin() + static_cast<std::ptrdiff_t>(from),
+                     other.end());
+      }
+      break;
+    }
+  }
+  if (input.size() > kMaxInputBytes) {
+    input.resize(kMaxInputBytes);
+  }
+}
+
+inline int standalone_main(int argc, char** argv) {
+  long fuzz_seconds = 0;
+  std::vector<std::string> corpus_args;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--fuzz" && a + 1 < argc) {
+      fuzz_seconds = std::strtol(argv[++a], nullptr, 10);
+    } else if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr,
+                   "usage: %s [--fuzz <seconds>] <corpus-dir-or-file>...\n",
+                   argv[0]);
+      return 0;
+    } else {
+      corpus_args.push_back(arg);
+    }
+  }
+
+  // Replay pass: every corpus input exactly once.
+  std::vector<Bytes> seeds;
+  std::uint64_t replayed = 0;
+  for (const std::string& arg : corpus_args) {
+    for (const auto& path : collect(arg)) {
+      Bytes input = read_file(path);
+      LLVMFuzzerTestOneInput(input.data(), input.size());
+      ++replayed;
+      seeds.push_back(std::move(input));
+    }
+  }
+  std::printf("%s: replayed %llu corpus inputs\n", argv[0],
+              static_cast<unsigned long long>(replayed));
+
+  if (fuzz_seconds <= 0) {
+    return 0;
+  }
+
+  // Mutation pass: wall-clock bounded, current input persisted before
+  // every execution so a crash leaves its reproducer on disk.
+  if (seeds.empty()) {
+    seeds.emplace_back();  // fuzz from the empty input
+  }
+  const std::string last_input_path =
+      std::string(argv[0]) + ".last_input";
+  Rng rng{0x9E3779B97F4A7C15ULL ^
+          static_cast<std::uint64_t>(
+              std::chrono::steady_clock::now().time_since_epoch().count())};
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(fuzz_seconds);
+  std::uint64_t execs = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    Bytes input = seeds[rng.below(seeds.size())];
+    const Bytes& other = seeds[rng.below(seeds.size())];
+    const std::size_t steps = 1 + rng.below(4);
+    for (std::size_t s = 0; s < steps; ++s) {
+      mutate(input, other, rng);
+    }
+    {
+      std::ofstream out(last_input_path,
+                        std::ios::binary | std::ios::trunc);
+      out.write(reinterpret_cast<const char*>(input.data()),
+                static_cast<std::streamsize>(input.size()));
+    }
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+    ++execs;
+  }
+  std::remove(last_input_path.c_str());
+  std::printf("%s: %llu mutated executions in %ld s, no crashes\n", argv[0],
+              static_cast<unsigned long long>(execs), fuzz_seconds);
+  return 0;
+}
+
+}  // namespace ambit::fuzz
+
+int main(int argc, char** argv) {
+  return ambit::fuzz::standalone_main(argc, argv);
+}
+
+#endif  // AMBIT_FUZZ_STANDALONE

@@ -1,0 +1,106 @@
+// Fuzz target: a whole serve connection (serve/server.h).
+//
+// Feeds arbitrary bytes through Server::serve_stream — the exact code
+// path behind the stdio, Unix-socket and TCP transports — so it
+// exercises the full request loop: line framing, parse_request,
+// dispatch, EVALB/SIMB binary payload framing and the
+// drop-the-connection error paths. Two hermeticity measures:
+//
+//   * every well-formed "LOAD <name> <path>" line is rewritten to load
+//     a fixed seed circuit from a temp file this harness wrote at
+//     startup — the fuzzer must not open attacker-chosen paths (or
+//     block forever on /dev/stdin);
+//   * each input gets a fresh Session (0 workers: in-line evaluation)
+//     and a fresh Server, so SHUTDOWN's latch and loaded-circuit state
+//     cannot leak between runs and every input reproduces standalone.
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <new>
+#include <sstream>
+#include <string>
+
+#include "serve/server.h"
+#include "serve/session.h"
+#include "util/error.h"
+
+namespace {
+
+/// Writes the seed circuit once; every LOAD in every input points here.
+const std::string& seed_pla_path() {
+  static const std::string path = [] {
+    const std::string p =
+        (std::filesystem::temp_directory_path() / "ambit_fuzz_seed.pla")
+            .string();
+    std::ofstream out(p, std::ios::trunc);
+    out << ".i 2\n.o 1\n10 1\n01 1\n.e\n";
+    return p;
+  }();
+  return path;
+}
+
+bool is_ws(char c) { return c == ' ' || c == '\t' || c == '\r'; }
+
+/// Rewrites the path of every 3-token LOAD line (the only request that
+/// opens a file); all other lines — including malformed LOADs, which
+/// fail before touching the filesystem — pass through byte-for-byte.
+std::string sanitize(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) {
+      eol = text.size();
+    }
+    const std::string line = text.substr(pos, eol - pos);
+    std::size_t t = 0;
+    while (t < line.size() && is_ws(line[t])) ++t;
+    std::size_t t_end = t;
+    while (t_end < line.size() && !is_ws(line[t_end])) ++t_end;
+    int tokens = 0;
+    bool in_token = false;
+    for (std::size_t c = t; c < line.size(); ++c) {
+      const bool ws = is_ws(line[c]);
+      if (!ws && !in_token) ++tokens;
+      in_token = !ws;
+    }
+    if (line.compare(t, t_end - t, "LOAD") == 0 && t_end > t && tokens == 3) {
+      out += "LOAD c " + seed_pla_path();
+    } else {
+      out += line;
+    }
+    if (eol < text.size()) {
+      out += '\n';
+    }
+    pos = eol + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text =
+      sanitize(std::string(reinterpret_cast<const char*>(data), size));
+  try {
+    ambit::serve::Session session(0);
+    ambit::serve::Server server(session);
+    std::istringstream in(text);
+    std::ostringstream out;
+    server.serve_stream(in, out);
+  } catch (const ambit::Error&) {
+    // request-level failures surface as ERR lines, not exceptions, so
+    // this is rare (e.g. resource exhaustion) — but it is a clean exit
+  } catch (const std::bad_alloc&) {
+    // a fuzzed EVALB header may legitimately request a payload buffer
+    // this process cannot serve; the server's contract is to fail the
+    // request, but the fallback path may still propagate under ASan
+  }
+  return 0;
+}
+
+#include "fuzz_driver.h"

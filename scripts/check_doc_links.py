@@ -13,9 +13,16 @@ about the repo's own structure, and CI must not flake on the network.
 
 Exits non-zero listing every dead link. Run from anywhere:
 
-    python3 scripts/check_doc_links.py
+    python3 scripts/check_doc_links.py            # check this repo
+    python3 scripts/check_doc_links.py --quiet    # failures only
+    python3 scripts/check_doc_links.py --root X   # check another tree
+
+--root exists for the checker's own test fixture
+(scripts/test_check_doc_links.py, wired into ctest), which must point
+it at synthetic good/bad trees.
 """
 
+import argparse
 import re
 import sys
 from pathlib import Path
@@ -43,7 +50,7 @@ def anchors_of(markdown_path: Path) -> set:
     return {github_anchor(h) for h in HEADING.findall(text)}
 
 
-def check_file(markdown_path: Path) -> list:
+def check_file(markdown_path: Path, root: Path) -> list:
     failures = []
     text = markdown_path.read_text(encoding="utf-8")
     for match in LINK.finditer(text):
@@ -54,7 +61,7 @@ def check_file(markdown_path: Path) -> list:
         if path_part:
             resolved = (markdown_path.parent / path_part).resolve()
             if not resolved.exists():
-                failures.append(f"{markdown_path.relative_to(REPO)}: "
+                failures.append(f"{markdown_path.relative_to(root)}: "
                                 f"dead link target '{target}'")
                 continue
         else:
@@ -65,14 +72,23 @@ def check_file(markdown_path: Path) -> list:
                 # files) are line anchors GitHub resolves itself.
                 continue
             if fragment not in anchors_of(resolved):
-                failures.append(f"{markdown_path.relative_to(REPO)}: "
+                failures.append(f"{markdown_path.relative_to(root)}: "
                                 f"'{target}' points at a missing heading "
                                 f"anchor '#{fragment}'")
     return failures
 
 
 def main() -> int:
-    candidates = [REPO / "README.md"] + sorted((REPO / "docs").glob("*.md"))
+    parser = argparse.ArgumentParser(
+        description="Link-check the repo's markdown documentation.")
+    parser.add_argument("--quiet", action="store_true",
+                        help="print nothing when every link resolves")
+    parser.add_argument("--root", type=Path, default=REPO,
+                        help="tree to check (default: this repository)")
+    args = parser.parse_args()
+    root = args.root.resolve()
+
+    candidates = [root / "README.md"] + sorted((root / "docs").glob("*.md"))
     missing = [p for p in candidates if not p.is_file()]
     if missing:
         for path in missing:
@@ -80,7 +96,7 @@ def main() -> int:
         return 1
     failures = []
     for path in candidates:
-        failures.extend(check_file(path))
+        failures.extend(check_file(path, root))
     for failure in failures:
         print(f"check_doc_links: {failure}")
     checked = len(candidates)
@@ -88,7 +104,8 @@ def main() -> int:
         print(f"check_doc_links: {len(failures)} dead link(s) across "
               f"{checked} file(s)")
         return 1
-    print(f"check_doc_links: OK ({checked} files)")
+    if not args.quiet:
+        print(f"check_doc_links: OK ({checked} files)")
     return 0
 
 

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Replays every checked-in fuzz corpus — seeds plus recorded
+# regressions — through the fuzz/ harness binaries of a build tree,
+# optionally following up with a wall-clock random-mutation run per
+# harness. CI runs this inside the ASan+UBSan build; locally a longer
+# budget digs deeper:
+#
+#   scripts/fuzz_smoke.sh build-asan        # replay only
+#   scripts/fuzz_smoke.sh build-asan 60     # replay + 60 s fuzzing each
+#
+# Harness binaries are the fuzz_*.cpp names; a missing binary fails the
+# run (it means AMBIT_BUILD_FUZZERS was off, not that there is nothing
+# to test).
+set -euo pipefail
+
+build_dir=${1:?usage: fuzz_smoke.sh <build-dir> [fuzz-seconds]}
+fuzz_seconds=${2:-0}
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+
+# Oversized-but-in-spec bulk headers may ask for payload buffers the
+# harness process cannot serve; the code under test treats bad_alloc as
+# a clean failure, so ASan must return null rather than hard-error.
+export ASAN_OPTIONS="allocator_may_return_null=1${ASAN_OPTIONS:+:$ASAN_OPTIONS}"
+
+status=0
+for source in "$repo_root"/fuzz/fuzz_*.cpp; do
+  name=$(basename "$source" .cpp)
+  bin="$build_dir/$name"
+  if [[ ! -x "$bin" ]]; then
+    echo "fuzz_smoke: missing harness binary $bin" \
+         "(configure with -DAMBIT_BUILD_FUZZERS=ON)" >&2
+    status=1
+    continue
+  fi
+  args=("$repo_root/fuzz/corpus/$name"
+        "$repo_root/tests/data/fuzz_regressions/$name")
+  if [[ "$fuzz_seconds" -gt 0 ]]; then
+    args=(--fuzz "$fuzz_seconds" "${args[@]}")
+  fi
+  echo "fuzz_smoke: running $name"
+  "$bin" "${args[@]}" || status=1
+done
+exit $status

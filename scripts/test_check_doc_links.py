@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Self-test for scripts/check_doc_links.py (run by ctest).
+
+The link checker is itself a CI gate; this fixture test keeps the gate
+honest: it builds one documentation tree where every link resolves and
+one with each class of breakage, runs the real checker as a subprocess
+against both (via --root), and verifies the verdicts, the exit codes
+and the --quiet contract.
+"""
+
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+CHECKER = Path(__file__).resolve().parent / "check_doc_links.py"
+
+
+def run_checker(root, *flags):
+    return subprocess.run(
+        [sys.executable, str(CHECKER), "--root", str(root), *flags],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+
+
+def write_tree(root, readme, architecture):
+    (root / "docs").mkdir()
+    (root / "README.md").write_text(readme, encoding="utf-8")
+    (root / "docs" / "ARCHITECTURE.md").write_text(architecture,
+                                                   encoding="utf-8")
+
+
+def expect(condition, label, result):
+    if not condition:
+        sys.exit(f"FAIL {label}\nexit={result.returncode}\n"
+                 f"stdout:\n{result.stdout}\nstderr:\n{result.stderr}")
+    print(f"ok: {label}")
+
+
+def main():
+    with tempfile.TemporaryDirectory() as tmp:
+        good = Path(tmp) / "good"
+        good.mkdir()
+        write_tree(
+            good,
+            readme=("# AMBIT\n\nSee [the docs](docs/ARCHITECTURE.md) and "
+                    "[one section](docs/ARCHITECTURE.md#correctness-tooling)"
+                    " or [below](#ambit). External: "
+                    "[x](https://example.com/nope).\n"),
+            architecture=("# Architecture\n\n## Correctness tooling\n\n"
+                          "Back to [README](../README.md).\n"),
+        )
+        result = run_checker(good)
+        expect(result.returncode == 0 and "OK (2 files)" in result.stdout,
+               "clean tree passes and reports", result)
+        result = run_checker(good, "--quiet")
+        expect(result.returncode == 0 and result.stdout == "",
+               "--quiet clean tree prints nothing", result)
+
+        bad = Path(tmp) / "bad"
+        bad.mkdir()
+        write_tree(
+            bad,
+            readme=("# AMBIT\n\n[gone](docs/NO_SUCH.md) and "
+                    "[bad anchor](docs/ARCHITECTURE.md#missing-heading)\n"),
+            architecture="# Architecture\n",
+        )
+        result = run_checker(bad)
+        expect(result.returncode == 1, "broken tree fails", result)
+        expect("dead link target 'docs/NO_SUCH.md'" in result.stdout,
+               "dead file link reported", result)
+        expect("missing heading anchor '#missing-heading'" in result.stdout,
+               "dead anchor reported", result)
+        result = run_checker(bad, "--quiet")
+        expect(result.returncode == 1 and "dead link" in result.stdout,
+               "--quiet still prints failures", result)
+
+        empty = Path(tmp) / "empty"
+        empty.mkdir()
+        result = run_checker(empty)
+        expect(result.returncode == 1 and "expected file missing"
+               in result.stdout, "missing README fails", result)
+    print("check_doc_links self-test: all cases passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

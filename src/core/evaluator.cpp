@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "util/check.h"
 #include "util/error.h"
 #include "util/thread_pool.h"
 
@@ -23,7 +24,12 @@ void check_width(int got, int expected, const char* entry) {
 
 std::vector<bool> Evaluator::evaluate(const std::vector<bool>& inputs) const {
   check_width(static_cast<int>(inputs.size()), num_inputs(), "evaluate");
-  return do_evaluate(inputs);
+  std::vector<bool> out = do_evaluate(inputs);
+  AMBIT_CHECK(static_cast<int>(out.size()) == num_outputs(),
+              "Evaluator::evaluate: kernel produced " +
+                  std::to_string(out.size()) + " outputs, contract says " +
+                  std::to_string(num_outputs()));
+  return out;
 }
 
 std::vector<bool> Evaluator::evaluate(std::span<const bool> inputs) const {
@@ -31,10 +37,33 @@ std::vector<bool> Evaluator::evaluate(std::span<const bool> inputs) const {
   return do_evaluate(std::vector<bool>(inputs.begin(), inputs.end()));
 }
 
+namespace {
+
+/// The batch half of the width contract, enforced on every kernel
+/// result: output lane count and pattern count must match, and the tail
+/// padding must be clean (a kernel leaving stray bits there would break
+/// the bit-locality consumers — sharded pastes and the serve
+/// coalescer's bit-packed fusion).
+void check_batch_contract(const Evaluator& e, const logic::PatternBatch& in,
+                          const logic::PatternBatch& out) {
+  AMBIT_CHECK(out.num_signals() == e.num_outputs(),
+              "Evaluator::evaluate_batch: kernel produced " +
+                  std::to_string(out.num_signals()) +
+                  " output lanes, contract says " +
+                  std::to_string(e.num_outputs()));
+  AMBIT_CHECK(out.num_patterns() == in.num_patterns(),
+              "Evaluator::evaluate_batch: kernel changed the pattern count");
+  out.assert_tail_clean("Evaluator::evaluate_batch (kernel result)");
+}
+
+}  // namespace
+
 logic::PatternBatch Evaluator::evaluate_batch(
     const logic::PatternBatch& inputs) const {
   check_width(inputs.num_signals(), num_inputs(), "evaluate_batch");
-  return do_evaluate_batch(inputs);
+  logic::PatternBatch out = do_evaluate_batch(inputs);
+  check_batch_contract(*this, inputs, out);
+  return out;
 }
 
 logic::PatternBatch Evaluator::evaluate_batch(const logic::PatternBatch& inputs,
@@ -54,9 +83,22 @@ logic::PatternBatch Evaluator::evaluate_batch(const logic::PatternBatch& inputs,
         const std::uint64_t first = word_lo * 64;
         const std::uint64_t count =
             std::min(inputs.num_patterns(), word_hi * 64) - first;
+        // The shard boundary contract: every shard starts on a word
+        // boundary and stays inside the batch — this is what makes the
+        // slice/paste pair below word-wise and the sharded sweep
+        // bit-identical to the sequential one.
+        AMBIT_CHECK(first % 64 == 0 && count > 0 &&
+                        first + count <= inputs.num_patterns(),
+                    "Evaluator::evaluate_batch: shard [" +
+                        std::to_string(word_lo) + ", " +
+                        std::to_string(word_hi) +
+                        ") violates the word-aligned shard contract");
         // Shards write disjoint word ranges of `out`, so the pastes
         // need no synchronization beyond parallel_for's own join.
-        out.paste(do_evaluate_batch(inputs.slice(first, count)), first);
+        const logic::PatternBatch shard_in = inputs.slice(first, count);
+        logic::PatternBatch shard_out = do_evaluate_batch(shard_in);
+        check_batch_contract(*this, shard_in, shard_out);
+        out.paste(shard_out, first);
       });
   return out;
 }

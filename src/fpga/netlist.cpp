@@ -132,6 +132,20 @@ std::vector<int> Netlist::topological_order() const {
   return order;
 }
 
+namespace {
+
+/// "pi" + 3 -> "pi3". Built with += rather than an operator+ chain:
+/// gcc 12's -Wrestrict misanalyzes `"lit" + std::to_string(n)` at -O3
+/// (a known false positive) and the generated names are hot enough to
+/// appear in every fuzz/bench build log.
+std::string tag(const char* prefix, int n) {
+  std::string name(prefix);
+  name += std::to_string(n);
+  return name;
+}
+
+}  // namespace
+
 Netlist generate_circuit(const CircuitSpec& spec, std::uint64_t seed) {
   check(spec.num_primary_inputs >= spec.fanin_per_block,
         "generate_circuit: need at least K primary inputs");
@@ -153,8 +167,8 @@ Netlist generate_circuit(const CircuitSpec& spec, std::uint64_t seed) {
       static_cast<std::size_t>(spec.num_levels + 1));
   for (int i = 0; i < spec.num_primary_inputs; ++i) {
     const int b = nl.add_block(
-        Block{.name = "pi" + std::to_string(i), .kind = BlockKind::kInput});
-    const int n = nl.add_net("npi" + std::to_string(i));
+        Block{.name = tag("pi", i), .kind = BlockKind::kInput});
+    const int n = nl.add_net(tag("npi", i));
     nl.set_driver(n, b);
     level_nets[0].push_back(n);
   }
@@ -180,8 +194,8 @@ Netlist generate_circuit(const CircuitSpec& spec, std::uint64_t seed) {
     for (int g = 0; g < here; ++g, ++made) {
       const double p = (g + 0.5) / here;  // spatial position of this block
       const int b = nl.add_block(
-          Block{.name = "lb" + std::to_string(made), .kind = BlockKind::kLogic});
-      const int out = nl.add_net("n" + std::to_string(made));
+          Block{.name = tag("lb", made), .kind = BlockKind::kLogic});
+      const int out = nl.add_net(tag("n", made));
       nl.set_driver(out, b);
 
       std::vector<int> chosen;
@@ -223,7 +237,7 @@ Netlist generate_circuit(const CircuitSpec& spec, std::uint64_t seed) {
         "generate_circuit: not enough nets for the primary outputs");
   for (int o = 0; o < spec.num_primary_outputs; ++o) {
     const int b = nl.add_block(
-        Block{.name = "po" + std::to_string(o), .kind = BlockKind::kOutput});
+        Block{.name = tag("po", o), .kind = BlockKind::kOutput});
     nl.add_sink(tap_pool[static_cast<std::size_t>(o)], b, false);
   }
 

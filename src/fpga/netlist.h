@@ -43,7 +43,7 @@ struct Fanin {
 struct Block {
   std::string name;
   BlockKind kind = BlockKind::kLogic;
-  std::vector<Fanin> fanins;
+  std::vector<Fanin> fanins{};
   int output_net = -1;  ///< -1 for kOutput blocks
 };
 
@@ -57,7 +57,7 @@ struct NetSink {
 struct Net {
   std::string name;
   int driver_block = -1;
-  std::vector<NetSink> sinks;
+  std::vector<NetSink> sinks{};
 
   /// True when any sink reads the complemented rail.
   bool needs_complement() const {

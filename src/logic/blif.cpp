@@ -1,11 +1,240 @@
 #include "logic/blif.h"
 
 #include <fstream>
+#include <optional>
 #include <ostream>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
 
 #include "util/error.h"
 
 namespace ambit::logic {
+
+namespace {
+
+/// Throws the uniform "BLIF parse error at <where>:<line>: ..." error.
+[[noreturn]] void fail(const std::string& where, int line,
+                       const std::string& message) {
+  throw Error("BLIF parse error at " + where + ":" + std::to_string(line) +
+              ": " + message);
+}
+
+std::vector<std::string> split_tokens(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream stream(line);
+  std::string token;
+  while (stream >> token) {
+    tokens.push_back(std::move(token));
+  }
+  return tokens;
+}
+
+}  // namespace
+
+BlifFile read_blif(std::istream& in, const std::string& name) {
+  const std::string where = name.empty() ? "<blif>" : name;
+
+  BlifFile file;
+  std::unordered_map<std::string, int> input_index;
+  std::unordered_map<std::string, int> output_index;
+
+  // The cover is created when the first .names block freezes the
+  // signal declarations; until then .inputs/.outputs may keep
+  // appending (BLIF allows repeated declaration lines).
+  std::optional<Cover> cover;
+  std::vector<bool> output_defined;
+
+  // Active .names block: fan-in columns (as input indices) and the
+  // output the rows assert. -1 output = no block open.
+  std::vector<int> fanin_columns;
+  int open_output = -1;
+
+  // A name containing '\' cannot survive re-emission: write_blif would
+  // put it at the end of a .names header line, where a trailing
+  // backslash reads back as a line continuation and swallows the next
+  // line (found by fuzz_blif's printer/parser fixpoint check).
+  const auto check_name = [&](const std::string& token, int line) {
+    if (token.find('\\') != std::string::npos) {
+      fail(where, line, "name '" + token + "' contains a backslash");
+    }
+  };
+
+  const auto declare = [&](const std::string& signal, bool is_input,
+                           int line) {
+    check_name(signal, line);
+    if (input_index.count(signal) != 0 || output_index.count(signal) != 0) {
+      fail(where, line, "signal '" + signal + "' declared twice");
+    }
+    auto& labels = is_input ? file.input_labels : file.output_labels;
+    auto& index = is_input ? input_index : output_index;
+    index.emplace(signal, static_cast<int>(labels.size()));
+    labels.push_back(signal);
+  };
+
+  const auto freeze_declarations = [&](int line) {
+    if (cover.has_value()) {
+      return;
+    }
+    if (file.output_labels.empty()) {
+      fail(where, line, "model declares no outputs");
+    }
+    cover.emplace(static_cast<int>(file.input_labels.size()),
+                  static_cast<int>(file.output_labels.size()));
+    output_defined.assign(file.output_labels.size(), false);
+  };
+
+  std::string raw;
+  int physical_line = 0;
+  bool saw_model = false;
+  bool saw_end = false;
+  while (!saw_end && std::getline(in, raw)) {
+    ++physical_line;
+    const int line = physical_line;  // logical line = where it started
+
+    // Trailing '\' joins the next physical line (before comment
+    // stripping, matching the SIS reader).
+    std::string text = raw;
+    while (!text.empty() && text.back() == '\\') {
+      text.pop_back();
+      if (!std::getline(in, raw)) {
+        fail(where, physical_line, "line continuation at end of input");
+      }
+      ++physical_line;
+      text += raw;
+    }
+    if (const auto hash = text.find('#'); hash != std::string::npos) {
+      text.resize(hash);
+    }
+    const std::vector<std::string> tokens = split_tokens(text);
+    if (tokens.empty()) {
+      continue;
+    }
+
+    if (tokens[0][0] == '.') {
+      const std::string& directive = tokens[0];
+      fanin_columns.clear();
+      open_output = -1;  // any directive closes the open .names block
+
+      if (directive == ".model") {
+        if (saw_model) {
+          fail(where, line, "duplicate .model");
+        }
+        if (!file.input_labels.empty() || !file.output_labels.empty() ||
+            cover.has_value()) {
+          fail(where, line, ".model must precede signal declarations");
+        }
+        if (tokens.size() > 2) {
+          fail(where, line, ".model takes at most one name");
+        }
+        saw_model = true;
+        if (tokens.size() == 2) {
+          check_name(tokens[1], line);
+          file.model = tokens[1];
+        }
+      } else if (directive == ".inputs" || directive == ".outputs") {
+        if (cover.has_value()) {
+          fail(where, line,
+               directive + " after the first .names block");
+        }
+        for (std::size_t t = 1; t < tokens.size(); ++t) {
+          declare(tokens[t], directive == ".inputs", line);
+        }
+      } else if (directive == ".names") {
+        freeze_declarations(line);
+        if (tokens.size() < 2) {
+          fail(where, line, ".names needs at least an output signal");
+        }
+        const std::string& out_signal = tokens.back();
+        const auto out_it = output_index.find(out_signal);
+        if (out_it == output_index.end()) {
+          fail(where, line,
+               ".names drives '" + out_signal +
+                   "', which is not a declared primary output "
+                   "(multi-level BLIF is not supported)");
+        }
+        open_output = out_it->second;
+        if (output_defined[static_cast<std::size_t>(open_output)]) {
+          fail(where, line,
+               "output '" + out_signal + "' has more than one .names block");
+        }
+        output_defined[static_cast<std::size_t>(open_output)] = true;
+        for (std::size_t t = 1; t + 1 < tokens.size(); ++t) {
+          const auto in_it = input_index.find(tokens[t]);
+          if (in_it == input_index.end()) {
+            fail(where, line,
+                 ".names fan-in '" + tokens[t] +
+                     "' is not a declared primary input "
+                     "(multi-level BLIF is not supported)");
+          }
+          for (const int seen : fanin_columns) {
+            if (seen == in_it->second) {
+              fail(where, line,
+                   "duplicate fan-in '" + tokens[t] + "' in .names");
+            }
+          }
+          fanin_columns.push_back(in_it->second);
+        }
+      } else if (directive == ".end") {
+        saw_end = true;
+      } else {
+        fail(where, line,
+             "unsupported directive '" + directive +
+                 "' (only flat two-level .model/.inputs/.outputs/"
+                 ".names/.end BLIF is accepted)");
+      }
+      continue;
+    }
+
+    // A cube row of the open .names block.
+    if (open_output < 0) {
+      fail(where, line, "cube row outside a .names block");
+    }
+    const std::size_t expected_tokens = fanin_columns.empty() ? 1 : 2;
+    if (tokens.size() != expected_tokens) {
+      fail(where, line,
+           "cube row does not match the .names fan-in count (" +
+               std::to_string(fanin_columns.size()) + " inputs + output)");
+    }
+    const std::string plane = fanin_columns.empty() ? std::string() : tokens[0];
+    const std::string& out_char = tokens[expected_tokens - 1];
+    if (plane.size() != fanin_columns.size()) {
+      fail(where, line,
+           "cube row does not match the .names fan-in count (" +
+               std::to_string(fanin_columns.size()) + " inputs + output)");
+    }
+    if (out_char != "1") {
+      fail(where, line,
+           "only ON-set rows (output '1') are supported, got '" + out_char +
+               "'");
+    }
+    Cube cube(cover->num_inputs(), cover->num_outputs());
+    cube.set_output(open_output, true);
+    for (std::size_t c = 0; c < plane.size(); ++c) {
+      const int var = fanin_columns[c];
+      switch (plane[c]) {
+        case '0': cube.set_input(var, Literal::kZero); break;
+        case '1': cube.set_input(var, Literal::kOne); break;
+        case '-': break;  // stays don't-care
+        default:
+          fail(where, line,
+               std::string("bad character '") + plane[c] +
+                   "' in cube row (expected 0, 1 or -)");
+      }
+    }
+    cover->add(std::move(cube));
+  }
+
+  freeze_declarations(physical_line);
+  file.cover = std::move(*cover);
+  return file;
+}
+
+BlifFile read_blif_file(const std::string& path) {
+  std::ifstream in(path);
+  check(in.good(), "cannot open BLIF file: " + path);
+  return read_blif(in, path);
+}
 
 void write_blif(std::ostream& out, const Cover& cover,
                 const std::string& model_name,

@@ -1,17 +1,61 @@
-// BLIF (Berkeley Logic Interchange Format) export.
+// BLIF (Berkeley Logic Interchange Format) import/export.
 //
-// Lets downstream multi-level tools (SIS/ABC-class) consume AMBIT
-// covers: each output becomes one .names block whose rows are the
+// Export lets downstream multi-level tools (SIS/ABC-class) consume
+// AMBIT covers: each output becomes one .names block whose rows are the
 // cubes asserting it. Multi-output sharing is representational only in
 // BLIF, so shared cubes are simply repeated per output.
+//
+// Import (read_blif) accepts the FLAT TWO-LEVEL subset — exactly the
+// shape write_blif emits, which is also what two-level benchmark
+// distributions ship:
+//
+//   .model <name>              optional, at most once, first
+//   .inputs a b c ...          primary inputs (repeatable, appended)
+//   .outputs f g ...           primary outputs (repeatable, appended)
+//   .names <fanins...> <out>   one block per output; every fan-in must
+//                              be a declared primary input and <out> a
+//                              declared primary output
+//   <rows>                     "<chars over 01-> 1" per cube; inputs
+//                              the block does not mention stay
+//                              don't-care. "0"-rows (OFF-set covers)
+//                              are rejected, not misread.
+//   .end                       optional
+//
+// '#' starts a comment; a trailing '\' continues a line. Multi-level
+// netlists (.names driving intermediate signals), .latch, .subckt and
+// every other directive are rejected with a line-numbered error —
+// this reader feeds untrusted bytes into the Cover pipeline, so
+// anything outside the documented subset must fail loudly (it is
+// fuzzed continuously by fuzz/fuzz_blif.cpp).
 #pragma once
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "logic/cover.h"
 
 namespace ambit::logic {
+
+/// A parsed flat BLIF model: ON-set cover plus labels.
+struct BlifFile {
+  std::string model;                       ///< .model (may be empty)
+  std::vector<std::string> input_labels;   ///< .inputs, in order
+  std::vector<std::string> output_labels;  ///< .outputs, in order
+  Cover cover;                             ///< ON-set over those signals
+
+  BlifFile() : cover(0, 1) {}
+
+  int num_inputs() const { return cover.num_inputs(); }
+  int num_outputs() const { return cover.num_outputs(); }
+};
+
+/// Parses the flat two-level BLIF subset above. Throws ambit::Error
+/// with a "<name>:<line>" message on anything outside it.
+BlifFile read_blif(std::istream& in, const std::string& name = "");
+
+/// Parses a BLIF file from disk.
+BlifFile read_blif_file(const std::string& path);
 
 /// Writes `cover` as a single-model BLIF netlist. Labels default to
 /// in0…/out0… when the vectors are empty; arity is validated.

@@ -1,7 +1,9 @@
 #include "logic/pattern_batch.h"
 
 #include <algorithm>
+#include <string>
 
+#include "util/check.h"
 #include "util/error.h"
 
 namespace ambit::logic {
@@ -129,8 +131,24 @@ void PatternBatch::copy_lane_from(const PatternBatch& src, int src_signal,
   }
 }
 
+void PatternBatch::assert_tail_clean(const char* where) const {
+  if constexpr (invariants_enabled()) {
+    if (words_per_lane_ == 0 || tail_mask_ == ~std::uint64_t{0}) {
+      return;
+    }
+    for (int s = 0; s < num_signals_; ++s) {
+      AMBIT_CHECK((lane(s)[words_per_lane_ - 1] & ~tail_mask_) == 0,
+                  std::string(where) + ": tail padding of lane " +
+                      std::to_string(s) + " carries set bits");
+    }
+  } else {
+    (void)where;
+  }
+}
+
 PatternBatch PatternBatch::slice(std::uint64_t first,
                                  std::uint64_t count) const {
+  assert_tail_clean("PatternBatch::slice (source)");
   check(first % 64 == 0, "PatternBatch::slice: first must be word-aligned");
   check(first + count <= num_patterns_ && count > 0,
         "PatternBatch::slice: range out of bounds");
@@ -148,10 +166,12 @@ PatternBatch PatternBatch::slice(std::uint64_t first,
     // padding stays zero by construction; re-mask anyway for safety.
     to[out.words_per_lane_ - 1] &= out.tail_mask_;
   }
+  out.assert_tail_clean("PatternBatch::slice (result)");
   return out;
 }
 
 void PatternBatch::paste(const PatternBatch& src, std::uint64_t first) {
+  src.assert_tail_clean("PatternBatch::paste (source)");
   check(src.num_signals_ == num_signals_,
         "PatternBatch::paste: signal count mismatch");
   check(first % 64 == 0, "PatternBatch::paste: first must be word-aligned");
@@ -168,6 +188,9 @@ void PatternBatch::paste(const PatternBatch& src, std::uint64_t first) {
       to[w] = from[w];
     }
   }
+  // A source slice ending mid-word is only legal at this batch's end,
+  // so its (clean) tail padding lands exactly on ours.
+  assert_tail_clean("PatternBatch::paste (result)");
 }
 
 namespace {
@@ -213,6 +236,12 @@ void PatternBatch::copy_patterns_from(const PatternBatch& src,
   for (int s = 0; s < num_signals_; ++s) {
     copy_bit_range(src.lane(s), src_first, lane(s), dst_first, count);
   }
+  // copy_bit_range preserves destination bits outside the copied range
+  // BY CONTRACT — the coalescer's exactness proof leans on it — so a
+  // clean destination must still be clean (a dirty source tail can only
+  // reach our padding through an in-range copy of invalid source bits,
+  // which the bounds checks above exclude).
+  assert_tail_clean("PatternBatch::copy_patterns_from (result)");
 }
 
 void PatternBatch::load_words(const std::uint64_t* src, std::uint64_t count) {
@@ -225,6 +254,9 @@ void PatternBatch::load_words(const std::uint64_t* src, std::uint64_t count) {
       lane(s)[words_per_lane_ - 1] &= tail_mask_;
     }
   }
+  // The re-mask above is what makes a hostile EVALB frame with stray
+  // tail bits harmless; this is the executable form of that promise.
+  assert_tail_clean("PatternBatch::load_words (result)");
 }
 
 void PatternBatch::store_words(std::uint64_t* dst, std::uint64_t count) const {

@@ -108,6 +108,17 @@ class PatternBatch {
   /// earlier words are fully valid.
   std::uint64_t tail_mask() const { return tail_mask_; }
 
+  /// Invariant probe (util/check.h): aborts via AMBIT_CHECK when any
+  /// lane carries a set bit in its tail padding. No-op unless the
+  /// AMBIT_ENABLE_INVARIANTS build option is on. slice/paste/
+  /// copy_patterns_from/load_words run it on their operands and
+  /// results, and the Evaluator runs it on every kernel result, so a
+  /// kernel (or a caller scribbling through lane()) that dirties the
+  /// padding is caught at the first word-parallel boundary instead of
+  /// corrupting a downstream popcount. `where` names the caller in the
+  /// failure report.
+  void assert_tail_clean(const char* where) const;
+
   bool operator==(const PatternBatch& other) const = default;
 
  private:

@@ -114,7 +114,10 @@ PlaFile read_pla(std::istream& in, const std::string& name) {
       in_part = tokens[0];
       out_part = tokens[1];
     } else if (tokens.size() == 1 &&
-               static_cast<int>(tokens[0].size()) == num_inputs + num_outputs) {
+               // 64-bit sum: .i/.o each fit an int, so the sum may not
+               // (found by fuzz_pla_io with .i 2147483647 — UBSan).
+               static_cast<long long>(tokens[0].size()) ==
+                   static_cast<long long>(num_inputs) + num_outputs) {
       in_part = tokens[0].substr(0, static_cast<std::size_t>(num_inputs));
       out_part = tokens[0].substr(static_cast<std::size_t>(num_inputs));
     } else {

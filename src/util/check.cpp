@@ -1,0 +1,18 @@
+#include "util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ambit::detail {
+
+void invariant_failure(const char* condition, const char* file, int line,
+                       std::string_view message) {
+  // One fprintf, then abort: the report must come out even mid-crash,
+  // and stderr is unbuffered enough for the death tests to read it.
+  std::fprintf(stderr, "%s:%d: AMBIT_CHECK failed: %s: %.*s\n", file, line,
+               condition, static_cast<int>(message.size()), message.data());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace ambit::detail

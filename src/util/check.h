@@ -1,0 +1,63 @@
+// AMBIT_CHECK — compiled-in internal invariant assertions.
+//
+// The documented contracts of the hot data structures (PatternBatch
+// tail-mask cleanliness, the Evaluator width/shape contract, word-
+// aligned sharding — see docs/ARCHITECTURE.md) are cheap to state but
+// easy to rot: nothing in a release build executes them. AMBIT_CHECK
+// turns them into machine-checked assertions:
+//
+//   AMBIT_CHECK(condition, "message");
+//
+// When AMBIT_ENABLE_INVARIANTS is defined (the AMBIT_ENABLE_INVARIANTS
+// CMake option, forced ON in AMBIT_SANITIZE builds), a failed check
+// prints "<file>:<line>: AMBIT_CHECK failed: <condition>: <message>" to
+// stderr and calls std::abort() — deterministic, death-testable
+// (tests/invariant_test.cpp), and fatal under CI sanitizers. When the
+// option is off, the condition is NOT evaluated (zero cost on hot
+// paths) but is still compiled against (sizeof of an unevaluated
+// operand), so a check cannot bit-rot out of the build.
+//
+// AMBIT_CHECK is for "this cannot happen" internal invariants only.
+// External input keeps going through ambit::check()/require()
+// (util/error.h), which throw and are part of normal control flow.
+#pragma once
+
+#include <string_view>
+
+namespace ambit {
+
+/// True when AMBIT_CHECK assertions are compiled in — lets tests skip
+/// (or assert on) the invariant layer's presence explicitly.
+constexpr bool invariants_enabled() {
+#ifdef AMBIT_ENABLE_INVARIANTS
+  return true;
+#else
+  return false;
+#endif
+}
+
+namespace detail {
+
+/// Prints the failure report to stderr and aborts. Out of line so the
+/// macro's cold path is one call.
+[[noreturn]] void invariant_failure(const char* condition, const char* file,
+                                    int line, std::string_view message);
+
+}  // namespace detail
+}  // namespace ambit
+
+#ifdef AMBIT_ENABLE_INVARIANTS
+#define AMBIT_CHECK(condition, message)                                \
+  do {                                                                 \
+    if (!(condition)) {                                                \
+      ::ambit::detail::invariant_failure(#condition, __FILE__,         \
+                                         __LINE__, (message));         \
+    }                                                                  \
+  } while (false)
+#else
+#define AMBIT_CHECK(condition, message)        \
+  do {                                         \
+    (void)sizeof((condition));                 \
+    (void)sizeof((message));                   \
+  } while (false)
+#endif

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <exception>
 
+#include "util/check.h"
 #include "util/error.h"
 
 namespace ambit {
@@ -75,10 +76,17 @@ void ThreadPool::parallel_for(
   };
   auto join = std::make_shared<Join>();
 
+  // The partition invariants everything downstream leans on: chunks are
+  // non-empty, contiguous, in order, and cover [begin, end) exactly —
+  // the determinism guarantee in the header is THIS, stated executably.
+  std::uint64_t covered = 0;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     for (std::uint64_t lo = begin; lo < end; lo += chunk) {
       const std::uint64_t hi = std::min(end, lo + chunk);
+      AMBIT_CHECK(lo < hi && hi <= end,
+                  "ThreadPool::parallel_for: degenerate chunk");
+      covered += hi - lo;
       ++join->pending;
       tasks_.push([join, lo, hi, &body] {
         try {
@@ -97,6 +105,9 @@ void ThreadPool::parallel_for(
       });
     }
   }
+  AMBIT_CHECK(covered == count,
+              "ThreadPool::parallel_for: chunk partition does not cover the "
+              "range exactly");
   work_ready_.notify_all();
 
   std::unique_lock<std::mutex> jlock(join->m);

@@ -341,9 +341,13 @@ INSTANTIATE_TEST_SUITE_P(
                     ShapeParam{7, 4, 16}, ShapeParam{8, 2, 20},
                     ShapeParam{9, 1, 24}, ShapeParam{10, 3, 20}),
     [](const testing::TestParamInfo<ShapeParam>& info) {
-      return "i" + std::to_string(std::get<0>(info.param)) + "_o" +
-             std::to_string(std::get<1>(info.param)) + "_c" +
-             std::to_string(std::get<2>(info.param));
+      std::string name = "i";
+      name += std::to_string(std::get<0>(info.param));
+      name += "_o";
+      name += std::to_string(std::get<1>(info.param));
+      name += "_c";
+      name += std::to_string(std::get<2>(info.param));
+      return name;
     });
 
 }  // namespace

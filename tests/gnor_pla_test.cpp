@@ -192,9 +192,13 @@ INSTANTIATE_TEST_SUITE_P(
                     SweepParam{6, 2, 12}, SweepParam{7, 3, 14},
                     SweepParam{8, 1, 16}, SweepParam{8, 5, 18}),
     [](const testing::TestParamInfo<SweepParam>& info) {
-      return "i" + std::to_string(std::get<0>(info.param)) + "_o" +
-             std::to_string(std::get<1>(info.param)) + "_c" +
-             std::to_string(std::get<2>(info.param));
+      std::string name = "i";
+      name += std::to_string(std::get<0>(info.param));
+      name += "_o";
+      name += std::to_string(std::get<1>(info.param));
+      name += "_c";
+      name += std::to_string(std::get<2>(info.param));
+      return name;
     });
 
 }  // namespace

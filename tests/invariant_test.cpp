@@ -1,0 +1,170 @@
+// The invariant layer's own tests: a checker nobody can see firing is
+// a checker that silently rots. Every test here deliberately violates
+// a documented contract — a dirty PatternBatch tail word, a kernel
+// that lies about its output shape — and asserts that AMBIT_CHECK
+// (util/check.h) aborts with the expected report. The whole suite
+// skips itself in builds without AMBIT_ENABLE_INVARIANTS (the checks
+// compile to nothing there by design), so it is meaningful exactly in
+// the builds that claim to enforce invariants: the sanitizer CI jobs
+// and any -DAMBIT_ENABLE_INVARIANTS=ON build.
+
+#include <gtest/gtest.h>
+
+#include "core/evaluator.h"
+#include "logic/pattern_batch.h"
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace ambit {
+namespace {
+
+using logic::PatternBatch;
+
+#define SKIP_WITHOUT_INVARIANTS()                                       \
+  if (!invariants_enabled()) {                                          \
+    GTEST_SKIP() << "AMBIT_ENABLE_INVARIANTS is off in this build";     \
+  }
+
+/// A 3-signal, 70-pattern batch: two words per lane, 6 valid bits in
+/// the tail word — room to corrupt.
+PatternBatch small_batch() {
+  PatternBatch batch(3, 70);
+  for (std::uint64_t p = 0; p < 70; ++p) {
+    batch.set(p, static_cast<int>(p % 3), true);
+  }
+  return batch;
+}
+
+/// Sets a bit beyond num_patterns() in the tail word of lane 0 — the
+/// exact corruption the tail-mask contract forbids.
+void corrupt_tail(PatternBatch& batch) {
+  batch.lane(0)[batch.words_per_lane() - 1] |= ~batch.tail_mask();
+}
+
+TEST(InvariantTest, CleanBatchPassesTheProbe) {
+  // Sanity both ways: the probe must be silent on a clean batch in
+  // every build, so the death tests below fail for the right reason.
+  PatternBatch batch = small_batch();
+  batch.assert_tail_clean("InvariantTest");
+  batch.slice(0, 70);
+  PatternBatch dst(3, 70);
+  dst.copy_patterns_from(batch, 0, 0, 70);
+}
+
+TEST(InvariantTest, SliceDiesOnCorruptTailWord) {
+  SKIP_WITHOUT_INVARIANTS();
+  PatternBatch batch = small_batch();
+  corrupt_tail(batch);
+  EXPECT_DEATH(batch.slice(0, 70), "tail padding of lane 0");
+}
+
+TEST(InvariantTest, PasteDiesOnCorruptSourceTail) {
+  SKIP_WITHOUT_INVARIANTS();
+  PatternBatch src = small_batch();
+  corrupt_tail(src);
+  PatternBatch dst(3, 70);
+  EXPECT_DEATH(dst.paste(src, 0), "tail padding of lane 0");
+}
+
+TEST(InvariantTest, CopyPatternsFromDiesOnCorruptDestinationTail) {
+  SKIP_WITHOUT_INVARIANTS();
+  PatternBatch src = small_batch();
+  PatternBatch dst(3, 70);
+  corrupt_tail(dst);
+  EXPECT_DEATH(dst.copy_patterns_from(src, 0, 0, 4),
+               "tail padding of lane 0");
+}
+
+TEST(InvariantTest, LoadWordsRemasksInsteadOfDying) {
+  // load_words is the EVALB ingestion path: stray tail bits arrive from
+  // the network routinely, so the contract there is re-mask, not abort.
+  PatternBatch batch(2, 70);
+  std::vector<std::uint64_t> words(batch.total_words(), ~std::uint64_t{0});
+  batch.load_words(words.data(), words.size());
+  batch.assert_tail_clean("InvariantTest");
+  for (int s = 0; s < 2; ++s) {
+    EXPECT_EQ(batch.lane(s)[1] & ~batch.tail_mask(), 0u);
+  }
+}
+
+/// An Evaluator whose batch kernel violates the width contract on
+/// demand: wrong lane count, wrong pattern count, or a dirty tail.
+class EvilEvaluator : public Evaluator {
+ public:
+  enum class Lie { kNone, kLaneCount, kPatternCount, kDirtyTail };
+  explicit EvilEvaluator(Lie lie) : lie_(lie) {}
+
+  int num_inputs() const override { return 2; }
+  int num_outputs() const override { return 1; }
+
+ protected:
+  std::vector<bool> do_evaluate(const std::vector<bool>& inputs) const override {
+    if (lie_ == Lie::kLaneCount) {
+      return {inputs[0], inputs[1]};  // two outputs, contract says one
+    }
+    return {inputs[0]};
+  }
+
+  logic::PatternBatch do_evaluate_batch(
+      const logic::PatternBatch& inputs) const override {
+    switch (lie_) {
+      case Lie::kLaneCount:
+        return logic::PatternBatch(2, inputs.num_patterns());
+      case Lie::kPatternCount:
+        return logic::PatternBatch(1, inputs.num_patterns() + 1);
+      case Lie::kDirtyTail: {
+        logic::PatternBatch out(1, inputs.num_patterns());
+        out.lane(0)[out.words_per_lane() - 1] |= ~out.tail_mask();
+        return out;
+      }
+      case Lie::kNone:
+        break;
+    }
+    return logic::PatternBatch(1, inputs.num_patterns());
+  }
+
+ private:
+  Lie lie_;
+};
+
+TEST(InvariantTest, EvaluatorDiesOnWrongScalarOutputWidth) {
+  SKIP_WITHOUT_INVARIANTS();
+  const EvilEvaluator evil(EvilEvaluator::Lie::kLaneCount);
+  EXPECT_DEATH(evil.evaluate(std::vector<bool>{false, true}),
+               "kernel produced 2 outputs");
+}
+
+TEST(InvariantTest, EvaluatorDiesOnWrongBatchLaneCount) {
+  SKIP_WITHOUT_INVARIANTS();
+  const EvilEvaluator evil(EvilEvaluator::Lie::kLaneCount);
+  EXPECT_DEATH(evil.evaluate_batch(PatternBatch(2, 70)),
+               "kernel produced 2 output lanes");
+}
+
+TEST(InvariantTest, EvaluatorDiesOnChangedPatternCount) {
+  SKIP_WITHOUT_INVARIANTS();
+  const EvilEvaluator evil(EvilEvaluator::Lie::kPatternCount);
+  EXPECT_DEATH(evil.evaluate_batch(PatternBatch(2, 70)),
+               "changed the pattern count");
+}
+
+TEST(InvariantTest, EvaluatorDiesOnDirtyKernelTail) {
+  SKIP_WITHOUT_INVARIANTS();
+  const EvilEvaluator evil(EvilEvaluator::Lie::kDirtyTail);
+  EXPECT_DEATH(evil.evaluate_batch(PatternBatch(2, 70)),
+               "tail padding of lane 0");
+}
+
+TEST(InvariantTest, WellBehavedEvaluatorSurvivesShardedPath) {
+  // The contract checks ride the hot path of the sharded sweep too;
+  // a lawful kernel must pass them for any worker count.
+  const EvilEvaluator honest(EvilEvaluator::Lie::kNone);
+  ThreadPool pool(2);
+  PatternBatch batch(2, 64 * 40 + 7);
+  const PatternBatch seq = honest.evaluate_batch(batch);
+  const PatternBatch par = honest.evaluate_batch(batch, pool);
+  EXPECT_EQ(seq, par);
+}
+
+}  // namespace
+}  // namespace ambit

@@ -176,6 +176,16 @@ TEST(PlaIoTest, NonNumericCountsRejected) {
   EXPECT_THROW(parse(".i 2\n.o 1\n.p many\n10 1\n.e\n"), Error);
 }
 
+// Fuzz regression (fuzz_pla_io, also checked in as
+// tests/data/fuzz_regressions/fuzz_pla_io/int_overflow_packed_row.pla):
+// matching a packed row against .i 2147483647 summed num_inputs +
+// num_outputs in int — signed overflow (UB) before the row was even
+// rejected. The sum is now 64-bit, so this is a plain parse error.
+TEST(PlaIoTest, IntMaxInputCountDoesNotOverflowPackedRowCheck) {
+  EXPECT_THROW(parse(".i 2147483647\n.o 1\n01\n"), Error);
+  EXPECT_THROW(parse(".i 2147483647\n.o 2147483647\n01\n"), Error);
+}
+
 TEST(PlaIoTest, WriteReadRoundTripPreservesFunction) {
   const PlaFile original = parse(
       ".i 3\n.o 2\n"
