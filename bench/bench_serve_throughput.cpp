@@ -1,8 +1,9 @@
 // End-to-end serve throughput: sharded batch speedup, protocol
-// throughput, the EVALB binary bulk frame, concurrent connections, and
-// cross-connection request coalescing.
+// throughput, the EVALB binary bulk frame, concurrent connections,
+// cross-connection request coalescing, and the cost of the metrics
+// instrumentation itself.
 //
-// Five measurements, against >= 16-input Espresso-minimized GNOR PLAs
+// Six measurements, against >= 16-input Espresso-minimized GNOR PLAs
 // (smaller under --smoke):
 //
 //   1. evaluate_batch sharding: the exhaustive input space swept
@@ -26,15 +27,28 @@
 //      full 64-bit word sweep), so the coalesced run must WIN, not
 //      merely tie. Running this section over serve_tcp also makes the
 //      --smoke TSan run race the TCP accept loop and the coalescer.
+//   6. instrumentation overhead: the same serve_stream EVAL storm once
+//      with per-request metrics recording enabled and once with
+//      ServerOptions::enable_metrics = false — the gap is what the
+//      counters, histograms, and phase timers cost the hot path.
+//
+// Every section reports latency distributions — p50 / p99 / max from
+// util/metrics.h histograms (the serve layer's own per-request
+// `ambit_serve_request_us` where a server is involved, a bench-local
+// histogram over repeated sweeps elsewhere) — not throughput means
+// alone, and the bench ends with one machine-readable `BENCH_JSON:`
+// line for perf-trajectory tracking across PRs.
 //
 // Acceptance bars: >= 3x sharded speedup at 4+ workers (ISSUE 2),
 // >= 2x aggregate multi-client speedup over the sequential-accept
-// baseline (ISSUE 3), and >= 1.5x many-small-clients gain from
-// coalescing (ISSUE 5). Speedup bars are only meaningful when the
-// machine HAS 4 hardware threads and the build is uninstrumented, so
-// they are enforced exactly then; otherwise the bench still verifies
-// bit-identity and reports the measured numbers. --smoke shrinks every
-// section for sanitizer CI runs (races still fire, bars don't).
+// baseline (ISSUE 3), >= 1.5x many-small-clients gain from coalescing
+// (ISSUE 5), and <= 5% instrumentation overhead (ISSUE 7). Bars are
+// only meaningful when the machine HAS 4 hardware threads and the
+// build is uninstrumented, so they are enforced exactly then;
+// otherwise the bench still verifies bit-identity and reports the
+// measured numbers. --smoke shrinks every section for sanitizer CI
+// runs (races still fire, bars don't).
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -54,6 +68,7 @@
 #include "serve/protocol.h"
 #include "serve/server.h"
 #include "serve/session.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -77,16 +92,83 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+/// p50 / p99 / max snapshot of a latency histogram — the three numbers
+/// every section reports alongside its throughput. All zero in a
+/// -DAMBIT_METRICS=OFF build (observe() is compiled out), which the
+/// main() banner calls out.
+struct LatencyStats {
+  std::uint64_t p50_us = 0;
+  std::uint64_t p99_us = 0;
+  std::uint64_t max_us = 0;
+};
+
+LatencyStats stats_of(const metrics::Histogram& hist) {
+  return {hist.quantile(0.5), hist.quantile(0.99), hist.max_observed()};
+}
+
+LatencyStats stats_of(const metrics::Histogram* hist) {
+  return hist != nullptr ? stats_of(*hist) : LatencyStats{};
+}
+
+std::string format_latency(const LatencyStats& stats) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "p50 %llu / p99 %llu / max %llu us",
+                static_cast<unsigned long long>(stats.p50_us),
+                static_cast<unsigned long long>(stats.p99_us),
+                static_cast<unsigned long long>(stats.max_us));
+  return buf;
+}
+
+/// Accumulates the flat key -> value map behind the one BENCH_JSON:
+/// summary line. Keys are emitted in insertion order so diffs between
+/// runs line up; values render with %.6g (integers stay integers).
+class BenchJson {
+ public:
+  void add(const std::string& key, double value) {
+    fields_.emplace_back(key, value);
+  }
+  void add(const std::string& key, const LatencyStats& stats) {
+    add(key + "_p50_us", static_cast<double>(stats.p50_us));
+    add(key + "_p99_us", static_cast<double>(stats.p99_us));
+    add(key + "_max_us", static_cast<double>(stats.max_us));
+  }
+  std::string render() const {
+    std::string out = "BENCH_JSON: {";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.6g", fields_[i].second);
+      if (i != 0) {
+        out += ", ";
+      }
+      out += '"';
+      out += fields_[i].first;
+      out += "\": ";
+      out += buf;
+    }
+    out += '}';
+    return out;
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> fields_;
+};
+
 /// Sweeps the exhaustive input space repeatedly until >= min_secs and
-/// returns patterns/sec.
+/// returns patterns/sec. When `latency` is given, each sweep's wall
+/// time lands in it, so sections report distributions, not just means.
 template <typename Sweep>
-double measure_pps(std::uint64_t patterns, double min_secs,
-                   const Sweep& sweep) {
+double measure_pps(std::uint64_t patterns, double min_secs, const Sweep& sweep,
+                   metrics::Histogram* latency = nullptr) {
   const auto start = std::chrono::steady_clock::now();
   int reps = 0;
   double secs = 0;
   do {
+    const auto sweep_start = std::chrono::steady_clock::now();
     sweep();
+    if (latency != nullptr) {
+      latency->observe(static_cast<std::uint64_t>(
+          seconds_since(sweep_start) * 1e6));
+    }
     ++reps;
     secs = seconds_since(start);
   } while (secs < min_secs);
@@ -269,13 +351,29 @@ int main(int argc, char** argv) {
 
   const PatternBatch inputs = PatternBatch::exhaustive(pla.num_inputs());
   const PatternBatch sequential = pla.evaluate_batch(inputs);
+  metrics::Histogram seq_latency(metrics::Histogram::default_latency_bounds_us());
   const double seq_pps =
       measure_pps(inputs.num_patterns(), min_measure_secs,
-                  [&] { (void)pla.evaluate_batch(inputs); });
+                  [&] { (void)pla.evaluate_batch(inputs); }, &seq_latency);
 
-  TextTable table({"workers", "Mpatterns/s", "speedup", "bit-identical"});
+  BenchJson json;
+  json.add("smoke", smoke ? 1 : 0);
+  json.add("hw_threads", hw);
+  json.add("sharded_seq_mpps", seq_pps / 1e6);
+  json.add("sharded_seq_sweep", stats_of(seq_latency));
+  if (!metrics::metrics_enabled()) {
+    std::printf("NOTE: -DAMBIT_METRICS=OFF build — latency histograms are "
+                "compiled out, p50/p99/max report 0\n");
+  }
+
+  TextTable table({"workers", "Mpatterns/s", "speedup", "sweep p50/p99/max us",
+                   "bit-identical"});
+  const auto latency_cell = [](const LatencyStats& stats) {
+    return std::to_string(stats.p50_us) + " / " + std::to_string(stats.p99_us) +
+           " / " + std::to_string(stats.max_us);
+  };
   table.add_row({"1 (sequential)", format_double(seq_pps / 1e6, 1), "1.0x",
-                 "yes"});
+                 latency_cell(stats_of(seq_latency)), "yes"});
   bool all_identical = true;
   double best_speedup_4plus = 0;
   std::vector<int> worker_counts = {2, 4};
@@ -287,17 +385,20 @@ int main(int argc, char** argv) {
     const PatternBatch parallel = pla.evaluate_batch(inputs, pool);
     const bool identical = parallel == sequential;
     all_identical = all_identical && identical;
+    metrics::Histogram latency(metrics::Histogram::default_latency_bounds_us());
     const double pps =
         measure_pps(inputs.num_patterns(), min_measure_secs,
-                    [&] { (void)pla.evaluate_batch(inputs, pool); });
+                    [&] { (void)pla.evaluate_batch(inputs, pool); }, &latency);
     const double speedup = pps / seq_pps;
     if (workers >= 4 && speedup > best_speedup_4plus) {
       best_speedup_4plus = speedup;
     }
     table.add_row({std::to_string(workers), format_double(pps / 1e6, 1),
-                   format_double(speedup, 1) + "x", identical ? "yes" : "NO"});
+                   format_double(speedup, 1) + "x",
+                   latency_cell(stats_of(latency)), identical ? "yes" : "NO"});
   }
   std::printf("\n%s\n", table.render().c_str());
+  json.add("sharded_best_speedup_4plus", best_speedup_4plus);
 
   // --- 2. End-to-end protocol throughput ----------------------------------
   const std::string pla_path =
@@ -320,7 +421,13 @@ int main(int argc, char** argv) {
   script << "VERIFY bench\nSTATS\nQUIT\n";
 
   serve::Session session(hw >= 4 ? 4 : 1);
-  serve::Server server(session);
+  // The server's own per-request histogram (an isolated registry, so
+  // counts are exactly this session's) supplies the latency numbers —
+  // the same ambit_serve_request_us a production scrape would read.
+  metrics::Registry protocol_registry;
+  serve::ServerOptions protocol_options;
+  protocol_options.registry = &protocol_registry;
+  serve::Server server(session, protocol_options);
   std::istringstream in(script.str());
   std::ostringstream out;
   const auto start = std::chrono::steady_clock::now();
@@ -333,12 +440,16 @@ int main(int argc, char** argv) {
   for (std::string line; std::getline(responses, line);) {
     errors += starts_with(line, "ERR");
   }
+  const LatencyStats protocol_eval = stats_of(protocol_registry.find_histogram(
+      "ambit_serve_request_us", {{"verb", "EVAL"}}));
   std::printf("protocol session: %llu requests in %.3f s -> %.0f req/s, "
-              "%.2f Mpatterns/s through EVAL, %d error(s)\n",
+              "%.2f Mpatterns/s through EVAL, EVAL %s, %d error(s)\n",
               static_cast<unsigned long long>(served), secs, served / secs,
               static_cast<double>(eval_requests) * kPatternsPerRequest / secs /
                   1e6,
-              errors);
+              format_latency(protocol_eval).c_str(), errors);
+  json.add("protocol_req_per_s", served / secs);
+  json.add("protocol_eval", protocol_eval);
 
   // --- 3. EVALB bulk frame vs per-line hex --------------------------------
   // The same pattern volume once as hex EVAL lines and once as one
@@ -366,11 +477,15 @@ int main(int argc, char** argv) {
     hex_script += '\n';
   }
   hex_script += "QUIT\n";
-  const double hex_pps = measure_pps(bulk_patterns, min_measure_secs, [&] {
-    std::istringstream hex_in(hex_script);
-    std::ostringstream hex_out;
-    bulk_server.serve_stream(hex_in, hex_out);
-  });
+  metrics::Histogram hex_latency(metrics::Histogram::default_latency_bounds_us());
+  const double hex_pps = measure_pps(
+      bulk_patterns, min_measure_secs,
+      [&] {
+        std::istringstream hex_in(hex_script);
+        std::ostringstream hex_out;
+        bulk_server.serve_stream(hex_in, hex_out);
+      },
+      &hex_latency);
 
   std::vector<std::uint64_t> bulk_words(bulk.total_words());
   bulk.store_words(bulk_words.data(), bulk_words.size());
@@ -379,11 +494,16 @@ int main(int argc, char** argv) {
   frame_script.append(reinterpret_cast<const char*>(bulk_words.data()),
                       bulk_words.size() * sizeof(std::uint64_t));
   frame_script += "QUIT\n";
-  const double frame_pps = measure_pps(bulk_patterns, min_measure_secs, [&] {
-    std::istringstream frame_in(frame_script);
-    std::ostringstream frame_out;
-    bulk_server.serve_stream(frame_in, frame_out);
-  });
+  metrics::Histogram frame_latency(
+      metrics::Histogram::default_latency_bounds_us());
+  const double frame_pps = measure_pps(
+      bulk_patterns, min_measure_secs,
+      [&] {
+        std::istringstream frame_in(frame_script);
+        std::ostringstream frame_out;
+        bulk_server.serve_stream(frame_in, frame_out);
+      },
+      &frame_latency);
 
   // Bit-identity of the frame path against direct evaluation.
   bool evalb_identical = false;
@@ -402,11 +522,17 @@ int main(int argc, char** argv) {
       evalb_identical = got == expected;
     }
   }
-  std::printf("bulk %llu patterns: EVAL hex %.2f Mpatterns/s, EVALB frame "
-              "%.2f Mpatterns/s (%.1fx), bit-identical: %s\n",
+  std::printf("bulk %llu patterns: EVAL hex %.2f Mpatterns/s (session %s), "
+              "EVALB frame %.2f Mpatterns/s (session %s, %.1fx), "
+              "bit-identical: %s\n",
               static_cast<unsigned long long>(bulk_patterns), hex_pps / 1e6,
-              frame_pps / 1e6, frame_pps / hex_pps,
-              evalb_identical ? "yes" : "NO");
+              format_latency(stats_of(hex_latency)).c_str(), frame_pps / 1e6,
+              format_latency(stats_of(frame_latency)).c_str(),
+              frame_pps / hex_pps, evalb_identical ? "yes" : "NO");
+  json.add("bulk_hex_mpps", hex_pps / 1e6);
+  json.add("bulk_frame_mpps", frame_pps / 1e6);
+  json.add("bulk_hex_session", stats_of(hex_latency));
+  json.add("bulk_frame_session", stats_of(frame_latency));
 
   // --- 4. Concurrent connections over a Unix socket -----------------------
   bool storm_identical = true;
@@ -432,8 +558,10 @@ int main(int argc, char** argv) {
                   requests_per_client, patterns_per_request);
     serve::Session conc_session(1);
     conc_session.load("bench", pla_path);
+    metrics::Registry conc_registry;
     serve::ServerOptions conc_options;
     conc_options.max_connections = clients;
+    conc_options.registry = &conc_registry;
     const StormResult conc =
         run_storm(pla, conc_session, socket_path, conc_options, clients,
                   requests_per_client, patterns_per_request);
@@ -441,13 +569,20 @@ int main(int argc, char** argv) {
     storm_served = seq.all_served && conc.all_served;
     storm_ran = true;
     conc_speedup = seq.seconds / conc.seconds;
+    const LatencyStats conc_eval = stats_of(conc_registry.find_histogram(
+        "ambit_serve_request_us", {{"verb", "EVAL"}}));
     std::printf(
         "%d clients x %d requests: sequential accepts %.0f req/s, "
-        "concurrent accepts %.0f req/s (%.1fx), responses %s\n",
+        "concurrent accepts %.0f req/s (%.1fx, EVAL %s), responses %s\n",
         clients, requests_per_client,
         static_cast<double>(seq.requests) / seq.seconds,
         static_cast<double>(conc.requests) / conc.seconds, conc_speedup,
+        format_latency(conc_eval).c_str(),
         storm_identical && storm_served ? "bit-identical" : "WRONG");
+    json.add("storm_conc_req_per_s",
+             static_cast<double>(conc.requests) / conc.seconds);
+    json.add("storm_speedup", conc_speedup);
+    json.add("storm_conc_eval", conc_eval);
   }
 #else
   std::printf("concurrent-connection storm skipped: no Unix sockets\n");
@@ -500,10 +635,12 @@ int main(int argc, char** argv) {
                   small_clients, small_requests, small_patterns);
     serve::Session coal_session(1);
     coal_session.load("bench", heavy_path);
+    metrics::Registry coal_registry;
     serve::ServerOptions coal_options;
     coal_options.coalesce.window_us = 200;
     coal_options.coalesce.min_patterns =
         static_cast<std::uint64_t>(small_clients) * small_patterns / 2;
+    coal_options.registry = &coal_registry;
     const StormResult coal =
         run_storm(heavy, coal_session, /*socket_path=*/"", coal_options,
                   small_clients, small_requests, small_patterns);
@@ -511,19 +648,91 @@ int main(int argc, char** argv) {
     coalesce_served = plain.all_served && coal.all_served;
     coalesce_ran = true;
     coalesce_speedup = plain.seconds / coal.seconds;
+    const LatencyStats coal_eval = stats_of(coal_registry.find_histogram(
+        "ambit_serve_request_us", {{"verb", "EVAL"}}));
+    const metrics::Counter* fused = coal_registry.find_counter(
+        "ambit_serve_coalesce_fused_total");
     std::printf(
         "%d small clients x %d requests x %d patterns over TCP: "
-        "uncoalesced %.0f req/s, coalesced %.0f req/s (%.2fx), "
-        "responses %s\n",
+        "uncoalesced %.0f req/s, coalesced %.0f req/s (%.2fx, EVAL %s, "
+        "%llu fused), responses %s\n",
         small_clients, small_requests, small_patterns,
         static_cast<double>(plain.requests) / plain.seconds,
         static_cast<double>(coal.requests) / coal.seconds, coalesce_speedup,
+        format_latency(coal_eval).c_str(),
+        static_cast<unsigned long long>(fused != nullptr ? fused->value() : 0),
         coalesce_identical && coalesce_served ? "bit-identical" : "WRONG");
+    json.add("coalesce_req_per_s",
+             static_cast<double>(coal.requests) / coal.seconds);
+    json.add("coalesce_speedup", coalesce_speedup);
+    json.add("coalesce_eval", coal_eval);
     std::filesystem::remove(heavy_path);
   }
 #else
   std::printf("coalescing storm skipped: no sockets\n");
 #endif
+
+  // --- 6. Instrumentation overhead ----------------------------------------
+  // The exact workload PR 6 benchmarked — a serve_stream EVAL storm —
+  // once with per-request recording live and once with
+  // enable_metrics = false (one branch at the top of serve_line, the
+  // runtime twin of the -DAMBIT_METRICS=OFF compile-out). Arms are
+  // interleaved best-of-N so a background scheduler blip cannot charge
+  // one arm only; the gap is the tentpole's <= 5% budget.
+  double metrics_overhead_pct = 0;
+  {
+    const int overhead_requests = smoke ? 100 : 1000;
+    std::string overhead_script;
+    Rng overhead_rng(23);
+    for (int r = 0; r < overhead_requests; ++r) {
+      overhead_script += "EVAL bench";
+      for (int p = 0; p < kPatternsPerRequest; ++p) {
+        overhead_script += ' ';
+        overhead_script += random_hex_pattern(pla.num_inputs(), overhead_rng);
+      }
+      overhead_script += '\n';
+    }
+    overhead_script += "QUIT\n";
+    const std::uint64_t overhead_patterns =
+        static_cast<std::uint64_t>(overhead_requests) * kPatternsPerRequest;
+
+    serve::Session overhead_session(1);
+    overhead_session.load("bench", pla_path);
+    metrics::Registry overhead_registry;
+    serve::ServerOptions on_options;
+    on_options.registry = &overhead_registry;
+    serve::Server on_server(overhead_session, on_options);
+    serve::ServerOptions off_options;
+    off_options.enable_metrics = false;
+    off_options.registry = &overhead_registry;
+    serve::Server off_server(overhead_session, off_options);
+    const auto run_arm = [&](serve::Server& arm) {
+      return measure_pps(overhead_patterns, min_measure_secs, [&] {
+        std::istringstream arm_in(overhead_script);
+        std::ostringstream arm_out;
+        arm.serve_stream(arm_in, arm_out);
+      });
+    };
+    double on_pps = 0;
+    double off_pps = 0;
+    for (int round = 0; round < (smoke ? 1 : 3); ++round) {
+      off_pps = std::max(off_pps, run_arm(off_server));
+      on_pps = std::max(on_pps, run_arm(on_server));
+    }
+    metrics_overhead_pct = (off_pps - on_pps) / off_pps * 100.0;
+    const LatencyStats overhead_eval =
+        stats_of(overhead_registry.find_histogram("ambit_serve_request_us",
+                                                  {{"verb", "EVAL"}}));
+    std::printf(
+        "\ninstrumentation overhead: metrics off %.2f Mpatterns/s, "
+        "metrics on %.2f Mpatterns/s (%+.1f%%), instrumented EVAL %s\n",
+        off_pps / 1e6, on_pps / 1e6, -metrics_overhead_pct,
+        format_latency(overhead_eval).c_str());
+    json.add("metrics_off_mpps", off_pps / 1e6);
+    json.add("metrics_on_mpps", on_pps / 1e6);
+    json.add("metrics_overhead_pct", metrics_overhead_pct);
+    json.add("overhead_eval", overhead_eval);
+  }
   std::filesystem::remove(pla_path);
 
   // --- Verdict -------------------------------------------------------------
@@ -553,6 +762,8 @@ int main(int argc, char** argv) {
                 conc_speedup);
     std::printf("many-small-clients coalescing speedup: %.2fx (bar: >= 1.5x)\n",
                 coalesce_speedup);
+    std::printf("metrics instrumentation overhead: %.1f%% (bar: <= 5%%)\n",
+                metrics_overhead_pct);
   } else {
     std::printf("best sharded speedup at 4+ workers: %.1fx (bar NOT "
                 "enforced: %s)\n",
@@ -565,15 +776,21 @@ int main(int argc, char** argv) {
     std::printf(
         "many-small-clients coalescing speedup: %.2fx (bar NOT enforced)\n",
         coalesce_speedup);
+    std::printf("metrics instrumentation overhead: %.1f%% (bar NOT enforced)\n",
+                metrics_overhead_pct);
   }
   // The concurrency bars only apply where the storms could run (no
-  // sockets -> no storm -> no bar).
+  // sockets -> no storm -> no bar). The overhead bar only means
+  // something when the instrumentation is compiled in at all.
   const bool pass = all_identical && evalb_identical && storm_identical &&
                     storm_served && coalesce_identical && coalesce_served &&
                     errors == 0 &&
                     (!enforce_speedup ||
                      (best_speedup_4plus >= 3.0 &&
                       (!storm_ran || conc_speedup >= 2.0) &&
-                      (!coalesce_ran || coalesce_speedup >= 1.5)));
+                      (!coalesce_ran || coalesce_speedup >= 1.5) &&
+                      (!metrics::metrics_enabled() ||
+                       metrics_overhead_pct <= 5.0)));
+  std::printf("\n%s\n", json.render().c_str());
   return pass ? 0 : 1;
 }

@@ -1,0 +1,83 @@
+// Fuzz target: the metrics side listener's HTTP surface
+// (serve/metrics_http.h).
+//
+// The --metrics port accepts raw bytes from anything that can open a
+// TCP connection, so both pure functions behind it are held to the
+// serve-parser contract: any byte string either routes to a complete
+// HTTP/1.0 response or (for parse_http_request_line) throws
+// ambit::Error — no other exception, no crash, no sanitizer finding.
+// http_response must ALWAYS produce a response: it catches the parse
+// rejection itself and answers 400, so the harness asserts the
+// response invariants every response shares.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "serve/metrics_http.h"
+#include "util/error.h"
+
+namespace {
+
+/// Every response the router can produce is a complete HTTP/1.0 head:
+/// status line, a blank line, and a Content-Length that matches the
+/// body it frames.
+void check_response_invariants(const std::string& response) {
+  if (response.rfind("HTTP/1.0 ", 0) != 0) {
+    __builtin_trap();
+  }
+  const std::size_t head_end = response.find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    __builtin_trap();
+  }
+  const std::size_t cl = response.find("Content-Length: ");
+  if (cl == std::string::npos || cl > head_end) {
+    __builtin_trap();
+  }
+  const std::size_t body_size = response.size() - (head_end + 4);
+  if (std::stoull(response.substr(cl + 16)) != body_size) {
+    __builtin_trap();
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string request(reinterpret_cast<const char*>(data), size);
+
+  // The router: must answer every byte string with a framed response,
+  // and must invoke render() only for the exact /metrics route.
+  bool rendered = false;
+  const std::string response = ambit::serve::http_response(
+      request, [&rendered] {
+        rendered = true;
+        return std::string("# HELP f f\n# TYPE f counter\nf 1\n");
+      });
+  check_response_invariants(response);
+  if (rendered && response.find(" 200 OK\r\n") == std::string::npos) {
+    __builtin_trap();
+  }
+
+  // The request-line parser on the raw first line, like the listener
+  // feeds it: accepted lines re-serialize to the original tokens.
+  std::size_t eol = request.find('\n');
+  if (eol == std::string::npos) {
+    eol = request.size();
+  }
+  std::string line = request.substr(0, eol);
+  if (!line.empty() && line.back() == '\r') {
+    line.pop_back();
+  }
+  try {
+    const ambit::serve::HttpRequestLine parsed =
+        ambit::serve::parse_http_request_line(line);
+    if (parsed.method + " " + parsed.target + " " + parsed.version != line) {
+      __builtin_trap();
+    }
+  } catch (const ambit::Error&) {
+    // malformed request line: the expected outcome for most inputs
+  }
+  return 0;
+}
+
+#include "fuzz_driver.h"

@@ -14,11 +14,15 @@ logic::PatternBatch CoalescingQueue::eval(
   if (!enabled() || inputs.num_patterns() >= options_.min_patterns) {
     // Large requests already fill their lane words; fusing them could
     // only add copies and wake-up latency.
+    const metrics::ScopedPhaseTimer timer(metrics::Phase::kEvaluate);
     return session_.eval(circuit, inputs);
   }
 
   std::unique_lock<std::mutex> lock(mutex_);
   ++requests_;
+  if (instruments_.requests != nullptr) {
+    instruments_.requests->add();
+  }
   const auto it = groups_.find(circuit.get());
   if (it != groups_.end()) {
     // Follower: park in the open group and wait for the leader's
@@ -38,7 +42,23 @@ logic::PatternBatch CoalescingQueue::eval(
     lock.unlock();
     // get() rethrows whatever the leader's evaluation threw, so a
     // failed fused sweep fails every member request identically.
-    return future.get();
+    // Clock reads happen only when someone is listening: the follower's
+    // park time (leader window remainder + the shared sweep) feeds the
+    // wait histogram and the request's coalesce_wait phase.
+    metrics::PhaseTrace* trace = metrics::current_trace();
+    const bool timed = instruments_.wait_us != nullptr || trace != nullptr;
+    const std::uint64_t parked_at = timed ? metrics::monotonic_us() : 0;
+    logic::PatternBatch out = future.get();
+    if (timed) {
+      const std::uint64_t waited = metrics::monotonic_us() - parked_at;
+      if (instruments_.wait_us != nullptr) {
+        instruments_.wait_us->observe(waited);
+      }
+      if (trace != nullptr) {
+        trace->add(metrics::Phase::kCoalesceWait, waited);
+      }
+    }
+    return out;
   }
 
   // Leader: open a group, wait for followers, then flush it. The
@@ -49,9 +69,21 @@ logic::PatternBatch CoalescingQueue::eval(
   groups_[circuit.get()] = group;
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::microseconds(options_.window_us);
+  metrics::PhaseTrace* trace = metrics::current_trace();
+  const bool timed = instruments_.wait_us != nullptr || trace != nullptr;
+  const std::uint64_t window_open_us = timed ? metrics::monotonic_us() : 0;
   group->flush.wait_until(lock, deadline, [&] {
     return group->total_patterns >= options_.min_patterns;
   });
+  if (timed) {
+    const std::uint64_t waited = metrics::monotonic_us() - window_open_us;
+    if (instruments_.wait_us != nullptr) {
+      instruments_.wait_us->observe(waited);
+    }
+    if (trace != nullptr) {
+      trace->add(metrics::Phase::kCoalesceWait, waited);
+    }
+  }
   // Detach the group BEFORE evaluating: arrivals from here on start a
   // fresh group with a fresh leader instead of waiting on this sweep.
   groups_.erase(circuit.get());
@@ -59,6 +91,12 @@ logic::PatternBatch CoalescingQueue::eval(
   if (!group->members.empty()) {
     batches_ += 1;
     fused_ += group->members.size() + 1;
+    if (instruments_.batches != nullptr) {
+      instruments_.batches->add();
+    }
+    if (instruments_.fused != nullptr) {
+      instruments_.fused->add(group->members.size() + 1);
+    }
   }
   lock.unlock();
 
@@ -67,6 +105,7 @@ logic::PatternBatch CoalescingQueue::eval(
   // blocked on its future.
   if (group->members.empty()) {
     // The window expired with no company; identical to a direct eval.
+    const metrics::ScopedPhaseTimer timer(metrics::Phase::kEvaluate);
     return session_.eval(circuit, inputs);
   }
   try {
@@ -76,7 +115,13 @@ logic::PatternBatch CoalescingQueue::eval(
       fused.copy_patterns_from(*member->inputs, 0, member->first,
                                member->inputs->num_patterns());
     }
-    const logic::PatternBatch out = session_.eval_unrecorded(circuit, fused);
+    logic::PatternBatch out(0, 0);
+    {
+      // The fused sweep is the leader's evaluate phase; followers see
+      // it inside their coalesce_wait instead (they are parked).
+      const metrics::ScopedPhaseTimer timer(metrics::Phase::kEvaluate);
+      out = session_.eval_unrecorded(circuit, fused);
+    }
     // One fused sweep, but per-request accounting: STATS must report
     // exactly what uncoalesced execution would have.
     session_.record_eval(circuit, inputs.num_patterns());

@@ -50,6 +50,7 @@
 
 #include "logic/pattern_batch.h"
 #include "serve/session.h"
+#include "util/metrics.h"
 
 namespace ambit::serve {
 
@@ -73,12 +74,28 @@ struct CoalesceStats {
   std::uint64_t batches = 0;   ///< fused sweeps run (groups of >= 2)
 };
 
+/// Optional metrics hooks (util/metrics.h), wired by the Server when
+/// the metrics layer is on. The counters mirror CoalesceStats exactly
+/// (incremented at the same points, under the same lock); the
+/// histogram records how long each coalesced request was parked in the
+/// queue — the leader's follower-wait window, or a follower's wait for
+/// the leader's fused result (which includes the shared sweep itself:
+/// a follower's evaluate phase happens on the leader's thread). All
+/// pointers may be null; null means "don't record".
+struct CoalesceInstruments {
+  metrics::Counter* requests = nullptr;
+  metrics::Counter* fused = nullptr;
+  metrics::Counter* batches = nullptr;
+  metrics::Histogram* wait_us = nullptr;
+};
+
 /// Fuses small concurrent EVAL/EVALB requests per circuit. Safe to call
 /// from any number of connection threads; one instance per Server.
 class CoalescingQueue {
  public:
-  CoalescingQueue(Session& session, CoalesceOptions options)
-      : session_(session), options_(options) {}
+  CoalescingQueue(Session& session, CoalesceOptions options,
+                  CoalesceInstruments instruments = {})
+      : session_(session), options_(options), instruments_(instruments) {}
 
   /// True when coalescing is configured on (window_us > 0).
   bool enabled() const { return options_.window_us > 0; }
@@ -117,6 +134,7 @@ class CoalescingQueue {
 
   Session& session_;
   const CoalesceOptions options_;
+  const CoalesceInstruments instruments_;
   mutable std::mutex mutex_;
   std::map<const LoadedCircuit*, std::shared_ptr<Group>> groups_;
   std::uint64_t requests_ = 0;

@@ -1,0 +1,262 @@
+#include "serve/metrics_http.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "serve/server.h"
+#include "util/error.h"
+#include "util/log.h"
+
+#ifndef _WIN32
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#endif
+
+namespace ambit::serve {
+
+namespace {
+
+/// The offending input, fit for one error line: control bytes escaped,
+/// long lines truncated with an ellipsis.
+std::string quote_for_error(const std::string& line) {
+  std::string out;
+  const std::size_t limit = 80;
+  for (const char c : line) {
+    if (out.size() >= limit) {
+      out += "...";
+      break;
+    }
+    if (c == '\r') {
+      out += "\\r";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else if (c == '\t') {
+      out += "\\t";
+    } else if (static_cast<unsigned char>(c) < 0x20 ||
+               static_cast<unsigned char>(c) >= 0x7f) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\x%02x",
+                    static_cast<unsigned char>(c));
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string simple_response(const std::string& status,
+                            const std::string& content_type,
+                            const std::string& body) {
+  return "HTTP/1.0 " + status +
+         "\r\n"
+         "Content-Type: " +
+         content_type +
+         "\r\n"
+         "Content-Length: " +
+         std::to_string(body.size()) +
+         "\r\n"
+         "Connection: close\r\n"
+         "\r\n" +
+         body;
+}
+
+}  // namespace
+
+HttpRequestLine parse_http_request_line(const std::string& line) {
+  // Exactly three single-space-separated non-empty tokens — RFC 9112's
+  // request-line grammar, minus the lenient whitespace variants a
+  // scraper never sends.
+  const auto fail = [&line](const std::string& why) -> void {
+    throw Error("bad HTTP request line '" + quote_for_error(line) + "': " +
+                why);
+  };
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string::npos) {
+    fail("expected 'METHOD TARGET VERSION'");
+  }
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos) {
+    fail("missing HTTP version");
+  }
+  if (line.find(' ', sp2 + 1) != std::string::npos) {
+    fail("more than three tokens");
+  }
+  HttpRequestLine parsed;
+  parsed.method = line.substr(0, sp1);
+  parsed.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  parsed.version = line.substr(sp2 + 1);
+  if (parsed.method.empty()) {
+    fail("empty method");
+  }
+  if (parsed.target.empty()) {
+    fail("empty target");
+  }
+  if (parsed.version.rfind("HTTP/", 0) != 0 ||
+      parsed.version.size() <= 5) {
+    fail("version must start with HTTP/");
+  }
+  for (const char c : parsed.method) {
+    if (c < 'A' || c > 'Z') {
+      fail("method must be upper-case letters");
+    }
+  }
+  return parsed;
+}
+
+std::string http_response(const std::string& request_text,
+                          const std::function<std::string()>& render) {
+  // Only the request line matters: headers are read (to drain the
+  // socket politely) and ignored — a scraper's Accept negotiation has
+  // exactly one answer here anyway.
+  std::size_t eol = request_text.find('\n');
+  if (eol == std::string::npos) {
+    eol = request_text.size();
+  }
+  std::string line = request_text.substr(0, eol);
+  if (!line.empty() && line.back() == '\r') {
+    line.pop_back();
+  }
+  HttpRequestLine parsed;
+  try {
+    parsed = parse_http_request_line(line);
+  } catch (const Error& e) {
+    return simple_response("400 Bad Request", "text/plain",
+                           std::string(e.what()) + "\n");
+  }
+  if (parsed.method != "GET") {
+    return simple_response("405 Method Not Allowed", "text/plain",
+                           "only GET is supported\n");
+  }
+  // Strip a query string: some scrapers append cache-busting params.
+  const std::size_t query = parsed.target.find('?');
+  const std::string path = query == std::string::npos
+                               ? parsed.target
+                               : parsed.target.substr(0, query);
+  if (path == "/metrics") {
+    return simple_response("200 OK",
+                           "text/plain; version=0.0.4; charset=utf-8",
+                           render());
+  }
+  if (path == "/healthz") {
+    return simple_response("200 OK", "text/plain", "ok\n");
+  }
+  return simple_response("404 Not Found", "text/plain",
+                         "try /metrics or /healthz\n");
+}
+
+#ifndef _WIN32
+
+void MetricsHttpListener::start(const std::string& host, int port,
+                                std::function<std::string()> render,
+                                int* bound_port_out) {
+  check(listener_ < 0 && !thread_.joinable(),
+        "metrics listener already started");
+  int bound = 0;
+  listener_ = bind_tcp_listener(host, port, "metrics listener", &bound);
+  if (bound_port_out != nullptr) {
+    *bound_port_out = bound;
+  }
+  render_ = std::move(render);
+  stopping_.store(false);
+  try {
+    thread_ = std::thread([this] { serve_loop(); });
+  } catch (...) {
+    ::close(listener_);
+    listener_ = -1;
+    throw;
+  }
+  logs::info("metrics.listen",
+             {{"host", host}, {"port", std::to_string(bound)}});
+}
+
+void MetricsHttpListener::stop() {
+  if (!thread_.joinable()) {
+    return;
+  }
+  stopping_.store(true);
+  thread_.join();
+  ::close(listener_);
+  listener_ = -1;
+}
+
+void MetricsHttpListener::serve_loop() {
+  while (!stopping_.load()) {
+    pollfd pfd{listener_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready < 0 && errno != EINTR) {
+      break;
+    }
+    if (ready <= 0) {
+      continue;  // timeout or EINTR: re-check the stop flag
+    }
+    const int conn = ::accept(listener_, nullptr, nullptr);
+    if (conn < 0) {
+      continue;
+    }
+    // Hard second-scale timeouts both ways: a scraper that stalls
+    // cannot park this (single) serving thread for long.
+    const timeval timeout{2, 0};
+    ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    ::setsockopt(conn, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+    // Read until the blank line ending the request head, EOF, timeout,
+    // or the size cap — whichever first. The request line is all that
+    // is routed on, so there is no need to honor Content-Length.
+    std::string request;
+    char chunk[1024];
+    while (request.size() < kMaxHttpRequestBytes &&
+           request.find("\r\n\r\n") == std::string::npos &&
+           request.find("\n\n") == std::string::npos) {
+      const ssize_t n = ::read(conn, chunk, sizeof(chunk));
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      if (n <= 0) {
+        break;
+      }
+      request.append(chunk, static_cast<std::size_t>(n));
+    }
+    std::string response;
+    try {
+      response = http_response(request, render_);
+    } catch (const std::exception& e) {
+      // render() threw (e.g. bad_alloc building the page): answer 500
+      // instead of silently hanging up, and keep the listener alive.
+      response = simple_response("500 Internal Server Error", "text/plain",
+                                 std::string(e.what()) + "\n");
+    }
+    std::size_t done = 0;
+    while (done < response.size()) {
+      const ssize_t n = ::send(conn, response.data() + done,
+                               response.size() - done, MSG_NOSIGNAL);
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      if (n <= 0) {
+        break;
+      }
+      done += static_cast<std::size_t>(n);
+    }
+    ::close(conn);
+  }
+}
+
+#else  // _WIN32
+
+void MetricsHttpListener::start(const std::string&, int,
+                                std::function<std::string()>, int*) {
+  throw Error("metrics listener: socket transports unavailable on this "
+              "platform");
+}
+
+void MetricsHttpListener::stop() {}
+
+void MetricsHttpListener::serve_loop() {}
+
+#endif
+
+}  // namespace ambit::serve

@@ -1,0 +1,91 @@
+// The --metrics HTTP side listener: GET /metrics and GET /healthz.
+//
+// Prometheus scrapes HTTP, not the ambit line protocol. Rather than
+// teach every scraper the METRICS verb, ambit_serve can open a SECOND,
+// observability-only listener that speaks just enough HTTP/1.0 to
+// satisfy a scraper: parse the request line, route two paths, answer
+// with Content-Length and Connection: close. It deliberately shares
+// nothing with the request path it observes — its own thread, its own
+// accept loop (sequential: scrapes are rare and tiny), short hard
+// timeouts — so a stuck or hostile scraper can never hold a serve
+// connection slot, and a saturated server still answers /healthz.
+//
+// The protocol surface is split into pure functions
+// (parse_http_request_line, http_response) precisely so the fuzz
+// harness (fuzz/fuzz_metrics_http.cpp) and the unit tests can drive
+// the byte-level behavior without sockets.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace ambit::serve {
+
+/// Upper bound on one HTTP request head (request line + headers). A
+/// scraper's GET is tens of bytes; anything growing past this is not a
+/// scraper.
+inline constexpr std::size_t kMaxHttpRequestBytes = std::size_t{8} << 10;
+
+/// A parsed "METHOD SP TARGET SP VERSION" request line.
+struct HttpRequestLine {
+  std::string method;   ///< e.g. "GET"
+  std::string target;   ///< e.g. "/metrics"
+  std::string version;  ///< e.g. "HTTP/1.0"
+};
+
+/// Parses the first line of an HTTP request. Throws ambit::Error on
+/// anything but exactly three non-empty space-separated tokens with an
+/// "HTTP/"-prefixed version — always quoting the offending line
+/// (escaped and truncated) in the error text.
+HttpRequestLine parse_http_request_line(const std::string& line);
+
+/// Maps one raw HTTP request head to a complete HTTP/1.0 response
+/// (status line, headers, body). `render` is invoked only for
+/// "GET /metrics" and produces the exposition page. Pure: no sockets,
+/// no globals — the whole routing table in one testable, fuzzable
+/// function.
+///
+///   GET /metrics  -> 200 text/plain; version=0.0.4 (the render() page)
+///   GET /healthz  -> 200 "ok\n"
+///   GET elsewhere -> 404
+///   non-GET       -> 405
+///   unparseable   -> 400
+std::string http_response(const std::string& request_text,
+                          const std::function<std::string()>& render);
+
+/// The side listener itself. start() binds and spawns the serving
+/// thread; stop() (or destruction) shuts it down. Connections are
+/// served one at a time with second-scale socket timeouts — an
+/// observability endpoint, not a web server.
+class MetricsHttpListener {
+ public:
+  MetricsHttpListener() = default;
+  ~MetricsHttpListener() { stop(); }
+
+  MetricsHttpListener(const MetricsHttpListener&) = delete;
+  MetricsHttpListener& operator=(const MetricsHttpListener&) = delete;
+
+  /// Binds `host`:`port` (port 0 = ephemeral; the bound port is
+  /// reported through `bound_port_out` when non-null, before start()
+  /// returns) and starts answering scrapes with `render`'s page.
+  /// Throws ambit::Error on bind failure or if already started.
+  void start(const std::string& host, int port,
+             std::function<std::string()> render, int* bound_port_out);
+
+  /// Stops accepting, closes the listener, joins the thread. Safe to
+  /// call repeatedly or without start().
+  void stop();
+
+ private:
+  void serve_loop();
+
+  std::function<std::string()> render_;
+  std::atomic<bool> stopping_{false};
+  int listener_ = -1;
+  std::thread thread_;
+};
+
+}  // namespace ambit::serve

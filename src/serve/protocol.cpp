@@ -72,6 +72,9 @@ Request parse_request(const std::string& line) {
   } else if (verb == "STATS") {
     check(tokens.size() == 1, "STATS takes no arguments");
     request.verb = Verb::kStats;
+  } else if (verb == "METRICS") {
+    check(tokens.size() == 1, "METRICS takes no arguments");
+    request.verb = Verb::kMetrics;
   } else if (verb == "UNLOAD") {
     check(tokens.size() == 2, "UNLOAD needs: UNLOAD <name>");
     request.verb = Verb::kUnload;
@@ -91,8 +94,8 @@ Request parse_request(const std::string& line) {
 std::vector<std::string> verb_names() {
   // Must cover every case parse_request accepts — the HELP audit test
   // (tests/serve_test.cpp) fails when help_text() misses one of these.
-  return {"LOAD", "EVAL", "EVALB", "SIM",  "SIMB",     "VERIFY",
-          "STATS", "UNLOAD", "HELP",  "QUIT", "SHUTDOWN"};
+  return {"LOAD", "EVAL",    "EVALB", "SIM",  "SIMB", "VERIFY",
+          "STATS", "METRICS", "UNLOAD", "HELP", "QUIT", "SHUTDOWN"};
 }
 
 std::string hex_encode(const std::vector<bool>& bits) {
@@ -183,7 +186,9 @@ std::string help_text() {
          "EVALB <name> <npatterns> <nwords> (+ raw input lanes) | "
          "SIM <name> <hex>... (switch-level, outputs@pre/e1/e2 ps) | "
          "SIMB <name> <npatterns> <nwords> (+ raw input lanes) | "
-         "VERIFY <name> | STATS | UNLOAD <name> | HELP | QUIT | SHUTDOWN "
+         "VERIFY <name> | STATS | "
+         "METRICS (Prometheus page: OK METRICS <nbytes> + raw bytes) | "
+         "UNLOAD <name> | HELP | QUIT | SHUTDOWN "
          "(protocol v" +
          std::to_string(kProtocolVersion) + ", reference: docs/PROTOCOL.md)";
 }

@@ -25,6 +25,10 @@
 //   VERIFY <name>               exhaustive equivalence re-check of the
 //                               mapped array against its source cover
 //   STATS                       session counters
+//   METRICS                     the Prometheus text-format metrics
+//                               page: "OK METRICS <nbytes>" followed
+//                               by exactly <nbytes> raw bytes of
+//                               exposition text (docs/OBSERVABILITY.md)
 //   UNLOAD <name>               drop a circuit
 //   HELP                        grammar summary
 //   QUIT                        close this connection
@@ -70,7 +74,7 @@ namespace ambit::serve {
 /// layout, or a response format changes (history in docs/PROTOCOL.md,
 /// the normative reference for everything in this header). Purely
 /// informational — every revision so far is backward compatible.
-inline constexpr int kProtocolVersion = 3;
+inline constexpr int kProtocolVersion = 4;
 
 /// Request verbs of the grammar above.
 enum class Verb {
@@ -81,6 +85,7 @@ enum class Verb {
   kSimB,
   kVerify,
   kStats,
+  kMetrics,
   kUnload,
   kHelp,
   kQuit,

@@ -1,7 +1,9 @@
 #include "serve/server.h"
 
+#include <array>
 #include <cstring>
 #include <istream>
+#include <memory>
 #include <ostream>
 #include <utility>
 #include <vector>
@@ -40,9 +42,142 @@ std::pair<std::string, int> parse_host_port(const std::string& spec) {
     check(c >= '0' && c <= '9',
           "port '" + port_text + "' in '" + spec + "' is not a number");
     port = port * 10 + (c - '0');
-    check(port <= 65535, "port '" + port_text + "' exceeds 65535");
+    check(port <= 65535,
+          "port '" + port_text + "' in '" + spec + "' exceeds 65535");
   }
   return {host, port};
+}
+
+/// Every handle the per-request path records through, registered once
+/// at Server construction. Pointers, not references, so the struct can
+/// live behind a unique_ptr; all of them point into deque-backed
+/// registry storage whose addresses never move.
+struct Server::ServeMetrics {
+  metrics::Registry& registry;
+  // Indexed by Verb enum value — verb_names() lists the verbs in enum
+  // order, which is what makes static_cast<size_t>(verb) valid here.
+  std::vector<metrics::Counter*> requests;
+  std::vector<metrics::Histogram*> request_us;
+  metrics::Counter* request_errors;
+  metrics::Counter* requests_malformed;
+  std::array<metrics::Histogram*, metrics::kNumPhases> phase_us;
+  metrics::Gauge* connections_active;
+  metrics::Counter* connections_accepted;
+  metrics::Counter* dropped_idle;
+  metrics::Counter* dropped_send;
+  metrics::Counter* dropped_malformed;
+  metrics::Gauge* pool_workers;
+  metrics::Gauge* pool_queue_depth;
+  metrics::Gauge* pool_busy;
+  metrics::Counter* coalesce_requests;
+  metrics::Counter* coalesce_fused;
+  metrics::Counter* coalesce_batches;
+  metrics::Histogram* coalesce_wait_us;
+
+  explicit ServeMetrics(metrics::Registry& reg) : registry(reg) {
+    const std::vector<std::string> verbs = verb_names();
+    requests.reserve(verbs.size());
+    request_us.reserve(verbs.size());
+    for (const std::string& verb : verbs) {
+      const metrics::Labels labels{{"verb", verb}};
+      requests.push_back(&reg.counter(
+          "ambit_serve_requests_total",
+          "Requests served, by verb (bumped after the response is written, "
+          "so a METRICS page excludes the request serving it)",
+          labels));
+      request_us.push_back(&reg.histogram(
+          "ambit_serve_request_us",
+          "End-to-end request wall time in microseconds, by verb",
+          metrics::Histogram::default_latency_bounds_us(), labels));
+    }
+    request_errors =
+        &reg.counter("ambit_serve_request_errors_total",
+                     "Requests answered with an ERR response");
+    requests_malformed =
+        &reg.counter("ambit_serve_malformed_requests_total",
+                     "Request lines that failed to parse");
+    for (std::size_t p = 0; p < metrics::kNumPhases; ++p) {
+      phase_us[p] = &reg.histogram(
+          "ambit_serve_phase_us",
+          "Per-request phase time in microseconds; the phases are "
+          "additive (queue_wait is subtracted out of evaluate)",
+          metrics::Histogram::default_latency_bounds_us(),
+          {{"phase", metrics::phase_name(static_cast<metrics::Phase>(p))}});
+    }
+    connections_active = &reg.gauge("ambit_serve_connections_active",
+                                    "Connections currently being served");
+    connections_accepted =
+        &reg.counter("ambit_serve_connections_accepted_total",
+                     "Connections accepted since server start");
+    const std::string drop_help =
+        "Connections the SERVER closed, by reason: idle (receive "
+        "timeout), send (peer stopped reading), malformed (oversized "
+        "line or an unframed/oversized bulk request)";
+    dropped_idle = &reg.counter("ambit_serve_connections_dropped_total",
+                                drop_help, {{"reason", "idle"}});
+    dropped_send = &reg.counter("ambit_serve_connections_dropped_total",
+                                drop_help, {{"reason", "send"}});
+    dropped_malformed = &reg.counter("ambit_serve_connections_dropped_total",
+                                     drop_help, {{"reason", "malformed"}});
+    pool_workers = &reg.gauge("ambit_pool_workers",
+                              "Worker threads in the session pool");
+    pool_queue_depth =
+        &reg.gauge("ambit_pool_queue_depth",
+                   "Chunks waiting in the session pool queue, sampled "
+                   "at scrape time");
+    pool_busy = &reg.gauge("ambit_pool_busy_workers",
+                           "Pool workers executing a chunk, sampled at "
+                           "scrape time");
+    coalesce_requests =
+        &reg.counter("ambit_serve_coalesce_requests_total",
+                     "Requests routed through the coalescing queue");
+    coalesce_fused =
+        &reg.counter("ambit_serve_coalesce_fused_total",
+                     "Coalesced requests answered from a shared fused sweep");
+    coalesce_batches =
+        &reg.counter("ambit_serve_coalesce_batches_total",
+                     "Fused sweeps run (groups of two or more requests)");
+    coalesce_wait_us = &reg.histogram(
+        "ambit_serve_coalesce_wait_us",
+        "Microseconds a coalesced request was parked in the queue (the "
+        "leader's follower-wait window, or a follower's wait for the "
+        "fused result including the shared sweep)",
+        metrics::Histogram::default_latency_bounds_us());
+  }
+};
+
+Server::Server(Session& session, ServerOptions options)
+    : session_(session),
+      options_(options),
+      metrics_(std::make_unique<ServeMetrics>(options.registry != nullptr
+                                                  ? *options.registry
+                                                  : metrics::Registry::global())),
+      coalescer_(session, options.coalesce, coalesce_instruments()) {}
+
+Server::~Server() = default;
+
+CoalesceInstruments Server::coalesce_instruments() const {
+  if (!metrics_on()) {
+    return {};
+  }
+  return CoalesceInstruments{
+      .requests = metrics_->coalesce_requests,
+      .fused = metrics_->coalesce_fused,
+      .batches = metrics_->coalesce_batches,
+      .wait_us = metrics_->coalesce_wait_us,
+  };
+}
+
+std::string Server::metrics_page() {
+  // The sampled gauges are refreshed at scrape time — they describe
+  // "now", unlike the counters, which are exact cumulative history.
+  ThreadPool& pool = session_.pool();
+  metrics_->pool_workers->set(pool.num_workers());
+  metrics_->pool_queue_depth->set(pool.queued_tasks());
+  metrics_->pool_busy->set(pool.busy_workers());
+  metrics_->connections_active->set(static_cast<std::int64_t>(
+      connections_active_.load(std::memory_order_relaxed)));
+  return metrics_->registry.prometheus_text();
 }
 
 std::string Server::handle_line(const std::string& line) {
@@ -100,9 +235,14 @@ Server::Outcome Server::dispatch(const Request& request) {
       case Verb::kEval: {
         const std::shared_ptr<const LoadedCircuit> circuit =
             session_.get(request.name);
-        const logic::PatternBatch outputs = coalesced_eval(
-            circuit, logic::PatternBatch::from_patterns(
-                         decode_request_patterns(*circuit, request)));
+        logic::PatternBatch inputs(0, 0);
+        {
+          const metrics::ScopedPhaseTimer timer(metrics::Phase::kParse);
+          inputs = logic::PatternBatch::from_patterns(
+              decode_request_patterns(*circuit, request));
+        }
+        const logic::PatternBatch outputs = coalesced_eval(circuit, inputs);
+        const metrics::ScopedPhaseTimer timer(metrics::Phase::kSerialize);
         std::string detail;
         for (std::uint64_t p = 0; p < outputs.num_patterns(); ++p) {
           if (!detail.empty()) {
@@ -115,12 +255,20 @@ Server::Outcome Server::dispatch(const Request& request) {
       case Verb::kSim: {
         const std::shared_ptr<const LoadedCircuit> circuit =
             session_.get(request.name);
-        const simulate::BatchSimResult result =
-            session_.sim(circuit, logic::PatternBatch::from_patterns(
-                                      decode_request_patterns(*circuit,
-                                                              request)));
+        logic::PatternBatch inputs(0, 0);
+        {
+          const metrics::ScopedPhaseTimer timer(metrics::Phase::kParse);
+          inputs = logic::PatternBatch::from_patterns(
+              decode_request_patterns(*circuit, request));
+        }
+        simulate::BatchSimResult result(0, 0);
+        {
+          const metrics::ScopedPhaseTimer timer(metrics::Phase::kEvaluate);
+          result = session_.sim(circuit, inputs);
+        }
         check(result.all_definite(),
               request.name + ": simulation produced non-digital outputs");
+        const metrics::ScopedPhaseTimer timer(metrics::Phase::kSerialize);
         std::string detail;
         for (std::uint64_t p = 0; p < result.num_patterns(); ++p) {
           if (!detail.empty()) {
@@ -143,7 +291,11 @@ Server::Outcome Server::dispatch(const Request& request) {
         // circuit even if a concurrent unload/reload lands in between.
         const std::shared_ptr<const LoadedCircuit> circuit =
             session_.get(request.name);
-        const bool equivalent = session_.verify(circuit);
+        bool equivalent = false;
+        {
+          const metrics::ScopedPhaseTimer timer(metrics::Phase::kEvaluate);
+          equivalent = session_.verify(circuit);
+        }
         const int inputs = circuit->gnor.num_inputs();
         if (!equivalent) {
           return {err_response(request.name +
@@ -173,8 +325,24 @@ Server::Outcome Server::dispatch(const Request& request) {
           detail += " coalesced_requests=" + std::to_string(fused.fused) +
                     " coalesced_batches=" + std::to_string(fused.batches);
         }
+        // Appended LAST, after the optional coalescer fields: every
+        // STATS consumer so far matches fields by name, and append-only
+        // growth keeps any that slice by prefix byte-stable.
+        detail +=
+            " connections=" +
+            std::to_string(connections_active_.load(std::memory_order_relaxed)) +
+            "/" +
+            std::to_string(
+                connections_accepted_.load(std::memory_order_relaxed));
         return {ok_response(detail)};
       }
+      case Verb::kMetrics:
+        // The page is multi-line; only serve_line's transports can
+        // frame it (OK METRICS <nbytes> + raw bytes). handle_line is
+        // the one-line text path, so mirror the EVALB refusal.
+        return {err_response(
+            "METRICS carries a multi-line payload and needs a stream or "
+            "socket transport")};
       case Verb::kUnload:
         session_.unload(request.name);
         return {ok_response("unloaded " + request.name)};
@@ -201,15 +369,82 @@ logic::PatternBatch Server::coalesced_eval(
     const std::shared_ptr<const LoadedCircuit>& circuit,
     const logic::PatternBatch& inputs) {
   if (coalescer_.enabled()) {
+    // The coalescer attributes its own phases: evaluate at the actual
+    // sweep sites, coalesce_wait for the parked time.
     return coalescer_.eval(circuit, inputs);
   }
+  const metrics::ScopedPhaseTimer timer(metrics::Phase::kEvaluate);
   return session_.eval(circuit, inputs);
 }
 
 bool Server::serve_line(const std::string& line,
                         const PayloadReader& read_payload,
-                        const ByteWriter& write_bytes, Outcome& outcome) {
+                        const ByteWriter& write_bytes, Outcome& outcome,
+                        std::uint64_t conn_id) {
+  if (!metrics_on()) {
+    return serve_line_inner(line, read_payload, write_bytes, outcome, nullptr);
+  }
+  metrics::PhaseTrace trace;
+  int verb_index = -1;
+  const std::uint64_t start_us = metrics::monotonic_us();
+  bool alive = false;
+  {
+    const metrics::TraceScope scope(&trace);
+    alive =
+        serve_line_inner(line, read_payload, write_bytes, outcome, &verb_index);
+  }
+  const std::uint64_t total_us = metrics::monotonic_us() - start_us;
+  // parallel_for records its submit->start queue wait while the
+  // surrounding evaluate timer is open; subtract it back out so the
+  // five phases stay additive (evaluate = kernel time only).
+  const std::uint64_t queue_wait = trace.get(metrics::Phase::kQueueWait);
+  std::uint64_t& evaluate =
+      trace.us[static_cast<std::size_t>(metrics::Phase::kEvaluate)];
+  evaluate = queue_wait < evaluate ? evaluate - queue_wait : 0;
+  if (verb_index < 0) {
+    metrics_->requests_malformed->add();
+  } else {
+    // Bumped AFTER the response went out: a scrape through the METRICS
+    // verb reports the requests completed before it, never itself.
+    metrics_->requests[static_cast<std::size_t>(verb_index)]->add();
+    metrics_->request_us[static_cast<std::size_t>(verb_index)]->observe(
+        total_us);
+  }
+  if (outcome.response.rfind("ERR", 0) == 0) {
+    metrics_->request_errors->add();
+  }
+  for (std::size_t p = 0; p < metrics::kNumPhases; ++p) {
+    if (trace.us[p] > 0) {
+      metrics_->phase_us[p]->observe(trace.us[p]);
+    }
+  }
+  if (options_.slow_request_us > 0 && total_us >= options_.slow_request_us) {
+    logs::warn_rate_limited(
+        slow_log_limiter_, "serve.slow_request",
+        {{"conn", std::to_string(conn_id)},
+         {"verb", verb_index >= 0
+                      ? verb_names()[static_cast<std::size_t>(verb_index)]
+                      : std::string("malformed")},
+         {"total_us", std::to_string(total_us)},
+         {"parse_us", std::to_string(trace.get(metrics::Phase::kParse))},
+         {"coalesce_wait_us",
+          std::to_string(trace.get(metrics::Phase::kCoalesceWait))},
+         {"queue_wait_us", std::to_string(queue_wait)},
+         {"evaluate_us", std::to_string(trace.get(metrics::Phase::kEvaluate))},
+         {"serialize_us",
+          std::to_string(trace.get(metrics::Phase::kSerialize))}});
+  }
+  return alive;
+}
+
+bool Server::serve_line_inner(const std::string& line,
+                              const PayloadReader& read_payload,
+                              const ByteWriter& write_bytes, Outcome& outcome,
+                              int* verb_index_out) {
   outcome = Outcome{};
+  if (verb_index_out != nullptr) {
+    *verb_index_out = -1;
+  }
   // Sends the response line set in `outcome`; false when the peer is
   // gone.
   const auto respond = [&] {
@@ -218,6 +453,7 @@ bool Server::serve_line(const std::string& line,
   };
   Request request;
   try {
+    const metrics::ScopedPhaseTimer timer(metrics::Phase::kParse);
     request = parse_request(line);
   } catch (const Error& e) {
     outcome.response = err_response(e.what());
@@ -230,6 +466,25 @@ bool Server::serve_line(const std::string& line,
       outcome.quit = true;
     }
     return respond();
+  }
+  if (verb_index_out != nullptr) {
+    *verb_index_out = static_cast<int>(request.verb);
+  }
+
+  if (request.verb == Verb::kMetrics) {
+    // The page is framed like a bulk response: a one-line header
+    // announcing the byte count, then the raw exposition text — any
+    // transport that can carry an EVALB payload can carry it.
+    std::string page;
+    {
+      const metrics::ScopedPhaseTimer timer(metrics::Phase::kSerialize);
+      page = metrics_page();
+    }
+    outcome.response = "OK METRICS " + std::to_string(page.size());
+    if (!respond()) {
+      return false;
+    }
+    return write_bytes(page.data(), page.size());
   }
 
   if (!is_bulk_verb(request.verb)) {
@@ -318,19 +573,28 @@ bool Server::serve_line(const std::string& line,
               " outputs exceeds the " + std::to_string(kMaxEvalbWords) +
               "-word limit");
     logic::PatternBatch inputs(width, request.num_patterns);
-    inputs.load_words(payload.data(), payload.size());
+    {
+      const metrics::ScopedPhaseTimer timer(metrics::Phase::kParse);
+      inputs.load_words(payload.data(), payload.size());
+    }
     // Evaluate the circuit the width check ran against — a concurrent
     // same-name reload must not swap it out between the two.
     if (request.verb == Verb::kEvalB) {
       const logic::PatternBatch outputs = coalesced_eval(circuit, inputs);
+      const metrics::ScopedPhaseTimer timer(metrics::Phase::kSerialize);
       out_words.resize(outputs.total_words());
       outputs.store_words(out_words.data(), out_words.size());
       outcome.response =
           evalb_response_header(outputs.num_patterns(), out_words.size());
     } else {
-      const simulate::BatchSimResult result = session_.sim(circuit, inputs);
+      simulate::BatchSimResult result(0, 0);
+      {
+        const metrics::ScopedPhaseTimer timer(metrics::Phase::kEvaluate);
+        result = session_.sim(circuit, inputs);
+      }
       check(result.all_definite(),
             request.name + ": simulation produced non-digital outputs");
+      const metrics::ScopedPhaseTimer timer(metrics::Phase::kSerialize);
       out_words.resize(response_words);
       result.outputs.store_words(out_words.data(), lane_words);
       // The delay arrays ride as raw doubles, one per 8-byte word —
@@ -351,6 +615,7 @@ bool Server::serve_line(const std::string& line,
     outcome.response = err_response(std::string("internal: ") + e.what());
     out_words.clear();
   }
+  const metrics::ScopedPhaseTimer timer(metrics::Phase::kSerialize);
   if (!respond()) {
     return false;
   }
@@ -577,7 +842,7 @@ bool socket_is_live(const std::string& socket_path) {
 
 }  // namespace
 
-std::uint64_t Server::serve_connection(int conn) {
+std::uint64_t Server::serve_connection(int conn, std::uint64_t conn_id) {
   std::uint64_t served = 0;
   std::string buffer;
   char chunk[4096];
@@ -588,6 +853,17 @@ std::uint64_t Server::serve_connection(int conn) {
   // is slow, not done, and executing half its line would desync the
   // request/response pairing if it ever resumed.
   bool clean_eof = false;
+  // The SO_RCVTIMEO expiry specifically — the one read failure that is
+  // a server-side policy drop (counted as reason=idle) rather than the
+  // peer going away.
+  bool timed_out = false;
+  // Set when an EVALB/SIMB payload read hit EOF — distinguishes "the
+  // frame was truncated" (reason=malformed) from "the peer stopped
+  // reading its response" (reason=send) when serve_line returns false.
+  bool payload_eof = false;
+  // Why the SERVER closed this connection; nullptr for peer-initiated
+  // ends (QUIT, clean close, reset), which are not drops.
+  const char* drop_reason = nullptr;
 
   // Appends the next chunk from the socket; false on EOF, timeout or
   // error.
@@ -599,6 +875,7 @@ std::uint64_t Server::serve_connection(int conn) {
       }
       if (n <= 0) {
         eof = true;
+        timed_out = n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK);
         // read()==0 is a clean close only when the PEER closed; the
         // SHUTDOWN drain's shutdown(SHUT_RD) also yields 0 while the
         // peer may be mid-send, so under shutdown a residual partial
@@ -627,6 +904,7 @@ std::uint64_t Server::serve_connection(int conn) {
       }
       if (got <= 0) {
         eof = true;
+        payload_eof = true;
         return false;
       }
       done += static_cast<std::size_t>(got);
@@ -649,10 +927,14 @@ std::uint64_t Server::serve_connection(int conn) {
                          std::to_string(kMaxLineBytes) + " bytes") +
             "\n";
         write_all(conn, text.data(), text.size());
+        drop_reason = "malformed";
         break;
       }
       if (read_more()) {
         continue;
+      }
+      if (timed_out) {
+        drop_reason = "idle";
       }
       // CLEAN EOF with a residual unterminated line: the peer sent a
       // final request and closed without the trailing newline. Serve it
@@ -666,7 +948,7 @@ std::uint64_t Server::serve_connection(int conn) {
         const std::string line = buffer;
         buffer.clear();
         Outcome outcome;
-        if (serve_line(line, read_payload, write_bytes, outcome)) {
+        if (serve_line(line, read_payload, write_bytes, outcome, conn_id)) {
           ++served;
         }
       }
@@ -681,6 +963,7 @@ std::uint64_t Server::serve_connection(int conn) {
                        std::to_string(kMaxLineBytes) + " bytes") +
           "\n";
       write_all(conn, text.data(), text.size());
+      drop_reason = "malformed";
       break;
     }
     const std::string line = buffer.substr(0, newline);
@@ -689,15 +972,39 @@ std::uint64_t Server::serve_connection(int conn) {
       continue;
     }
     Outcome outcome;
-    if (!serve_line(line, read_payload, write_bytes, outcome)) {
+    if (!serve_line(line, read_payload, write_bytes, outcome, conn_id)) {
+      // A truncated bulk frame is the peer's protocol error; a failed
+      // response write means the peer stopped reading (SO_SNDTIMEO or
+      // a hard reset mid-response).
+      drop_reason = payload_eof ? "malformed" : "send";
       break;
     }
     ++served;
     quit = outcome.quit;
+    if (quit && outcome.response.rfind("ERR", 0) == 0) {
+      // A server-initiated close with an ERR response: an unframed or
+      // over-limit bulk request (see serve_line_inner). QUIT/SHUTDOWN
+      // answer OK and are peer-initiated, not drops.
+      drop_reason = "malformed";
+    }
     // Post-QUIT/SHUTDOWN drain policy: complete lines still sitting in
     // this connection's buffer are deliberately DISCARDED, never
     // half-processed — the quit response is the last thing the peer
     // gets, and pipelining past QUIT is a client bug.
+  }
+  if (drop_reason != nullptr) {
+    if (metrics_on()) {
+      if (std::strcmp(drop_reason, "idle") == 0) {
+        metrics_->dropped_idle->add();
+      } else if (std::strcmp(drop_reason, "send") == 0) {
+        metrics_->dropped_send->add();
+      } else {
+        metrics_->dropped_malformed->add();
+      }
+    }
+    logs::warn("conn.drop", {{"conn", std::to_string(conn_id)},
+                             {"reason", drop_reason},
+                             {"served", std::to_string(served)}});
   }
   return served;
 }
@@ -769,12 +1076,24 @@ std::uint64_t Server::serve_listener(int listener, const std::string& what,
     // (EOPNOTSUPP) on a Unix-domain connection — deliberately ignored.
     const int nodelay = 1;
     ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+    // The accept-order id doubles as the conn=<n> key in every log line
+    // about this connection. The atomic (not a metrics counter) feeds
+    // STATS, which must stay exact even with metrics compiled out.
+    const std::uint64_t conn_id =
+        connections_accepted_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (metrics_on()) {
+      metrics_->connections_accepted->add();
+    }
+    logs::debug("conn.accept",
+                {{"conn", std::to_string(conn_id)}, {"transport", what}});
     try {
       const bool launched =
-          registry.launch(conn, [this, conn, &served] {
+          registry.launch(conn, [this, conn, conn_id, &served] {
+            connections_active_.fetch_add(1, std::memory_order_relaxed);
+            std::uint64_t on_conn = 0;
             try {
-              served.fetch_add(serve_connection(conn),
-                               std::memory_order_relaxed);
+              on_conn = serve_connection(conn, conn_id);
+              served.fetch_add(on_conn, std::memory_order_relaxed);
             } catch (...) {
               // Whatever a connection manages to throw past
               // serve_line's guards (e.g. bad_alloc building a
@@ -782,6 +1101,9 @@ std::uint64_t Server::serve_listener(int listener, const std::string& what,
               // the process, which is what an exception escaping a
               // thread body would do.
             }
+            connections_active_.fetch_sub(1, std::memory_order_relaxed);
+            logs::debug("conn.close", {{"conn", std::to_string(conn_id)},
+                                       {"served", std::to_string(on_conn)}});
           });
       if (!launched) {
         // SHUTDOWN arrived while this accept waited for a slot.
@@ -833,10 +1155,10 @@ std::uint64_t Server::serve_unix(const std::string& socket_path) {
   });
 }
 
-std::uint64_t Server::serve_tcp(const std::string& host, int port,
-                                std::atomic<int>* bound_port) {
+int bind_tcp_listener(const std::string& host, int port,
+                      const std::string& what, int* bound_port_out) {
   check(port >= 0 && port <= 65535,
-        "serve_tcp: port " + std::to_string(port) + " out of range");
+        what + ": port " + std::to_string(port) + " out of range");
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(static_cast<std::uint16_t>(port));
@@ -844,11 +1166,11 @@ std::uint64_t Server::serve_tcp(const std::string& host, int port,
   // name everyone types is special-cased.
   const std::string node = host == "localhost" ? "127.0.0.1" : host;
   check(::inet_pton(AF_INET, node.c_str(), &addr.sin_addr) == 1,
-        "serve_tcp: cannot parse host '" + host +
+        what + ": cannot parse host '" + host +
             "' (use an IPv4 address or localhost)");
   const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
-  check(listener >= 0, "serve_tcp: cannot create socket");
-  // Unlike a Unix socket there is no stale FILE to replace, but a
+  check(listener >= 0, what + ": cannot create socket");
+  // There is no stale FILE to replace (unlike a Unix socket), but a
   // just-restarted server must not wait out TIME_WAIT on its own
   // previous address.
   const int reuse = 1;
@@ -858,22 +1180,34 @@ std::uint64_t Server::serve_tcp(const std::string& host, int port,
       ::listen(listener, kListenBacklog) != 0) {
     const std::string reason = std::strerror(errno);
     ::close(listener);
-    throw Error("serve_tcp: cannot bind " + host + ":" +
-                std::to_string(port) + ": " + reason);
+    throw Error(what + ": cannot bind " + host + ":" + std::to_string(port) +
+                ": " + reason);
   }
-  if (bound_port != nullptr) {
+  if (bound_port_out != nullptr) {
     // Port 0 asked the kernel for an ephemeral port; report the real
-    // one BEFORE the first accept so the caller can connect.
+    // one so the caller can announce or connect to it.
     sockaddr_in bound{};
     socklen_t len = sizeof(bound);
     if (::getsockname(listener, reinterpret_cast<sockaddr*>(&bound), &len) !=
         0) {
       const std::string reason = std::strerror(errno);
       ::close(listener);
-      throw Error("serve_tcp: getsockname failed: " + reason);
+      throw Error(what + ": getsockname failed: " + reason);
     }
-    bound_port->store(static_cast<int>(ntohs(bound.sin_port)),
-                      std::memory_order_release);
+    *bound_port_out = static_cast<int>(ntohs(bound.sin_port));
+  }
+  return listener;
+}
+
+std::uint64_t Server::serve_tcp(const std::string& host, int port,
+                                std::atomic<int>* bound_port) {
+  int actual_port = 0;
+  const int listener = bind_tcp_listener(
+      host, port, "serve_tcp", bound_port != nullptr ? &actual_port : nullptr);
+  if (bound_port != nullptr) {
+    // Release-store BEFORE the first accept: a caller running serve_tcp
+    // on its own thread spins on this atomic, then connects.
+    bound_port->store(actual_port, std::memory_order_release);
   }
   return serve_listener(listener, "serve_tcp", [] {});
 }

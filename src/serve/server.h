@@ -56,6 +56,7 @@
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -63,6 +64,8 @@
 #include "serve/coalesce.h"
 #include "serve/protocol.h"
 #include "serve/session.h"
+#include "util/log.h"
+#include "util/metrics.h"
 
 namespace ambit::serve {
 
@@ -118,13 +121,37 @@ struct ServerOptions {
   /// Cross-connection EVAL/EVALB coalescing (serve/coalesce.h);
   /// window_us == 0 (default) disables it.
   CoalesceOptions coalesce;
+  /// Metrics sink (util/metrics.h): null = the process-global registry.
+  /// Tests and benches pass their own Registry for isolated, exactly
+  /// assertable counts.
+  metrics::Registry* registry = nullptr;
+  /// Runtime master switch for the per-request instrumentation (the
+  /// compile-time switch is -DAMBIT_METRICS). bench_serve_throughput
+  /// flips it off to measure the instrumentation overhead.
+  bool enable_metrics = true;
+  /// Requests whose total wall time reaches this many microseconds log
+  /// their phase trace (parse / coalesce_wait / queue_wait / evaluate /
+  /// serialize) at warn, rate-limited. 0 (default) disables the dump.
+  std::uint64_t slow_request_us = 0;
 };
 
 /// Splits "host:port" into its parts; throws ambit::Error on a missing
-/// or non-numeric port or an empty host ("0.0.0.0:7878" and
+/// or non-numeric port, a port beyond 65535, or an empty host — always
+/// quoting the offending spec in the error text ("0.0.0.0:7878" and
 /// "localhost:0" are fine — port 0 asks the kernel for an ephemeral
 /// port, see Server::serve_tcp).
 std::pair<std::string, int> parse_host_port(const std::string& spec);
+
+#ifndef _WIN32
+/// Binds and listens an IPv4 TCP socket on `host`:`port` (SO_REUSEADDR
+/// set, kListenBacklog deep; port 0 binds an ephemeral port) and
+/// returns the listening fd. When `bound_port_out` is non-null it
+/// receives the actually bound port. `what` prefixes error messages.
+/// Shared by Server::serve_tcp and the --metrics HTTP side listener
+/// (serve/metrics_http.h). Throws ambit::Error on failure.
+int bind_tcp_listener(const std::string& host, int port,
+                      const std::string& what, int* bound_port_out);
+#endif
 
 /// Serves the line protocol for one Session. A single Server instance
 /// drives all connection threads of a socket transport; it holds no
@@ -133,10 +160,8 @@ std::pair<std::string, int> parse_host_port(const std::string& spec);
 /// SHUTDOWN latch is shared).
 class Server {
  public:
-  explicit Server(Session& session, ServerOptions options = {})
-      : session_(session),
-        options_(options),
-        coalescer_(session, options.coalesce) {}
+  explicit Server(Session& session, ServerOptions options = {});
+  ~Server();
 
   /// Handles one TEXT request line; returns the response line (no
   /// trailing newline). Never throws for request-level failures — they
@@ -178,6 +203,14 @@ class Server {
   /// The coalescing queue (for tests and benches; counters only).
   const CoalescingQueue& coalescer() const { return coalescer_; }
 
+  /// The Prometheus text-format exposition page: refreshes the sampled
+  /// gauges (pool depth/utilization, active connections), then renders
+  /// the server's registry. Served by the METRICS verb and by the
+  /// --metrics HTTP side listener (serve/metrics_http.h). The page
+  /// reflects requests COMPLETED before the one serving it — per-verb
+  /// counters are bumped after the response is written.
+  std::string metrics_page();
+
  private:
   /// Outcome of one request on a connection.
   struct Outcome {
@@ -205,13 +238,35 @@ class Server {
   /// Handles one request line on any transport, including the EVALB
   /// payload exchange. Returns false when the peer is gone (a write
   /// failed or an EVALB payload hit EOF); `outcome` is valid either
-  /// way.
+  /// way. `conn_id` identifies the connection in slow-request logs
+  /// (0 for the stream transport). This wrapper owns the per-request
+  /// instrumentation — timing, phase trace, per-verb counters, the
+  /// slow-request dump; serve_line_inner does the protocol work.
   bool serve_line(const std::string& line, const PayloadReader& read_payload,
-                  const ByteWriter& write_bytes, Outcome& outcome);
+                  const ByteWriter& write_bytes, Outcome& outcome,
+                  std::uint64_t conn_id = 0);
+
+  /// The uninstrumented request path shared by every transport.
+  /// `verb_index_out`, when non-null, receives the parsed verb's enum
+  /// index (-1 when the line failed to parse).
+  bool serve_line_inner(const std::string& line,
+                        const PayloadReader& read_payload,
+                        const ByteWriter& write_bytes, Outcome& outcome,
+                        int* verb_index_out);
+
+  /// True when instrumentation should record: compiled in AND enabled
+  /// by ServerOptions::enable_metrics.
+  bool metrics_on() const {
+    return metrics::metrics_enabled() && options_.enable_metrics;
+  }
+
+  /// The coalescer's metric hooks (empty when metrics are off).
+  CoalesceInstruments coalesce_instruments() const;
 
   /// Serves one accepted socket connection until QUIT/SHUTDOWN/EOF;
-  /// returns the number of requests served on it.
-  std::uint64_t serve_connection(int conn);
+  /// returns the number of requests served on it. `conn_id` is the
+  /// accept-order id used in logs and slow-request dumps.
+  std::uint64_t serve_connection(int conn, std::uint64_t conn_id);
 
   /// The transport-agnostic accept/connection loop shared by serve_unix
   /// and serve_tcp: polls `listener`, accepts up to max_connections
@@ -224,10 +279,25 @@ class Server {
   std::uint64_t serve_listener(int listener, const std::string& what,
                                const std::function<void()>& cleanup);
 
+  /// Handles are registered once at construction; recording is relaxed
+  /// atomics only. Defined in server.cpp (one member per metric).
+  struct ServeMetrics;
+
   Session& session_;
   ServerOptions options_;
+  // metrics_ precedes coalescer_: the coalescer captures pointers into
+  // it at construction.
+  std::unique_ptr<ServeMetrics> metrics_;
   CoalescingQueue coalescer_;
   std::atomic<bool> shutdown_{false};
+  // Connection lifecycle counters for STATS (`connections=<active>/
+  // <accepted>`). Deliberately NOT behind the metrics layer: STATS
+  // stays exact under -DAMBIT_METRICS=OFF.
+  std::atomic<std::uint64_t> connections_active_{0};
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  // One slow-request warn per interval, surplus folded into
+  // suppressed=<n> — a storm of slow requests must not flood the log.
+  logs::RateLimiter slow_log_limiter_{1'000'000};
 };
 
 }  // namespace ambit::serve

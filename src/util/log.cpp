@@ -1,0 +1,226 @@
+#include "util/log.h"
+
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <mutex>
+#include <vector>
+
+#include "util/metrics.h"
+
+namespace ambit::logs {
+
+namespace {
+
+// The sink and threshold are process-wide. The atomic threshold makes
+// the below-threshold fast path a single relaxed load; the mutex only
+// guards actual emission (formatting happens outside it, the final
+// fwrite inside).
+std::atomic<int> g_threshold{static_cast<int>(Level::kInfo)};
+std::mutex g_sink_mutex;
+std::FILE* g_sink = nullptr;  // nullptr = stderr
+
+/// True when the value can go on the wire bare (no spaces, quotes,
+/// '=' or control bytes that would break key=value tokenization).
+bool bare_safe(const std::string& value) {
+  if (value.empty()) {
+    return false;
+  }
+  for (const char c : value) {
+    if (c <= ' ' || c == '"' || c == '=' || c == '\\' ||
+        static_cast<unsigned char>(c) >= 0x7f) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void append_value(std::string& out, const std::string& value) {
+  if (bare_safe(value)) {
+    out += value;
+    return;
+  }
+  out += '"';
+  for (const char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\x%02x",
+                        static_cast<unsigned char>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+/// ISO-8601 UTC with milliseconds, e.g. 2026-08-08T12:34:56.789Z.
+std::string wall_timestamp() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm utc{};
+#ifdef _WIN32
+  gmtime_s(&utc, &secs);
+#else
+  gmtime_r(&secs, &utc);
+#endif
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday, utc.tm_hour,
+                utc.tm_min, utc.tm_sec, static_cast<int>(ms));
+  return buf;
+}
+
+}  // namespace
+
+Level threshold() { return static_cast<Level>(g_threshold.load()); }
+
+void set_threshold(Level level) { g_threshold.store(static_cast<int>(level)); }
+
+std::optional<Level> parse_level(std::string_view text) {
+  if (text == "debug") {
+    return Level::kDebug;
+  }
+  if (text == "info") {
+    return Level::kInfo;
+  }
+  if (text == "warn") {
+    return Level::kWarn;
+  }
+  if (text == "error") {
+    return Level::kError;
+  }
+  if (text == "off") {
+    return Level::kOff;
+  }
+  return std::nullopt;
+}
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kDebug:
+      return "debug";
+    case Level::kInfo:
+      return "info";
+    case Level::kWarn:
+      return "warn";
+    case Level::kError:
+      return "error";
+    case Level::kOff:
+      return "off";
+  }
+  return "unknown";
+}
+
+bool set_file(const std::string& path) {
+  std::FILE* next = nullptr;
+  if (!path.empty()) {
+    next = std::fopen(path.c_str(), "ae");  // append + close-on-exec
+    if (next == nullptr) {
+      return false;
+    }
+  }
+  const std::lock_guard<std::mutex> lock(g_sink_mutex);
+  if (g_sink != nullptr) {
+    std::fclose(g_sink);
+  }
+  g_sink = next;
+  return true;
+}
+
+namespace {
+
+void emit(Level level, std::string_view event, const Field* fields,
+          std::size_t num_fields) {
+  if (static_cast<int>(level) < g_threshold.load(std::memory_order_relaxed) ||
+      level == Level::kOff) {
+    return;
+  }
+  std::string line;
+  line.reserve(96);
+  line += "ts=";
+  line += wall_timestamp();
+  line += " mono_us=";
+  line += std::to_string(metrics::monotonic_us());
+  line += " level=";
+  line += level_name(level);
+  line += " event=";
+  line.append(event.data(), event.size());
+  for (std::size_t i = 0; i < num_fields; ++i) {
+    const auto& [key, value] = fields[i];
+    line += ' ';
+    line.append(key.data(), key.size());
+    line += '=';
+    append_value(line, value);
+  }
+  line += '\n';
+  const std::lock_guard<std::mutex> lock(g_sink_mutex);
+  std::FILE* sink = g_sink != nullptr ? g_sink : stderr;
+  std::fwrite(line.data(), 1, line.size(), sink);
+  std::fflush(sink);
+}
+
+}  // namespace
+
+void write(Level level, std::string_view event,
+           std::initializer_list<Field> fields) {
+  emit(level, event, fields.begin(), fields.size());
+}
+
+bool RateLimiter::allow() {
+  const std::uint64_t now = metrics::monotonic_us();
+  std::uint64_t last = last_allowed_us_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (last != 0 && now - last < min_interval_us_) {
+      suppressed_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    // Claim the slot; a racing thread that wins makes US the
+    // suppressed one, which keeps the count exact.
+    if (last_allowed_us_.compare_exchange_weak(last, now,
+                                               std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+}
+
+void warn_rate_limited(RateLimiter& limiter, std::string_view event,
+                       std::initializer_list<Field> fields) {
+  if (!limiter.allow()) {
+    return;
+  }
+  const std::uint64_t suppressed = limiter.take_suppressed();
+  if (suppressed == 0) {
+    write(Level::kWarn, event, fields);
+    return;
+  }
+  // Rebuild the field list with the overflow count appended (cold path
+  // — one emitted record per interval).
+  std::vector<Field> extended(fields);
+  extended.emplace_back("suppressed", std::to_string(suppressed));
+  emit(Level::kWarn, event, extended.data(), extended.size());
+}
+
+}  // namespace ambit::logs

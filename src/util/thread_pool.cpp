@@ -7,6 +7,7 @@
 
 #include "util/check.h"
 #include "util/error.h"
+#include "util/metrics.h"
 
 namespace ambit {
 
@@ -41,7 +42,14 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
+#ifdef AMBIT_METRICS
+    queued_.fetch_sub(1, std::memory_order_relaxed);
+    busy_.fetch_add(1, std::memory_order_relaxed);
+#endif
     task();
+#ifdef AMBIT_METRICS
+    busy_.fetch_sub(1, std::memory_order_relaxed);
+#endif
   }
 }
 
@@ -73,8 +81,25 @@ void ThreadPool::parallel_for(
     std::condition_variable done;
     std::uint64_t pending = 0;
     std::exception_ptr error;
+    // Phase-trace support: submit->first-chunk-start latency, measured
+    // by whichever chunk runs first and read back by the caller (who is
+    // blocked until all chunks finish, so the read never races).
+    std::atomic<bool> started{false};
+    std::atomic<std::uint64_t> queue_wait_us{0};
   };
   auto join = std::make_shared<Join>();
+
+#ifdef AMBIT_METRICS
+  // Attribute scheduling delay to the ambient request trace (if any):
+  // the caller is a serve connection thread inside serve_line(), and
+  // its pool-queue wait is a phase of the request's latency.
+  metrics::PhaseTrace* trace = metrics::current_trace();
+  const std::uint64_t submit_us = trace != nullptr ? metrics::monotonic_us() : 0;
+  const bool record_wait = trace != nullptr;
+#else
+  const bool record_wait = false;
+  const std::uint64_t submit_us = 0;
+#endif
 
   // The partition invariants everything downstream leans on: chunks are
   // non-empty, contiguous, in order, and cover [begin, end) exactly —
@@ -88,7 +113,15 @@ void ThreadPool::parallel_for(
                   "ThreadPool::parallel_for: degenerate chunk");
       covered += hi - lo;
       ++join->pending;
-      tasks_.push([join, lo, hi, &body] {
+#ifdef AMBIT_METRICS
+      queued_.fetch_add(1, std::memory_order_relaxed);
+#endif
+      tasks_.push([join, lo, hi, record_wait, submit_us, &body] {
+        if (record_wait &&
+            !join->started.exchange(true, std::memory_order_relaxed)) {
+          join->queue_wait_us.store(metrics::monotonic_us() - submit_us,
+                                    std::memory_order_relaxed);
+        }
         try {
           body(lo, hi);
         } catch (...) {
@@ -112,6 +145,12 @@ void ThreadPool::parallel_for(
 
   std::unique_lock<std::mutex> jlock(join->m);
   join->done.wait(jlock, [&join] { return join->pending == 0; });
+#ifdef AMBIT_METRICS
+  if (record_wait) {
+    trace->add(metrics::Phase::kQueueWait,
+               join->queue_wait_us.load(std::memory_order_relaxed));
+  }
+#endif
   if (join->error) {
     std::rethrow_exception(join->error);
   }

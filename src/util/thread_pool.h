@@ -24,6 +24,7 @@
 //     which keeps single-core containers and TSan runs cheap.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -61,6 +62,17 @@ class ThreadPool {
   /// variable when set and positive, else std::thread::hardware_concurrency.
   static int default_workers();
 
+  /// Observability snapshots (relaxed; maintained only when the
+  /// metrics layer is compiled in — see util/metrics.h — and always 0
+  /// otherwise). Chunks enqueued but not yet picked up by a worker:
+  std::int64_t queued_tasks() const {
+    return queued_.load(std::memory_order_relaxed);
+  }
+  /// Workers currently executing a chunk:
+  std::int64_t busy_workers() const {
+    return busy_.load(std::memory_order_relaxed);
+  }
+
  private:
   void worker_loop();
 
@@ -69,6 +81,8 @@ class ThreadPool {
   std::queue<std::function<void()>> tasks_;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
+  std::atomic<std::int64_t> queued_{0};
+  std::atomic<std::int64_t> busy_{0};
 };
 
 }  // namespace ambit

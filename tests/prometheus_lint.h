@@ -1,0 +1,333 @@
+// A strict lint over a Prometheus text-format 0.0.4 page, shared by
+// metrics_test.cpp (the registry's own exposition) and serve_test.cpp
+// (the same page fetched through the METRICS verb and the HTTP side
+// listener). Kept header-only on purpose: tests/*.h is not globbed
+// into a test executable, so both suites include the one checker and
+// a format bug cannot pass in one transport while failing in another.
+//
+// What "lint" means here (the subset of the format the repo relies
+// on, checked exactly):
+//   * every non-comment line is `name{labels} value` or `name value`
+//     with a parseable non-negative numeric value;
+//   * every sample's family has a preceding # HELP and # TYPE line,
+//     and # TYPE is one of counter|gauge|histogram;
+//   * label values are double-quoted with only \\ \" \n escapes;
+//   * histogram families expose _bucket/_sum/_count children, bucket
+//     `le` bounds strictly increase, cumulative counts never decrease,
+//     the +Inf bucket is present and equals _count;
+//   * families appear in sorted order (the registry's determinism
+//     contract) and no family is emitted twice.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace ambit::testing_support {
+
+/// One parsed sample line: metric name, raw label text (inside the
+/// braces, possibly empty) and the numeric value.
+struct PromSample {
+  std::string name;
+  std::string labels;
+  double value = 0;
+};
+
+/// Splits `page` into lines (the final line may omit the newline).
+inline std::vector<std::string> prom_lines(const std::string& page) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start <= page.size()) {
+    const std::size_t eol = page.find('\n', start);
+    if (eol == std::string::npos) {
+      if (start < page.size()) {
+        lines.push_back(page.substr(start));
+      }
+      break;
+    }
+    lines.push_back(page.substr(start, eol - start));
+    start = eol + 1;
+  }
+  return lines;
+}
+
+inline bool prom_name_ok(const std::string& name) {
+  if (name.empty()) {
+    return false;
+  }
+  const auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(name[0])) {
+    return false;
+  }
+  for (const char c : name) {
+    if (!head(c) && !(c >= '0' && c <= '9')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Base family name for a sample: histogram children map back to the
+/// family that declared them.
+inline std::string prom_family_of(const std::string& sample_name) {
+  for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+    const std::string s = suffix;
+    if (sample_name.size() > s.size() &&
+        sample_name.compare(sample_name.size() - s.size(), s.size(), s) == 0) {
+      return sample_name.substr(0, sample_name.size() - s.size());
+    }
+  }
+  return sample_name;
+}
+
+/// Extracts the value of label `key` from a raw label body, or "" when
+/// absent. Assumes the body already passed the escaping lint.
+inline std::string prom_label_value(const std::string& labels,
+                                    const std::string& key) {
+  const std::string needle = key + "=\"";
+  std::size_t at = 0;
+  while ((at = labels.find(needle, at)) != std::string::npos) {
+    // Must start a label: beginning of body or right after a comma.
+    if (at != 0 && labels[at - 1] != ',') {
+      ++at;
+      continue;
+    }
+    std::string value;
+    for (std::size_t i = at + needle.size(); i < labels.size(); ++i) {
+      if (labels[i] == '\\' && i + 1 < labels.size()) {
+        value += labels[++i] == 'n' ? '\n' : labels[i];
+      } else if (labels[i] == '"') {
+        return value;
+      } else {
+        value += labels[i];
+      }
+    }
+    return value;  // unterminated — the lint will have failed already
+  }
+  return "";
+}
+
+/// The label body minus one key (for grouping histogram buckets that
+/// differ only in `le`).
+inline std::string prom_labels_without(const std::string& labels,
+                                       const std::string& key) {
+  std::string out;
+  std::size_t at = 0;
+  while (at < labels.size()) {
+    std::size_t comma = at;
+    bool in_quotes = false;
+    for (; comma < labels.size(); ++comma) {
+      if (labels[comma] == '\\' && in_quotes) {
+        ++comma;
+      } else if (labels[comma] == '"') {
+        in_quotes = !in_quotes;
+      } else if (labels[comma] == ',' && !in_quotes) {
+        break;
+      }
+    }
+    const std::string piece = labels.substr(at, comma - at);
+    if (piece.rfind(key + "=", 0) != 0) {
+      if (!out.empty()) {
+        out += ',';
+      }
+      out += piece;
+    }
+    at = comma + 1;
+  }
+  return out;
+}
+
+/// Full-page lint; every violation becomes a gtest failure annotated
+/// with the offending line. Returns the parsed samples so callers can
+/// go on to assert exact values.
+inline std::vector<PromSample> lint_prometheus_page(const std::string& page) {
+  std::vector<PromSample> samples;
+  std::map<std::string, std::string> family_type;  // name -> TYPE
+  std::set<std::string> family_help;
+  std::vector<std::string> family_order;
+
+  for (const std::string& line : prom_lines(page)) {
+    if (line.empty()) {
+      ADD_FAILURE() << "blank line in exposition page";
+      continue;
+    }
+    if (line.rfind("# HELP ", 0) == 0) {
+      const std::size_t sp = line.find(' ', 7);
+      EXPECT_NE(sp, std::string::npos) << line;
+      if (sp == std::string::npos) {
+        continue;
+      }
+      const std::string name = line.substr(7, sp - 7);
+      EXPECT_TRUE(prom_name_ok(name)) << line;
+      EXPECT_TRUE(family_help.insert(name).second)
+          << "family emitted twice: " << name;
+      continue;
+    }
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const std::size_t sp = line.find(' ', 7);
+      EXPECT_NE(sp, std::string::npos) << line;
+      if (sp == std::string::npos) {
+        continue;
+      }
+      const std::string name = line.substr(7, sp - 7);
+      const std::string type = line.substr(sp + 1);
+      EXPECT_TRUE(type == "counter" || type == "gauge" || type == "histogram")
+          << line;
+      EXPECT_EQ(family_help.count(name), 1u)
+          << "# TYPE without preceding # HELP: " << line;
+      EXPECT_EQ(family_type.count(name), 0u)
+          << "# TYPE emitted twice: " << line;
+      family_type[name] = type;
+      if (!family_order.empty()) {
+        EXPECT_LT(family_order.back(), name)
+            << "families not in sorted order: " << name;
+      }
+      family_order.push_back(name);
+      continue;
+    }
+    if (line[0] == '#') {
+      ADD_FAILURE() << "unrecognized comment line: " << line;
+      continue;
+    }
+
+    // Sample line: name[{labels}] SP value
+    PromSample sample;
+    std::size_t name_end = line.find_first_of("{ ");
+    EXPECT_NE(name_end, std::string::npos) << line;
+    if (name_end == std::string::npos) {
+      continue;
+    }
+    sample.name = line.substr(0, name_end);
+    EXPECT_TRUE(prom_name_ok(sample.name)) << line;
+    std::size_t value_at = name_end;
+    if (line[name_end] == '{') {
+      bool in_quotes = false;
+      std::size_t close = std::string::npos;
+      for (std::size_t i = name_end + 1; i < line.size(); ++i) {
+        if (line[i] == '\\' && in_quotes) {
+          // Only \\ \" \n are legal escapes in label values.
+          EXPECT_LT(i + 1, line.size()) << line;
+          if (i + 1 >= line.size()) {
+            break;
+          }
+          const char e = line[i + 1];
+          EXPECT_TRUE(e == '\\' || e == '"' || e == 'n') << line;
+          ++i;
+        } else if (line[i] == '"') {
+          in_quotes = !in_quotes;
+        } else if (line[i] == '}' && !in_quotes) {
+          close = i;
+          break;
+        }
+      }
+      EXPECT_NE(close, std::string::npos) << "unclosed label set: " << line;
+      if (close == std::string::npos) {
+        continue;
+      }
+      sample.labels = line.substr(name_end + 1, close - name_end - 1);
+      value_at = close + 1;
+    }
+    const bool value_framed = value_at < line.size() &&
+                              line[value_at] == ' ' &&
+                              value_at + 1 < line.size();
+    EXPECT_TRUE(value_framed) << "no value after name/labels: " << line;
+    if (!value_framed) {
+      continue;
+    }
+    const std::string value_text = line.substr(value_at + 1);
+    if (value_text == "+Inf") {
+      sample.value = 1e308 * 10;  // rendered only for le labels, not values
+      ADD_FAILURE() << "+Inf as a sample value: " << line;
+    } else {
+      std::size_t parsed = 0;
+      sample.value = std::stod(value_text, &parsed);
+      EXPECT_EQ(parsed, value_text.size()) << "trailing junk: " << line;
+      EXPECT_GE(sample.value, 0.0) << line;
+    }
+    const std::string family = prom_family_of(sample.name);
+    EXPECT_EQ(family_type.count(family), 1u)
+        << "sample before its # TYPE: " << line;
+    if (family_type.count(family) != 0u) {
+      const bool is_child = sample.name != family;
+      EXPECT_EQ(is_child, family_type[family] == "histogram") << line;
+    }
+    samples.push_back(sample);
+  }
+
+  // Histogram coherence: per (family, labels-minus-le) group the
+  // buckets must increase in bound, be cumulative, end at +Inf, and
+  // agree with the _count sample.
+  struct Group {
+    std::vector<std::pair<double, double>> buckets;  // (le, cumulative)
+    bool saw_inf = false;
+    double inf_count = 0;
+    double count = 0;
+    bool saw_count = false;
+    bool saw_sum = false;
+  };
+  std::map<std::string, Group> groups;
+  for (const PromSample& s : samples) {
+    const std::string family = prom_family_of(s.name);
+    if (family_type[family] != "histogram") {
+      continue;
+    }
+    const std::string key =
+        family + "|" + prom_labels_without(s.labels, "le");
+    Group& g = groups[key];
+    if (s.name == family + "_bucket") {
+      const std::string le = prom_label_value(s.labels, "le");
+      EXPECT_FALSE(le.empty()) << "bucket without le: " << s.name;
+      if (le == "+Inf") {
+        g.saw_inf = true;
+        g.inf_count = s.value;
+      } else {
+        g.buckets.emplace_back(std::stod(le), s.value);
+      }
+    } else if (s.name == family + "_count") {
+      g.saw_count = true;
+      g.count = s.value;
+    } else if (s.name == family + "_sum") {
+      g.saw_sum = true;
+    }
+  }
+  for (const auto& [key, g] : groups) {
+    EXPECT_TRUE(g.saw_inf) << "no +Inf bucket: " << key;
+    EXPECT_TRUE(g.saw_count) << "no _count: " << key;
+    EXPECT_TRUE(g.saw_sum) << "no _sum: " << key;
+    for (std::size_t i = 1; i < g.buckets.size(); ++i) {
+      EXPECT_LT(g.buckets[i - 1].first, g.buckets[i].first)
+          << "le bounds not increasing: " << key;
+      EXPECT_LE(g.buckets[i - 1].second, g.buckets[i].second)
+          << "bucket counts not cumulative: " << key;
+    }
+    if (!g.buckets.empty()) {
+      EXPECT_LE(g.buckets.back().second, g.inf_count) << key;
+    }
+    EXPECT_EQ(g.inf_count, g.count)
+        << "+Inf bucket disagrees with _count: " << key;
+  }
+  return samples;
+}
+
+/// The value of sample `name` (with exact raw label body `labels`), or
+/// -1 with a test failure when absent.
+inline double prom_value(const std::vector<PromSample>& samples,
+                         const std::string& name,
+                         const std::string& labels = "") {
+  for (const PromSample& s : samples) {
+    if (s.name == name && s.labels == labels) {
+      return s.value;
+    }
+  }
+  ADD_FAILURE() << "sample not found: " << name << "{" << labels << "}";
+  return -1;
+}
+
+}  // namespace ambit::testing_support

@@ -1,11 +1,14 @@
 // Tests for the ambit::serve subsystem: protocol parsing and hex
 // codecs, the session registry (LOAD pipeline, sharded EVAL, cached
-// VERIFY), and the server driven end-to-end over both transports — a
-// stream pipe and a Unix-domain socket.
+// VERIFY), the server driven end-to-end over both transports — a
+// stream pipe and a Unix-domain socket — and the observability
+// surface: the METRICS verb, the HTTP side listener, and exact
+// per-verb accounting under a concurrent mixed-verb hammer.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -14,14 +17,18 @@
 
 #include "core/gnor_pla.h"
 #include "logic/pla_io.h"
+#include "prometheus_lint.h"
 #include "serve/client.h"
 #include "serve/coalesce.h"
+#include "serve/metrics_http.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
 #include "serve/session.h"
 #include "simulate/pla_sim.h"
 #include "tech/technology.h"
 #include "util/error.h"
+#include "util/log.h"
+#include "util/metrics.h"
 #include "util/strings.h"
 
 #ifndef _WIN32
@@ -56,6 +63,7 @@ TEST(ProtocolTest, ParsesEveryVerb) {
   EXPECT_EQ(parse_request("EVAL adder ff 0").verb, Verb::kEval);
   EXPECT_EQ(parse_request("VERIFY adder").verb, Verb::kVerify);
   EXPECT_EQ(parse_request("STATS").verb, Verb::kStats);
+  EXPECT_EQ(parse_request("METRICS").verb, Verb::kMetrics);
   EXPECT_EQ(parse_request("UNLOAD adder").verb, Verb::kUnload);
   EXPECT_EQ(parse_request("HELP").verb, Verb::kHelp);
   EXPECT_EQ(parse_request("QUIT").verb, Verb::kQuit);
@@ -81,6 +89,7 @@ TEST(ProtocolTest, MalformedRequestsRejected) {
   EXPECT_THROW(parse_request("EVAL name_but_no_patterns"), Error);
   EXPECT_THROW(parse_request("VERIFY"), Error);
   EXPECT_THROW(parse_request("STATS extra"), Error);
+  EXPECT_THROW(parse_request("METRICS extra"), Error);
 }
 
 TEST(ProtocolTest, ParsesEvalbHeader) {
@@ -229,7 +238,7 @@ TEST(ProtocolTest, HelpListsEveryVerb) {
     return false;
   };
   const std::vector<std::string> names = verb_names();
-  ASSERT_EQ(names.size(), 11u);  // grows with the grammar
+  ASSERT_EQ(names.size(), 12u);  // grows with the grammar
   const std::string help = help_text();
   for (const std::string& name : names) {
     EXPECT_TRUE(contains_word(help, name))
@@ -609,6 +618,153 @@ TEST(ServerTest, HandleLineRejectsEvalbWithoutTransport) {
   Session session(1);
   Server server(session);
   EXPECT_TRUE(starts_with(server.handle_line("EVALB f 64 3"), "ERR"));
+}
+
+// ---------------------------------------------------------------------------
+// METRICS: the Prometheus page framed over the line protocol.
+// ---------------------------------------------------------------------------
+
+/// Splits one "OK METRICS <nbytes>\n" + <nbytes> raw page bytes frame
+/// off the front of `buffer`. Returns false until the frame is whole.
+bool decode_metrics_response(const std::string& buffer, std::string& page,
+                             std::size_t& consumed) {
+  if (!starts_with(buffer, "OK METRICS ")) {
+    return false;
+  }
+  const std::size_t eol = buffer.find('\n');
+  if (eol == std::string::npos) {
+    return false;
+  }
+  const std::size_t nbytes = static_cast<std::size_t>(
+      std::stoull(buffer.substr(11, eol - 11)));
+  if (buffer.size() < eol + 1 + nbytes) {
+    return false;
+  }
+  page = buffer.substr(eol + 1, nbytes);
+  consumed = eol + 1 + nbytes;
+  return true;
+}
+
+TEST(ServerTest, MetricsVerbOverStreamLintsAndCountsExactly) {
+  // METRICS is length-framed like the bulk verbs (the page is
+  // multi-line, the protocol is line-oriented): the header declares the
+  // byte count, the raw page follows, and the NEXT response line is
+  // intact right after it.
+  const std::string path = write_sample_pla("serve_metrics_stream.pla");
+  Session session(1);
+  metrics::Registry registry;  // fresh: counts are exactly this test's
+  ServerOptions options;
+  options.registry = &registry;
+  Server server(session, options);
+
+  std::istringstream in("LOAD s " + path + "\nEVAL s 7\nEVAL s 0\n" +
+                        "METRICS\nQUIT\n");
+  std::ostringstream out;
+  EXPECT_EQ(server.serve_stream(in, out), 5u);
+
+  const std::string wire = out.str();
+  // Skip the LOAD and two EVAL response lines.
+  std::size_t cursor = 0;
+  for (int line = 0; line < 3; ++line) {
+    cursor = wire.find('\n', cursor) + 1;
+  }
+  std::string page;
+  std::size_t consumed = 0;
+  ASSERT_TRUE(decode_metrics_response(wire.substr(cursor), page, consumed))
+      << wire.substr(cursor, 200);
+  EXPECT_EQ(wire.substr(cursor + consumed), "OK bye\n");
+
+  const auto samples = testing_support::lint_prometheus_page(page);
+  if (!metrics::metrics_enabled()) {
+    return;  // page still renders and lints; values are zeros
+  }
+  // Per-verb counters are bumped AFTER the response bytes go out, so
+  // the page a METRICS request returns excludes that request itself.
+  EXPECT_EQ(testing_support::prom_value(samples, "ambit_serve_requests_total",
+                                        "verb=\"LOAD\""),
+            1.0);
+  EXPECT_EQ(testing_support::prom_value(samples, "ambit_serve_requests_total",
+                                        "verb=\"EVAL\""),
+            2.0);
+  EXPECT_EQ(testing_support::prom_value(samples, "ambit_serve_requests_total",
+                                        "verb=\"METRICS\""),
+            0.0);
+  EXPECT_EQ(testing_support::prom_value(samples, "ambit_serve_request_us_count",
+                                        "verb=\"EVAL\""),
+            2.0);
+  EXPECT_EQ(testing_support::prom_value(samples,
+                                        "ambit_serve_malformed_requests_total"),
+            0.0);
+  // The pool gauges are refreshed at scrape time (a <=1-worker session
+  // runs inline: zero pool threads is the truthful answer).
+  EXPECT_EQ(testing_support::prom_value(samples, "ambit_pool_workers"),
+            static_cast<double>(session.pool().num_workers()));
+}
+
+TEST(ServerTest, HandleLineRejectsMetricsWithoutTransport) {
+  // Like EVALB/SIMB: the one-line text entry point cannot carry the
+  // multi-line page.
+  Session session(1);
+  Server server(session);
+  EXPECT_TRUE(starts_with(server.handle_line("METRICS"), "ERR METRICS"));
+}
+
+TEST(ServerTest, ErrorResponsesBumpTheErrorCounter) {
+  Session session(1);
+  metrics::Registry registry;
+  ServerOptions options;
+  options.registry = &registry;
+  Server server(session, options);
+  std::istringstream in("EVAL ghost ff\nNONSENSE\nSTATS\nQUIT\n");
+  std::ostringstream out;
+  EXPECT_EQ(server.serve_stream(in, out), 4u);
+  if (!metrics::metrics_enabled()) {
+    return;
+  }
+  const metrics::Counter* errors =
+      registry.find_counter("ambit_serve_request_errors_total");
+  ASSERT_NE(errors, nullptr);
+  EXPECT_EQ(errors->value(), 2u);  // the bad EVAL and the unknown verb
+  // An unparseable line counts as malformed, not under any verb.
+  const metrics::Counter* malformed =
+      registry.find_counter("ambit_serve_malformed_requests_total");
+  ASSERT_NE(malformed, nullptr);
+  EXPECT_EQ(malformed->value(), 1u);
+}
+
+TEST(ServerTest, SlowRequestsDumpTheirPhaseTrace) {
+  if (!metrics::metrics_enabled()) {
+    GTEST_SKIP() << "phase tracing is compiled out";
+  }
+  // --slow-request-us 1 makes every request "slow": the warn record
+  // must carry the full phase decomposition, rate-limited to one line.
+  const std::string log_path = testing::TempDir() + "/serve_slow.log";
+  std::remove(log_path.c_str());
+  ASSERT_TRUE(logs::set_file(log_path));
+
+  const std::string path = write_sample_pla("serve_slow.pla");
+  Session session(1);
+  metrics::Registry registry;
+  ServerOptions options;
+  options.registry = &registry;
+  options.slow_request_us = 1;
+  Server server(session, options);
+  std::istringstream in("LOAD s " + path + "\nEVAL s 7\nQUIT\n");
+  std::ostringstream out;
+  EXPECT_EQ(server.serve_stream(in, out), 3u);
+
+  logs::set_file("");  // restore stderr before asserting
+  std::ifstream log(log_path);
+  std::ostringstream text_stream;
+  text_stream << log.rdbuf();
+  const std::string text = text_stream.str();
+  EXPECT_NE(text.find("event=serve.slow_request"), std::string::npos) << text;
+  for (const char* key :
+       {"verb=", "total_us=", "parse_us=", "coalesce_wait_us=",
+        "queue_wait_us=", "evaluate_us=", "serialize_us="}) {
+    EXPECT_NE(text.find(key), std::string::npos)
+        << "slow-request record missing " << key << ": " << text;
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -1974,6 +2130,398 @@ TEST(TcpServerTest, CoalescedHammerBitIdenticalWithExactStats) {
   EXPECT_NE(stats_lines[0].find("coalesced_requests="), std::string::npos)
       << stats_lines[0];
   EXPECT_NE(stats_lines[0].find("coalesced_batches="), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Observability over real transports: STATS connection counts, the
+// HTTP side listener, and exact per-verb accounting under a
+// concurrent mixed-verb hammer.
+// ---------------------------------------------------------------------------
+
+TEST(ObservabilityTest, StatsReportsConnectionCounts) {
+  // The append-only STATS extension: " connections=<active>/<accepted>"
+  // closes the line, exact regardless of -DAMBIT_METRICS (the counts
+  // are plain Server atomics, not metrics-layer objects).
+  const std::string socket_path =
+      testing::TempDir() + "/ambit_serve_connstats.sock";
+  Session session(1);
+  Server server(session);
+  std::thread server_thread([&] { server.serve_unix(socket_path); });
+
+  const int fd = connect_with_retry(socket_path);
+  ASSERT_GE(fd, 0);
+  const auto lines = socket_transact(fd, "STATS\n", 1);
+  ASSERT_EQ(lines.size(), 1u);
+  // This connection is the only one ever accepted, and it is live.
+  const std::string suffix = " connections=1/1";
+  ASSERT_GE(lines[0].size(), suffix.size());
+  EXPECT_EQ(lines[0].substr(lines[0].size() - suffix.size()), suffix)
+      << lines[0];
+
+  // A second connection: active stays 1 after the first quits, accepted
+  // keeps counting.
+  const auto quit = socket_transact(fd, "QUIT\n", 1);
+  ASSERT_EQ(quit.size(), 1u);
+  ::close(fd);
+  const int second = connect_with_retry(socket_path);
+  ASSERT_GE(second, 0);
+  std::vector<std::string> lines2;
+  // The first connection's teardown (connections_active_ decrement)
+  // races our connect; poll STATS until it settles.
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    lines2 = socket_transact(second, "STATS\n", 1);
+    ASSERT_EQ(lines2.size(), 1u);
+    if (lines2[0].find(" connections=1/2") != std::string::npos) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_NE(lines2[0].find(" connections=1/2"), std::string::npos)
+      << lines2[0];
+  socket_transact(second, "SHUTDOWN\n", 1);
+  ::close(second);
+  server_thread.join();
+}
+
+/// One raw HTTP exchange against the side listener: connect, send
+/// `request`, read to EOF (the listener answers Connection: close).
+std::string http_transact(int port, const std::string& request) {
+  const int fd = connect_tcp_with_retry("127.0.0.1", port);
+  EXPECT_GE(fd, 0);
+  if (fd < 0) {
+    return "";
+  }
+  EXPECT_EQ(::send(fd, request.data(), request.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char chunk[4096];
+  for (ssize_t n; (n = ::read(fd, chunk, sizeof(chunk))) > 0;) {
+    response.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+/// The body of an HTTP response, verifying Content-Length framing.
+std::string http_body(const std::string& response) {
+  const std::size_t head_end = response.find("\r\n\r\n");
+  EXPECT_NE(head_end, std::string::npos) << response.substr(0, 200);
+  if (head_end == std::string::npos) {
+    return "";
+  }
+  const std::string body = response.substr(head_end + 4);
+  const std::size_t cl = response.find("Content-Length: ");
+  EXPECT_NE(cl, std::string::npos);
+  if (cl != std::string::npos) {
+    EXPECT_EQ(static_cast<std::size_t>(
+                  std::stoull(response.substr(cl + 16))),
+              body.size());
+  }
+  return body;
+}
+
+TEST(ObservabilityTest, HttpSideListenerServesScrapesMidTraffic) {
+  // The --metrics side listener wired exactly as ambit_serve wires it:
+  // render = Server::metrics_page, its own ephemeral port, scraped
+  // while the line protocol serves a connection.
+  const std::string path = write_sample_pla("serve_http_scrape.pla");
+  const std::string socket_path =
+      testing::TempDir() + "/ambit_serve_scrape.sock";
+  Session session(1);
+  metrics::Registry registry;
+  ServerOptions options;
+  options.registry = &registry;
+  Server server(session, options);
+  std::thread server_thread([&] { server.serve_unix(socket_path); });
+
+  MetricsHttpListener listener;
+  int http_port = 0;
+  listener.start("127.0.0.1", 0, [&server] { return server.metrics_page(); },
+                 &http_port);
+  ASSERT_GT(http_port, 0);
+
+  // Drive some traffic first so the page has non-trivial counts.
+  const int fd = connect_with_retry(socket_path);
+  ASSERT_GE(fd, 0);
+  const auto lines =
+      socket_transact(fd, "LOAD s " + path + "\nEVAL s 7\nEVAL s 3\n", 3);
+  ASSERT_EQ(lines.size(), 3u);
+
+  // Counters bump AFTER the response bytes go out (self-scrape
+  // exclusion), so the client holding both EVAL responses does not yet
+  // guarantee the second add is visible — poll the scrape until it is.
+  std::string ok;
+  std::string page;
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    ok = http_transact(http_port, "GET /metrics HTTP/1.0\r\n\r\n");
+    page = http_body(ok);
+    if (!metrics::metrics_enabled() ||
+        page.find("ambit_serve_requests_total{verb=\"EVAL\"} 2") !=
+            std::string::npos) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(starts_with(ok, "HTTP/1.0 200 OK\r\n")) << ok.substr(0, 120);
+  EXPECT_NE(ok.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  const auto samples = testing_support::lint_prometheus_page(page);
+  if (metrics::metrics_enabled()) {
+    EXPECT_EQ(testing_support::prom_value(
+                  samples, "ambit_serve_requests_total", "verb=\"EVAL\""),
+              2.0);
+    EXPECT_EQ(testing_support::prom_value(
+                  samples, "ambit_serve_requests_total", "verb=\"LOAD\""),
+              1.0);
+    // The side listener is NOT a protocol connection: gauges see only
+    // the one line-protocol client.
+    EXPECT_EQ(testing_support::prom_value(samples,
+                                          "ambit_serve_connections_active"),
+              1.0);
+  }
+
+  const std::string health =
+      http_transact(http_port, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_TRUE(starts_with(health, "HTTP/1.0 200 OK\r\n"));
+  EXPECT_EQ(http_body(health), "ok\n");
+
+  EXPECT_TRUE(starts_with(
+      http_transact(http_port, "GET /nope HTTP/1.0\r\n\r\n"),
+      "HTTP/1.0 404 Not Found\r\n"));
+  EXPECT_TRUE(starts_with(
+      http_transact(http_port, "DELETE /metrics HTTP/1.0\r\n\r\n"),
+      "HTTP/1.0 405 Method Not Allowed\r\n"));
+  const std::string bad = http_transact(http_port, "not http at all\r\n\r\n");
+  EXPECT_TRUE(starts_with(bad, "HTTP/1.0 400 Bad Request\r\n"));
+  EXPECT_NE(bad.find("bad HTTP request line"), std::string::npos);
+
+  // The listener survived the abuse and still scrapes.
+  EXPECT_TRUE(starts_with(
+      http_transact(http_port, "GET /metrics HTTP/1.0\r\n\r\n"),
+      "HTTP/1.0 200 OK\r\n"));
+  listener.stop();
+
+  socket_transact(fd, "SHUTDOWN\n", 1);
+  ::close(fd);
+  server_thread.join();
+}
+
+TEST(ObservabilityTest, MixedVerbHammerCountsEveryRequestExactly) {
+  // Four clients interleave EVAL, EVALB and SIMB against one server
+  // with a fresh registry: afterwards every per-verb counter and
+  // latency-histogram _count must equal the number of requests sent —
+  // under concurrency, not approximately.
+  const std::string path = write_sample_pla("serve_obs_hammer.pla");
+  const std::string socket_path =
+      testing::TempDir() + "/ambit_serve_obshammer.sock";
+  Session session(/*workers=*/2);
+  session.load("s", path);
+  metrics::Registry registry;
+  ServerOptions options;
+  options.registry = &registry;
+  Server server(session, options);
+  std::thread server_thread([&] { server.serve_unix(socket_path); });
+
+  PatternBatch inputs = PatternBatch::exhaustive(3);
+  const core::GnorPla& gnor = session.get("s")->gnor;
+  const PatternBatch expected_eval = gnor.evaluate_batch(inputs);
+  simulate::GnorPlaSimulator direct(gnor, tech::default_cnfet_electrical());
+  const simulate::BatchSimResult expected_sim = direct.simulate_batch(inputs);
+  const std::uint64_t lane_words = expected_sim.outputs.total_words();
+  const std::uint64_t simb_words = lane_words + 3 * inputs.num_patterns();
+
+  constexpr int kClients = 4;
+  constexpr int kRoundsPerClient = 15;
+  std::vector<int> failures(kClients, 0);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      const int fd = connect_with_retry(socket_path);
+      if (fd < 0) {
+        failures[static_cast<std::size_t>(c)] = 1;
+        return;
+      }
+      std::ostringstream request;
+      for (int r = 0; r < kRoundsPerClient; ++r) {
+        const int a = (c * 5 + r * 3) % 8;
+        request << "EVAL s "
+                << hex_encode({(a & 1) != 0, (a & 2) != 0, (a & 4) != 0})
+                << "\n"
+                << "EVALB s " << inputs.num_patterns() << " "
+                << inputs.total_words() << "\n" << frame_payload(inputs)
+                << "SIMB s " << inputs.num_patterns() << " "
+                << inputs.total_words() << "\n" << frame_payload(inputs);
+      }
+      request << "QUIT\n";
+      const std::string wire = request.str();
+      std::size_t sent = 0;
+      while (sent < wire.size()) {
+        const ssize_t n = ::send(fd, wire.data() + sent, wire.size() - sent,
+                                 MSG_NOSIGNAL);
+        if (n < 0 && errno == EINTR) {
+          continue;
+        }
+        if (n <= 0) {
+          break;
+        }
+        sent += static_cast<std::size_t>(n);
+      }
+      std::string buffer;
+      char chunk[65536];
+      for (ssize_t n; (n = ::read(fd, chunk, sizeof(chunk))) > 0;) {
+        buffer.append(chunk, static_cast<std::size_t>(n));
+      }
+      ::close(fd);
+      // Walk the pipelined responses: an EVAL line, an EVALB frame and
+      // a SIMB frame per round — all bit-exact.
+      std::size_t cursor = 0;
+      for (int r = 0; r < kRoundsPerClient; ++r) {
+        const int a = (c * 5 + r * 3) % 8;
+        const std::vector<bool> bits{(a & 1) != 0, (a & 2) != 0, (a & 4) != 0};
+        const std::string want = "OK " + hex_encode(gnor.evaluate(bits));
+        const std::size_t eol = buffer.find('\n', cursor);
+        if (eol == std::string::npos ||
+            buffer.substr(cursor, eol - cursor) != want) {
+          failures[static_cast<std::size_t>(c)] = 1;
+          return;
+        }
+        cursor = eol + 1;
+        std::vector<std::uint64_t> words;
+        std::size_t consumed = 0;
+        if (!decode_evalb_response(buffer.substr(cursor),
+                                   inputs.num_patterns(),
+                                   expected_eval.total_words(), words,
+                                   consumed)) {
+          failures[static_cast<std::size_t>(c)] = 1;
+          return;
+        }
+        cursor += consumed;
+        if (!decode_simb_response(buffer.substr(cursor),
+                                  inputs.num_patterns(), simb_words, words,
+                                  consumed)) {
+          failures[static_cast<std::size_t>(c)] = 1;
+          return;
+        }
+        cursor += consumed;
+      }
+      if (buffer.substr(cursor) != "OK bye\n") {
+        failures[static_cast<std::size_t>(c)] = 1;
+      }
+    });
+  }
+  for (std::thread& client : clients) {
+    client.join();
+  }
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(failures[static_cast<std::size_t>(c)], 0) << "client " << c;
+  }
+
+  const int ctl = connect_with_retry(socket_path);
+  ASSERT_GE(ctl, 0);
+  socket_transact(ctl, "SHUTDOWN\n", 1);
+  ::close(ctl);
+  server_thread.join();
+
+  if (!metrics::metrics_enabled()) {
+    return;  // session counters above already validated the traffic
+  }
+  // Every counter and histogram count, exactly — scraped AFTER the
+  // server drained, so the bump-after-respond window is closed.
+  const std::string page = server.metrics_page();
+  const auto samples = testing_support::lint_prometheus_page(page);
+  const double rounds = kClients * kRoundsPerClient;
+  const auto count = [&samples](const std::string& name,
+                                const std::string& labels) {
+    return testing_support::prom_value(samples, name, labels);
+  };
+  EXPECT_EQ(count("ambit_serve_requests_total", "verb=\"EVAL\""), rounds);
+  EXPECT_EQ(count("ambit_serve_requests_total", "verb=\"EVALB\""), rounds);
+  EXPECT_EQ(count("ambit_serve_requests_total", "verb=\"SIMB\""), rounds);
+  EXPECT_EQ(count("ambit_serve_requests_total", "verb=\"QUIT\""),
+            static_cast<double>(kClients));
+  EXPECT_EQ(count("ambit_serve_requests_total", "verb=\"SHUTDOWN\""), 1.0);
+  for (const char* idle_verb :
+       {"LOAD", "SIM", "VERIFY", "STATS", "METRICS", "UNLOAD", "HELP"}) {
+    EXPECT_EQ(count("ambit_serve_requests_total",
+                    "verb=\"" + std::string(idle_verb) + "\""),
+              0.0)
+        << idle_verb;
+  }
+  EXPECT_EQ(count("ambit_serve_request_us_count", "verb=\"EVAL\""), rounds);
+  EXPECT_EQ(count("ambit_serve_request_us_count", "verb=\"EVALB\""), rounds);
+  EXPECT_EQ(count("ambit_serve_request_us_count", "verb=\"SIMB\""), rounds);
+  EXPECT_EQ(count("ambit_serve_request_errors_total", ""), 0.0);
+  EXPECT_EQ(count("ambit_serve_malformed_requests_total", ""), 0.0);
+  EXPECT_EQ(count("ambit_serve_connections_accepted_total", ""),
+            static_cast<double>(kClients) + 1);  // clients + the ctl
+  EXPECT_EQ(count("ambit_serve_connections_active", ""), 0.0);
+  for (const char* reason : {"idle", "send", "malformed"}) {
+    EXPECT_EQ(count("ambit_serve_connections_dropped_total",
+                    "reason=\"" + std::string(reason) + "\""),
+              0.0)
+        << reason;
+  }
+  // Coalescing was off: its counters exist but never moved.
+  EXPECT_EQ(count("ambit_serve_coalesce_requests_total", ""), 0.0);
+  // And the totals agree with the session's own exact accounting.
+  const SessionStats stats = session.stats();
+  EXPECT_EQ(stats.evals, static_cast<std::uint64_t>(rounds) * 2);  // EVAL+EVALB
+  EXPECT_EQ(stats.sims, static_cast<std::uint64_t>(rounds));
+}
+
+TEST(ObservabilityTest, DroppedConnectionsAreClassified) {
+  // An oversized request line is a server-initiated drop with
+  // reason="malformed"; a clean QUIT is peer-initiated and counts
+  // under no reason at all.
+  const std::string socket_path =
+      testing::TempDir() + "/ambit_serve_dropclass.sock";
+  Session session(1);
+  metrics::Registry registry;
+  ServerOptions options;
+  options.registry = &registry;
+  Server server(session, options);
+  std::thread server_thread([&] { server.serve_unix(socket_path); });
+
+  const int fd = connect_with_retry(socket_path);
+  ASSERT_GE(fd, 0);
+  const std::string blob(kMaxLineBytes + (1 << 16), 'a');  // no newline
+  std::size_t sent = 0;
+  while (sent < blob.size()) {
+    const ssize_t n = ::send(fd, blob.data() + sent, blob.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      break;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  char chunk[4096];
+  while (::read(fd, chunk, sizeof(chunk)) > 0) {
+  }
+  ::close(fd);
+
+  const int ctl = connect_with_retry(socket_path);
+  ASSERT_GE(ctl, 0);
+  socket_transact(ctl, "QUIT\n", 1);
+  ::close(ctl);
+  const int shut = connect_with_retry(socket_path);
+  ASSERT_GE(shut, 0);
+  socket_transact(shut, "SHUTDOWN\n", 1);
+  ::close(shut);
+  server_thread.join();
+
+  if (!metrics::metrics_enabled()) {
+    return;
+  }
+  const metrics::Counter* malformed = registry.find_counter(
+      "ambit_serve_connections_dropped_total", {{"reason", "malformed"}});
+  ASSERT_NE(malformed, nullptr);
+  EXPECT_EQ(malformed->value(), 1u);
+  for (const char* reason : {"idle", "send"}) {
+    const metrics::Counter* counter = registry.find_counter(
+        "ambit_serve_connections_dropped_total", {{"reason", reason}});
+    ASSERT_NE(counter, nullptr) << reason;
+    EXPECT_EQ(counter->value(), 0u) << reason;
+  }
 }
 
 #endif  // !_WIN32

@@ -21,6 +21,9 @@
 //   --tcp <host:port>   with --serve: serve over TCP instead of
 //                       stdin/stdout (port 0 binds an ephemeral port,
 //                       announced on stderr once listening)
+//   --log-level <level> debug|info|warn|error|off (default info) for
+//                       the structured serve logs (util/log.h)
+//   --log-file <path>   append log records to <path> instead of stderr
 //
 // Prints the minimization summary, the GNOR mapping, and the Table-1
 // style area comparison across Flash / EEPROM / CNFET.
@@ -53,6 +56,7 @@
 #include "tech/area_model.h"
 #include "tech/delay_model.h"
 #include "util/error.h"
+#include "util/log.h"
 #include "util/rng.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -67,7 +71,8 @@ int usage() {
                "usage: ambit_cli <input.pla> [--phase-opt] [--wpla]\n"
                "                 [--out-pla <path>] [--out-blif <path>]\n"
                "                 [--verify] [--sim]\n"
-               "       ambit_cli --serve [--tcp <host:port>]\n");
+               "       ambit_cli --serve [--tcp <host:port>] "
+               "[--log-level <level>] [--log-file <path>]\n");
   return 2;
 }
 
@@ -104,6 +109,24 @@ int main(int argc, char** argv) {
       out_pla = argv[++i];
     } else if (arg == "--out-blif" && i + 1 < argc) {
       out_blif = argv[++i];
+    } else if (arg == "--log-level" && i + 1 < argc) {
+      const std::string value = argv[++i];
+      const auto level = logs::parse_level(value);
+      if (!level.has_value()) {
+        std::fprintf(stderr,
+                     "ambit_cli: --log-level needs debug|info|warn|error|off, "
+                     "got '%s'\n",
+                     value.c_str());
+        return 2;
+      }
+      logs::set_threshold(*level);
+    } else if (arg == "--log-file" && i + 1 < argc) {
+      const std::string value = argv[++i];
+      if (!logs::set_file(value)) {
+        std::fprintf(stderr, "ambit_cli: cannot open log file '%s'\n",
+                     value.c_str());
+        return 2;
+      }
     } else if (!arg.empty() && arg[0] != '-' && input.empty()) {
       input = arg;
     } else {

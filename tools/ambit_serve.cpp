@@ -32,9 +32,23 @@
 //                        coalescing (default 64)
 //   --preload <name>=<path>
 //                        LOAD a circuit before serving (repeatable)
+//   --metrics <host:port>
+//                        open an observability-only HTTP side listener
+//                        answering GET /metrics (the Prometheus page)
+//                        and GET /healthz; announced on stderr as
+//                        "metrics bound port <n>" (port 0 = ephemeral).
+//                        The same page is served in-band by the
+//                        METRICS verb on any transport
+//   --slow-request-us <n>
+//                        log (at warn, rate-limited) the phase trace of
+//                        any request taking >= <n> us (default 0 = off)
+//   --log-level <level>  debug|info|warn|error|off (default info)
+//   --log-file <path>    append log records to <path> instead of stderr
 //
 // The protocol grammar is documented in docs/PROTOCOL.md (normative)
 // and src/serve/protocol.h; an interactive session starts with HELP.
+// The observability surface — metric names, log schema, phase tracing
+// — is documented in docs/OBSERVABILITY.md.
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -46,10 +60,12 @@
 
 #include "serve/client.h"
 
+#include "serve/metrics_http.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
 #include "serve/session.h"
 #include "util/error.h"
+#include "util/log.h"
 #include "util/thread_pool.h"
 
 #ifdef _WIN32
@@ -68,7 +84,10 @@ int usage() {
                "                   [--workers <n>] [--max-connections <n>]\n"
                "                   [--coalesce-window-us <n>] "
                "[--coalesce-min-patterns <n>]\n"
-               "                   [--preload <name>=<path>]\n");
+               "                   [--preload <name>=<path>] "
+               "[--metrics <host:port>]\n"
+               "                   [--slow-request-us <n>] "
+               "[--log-level <level>] [--log-file <path>]\n");
   return 2;
 }
 
@@ -77,6 +96,7 @@ int usage() {
 int main(int argc, char** argv) {
   std::string socket_path;
   std::string tcp_spec;
+  std::string metrics_spec;
   int workers = ThreadPool::default_workers();
   serve::ServerOptions options;
   std::vector<std::pair<std::string, std::string>> preloads;
@@ -142,6 +162,41 @@ int main(int argc, char** argv) {
         return 2;
       }
       preloads.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+    } else if (arg == "--metrics" && i + 1 < argc) {
+      metrics_spec = argv[++i];
+    } else if (arg == "--slow-request-us" && i + 1 < argc) {
+      // Strict digits for the same reason as --coalesce-window-us: a
+      // typo must not silently parse to 0 and disable the dump.
+      const std::string value = argv[++i];
+      const bool numeric =
+          !value.empty() && value.size() <= 9 &&
+          value.find_first_not_of("0123456789") == std::string::npos;
+      if (!numeric) {
+        std::fprintf(stderr,
+                     "ambit_serve: --slow-request-us needs a non-negative "
+                     "integer (microseconds), got '%s'\n",
+                     value.c_str());
+        return 2;
+      }
+      options.slow_request_us = static_cast<std::uint64_t>(std::stoul(value));
+    } else if (arg == "--log-level" && i + 1 < argc) {
+      const std::string value = argv[++i];
+      const auto level = logs::parse_level(value);
+      if (!level.has_value()) {
+        std::fprintf(stderr,
+                     "ambit_serve: --log-level needs "
+                     "debug|info|warn|error|off, got '%s'\n",
+                     value.c_str());
+        return 2;
+      }
+      logs::set_threshold(*level);
+    } else if (arg == "--log-file" && i + 1 < argc) {
+      const std::string value = argv[++i];
+      if (!logs::set_file(value)) {
+        std::fprintf(stderr, "ambit_serve: cannot open log file '%s'\n",
+                     value.c_str());
+        return 2;
+      }
     } else {
       return usage();
     }
@@ -171,6 +226,21 @@ int main(int argc, char** argv) {
                    circuit->gnor.num_outputs(), circuit->gnor.num_products());
     }
     serve::Server server(session, options);
+    // The side listener runs for the whole serve call and stops on
+    // scope exit (its destructor) — after the transport has drained,
+    // so a scrape can still read the final counters mid-SHUTDOWN.
+    serve::MetricsHttpListener metrics_listener;
+    if (!metrics_spec.empty()) {
+      const auto [metrics_host, metrics_port] =
+          serve::parse_host_port(metrics_spec);
+      int bound = 0;
+      metrics_listener.start(
+          metrics_host, metrics_port,
+          [&server] { return server.metrics_page(); }, &bound);
+      // Same contract as "tcp bound port": scripts binding port 0
+      // discover the real port from this stderr line.
+      std::fprintf(stderr, "ambit_serve: metrics bound port %d\n", bound);
+    }
     const auto report_served = [](std::uint64_t served) {
       std::fprintf(stderr, "ambit_serve: served %llu request(s)\n",
                    static_cast<unsigned long long>(served));
