@@ -18,7 +18,7 @@ logic::PatternBatch CoalescingQueue::eval(
     return session_.eval(circuit, inputs);
   }
 
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++requests_;
   if (instruments_.requests != nullptr) {
     instruments_.requests->add();
@@ -72,9 +72,13 @@ logic::PatternBatch CoalescingQueue::eval(
   metrics::PhaseTrace* trace = metrics::current_trace();
   const bool timed = instruments_.wait_us != nullptr || trace != nullptr;
   const std::uint64_t window_open_us = timed ? metrics::monotonic_us() : 0;
-  group->flush.wait_until(lock, deadline, [&] {
-    return group->total_patterns >= options_.min_patterns;
-  });
+  // Single-shot waits in a loop (CondVar has no predicate overload —
+  // see util/mutex.h): leave on early flush or when the window closes.
+  while (group->total_patterns < options_.min_patterns) {
+    if (group->flush.wait_until(lock, deadline) == std::cv_status::timeout) {
+      break;
+    }
+  }
   if (timed) {
     const std::uint64_t waited = metrics::monotonic_us() - window_open_us;
     if (instruments_.wait_us != nullptr) {
@@ -154,7 +158,7 @@ logic::PatternBatch CoalescingQueue::eval(
 }
 
 CoalesceStats CoalescingQueue::stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return CoalesceStats{.requests = requests_, .fused = fused_,
                        .batches = batches_};
 }

@@ -40,17 +40,17 @@
 // wake-up latency.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "logic/pattern_batch.h"
 #include "serve/session.h"
 #include "util/metrics.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace ambit::serve {
 
@@ -125,21 +125,29 @@ class CoalescingQueue {
   /// One open group: requests against one circuit instance, waiting for
   /// the leader's flush. Keyed by circuit identity (the pointer), so a
   /// same-name reload can never mix widths within a group.
+  ///
+  /// Lock discipline (stated here because TSA's GUARDED_BY cannot name
+  /// another object's member from a nested struct): while a Group sits
+  /// in groups_, its members/total_patterns are guarded by the queue's
+  /// mutex_; once the leader erases it from the map the leader owns it
+  /// exclusively — every member is parked on its future — and reads it
+  /// lock-free.
   struct Group {
     std::shared_ptr<const LoadedCircuit> circuit;
     std::vector<std::unique_ptr<Pending>> members;
     std::uint64_t total_patterns = 0;
-    std::condition_variable flush;  ///< wakes the leader on early flush
+    CondVar flush;  ///< wakes the leader on early flush
   };
 
   Session& session_;
   const CoalesceOptions options_;
   const CoalesceInstruments instruments_;
-  mutable std::mutex mutex_;
-  std::map<const LoadedCircuit*, std::shared_ptr<Group>> groups_;
-  std::uint64_t requests_ = 0;
-  std::uint64_t fused_ = 0;
-  std::uint64_t batches_ = 0;
+  mutable Mutex mutex_{LockRank::kCoalesce};
+  std::map<const LoadedCircuit*, std::shared_ptr<Group>> groups_
+      AMBIT_GUARDED_BY(mutex_);
+  std::uint64_t requests_ AMBIT_GUARDED_BY(mutex_) = 0;
+  std::uint64_t fused_ AMBIT_GUARDED_BY(mutex_) = 0;
+  std::uint64_t batches_ AMBIT_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace ambit::serve

@@ -10,7 +10,9 @@
 
 #include "serve/protocol.h"
 #include "util/error.h"
+#include "util/mutex.h"
 #include "util/strings.h"
+#include "util/thread_annotations.h"
 
 #ifndef _WIN32
 #include <arpa/inet.h>
@@ -23,9 +25,7 @@
 #include <unistd.h>
 
 #include <cerrno>
-#include <condition_variable>
 #include <map>
-#include <mutex>
 #include <thread>
 #endif
 
@@ -725,10 +725,10 @@ class ConnectionRegistry {
   /// `fd` when the body returns. Returns false — fd untouched — when
   /// the abort flag went true while waiting.
   bool launch(int fd, std::function<void()> body) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    slot_free_.wait(lock, [this] {
-      return active_ < max_active_ || abort_.load();
-    });
+    MutexLock lock(mutex_);
+    while (active_ >= max_active_ && !abort_.load()) {
+      slot_free_.wait(lock);
+    }
     if (abort_.load()) {
       return false;
     }
@@ -748,7 +748,7 @@ class ConnectionRegistry {
       slot->second = std::thread([this, id, fd, body = std::move(body)] {
         body();
         {
-          const std::lock_guard<std::mutex> inner(mutex_);
+          const MutexLock inner(mutex_);
           live_fds_.erase(id);
           finished_.push_back(id);
           --active_;
@@ -770,7 +770,7 @@ class ConnectionRegistry {
   /// Responses still in flight are unaffected (the write side stays
   /// open until the connection thread is done).
   void shutdown_inputs() {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     for (const auto& [id, fd] : live_fds_) {
       ::shutdown(fd, SHUT_RD);
     }
@@ -781,7 +781,7 @@ class ConnectionRegistry {
   void join_all() {
     std::map<std::uint64_t, std::thread> grab;
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       grab.swap(threads_);
       finished_.clear();
     }
@@ -791,7 +791,7 @@ class ConnectionRegistry {
   }
 
  private:
-  void reap_locked() {
+  void reap_locked() AMBIT_REQUIRES(mutex_) {
     for (const std::uint64_t id : finished_) {
       const auto it = threads_.find(id);
       if (it != threads_.end()) {
@@ -804,13 +804,13 @@ class ConnectionRegistry {
 
   const int max_active_;
   const std::atomic<bool>& abort_;
-  std::mutex mutex_;
-  std::condition_variable slot_free_;
-  int active_ = 0;
-  std::uint64_t next_id_ = 0;
-  std::map<std::uint64_t, int> live_fds_;
-  std::map<std::uint64_t, std::thread> threads_;
-  std::vector<std::uint64_t> finished_;
+  Mutex mutex_{LockRank::kConnectionRegistry};
+  CondVar slot_free_;
+  int active_ AMBIT_GUARDED_BY(mutex_) = 0;
+  std::uint64_t next_id_ AMBIT_GUARDED_BY(mutex_) = 0;
+  std::map<std::uint64_t, int> live_fds_ AMBIT_GUARDED_BY(mutex_);
+  std::map<std::uint64_t, std::thread> threads_ AMBIT_GUARDED_BY(mutex_);
+  std::vector<std::uint64_t> finished_ AMBIT_GUARDED_BY(mutex_);
 };
 
 /// True when a listener may still be accepting behind `socket_path` —

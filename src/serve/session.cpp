@@ -28,7 +28,7 @@ std::shared_ptr<const LoadedCircuit> Session::load(const std::string& name,
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     circuits_[name] = circuit;
   }
   loads_.fetch_add(1, std::memory_order_relaxed);
@@ -37,7 +37,7 @@ std::shared_ptr<const LoadedCircuit> Session::load(const std::string& name,
 
 std::shared_ptr<const LoadedCircuit> Session::find(
     const std::string& name) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   const auto it = circuits_.find(name);
   return it == circuits_.end() ? nullptr : it->second;
 }
@@ -49,7 +49,7 @@ std::shared_ptr<const LoadedCircuit> Session::get(
 
 std::shared_ptr<LoadedCircuit> Session::get_shared(
     const std::string& name) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   const auto it = circuits_.find(name);
   check(it != circuits_.end(), "no circuit loaded under '" + name + "'");
   return it->second;
@@ -101,7 +101,7 @@ simulate::BatchSimResult Session::sim(
     // concurrent first-SIMs serialize here; every later sweep only
     // copies the shared_ptr. The sweep itself runs OUTSIDE the lock
     // (simulate_batch settles per-shard network copies).
-    const std::lock_guard<std::mutex> lock(circuit->sim_mutex);
+    const MutexLock lock(circuit->sim_mutex);
     if (circuit->simulator == nullptr) {
       circuit->simulator = std::make_shared<const simulate::GnorPlaSimulator>(
           circuit->gnor, tech::default_cnfet_electrical());
@@ -126,7 +126,7 @@ bool Session::verify(const std::shared_ptr<const LoadedCircuit>& circuit) {
             std::to_string(logic::TruthTable::kMaxInputs) + " inputs");
   // Same-circuit verifies serialize here: the cache build must happen
   // once, and count_mismatches reads it under the same mutex.
-  const std::lock_guard<std::mutex> lock(circuit->verify_mutex);
+  const MutexLock lock(circuit->verify_mutex);
   if (!circuit->reference.has_value() || !circuit->dontcare.has_value()) {
     // Build BOTH tables before caching EITHER: if the second build
     // throws (the request fails with ERR as usual), a later VERIFY
@@ -148,14 +148,14 @@ bool Session::verify(const std::shared_ptr<const LoadedCircuit>& circuit) {
 }
 
 void Session::unload(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   const auto it = circuits_.find(name);
   check(it != circuits_.end(), "no circuit loaded under '" + name + "'");
   circuits_.erase(it);
 }
 
 std::vector<std::string> Session::names() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   std::vector<std::string> result;
   result.reserve(circuits_.size());
   for (const auto& [name, circuit] : circuits_) {
@@ -173,7 +173,7 @@ SessionStats Session::stats() const {
   stats.sim_patterns = sim_patterns_.load(std::memory_order_relaxed);
   stats.verifies = verifies_.load(std::memory_order_relaxed);
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     stats.circuits = static_cast<int>(circuits_.size());
   }
   stats.workers = pool_.num_workers();

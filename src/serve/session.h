@@ -32,7 +32,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -42,6 +41,8 @@
 #include "logic/pla_io.h"
 #include "logic/truth_table.h"
 #include "simulate/pla_sim.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace ambit::serve {
@@ -68,9 +69,11 @@ struct LoadedCircuit {
   /// first use under verify_mutex; this is the per-session cache that
   /// makes re-verify cheap. Mutable for the same reason as the
   /// counters: a cache fill through a shared_ptr-to-const handle.
-  mutable std::mutex verify_mutex;
-  mutable std::optional<logic::TruthTable> reference;
-  mutable std::optional<logic::TruthTable> dontcare;
+  mutable Mutex verify_mutex{LockRank::kCircuitVerify};
+  mutable std::optional<logic::TruthTable> reference
+      AMBIT_GUARDED_BY(verify_mutex);
+  mutable std::optional<logic::TruthTable> dontcare
+      AMBIT_GUARDED_BY(verify_mutex);
   /// The transistor-level network for SIM/SIMB, built lazily on first
   /// use under sim_mutex (the mapped array is immutable, so one build
   /// serves the circuit's whole lifetime). Held shared-and-const:
@@ -78,8 +81,9 @@ struct LoadedCircuit {
   /// number of connection threads can sweep through this one instance
   /// concurrently, and a caller mid-sweep survives an UNLOAD exactly
   /// like the mapped array does.
-  mutable std::mutex sim_mutex;
-  mutable std::shared_ptr<const simulate::GnorPlaSimulator> simulator;
+  mutable Mutex sim_mutex{LockRank::kCircuitSim};
+  mutable std::shared_ptr<const simulate::GnorPlaSimulator> simulator
+      AMBIT_GUARDED_BY(sim_mutex);
 
   LoadedCircuit() : minimized(0, 1), gnor(0, 0, 1) {}
 };
@@ -186,8 +190,12 @@ class Session {
   std::shared_ptr<LoadedCircuit> get_shared(const std::string& name) const;
 
   ThreadPool pool_;
-  mutable std::mutex mutex_;  ///< guards circuits_ (lookups and edits only)
-  std::map<std::string, std::shared_ptr<LoadedCircuit>> circuits_;
+  /// Guards circuits_ — lookups and edits only, never held across
+  /// LOAD/EVAL/verify work (its rank sits BELOW the pool's, so holding
+  /// it across a sharded sweep would abort in invariant builds).
+  mutable Mutex mutex_{LockRank::kSessionRegistry};
+  std::map<std::string, std::shared_ptr<LoadedCircuit>> circuits_
+      AMBIT_GUARDED_BY(mutex_);
   // Session-lifetime counters: cumulative across UNLOADs and same-name
   // reloads, so STATS never goes backwards (the per-circuit counters in
   // LoadedCircuit die with the circuit). Atomics keep them exact when

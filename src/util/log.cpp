@@ -3,10 +3,11 @@
 #include <chrono>
 #include <cstdio>
 #include <ctime>
-#include <mutex>
 #include <vector>
 
 #include "util/metrics.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace ambit::logs {
 
@@ -17,8 +18,8 @@ namespace {
 // guards actual emission (formatting happens outside it, the final
 // fwrite inside).
 std::atomic<int> g_threshold{static_cast<int>(Level::kInfo)};
-std::mutex g_sink_mutex;
-std::FILE* g_sink = nullptr;  // nullptr = stderr
+Mutex g_sink_mutex{LockRank::kLogSink};
+std::FILE* g_sink AMBIT_GUARDED_BY(g_sink_mutex) = nullptr;  // nullptr = stderr
 
 /// True when the value can go on the wire bare (no spaces, quotes,
 /// '=' or control bytes that would break key=value tokenization).
@@ -142,7 +143,7 @@ bool set_file(const std::string& path) {
       return false;
     }
   }
-  const std::lock_guard<std::mutex> lock(g_sink_mutex);
+  const MutexLock lock(g_sink_mutex);
   if (g_sink != nullptr) {
     std::fclose(g_sink);
   }
@@ -176,7 +177,7 @@ void emit(Level level, std::string_view event, const Field* fields,
     append_value(line, value);
   }
   line += '\n';
-  const std::lock_guard<std::mutex> lock(g_sink_mutex);
+  const MutexLock lock(g_sink_mutex);
   std::FILE* sink = g_sink != nullptr ? g_sink : stderr;
   std::fwrite(line.data(), 1, line.size(), sink);
   std::fflush(sink);

@@ -201,7 +201,7 @@ Registry::Family& Registry::family_locked(const std::string& name,
 Counter& Registry::counter(const std::string& name, const std::string& help,
                            const Labels& labels) {
   validate_labels(labels);
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   Family& fam = family_locked(name, help, Type::kCounter);
   for (auto& [child_labels, child] : fam.counters) {
     if (child_labels == labels) {
@@ -217,7 +217,7 @@ Counter& Registry::counter(const std::string& name, const std::string& help,
 Gauge& Registry::gauge(const std::string& name, const std::string& help,
                        const Labels& labels) {
   validate_labels(labels);
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   Family& fam = family_locked(name, help, Type::kGauge);
   for (auto& [child_labels, child] : fam.gauges) {
     if (child_labels == labels) {
@@ -234,7 +234,7 @@ Histogram& Registry::histogram(const std::string& name, const std::string& help,
                                std::vector<std::uint64_t> bounds,
                                const Labels& labels) {
   validate_labels(labels);
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   Family& fam = family_locked(name, help, Type::kHistogram);
   for (auto& [child_labels, child] : fam.histograms) {
     if (child_labels == labels) {
@@ -249,7 +249,7 @@ Histogram& Registry::histogram(const std::string& name, const std::string& help,
 
 const Counter* Registry::find_counter(const std::string& name,
                                       const Labels& labels) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   const auto it = families_.find(name);
   if (it == families_.end() || it->second.type != Type::kCounter) {
     return nullptr;
@@ -264,7 +264,7 @@ const Counter* Registry::find_counter(const std::string& name,
 
 const Gauge* Registry::find_gauge(const std::string& name,
                                   const Labels& labels) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   const auto it = families_.find(name);
   if (it == families_.end() || it->second.type != Type::kGauge) {
     return nullptr;
@@ -279,7 +279,7 @@ const Gauge* Registry::find_gauge(const std::string& name,
 
 const Histogram* Registry::find_histogram(const std::string& name,
                                           const Labels& labels) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   const auto it = families_.find(name);
   if (it == families_.end() || it->second.type != Type::kHistogram) {
     return nullptr;
@@ -293,7 +293,7 @@ const Histogram* Registry::find_histogram(const std::string& name,
 }
 
 std::string Registry::prometheus_text() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   std::string out;
   for (const auto& [name, fam] : families_) {
     out += "# HELP " + name + " " + escape_value(fam.help, false) + "\n";

@@ -52,10 +52,12 @@
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace ambit::metrics {
 
@@ -230,11 +232,11 @@ class Registry {
   };
 
   Family& family_locked(const std::string& name, const std::string& help,
-                        Type type);
+                        Type type) AMBIT_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_{LockRank::kMetricsRegistry};
   // Ordered by name: exposition renders in deterministic sorted order.
-  std::map<std::string, Family> families_;
+  std::map<std::string, Family> families_ AMBIT_GUARDED_BY(mutex_);
 };
 
 // --- Per-request phase tracing ---------------------------------------------

@@ -1,0 +1,88 @@
+// Clang Thread Safety Analysis attribute macros.
+//
+// Every lock invariant in this repo — "circuits_ is guarded by the
+// registry mutex", "reap_locked requires the connection-registry lock",
+// "the registry lock is never held across LOAD/EVAL" — used to live in
+// comments, enforced only by review and by whichever interleavings TSan
+// happened to see. These macros turn the same statements into compiler-
+// checked contracts: under Clang, -Wthread-safety (enabled for every
+// Clang build by the top-level CMakeLists.txt, fatal with AMBIT_WERROR)
+// rejects any access to an AMBIT_GUARDED_BY member without its
+// capability held and any call to an AMBIT_REQUIRES function without
+// the named lock. Under other compilers the macros expand to nothing,
+// so gcc builds are unaffected.
+//
+// The vocabulary is the standard capability-analysis set (the same
+// names Abseil exports, prefixed to stay out of other libraries' way):
+//
+//   AMBIT_CAPABILITY("mutex")   on a lockable type (ambit::Mutex)
+//   AMBIT_SCOPED_CAPABILITY     on an RAII lock type (ambit::MutexLock)
+//   AMBIT_GUARDED_BY(mu)        on data: access requires mu held
+//   AMBIT_PT_GUARDED_BY(mu)     on a pointer: the POINTEE requires mu
+//   AMBIT_REQUIRES(mu, ...)     on a function: caller must hold mu
+//   AMBIT_ACQUIRE(mu, ...)      on a function: acquires mu, not held on
+//                               entry, held on return
+//   AMBIT_RELEASE(mu, ...)      on a function: releases mu
+//   AMBIT_TRY_ACQUIRE(ok, mu)   on a function: acquires mu iff it
+//                               returns `ok`
+//   AMBIT_EXCLUDES(mu, ...)     on a function: caller must NOT hold mu
+//                               (the machine-checked form of "never
+//                               held across ...")
+//   AMBIT_ASSERT_CAPABILITY(mu) runtime assertion that mu is held
+//   AMBIT_RETURN_CAPABILITY(mu) on an accessor returning a reference to
+//                               the capability mu
+//   AMBIT_ACQUIRED_BEFORE/AFTER declared static acquisition order
+//   AMBIT_NO_THREAD_SAFETY_ANALYSIS  opt one function out (justify it)
+//
+// The dynamic counterpart — rank checking that catches lock-order
+// inversions TSA's intraprocedural view cannot see — lives in
+// util/mutex.h (LockRank). The canonical lock hierarchy is documented
+// once, in docs/CONCURRENCY.md.
+#pragma once
+
+// clang and gcc both define __GNUC__; only clang implements the
+// capability attributes, so the gate is __clang__ alone.
+#if defined(__clang__) && !defined(SWIG)
+#define AMBIT_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define AMBIT_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+#define AMBIT_CAPABILITY(x) AMBIT_THREAD_ANNOTATION(capability(x))
+
+#define AMBIT_SCOPED_CAPABILITY AMBIT_THREAD_ANNOTATION(scoped_lockable)
+
+#define AMBIT_GUARDED_BY(x) AMBIT_THREAD_ANNOTATION(guarded_by(x))
+
+#define AMBIT_PT_GUARDED_BY(x) AMBIT_THREAD_ANNOTATION(pt_guarded_by(x))
+
+#define AMBIT_ACQUIRED_BEFORE(...) \
+  AMBIT_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+#define AMBIT_ACQUIRED_AFTER(...) \
+  AMBIT_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+#define AMBIT_REQUIRES(...) \
+  AMBIT_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+#define AMBIT_REQUIRES_SHARED(...) \
+  AMBIT_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+#define AMBIT_ACQUIRE(...) \
+  AMBIT_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+#define AMBIT_RELEASE(...) \
+  AMBIT_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+#define AMBIT_TRY_ACQUIRE(...) \
+  AMBIT_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+#define AMBIT_EXCLUDES(...) AMBIT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+#define AMBIT_ASSERT_CAPABILITY(x) \
+  AMBIT_THREAD_ANNOTATION(assert_capability(x))
+
+#define AMBIT_RETURN_CAPABILITY(x) AMBIT_THREAD_ANNOTATION(lock_returned(x))
+
+#define AMBIT_NO_THREAD_SAFETY_ANALYSIS \
+  AMBIT_THREAD_ANNOTATION(no_thread_safety_analysis)

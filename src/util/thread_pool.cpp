@@ -21,7 +21,7 @@ ThreadPool::ThreadPool(int num_workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     stopping_ = true;
   }
   work_ready_.notify_all();
@@ -34,8 +34,10 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_ready_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && tasks_.empty()) {
+        work_ready_.wait(lock);
+      }
       if (tasks_.empty()) {
         return;  // stopping_ and drained
       }
@@ -77,10 +79,10 @@ void ThreadPool::parallel_for(
   // Shared completion state for this call. Exceptions are captured
   // under the same mutex; the first one wins and is rethrown below.
   struct Join {
-    std::mutex m;
-    std::condition_variable done;
-    std::uint64_t pending = 0;
-    std::exception_ptr error;
+    Mutex m{LockRank::kPoolJoin};
+    CondVar done;
+    std::uint64_t pending AMBIT_GUARDED_BY(m) = 0;
+    std::exception_ptr error AMBIT_GUARDED_BY(m);
     // Phase-trace support: submit->first-chunk-start latency, measured
     // by whichever chunk runs first and read back by the caller (who is
     // blocked until all chunks finish, so the read never races).
@@ -106,7 +108,7 @@ void ThreadPool::parallel_for(
   // the determinism guarantee in the header is THIS, stated executably.
   std::uint64_t covered = 0;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     for (std::uint64_t lo = begin; lo < end; lo += chunk) {
       const std::uint64_t hi = std::min(end, lo + chunk);
       AMBIT_CHECK(lo < hi && hi <= end,
@@ -125,13 +127,13 @@ void ThreadPool::parallel_for(
         try {
           body(lo, hi);
         } catch (...) {
-          const std::lock_guard<std::mutex> jlock(join->m);
+          const MutexLock jlock(join->m);
           if (!join->error) {
             join->error = std::current_exception();
           }
         }
         {
-          const std::lock_guard<std::mutex> jlock(join->m);
+          const MutexLock jlock(join->m);
           --join->pending;
         }
         join->done.notify_one();
@@ -143,8 +145,10 @@ void ThreadPool::parallel_for(
               "range exactly");
   work_ready_.notify_all();
 
-  std::unique_lock<std::mutex> jlock(join->m);
-  join->done.wait(jlock, [&join] { return join->pending == 0; });
+  MutexLock jlock(join->m);
+  while (join->pending != 0) {
+    join->done.wait(jlock);
+  }
 #ifdef AMBIT_METRICS
   if (record_wait) {
     trace->add(metrics::Phase::kQueueWait,

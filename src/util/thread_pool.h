@@ -25,13 +25,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace ambit {
 
@@ -76,10 +77,12 @@ class ThreadPool {
  private:
   void worker_loop();
 
-  std::mutex mutex_;
-  std::condition_variable work_ready_;
-  std::queue<std::function<void()>> tasks_;
-  bool stopping_ = false;
+  Mutex mutex_{LockRank::kThreadPool};
+  CondVar work_ready_;
+  std::queue<std::function<void()>> tasks_ AMBIT_GUARDED_BY(mutex_);
+  bool stopping_ AMBIT_GUARDED_BY(mutex_) = false;
+  // Written only by the constructor, before any worker exists; const
+  // thereafter (num_workers reads it unlocked from any thread).
   std::vector<std::thread> workers_;
   std::atomic<std::int64_t> queued_{0};
   std::atomic<std::int64_t> busy_{0};

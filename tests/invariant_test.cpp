@@ -13,6 +13,8 @@
 #include "core/evaluator.h"
 #include "logic/pattern_batch.h"
 #include "util/check.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace ambit {
@@ -153,6 +155,50 @@ TEST(InvariantTest, EvaluatorDiesOnDirtyKernelTail) {
   const EvilEvaluator evil(EvilEvaluator::Lie::kDirtyTail);
   EXPECT_DEATH(evil.evaluate_batch(PatternBatch(2, 70)),
                "tail padding of lane 0");
+}
+
+TEST(InvariantTest, OutOfRankLockAcquisitionDies) {
+  SKIP_WITHOUT_INVARIANTS();
+  // Holding a high-ranked lock, acquiring a lower-ranked one is an
+  // inversion against the canonical hierarchy (docs/CONCURRENCY.md):
+  // the detector must abort BEFORE blocking, naming both ranks.
+  Mutex low(LockRank::kSessionRegistry);
+  Mutex high(LockRank::kThreadPool);
+  const MutexLock hold(high);
+  EXPECT_DEATH({ const MutexLock bad(low); },
+               "out-of-rank lock acquisition.*session-registry.*"
+               "thread-pool");
+}
+
+/// The deliberate double-acquire below is exactly what Clang TSA
+/// rejects at compile time, so it has to hide behind this opt-out to
+/// exist at all — which is the point: the STATIC layer catches it in
+/// annotated code, and this test proves the DYNAMIC layer catches it
+/// when someone slips past the annotations.
+void acquire_ignoring_tsa(Mutex& mutex) AMBIT_NO_THREAD_SAFETY_ANALYSIS {
+  mutex.lock();
+}
+
+TEST(InvariantTest, RecursiveLockAcquisitionDies) {
+  SKIP_WITHOUT_INVARIANTS();
+  // On std::mutex this is undefined behavior that usually deadlocks;
+  // the rank detector turns it into a deterministic abort.
+  Mutex mutex(LockRank::kTest);
+  const MutexLock hold(mutex);
+  EXPECT_DEATH(acquire_ignoring_tsa(mutex),
+               "recursive acquisition of the same mutex");
+}
+
+TEST(InvariantTest, SameRankSiblingAcquisitionDies) {
+  SKIP_WITHOUT_INVARIANTS();
+  // Two instances of the same rank (e.g. two circuits' verify mutexes)
+  // must never nest: with no defined order between siblings, A-then-B
+  // on one thread and B-then-A on another is a classic deadlock.
+  Mutex first(LockRank::kCircuitVerify);
+  Mutex second(LockRank::kCircuitVerify);
+  const MutexLock hold(first);
+  EXPECT_DEATH({ const MutexLock bad(second); },
+               "same-rank lock acquisition");
 }
 
 TEST(InvariantTest, WellBehavedEvaluatorSurvivesShardedPath) {

@@ -4,7 +4,6 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
-#include <mutex>
 #include <set>
 #include <vector>
 
@@ -52,13 +51,17 @@ TEST(ThreadPoolTest, ChunkPartitionIsDeterministic) {
   // partitions.
   ThreadPool pool(3);
   const auto record = [&pool] {
-    std::mutex m;
-    std::set<std::pair<std::uint64_t, std::uint64_t>> chunks;
+    // Lock-free recording: chunk bodies must not acquire locks (the
+    // repo concurrency lint enforces this), so chunks land in a
+    // pre-sized slot array claimed through an atomic cursor.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> slots(997);
+    std::atomic<std::size_t> cursor{0};
     pool.parallel_for(0, 997, 10, [&](std::uint64_t lo, std::uint64_t hi) {
-      const std::lock_guard<std::mutex> lock(m);
-      chunks.emplace(lo, hi);
+      slots[cursor.fetch_add(1)] = {lo, hi};
     });
-    return chunks;
+    return std::set<std::pair<std::uint64_t, std::uint64_t>>(
+        slots.begin(), slots.begin() + static_cast<std::ptrdiff_t>(
+                                           cursor.load()));
   };
   EXPECT_EQ(record(), record());
 }

@@ -1,0 +1,33 @@
+// Positive control for the negative-compile test: the same shape as
+// violation.cpp with the one bug fixed (the read holds the mutex).
+// The thread_safety_compile_clean ctest entry asserts this compiles
+// cleanly under -Werror=thread-safety-analysis — so a "failure" from
+// violation.cpp demonstrably comes from the guarded-by violation, not
+// from a broken harness, missing include, or bad flag.
+#include <cstdint>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace ambit {
+
+class Counter {
+ public:
+  void add(std::uint64_t n) {
+    const MutexLock lock(mutex_);
+    value_ += n;
+  }
+
+  std::uint64_t value() const {
+    const MutexLock lock(mutex_);
+    return value_;
+  }
+
+ private:
+  mutable Mutex mutex_{LockRank::kTest};
+  std::uint64_t value_ AMBIT_GUARDED_BY(mutex_) = 0;
+};
+
+std::uint64_t read_counter(const Counter& counter) { return counter.value(); }
+
+}  // namespace ambit

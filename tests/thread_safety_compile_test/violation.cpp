@@ -1,0 +1,37 @@
+// NEGATIVE-COMPILE FIXTURE — this file MUST NOT compile under
+// -Werror=thread-safety-analysis. It reads a AMBIT_GUARDED_BY member
+// without holding its mutex, the exact bug class the annotation layer
+// exists to reject. The thread_safety_compile_violation ctest entry
+// (clang builds only) builds this translation unit and asserts the
+// build FAILS; tests/thread_safety_compile_test/clean.cpp is the
+// control proving the harness passes lawful code, so a pass here can
+// only mean the analysis actually fired.
+//
+// This directory is deliberately OUTSIDE the tests/*_test.cpp glob —
+// the file must never end up in a normally-built target.
+#include <cstdint>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace ambit {
+
+class Counter {
+ public:
+  void add(std::uint64_t n) {
+    const MutexLock lock(mutex_);
+    value_ += n;
+  }
+
+  std::uint64_t value() const {
+    return value_;  // BUG: reads value_ without holding mutex_
+  }
+
+ private:
+  mutable Mutex mutex_{LockRank::kTest};
+  std::uint64_t value_ AMBIT_GUARDED_BY(mutex_) = 0;
+};
+
+std::uint64_t read_counter(const Counter& counter) { return counter.value(); }
+
+}  // namespace ambit
