@@ -7,8 +7,20 @@
 // increasing width (logic/synth_bench.h), sweep the full input space
 // through both paths, check the outputs are BIT-IDENTICAL, and report
 // patterns/sec. The acceptance bar is >= 10x on the 16-input cover.
+//
+// A second section compares the dispatched SIMD lane kernels
+// (logic/lane_kernels.h — AVX2 or NEON) against the portable u64 tier
+// on a classifier-scale cover, forcing each tier in turn through
+// cpu::force_tier(). Bar: >= 2x on SIMD-capable hosts, bit-identical
+// always. On a scalar-only host the bar self-skips with a printed
+// reason; `--smoke` runs everything once with no timing bars (CI
+// sanitizer legs use this — elapsed times there can round to zero,
+// which is why every patterns/sec division below clamps its
+// denominator).
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 
 #include "core/classical_pla.h"
 #include "core/gnor_pla.h"
@@ -16,6 +28,7 @@
 #include "espresso/espresso.h"
 #include "logic/pattern_batch.h"
 #include "logic/synth_bench.h"
+#include "util/cpu_features.h"
 #include "util/strings.h"
 #include "util/table.h"
 
@@ -31,6 +44,13 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+/// patterns/sec that never divides by zero: a sub-resolution elapsed
+/// time (possible under --smoke with one rep) reports through a 1ns
+/// floor instead of inf/nan.
+double per_second(double patterns, double secs) {
+  return patterns / std::max(secs, 1e-9);
+}
+
 struct Throughput {
   double scalar_pps = 0;  ///< patterns/sec, scalar path
   double batch_pps = 0;   ///< patterns/sec, batch path
@@ -39,7 +59,7 @@ struct Throughput {
 
 /// Sweeps the full input space of `e` through both paths and compares
 /// the outputs word for word.
-Throughput sweep(const Evaluator& e) {
+Throughput sweep(const Evaluator& e, bool smoke) {
   const int ni = e.num_inputs();
   const std::uint64_t patterns = std::uint64_t{1} << ni;
   const PatternBatch inputs = PatternBatch::exhaustive(ni);
@@ -60,8 +80,10 @@ Throughput sweep(const Evaluator& e) {
   }
   const double scalar_secs = seconds_since(scalar_start);
 
-  // Batch path: repeat until the measurement is long enough to trust.
+  // Batch path: repeat until the measurement is long enough to trust
+  // (one rep under --smoke, where nothing is enforced anyway).
   PatternBatch batch_out(e.num_outputs(), patterns);
+  const double min_secs = smoke ? 0.0 : 0.05;
   int reps = 0;
   const auto batch_start = std::chrono::steady_clock::now();
   double batch_secs = 0;
@@ -69,18 +91,77 @@ Throughput sweep(const Evaluator& e) {
     batch_out = e.evaluate_batch(inputs);
     ++reps;
     batch_secs = seconds_since(batch_start);
-  } while (batch_secs < 0.05);
+  } while (batch_secs < min_secs);
 
   Throughput t;
-  t.scalar_pps = static_cast<double>(patterns) / scalar_secs;
-  t.batch_pps = static_cast<double>(patterns) * reps / batch_secs;
+  t.scalar_pps = per_second(static_cast<double>(patterns), scalar_secs);
+  t.batch_pps = per_second(static_cast<double>(patterns) * reps, batch_secs);
   t.identical = scalar_out == batch_out;
   return t;
 }
 
+/// A reproducible random batch: splitmix64 words, tail re-masked so the
+/// padding invariant holds.
+PatternBatch random_batch(int num_signals, std::uint64_t num_patterns,
+                          std::uint64_t seed) {
+  PatternBatch batch(num_signals, num_patterns);
+  std::uint64_t state = seed;
+  const auto next = [&state]() {
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  };
+  const std::uint64_t wpl = batch.words_per_lane();
+  for (int s = 0; s < num_signals; ++s) {
+    std::uint64_t* lane = batch.lane(s);
+    for (std::uint64_t w = 0; w < wpl; ++w) {
+      lane[w] = next();
+    }
+    if (wpl > 0) {
+      lane[wpl - 1] &= batch.tail_mask();
+    }
+  }
+  batch.assert_tail_clean("bench random_batch");
+  return batch;
+}
+
+/// Times evaluate_batch(in) under the CURRENTLY ACTIVE tier, repeating
+/// until the measurement is trustworthy, and leaves the last result in
+/// *out. Returns Mpatterns/sec.
+double time_batch_mpps(const Evaluator& e, const PatternBatch& in,
+                       PatternBatch* out, bool smoke) {
+  const double min_secs = smoke ? 0.0 : 0.2;
+  int reps = 0;
+  const auto start = std::chrono::steady_clock::now();
+  double secs = 0;
+  do {
+    *out = e.evaluate_batch(in);
+    ++reps;
+    secs = seconds_since(start);
+  } while (secs < min_secs);
+  return per_second(static_cast<double>(in.num_patterns()) * reps, secs) / 1e6;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    }
+  }
+  bool instrumented = false;
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  instrumented = true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+  instrumented = true;
+#endif
+#endif
+
   std::printf("=== Scalar vs bit-parallel batch evaluation ===\n\n");
   TextTable table({"circuit", "i x p x o", "scalar [Mpat/s]",
                    "batch [Mpat/s]", "speedup", "bit-identical"});
@@ -95,7 +176,7 @@ int main() {
     const Cover cover =
         espresso::minimize(logic::generate_cover(spec, 42)).cover;
     const auto pla = core::GnorPla::map_cover(cover);
-    const Throughput t = sweep(pla);
+    const Throughput t = sweep(pla, smoke);
     all_identical = all_identical && t.identical;
     const double speedup = t.batch_pps / t.scalar_pps;
     if (ni == 16) {
@@ -114,7 +195,7 @@ int main() {
       // The classical baseline and the four-plane WPLA ride the same
       // interface, so the comparison is one call each.
       const auto classical = core::ClassicalPla::map_cover(cover);
-      const Throughput tc = sweep(classical);
+      const Throughput tc = sweep(classical, smoke);
       all_identical = all_identical && tc.identical;
       table.add_row({"ClassicalPla",
                      std::to_string(classical.num_inputs()) + " x " +
@@ -127,7 +208,7 @@ int main() {
 
       const auto synth = core::synthesize_wpla(cover);
       const core::Wpla wpla(synth.stage_a, synth.stage_b, ni);
-      const Throughput tw = sweep(wpla);
+      const Throughput tw = sweep(wpla, smoke);
       all_identical = all_identical && tw.identical;
       table.add_row({"Wpla",
                      std::to_string(wpla.num_inputs()) + " x (" +
@@ -140,9 +221,101 @@ int main() {
     }
   }
   std::printf("%s\n", table.render().c_str());
-  std::printf("16-input GNOR PLA speedup: %.1fx (acceptance bar: >= 10x)\n",
-              speedup_16);
+
+  // ── SIMD tier vs portable u64 tier ──────────────────────────────
+  //
+  // Classifier-scale cover (the serve bench's synthetic "wide match
+  // unit": 16 inputs, 32 outputs, a couple hundred products) over a
+  // large random batch, evaluated twice in-process: once with the lane
+  // kernels pinned to the portable u64 tier, once on the widest tier
+  // this host detects. Same batch, same plane — the outputs must be
+  // bit-identical, and on SIMD hardware the register-accumulating tiled
+  // sweep must win by >= 2x.
+  std::printf("=== SIMD lane kernels vs portable u64 tier ===\n\n");
+  const cpu::SimdTier entry_tier = cpu::active_tier();
+  const cpu::SimdTier simd_tier = cpu::detected_tier();
+  const bool has_simd = simd_tier != cpu::SimdTier::kScalar;
+
+  const logic::SynthSpec classifier_spec{.num_inputs = 16,
+                                         .num_outputs = 32,
+                                         .num_cubes = 224,
+                                         .literals_per_cube = 6};
+  const Cover classifier =
+      espresso::minimize(logic::generate_cover(classifier_spec, 7)).cover;
+  const std::uint64_t simd_patterns =
+      smoke ? (std::uint64_t{1} << 12) : (std::uint64_t{1} << 20);
+  const PatternBatch simd_inputs = random_batch(16, simd_patterns, 1234);
+
+  const auto gnor = core::GnorPla::map_cover(classifier);
+  const auto classical = core::ClassicalPla::map_cover(classifier);
+
+  TextTable simd_table({"circuit", "u64 [Mpat/s]",
+                        std::string(cpu::tier_name(simd_tier)) + " [Mpat/s]",
+                        "speedup", "bit-identical"});
+  bool simd_identical = true;
+  double simd_speedup_gnor = 0;
+  struct Arm {
+    const char* name;
+    const Evaluator* e;
+  };
+  const Arm arms[] = {{"GnorPla", &gnor}, {"ClassicalPla", &classical}};
+  for (const Arm& arm : arms) {
+    PatternBatch u64_out(arm.e->num_outputs(), simd_patterns);
+    cpu::force_tier(cpu::SimdTier::kScalar);
+    const double u64_mpps =
+        time_batch_mpps(*arm.e, simd_inputs, &u64_out, smoke);
+
+    PatternBatch simd_out(arm.e->num_outputs(), simd_patterns);
+    cpu::force_tier(simd_tier);
+    const double simd_mpps =
+        time_batch_mpps(*arm.e, simd_inputs, &simd_out, smoke);
+
+    const bool identical = u64_out == simd_out;
+    simd_identical = simd_identical && identical;
+    const double speedup = simd_mpps / std::max(u64_mpps, 1e-9);
+    if (arm.e == &gnor) {
+      simd_speedup_gnor = speedup;
+    }
+    simd_table.add_row({arm.name, format_double(u64_mpps, 1),
+                        format_double(simd_mpps, 1),
+                        format_double(speedup, 2) + "x",
+                        identical ? "yes" : "NO"});
+  }
+  cpu::force_tier(entry_tier);
+  std::printf("%s\n", simd_table.render().c_str());
+
+  const bool enforce_bars = !smoke && !instrumented;
+  const bool enforce_simd = enforce_bars && has_simd;
   std::printf("all sweeps bit-identical scalar vs batch: %s\n",
               all_identical ? "yes" : "NO");
-  return (all_identical && speedup_16 >= 10.0) ? 0 : 1;
+  std::printf("SIMD tier bit-identical to u64 tier: %s\n",
+              simd_identical ? "yes" : "NO");
+  if (enforce_bars) {
+    std::printf("16-input GNOR PLA speedup: %.1fx (bar: >= 10x)\n",
+                speedup_16);
+  } else {
+    std::printf("16-input GNOR PLA speedup: %.1fx (bar NOT enforced: %s)\n",
+                speedup_16, smoke ? "smoke run" : "sanitizer build");
+  }
+  if (enforce_simd) {
+    std::printf("%s vs u64 on 16x%dx32 cover: %.2fx (bar: >= 2x)\n",
+                cpu::tier_name(simd_tier), gnor.num_products(),
+                simd_speedup_gnor);
+  } else {
+    std::printf("%s vs u64 on 16x%dx32 cover: %.2fx (bar NOT enforced: %s)\n",
+                cpu::tier_name(simd_tier), gnor.num_products(),
+                simd_speedup_gnor,
+                !has_simd     ? "host has no AVX2/NEON tier"
+                : smoke       ? "smoke run"
+                              : "sanitizer build");
+  }
+
+  bool pass = all_identical && simd_identical;
+  if (enforce_bars) {
+    pass = pass && speedup_16 >= 10.0;
+  }
+  if (enforce_simd) {
+    pass = pass && simd_speedup_gnor >= 2.0;
+  }
+  return pass ? 0 : 1;
 }

@@ -1,5 +1,8 @@
 #include "core/classical_pla.h"
 
+#include <vector>
+
+#include "logic/lane_kernels.h"
 #include "util/error.h"
 
 namespace ambit::core {
@@ -151,47 +154,56 @@ std::vector<bool> ClassicalPla::do_evaluate(
 
 logic::PatternBatch ClassicalPla::do_evaluate_batch(
     const logic::PatternBatch& inputs) const {
-  const std::uint64_t words = inputs.words_per_lane();
+  using logic::lanes::SweepRow;
+  using logic::lanes::SweepTerm;
 
-  // Plane 1: product row k NORs the connected literal rails, word-wide.
+  // Plane 1: product row k NORs the connected literal rails — column
+  // 2i is the true rail (pass term), column 2i+1 the complement rail
+  // (invert term). The word-wide reduction runs on the dispatched lane
+  // kernel (logic/lane_kernels.h).
   logic::PatternBatch products(num_products_, inputs.num_patterns());
+  std::vector<SweepTerm> and_terms;
+  std::vector<SweepRow> and_rows(static_cast<std::size_t>(num_products_));
   for (int k = 0; k < num_products_; ++k) {
-    std::uint64_t* lane = products.lane(k);
+    const std::uint64_t first = and_terms.size();
     for (int i = 0; i < num_inputs_; ++i) {
-      const std::uint64_t* x = inputs.lane(i);
       if (and_plane_connected(k, 2 * i)) {
-        for (std::uint64_t w = 0; w < words; ++w) {
-          lane[w] |= x[w];
-        }
+        and_terms.push_back({.lane = i, .invert = false});
       }
       if (and_plane_connected(k, 2 * i + 1)) {
-        for (std::uint64_t w = 0; w < words; ++w) {
-          lane[w] |= ~x[w];
-        }
+        and_terms.push_back({.lane = i, .invert = true});
       }
     }
-    products.complement_lane(k);  // NOR: invert the pull-down accumulator
+    and_rows[static_cast<std::size_t>(k)] = {.first_term = first,
+                                             .num_terms =
+                                                 and_terms.size() - first,
+                                             .complement = true};
   }
+  logic::lanes::nor_plane_sweep(and_rows.data(),
+                                static_cast<std::uint64_t>(num_products_),
+                                and_terms.data(), inputs, products);
 
   // Plane 2 + buffers: output row o NORs the connected product lines;
   // an inverting tap undoes the final complement, so it keeps the raw
-  // pull-down accumulator instead.
+  // pull-down accumulator instead (complement=false).
   logic::PatternBatch outputs(num_outputs_, inputs.num_patterns());
+  std::vector<SweepTerm> or_terms;
+  std::vector<SweepRow> or_rows(static_cast<std::size_t>(num_outputs_));
   for (int o = 0; o < num_outputs_; ++o) {
-    std::uint64_t* lane = outputs.lane(o);
+    const std::uint64_t first = or_terms.size();
     for (int k = 0; k < num_products_; ++k) {
-      if (!or_plane_connected(o, k)) {
-        continue;
-      }
-      const std::uint64_t* p = products.lane(k);
-      for (std::uint64_t w = 0; w < words; ++w) {
-        lane[w] |= p[w];
+      if (or_plane_connected(o, k)) {
+        or_terms.push_back({.lane = k, .invert = false});
       }
     }
-    if (!buffer_inverted_[static_cast<std::size_t>(o)]) {
-      outputs.complement_lane(o);
-    }
+    or_rows[static_cast<std::size_t>(o)] = {
+        .first_term = first,
+        .num_terms = or_terms.size() - first,
+        .complement = !buffer_inverted_[static_cast<std::size_t>(o)]};
   }
+  logic::lanes::nor_plane_sweep(or_rows.data(),
+                                static_cast<std::uint64_t>(num_outputs_),
+                                or_terms.data(), products, outputs);
   return outputs;
 }
 
@@ -206,8 +218,8 @@ long long ClassicalPla::cell_count() const {
          num_products_;
 }
 
-int ClassicalPla::active_cells() const {
-  int count = 0;
+long long ClassicalPla::active_cells() const {
+  long long count = 0;
   for (const bool b : and_plane_) count += b;
   for (const bool b : or_plane_) count += b;
   return count;

@@ -64,8 +64,8 @@ bool GnorGate::evaluate(const std::vector<bool>& inputs) const {
   return true;
 }
 
-int GnorGate::active_cells() const {
-  int count = 0;
+long long GnorGate::active_cells() const {
+  long long count = 0;
   for (const CellConfig c : cells_) {
     count += c != CellConfig::kOff;
   }

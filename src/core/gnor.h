@@ -61,8 +61,10 @@ class GnorGate {
   /// Y = NOR of the configured contributions.
   bool evaluate(const std::vector<bool>& inputs) const;
 
-  /// Number of cells not configured off.
-  int active_cells() const;
+  /// Number of cells not configured off. 64-bit like cell counts
+  /// elsewhere: counts are products of int dimensions and feed the
+  /// batch-path term reservation.
+  long long active_cells() const;
 
   /// Description like "NOR(A, B', D)" using generated input names
   /// (A, B, …; then in26, in27, …); constant-1 renders as "1".

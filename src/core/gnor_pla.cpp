@@ -103,7 +103,7 @@ long long GnorPla::cell_count() const {
   return plane1_.cell_count() + plane2_.cell_count();
 }
 
-int GnorPla::active_cells() const {
+long long GnorPla::active_cells() const {
   return plane1_.active_cells() + plane2_.active_cells();
 }
 

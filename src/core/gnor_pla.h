@@ -64,8 +64,8 @@ class GnorPla : public Evaluator {
   /// Total programmable cells = (inputs + outputs) · products.
   long long cell_count() const;
 
-  /// Cells actually configured (non-off).
-  int active_cells() const;
+  /// Cells actually configured (non-off). 64-bit like cell_count().
+  long long active_cells() const;
 
   /// ASCII rendering of both planes.
   std::string to_ascii() const;

@@ -1,5 +1,8 @@
 #include "core/gnor_plane.h"
 
+#include <vector>
+
+#include "logic/lane_kernels.h"
 #include "util/error.h"
 
 namespace ambit::core {
@@ -55,37 +58,41 @@ logic::PatternBatch GnorPlane::evaluate_batch(
   check(inputs.num_signals() == cols_,
         "GnorPlane::evaluate_batch: input arity mismatch");
   logic::PatternBatch out(rows_, inputs.num_patterns());
-  const std::uint64_t words = inputs.words_per_lane();
+  // Describe the pull-down network as sweep rows — an n-type cell
+  // conducts on the input lane as-is (pass term), a p-type cell on its
+  // complement (invert term) — and hand the word-wide NOR reduction to
+  // the dispatched lane kernel (scalar/NEON/AVX2, bit-identical).
+  std::vector<logic::lanes::SweepTerm> terms;
+  terms.reserve(static_cast<std::size_t>(active_cells()));
+  std::vector<logic::lanes::SweepRow> sweep_rows(
+      static_cast<std::size_t>(rows_));
   for (int r = 0; r < rows_; ++r) {
-    // Accumulate the pull-down network word-wide: an n-type cell
-    // conducts on the input lane as-is, a p-type cell on its
-    // complement. Tail garbage introduced by the complement is cleared
-    // by the final NOR mask.
-    std::uint64_t* lane = out.lane(r);
+    const std::uint64_t first = terms.size();
     for (int c = 0; c < cols_; ++c) {
-      const std::uint64_t* in = inputs.lane(c);
       switch (cell(r, c)) {
         case CellConfig::kPass:
-          for (std::uint64_t w = 0; w < words; ++w) {
-            lane[w] |= in[w];
-          }
+          terms.push_back({.lane = c, .invert = false});
           break;
         case CellConfig::kInvert:
-          for (std::uint64_t w = 0; w < words; ++w) {
-            lane[w] |= ~in[w];
-          }
+          terms.push_back({.lane = c, .invert = true});
           break;
         case CellConfig::kOff:
           break;
       }
     }
-    out.complement_lane(r);  // NOR: invert the pull-down accumulator
+    sweep_rows[static_cast<std::size_t>(r)] = {
+        .first_term = first,
+        .num_terms = terms.size() - first,
+        .complement = true};  // NOR: invert the pull-down accumulator
   }
+  logic::lanes::nor_plane_sweep(sweep_rows.data(),
+                                static_cast<std::uint64_t>(rows_),
+                                terms.data(), inputs, out);
   return out;
 }
 
-int GnorPlane::active_cells() const {
-  int count = 0;
+long long GnorPlane::active_cells() const {
+  long long count = 0;
   for (const CellConfig c : cells_) {
     count += c != CellConfig::kOff;
   }

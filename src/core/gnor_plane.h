@@ -38,8 +38,9 @@ class GnorPlane {
   /// bottoms out in.
   logic::PatternBatch evaluate_batch(const logic::PatternBatch& inputs) const;
 
-  /// Number of cells not configured off.
-  int active_cells() const;
+  /// Number of cells not configured off. 64-bit: rows · cols can
+  /// exceed int, and evaluate_batch sizes its term array from this.
+  long long active_cells() const;
 
   /// Total number of programmable cells (rows · cols).
   long long cell_count() const {

@@ -1,0 +1,178 @@
+// AVX2 tier of the lane kernels (logic/lane_kernels.h).
+//
+// This translation unit — and ONLY this one — is compiled with -mavx2
+// (per-file property in CMakeLists.txt), so nothing outside it may call
+// these functions directly: they are reached exclusively through the
+// kernel table, which kernels_for() hands out only when cpuid reports
+// AVX2 (util/cpu_features.h). Everything here uses unaligned
+// loads/stores per the lane alignment contract.
+//
+// The plane sweep differs from the scalar tier in two ways that matter
+// beyond vector width:
+//   * register accumulation — each 8-word strip of an output row is
+//     OR-reduced across all terms in registers and stored ONCE, versus
+//     the scalar tier's read-modify-write pass per term (3 memory ops
+//     per word per term);
+//   * cache-blocked tiling — words are processed in tiles sized so one
+//     tile of every input lane stays resident across all rows, which
+//     is what keeps classifier-scale covers (hundreds of products over
+//     shared inputs) from going memory-bound.
+#include "logic/lane_kernels.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+
+namespace ambit::logic::lanes {
+
+namespace {
+
+void avx2_or_into(std::uint64_t* dst, const std::uint64_t* src,
+                  std::uint64_t n) {
+  std::uint64_t w = 0;
+  for (; w + 4 <= n; w += 4) {
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + w));
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + w));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + w),
+                        _mm256_or_si256(d, s));
+  }
+  for (; w < n; ++w) {
+    dst[w] |= src[w];
+  }
+}
+
+void avx2_or_not_into(std::uint64_t* dst, const std::uint64_t* src,
+                      std::uint64_t n) {
+  const __m256i ones = _mm256_set1_epi64x(-1);
+  std::uint64_t w = 0;
+  for (; w + 4 <= n; w += 4) {
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + w));
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + w));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + w),
+                        _mm256_or_si256(d, _mm256_xor_si256(s, ones)));
+  }
+  for (; w < n; ++w) {
+    dst[w] |= ~src[w];
+  }
+}
+
+void avx2_complement_masked(std::uint64_t* dst, std::uint64_t n,
+                            std::uint64_t tail_mask) {
+  const __m256i ones = _mm256_set1_epi64x(-1);
+  std::uint64_t w = 0;
+  for (; w + 4 <= n; w += 4) {
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + w));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + w),
+                        _mm256_xor_si256(d, ones));
+  }
+  for (; w < n; ++w) {
+    dst[w] = ~dst[w];
+  }
+  dst[n - 1] &= tail_mask;
+}
+
+/// Word budget per cache tile: tiles are sized so one tile of EVERY
+/// input lane fits in this many bytes (half a typical 512 KiB L2, so
+/// output-row stores and the term arrays fit alongside).
+constexpr std::uint64_t kTileBudgetBytes = 256 * 1024;
+
+void avx2_plane_sweep(const SweepRow* rows, std::uint64_t num_rows,
+                      const SweepTerm* terms, const std::uint64_t* in,
+                      std::uint64_t num_in_lanes, std::uint64_t words_per_lane,
+                      std::uint64_t tail_mask, std::uint64_t* out) {
+  if (words_per_lane == 0) {
+    return;
+  }
+  std::uint64_t tile_words =
+      num_in_lanes > 0 ? kTileBudgetBytes / 8 / num_in_lanes : words_per_lane;
+  // Keep tiles strip-sized at minimum (so the vector loop always runs)
+  // and round to a strip multiple so only the final tile has a scalar
+  // remainder.
+  tile_words = std::clamp<std::uint64_t>(tile_words - tile_words % 8, 8,
+                                         words_per_lane);
+
+  const __m256i ones = _mm256_set1_epi64x(-1);
+  for (std::uint64_t t0 = 0; t0 < words_per_lane; t0 += tile_words) {
+    const std::uint64_t t1 = std::min(words_per_lane, t0 + tile_words);
+    for (std::uint64_t r = 0; r < num_rows; ++r) {
+      std::uint64_t* lane = out + r * words_per_lane;
+      const SweepRow& row = rows[r];
+      const SweepTerm* row_terms = terms + row.first_term;
+      std::uint64_t w = t0;
+      // 8-word strips: two 256-bit accumulators reduced across every
+      // term, one store per strip.
+      for (; w + 8 <= t1; w += 8) {
+        __m256i acc0 = _mm256_setzero_si256();
+        __m256i acc1 = _mm256_setzero_si256();
+        for (std::uint64_t t = 0; t < row.num_terms; ++t) {
+          const std::uint64_t* src =
+              in + static_cast<std::uint64_t>(row_terms[t].lane) *
+                       words_per_lane +
+              w;
+          __m256i v0 =
+              _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src));
+          __m256i v1 =
+              _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + 4));
+          if (row_terms[t].invert) {
+            v0 = _mm256_xor_si256(v0, ones);
+            v1 = _mm256_xor_si256(v1, ones);
+          }
+          acc0 = _mm256_or_si256(acc0, v0);
+          acc1 = _mm256_or_si256(acc1, v1);
+        }
+        if (row.complement) {
+          acc0 = _mm256_xor_si256(acc0, ones);
+          acc1 = _mm256_xor_si256(acc1, ones);
+        }
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(lane + w), acc0);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(lane + w + 4), acc1);
+      }
+      // Scalar remainder of the tile (at most 7 words, final tile only).
+      for (; w < t1; ++w) {
+        std::uint64_t acc = 0;
+        for (std::uint64_t t = 0; t < row.num_terms; ++t) {
+          const std::uint64_t v =
+              in[static_cast<std::uint64_t>(row_terms[t].lane) *
+                     words_per_lane +
+                 w];
+          acc |= row_terms[t].invert ? ~v : v;
+        }
+        lane[w] = row.complement ? ~acc : acc;
+      }
+      if (t1 == words_per_lane) {
+        lane[words_per_lane - 1] &= tail_mask;
+      }
+    }
+  }
+}
+
+constexpr LaneKernels kAvx2Kernels = {
+    .name = "avx2",
+    .or_into = avx2_or_into,
+    .or_not_into = avx2_or_not_into,
+    .complement_masked = avx2_complement_masked,
+    .plane_sweep = avx2_plane_sweep,
+};
+
+}  // namespace
+
+const LaneKernels* avx2_kernels() { return &kAvx2Kernels; }
+
+}  // namespace ambit::logic::lanes
+
+#else  // !__AVX2__
+
+namespace ambit::logic::lanes {
+
+const LaneKernels* avx2_kernels() { return nullptr; }
+
+}  // namespace ambit::logic::lanes
+
+#endif

@@ -233,8 +233,26 @@ void PatternBatch::copy_patterns_from(const PatternBatch& src,
         "PatternBatch::copy_patterns_from: source range out of bounds");
   check(dst_first + count <= num_patterns_,
         "PatternBatch::copy_patterns_from: destination range out of bounds");
-  for (int s = 0; s < num_signals_; ++s) {
-    copy_bit_range(src.lane(s), src_first, lane(s), dst_first, count);
+  if (src_first % 64 == 0 && dst_first % 64 == 0) {
+    // Word-aligned fast path (the common case for sharded gathers):
+    // whole words move by plain copy, and only a trailing partial word
+    // needs the read-modify-write merge.
+    const std::uint64_t full_words = count / 64;
+    const std::uint64_t tail_bits = count % 64;
+    for (int s = 0; s < num_signals_; ++s) {
+      const std::uint64_t* from = src.lane(s) + src_first / 64;
+      std::uint64_t* to = lane(s) + dst_first / 64;
+      std::copy(from, from + full_words, to);
+      if (tail_bits != 0) {
+        const std::uint64_t mask = (std::uint64_t{1} << tail_bits) - 1;
+        to[full_words] =
+            (to[full_words] & ~mask) | (from[full_words] & mask);
+      }
+    }
+  } else {
+    for (int s = 0; s < num_signals_; ++s) {
+      copy_bit_range(src.lane(s), src_first, lane(s), dst_first, count);
+    }
   }
   // copy_bit_range preserves destination bits outside the copied range
   // BY CONTRACT — the coalescer's exactness proof leans on it — so a
@@ -267,11 +285,11 @@ void PatternBatch::store_words(std::uint64_t* dst, std::uint64_t count) const {
 }
 
 void PatternBatch::complement_lane(int signal) {
-  std::uint64_t* words = lane(signal);
-  for (std::uint64_t w = 0; w < words_per_lane_; ++w) {
-    const bool last = (w + 1 == words_per_lane_);
-    words[w] = ~words[w] & (last ? tail_mask_ : ~std::uint64_t{0});
+  if (words_per_lane_ == 0) {
+    (void)lane_start(signal);  // keep the index validation for 0-pattern lanes
+    return;
   }
+  lanes::kernels().complement_masked(lane(signal), words_per_lane_, tail_mask_);
 }
 
 }  // namespace ambit::logic

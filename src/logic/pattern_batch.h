@@ -16,6 +16,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "logic/lane_kernels.h"
+#include "util/aligned.h"
+
 namespace ambit::logic {
 
 /// A fixed-size batch of bit-packed patterns, one 64-bit lane set per
@@ -48,7 +51,15 @@ class PatternBatch {
   void set_pattern(std::uint64_t p, const std::vector<bool>& bits);
 
   /// Raw lane access for word-parallel kernels. A lane is
-  /// words_per_lane() consecutive uint64 values.
+  /// words_per_lane() consecutive uint64 values; lanes are stored
+  /// contiguously signal-major, so lane(0) is also the base of the
+  /// whole packed array.
+  ///
+  /// ALIGNMENT CONTRACT: the backing store is lanes::kLaneAlignment-
+  /// byte aligned, but an individual lane pointer is aligned only when
+  /// `signal * words_per_lane()` happens to land on a vector boundary.
+  /// SIMD consumers must therefore use unaligned loads/stores
+  /// (loadu/storeu) — see logic/lane_kernels.h.
   const std::uint64_t* lane(int signal) const;
   std::uint64_t* lane(int signal);
 
@@ -101,7 +112,8 @@ class PatternBatch {
   void store_words(std::uint64_t* dst, std::uint64_t count) const;
 
   /// Complements lane `signal` over the valid pattern bits (the tail
-  /// padding stays zero).
+  /// padding stays zero). Runs on the dispatched SIMD tier
+  /// (logic/lane_kernels.h).
   void complement_lane(int signal);
 
   /// Mask selecting the valid bits of the LAST word of a lane; all
@@ -126,7 +138,11 @@ class PatternBatch {
   std::uint64_t num_patterns_;
   std::uint64_t words_per_lane_;
   std::uint64_t tail_mask_;
-  std::vector<std::uint64_t> words_;  // signal-major: lane s at s*words_per_lane_
+  // Signal-major: lane s at s*words_per_lane_. Base pointer is
+  // kLaneAlignment-byte aligned (see the lane() alignment contract).
+  std::vector<std::uint64_t,
+              AlignedAllocator<std::uint64_t, lanes::kLaneAlignment>>
+      words_;
 
   std::uint64_t lane_start(int signal) const;
 };

@@ -1,0 +1,49 @@
+// A minimal over-aligned allocator for std::vector backing stores.
+//
+// PatternBatch keeps its word array in a vector with 64-byte-aligned
+// storage (logic/lane_kernels.h, kLaneAlignment) so the SIMD lane
+// kernels start from a cache-line boundary. Note this aligns only the
+// BASE pointer: interior lane pointers at `base + signal * words` are
+// aligned only when the stride cooperates, which is why the kernels
+// are loadu/storeu-only — the allocator is a throughput nicety, the
+// unaligned-access contract is the correctness rule.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace ambit {
+
+/// std::allocator drop-in that over-aligns every allocation to `Align`
+/// bytes (must be a power of two and >= alignof(T)).
+template <typename T, std::size_t Align>
+struct AlignedAllocator {
+  using value_type = T;
+
+  static_assert((Align & (Align - 1)) == 0, "alignment must be a power of 2");
+  static_assert(Align >= alignof(T), "alignment below the type's natural one");
+
+  AlignedAllocator() = default;
+  template <typename U>
+  constexpr AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Align}));
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Align});
+  }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+};
+
+}  // namespace ambit

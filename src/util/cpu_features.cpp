@@ -1,0 +1,75 @@
+#include "util/cpu_features.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace ambit::cpu {
+
+namespace {
+
+SimdTier detect() {
+#if defined(__x86_64__) || defined(_M_X64)
+#if defined(__GNUC__) || defined(__clang__)
+  // __builtin_cpu_supports runs cpuid once under the hood and is
+  // available on both gcc and clang for x86-64.
+  if (__builtin_cpu_supports("avx2")) {
+    return SimdTier::kAvx2;
+  }
+#endif
+  return SimdTier::kScalar;
+#elif defined(__aarch64__)
+  // AdvSIMD (NEON) is architecturally mandatory on AArch64.
+  return SimdTier::kNeon;
+#else
+  return SimdTier::kScalar;
+#endif
+}
+
+/// True when AMBIT_FORCE_SCALAR is set to anything but "" or "0".
+bool force_scalar_env() {
+  const char* value = std::getenv("AMBIT_FORCE_SCALAR");
+  return value != nullptr && value[0] != '\0' &&
+         std::strcmp(value, "0") != 0;
+}
+
+std::atomic<SimdTier>& active_slot() {
+  // First use resolves the environment override exactly once; later
+  // force_tier() calls overwrite the slot.
+  static std::atomic<SimdTier> slot{force_scalar_env() ? SimdTier::kScalar
+                                                       : detect()};
+  return slot;
+}
+
+}  // namespace
+
+const char* tier_name(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kAvx2:
+      return "avx2";
+    case SimdTier::kNeon:
+      return "neon";
+    case SimdTier::kScalar:
+      return "scalar";
+  }
+  return "unknown";
+}
+
+SimdTier detected_tier() {
+  static const SimdTier tier = detect();
+  return tier;
+}
+
+SimdTier active_tier() {
+  return active_slot().load(std::memory_order_acquire);
+}
+
+SimdTier force_tier(SimdTier tier) {
+  const SimdTier installed =
+      tier == detected_tier() || tier == SimdTier::kScalar ? tier
+                                                           : SimdTier::kScalar;
+  active_slot().store(installed, std::memory_order_release);
+  return installed;
+}
+
+}  // namespace ambit::cpu

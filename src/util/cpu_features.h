@@ -1,0 +1,54 @@
+// Runtime CPU feature detection and SIMD-tier dispatch policy.
+//
+// The bit-parallel lane kernels (logic/lane_kernels.h) exist in up to
+// three implementations — AVX2 (x86-64), NEON (aarch64), and the
+// portable uint64 path — all bit-identical by the Evaluator's
+// bit-locality contract. Which one runs is decided ONCE per process,
+// here:
+//
+//   * detected_tier()  — what the hardware supports (cpuid / arch);
+//   * active_tier()    — detected_tier() unless overridden by the
+//                        AMBIT_FORCE_SCALAR environment variable
+//                        (any value other than "" or "0" forces the
+//                        u64 path — how CI exercises every dispatch
+//                        arm on one machine) or by force_tier().
+//
+// force_tier() exists so one process can benchmark/test both arms
+// (bench_batch_eval's SIMD-vs-u64 section, the lane-kernel equivalence
+// suite); it is a test/bench hook, not a production knob — production
+// overrides go through the environment variable.
+#pragma once
+
+namespace ambit::cpu {
+
+/// The dispatch tiers, ordered from portable to widest. A tier is only
+/// ever active when the running CPU supports it.
+enum class SimdTier {
+  kScalar,  ///< portable uint64 lane sweeps (always available)
+  kNeon,    ///< 128-bit NEON (aarch64 baseline)
+  kAvx2,    ///< 256-bit AVX2 (x86-64, detected at runtime)
+};
+
+/// Human-readable tier name ("scalar", "neon", "avx2") for bench
+/// tables, logs, and skip messages.
+const char* tier_name(SimdTier tier);
+
+/// The widest tier this machine can execute, detected once (cpuid on
+/// x86-64, compile-time architecture elsewhere). Never consults the
+/// environment.
+SimdTier detected_tier();
+
+/// The tier the lane kernels dispatch on: detected_tier(), downgraded
+/// to kScalar when the AMBIT_FORCE_SCALAR environment variable is set
+/// to anything but "" or "0" at first use, or whatever force_tier()
+/// last installed.
+SimdTier active_tier();
+
+/// Overrides active_tier() for the rest of the process (clamped to
+/// detected_tier(): asking for AVX2 on a non-AVX2 host installs the
+/// scalar tier instead and returns the tier actually installed).
+/// Test/bench hook — not thread-safe against concurrent evaluation;
+/// call it from a single thread before spawning evaluators.
+SimdTier force_tier(SimdTier tier);
+
+}  // namespace ambit::cpu

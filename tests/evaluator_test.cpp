@@ -5,6 +5,7 @@
 
 #include <span>
 #include <string>
+#include <type_traits>
 
 #include "core/classical_pla.h"
 #include "core/fabric.h"
@@ -12,6 +13,7 @@
 #include "core/wpla.h"
 #include "logic/pattern_batch.h"
 #include "logic/truth_table.h"
+#include "util/cpu_features.h"
 #include "util/error.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -150,6 +152,111 @@ TEST(PatternBatchTest, CopyPatternsFromMatchesBitwiseReference) {
       ASSERT_EQ(dst.lane(s)[dst.words_per_lane() - 1] & ~dst.tail_mask(), 0u);
     }
   }
+}
+
+TEST(PatternBatchTest, PatternCountNearWordLayoutLimitIsRejected) {
+  // The lane layout computes (num_patterns + 63) / 64; a count within
+  // 63 of 2^64 would wrap that sum and yield a tiny words_per_lane that
+  // every downstream bounds check would accept against the wrong
+  // geometry. The constructor must reject it instead (the EVALB serve
+  // path re-checks the same limit against its frame budget before the
+  // batch is ever built).
+  EXPECT_THROW(PatternBatch(1, ~std::uint64_t{0}), Error);
+  EXPECT_THROW(PatternBatch(1, ~std::uint64_t{0} - 62), Error);
+  EXPECT_NO_THROW(PatternBatch(0, ~std::uint64_t{0} - 63));
+}
+
+TEST(EvaluatorTest, CellCountersAre64BitOnTheBatchPath) {
+  // active_cells() is a product of two int dimensions and sizes the
+  // sweep-term reservation in GnorPlane::evaluate_batch — it must be
+  // 64-bit like cell_count(), not int (full-scale planes overflow int).
+  static_assert(
+      std::is_same_v<decltype(std::declval<const GnorPla&>().active_cells()),
+                     long long>);
+  static_assert(
+      std::is_same_v<
+          decltype(std::declval<const ClassicalPla&>().active_cells()),
+          long long>);
+  const Cover f = Cover::parse(2, 1, {"11 1"});
+  EXPECT_EQ(GnorPla::map_cover(f).active_cells(), 3);
+}
+
+TEST(PatternBatchTest, TailMaskAllOnesOnExactWordMultiples) {
+  // On an exact multiple of 64 patterns the final word is FULLY valid:
+  // tail_mask must be all ones, and the masked kernels (complement,
+  // load_words) must treat the last word like any other. A mask rebuilt
+  // naively from num_patterns % 64 would be zero here and erase 64
+  // patterns per lane.
+  for (const std::uint64_t np : {64ull, 128ull, 192ull}) {
+    PatternBatch batch(2, np);
+    EXPECT_EQ(batch.tail_mask(), ~std::uint64_t{0}) << np << " patterns";
+    EXPECT_EQ(batch.words_per_lane(), np / 64);
+    batch.complement_lane(0);
+    for (std::uint64_t w = 0; w < batch.words_per_lane(); ++w) {
+      EXPECT_EQ(batch.lane(0)[w], ~std::uint64_t{0})
+          << np << " patterns, word " << w;
+    }
+    std::vector<std::uint64_t> words(batch.total_words(), ~std::uint64_t{0});
+    batch.load_words(words.data(), words.size());
+    EXPECT_EQ(batch.lane(1)[batch.words_per_lane() - 1], ~std::uint64_t{0});
+  }
+}
+
+TEST(PatternBatchTest, CopyPatternsFromWordAlignedBoundaries) {
+  // Directed probes of the word-aligned fast path at the counts the
+  // random trial rarely lands on: one bit short of a word, an exact
+  // word, a word and a bit, and multi-word runs ending flush with the
+  // destination. Checked against the get/set reference.
+  Rng rng(31);
+  PatternBatch src(2, 256);
+  PatternBatch dst(2, 256);
+  for (int s = 0; s < 2; ++s) {
+    for (std::uint64_t p = 0; p < 256; ++p) {
+      src.set(p, s, rng.next_bool());
+      dst.set(p, s, rng.next_bool());
+    }
+  }
+  for (const std::uint64_t src_first : {0ull, 64ull}) {
+    for (const std::uint64_t dst_first : {0ull, 128ull}) {
+      for (const std::uint64_t count :
+           {0ull, 1ull, 63ull, 64ull, 65ull, 127ull, 128ull}) {
+        PatternBatch copy = dst;
+        const PatternBatch before = copy;
+        copy.copy_patterns_from(src, src_first, dst_first, count);
+        for (int s = 0; s < 2; ++s) {
+          for (std::uint64_t p = 0; p < 256; ++p) {
+            const bool inside = p >= dst_first && p < dst_first + count;
+            const bool expected =
+                inside ? src.get(src_first + (p - dst_first), s)
+                       : before.get(p, s);
+            ASSERT_EQ(copy.get(p, s), expected)
+                << "s=" << s << " p=" << p << " src_first=" << src_first
+                << " dst_first=" << dst_first << " count=" << count;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(PatternBatchTest, SliceAndPasteAtExactWordMultiples) {
+  // A 128-pattern batch sliced into two 64-pattern halves: every piece
+  // has an all-ones tail mask and reassembles bit-exactly.
+  PatternBatch batch(2, 128);
+  Rng rng(37);
+  for (std::uint64_t p = 0; p < 128; ++p) {
+    for (int s = 0; s < 2; ++s) {
+      batch.set(p, s, rng.next_bool());
+    }
+  }
+  const PatternBatch lo = batch.slice(0, 64);
+  const PatternBatch hi = batch.slice(64, 64);
+  EXPECT_EQ(lo.tail_mask(), ~std::uint64_t{0});
+  EXPECT_EQ(hi.tail_mask(), ~std::uint64_t{0});
+  PatternBatch rebuilt(2, 128);
+  rebuilt.paste(lo, 0);
+  rebuilt.paste(hi, 64);
+  EXPECT_EQ(rebuilt, batch);
 }
 
 TEST(PatternBatchTest, CopyPatternsFromValidatesRanges) {
@@ -312,6 +419,83 @@ TEST(EvaluatorTest, ParallelBatchValidatesWidthAtBoundary) {
   const GnorPla pla = GnorPla::map_cover(f);
   ThreadPool pool(2);
   EXPECT_THROW(pla.evaluate_batch(PatternBatch(4, 100), pool), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Boundary pattern counts: one bit short of a word, an exact word, a
+// word and a bit — where tail_mask flips between partial and all-ones —
+// across every circuit type and every SIMD tier this host can run.
+// ---------------------------------------------------------------------------
+
+void expect_batch_matches_scalar_at_boundaries(const Evaluator& e,
+                                               const char* what) {
+  Rng rng(67);
+  std::vector<cpu::SimdTier> tiers{cpu::SimdTier::kScalar};
+  if (cpu::detected_tier() != cpu::SimdTier::kScalar) {
+    tiers.push_back(cpu::detected_tier());
+  }
+  const cpu::SimdTier entry = cpu::active_tier();
+  for (const std::uint64_t count :
+       {1ull, 63ull, 64ull, 65ull, 127ull, 128ull, 129ull}) {
+    PatternBatch inputs(e.num_inputs(), count);
+    for (std::uint64_t p = 0; p < count; ++p) {
+      for (int s = 0; s < e.num_inputs(); ++s) {
+        inputs.set(p, s, rng.next_bool());
+      }
+    }
+    // Scalar reference: one evaluate() per pattern.
+    PatternBatch expected(e.num_outputs(), count);
+    for (std::uint64_t p = 0; p < count; ++p) {
+      const std::vector<bool> out = e.evaluate(inputs.pattern(p));
+      for (int j = 0; j < e.num_outputs(); ++j) {
+        expected.set(p, j, out[static_cast<std::size_t>(j)]);
+      }
+    }
+    for (const cpu::SimdTier tier : tiers) {
+      cpu::force_tier(tier);
+      const PatternBatch got = e.evaluate_batch(inputs);
+      EXPECT_EQ(got, expected) << what << " diverges at " << count
+                               << " patterns on the " << cpu::tier_name(tier)
+                               << " tier";
+      got.assert_tail_clean("boundary-count batch result");
+    }
+  }
+  cpu::force_tier(entry);
+}
+
+TEST(EvaluatorTest, BatchBoundaryCountsMatchScalarAcrossCircuitTypes) {
+  const Cover f = Cover::parse(5, 3, {"11--- 100", "--1-1 010", "0--0- 111",
+                                      "-10-1 001"});
+  const GnorPla gnor = GnorPla::map_cover(f);
+  expect_batch_matches_scalar_at_boundaries(gnor, "GnorPla");
+  expect_batch_matches_scalar_at_boundaries(ClassicalPla::map_cover(f),
+                                            "ClassicalPla");
+
+  const Cover a = Cover::parse(5, 1, {"11--- 1", "--0-1 1"});
+  const Cover b = Cover::parse(6, 1, {"--1--- 1", "-----1 1"});
+  expect_batch_matches_scalar_at_boundaries(Wpla(a, b, 5), "Wpla");
+
+  Fabric fabric(5);
+  fabric.add_stage(FabricStage(Fabric::identity_routing(5, 5),
+                               gnor.product_plane()));
+  expect_batch_matches_scalar_at_boundaries(fabric, "Fabric");
+}
+
+TEST(EvaluatorTest, ZeroPatternBatchAcrossCircuitTypes) {
+  // A 0-pattern batch is a legal (if pointless) request: the kernels
+  // must return an empty, well-shaped result instead of tripping over a
+  // zero-word lane.
+  const Cover f = Cover::parse(4, 2, {"11-- 10", "--11 01"});
+  const GnorPla gnor = GnorPla::map_cover(f);
+  const ClassicalPla classical = ClassicalPla::map_cover(f);
+  for (const Evaluator* e :
+       {static_cast<const Evaluator*>(&gnor),
+        static_cast<const Evaluator*>(&classical)}) {
+    const PatternBatch out = e->evaluate_batch(PatternBatch(4, 0));
+    EXPECT_EQ(out.num_patterns(), 0u);
+    EXPECT_EQ(out.num_signals(), e->num_outputs());
+    EXPECT_EQ(out.words_per_lane(), 0u);
+  }
 }
 
 TEST(EvaluatorTest, ExhaustiveTruthTableMatchesCover) {

@@ -443,6 +443,34 @@ TEST(SimEvaluatorTest, UniformWidthValidationAtTheBoundary) {
   EXPECT_THROW(sim_eval.evaluate_batch(PatternBatch(4, 8)), Error);
 }
 
+TEST(SimEvaluatorTest, BatchBoundaryCountsMatchScalarSimulation) {
+  // Word-boundary pattern counts through the transistor-level oracle:
+  // 63/64/65 straddle the tail-mask flip (partial → all-ones → fresh
+  // word), where a batch kernel mishandling the final word would
+  // diverge from per-pattern simulation.
+  const Cover f = random_minimized_cover(4, 2, 31);
+  const SimEvaluator sim_eval(GnorPla::map_cover(f),
+                              default_cnfet_electrical());
+  Rng rng(77);
+  for (const std::uint64_t count : {63ull, 64ull, 65ull}) {
+    PatternBatch inputs(sim_eval.num_inputs(), count);
+    for (std::uint64_t p = 0; p < count; ++p) {
+      for (int s = 0; s < sim_eval.num_inputs(); ++s) {
+        inputs.set(p, s, rng.next_bool());
+      }
+    }
+    PatternBatch expected(sim_eval.num_outputs(), count);
+    for (std::uint64_t p = 0; p < count; ++p) {
+      const std::vector<bool> out = sim_eval.evaluate(inputs.pattern(p));
+      for (int j = 0; j < sim_eval.num_outputs(); ++j) {
+        expected.set(p, j, out[static_cast<std::size_t>(j)]);
+      }
+    }
+    EXPECT_EQ(sim_eval.evaluate_batch(inputs), expected)
+        << count << " patterns";
+  }
+}
+
 TEST(SimEvaluatorTest, PoolShardingIsBitIdentical) {
   const Cover f = random_minimized_cover(5, 2, 23);
   const SimEvaluator sim_eval(GnorPla::map_cover(f),
