@@ -75,9 +75,12 @@
 #include "util/thread_pool.h"
 
 #ifndef _WIN32
+#include <sys/resource.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
+
+#include <cerrno>
 #endif
 
 using namespace ambit;
@@ -733,6 +736,214 @@ int main(int argc, char** argv) {
     json.add("metrics_overhead_pct", metrics_overhead_pct);
     json.add("overhead_eval", overhead_eval);
   }
+
+  // --- 7. C10k: thousands of SIMULTANEOUSLY open connections --------------
+  // The event-loop transport's reason to exist: every client below
+  // connects and STAYS connected while one EVAL per client flows
+  // through — the thread-per-connection model would need one stack per
+  // client for the same shape. The threads arm churns the identical
+  // request count through its 64 connection slots for comparison.
+  // Self-skips (reported, not failed) when RLIMIT_NOFILE cannot cover
+  // both ends of every connection living in this one process.
+  std::uint64_t c10k_clients = 0;
+  std::uint64_t c10k_epoll_served = 0;
+  std::uint64_t c10k_threads_served = 0;
+  std::uint64_t c10k_peak_active = 0;
+  double c10k_epoll_req_per_s = 0;
+  double c10k_threads_req_per_s = 0;
+  LatencyStats c10k_eval{};
+  bool c10k_ran = false;
+#ifdef __linux__
+  {
+    const std::uint64_t want_clients = smoke ? 128 : 2200;
+    rlimit nofile{};
+    ::getrlimit(RLIMIT_NOFILE, &nofile);
+    if (nofile.rlim_cur < nofile.rlim_max) {
+      rlimit raised = nofile;
+      raised.rlim_cur = raised.rlim_max;
+      if (::setrlimit(RLIMIT_NOFILE, &raised) == 0) {
+        nofile = raised;
+      }
+    }
+    const rlim_t need = static_cast<rlim_t>(2 * want_clients + 128);
+    if (nofile.rlim_cur < need) {
+      std::printf("\nC10k section skipped: RLIMIT_NOFILE %llu < %llu needed "
+                  "for %llu clients\n",
+                  static_cast<unsigned long long>(nofile.rlim_cur),
+                  static_cast<unsigned long long>(need),
+                  static_cast<unsigned long long>(want_clients));
+    } else {
+      c10k_ran = true;
+      const std::string socket_path =
+          (std::filesystem::temp_directory_path() / "ambit_bench_c10k.sock")
+              .string();
+
+      // Epoll arm: connect everyone, prove the concurrency with STATS,
+      // then one EVAL per held-open connection.
+      {
+        serve::Session c10k_session(1);
+        c10k_session.load("bench", pla_path);
+        metrics::Registry c10k_registry;
+        serve::ServerOptions c10k_options;
+        c10k_options.io_model = serve::IoModel::kEpoll;
+        c10k_options.max_connections = static_cast<int>(want_clients) + 8;
+        c10k_options.registry = &c10k_registry;
+        serve::Server c10k_server(c10k_session, c10k_options);
+        std::thread server_thread(
+            [&] { c10k_server.serve_unix(socket_path); });
+
+        std::vector<int> fds;
+        fds.reserve(want_clients);
+        while (fds.size() < want_clients) {
+          const int fd = serve::connect_with_retry(socket_path);
+          if (fd < 0) {
+            break;
+          }
+          fds.push_back(fd);
+        }
+        c10k_clients = fds.size();
+
+        const int ctl = serve::connect_with_retry(socket_path);
+        if (ctl >= 0) {
+          const auto stats_lines = serve::socket_transact(ctl, "STATS\n", 1);
+          if (stats_lines.size() == 1) {
+            const std::size_t at = stats_lines[0].find("connections=");
+            if (at != std::string::npos) {
+              // "connections=<active>/<accepted>": active includes this
+              // control connection — report the held-open clients only.
+              const std::uint64_t active = std::strtoull(
+                  stats_lines[0].c_str() + at + std::strlen("connections="),
+                  nullptr, 10);
+              c10k_peak_active = active > 0 ? active - 1 : 0;
+            }
+          }
+        }
+
+        Rng c10k_rng(77);
+        const auto start = std::chrono::steady_clock::now();
+        for (const int fd : fds) {
+          const std::string request =
+              "EVAL bench " + random_hex_pattern(pla.num_inputs(), c10k_rng) +
+              "\n";
+          std::size_t sent = 0;
+          while (sent < request.size()) {
+            const ssize_t n = ::send(fd, request.data() + sent,
+                                     request.size() - sent, MSG_NOSIGNAL);
+            if (n < 0 && errno == EINTR) {
+              continue;
+            }
+            if (n <= 0) {
+              break;
+            }
+            sent += static_cast<std::size_t>(n);
+          }
+        }
+        for (const int fd : fds) {
+          std::string line;
+          char byte = 0;
+          while (::read(fd, &byte, 1) == 1 && byte != '\n') {
+            line += byte;
+          }
+          if (line.compare(0, 3, "OK ") == 0) {
+            ++c10k_epoll_served;
+          }
+        }
+        const double secs = seconds_since(start);
+        c10k_epoll_req_per_s =
+            secs > 0 ? static_cast<double>(c10k_epoll_served) / secs : 0;
+        for (const int fd : fds) {
+          ::close(fd);
+        }
+        if (ctl >= 0) {
+          serve::socket_transact(ctl, "SHUTDOWN\n", 1);
+          ::close(ctl);
+        }
+        server_thread.join();
+        c10k_eval = stats_of(c10k_registry.find_histogram(
+            "ambit_serve_request_us", {{"verb", "EVAL"}}));
+      }
+
+      // Threads arm: the same request count churned through 64 slots —
+      // connections cannot be held open past the slot cap, so each
+      // client is one connect/EVAL/QUIT round trip.
+      {
+        serve::Session threads_session(1);
+        threads_session.load("bench", pla_path);
+        serve::ServerOptions threads_options;
+        threads_options.io_model = serve::IoModel::kThreads;
+        threads_options.max_connections = 64;
+        serve::Server threads_server(threads_session, threads_options);
+        std::thread server_thread(
+            [&] { threads_server.serve_unix(socket_path); });
+
+        const int churners = 8;
+        std::atomic<std::uint64_t> ok_count{0};
+        const auto start = std::chrono::steady_clock::now();
+        std::vector<std::thread> churn;
+        for (int t = 0; t < churners; ++t) {
+          churn.emplace_back([&, t] {
+            Rng churn_rng(100 + t);
+            const std::uint64_t share =
+                c10k_clients / churners +
+                (static_cast<std::uint64_t>(t) < c10k_clients % churners ? 1
+                                                                         : 0);
+            for (std::uint64_t i = 0; i < share; ++i) {
+              const int fd = serve::connect_with_retry(socket_path);
+              if (fd < 0) {
+                continue;
+              }
+              const auto lines = serve::socket_transact(
+                  fd,
+                  "EVAL bench " +
+                      random_hex_pattern(pla.num_inputs(), churn_rng) +
+                      "\nQUIT\n",
+                  2);
+              if (lines.size() == 2 && lines[0].compare(0, 3, "OK ") == 0) {
+                ok_count.fetch_add(1);
+              }
+              ::close(fd);
+            }
+          });
+        }
+        for (std::thread& t : churn) {
+          t.join();
+        }
+        const double secs = seconds_since(start);
+        c10k_threads_served = ok_count.load();
+        c10k_threads_req_per_s =
+            secs > 0 ? static_cast<double>(c10k_threads_served) / secs : 0;
+        const int ctl = serve::connect_with_retry(socket_path);
+        if (ctl >= 0) {
+          serve::socket_transact(ctl, "SHUTDOWN\n", 1);
+          ::close(ctl);
+        }
+        server_thread.join();
+      }
+
+      std::printf(
+          "\nC10k: %llu clients held open concurrently (peak active %llu): "
+          "epoll served %llu (%.0f req/s, EVAL %s); "
+          "threads @64 slots churned %llu (%.0f req/s)\n",
+          static_cast<unsigned long long>(c10k_clients),
+          static_cast<unsigned long long>(c10k_peak_active),
+          static_cast<unsigned long long>(c10k_epoll_served),
+          c10k_epoll_req_per_s, format_latency(c10k_eval).c_str(),
+          static_cast<unsigned long long>(c10k_threads_served),
+          c10k_threads_req_per_s);
+      json.add("c10k_clients", static_cast<double>(c10k_clients));
+      json.add("c10k_peak_active", static_cast<double>(c10k_peak_active));
+      json.add("c10k_epoll_served", static_cast<double>(c10k_epoll_served));
+      json.add("c10k_threads_served",
+               static_cast<double>(c10k_threads_served));
+      json.add("c10k_epoll_req_per_s", c10k_epoll_req_per_s);
+      json.add("c10k_threads_req_per_s", c10k_threads_req_per_s);
+      json.add("c10k_eval", c10k_eval);
+    }
+  }
+#else
+  std::printf("\nC10k section skipped: the epoll transport is Linux-only\n");
+#endif
+
   std::filesystem::remove(pla_path);
 
   // --- Verdict -------------------------------------------------------------
@@ -755,6 +966,24 @@ int main(int argc, char** argv) {
               storm_identical && storm_served ? "yes" : "NO");
   std::printf("coalesced responses correct: %s\n",
               coalesce_identical && coalesce_served ? "yes" : "NO");
+  // The C10k bars: every held-open client must be served whenever the
+  // section ran at all (a correctness bar, enforced even in smoke);
+  // the >= 2000 simultaneous-connection floor only outside smoke /
+  // sanitizer runs (smoke deliberately shrinks the client count).
+  const bool c10k_all_served = !c10k_ran || (c10k_epoll_served == c10k_clients &&
+                                             c10k_threads_served == c10k_clients);
+  const bool enforce_c10k_scale = c10k_ran && !smoke && !instrumented;
+  if (c10k_ran) {
+    std::printf("C10k epoll served every held-open client: %s\n",
+                c10k_all_served ? "yes" : "NO");
+    if (enforce_c10k_scale) {
+      std::printf("C10k simultaneous connections: %llu (bar: >= 2000)\n",
+                  static_cast<unsigned long long>(c10k_peak_active));
+    } else {
+      std::printf("C10k simultaneous connections: %llu (bar NOT enforced)\n",
+                  static_cast<unsigned long long>(c10k_peak_active));
+    }
+  }
   if (enforce_speedup) {
     std::printf("best sharded speedup at 4+ workers: %.1fx (bar: >= 3x)\n",
                 best_speedup_4plus);
@@ -784,7 +1013,8 @@ int main(int argc, char** argv) {
   // something when the instrumentation is compiled in at all.
   const bool pass = all_identical && evalb_identical && storm_identical &&
                     storm_served && coalesce_identical && coalesce_served &&
-                    errors == 0 &&
+                    errors == 0 && c10k_all_served &&
+                    (!enforce_c10k_scale || c10k_peak_active >= 2000) &&
                     (!enforce_speedup ||
                      (best_speedup_4plus >= 3.0 &&
                       (!storm_ran || conc_speedup >= 2.0) &&

@@ -1,10 +1,13 @@
 // Fuzz target: a whole serve connection (serve/server.h).
 //
 // Feeds arbitrary bytes through Server::serve_stream — the exact code
-// path behind the stdio, Unix-socket and TCP transports — so it
-// exercises the full request loop: line framing, parse_request,
-// dispatch, EVALB/SIMB binary payload framing and the
-// drop-the-connection error paths. Two hermeticity measures:
+// path behind the stdio transport — so it exercises the full request
+// loop: line framing, parse_request, dispatch, EVALB/SIMB binary
+// payload framing and the drop-the-connection error paths. Inputs
+// starting with the "CHNK" magic instead drive Server::serve_chunks,
+// the incremental ConnState machine behind the epoll socket transport,
+// with fuzzer-chosen read boundaries (see LLVMFuzzerTestOneInput).
+// Two hermeticity measures:
 //
 //   * every well-formed "LOAD <name> <path>" line is rewritten to load
 //     a fixed seed circuit from a temp file this harness wrote at
@@ -13,9 +16,11 @@
 //   * each input gets a fresh Session (0 workers: in-line evaluation)
 //     and a fresh Server, so SHUTDOWN's latch and loaded-circuit state
 //     cannot leak between runs and every input reproduces standalone.
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <new>
@@ -84,6 +89,49 @@ std::string sanitize(const std::string& text) {
 
 extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
                                       std::size_t size) {
+  // Arbitrary-chunking mode: a "CHNK" magic selects the incremental
+  // ConnState path (Server::serve_chunks — the epoll transport's state
+  // machine) instead of the blocking serve_stream loop, with the
+  // fuzzer choosing every read() boundary. Layout:
+  //
+  //   "CHNK" | count:1 | count bytes of chunk-size seeds | wire bytes
+  //
+  // Each seed byte maps to a chunk length in [1, 64], cycled over the
+  // wire; count == 0 means one byte per chunk — the maximal split.
+  // This is what drives EVALB/SIMB headers and payloads across every
+  // possible read boundary, which the line-at-a-time serve_stream loop
+  // structurally cannot reach.
+  if (size >= 5 && std::memcmp(data, "CHNK", 4) == 0 &&
+      size >= 5 + static_cast<std::size_t>(data[4])) {
+    const std::size_t count = data[4];
+    const std::uint8_t* seeds = data + 5;
+    const std::string wire = sanitize(std::string(
+        reinterpret_cast<const char*>(data + 5 + count), size - 5 - count));
+    try {
+      ambit::serve::Session session(0);
+      ambit::serve::Server server(session);
+      std::size_t pos = 0;
+      std::size_t turn = 0;
+      std::string out;
+      server.serve_chunks(
+          [&]() -> std::string {
+            if (pos >= wire.size()) {
+              return std::string();  // clean EOF
+            }
+            const std::size_t want =
+                count == 0 ? 1 : (seeds[turn++ % count] % 64) + 1;
+            const std::size_t len = std::min(want, wire.size() - pos);
+            const std::string chunk = wire.substr(pos, len);
+            pos += len;
+            return chunk;
+          },
+          out);
+    } catch (const ambit::Error&) {
+    } catch (const std::bad_alloc&) {
+    }
+    return 0;
+  }
+
   const std::string text =
       sanitize(std::string(reinterpret_cast<const char*>(data), size));
   try {

@@ -1,0 +1,132 @@
+// The per-connection framing state machine shared by every socket io
+// model (serve/server.h): incremental line reassembly over a byte
+// buffer, the kMaxLineBytes bound, EVALB/SIMB payload accounting, the
+// residual-line-at-clean-EOF rule, and the post-QUIT discard policy.
+//
+// The thread-per-connection path feeds it from blocking reads; the
+// epoll event loop (serve/event_loop.h) feeds it whatever the socket
+// had ready; the fuzz harness (Server::serve_chunks) feeds it
+// adversarially chosen split points. All three make the SAME framing
+// decisions because the decisions live here, not in the transports —
+// which is what lets the dual-path conformance matrix demand
+// byte-identical responses across io models.
+//
+// ConnState never touches a socket and never blocks: callers append()
+// bytes as they arrive, call advance() to learn what the connection
+// needs next, and note_eof() when the peer is done. The protocol work
+// itself (dispatch, payload validation, responses) stays in
+// Server::serve_line — this class only decides when a complete request
+// is on hand.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace ambit::serve {
+
+/// The one ERR line every transport answers before dropping a
+/// connection whose request line exceeded kMaxLineBytes. Shared so the
+/// stream, threaded, and epoll paths can never drift on the text.
+std::string oversized_line_response();
+
+class ConnState {
+ public:
+  /// Where a bulk request's payload bytes come from.
+  enum class PayloadMode {
+    /// The payload must be fully reassembled in this buffer before the
+    /// request is reported ready (the epoll path: the request is
+    /// dispatched to a worker, which cannot wait on the socket).
+    kBuffered,
+    /// The line alone makes the request ready; the caller streams the
+    /// payload straight from its transport (the threaded path, which
+    /// avoids staging a 128 MiB frame through the buffer twice).
+    kExternal,
+  };
+
+  /// What the connection needs next.
+  enum class Step {
+    kNeedInput,  ///< no complete request buffered; feed more bytes
+    kRequest,    ///< line() is ready (payload per PayloadMode)
+    kOversized,  ///< line exceeded kMaxLineBytes: answer
+                 ///< oversized_line_response(), drop as "malformed"
+    kClosed,     ///< nothing more will be served (EOF / post-QUIT)
+  };
+
+  explicit ConnState(PayloadMode mode) : mode_(mode) {}
+
+  /// Appends peer bytes as they arrived from the transport.
+  void append(const char* data, std::size_t n) { buffer_.append(data, n); }
+
+  /// Records end of input. `clean` distinguishes a real peer close
+  /// (read() == 0 outside a SHUTDOWN drain) from a cut — timeout or
+  /// shutdown(SHUT_RD): only a CLEAN close serves a residual
+  /// unterminated line; after a cut it is a truncated line from a
+  /// stalled peer and is dropped.
+  void note_eof(bool clean) {
+    eof_ = true;
+    clean_eof_ = clean_eof_ || clean;
+  }
+
+  bool eof() const { return eof_; }
+
+  /// Advances the machine over the buffered bytes (consuming blank
+  /// lines) and reports what the connection needs. kNeedInput is never
+  /// returned after note_eof().
+  Step advance();
+
+  /// The request line to serve. Valid after advance() returned
+  /// kRequest, until finish_request().
+  const std::string& line() const { return line_; }
+
+  /// Copies up to `n` buffered payload bytes into `dst`, consuming
+  /// them; returns how many were available. The threaded path drains
+  /// pipelined payload bytes with this before reading the remainder
+  /// straight from its socket.
+  std::size_t take_payload(char* dst, std::size_t n);
+
+  /// Server::PayloadReader over the buffer alone: false when the
+  /// buffered bytes run short — which, in kBuffered mode, only happens
+  /// when EOF truncated the frame (advance() otherwise waits for the
+  /// full payload), and fails the request exactly like a payload read
+  /// hitting EOF on a socket.
+  bool read_payload(char* dst, std::size_t n) {
+    return take_payload(dst, n) == n;
+  }
+
+  /// Moves the current request's buffered payload (up to the byte
+  /// count its frame requires) out of the buffer as one string. The
+  /// epoll path hands it to the worker serving the request, so the
+  /// worker never touches the connection's shared buffer. Shorter than
+  /// required only when EOF truncated the frame — the worker's payload
+  /// read then runs short and fails the request cleanly.
+  std::string take_request_payload();
+
+  /// Ends the current request. `quit` applies the post-QUIT drain
+  /// policy: complete lines still buffered are DISCARDED, never
+  /// half-processed — the quit response is the last thing the peer
+  /// gets, and pipelining past QUIT is a client bug.
+  void finish_request(bool quit);
+
+  /// Buffered-but-unconsumed bytes (tests and the event loop's
+  /// pending-read accounting).
+  std::size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  /// Payload bytes the current line's request will consume before it
+  /// can be served from the buffer (kBuffered only): <num_words> * 8
+  /// for a well-formed EVALB/SIMB header within kMaxEvalbWords, else 0
+  /// — a malformed or over-limit header is answered (and the
+  /// connection dropped) without waiting for any payload.
+  std::size_t required_payload(const std::string& line) const;
+
+  const PayloadMode mode_;
+  std::string buffer_;
+  std::string line_;
+  bool have_line_ = false;
+  std::size_t payload_need_ = 0;
+  bool eof_ = false;
+  bool clean_eof_ = false;
+  bool closed_ = false;
+};
+
+}  // namespace ambit::serve

@@ -1,0 +1,53 @@
+// The epoll-backed serve core (IoModel::kEpoll): one loop thread
+// multiplexing every accepted connection through non-blocking sockets
+// and the shared ConnState framing machine (serve/conn_state.h), with
+// request evaluation dispatched to the session ThreadPool so the loop
+// never blocks on a sweep.
+//
+// Division of labor (ownership rules in docs/ARCHITECTURE.md):
+//
+//   * the LOOP THREAD owns every per-connection object — fds, the
+//     ConnState buffer, the write-backpressure outbox, the timer-wheel
+//     deadlines. No lock guards them because no other thread touches
+//     them.
+//   * WORKERS own only what a dispatched request job captured: the
+//     request line, its payload bytes (moved out of the connection
+//     buffer before dispatch), and the response bytes they build.
+//   * the ONE shared structure is the completion queue (LockRank::
+//     kEventLoop) workers post finished results to, paired with an
+//     eventfd that wakes the loop.
+//
+// Timeouts reimplement the SO_RCVTIMEO/SO_SNDTIMEO semantics of the
+// threaded path on a hashed timer wheel: an idle peer is dropped
+// (reason=idle) after idle_timeout_secs without input while the server
+// is waiting on it, and a peer that stops reading its responses is
+// dropped (reason=send) after send_timeout_secs without write
+// progress. Drop classification, logging, and the response bytes
+// themselves are identical to the threaded path — the dual-path
+// conformance matrix in tests/serve_test.cpp holds both to that.
+#pragma once
+
+#ifdef __linux__
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace ambit::serve {
+
+class Server;
+
+/// Runs `server`'s accept + connection machinery as an epoll event
+/// loop until a SHUTDOWN request drains it (Server::serve_listener
+/// calls this when the resolved io model is kEpoll). Takes ownership
+/// of `listener`; `what` prefixes error messages; `cleanup` runs after
+/// the listener closes (serve_unix unlinks its socket file there).
+/// Returns the number of requests served; throws ambit::Error on fatal
+/// socket-level failures (after draining in-flight connections).
+std::uint64_t serve_event_loop(Server& server, int listener,
+                               const std::string& what,
+                               const std::function<void()>& cleanup);
+
+}  // namespace ambit::serve
+
+#endif  // __linux__

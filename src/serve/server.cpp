@@ -1,6 +1,7 @@
 #include "serve/server.h"
 
 #include <array>
+#include <cstdlib>
 #include <cstring>
 #include <istream>
 #include <memory>
@@ -8,6 +9,8 @@
 #include <utility>
 #include <vector>
 
+#include "serve/conn_state.h"
+#include "serve/event_loop.h"
 #include "serve/protocol.h"
 #include "util/error.h"
 #include "util/mutex.h"
@@ -48,6 +51,33 @@ std::pair<std::string, int> parse_host_port(const std::string& spec) {
   return {host, port};
 }
 
+const char* io_model_name(IoModel model) {
+  return model == IoModel::kThreads ? "threads" : "epoll";
+}
+
+IoModel parse_io_model(const std::string& text) {
+  if (text == "threads") {
+    return IoModel::kThreads;
+  }
+  if (text == "epoll") {
+    return IoModel::kEpoll;
+  }
+  throw Error("unknown io model '" + text + "' (expected threads or epoll)");
+}
+
+IoModel resolve_io_model(IoModel requested) {
+  // getenv, not a cached static: tests flip the variable between
+  // listeners in one process.
+  const char* forced = std::getenv("AMBIT_IO_MODEL");
+  if (forced != nullptr && *forced != '\0') {
+    requested = parse_io_model(forced);
+  }
+#ifndef __linux__
+  requested = IoModel::kThreads;  // epoll is Linux-only
+#endif
+  return requested;
+}
+
 /// Every handle the per-request path records through, registered once
 /// at Server construction. Pointers, not references, so the struct can
 /// live behind a unique_ptr; all of them point into deque-backed
@@ -73,6 +103,9 @@ struct Server::ServeMetrics {
   metrics::Counter* coalesce_fused;
   metrics::Counter* coalesce_batches;
   metrics::Histogram* coalesce_wait_us;
+  metrics::Counter* loop_iterations;
+  metrics::Histogram* loop_ready_events;
+  metrics::Gauge* pending_write_bytes;
 
   explicit ServeMetrics(metrics::Registry& reg) : registry(reg) {
     const std::vector<std::string> verbs = verb_names();
@@ -143,6 +176,19 @@ struct Server::ServeMetrics {
         "leader's follower-wait window, or a follower's wait for the "
         "fused result including the shared sweep)",
         metrics::Histogram::default_latency_bounds_us());
+    loop_iterations =
+        &reg.counter("ambit_serve_loop_iterations_total",
+                     "Event-loop iterations (one epoll_wait return each; "
+                     "io_model=epoll only)");
+    loop_ready_events = &reg.histogram(
+        "ambit_serve_loop_ready_events",
+        "Descriptors ready per event-loop iteration — 0 means the "
+        "50 ms housekeeping timeout fired with nothing to do",
+        {0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024});
+    pending_write_bytes = &reg.gauge(
+        "ambit_serve_pending_write_bytes",
+        "Response bytes queued in per-connection write-backpressure "
+        "outboxes, not yet taken by the sockets (io_model=epoll only)");
   }
 };
 
@@ -681,6 +727,86 @@ std::uint64_t Server::serve_stream(std::istream& in, std::ostream& out) {
   return served;
 }
 
+std::uint64_t Server::serve_chunks(
+    const std::function<std::string()>& next_chunk, std::string& out) {
+  std::uint64_t served = 0;
+  ConnState state(ConnState::PayloadMode::kBuffered);
+  const ByteWriter write_bytes = [&out](const char* data, std::size_t n) {
+    out.append(data, n);
+    return true;
+  };
+  const PayloadReader read_payload = [&state](char* dst, std::size_t n) {
+    return state.read_payload(dst, n);
+  };
+  for (;;) {
+    switch (state.advance()) {
+      case ConnState::Step::kNeedInput: {
+        const std::string chunk = next_chunk();
+        if (chunk.empty()) {
+          state.note_eof(/*clean=*/true);
+        } else {
+          state.append(chunk.data(), chunk.size());
+        }
+        break;
+      }
+      case ConnState::Step::kRequest: {
+        Outcome outcome;
+        const bool alive =
+            serve_line(state.line(), read_payload, write_bytes, outcome);
+        if (alive) {
+          ++served;
+        }
+        state.finish_request(outcome.quit);
+        if (!alive || outcome.quit) {
+          return served;
+        }
+        break;
+      }
+      case ConnState::Step::kOversized:
+        out += oversized_line_response();
+        return served;
+      case ConnState::Step::kClosed:
+        return served;
+    }
+  }
+}
+
+void Server::note_connection_accepted() {
+  if (metrics_on()) {
+    metrics_->connections_accepted->add();
+  }
+}
+
+void Server::note_connection_dropped(const char* reason,
+                                     std::uint64_t conn_id,
+                                     std::uint64_t served) {
+  if (metrics_on()) {
+    if (std::strcmp(reason, "idle") == 0) {
+      metrics_->dropped_idle->add();
+    } else if (std::strcmp(reason, "send") == 0) {
+      metrics_->dropped_send->add();
+    } else {
+      metrics_->dropped_malformed->add();
+    }
+  }
+  logs::warn("conn.drop", {{"conn", std::to_string(conn_id)},
+                           {"reason", reason},
+                           {"served", std::to_string(served)}});
+}
+
+void Server::note_loop_wakeup(std::size_t ready_events) {
+  if (metrics_on()) {
+    metrics_->loop_iterations->add();
+    metrics_->loop_ready_events->observe(ready_events);
+  }
+}
+
+void Server::note_pending_write_delta(std::int64_t delta) {
+  if (metrics_on()) {
+    metrics_->pending_write_bytes->add(delta);
+  }
+}
+
 #ifndef _WIN32
 
 namespace {
@@ -993,18 +1119,7 @@ std::uint64_t Server::serve_connection(int conn, std::uint64_t conn_id) {
     // gets, and pipelining past QUIT is a client bug.
   }
   if (drop_reason != nullptr) {
-    if (metrics_on()) {
-      if (std::strcmp(drop_reason, "idle") == 0) {
-        metrics_->dropped_idle->add();
-      } else if (std::strcmp(drop_reason, "send") == 0) {
-        metrics_->dropped_send->add();
-      } else {
-        metrics_->dropped_malformed->add();
-      }
-    }
-    logs::warn("conn.drop", {{"conn", std::to_string(conn_id)},
-                             {"reason", drop_reason},
-                             {"served", std::to_string(served)}});
+    note_connection_dropped(drop_reason, conn_id, served);
   }
   return served;
 }
@@ -1012,27 +1127,61 @@ std::uint64_t Server::serve_connection(int conn, std::uint64_t conn_id) {
 std::uint64_t Server::serve_listener(int listener, const std::string& what,
                                      const std::function<void()>& cleanup) {
   shutdown_.store(false);
+  const IoModel model = resolve_io_model(options_.io_model);
+#ifdef __linux__
+  if (model == IoModel::kEpoll) {
+    return serve_event_loop(*this, listener, what, cleanup);
+  }
+#else
+  (void)model;  // resolve_io_model already clamped to kThreads
+#endif
+  return serve_listener_threads(listener, what, cleanup);
+}
+
+std::uint64_t Server::serve_listener_threads(
+    int listener, const std::string& what,
+    const std::function<void()>& cleanup) {
   std::atomic<std::uint64_t> served{0};
   ConnectionRegistry registry(options_.max_connections, shutdown_);
+
+  // Self-pipe SHUTDOWN wakeup: the verb is handled on a CONNECTION
+  // thread, while the accept loop sits in poll() or in the registry's
+  // slot wait. The handling connection's exit already wakes the slot
+  // wait (its slot frees); this pipe wakes the poll, so SHUTDOWN stops
+  // the accept loop in one scheduler hop instead of up to a full poll
+  // timeout — under continuous connect pressure, that poll timeout
+  // never fires at all, and without the pipe the loop would keep
+  // accepting as long as clients kept arriving.
+  int wake[2] = {-1, -1};
+  if (::pipe(wake) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(listener);
+    cleanup();
+    throw Error(what + ": cannot create shutdown pipe: " + reason);
+  }
 
   // Every exit from the accept loop — SHUTDOWN or a socket-level
   // failure — must drain the in-flight connection threads before the
   // registry leaves scope: destroying a joinable std::thread calls
   // std::terminate, which would turn a catchable accept error (e.g.
-  // EMFILE under fd exhaustion) into a process abort.
+  // EMFILE under fd exhaustion) into a process abort. The pipe's write
+  // end outlives the drain: the connection threads being joined may
+  // still write their shutdown byte.
   const auto drain_and_cleanup = [&] {
     registry.shutdown_inputs();
     registry.join_all();
+    ::close(wake[0]);
+    ::close(wake[1]);
     ::close(listener);
     cleanup();
   };
 
   while (!shutdown_.load()) {
-    // Poll with a short timeout so a SHUTDOWN handled on a connection
-    // thread stops the accept loop promptly — accept() alone would
-    // block until the next client happened to arrive.
-    pollfd pfd{listener, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/50);
+    // Poll with a timeout as a belt-and-suspenders backstop for the
+    // pipe (a SHUTDOWN whose wake byte was somehow lost still stops
+    // the loop at the next timeout).
+    pollfd pfds[2] = {{listener, POLLIN, 0}, {wake[0], POLLIN, 0}};
+    const int ready = ::poll(pfds, 2, /*timeout_ms=*/50);
     if (ready < 0) {
       if (errno == EINTR) {
         continue;
@@ -1041,8 +1190,9 @@ std::uint64_t Server::serve_listener(int listener, const std::string& what,
       drain_and_cleanup();
       throw Error(what + ": poll failed: " + reason);
     }
-    if (ready == 0) {
-      continue;  // timeout: re-check the shutdown latch
+    if (ready == 0 || (pfds[1].revents & POLLIN) != 0 ||
+        (pfds[0].revents & POLLIN) == 0) {
+      continue;  // timeout or shutdown wakeup: re-check the latch
     }
     const int conn = ::accept(listener, nullptr, nullptr);
     if (conn < 0) {
@@ -1081,14 +1231,13 @@ std::uint64_t Server::serve_listener(int listener, const std::string& what,
     // STATS, which must stay exact even with metrics compiled out.
     const std::uint64_t conn_id =
         connections_accepted_.fetch_add(1, std::memory_order_relaxed) + 1;
-    if (metrics_on()) {
-      metrics_->connections_accepted->add();
-    }
+    note_connection_accepted();
     logs::debug("conn.accept",
                 {{"conn", std::to_string(conn_id)}, {"transport", what}});
     try {
+      const int wake_w = wake[1];
       const bool launched =
-          registry.launch(conn, [this, conn, conn_id, &served] {
+          registry.launch(conn, [this, conn, conn_id, wake_w, &served] {
             connections_active_.fetch_add(1, std::memory_order_relaxed);
             std::uint64_t on_conn = 0;
             try {
@@ -1104,6 +1253,14 @@ std::uint64_t Server::serve_listener(int listener, const std::string& what,
             connections_active_.fetch_sub(1, std::memory_order_relaxed);
             logs::debug("conn.close", {{"conn", std::to_string(conn_id)},
                                        {"served", std::to_string(on_conn)}});
+            if (shutdown_.load()) {
+              // This connection handled (or raced with) SHUTDOWN: kick
+              // the accept loop's poll awake. One byte per exiting
+              // connection cannot fill the pipe before the loop drains
+              // it by closing the read end.
+              const char byte = 1;
+              (void)!::write(wake_w, &byte, 1);
+            }
           });
       if (!launched) {
         // SHUTDOWN arrived while this accept waited for a slot.

@@ -108,6 +108,36 @@ inline constexpr long kIdleTimeoutSecs = 300;
 /// the text-side counterpart of kMaxEvalbWords.
 inline constexpr std::size_t kMaxLineBytes = std::size_t{1} << 20;
 
+/// How the socket transports multiplex connections. The FRAMING and
+/// response bytes are identical either way (the dual-path conformance
+/// matrix in tests/serve_test.cpp runs every socket test against both);
+/// the models differ only in how many connections they can carry.
+enum class IoModel {
+  /// One thread per accepted connection, up to max_connections at a
+  /// time (further accepts wait for a slot). Timeouts via
+  /// SO_RCVTIMEO/SO_SNDTIMEO. Portable; caps out at thread count.
+  kThreads,
+  /// One epoll loop thread driving non-blocking per-connection state
+  /// machines (serve/event_loop.h); evaluation runs on the session
+  /// ThreadPool, timeouts on a timer wheel. max_connections bounds the
+  /// connections admitted at once, but they are cheap — this is the
+  /// C10k path. Linux-only; other platforms fall back to kThreads.
+  kEpoll,
+};
+
+/// "threads" / "epoll".
+const char* io_model_name(IoModel model);
+
+/// Parses "threads" / "epoll"; throws ambit::Error on anything else.
+IoModel parse_io_model(const std::string& text);
+
+/// The model a serve listener will actually run `requested` under:
+/// the AMBIT_IO_MODEL environment variable ("threads" / "epoll")
+/// overrides it when set (the CI fallback leg forces the whole test
+/// matrix onto threads this way, mirroring AMBIT_FORCE_SCALAR), and
+/// non-Linux platforms fall back to kThreads.
+IoModel resolve_io_model(IoModel requested);
+
 /// Knobs for the socket transports (serve_unix / serve_tcp).
 struct ServerOptions {
   /// Connections served at once; further accepts wait for a free slot.
@@ -133,6 +163,10 @@ struct ServerOptions {
   /// their phase trace (parse / coalesce_wait / queue_wait / evaluate /
   /// serialize) at warn, rate-limited. 0 (default) disables the dump.
   std::uint64_t slow_request_us = 0;
+  /// Connection multiplexing model for the socket transports (see
+  /// IoModel above; resolve_io_model applies the AMBIT_IO_MODEL
+  /// override and the platform fallback).
+  IoModel io_model = IoModel::kEpoll;
 };
 
 /// Splits "host:port" into its parts; throws ambit::Error on a missing
@@ -196,6 +230,19 @@ class Server {
   /// of requests served; throws ambit::Error on socket-level failures.
   std::uint64_t serve_tcp(const std::string& host, int port,
                           std::atomic<int>* bound_port = nullptr);
+
+  /// Feeds ONE connection's byte stream through the same incremental
+  /// ConnState machine the epoll transport runs (serve/conn_state.h) —
+  /// no sockets involved. `next_chunk` returns the peer's next burst
+  /// of bytes (empty string = clean EOF); every chunk boundary is a
+  /// potential read() boundary, so a caller that returns one byte at a
+  /// time exercises every split point of the framing. Responses are
+  /// appended to `out`. Returns the number of requests served. This is
+  /// the harness the arbitrary-chunking fuzz mode and the state-machine
+  /// unit tests drive; production traffic reaches the same code through
+  /// serve_unix/serve_tcp with io_model = kEpoll.
+  std::uint64_t serve_chunks(const std::function<std::string()>& next_chunk,
+                             std::string& out);
 
   /// True once a SHUTDOWN request was handled.
   bool shutdown_requested() const { return shutdown_.load(); }
@@ -269,19 +316,41 @@ class Server {
   std::uint64_t serve_connection(int conn, std::uint64_t conn_id);
 
   /// The transport-agnostic accept/connection loop shared by serve_unix
-  /// and serve_tcp: polls `listener`, accepts up to max_connections
-  /// concurrent connections (one thread each, per-connection timeouts
-  /// applied), and on SHUTDOWN — or a fatal accept error — drains every
-  /// in-flight connection, closes the listener, and runs `cleanup`
-  /// (serve_unix unlinks its socket file there). `what` prefixes error
-  /// messages ("serve_unix" / "serve_tcp"). Takes ownership of
-  /// `listener`.
+  /// and serve_tcp. Dispatches on the resolved io model: the
+  /// thread-per-connection path below, or the epoll event loop
+  /// (serve/event_loop.h). Either way: accepts connections, applies the
+  /// idle/send timeout policy, and on SHUTDOWN — or a fatal accept
+  /// error — drains every in-flight connection, closes the listener,
+  /// and runs `cleanup` (serve_unix unlinks its socket file there).
+  /// `what` prefixes error messages ("serve_unix" / "serve_tcp").
+  /// Takes ownership of `listener`.
   std::uint64_t serve_listener(int listener, const std::string& what,
                                const std::function<void()>& cleanup);
+
+  /// The thread-per-connection fallback path (IoModel::kThreads).
+  std::uint64_t serve_listener_threads(int listener, const std::string& what,
+                                       const std::function<void()>& cleanup);
+
+  /// Connection-lifecycle accounting shared by both io models, so the
+  /// counters and the conn.drop/conn.accept log lines cannot drift
+  /// between them. Defined in server.cpp where ServeMetrics is
+  /// visible.
+  void note_connection_accepted();
+  void note_connection_dropped(const char* reason, std::uint64_t conn_id,
+                               std::uint64_t served);
+  /// Event-loop instrumentation (no-ops when metrics are off): one
+  /// wakeup = one epoll_wait return with `ready_events` descriptors.
+  void note_loop_wakeup(std::size_t ready_events);
+  /// Tracks the aggregate write-backpressure outbox size.
+  void note_pending_write_delta(std::int64_t delta);
 
   /// Handles are registered once at construction; recording is relaxed
   /// atomics only. Defined in server.cpp (one member per metric).
   struct ServeMetrics;
+
+  /// The epoll event loop (serve/event_loop.cpp) drives serve_line and
+  /// the drop accounting directly — it IS the transport on that path.
+  friend class EventLoop;
 
   Session& session_;
   ServerOptions options_;

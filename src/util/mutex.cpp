@@ -18,6 +18,8 @@ const char* lock_rank_name(LockRank rank) {
       return "circuit-sim";
     case LockRank::kConnectionRegistry:
       return "connection-registry";
+    case LockRank::kEventLoop:
+      return "event-loop";
     case LockRank::kThreadPool:
       return "thread-pool";
     case LockRank::kPoolJoin:

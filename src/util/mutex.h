@@ -70,6 +70,11 @@ enum class LockRank : int {
   /// The serve ConnectionRegistry (server.cpp) — slots, live fds,
   /// thread handles.
   kConnectionRegistry = 40,
+  /// serve::EventLoop's completion queue (serve/event_loop.cpp): the
+  /// one lock shared between the epoll loop thread and the pool
+  /// workers posting finished request results back to it. Leaf on the
+  /// worker side — a worker posts a completion holding nothing else.
+  kEventLoop = 45,
   /// ThreadPool::mutex_ — the task queue. Acquired while a caller may
   /// hold kCircuitVerify (VERIFY's sharded sweep).
   kThreadPool = 50,

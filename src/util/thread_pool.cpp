@@ -11,6 +11,13 @@
 
 namespace ambit {
 
+namespace {
+/// The pool (if any) whose worker_loop owns the calling thread. One
+/// slot suffices: a worker thread belongs to exactly one pool for its
+/// whole life, and nothing nests worker loops.
+thread_local const ThreadPool* t_worker_pool = nullptr;
+}  // namespace
+
 ThreadPool::ThreadPool(int num_workers) {
   check(num_workers >= 0, "ThreadPool: negative worker count");
   workers_.reserve(static_cast<std::size_t>(num_workers));
@@ -30,7 +37,34 @@ ThreadPool::~ThreadPool() {
   }
 }
 
+bool ThreadPool::on_worker_thread() const { return t_worker_pool == this; }
+
+void ThreadPool::submit(std::function<void()> task) {
+  // A task that throws must cost only itself, never the worker thread
+  // (an escaped exception would terminate the process) — same contract
+  // as a connection-thread body.
+  std::function<void()> guarded = [task = std::move(task)] {
+    try {
+      task();
+    } catch (...) {
+    }
+  };
+  if (num_workers() == 0) {
+    guarded();  // inline degradation, like parallel_for's
+    return;
+  }
+  {
+    const MutexLock lock(mutex_);
+    tasks_.push(std::move(guarded));
+#ifdef AMBIT_METRICS
+    queued_.fetch_add(1, std::memory_order_relaxed);
+#endif
+  }
+  work_ready_.notify_one();
+}
+
 void ThreadPool::worker_loop() {
+  t_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -63,7 +97,11 @@ void ThreadPool::parallel_for(
   }
   grain = std::max<std::uint64_t>(grain, 1);
   const std::uint64_t count = end - begin;
-  if (num_workers() == 0 || count <= grain) {
+  // Inline cases: a zero-worker pool, a range too small to shard, and
+  // a call made FROM one of this pool's own workers (a submitted task
+  // sharding its evaluation). The last one is what makes submit +
+  // parallel_for composition deadlock-free — see on_worker_thread().
+  if (num_workers() == 0 || count <= grain || on_worker_thread()) {
     body(begin, end);
     return;
   }

@@ -59,6 +59,27 @@ class ThreadPool {
       std::uint64_t begin, std::uint64_t end, std::uint64_t grain,
       const std::function<void(std::uint64_t, std::uint64_t)>& body);
 
+  /// Enqueues one fire-and-forget task for a worker to run. Unlike
+  /// parallel_for this never blocks: the serve event loop dispatches
+  /// request evaluation through it so the loop thread keeps polling
+  /// while workers sweep. Exceptions a task throws are swallowed — a
+  /// submitted task owns its own error reporting, exactly like a
+  /// connection-thread body. A zero-worker pool runs the task inline
+  /// before returning. Tasks may call parallel_for (or submit) on this
+  /// same pool: see on_worker_thread() below for why that cannot
+  /// deadlock.
+  void submit(std::function<void()> task);
+
+  /// True when the calling thread is one of THIS pool's workers.
+  /// parallel_for uses it to run nested calls inline: a submitted task
+  /// that shards through its own pool would otherwise park a worker on
+  /// the join latch waiting for chunks that are queued BEHIND other
+  /// submitted tasks — with every worker parked the same way, nothing
+  /// would ever run them. Inline nesting trades sharding of that one
+  /// call for a hard no-deadlock guarantee (concurrency still comes
+  /// from the other workers running other tasks).
+  bool on_worker_thread() const;
+
   /// Worker count for "use the machine": the AMBIT_THREADS environment
   /// variable when set and positive, else std::thread::hardware_concurrency.
   static int default_workers();

@@ -1103,11 +1103,52 @@ TEST(ServerTest, MalformedSimbHeaderDropsConnection) {
 // one shared Unix-socket client implementation used by these tests AND
 // bench_serve_throughput.
 
-TEST(ServerTest, UnixSocketSessionEndToEnd) {
+/// The dual-path conformance matrix: every socket test below is
+/// parameterized over BOTH io models (thread-per-connection and the
+/// epoll event loop) and must pass byte-identically on each — the
+/// framing, the EVALB/SIMB exchanges, the drop boundaries, the drain
+/// semantics, and the exact counters are all model-independent
+/// contract, not implementation accidents. (When AMBIT_IO_MODEL is set
+/// — the CI fallback leg — resolve_io_model collapses both parameter
+/// values onto the forced model; the matrix then proves that model
+/// twice rather than proving nothing.)
+class SocketMatrixTest : public ::testing::TestWithParam<IoModel> {
+ protected:
+  /// ServerOptions pinned to the parameterized io model.
+  ServerOptions opts() const {
+    ServerOptions options;
+    options.io_model = GetParam();
+    return options;
+  }
+};
+
+/// Unix-domain socket transport matrix.
+class ServerSocketTest : public SocketMatrixTest {};
+/// TCP transport matrix.
+class TcpSocketTest : public SocketMatrixTest {};
+/// Observability-surface matrix (counters, drops, HTTP side listener).
+class ObservabilitySocketTest : public SocketMatrixTest {};
+
+std::string io_model_param_name(
+    const ::testing::TestParamInfo<IoModel>& info) {
+  return io_model_name(info.param);
+}
+
+INSTANTIATE_TEST_SUITE_P(IoModels, ServerSocketTest,
+                         ::testing::Values(IoModel::kThreads, IoModel::kEpoll),
+                         io_model_param_name);
+INSTANTIATE_TEST_SUITE_P(IoModels, TcpSocketTest,
+                         ::testing::Values(IoModel::kThreads, IoModel::kEpoll),
+                         io_model_param_name);
+INSTANTIATE_TEST_SUITE_P(IoModels, ObservabilitySocketTest,
+                         ::testing::Values(IoModel::kThreads, IoModel::kEpoll),
+                         io_model_param_name);
+
+TEST_P(ServerSocketTest, UnixSocketSessionEndToEnd) {
   const std::string path = write_sample_pla("serve_socket.pla");
   const std::string socket_path = testing::TempDir() + "/ambit_serve_test.sock";
   Session session(2);
-  Server server(session);
+  Server server(session, opts());
   std::thread server_thread([&] { server.serve_unix(socket_path); });
 
   const int fd = connect_with_retry(socket_path);
@@ -1127,12 +1168,12 @@ TEST(ServerTest, UnixSocketSessionEndToEnd) {
   EXPECT_TRUE(server.shutdown_requested());
 }
 
-TEST(ServerTest, UnixSocketServesConsecutiveConnections) {
+TEST_P(ServerSocketTest, UnixSocketServesConsecutiveConnections) {
   const std::string path = write_sample_pla("serve_socket2.pla");
   const std::string socket_path =
       testing::TempDir() + "/ambit_serve_test2.sock";
   Session session(1);
-  Server server(session);
+  Server server(session, opts());
   std::thread server_thread([&] { server.serve_unix(socket_path); });
 
   // Connection 1 loads and quits; connection 2 still sees the circuit
@@ -1154,7 +1195,7 @@ TEST(ServerTest, UnixSocketServesConsecutiveConnections) {
   EXPECT_TRUE(starts_with(lines2[0], "OK "));
 }
 
-TEST(ServerTest, ConnectionsAreServedConcurrently) {
+TEST_P(ServerSocketTest, ConnectionsAreServedConcurrently) {
   // Regression for the sequential-accept prototype: with one client
   // connected and IDLE, a second client must still get answers. Under
   // sequential accept this deadlocks (the second connection sits in the
@@ -1162,7 +1203,7 @@ TEST(ServerTest, ConnectionsAreServedConcurrently) {
   const std::string socket_path =
       testing::TempDir() + "/ambit_serve_conc.sock";
   Session session(1);
-  Server server(session);
+  Server server(session, opts());
   std::thread server_thread([&] { server.serve_unix(socket_path); });
 
   const int idle = connect_with_retry(socket_path);
@@ -1182,7 +1223,7 @@ TEST(ServerTest, ConnectionsAreServedConcurrently) {
   server_thread.join();
 }
 
-TEST(ServerTest, ResidualEvalbHeaderAtEofFailsCleanly) {
+TEST_P(ServerSocketTest, ResidualEvalbHeaderAtEofFailsCleanly) {
   // An EVALB header that arrives WITHOUT its newline and payload before
   // the peer half-closes must not re-read its own header text as
   // payload — the payload read hits EOF and the connection just ends.
@@ -1191,7 +1232,7 @@ TEST(ServerTest, ResidualEvalbHeaderAtEofFailsCleanly) {
       testing::TempDir() + "/ambit_serve_residb.sock";
   Session session(1);
   session.load("s", path);
-  Server server(session);
+  Server server(session, opts());
   std::thread server_thread([&] { server.serve_unix(socket_path); });
 
   const int fd = connect_with_retry(socket_path);
@@ -1216,14 +1257,14 @@ TEST(ServerTest, ResidualEvalbHeaderAtEofFailsCleanly) {
   server_thread.join();
 }
 
-TEST(ServerTest, OversizedRequestLineDropsConnection) {
+TEST_P(ServerSocketTest, OversizedRequestLineDropsConnection) {
   // A newline-free byte stream must not grow the receive buffer
   // without bound: past kMaxLineBytes the server answers ERR once and
   // drops the connection.
   const std::string socket_path =
       testing::TempDir() + "/ambit_serve_longline.sock";
   Session session(1);
-  Server server(session);
+  Server server(session, opts());
   std::thread server_thread([&] { server.serve_unix(socket_path); });
 
   const int fd = connect_with_retry(socket_path);
@@ -1255,7 +1296,7 @@ TEST(ServerTest, OversizedRequestLineDropsConnection) {
   server_thread.join();
 }
 
-TEST(ServerTest, ShutdownInterruptsSlotWait) {
+TEST_P(ServerSocketTest, ShutdownInterruptsSlotWait) {
   // max_connections=1: connection B is accepted but waits for A's
   // slot. A then issues SHUTDOWN — the accept loop must abandon the
   // slot wait and close B instead of serving one more connection.
@@ -1263,6 +1304,7 @@ TEST(ServerTest, ShutdownInterruptsSlotWait) {
       testing::TempDir() + "/ambit_serve_slotwait.sock";
   Session session(1);
   ServerOptions slot_options;
+  slot_options.io_model = GetParam();
   slot_options.max_connections = 1;
   Server server(session, slot_options);
   std::thread server_thread([&] { server.serve_unix(socket_path); });
@@ -1290,13 +1332,13 @@ TEST(ServerTest, ShutdownInterruptsSlotWait) {
   ::close(b);
 }
 
-TEST(ServerTest, ResidualLineWithoutNewlineIsServed) {
+TEST_P(ServerSocketTest, ResidualLineWithoutNewlineIsServed) {
   // A final request that arrives without a trailing '\n' before the
   // peer half-closes must be served, not silently dropped.
   const std::string socket_path =
       testing::TempDir() + "/ambit_serve_resid.sock";
   Session session(1);
-  Server server(session);
+  Server server(session, opts());
   std::thread server_thread([&] { server.serve_unix(socket_path); });
 
   const int fd = connect_with_retry(socket_path);
@@ -1320,7 +1362,7 @@ TEST(ServerTest, ResidualLineWithoutNewlineIsServed) {
   server_thread.join();
 }
 
-TEST(ServerTest, PipelinedLinesAfterQuitAreDiscarded) {
+TEST_P(ServerSocketTest, PipelinedLinesAfterQuitAreDiscarded) {
   // Complete lines already buffered behind a QUIT (or SHUTDOWN) must
   // not be half-processed: the quit response is the last one, and the
   // pipelined LOAD never happens.
@@ -1328,7 +1370,7 @@ TEST(ServerTest, PipelinedLinesAfterQuitAreDiscarded) {
   const std::string socket_path =
       testing::TempDir() + "/ambit_serve_postquit.sock";
   Session session(1);
-  Server server(session);
+  Server server(session, opts());
   std::thread server_thread([&] { server.serve_unix(socket_path); });
 
   const int fd = connect_with_retry(socket_path);
@@ -1356,11 +1398,11 @@ TEST(ServerTest, PipelinedLinesAfterQuitAreDiscarded) {
   EXPECT_EQ(session.stats().loads, 0u);
 }
 
-TEST(ServerTest, RefusesToStealLiveSocket) {
+TEST_P(ServerSocketTest, RefusesToStealLiveSocket) {
   const std::string socket_path =
       testing::TempDir() + "/ambit_serve_live.sock";
   Session session(1);
-  Server server(session);
+  Server server(session, opts());
   std::thread server_thread([&] { server.serve_unix(socket_path); });
   const int fd = connect_with_retry(socket_path);
   ASSERT_GE(fd, 0);  // the first server is live
@@ -1379,7 +1421,7 @@ TEST(ServerTest, RefusesToStealLiveSocket) {
   server_thread.join();
 }
 
-TEST(ServerTest, ReplacesStaleSocketFile) {
+TEST_P(ServerSocketTest, ReplacesStaleSocketFile) {
   // A leftover socket file with no listener behind it (e.g. after a
   // crash) must be replaced, not reported as a conflict.
   const std::string socket_path =
@@ -1396,7 +1438,7 @@ TEST(ServerTest, ReplacesStaleSocketFile) {
   ::close(stale);  // socket file remains, nobody listens
 
   Session session(1);
-  Server server(session);
+  Server server(session, opts());
   std::thread server_thread([&] { server.serve_unix(socket_path); });
   const int fd = connect_with_retry(socket_path);
   ASSERT_GE(fd, 0);
@@ -1407,7 +1449,7 @@ TEST(ServerTest, ReplacesStaleSocketFile) {
   server_thread.join();
 }
 
-TEST(ServerTest, MultiClientHammerMatchesSequentialServing) {
+TEST_P(ServerSocketTest, MultiClientHammerMatchesSequentialServing) {
   // >= 4 client threads hammer one server; every response must be
   // bit-identical to what sequential serving (== direct evaluation of
   // the mapped array) would produce, and the exact-request counters
@@ -1419,7 +1461,7 @@ TEST(ServerTest, MultiClientHammerMatchesSequentialServing) {
   session.load("s", path);
   const core::GnorPla pla = core::GnorPla::map_cover(
       Cover::parse(3, 2, {"11- 10", "0-1 01", "10- 11"}));
-  Server server(session);
+  Server server(session, opts());
   std::thread server_thread([&] { server.serve_unix(socket_path); });
 
   constexpr int kClients = 4;
@@ -1488,7 +1530,7 @@ TEST(ServerTest, MultiClientHammerMatchesSequentialServing) {
             static_cast<std::uint64_t>(kClients) * kRequestsPerClient * 2);
 }
 
-TEST(ServerTest, UnixSocketEvalbRoundTrip) {
+TEST_P(ServerSocketTest, UnixSocketEvalbRoundTrip) {
   // The binary bulk frame over the real socket transport, pipelined in
   // one write together with its header and a QUIT.
   const std::string path = write_sample_pla("serve_evalb_sock.pla");
@@ -1496,7 +1538,7 @@ TEST(ServerTest, UnixSocketEvalbRoundTrip) {
       testing::TempDir() + "/ambit_serve_evalb.sock";
   Session session(1);
   session.load("s", path);
-  Server server(session);
+  Server server(session, opts());
   std::thread server_thread([&] { server.serve_unix(socket_path); });
 
   PatternBatch inputs = PatternBatch::exhaustive(3);
@@ -1534,7 +1576,7 @@ TEST(ServerTest, UnixSocketEvalbRoundTrip) {
   EXPECT_EQ(buffer.substr(consumed), "OK shutting down\n");
 }
 
-TEST(ServerTest, UnixSocketSimAndSimbRoundTrip) {
+TEST_P(ServerSocketTest, UnixSocketSimAndSimbRoundTrip) {
   // SIM (text) and SIMB (binary frame) over the real socket transport,
   // checked against scalar and batch simulation of the loaded array.
   const std::string path = write_sample_pla("serve_sim_sock.pla");
@@ -1542,7 +1584,7 @@ TEST(ServerTest, UnixSocketSimAndSimbRoundTrip) {
       testing::TempDir() + "/ambit_serve_simb.sock";
   Session session(1);
   session.load("s", path);
-  Server server(session);
+  Server server(session, opts());
   std::thread server_thread([&] { server.serve_unix(socket_path); });
 
   const core::GnorPla& gnor = session.get("s")->gnor;
@@ -1598,7 +1640,7 @@ TEST(ServerTest, UnixSocketSimAndSimbRoundTrip) {
   EXPECT_EQ(session.stats().sim_patterns, 10u);
 }
 
-TEST(ServerTest, MultiClientHammerMixesEvalbAndSimb) {
+TEST_P(ServerSocketTest, MultiClientHammerMixesEvalbAndSimb) {
   // >= 4 clients interleave EVALB and SIMB bulk frames against the SAME
   // loaded circuit on one shared session: every binary response must be
   // bit-identical to direct evaluation/simulation, and the exact
@@ -1608,7 +1650,7 @@ TEST(ServerTest, MultiClientHammerMixesEvalbAndSimb) {
       testing::TempDir() + "/ambit_serve_mixhammer.sock";
   Session session(/*workers=*/2);
   session.load("s", path);
-  Server server(session);
+  Server server(session, opts());
   std::thread server_thread([&] { server.serve_unix(socket_path); });
 
   PatternBatch inputs = PatternBatch::exhaustive(3);
@@ -1750,10 +1792,10 @@ std::thread start_tcp_server(Server& server, std::atomic<int>& port,
   });
 }
 
-TEST(TcpServerTest, SessionEndToEnd) {
+TEST_P(TcpSocketTest, SessionEndToEnd) {
   const std::string path = write_sample_pla("serve_tcp.pla");
   Session session(2);
-  Server server(session);
+  Server server(session, opts());
   std::atomic<int> port{0};
   std::thread server_thread = start_tcp_server(server, port);
   const int bound = await_bound_port(port);
@@ -1776,12 +1818,12 @@ TEST(TcpServerTest, SessionEndToEnd) {
   EXPECT_TRUE(server.shutdown_requested());
 }
 
-TEST(TcpServerTest, ConnectionsAreServedConcurrently) {
+TEST_P(TcpSocketTest, ConnectionsAreServedConcurrently) {
   // Same regression as the Unix transport: one idle connected client
   // must not starve a second one — they share the concurrent accept
   // loop, not a sequential prototype.
   Session session(1);
-  Server server(session);
+  Server server(session, opts());
   std::atomic<int> port{0};
   std::thread server_thread = start_tcp_server(server, port, "localhost");
   const int bound = await_bound_port(port);
@@ -1805,14 +1847,14 @@ TEST(TcpServerTest, ConnectionsAreServedConcurrently) {
   server_thread.join();
 }
 
-TEST(TcpServerTest, EvalbAndSimbRoundTrip) {
+TEST_P(TcpSocketTest, EvalbAndSimbRoundTrip) {
   // Both binary bulk frames over a real TCP socket, pipelined with the
   // SHUTDOWN that drains the server: decoded lanes (and SIMB's delay
   // arrays) must match direct evaluation/simulation bit for bit.
   const std::string path = write_sample_pla("serve_tcp_bulk.pla");
   Session session(1);
   session.load("s", path);
-  Server server(session);
+  Server server(session, opts());
   std::atomic<int> port{0};
   std::thread server_thread = start_tcp_server(server, port);
   const int bound = await_bound_port(port);
@@ -1870,11 +1912,11 @@ TEST(TcpServerTest, EvalbAndSimbRoundTrip) {
   EXPECT_EQ(buffer.substr(consumed + sim_consumed), "OK shutting down\n");
 }
 
-TEST(TcpServerTest, OversizedRequestLineDropsConnection) {
+TEST_P(TcpSocketTest, OversizedRequestLineDropsConnection) {
   // The kMaxLineBytes boundary is transport-agnostic: the TCP side
   // must answer ERR once and drop, exactly like the Unix side.
   Session session(1);
-  Server server(session);
+  Server server(session, opts());
   std::atomic<int> port{0};
   std::thread server_thread = start_tcp_server(server, port);
   const int bound = await_bound_port(port);
@@ -1907,12 +1949,13 @@ TEST(TcpServerTest, OversizedRequestLineDropsConnection) {
   server_thread.join();
 }
 
-TEST(TcpServerTest, IdleTimeoutDropsSilentPeer) {
+TEST_P(TcpSocketTest, IdleTimeoutDropsSilentPeer) {
   // ServerOptions::idle_timeout_secs reaches the TCP transport through
   // the shared listener loop: a peer that never sends is dropped after
   // the timeout, and the freed slot still serves new connections.
   Session session(1);
   ServerOptions options;
+  options.io_model = GetParam();
   options.idle_timeout_secs = 1;
   Server server(session, options);
   std::atomic<int> port{0};
@@ -1939,7 +1982,7 @@ TEST(TcpServerTest, IdleTimeoutDropsSilentPeer) {
   server_thread.join();
 }
 
-TEST(TcpServerTest, MultiClientHammerMatchesDirectEvaluation) {
+TEST_P(TcpSocketTest, MultiClientHammerMatchesDirectEvaluation) {
   // The concurrent hammer of the Unix matrix over TCP: four clients,
   // client-distinct patterns, every response checked against direct
   // evaluation, exact counters, graceful SHUTDOWN drain at the end.
@@ -1948,7 +1991,7 @@ TEST(TcpServerTest, MultiClientHammerMatchesDirectEvaluation) {
   session.load("s", path);
   const core::GnorPla pla = core::GnorPla::map_cover(
       Cover::parse(3, 2, {"11- 10", "0-1 01", "10- 11"}));
-  Server server(session);
+  Server server(session, opts());
   std::atomic<int> port{0};
   std::thread server_thread = start_tcp_server(server, port);
   const int bound = await_bound_port(port);
@@ -2018,7 +2061,7 @@ TEST(TcpServerTest, MultiClientHammerMatchesDirectEvaluation) {
             static_cast<std::uint64_t>(kClients) * kRequestsPerClient * 2);
 }
 
-TEST(TcpServerTest, CoalescedHammerBitIdenticalWithExactStats) {
+TEST_P(TcpSocketTest, CoalescedHammerBitIdenticalWithExactStats) {
   // Coalescing enabled over the TCP transport: four clients of small
   // EVAL and EVALB requests; every response must match direct
   // evaluation, the counters must equal the uncoalesced run's, and
@@ -2028,6 +2071,7 @@ TEST(TcpServerTest, CoalescedHammerBitIdenticalWithExactStats) {
   session.load("s", path);
   const auto circuit = session.get("s");
   ServerOptions options;
+  options.io_model = GetParam();
   options.coalesce.window_us = 2000;
   options.coalesce.min_patterns = 4;
   Server server(session, options);
@@ -2138,14 +2182,14 @@ TEST(TcpServerTest, CoalescedHammerBitIdenticalWithExactStats) {
 // concurrent mixed-verb hammer.
 // ---------------------------------------------------------------------------
 
-TEST(ObservabilityTest, StatsReportsConnectionCounts) {
+TEST_P(ObservabilitySocketTest, StatsReportsConnectionCounts) {
   // The append-only STATS extension: " connections=<active>/<accepted>"
   // closes the line, exact regardless of -DAMBIT_METRICS (the counts
   // are plain Server atomics, not metrics-layer objects).
   const std::string socket_path =
       testing::TempDir() + "/ambit_serve_connstats.sock";
   Session session(1);
-  Server server(session);
+  Server server(session, opts());
   std::thread server_thread([&] { server.serve_unix(socket_path); });
 
   const int fd = connect_with_retry(socket_path);
@@ -2220,7 +2264,7 @@ std::string http_body(const std::string& response) {
   return body;
 }
 
-TEST(ObservabilityTest, HttpSideListenerServesScrapesMidTraffic) {
+TEST_P(ObservabilitySocketTest, HttpSideListenerServesScrapesMidTraffic) {
   // The --metrics side listener wired exactly as ambit_serve wires it:
   // render = Server::metrics_page, its own ephemeral port, scraped
   // while the line protocol serves a connection.
@@ -2230,6 +2274,7 @@ TEST(ObservabilityTest, HttpSideListenerServesScrapesMidTraffic) {
   Session session(1);
   metrics::Registry registry;
   ServerOptions options;
+  options.io_model = GetParam();
   options.registry = &registry;
   Server server(session, options);
   std::thread server_thread([&] { server.serve_unix(socket_path); });
@@ -2306,7 +2351,7 @@ TEST(ObservabilityTest, HttpSideListenerServesScrapesMidTraffic) {
   server_thread.join();
 }
 
-TEST(ObservabilityTest, MixedVerbHammerCountsEveryRequestExactly) {
+TEST_P(ObservabilitySocketTest, MixedVerbHammerCountsEveryRequestExactly) {
   // Four clients interleave EVAL, EVALB and SIMB against one server
   // with a fresh registry: afterwards every per-verb counter and
   // latency-histogram _count must equal the number of requests sent —
@@ -2318,6 +2363,7 @@ TEST(ObservabilityTest, MixedVerbHammerCountsEveryRequestExactly) {
   session.load("s", path);
   metrics::Registry registry;
   ServerOptions options;
+  options.io_model = GetParam();
   options.registry = &registry;
   Server server(session, options);
   std::thread server_thread([&] { server.serve_unix(socket_path); });
@@ -2469,7 +2515,7 @@ TEST(ObservabilityTest, MixedVerbHammerCountsEveryRequestExactly) {
   EXPECT_EQ(stats.sims, static_cast<std::uint64_t>(rounds));
 }
 
-TEST(ObservabilityTest, DroppedConnectionsAreClassified) {
+TEST_P(ObservabilitySocketTest, DroppedConnectionsAreClassified) {
   // An oversized request line is a server-initiated drop with
   // reason="malformed"; a clean QUIT is peer-initiated and counts
   // under no reason at all.
@@ -2478,6 +2524,7 @@ TEST(ObservabilityTest, DroppedConnectionsAreClassified) {
   Session session(1);
   metrics::Registry registry;
   ServerOptions options;
+  options.io_model = GetParam();
   options.registry = &registry;
   Server server(session, options);
   std::thread server_thread([&] { server.serve_unix(socket_path); });
@@ -2522,6 +2569,147 @@ TEST(ObservabilityTest, DroppedConnectionsAreClassified) {
     ASSERT_NE(counter, nullptr) << reason;
     EXPECT_EQ(counter->value(), 0u) << reason;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-model byte identity: the same wire input produces the same
+// wire output under both io models, compared directly.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Runs one server under `model`, plays three canned connections
+/// against it (a mixed happy-path pipeline ending in QUIT, an unframed
+/// bulk header that drops the connection, and a residual line at clean
+/// EOF), and returns each connection's complete response byte stream.
+std::vector<std::string> capture_model_responses(IoModel model,
+                                                 const std::string& pla_path,
+                                                 const std::string& tag) {
+  const std::string socket_path =
+      testing::TempDir() + "/ambit_serve_ident_" + tag + ".sock";
+  Session session(2);
+  ServerOptions options;
+  options.io_model = model;
+  Server server(session, options);
+  std::thread server_thread([&] { server.serve_unix(socket_path); });
+
+  const auto drain = [](int fd) {
+    std::string buffer;
+    char chunk[65536];
+    for (ssize_t n; (n = ::read(fd, chunk, sizeof(chunk))) > 0;) {
+      buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+    return buffer;
+  };
+  const auto send_all = [](int fd, const std::string& wire) {
+    std::size_t sent = 0;
+    while (sent < wire.size()) {
+      const ssize_t n = ::send(fd, wire.data() + sent, wire.size() - sent,
+                               MSG_NOSIGNAL);
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      if (n <= 0) {
+        break;
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+  };
+  std::vector<std::string> captures;
+
+  // Connection 1: every response-shape the protocol has — text OK
+  // lines, an ERR line, both binary bulk frames — pipelined, ending in
+  // QUIT.
+  {
+    PatternBatch inputs = PatternBatch::exhaustive(3);
+    std::ostringstream wire;
+    wire << "LOAD s " << pla_path << "\n"
+         << "EVAL s 7 0\n"
+         << "SIM s 5\n"
+         << "FROBNICATE nope\n"
+         << "EVALB s " << inputs.num_patterns() << " " << inputs.total_words()
+         << "\n"
+         << frame_payload(inputs) << "SIMB s " << inputs.num_patterns() << " "
+         << inputs.total_words() << "\n"
+         << frame_payload(inputs) << "VERIFY s\nSTATS\nQUIT\n";
+    const int fd = connect_with_retry(socket_path);
+    EXPECT_GE(fd, 0);
+    send_all(fd, wire.str());
+    ::shutdown(fd, SHUT_WR);
+    captures.push_back(drain(fd));
+    ::close(fd);
+  }
+
+  // Connection 2: an unframed bulk header — one ERR response, then the
+  // server drops the connection.
+  {
+    const int fd = connect_with_retry(socket_path);
+    EXPECT_GE(fd, 0);
+    send_all(fd, "EVALB s not_a_number 4\n");
+    captures.push_back(drain(fd));
+    ::close(fd);
+  }
+
+  // Connection 3: a residual unterminated line at clean EOF is served.
+  {
+    const int fd = connect_with_retry(socket_path);
+    EXPECT_GE(fd, 0);
+    send_all(fd, "EVAL s 3");
+    ::shutdown(fd, SHUT_WR);
+    captures.push_back(drain(fd));
+    ::close(fd);
+  }
+
+  const int ctl = connect_with_retry(socket_path);
+  EXPECT_GE(ctl, 0);
+  socket_transact(ctl, "SHUTDOWN\n", 1);
+  ::close(ctl);
+  server_thread.join();
+  return captures;
+}
+
+/// The LOAD response embeds the measured load time ("…, 0.6 ms") — the
+/// one legitimately non-deterministic byte range in the script — so the
+/// identity comparison canonicalizes that number to "T" on both sides.
+std::string normalize_load_time(std::string s) {
+  const std::string key = " cells, ";
+  const std::size_t at = s.find(key);
+  if (at == std::string::npos) {
+    return s;
+  }
+  const std::size_t start = at + key.size();
+  const std::size_t end = s.find(" ms", start);
+  if (end == std::string::npos) {
+    return s;
+  }
+  return s.replace(start, end - start, "T");
+}
+
+}  // namespace
+
+TEST(IoModelIdentityTest, BothModelsProduceByteIdenticalResponses) {
+  // The conformance matrix above asserts each model against expected
+  // values; this asserts them against EACH OTHER, byte for byte, over
+  // one mixed script — any framing or text drift between the paths
+  // fails here even if both happen to satisfy the per-test predicates.
+  const std::string path = write_sample_pla("serve_ident.pla");
+  const std::vector<std::string> threads =
+      capture_model_responses(IoModel::kThreads, path, "threads");
+  const std::vector<std::string> epoll =
+      capture_model_responses(IoModel::kEpoll, path, "epoll");
+  ASSERT_EQ(threads.size(), epoll.size());
+  for (std::size_t i = 0; i < threads.size(); ++i) {
+    EXPECT_EQ(normalize_load_time(threads[i]), normalize_load_time(epoll[i]))
+        << "connection " << i;
+  }
+  // And the happy-path capture is non-trivial: it holds every response
+  // shape (OK text, ERR text, both bulk frame headers).
+  EXPECT_NE(threads[0].find("OK loaded s"), std::string::npos);
+  EXPECT_NE(threads[0].find("ERR "), std::string::npos);
+  EXPECT_NE(threads[0].find("OK EVALB "), std::string::npos);
+  EXPECT_NE(threads[0].find("OK SIMB "), std::string::npos);
+  EXPECT_NE(threads[0].find("OK bye"), std::string::npos);
+  EXPECT_NE(threads[2].find("OK "), std::string::npos);  // residual served
 }
 
 #endif  // !_WIN32

@@ -1,13 +1,18 @@
 // Tests for the ThreadPool chunked parallel_for: exact coverage of the
 // index range, deterministic partitioning, exception propagation out of
-// workers, and the inline zero-worker degenerate mode.
+// workers, the inline zero-worker degenerate mode, and the
+// fire-and-forget submit() path with its deadlock-free nesting rules
+// (a worker that calls parallel_for runs it inline).
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "util/error.h"
+#include "util/mutex.h"
 #include "util/thread_pool.h"
 
 namespace ambit {
@@ -112,6 +117,105 @@ TEST(ThreadPoolTest, NegativeWorkerCountRejected) {
 
 TEST(ThreadPoolTest, DefaultWorkersIsPositive) {
   EXPECT_GE(ThreadPool::default_workers(), 1);
+}
+
+TEST(ThreadPoolTest, SubmitRunsEveryTask) {
+  ThreadPool pool(3);
+  constexpr int kTasks = 200;
+  std::atomic<int> done{0};
+  Mutex mutex(LockRank::kTest);
+  CondVar all_done;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.submit([&] {
+      if (done.fetch_add(1) + 1 == kTasks) {
+        const MutexLock lock(mutex);
+        all_done.notify_one();
+      }
+    });
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(10);
+  MutexLock lock(mutex);
+  while (done.load() != kTasks &&
+         all_done.wait_until(lock, deadline) != std::cv_status::timeout) {
+  }
+  ASSERT_EQ(done.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, SubmitSwallowsTaskExceptions) {
+  // A submitted task owns its own error reporting: a throw must not
+  // take down the worker (later tasks still run) or the process.
+  ThreadPool pool(1);
+  std::atomic<bool> ran_after{false};
+  Mutex mutex(LockRank::kTest);
+  CondVar cv;
+  pool.submit([] { throw Error("submitted task failure"); });
+  pool.submit([&] {
+    ran_after.store(true);
+    const MutexLock lock(mutex);
+    cv.notify_one();
+  });
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(10);
+  MutexLock lock(mutex);
+  while (!ran_after.load() &&
+         cv.wait_until(lock, deadline) != std::cv_status::timeout) {
+  }
+  ASSERT_TRUE(ran_after.load());
+}
+
+TEST(ThreadPoolTest, SubmitOnZeroWorkerPoolRunsInline) {
+  ThreadPool pool(0);
+  bool ran = false;
+  pool.submit([&] { ran = true; });
+  EXPECT_TRUE(ran);  // no workers: submit degenerates to a direct call
+}
+
+TEST(ThreadPoolTest, WorkerSeesItselfOnWorkerThread) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.on_worker_thread());
+  std::atomic<int> on_worker{0};
+  pool.parallel_for(0, 2, 1, [&](std::uint64_t, std::uint64_t) {
+    if (pool.on_worker_thread()) {
+      on_worker.fetch_add(1);
+    }
+  });
+  EXPECT_FALSE(pool.on_worker_thread());
+  EXPECT_GE(on_worker.load(), 1);
+}
+
+TEST(ThreadPoolTest, NestedParallelForFromSubmittedTaskCannotDeadlock) {
+  // The serve event loop submits request jobs that themselves call
+  // parallel_for on the SAME pool (sharded EVAL). With every worker
+  // busy on such a job, a queue-and-wait nested call would park all
+  // workers on work only they could drain — so nested calls run
+  // inline on the worker, and saturating the pool with them must
+  // still complete.
+  ThreadPool pool(2);
+  constexpr int kJobs = 8;  // > workers: saturation is the point
+  std::atomic<std::uint64_t> covered{0};
+  std::atomic<int> jobs_done{0};
+  Mutex mutex(LockRank::kTest);
+  CondVar cv;
+  for (int j = 0; j < kJobs; ++j) {
+    pool.submit([&] {
+      pool.parallel_for(0, 64, 8, [&](std::uint64_t lo, std::uint64_t hi) {
+        covered.fetch_add(hi - lo);
+      });
+      if (jobs_done.fetch_add(1) + 1 == kJobs) {
+        const MutexLock lock(mutex);
+        cv.notify_one();
+      }
+    });
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(30);
+  MutexLock lock(mutex);
+  while (jobs_done.load() != kJobs &&
+         cv.wait_until(lock, deadline) != std::cv_status::timeout) {
+  }
+  ASSERT_EQ(jobs_done.load(), kJobs);
+  EXPECT_EQ(covered.load(), kJobs * 64u);
 }
 
 }  // namespace
